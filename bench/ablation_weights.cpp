@@ -1,0 +1,58 @@
+// Ablation — the Eq 6 weighting factors. The paper tunes a, b, c per
+// Table 3's demand classes ("our extensive training and experiments shows
+// that these weighting factors are fairly effective"). This ablation
+// compares Table 3 placement weights against two degenerate choices:
+// uniform weights and NAT-only ranking.
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+  bench::print_header(
+      "Ablation — Eq 6 placement weights: Table 3 vs uniform vs NAT-only",
+      "demand-class-aware weights should balance fleet health at least as well");
+
+  struct Mode {
+    const char* name;
+    std::optional<core::AgingWeights> override;
+  };
+  const Mode modes[] = {
+      {"table3", std::nullopt},
+      {"uniform", core::AgingWeights{1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"nat-only", core::AgingWeights{0.0, 0.0, 1.0}},
+  };
+
+  auto csv = bench::open_csv("ablation_weights",
+                             {"weights", "min_health", "health_spread",
+                              "lifetime_days"});
+
+  std::printf("%-10s %12s %14s %14s\n", "weights", "min health", "health spread",
+              "lifetime(worst)");
+  for (const Mode& mode : modes) {
+    sim::ScenarioConfig cfg = sim::prototype_scenario();
+    cfg.policy = core::PolicyKind::Baat;
+    cfg.policy_params.placement_weights_override = mode.override;
+    sim::Cluster cluster{cfg};
+    sim::MultiDayOptions opts;
+    opts.days = 45;
+    opts.sunshine_fraction = 0.4;
+    opts.probe_every_days = 0;
+    opts.keep_days = false;
+    const sim::MultiDayResult run = sim::run_multi_day(cluster, opts);
+
+    double lo = 1.0;
+    double hi = 0.0;
+    for (const auto& b : cluster.batteries()) {
+      lo = std::min(lo, b.health());
+      hi = std::max(hi, b.health());
+    }
+    const double life = core::extrapolate_lifetime(1.0, run.min_health_end, 45.0).days;
+    std::printf("%-10s %12.4f %14.4f %13.0fd\n", mode.name, run.min_health_end,
+                hi - lo, life);
+    csv.write_row({mode.name, util::CsvWriter::cell(run.min_health_end),
+                   util::CsvWriter::cell(hi - lo), util::CsvWriter::cell(life)});
+  }
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction benches: consistent headers,
+// paper-vs-measured rows, and CSV output under ./bench_results/.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace baat::bench {
+
+inline void print_header(const std::string& fig, const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", fig.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("--------------------------------------------------------------\n");
+}
+
+inline void print_footer() {
+  std::printf("--------------------------------------------------------------\n\n");
+}
+
+/// Opens bench_results/<name>.csv with the given header (creates the dir).
+inline util::CsvWriter open_csv(const std::string& name,
+                                const std::vector<std::string>& header) {
+  std::filesystem::create_directories("bench_results");
+  return util::CsvWriter{"bench_results/" + name + ".csv", header};
+}
+
+}  // namespace baat::bench

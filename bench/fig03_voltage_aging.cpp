@@ -1,0 +1,57 @@
+// Fig 3 — measured battery voltage drop due to aging over 6 months.
+// Paper: terminal voltage of a fully charged unit drops ~9% over six months
+// of cyclic use, and the drop rate accelerates as the unit ages
+// (~0.1 V/month early, ~0.3 V/month late).
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+  bench::print_header(
+      "Fig 3 — full-charge terminal voltage over 6 months (worst node)",
+      "~9% drop over 6 months; drop rate accelerates with age");
+
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.policy = core::PolicyKind::EBuff;  // the aggressive-usage condition
+  sim::Cluster cluster{cfg};
+
+  sim::MultiDayOptions opts;
+  opts.days = 180;
+  opts.weather = sim::mixed_weather(opts.days, 3, 2, 1);  // the prototype's temperate mix
+  opts.probe_every_days = 30;
+  opts.keep_days = false;
+  const sim::MultiDayResult run = sim::run_multi_day(cluster, opts);
+
+  auto csv = bench::open_csv("fig03_voltage_aging",
+                             {"month", "voltage_v", "drop_pct", "v_per_month"});
+
+  const battery::ProbeResult fresh = battery::run_probe(
+      battery::Battery{cfg.bank.chemistry, cfg.bank.aging, cfg.bank.thermal});
+  std::printf("%6s %12s %10s %12s\n", "month", "Vfull(V)", "drop(%)", "dV/month");
+  std::printf("%6d %12.3f %10.2f %12s\n", 0, fresh.full_voltage.value(), 0.0, "-");
+  double prev_v = fresh.full_voltage.value();
+  double first_rate = 0.0;
+  double last_rate = 0.0;
+  for (const sim::MonthlyProbe& p : run.monthly) {
+    const double drop = (1.0 - p.full_voltage / fresh.full_voltage.value()) * 100.0;
+    const double rate = prev_v - p.full_voltage;
+    if (p.month == 1) first_rate = rate;
+    last_rate = rate;
+    std::printf("%6d %12.3f %10.2f %12.3f\n", p.month, p.full_voltage, drop, rate);
+    csv.write_row({util::CsvWriter::cell(static_cast<double>(p.month)),
+                   util::CsvWriter::cell(p.full_voltage), util::CsvWriter::cell(drop),
+                   util::CsvWriter::cell(rate)});
+    prev_v = p.full_voltage;
+  }
+
+  const double total_drop =
+      (1.0 - run.monthly.back().full_voltage / fresh.full_voltage.value()) * 100.0;
+  std::printf("\nmeasured: %.1f%% total drop (paper ~9%%); drop rate month 1 = "
+              "%.3f V, month 6 = %.3f V (%s)\n",
+              total_drop, first_rate, last_rate,
+              last_rate > first_rate ? "accelerating, as in the paper"
+                                     : "NOT accelerating");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig 10 — battery cycle life under varying depth of discharge, for the
+// three manufacturers the paper plots (Hoppecke, Trojan, UPG).
+// Paper: cycle life decreases by ~50% when the battery is frequently
+// discharged at DoD above 50%.
+
+#include "bench_util.hpp"
+#include "battery/cycle_life.hpp"
+
+int main() {
+  using namespace baat;
+  using battery::Manufacturer;
+
+  bench::print_header("Fig 10 — cycle life vs depth of discharge",
+                      "cycle life halves when frequently discharged above 50% DoD");
+
+  auto csv = bench::open_csv("fig10_cycle_life",
+                             {"dod_pct", "hoppecke", "trojan", "upg"});
+
+  const auto hoppecke = battery::curve_for(Manufacturer::Hoppecke);
+  const auto trojan = battery::curve_for(Manufacturer::Trojan);
+  const auto upg = battery::curve_for(Manufacturer::UPG);
+
+  std::printf("%8s %12s %12s %12s\n", "DoD(%)", "Hoppecke", "Trojan", "UPG");
+  for (int pct = 10; pct <= 100; pct += 10) {
+    const double dod = pct / 100.0;
+    std::printf("%8d %12.0f %12.0f %12.0f\n", pct, hoppecke.cycles(dod),
+                trojan.cycles(dod), upg.cycles(dod));
+    csv.write_row({util::CsvWriter::cell(static_cast<double>(pct)),
+                   util::CsvWriter::cell(hoppecke.cycles(dod)),
+                   util::CsvWriter::cell(trojan.cycles(dod)),
+                   util::CsvWriter::cell(upg.cycles(dod))});
+  }
+
+  std::printf("\nmeasured 50%%-DoD / 25%%-DoD cycle-life ratio: "
+              "Hoppecke %.2f, Trojan %.2f, UPG %.2f (paper: ~0.5)\n",
+              hoppecke.cycles(0.5) / hoppecke.cycles(0.25),
+              trojan.cycles(0.5) / trojan.cycles(0.25),
+              upg.cycles(0.5) / upg.cycles(0.25));
+  bench::print_footer();
+  return 0;
+}

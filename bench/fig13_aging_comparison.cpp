@@ -1,0 +1,100 @@
+// Fig 13 — aging-metric comparison of the four power management policies
+// (Table 4) on matched solar traces, for young and old fleets on sunny and
+// cloudy days. Paper claims reproduced here:
+//   * e-Buff's Ah throughput is ~35% higher on cloudy days than sunny;
+//   * e-Buff cycles ~1.3× more Ah than BAAT on average, up to ~2.1× in the
+//     worst case (cloudy + old battery);
+//   * BAAT cuts the worst-case weighted aging speed by ~38% (Eq 6, equal
+//     weights).
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/weighted_aging.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+  bench::print_header(
+      "Fig 13 — worst-node aging metrics, 4 policies x {young,old} x {sunny,cloudy}",
+      "e-Buff NAT +35% cloudy vs sunny; e-Buff/BAAT Ah 1.3x avg, 2.1x worst; "
+      "BAAT -38% worst-case weighted aging");
+
+  const sim::ScenarioConfig cfg = sim::prototype_scenario();
+  const core::PolicyKind policies[] = {core::PolicyKind::EBuff, core::PolicyKind::BaatS,
+                                       core::PolicyKind::BaatH, core::PolicyKind::Baat};
+  const core::AgingWeights equal{1.0 / 3, 1.0 / 3, 1.0 / 3};
+
+  auto csv = bench::open_csv("fig13_aging_comparison",
+                             {"fleet", "weather", "policy", "worst_ah", "nat", "cf",
+                              "pc_health", "ddt", "weighted_aging"});
+
+  std::map<std::string, double> ah;        // (fleet|weather|policy) → worst Ah
+  std::map<std::string, double> weighted;  // same → Eq 6 score
+
+  // The prototype's batteries are in continuous service — a measured day
+  // starts from wherever yesterday left the fleet, not from a full charge.
+  // Warm every cluster up with three matched days of the same weather, then
+  // measure the fourth (all four policies see identical solar traces).
+  constexpr int kWarmupDays = 3;
+  for (bool old_fleet : {false, true}) {
+    for (solar::DayType type : {solar::DayType::Sunny, solar::DayType::Cloudy}) {
+      std::vector<solar::SolarDay> days;
+      util::Rng day_rng = util::Rng::stream(cfg.seed, "fig13-days");
+      for (int d = 0; d <= kWarmupDays; ++d) {
+        days.emplace_back(cfg.plant, type, day_rng.fork("day"));
+      }
+      std::printf("%s fleet, %s day:\n", old_fleet ? "old" : "young",
+                  std::string(solar::day_type_name(type)).c_str());
+      std::printf("  %-8s %9s %9s %7s %10s %7s %10s\n", "policy", "worstAh", "NAT",
+                  "CF", "PC-health", "DDT", "weighted");
+      for (core::PolicyKind p : policies) {
+        sim::ScenarioConfig local = cfg;
+        local.policy = p;
+        sim::Cluster cluster{local};
+        if (old_fleet) sim::seed_aged_fleet(cluster, sim::six_month_aged_state());
+        for (int d = 0; d < kWarmupDays; ++d) cluster.run_day(days[d]);
+        const sim::DayResult r = cluster.run_day(days.back());
+        const auto& m = r.nodes[r.worst_node()].metrics_day;
+        const double score = core::weighted_aging(m, equal);
+        const std::string key = std::string(old_fleet ? "old" : "young") + "|" +
+                                std::string(solar::day_type_name(type)) + "|" +
+                                std::string(core::policy_kind_name(p));
+        ah[key] = r.nodes[r.worst_node()].ah_discharged.value();
+        weighted[key] = score;
+        std::printf("  %-8s %9.1f %9.5f %7.2f %10.2f %7.2f %10.3f\n",
+                    std::string(core::policy_kind_name(p)).c_str(), ah[key], m.nat,
+                    m.cf, m.pc_health, m.ddt, score);
+        csv.write_row({old_fleet ? "old" : "young",
+                       std::string(solar::day_type_name(type)),
+                       std::string(core::policy_kind_name(p)),
+                       util::CsvWriter::cell(ah[key]), util::CsvWriter::cell(m.nat),
+                       util::CsvWriter::cell(m.cf), util::CsvWriter::cell(m.pc_health),
+                       util::CsvWriter::cell(m.ddt), util::CsvWriter::cell(score)});
+      }
+      std::printf("\n");
+    }
+  }
+
+  const double ebuff_weather_gain =
+      (ah["young|Cloudy|e-Buff"] / ah["young|Sunny|e-Buff"] - 1.0) * 100.0;
+  const double avg_ratio = (ah["young|Sunny|e-Buff"] / ah["young|Sunny|BAAT"] +
+                            ah["young|Cloudy|e-Buff"] / ah["young|Cloudy|BAAT"] +
+                            ah["old|Sunny|e-Buff"] / ah["old|Sunny|BAAT"] +
+                            ah["old|Cloudy|e-Buff"] / ah["old|Cloudy|BAAT"]) /
+                           4.0;
+  const double worst_ratio = ah["old|Cloudy|e-Buff"] / ah["old|Cloudy|BAAT"];
+  const double aging_cut =
+      (1.0 - weighted["old|Cloudy|BAAT"] / weighted["old|Cloudy|e-Buff"]) * 100.0;
+
+  std::printf("measured: e-Buff Ah cloudy vs sunny: %+.0f%% (paper +35%%)\n",
+              ebuff_weather_gain);
+  std::printf("measured: e-Buff/BAAT Ah ratio: %.2fx avg (paper 1.3x), "
+              "%.2fx cloudy+old (paper 2.1x)\n",
+              avg_ratio, worst_ratio);
+  std::printf("measured: BAAT worst-case weighted-aging reduction: %.0f%% "
+              "(paper 38%%)\n",
+              aging_cut);
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig 17 — servers that can be added at constant TCO, funded by BAAT's
+// battery-depreciation savings, versus sunshine fraction. Paper: up to ~15%
+// more servers in sun-rich locations; the expansion ratio grows sublinearly
+// because added servers age the batteries faster.
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/cost.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+  bench::print_header("Fig 17 — server expansion at constant TCO vs sunshine",
+                      "up to +15% servers in solar-rich locations, sublinear");
+
+  const sim::ScenarioConfig base = sim::prototype_scenario();
+  const core::CostParams cost;
+  constexpr std::size_t kSimDays = 45;
+
+  auto csv = bench::open_csv("fig17_server_expansion",
+                             {"sunshine_fraction", "ebuff_cost", "baat_cost",
+                              "annual_saving_usd", "servers_addable",
+                              "expansion_pct"});
+
+  std::printf("%10s %12s %12s %12s %10s %10s\n", "sunshine", "e-Buff $/y",
+              "BAAT $/y", "saving $/y", "servers", "expansion");
+  double best = 0.0;
+  for (double f : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    const double ebuff_years =
+        sim::estimate_lifetime(base, core::PolicyKind::EBuff, f, kSimDays)
+            .lifetime_days /
+        365.0;
+    const double baat_years =
+        sim::estimate_lifetime(base, core::PolicyKind::Baat, f, kSimDays)
+            .lifetime_days /
+        365.0;
+    const double c_ebuff = core::annual_battery_depreciation(cost, ebuff_years).value();
+    const double c_baat = core::annual_battery_depreciation(cost, baat_years).value();
+    const double saving = std::max(0.0, c_ebuff - c_baat);
+    const double servers =
+        core::servers_addable_at_constant_tco(cost, util::dollars(saving));
+    const double expansion = servers / static_cast<double>(base.nodes) * 100.0;
+    best = std::max(best, expansion);
+    std::printf("%10.2f %12.0f %12.0f %12.0f %10.2f %9.1f%%\n", f, c_ebuff, c_baat,
+                saving, servers, expansion);
+    csv.write_row({util::CsvWriter::cell(f), util::CsvWriter::cell(c_ebuff),
+                   util::CsvWriter::cell(c_baat), util::CsvWriter::cell(saving),
+                   util::CsvWriter::cell(servers), util::CsvWriter::cell(expansion)});
+  }
+
+  std::printf("\nmeasured: best expansion %.1f%% of the fleet (paper: up to 15%%)\n",
+              best);
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig 18 — low-SoC duration comparison across policies. Paper: e-Buff lets
+// batteries linger at low SoC (risking power-budget violations and a single
+// point of failure when a spike hits an empty battery); BAAT balances and
+// slows deep discharge, improving worst-node battery availability ~47%.
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+  bench::print_header("Fig 18 — low-SoC duration per policy (14-day window)",
+                      "BAAT improves worst-node availability ~47% (low-SoC statistics)");
+
+  const sim::ScenarioConfig base = sim::prototype_scenario();
+  constexpr std::size_t kDays = 14;
+  const auto weather = sim::mixed_weather(kDays, 2, 3, 1);  // battery-heavy mix
+
+  auto csv = bench::open_csv("fig18_low_soc",
+                             {"policy", "worst_low_soc_h", "worst_critical_h",
+                              "brownouts", "availability_gain_pct"});
+
+  double ebuff_critical = 0.0;
+  std::printf("%-8s %16s %18s %10s\n", "policy", "worst <40% SoC",
+              "worst <15% (SPOF)", "brownouts");
+  for (core::PolicyKind p : {core::PolicyKind::EBuff, core::PolicyKind::BaatS,
+                             core::PolicyKind::BaatH, core::PolicyKind::Baat}) {
+    sim::ScenarioConfig cfg = base;
+    cfg.policy = p;
+    sim::Cluster cluster{cfg};
+    sim::MultiDayOptions opts;
+    opts.days = kDays;
+    opts.weather = weather;
+    opts.probe_every_days = 0;
+    const sim::MultiDayResult run = sim::run_multi_day(cluster, opts);
+
+    std::vector<double> low_soc(cluster.node_count(), 0.0);
+    std::vector<double> critical(cluster.node_count(), 0.0);
+    int brownouts = 0;
+    for (const sim::DayResult& d : run.days) {
+      for (std::size_t i = 0; i < d.nodes.size(); ++i) {
+        low_soc[i] += d.nodes[i].low_soc_time.value() / 3600.0;
+        critical[i] += d.nodes[i].critical_soc_time.value() / 3600.0;
+        brownouts += d.nodes[i].brownouts;
+      }
+    }
+    double worst_low = 0.0;
+    double worst_crit = 0.0;
+    for (std::size_t i = 0; i < low_soc.size(); ++i) {
+      worst_low = std::max(worst_low, low_soc[i]);
+      worst_crit = std::max(worst_crit, critical[i]);
+    }
+    if (p == core::PolicyKind::EBuff) ebuff_critical = worst_crit;
+    const double gain =
+        ebuff_critical > 0.0 ? (1.0 - worst_crit / ebuff_critical) * 100.0 : 0.0;
+    std::printf("%-8s %14.1f h %16.1f h %10d\n",
+                std::string(core::policy_kind_name(p)).c_str(), worst_low, worst_crit,
+                brownouts);
+    csv.write_row({std::string(core::policy_kind_name(p)),
+                   util::CsvWriter::cell(worst_low), util::CsvWriter::cell(worst_crit),
+                   util::CsvWriter::cell(static_cast<double>(brownouts)),
+                   util::CsvWriter::cell(gain)});
+    if (p == core::PolicyKind::Baat) {
+      std::printf("\nmeasured: BAAT cuts the worst node's critical (<15%% SoC, "
+                  "SPOF-risk) duration by %.0f%% (paper: 47%% availability "
+                  "improvement from low-SoC statistics)\n",
+                  gain);
+    }
+  }
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig 22 — productivity benefit of planned aging versus the expected battery
+// service life (installation to datacenter end-of-life). Paper: up to ~33%
+// more productivity than e-Buff-style management; the benefit falls when the
+// battery is installed too close to the datacenter's end-of-life (the >90%
+// DoD bound caps it) and also when the service window is so long that there
+// is little unused battery life to shift.
+
+#include "bench_util.hpp"
+#include "core/planned.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+  bench::print_header(
+      "Fig 22 — productivity gain of planned aging vs expected service life",
+      "up to +33% vs e-Buff-style management; falls at both extremes");
+
+  sim::ScenarioConfig base = sim::prototype_scenario();
+  base.replicas = 3;  // saturated batch queue: throughput reflects management
+  base.daily_jobs = sim::default_daily_jobs(base.replicas);
+  constexpr std::size_t kDays = 7;
+  const auto weather = sim::mixed_weather(kDays, 0, 3, 4);
+  constexpr double kCyclesPerDay = 1.0;  // observed cadence in the usage log
+
+  auto run_week = [&](const sim::ScenarioConfig& cfg) {
+    // Average two seeds per point to damp trace noise.
+    double sum = 0.0;
+    for (std::uint64_t seed : {std::uint64_t{42}, std::uint64_t{1042}, std::uint64_t{77}}) {
+      sim::ScenarioConfig seeded = cfg;
+      seeded.seed = seed;
+      sim::Cluster cluster{seeded};
+      sim::seed_aged_fleet(cluster, sim::six_month_aged_state());
+      sim::MultiDayOptions opts;
+      opts.days = kDays;
+      opts.weather = weather;
+      opts.probe_every_days = 0;
+      opts.keep_days = false;
+      sum += sim::run_multi_day(cluster, opts).total_throughput;
+    }
+    return sum / 3.0;
+  };
+
+  sim::ScenarioConfig conservative = base;
+  conservative.policy = core::PolicyKind::Baat;
+  const double baseline = run_week(conservative);
+
+  auto csv = bench::open_csv("fig22_planned_aging",
+                             {"service_days", "dod_goal_pct", "work_mcs",
+                              "gain_vs_conservative_pct"});
+
+  std::printf("conservative BAAT baseline: %.2f Mcs over the week\n\n", baseline / 1e6);
+  std::printf("%14s %12s %12s %10s\n", "service days", "DoD goal", "work(Mcs)",
+              "gain");
+  double best = 0.0;
+  for (double service_days : {700.0, 1100.0, 1400.0, 1700.0, 2100.0, 2800.0, 4200.0}) {
+    sim::ScenarioConfig cfg = base;
+    cfg.policy = core::PolicyKind::BaatPlanned;
+    cfg.policy_params.planned.cycles_plan =
+        core::cycles_remaining(service_days, kCyclesPerDay);
+    const core::DodGoal goal = core::planned_dod(
+        cfg.policy_params.planned.total_throughput, util::ampere_hours(0.0),
+        cfg.policy_params.planned.cycles_plan, cfg.policy_params.planned.nameplate);
+    const double work = run_week(cfg);
+    const double gain = (work / baseline - 1.0) * 100.0;
+    best = std::max(best, gain);
+    std::printf("%14.0f %11.0f%% %12.2f %+9.1f%%\n", service_days, goal.dod * 100.0,
+                work / 1e6, gain);
+    csv.write_row({util::CsvWriter::cell(service_days),
+                   util::CsvWriter::cell(goal.dod * 100.0),
+                   util::CsvWriter::cell(work / 1e6), util::CsvWriter::cell(gain)});
+  }
+
+  std::printf("\nmeasured: best planned-aging productivity gain %+.1f%% over "
+              "conservative BAAT (paper: up to +33%% vs e-Buff-style management); "
+              "short service windows saturate at the 90%% DoD bound, long windows "
+              "converge to conservative operation\n",
+              best);
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: battery
+// stepping, power routing and whole-cluster days. These bound how much
+// wall-clock the figure benches and multi-month studies cost.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "battery/battery.hpp"
+#include "power/router.hpp"
+#include "sim/cluster.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace baat;
+
+void BM_BatteryStep(benchmark::State& state) {
+  battery::Battery bat{battery::LeadAcidParams{}, battery::AgingParams{},
+                       battery::ThermalParams{}, 1.0, 1.0, 0.7};
+  double sign = 1.0;
+  for (auto _ : state) {
+    // Alternate charge/discharge so SoC stays in range forever.
+    const auto res = bat.step(util::amperes(5.0 * sign), util::minutes(1.0));
+    benchmark::DoNotOptimize(res.terminal_voltage);
+    if (bat.soc() < 0.2) sign = -1.0;
+    if (bat.soc() > 0.9) sign = 1.0;
+  }
+}
+BENCHMARK(BM_BatteryStep);
+
+void BM_RouterTick(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<battery::Battery> bats;
+  for (std::size_t i = 0; i < n; ++i) {
+    bats.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                      battery::ThermalParams{}, 1.0, 1.0, 0.7);
+  }
+  std::vector<util::Watts> demands(n, util::watts(110.0));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (auto _ : state) {
+    const auto r = power::route_power(util::watts(400.0), demands, bats, order,
+                                      power::RouterParams{}, util::minutes(1.0));
+    benchmark::DoNotOptimize(r.solar_curtailed);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_RouterTick)->Arg(6)->Arg(24)->Arg(96);
+
+void BM_ClusterDay(benchmark::State& state) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.policy = static_cast<core::PolicyKind>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Cluster cluster{cfg};
+    state.ResumeTiming();
+    const auto r = cluster.run_day(solar::DayType::Cloudy);
+    benchmark::DoNotOptimize(r.throughput_work);
+  }
+}
+BENCHMARK(BM_ClusterDay)
+    ->Arg(static_cast<int>(core::PolicyKind::EBuff))
+    ->Arg(static_cast<int>(core::PolicyKind::Baat))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,33 @@
+// solar_day: the prototype cluster running one cloudy day under each of the
+// four Table 4 policies against the *same* solar trace, printing the
+// aging/performance trade-off the paper's §VI-B/§VI-F discusses.
+
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace baat;
+
+  const sim::ScenarioConfig cfg = sim::prototype_scenario();
+  const solar::SolarDay day{cfg.plant, solar::DayType::Cloudy,
+                            util::Rng::stream(cfg.seed, "example-day")};
+
+  std::printf("Cloudy day, %.1f kWh solar, 6 nodes, six-workload mix x%d\n\n",
+              day.daily_energy().value() / 1000.0, cfg.replicas);
+  std::printf("%-8s %10s %10s %10s %10s %8s %6s\n", "policy", "work(Mcs)", "worstAh",
+              "lowSoC(h)", "downtime", "migr", "dvfs");
+
+  for (core::PolicyKind policy :
+       {core::PolicyKind::EBuff, core::PolicyKind::BaatS, core::PolicyKind::BaatH,
+        core::PolicyKind::Baat}) {
+    const sim::DayResult r = sim::run_matched_day(cfg, policy, day);
+    const std::size_t w = r.worst_node();
+    std::printf("%-8s %10.2f %10.2f %10.2f %10.2f %8d %6d\n",
+                std::string(core::policy_kind_name(policy)).c_str(),
+                r.throughput_work / 1e6, r.nodes[w].ah_discharged.value(),
+                r.worst_low_soc_time().value() / 3600.0,
+                r.total_downtime().value() / 3600.0, r.migrations, r.dvfs_transitions);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// topology: distributed per-server batteries vs one centralized bank on the
+// same duty — §II-A's architecture choice made tangible. Shows why the
+// emerging designs the paper builds on (Google per-server, Facebook
+// per-rack) decentralize: graceful degradation instead of fleet-wide SPOF.
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "power/centralized.hpp"
+#include "power/router.hpp"
+#include "solar/solar_day.hpp"
+
+int main() {
+  using namespace baat;
+
+  const solar::SolarDay day{solar::PlantSpec{}, solar::DayType::Rainy,
+                            util::Rng{2026}};
+  std::printf("One rainy day (%.1f kWh solar), six nodes at 70-130 W each:\n\n",
+              day.daily_energy().value() / 1000.0);
+
+  const double demand_w[6] = {70.0, 85.0, 95.0, 105.0, 115.0, 130.0};
+
+  // Distributed: one 12 V / 35 Ah block per node.
+  std::vector<battery::Battery> dist;
+  for (int i = 0; i < 6; ++i) {
+    dist.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                      battery::ThermalParams{});
+  }
+  std::vector<std::size_t> order(6);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Centralized: one shared bank with the same total capacity.
+  battery::Battery bank{battery::LeadAcidParams{}, battery::AgingParams{},
+                        battery::ThermalParams{}, 6.0, 1.0 / 6.0};
+
+  long dist_partial = 0;
+  long dist_spof = 0;
+  long cent_spof = 0;
+  for (int m = 0; m < 1440; ++m) {
+    const util::Seconds tod{m * 60.0};
+    const bool on = tod >= util::hours(8.5) && tod < util::hours(18.5);
+    std::vector<util::Watts> demands(6);
+    for (int i = 0; i < 6; ++i) demands[i] = util::watts(on ? demand_w[i] : 0.0);
+
+    const auto rd = power::route_power(day.power(tod), demands, dist, order,
+                                       power::RouterParams{}, util::minutes(1.0));
+    int down = 0;
+    for (const auto& n : rd.nodes) down += on && n.unmet.value() > 1.0 ? 1 : 0;
+    if (down == 6) ++dist_spof;
+    if (down > 0 && down < 6) ++dist_partial;
+
+    const auto rc = power::route_power_centralized(
+        day.power(tod), demands, bank, power::RouterParams{}, util::minutes(1.0));
+    int cdown = 0;
+    for (const auto& n : rc.nodes) cdown += on && n.unmet.value() > 1.0 ? 1 : 0;
+    if (cdown == 6) ++cent_spof;
+  }
+
+  std::printf("distributed : %3ld min fleet-wide outage, %3ld min partial "
+              "(some nodes ride through)\n",
+              dist_spof, dist_partial);
+  std::printf("centralized : %3ld min fleet-wide outage — every exhaustion is "
+              "a single point of failure\n",
+              cent_spof);
+  std::printf("\nsurviving SoC, distributed nodes:");
+  for (const auto& b : dist) std::printf(" %4.0f%%", b.soc() * 100.0);
+  std::printf("\nshared bank SoC: %4.0f%%\n", bank.soc() * 100.0);
+  return 0;
+}

@@ -1,0 +1,136 @@
+#pragma once
+
+// The five lead-acid aging mechanisms of §II-B, driven by the operating
+// conditions Fig 6 correlates with each of them:
+//
+//   grid corrosion        — calendar time, high charge voltage, temperature
+//   active-mass shedding  — Ah throughput, low SoC, temperature swings
+//   sulphation            — time spent at low SoC without a full recharge
+//   water loss            — overcharge (gassing) current, temperature
+//   stratification        — deep discharge + rarely-full recharge; partially
+//                           reversed by a full (equalizing) charge
+//
+// Each mechanism accumulates a dimensionless damage state. The states map
+// onto the two observables the rest of the system sees: capacity fade
+// (Fig 4; end-of-life at 80% of nameplate, [30]) and internal-resistance
+// growth (drives the Fig 3 voltage droop and the Fig 5 round-trip
+// efficiency loss).
+
+#include "battery/thermal.hpp"
+#include "util/units.hpp"
+
+namespace baat::battery {
+
+using util::Amperes;
+using util::AmpereHours;
+using util::Celsius;
+using util::Seconds;
+using util::Volts;
+
+/// Accumulated damage per mechanism. Each state is roughly "fraction of
+/// nameplate capacity destroyed by this mechanism" (see effect weights in
+/// AgingParams); they are unbounded above but ~0.2 total means end-of-life.
+struct AgingState {
+  double corrosion = 0.0;
+  double shedding = 0.0;
+  double sulphation = 0.0;
+  double water_loss = 0.0;
+  double stratification = 0.0;
+
+  [[nodiscard]] double total() const {
+    return corrosion + shedding + sulphation + water_loss + stratification;
+  }
+};
+
+/// Operating conditions for one simulation step, as seen by the aging model.
+struct OperatingPoint {
+  double soc = 1.0;                 ///< state of charge [0, 1]
+  Amperes current{0.0};             ///< >0 discharge, <0 charge
+  Volts terminal_voltage{12.6};
+  Celsius temperature{25.0};
+  Seconds time_since_full_charge{0.0};
+  double temperature_rate_k_per_h = 0.0;  ///< |dT/dt|, drives AM shedding
+};
+
+struct AgingParams {
+  // -- shedding: damage per equivalent full cycle (Ah moved / nameplate),
+  // amplified at low SoC. Base chosen so shallow cycling consumes the life
+  // in ~5000 full-cycle equivalents while deep low-SoC cycling lands near
+  // the Fig 10 fits (the low-SoC gain below raises deep-cycle damage ~5×).
+  // Normalizing per EFC (not per absolute Ah) makes damage scale correctly
+  // with battery size.
+  double shedding_per_efc = 1.0 / 5000.0;
+  double shedding_low_soc_gain = 4.0;    ///< multiplier growth toward SoC = 0
+  double shedding_dtemp_gain = 0.05;     ///< per (K/h) of temperature swing
+
+  // -- sulphation: damage per second below the sulphation knee -------------
+  double sulphation_knee_soc = 0.40;     ///< §III-D: below 40% SoC
+  double sulphation_per_s = 2.6e-8;      ///< at SoC = 0, 20°C, fresh since full charge
+  Seconds sulphation_memory{14.0 * 86400.0};  ///< time-since-full-charge doubling scale
+
+  // -- corrosion: calendar damage per second, voltage-accelerated ----------
+  // Tuned to ~8 year float life at 20°C acting alone.
+  double corrosion_per_s = 1.0 / (8.0 * 365.0 * 86400.0) * 0.2;
+  Volts corrosion_voltage_knee_cell{2.23};   ///< float-level polarization
+  double corrosion_voltage_gain = 6.0;       ///< per volt/cell above the knee
+
+  // -- water loss: damage per equivalent full cycle of gassing current -----
+  double water_per_gassing_efc = 1.0 / 400.0;
+
+  // -- stratification -------------------------------------------------------
+  double stratification_per_s = 2.0e-8;  ///< while deeply discharged at low current
+  double stratification_low_current_c = 0.1;  ///< "low current" threshold, ×C20
+  double stratification_heal_factor = 0.6;    ///< surviving fraction after a full charge
+  double stratification_cap = 0.08;           ///< stratification saturates
+
+  // -- effect mapping -------------------------------------------------------
+  double capacity_w_corrosion = 0.25;  ///< corrosion mostly raises resistance
+  double capacity_w_water = 0.60;
+  double resistance_w_corrosion = 14.0;
+  double resistance_w_sulphation = 20.0;
+  double resistance_w_shedding = 24.0;  ///< lost active surface raises R too
+  double resistance_w_water = 5.0;
+  /// Full-charge OCV sags as the plates degrade (drives the Fig 3 terminal
+  /// voltage drop): volts per cell per unit of capacity fade.
+  double ocv_sag_v_per_fade_cell = 0.08;
+  /// Aged plates gas more on charge: fractional coulombic-efficiency loss
+  /// per unit of capacity fade (drives the Fig 5 round-trip efficiency drop).
+  double coulombic_fade = 0.35;
+};
+
+/// Integrates the five mechanism rate equations.
+class AgingModel {
+ public:
+  AgingModel(AgingParams params, AmpereHours nameplate_capacity, int cells);
+
+  /// Advance by dt at the given operating point.
+  void step(const OperatingPoint& op, Seconds dt);
+
+  /// A full (equalizing) charge partially reverses stratification.
+  void on_full_charge();
+
+  [[nodiscard]] const AgingState& state() const { return state_; }
+  [[nodiscard]] const AgingParams& params() const { return params_; }
+
+  /// Fraction of nameplate capacity remaining, in (0, 1].
+  [[nodiscard]] double capacity_fraction() const;
+  /// Multiplier on the fresh internal resistance, >= 1.
+  [[nodiscard]] double resistance_factor() const;
+  /// End-of-life per [30]: capacity below 80% of nameplate.
+  [[nodiscard]] bool end_of_life() const { return capacity_fraction() < 0.80; }
+  /// OCV depression of the aged cell, per cell (Fig 3's voltage droop).
+  [[nodiscard]] Volts ocv_sag_per_cell() const;
+  /// Multiplier (≤ 1) on the fresh coulombic charge efficiency (Fig 5).
+  [[nodiscard]] double coulombic_derating() const;
+
+  /// Test/benchmark hook: seed a pre-aged state.
+  void set_state(const AgingState& s) { state_ = s; }
+
+ private:
+  AgingParams params_;
+  AmpereHours capacity_;
+  int cells_;
+  AgingState state_;
+};
+
+}  // namespace baat::battery

@@ -1,0 +1,35 @@
+#include "battery/bank.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+namespace {
+double truncated_scale(util::Rng& rng, double sigma) {
+  const double draw = rng.normal(1.0, sigma);
+  return std::clamp(draw, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma);
+}
+}  // namespace
+
+std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng) {
+  BAAT_REQUIRE(spec.units > 0, "bank must have at least one unit");
+  BAAT_REQUIRE(spec.capacity_sigma >= 0.0 && spec.capacity_sigma < 0.3,
+               "capacity sigma out of plausible range");
+  BAAT_REQUIRE(spec.resistance_sigma >= 0.0 && spec.resistance_sigma < 0.5,
+               "resistance sigma out of plausible range");
+  std::vector<Battery> bank;
+  bank.reserve(spec.units);
+  for (std::size_t i = 0; i < spec.units; ++i) {
+    const double cap_scale =
+        spec.capacity_sigma > 0.0 ? truncated_scale(rng, spec.capacity_sigma) : 1.0;
+    const double res_scale =
+        spec.resistance_sigma > 0.0 ? truncated_scale(rng, spec.resistance_sigma) : 1.0;
+    bank.emplace_back(spec.chemistry, spec.aging, spec.thermal, cap_scale, res_scale,
+                      spec.initial_soc);
+  }
+  return bank;
+}
+
+}  // namespace baat::battery

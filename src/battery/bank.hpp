@@ -1,0 +1,32 @@
+#pragma once
+
+// A bank of battery units with manufacturing variation — the "twelve 12 V
+// 35 Ah sealed lead-acid batteries" of the prototype (Fig 11), one node (of
+// one or more units in series) per server in the per-server integration
+// architecture (Fig 7).
+
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "util/rng.hpp"
+
+namespace baat::battery {
+
+struct BankSpec {
+  std::size_t units = 6;                 ///< number of independent battery nodes
+  LeadAcidParams chemistry{};
+  AgingParams aging{};
+  ThermalParams thermal{};
+  /// Relative stddev of nameplate capacity across units (§IV-B.1: imperfect
+  /// manufacturing). 2-3% is typical for commodity VRLA.
+  double capacity_sigma = 0.025;
+  /// Relative stddev of fresh internal resistance across units.
+  double resistance_sigma = 0.05;
+  double initial_soc = 1.0;
+};
+
+/// Builds `spec.units` batteries whose capacity/resistance scales are drawn
+/// from truncated normals around 1.0 (clamped to ±3σ so no unit is absurd).
+std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng);
+
+}  // namespace baat::battery

@@ -1,0 +1,119 @@
+#pragma once
+
+// One battery unit: SoC book-keeping with Peukert and coulombic losses,
+// terminal voltage under load, thermal state, the five-mechanism aging
+// model, and the ground-truth usage counters that the paper's power table
+// (Table 2) derives its metrics from.
+//
+// Sign convention everywhere: current > 0 discharges the battery,
+// current < 0 charges it.
+
+#include <cstdint>
+
+#include "battery/aging.hpp"
+#include "battery/chemistry.hpp"
+#include "battery/thermal.hpp"
+#include "util/units.hpp"
+
+namespace baat::battery {
+
+using util::Seconds;
+using util::WattHours;
+using util::Watts;
+
+/// Ground-truth usage counters accumulated over the battery's whole life.
+/// The telemetry layer rebuilds an *estimated* version of these from sensor
+/// samples; tests compare the two.
+struct UsageCounters {
+  AmpereHours ah_discharged{0.0};
+  AmpereHours ah_charged{0.0};
+  /// Discharge Ah binned by the SoC ranges of Eq 3:
+  /// A = [80,100], B = [60,80), C = [40,60), D = [0,40).
+  AmpereHours ah_by_range[4] = {AmpereHours{0}, AmpereHours{0}, AmpereHours{0}, AmpereHours{0}};
+  Seconds time_total{0.0};
+  Seconds time_below_40{0.0};
+  Seconds time_since_full_charge{0.0};
+  std::int64_t full_charge_events = 0;
+  double min_soc_since_full = 1.0;
+  WattHours energy_discharged{0.0};
+  WattHours energy_charged{0.0};
+};
+
+/// Outcome of one step() call.
+struct StepResult {
+  Amperes actual_current{0.0};   ///< after clamping to physical limits
+  Volts terminal_voltage{0.0};
+  bool hit_cutoff = false;       ///< discharge was curtailed by the LVD
+  bool fully_charged = false;    ///< this step completed a full charge
+};
+
+class Battery {
+ public:
+  /// `capacity_scale` and `resistance_scale` model unit-to-unit
+  /// manufacturing variation (§IV-B: "deviations ... from their nominal
+  /// specification"); both default to a perfectly nominal unit.
+  Battery(LeadAcidParams chem, AgingParams aging, ThermalParams thermal,
+          double capacity_scale = 1.0, double resistance_scale = 1.0,
+          double initial_soc = 1.0);
+
+  /// Advance by dt, requesting `requested` (>0 discharge, <0 charge). The
+  /// battery clamps the request to what chemistry allows (low-voltage
+  /// disconnect, charge acceptance taper, rate caps) and reports the actual
+  /// current that flowed.
+  StepResult step(Amperes requested, Seconds dt);
+
+  /// Maintenance-rig entry: hold the unit at absorb voltage with a forced
+  /// trickle current for dt, bypassing the acceptance clamp. Whatever the
+  /// SoC cannot absorb drives gassing — this is how an equalization charger
+  /// works, and the aging model charges the water loss and corrosion for it.
+  StepResult float_charge(Amperes trickle, Seconds dt);
+
+  // --- physical observables ------------------------------------------------
+  [[nodiscard]] double soc() const { return soc_; }
+  [[nodiscard]] Volts open_circuit() const;
+  /// Terminal voltage if `current` were flowing right now.
+  [[nodiscard]] Volts terminal_voltage(Amperes current) const;
+  [[nodiscard]] Celsius temperature() const { return thermal_.temperature(); }
+  [[nodiscard]] double internal_resistance_ohms() const;
+
+  // --- capacity and health --------------------------------------------------
+  /// Nameplate capacity of this unit (includes manufacturing variation).
+  [[nodiscard]] AmpereHours nameplate() const { return nameplate_; }
+  /// Present usable capacity after aging fade.
+  [[nodiscard]] AmpereHours usable_capacity() const;
+  /// usable_capacity / nameplate, the paper's health measure ([30]).
+  [[nodiscard]] double health() const { return aging_.capacity_fraction(); }
+  [[nodiscard]] bool end_of_life() const { return aging_.end_of_life(); }
+  [[nodiscard]] const AgingState& aging_state() const { return aging_.state(); }
+  [[nodiscard]] AgingModel& aging_model() { return aging_; }
+
+  // --- limits the router needs ----------------------------------------------
+  /// Largest discharge current sustainable right now without dipping below
+  /// the low-voltage disconnect.
+  [[nodiscard]] Amperes max_discharge_current() const;
+  /// Largest charge current the cell will accept right now.
+  [[nodiscard]] Amperes max_charge_current() const;
+  /// Energy retrievable before the SoC floor `floor_soc` at a modest rate.
+  [[nodiscard]] WattHours stored_energy_above(double floor_soc) const;
+
+  [[nodiscard]] const UsageCounters& counters() const { return counters_; }
+  [[nodiscard]] const LeadAcidParams& chemistry() const { return chem_; }
+
+  /// Equivalent full cycles delivered so far (Ah discharged / nameplate).
+  [[nodiscard]] double equivalent_full_cycles() const;
+
+ private:
+  void account_discharge(Amperes i, Seconds dt, double soc_before);
+  void account_charge(Amperes i, Seconds dt);
+
+  LeadAcidParams chem_;
+  AmpereHours nameplate_;
+  double resistance_scale_;
+  AgingModel aging_;
+  ThermalModel thermal_;
+  double soc_;
+  UsageCounters counters_;
+  double last_temp_c_;
+};
+
+}  // namespace baat::battery

@@ -1,0 +1,43 @@
+#pragma once
+
+// Cycle life versus depth of discharge (Fig 10 of the paper). The paper
+// plots manufacturer data from Hoppecke, Trojan and UPG showing that cycle
+// life drops by ~50% when a battery is frequently discharged at DoD above
+// 50%. We fit each curve with the standard power law N(DoD) = N100 * DoD^-k,
+// which also reproduces the "total cycled charge is nearly constant"
+// observation ([31, 32], §III-A) when k ≈ 1.
+
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace baat::battery {
+
+using util::AmpereHours;
+
+enum class Manufacturer { Hoppecke, Trojan, UPG };
+
+[[nodiscard]] std::string_view manufacturer_name(Manufacturer m);
+
+/// N(DoD) = cycles_at_full * DoD^-exponent, clamped to DoD in [dod_min, 1].
+struct CycleLifeCurve {
+  double cycles_at_full = 1000.0;  ///< rated cycles at 100% DoD
+  double exponent = 1.1;           ///< >1 ⇒ deep cycling wastes total throughput
+  double dod_min = 0.05;           ///< below this the curve saturates
+
+  /// Rated cycle count when every cycle reaches the given depth of discharge.
+  [[nodiscard]] double cycles(double dod) const;
+
+  /// Total Ah a battery of the given nameplate capacity can deliver over its
+  /// life when cycled at a fixed DoD: N(DoD) * DoD * C.
+  [[nodiscard]] AmpereHours lifetime_throughput(double dod, AmpereHours capacity) const;
+
+  /// Fractional life consumed by discharging `throughput` Ah at depth `dod`.
+  [[nodiscard]] double damage_fraction(AmpereHours throughput, double dod,
+                                       AmpereHours capacity) const;
+};
+
+/// Fitted curve for one of the three manufacturers shown in Fig 10.
+[[nodiscard]] CycleLifeCurve curve_for(Manufacturer m);
+
+}  // namespace baat::battery

@@ -1,0 +1,78 @@
+#include "battery/kibam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+Kibam::Kibam(KibamParams params, double initial_soc) : params_(params) {
+  BAAT_REQUIRE(params_.total_capacity.value() > 0.0, "capacity must be positive");
+  BAAT_REQUIRE(params_.available_fraction > 0.0 && params_.available_fraction < 1.0,
+               "available fraction must be in (0, 1)");
+  BAAT_REQUIRE(params_.rate_constant_per_h > 0.0, "rate constant must be positive");
+  BAAT_REQUIRE(initial_soc >= 0.0 && initial_soc <= 1.0, "soc must be in [0, 1]");
+  const double q_total = params_.total_capacity.value() * initial_soc;
+  q_avail_ = q_total * params_.available_fraction;
+  q_bound_ = q_total * (1.0 - params_.available_fraction);
+}
+
+double Kibam::soc() const {
+  return (q_avail_ + q_bound_) / params_.total_capacity.value();
+}
+
+Amperes Kibam::step(Amperes current, Seconds dt) {
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  const double c = params_.available_fraction;
+  const double k = params_.rate_constant_per_h;  // 1/h
+  const double t = dt.value() / 3600.0;          // hours
+  double i = current.value();                    // A (+ discharge)
+
+  // Clamp: the available well cannot go negative on discharge, and the
+  // whole battery cannot exceed capacity on charge.
+  if (i > 0.0) {
+    i = std::min(i, q_avail_ / t);
+  } else if (i < 0.0) {
+    const double headroom =
+        params_.total_capacity.value() - (q_avail_ + q_bound_);
+    i = -std::min(-i, headroom / t);
+  }
+
+  // Exact KiBaM update (Manwell–McGowan closed form) for constant current
+  // over the step.
+  const double q0 = q_avail_ + q_bound_;
+  const double ekt = std::exp(-k * t);
+  const double q_avail_new =
+      q_avail_ * ekt + (q0 * k * c - i) * (1.0 - ekt) / k - i * c * (k * t - 1.0 + ekt) / k;
+  const double q_bound_new =
+      q_bound_ * ekt + q0 * (1.0 - c) * (1.0 - ekt) -
+      i * (1.0 - c) * (k * t - 1.0 + ekt) / k;
+
+  q_avail_ = std::max(0.0, q_avail_new);
+  q_bound_ = std::max(0.0, q_bound_new);
+  const double cap = params_.total_capacity.value();
+  if (q_avail_ + q_bound_ > cap) {
+    const double scale = cap / (q_avail_ + q_bound_);
+    q_avail_ *= scale;
+    q_bound_ *= scale;
+  }
+  return Amperes{i};
+}
+
+Amperes Kibam::max_discharge_current(Seconds duration) const {
+  BAAT_REQUIRE(duration.value() > 0.0, "duration must be positive");
+  const double c = params_.available_fraction;
+  const double k = params_.rate_constant_per_h;
+  const double t = duration.value() / 3600.0;
+  const double q0 = q_avail_ + q_bound_;
+  const double ekt = std::exp(-k * t);
+  // Largest i such that q_avail stays >= 0 at the end of the window.
+  const double denom =
+      (1.0 - ekt) / k + c * (k * t - 1.0 + ekt) / k;
+  if (denom <= 0.0) return Amperes{0.0};
+  const double numer = q_avail_ * ekt + q0 * k * c * (1.0 - ekt) / k;
+  return Amperes{std::max(0.0, numer / denom)};
+}
+
+}  // namespace baat::battery

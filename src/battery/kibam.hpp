@@ -1,0 +1,68 @@
+#pragma once
+
+// KiBaM — the Kinetic Battery Model (Manwell & McGowan), the standard
+// higher-fidelity charge model for lead-acid cells in renewable-energy
+// system studies (it underlies the Risø lifetime models the paper cites
+// [32]). Charge sits in two wells: an *available* well that supplies the
+// load directly and a *bound* well that replenishes it through a valve of
+// conductance k. The model reproduces two behaviours the simple coulomb
+// integrator cannot:
+//
+//   * rate-capacity effect — sustained high current drains the available
+//     well faster than the bound well can refill it, so usable capacity
+//     shrinks with current (an emergent Peukert effect);
+//   * recovery effect — after a heavy discharge, resting lets bound charge
+//     flow back and the battery "recovers" voltage/charge headroom.
+//
+// The class is self-contained and deliberately independent of
+// battery::Battery: it is the charge-bookkeeping layer a higher-fidelity
+// unit model can be built on, and the tests cross-validate its emergent
+// rate-capacity behaviour against the explicit Peukert law in chemistry.hpp.
+
+#include "util/units.hpp"
+
+namespace baat::battery {
+
+using util::Amperes;
+using util::AmpereHours;
+using util::Seconds;
+
+struct KibamParams {
+  AmpereHours total_capacity{35.0};  ///< q_max: both wells at full charge
+  /// Fraction of total capacity in the available well (c in the literature;
+  /// lead-acid is typically 0.2–0.4).
+  double available_fraction = 0.30;
+  /// Valve conductance between the wells, 1/hour (k'); larger = faster
+  /// internal equalization, weaker rate effects.
+  double rate_constant_per_h = 1.2;
+};
+
+class Kibam {
+ public:
+  explicit Kibam(KibamParams params, double initial_soc = 1.0);
+
+  /// Advance by dt with `current` (> 0 discharge, < 0 charge). The request
+  /// is clamped to what the available well can supply (or absorb); returns
+  /// the actual current.
+  Amperes step(Amperes current, Seconds dt);
+
+  /// Total state of charge across both wells, in [0, 1].
+  [[nodiscard]] double soc() const;
+  /// Charge immediately deliverable (the available well), Ah.
+  [[nodiscard]] AmpereHours available_charge() const { return AmpereHours{q_avail_}; }
+  /// Charge bound behind the valve, Ah.
+  [[nodiscard]] AmpereHours bound_charge() const { return AmpereHours{q_bound_}; }
+
+  /// Largest constant current sustainable for `duration` from the present
+  /// state (the KiBaM closed-form maximum-discharge bound).
+  [[nodiscard]] Amperes max_discharge_current(Seconds duration) const;
+
+  [[nodiscard]] const KibamParams& params() const { return params_; }
+
+ private:
+  KibamParams params_;
+  double q_avail_;  // Ah
+  double q_bound_;  // Ah
+};
+
+}  // namespace baat::battery

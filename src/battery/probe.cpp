@@ -1,0 +1,56 @@
+#include "battery/probe.hpp"
+
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+namespace {
+constexpr double kMaxProbeHours = 48.0;
+}
+
+Battery charge_to_full(Battery b, Seconds step) {
+  BAAT_REQUIRE(step.value() > 0.0, "step must be positive");
+  const auto max_steps = static_cast<long>(kMaxProbeHours * 3600.0 / step.value());
+  for (long i = 0; i < max_steps && b.soc() < 0.995; ++i) {
+    const Amperes accept = b.max_charge_current();
+    if (accept.value() <= 1e-6) break;
+    b.step(Amperes{-accept.value()}, step);
+  }
+  return b;
+}
+
+ProbeResult run_probe(const Battery& b, Seconds step) {
+  BAAT_REQUIRE(step.value() > 0.0, "step must be positive");
+  ProbeResult r;
+
+  Battery unit = charge_to_full(b, step);
+
+  // Fig 3 measurement: terminal voltage of the fully charged unit under an
+  // operating load. The prototype reads this during service, where a node
+  // draws on the order of C/2 from its battery — that is where the aged
+  // unit's resistance growth shows up as the paper's voltage droop.
+  r.full_voltage = unit.terminal_voltage(Amperes{unit.nameplate().value() / 2.0});
+
+  // Fig 4/5 discharge leg: ~C/10 constant current down to the cutoff.
+  const Amperes i_test{unit.nameplate().value() / 10.0};
+  const WattHours e_out_before = unit.counters().energy_discharged;
+  const AmpereHours q_before = unit.counters().ah_discharged;
+  const auto max_steps = static_cast<long>(kMaxProbeHours * 3600.0 / step.value());
+  for (long k = 0; k < max_steps && unit.soc() > 0.0; ++k) {
+    const auto res = unit.step(i_test, step);
+    if (res.actual_current.value() <= 1e-6) break;  // low-voltage disconnect
+  }
+  const double ah_delivered = (unit.counters().ah_discharged - q_before).value();
+  r.capacity_fraction = ah_delivered / unit.nameplate().value();
+  r.energy_per_cycle = unit.counters().energy_discharged - e_out_before;
+
+  // Fig 5 recharge leg: meter the energy needed to refill.
+  const WattHours e_in_before = unit.counters().energy_charged;
+  unit = charge_to_full(std::move(unit), step);
+  const double e_in = (unit.counters().energy_charged - e_in_before).value();
+  r.round_trip_efficiency = e_in > 0.0 ? r.energy_per_cycle.value() / e_in : 0.0;
+
+  return r;
+}
+
+}  // namespace baat::battery

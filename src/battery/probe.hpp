@@ -1,0 +1,28 @@
+#pragma once
+
+// Offline battery test procedures — the instrumented measurements behind
+// Figs 3, 4 and 5. Each probe works on a *copy* of the battery (Battery is
+// a value type), so probing never perturbs the unit under simulation, just
+// like the paper's monthly capacity tests on the prototype.
+
+#include "battery/battery.hpp"
+
+namespace baat::battery {
+
+struct ProbeResult {
+  Volts full_voltage{0.0};        ///< terminal voltage, fully charged, C/20 load (Fig 3)
+  double capacity_fraction = 0.0; ///< delivered Ah / nameplate on a full C/10 cycle (Fig 4)
+  util::WattHours energy_per_cycle{0.0};  ///< Wh delivered in that cycle (Fig 4)
+  double round_trip_efficiency = 0.0;     ///< Wh out / Wh in over a full cycle (Fig 5)
+};
+
+/// Fully recharge a battery copy at its natural acceptance rate. Returns the
+/// charged copy. `step` is the integration step of the test rig.
+Battery charge_to_full(Battery b, Seconds step = util::minutes(1.0));
+
+/// Run the monthly test procedure on a copy of `b`: charge to full, read the
+/// loaded terminal voltage, discharge at ~C/10 to the cutoff while metering
+/// energy, then recharge while metering energy.
+ProbeResult run_probe(const Battery& b, Seconds step = util::minutes(1.0));
+
+}  // namespace baat::battery

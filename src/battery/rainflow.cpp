@@ -1,0 +1,86 @@
+#include "battery/rainflow.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+namespace {
+
+/// Compress a series to its turning points (local extrema), dropping flats.
+std::vector<double> turning_points(const std::vector<double>& xs) {
+  std::vector<double> tp;
+  for (double x : xs) {
+    BAAT_REQUIRE(x >= 0.0 && x <= 1.0, "SoC values must be in [0, 1]");
+    if (!tp.empty() && std::fabs(x - tp.back()) < 1e-12) continue;
+    if (tp.size() >= 2) {
+      const double a = tp[tp.size() - 2];
+      const double b = tp.back();
+      // b is not a turning point if the series keeps moving the same way.
+      if ((b - a > 0.0 && x > b) || (b - a < 0.0 && x < b)) {
+        tp.back() = x;
+        continue;
+      }
+    }
+    tp.push_back(x);
+  }
+  return tp;
+}
+
+}  // namespace
+
+std::vector<RainflowCycle> rainflow_count(const std::vector<double>& soc_series) {
+  const std::vector<double> tp = turning_points(soc_series);
+  std::vector<RainflowCycle> cycles;
+  if (tp.size() < 2) return cycles;
+
+  // ASTM E1049-85 §5.4.4 rainflow counting. Ranges that include the series'
+  // starting point count as half cycles; interior ranges count as full
+  // cycles; the residue counts as half cycles.
+  std::vector<double> stack;
+  for (double point : tp) {
+    stack.push_back(point);
+    while (stack.size() >= 3) {
+      const double x = std::fabs(stack[stack.size() - 1] - stack[stack.size() - 2]);
+      const double y = std::fabs(stack[stack.size() - 2] - stack[stack.size() - 3]);
+      if (x < y) break;
+      const double hi = stack[stack.size() - 2];
+      const double lo = stack[stack.size() - 3];
+      if (stack.size() == 3) {
+        // Y contains the starting point: half cycle, drop the start.
+        if (y > 1e-12) cycles.push_back(RainflowCycle{y, 0.5, (hi + lo) / 2.0});
+        stack.erase(stack.begin());
+      } else {
+        // Interior range: one full cycle, remove its two points.
+        if (y > 1e-12) cycles.push_back(RainflowCycle{y, 1.0, (hi + lo) / 2.0});
+        stack.erase(stack.end() - 3, stack.end() - 1);
+      }
+    }
+  }
+  // Residue: successive pairs count as half cycles.
+  for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+    const double depth = std::fabs(stack[i + 1] - stack[i]);
+    if (depth < 1e-12) continue;
+    cycles.push_back(RainflowCycle{depth, 0.5, (stack[i + 1] + stack[i]) / 2.0});
+  }
+  return cycles;
+}
+
+double equivalent_full_cycles(const std::vector<RainflowCycle>& spectrum) {
+  double efc = 0.0;
+  for (const RainflowCycle& c : spectrum) efc += c.count * c.depth;
+  return efc;
+}
+
+double rainflow_damage(const std::vector<RainflowCycle>& spectrum,
+                       const CycleLifeCurve& curve) {
+  double damage = 0.0;
+  for (const RainflowCycle& c : spectrum) {
+    if (c.depth <= 0.0) continue;
+    damage += c.count / curve.cycles(std::min(1.0, c.depth));
+  }
+  return damage;
+}
+
+}  // namespace baat::battery

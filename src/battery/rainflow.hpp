@@ -1,0 +1,38 @@
+#pragma once
+
+// Rainflow cycle counting over an SoC time series. The cycle-life curves of
+// Fig 10 are defined per *cycle at a depth*; a real usage log is an
+// irregular SoC wiggle, so predicting damage from it requires decomposing
+// the wiggle into equivalent full and half cycles — the rainflow algorithm
+// (ASTM E1049, the same tool the battery-lifetime literature the paper
+// cites [32] uses). The extracted spectrum feeds CycleLifeCurve damage and
+// the lifetime predictor in core/.
+
+#include <vector>
+
+#include "battery/cycle_life.hpp"
+
+namespace baat::battery {
+
+/// One counted cycle: a depth-of-discharge swing and how many times it
+/// occurred (0.5 for residual half cycles).
+struct RainflowCycle {
+  double depth = 0.0;  ///< SoC swing, fraction of capacity
+  double count = 1.0;  ///< 1 full cycle or 0.5 half cycle
+  double mean = 0.0;   ///< mean SoC of the swing (for low-SoC weighting)
+};
+
+/// Extract the rainflow cycle spectrum from an SoC series (values in [0,1]).
+/// The series is reduced to turning points first; series shorter than two
+/// turning points yield an empty spectrum.
+std::vector<RainflowCycle> rainflow_count(const std::vector<double>& soc_series);
+
+/// Equivalent full cycles in a spectrum: Σ count · depth.
+double equivalent_full_cycles(const std::vector<RainflowCycle>& spectrum);
+
+/// Fractional life consumed by a spectrum under a cycle-life curve:
+/// Σ count / N(depth)  (Miner's linear damage accumulation).
+double rainflow_damage(const std::vector<RainflowCycle>& spectrum,
+                       const CycleLifeCurve& curve);
+
+}  // namespace baat::battery

@@ -1,0 +1,48 @@
+#include "battery/service.hpp"
+
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+EqualizationResult equalize(Battery& unit, const EqualizationParams& params) {
+  BAAT_REQUIRE(params.hold.value() > 0.0, "hold duration must be positive");
+  BAAT_REQUIRE(params.step.value() > 0.0, "step must be positive");
+  BAAT_REQUIRE(params.trickle_c_rate > 0.0, "trickle rate must be positive");
+  BAAT_REQUIRE(params.residual_stratification >= 0.0 &&
+                   params.residual_stratification <= 1.0,
+               "residual fraction must be in [0, 1]");
+
+  EqualizationResult result;
+  result.stratification_before = unit.aging_state().stratification;
+  const double water_before = unit.aging_state().water_loss;
+
+  // Bulk charge to full at the natural acceptance rate.
+  const auto max_bulk_steps =
+      static_cast<long>(util::hours(24.0).value() / params.step.value());
+  for (long i = 0; i < max_bulk_steps && unit.soc() < 0.995; ++i) {
+    const Amperes accept = unit.max_charge_current();
+    if (accept.value() <= 1e-6) break;
+    unit.step(Amperes{-accept.value()}, params.step);
+  }
+
+  // Equalization hold: trickle overcharge at the full plateau. The cell is
+  // full, so nearly all of this current gasses — the aging model accrues
+  // the water loss and voltage-accelerated corrosion on its own.
+  const double trickle = params.trickle_c_rate * unit.nameplate().value();
+  const auto hold_steps = static_cast<long>(params.hold.value() / params.step.value());
+  for (long i = 0; i < hold_steps; ++i) {
+    unit.float_charge(Amperes{trickle}, params.step);
+  }
+
+  // The stirred electrolyte: stratification collapses to a residual.
+  AgingState state = unit.aging_state();
+  state.stratification *= params.residual_stratification;
+  unit.aging_model().set_state(state);
+
+  result.stratification_after = unit.aging_state().stratification;
+  result.water_loss_added = unit.aging_state().water_loss - water_before;
+  result.duration = params.hold;
+  return result;
+}
+
+}  // namespace baat::battery

@@ -1,0 +1,33 @@
+#pragma once
+
+// Battery service procedures. Equalization is the classic lead-acid
+// maintenance treatment (§II-B.5's stratification is "reduced by a full
+// recharge"; field practice goes further with a controlled overcharge):
+// hold the unit at absorb voltage for a few hours so gassing stirs the
+// electrolyte. It reverses stratification almost completely — at the price
+// of water loss and some corrosion, which the aging model charges
+// faithfully since the hold happens above the gassing knee.
+
+#include "battery/battery.hpp"
+
+namespace baat::battery {
+
+struct EqualizationResult {
+  double stratification_before = 0.0;
+  double stratification_after = 0.0;
+  double water_loss_added = 0.0;
+  Seconds duration{0.0};
+};
+
+struct EqualizationParams {
+  Seconds hold{util::hours(3.0)};          ///< time at absorb voltage once full
+  Seconds step{util::minutes(1.0)};        ///< integration step of the rig
+  double trickle_c_rate = 0.04;            ///< hold current, ×C20 (forces gassing)
+  double residual_stratification = 0.05;   ///< surviving fraction after the stir
+};
+
+/// Run an equalization charge on the unit (in place: this is maintenance on
+/// the real battery, not a probe). Charges to full first, then holds.
+EqualizationResult equalize(Battery& unit, const EqualizationParams& params = {});
+
+}  // namespace baat::battery

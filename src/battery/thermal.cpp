@@ -1,0 +1,33 @@
+#include "battery/thermal.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+ThermalModel::ThermalModel(ThermalParams params) : params_(params), temp_(params.ambient) {
+  BAAT_REQUIRE(params_.heat_capacity_j_per_k > 0.0, "heat capacity must be positive");
+  BAAT_REQUIRE(params_.thermal_resistance_k_per_w > 0.0, "thermal resistance must be positive");
+}
+
+void ThermalModel::step(Watts loss, Seconds dt) {
+  BAAT_REQUIRE(loss.value() >= 0.0, "loss power must be >= 0");
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  // Exact exponential update of dT/dt = (P - (T - Ta)/Rth) / Cth; this stays
+  // stable even if a caller steps with a very large dt.
+  const double tau = params_.heat_capacity_j_per_k * params_.thermal_resistance_k_per_w;
+  const double t_inf = steady_state(loss).value();
+  const double decay = std::exp(-dt.value() / tau);
+  temp_ = Celsius{t_inf + (temp_.value() - t_inf) * decay};
+}
+
+Celsius ThermalModel::steady_state(Watts loss) const {
+  return Celsius{params_.ambient.value() + loss.value() * params_.thermal_resistance_k_per_w};
+}
+
+double arrhenius_factor(Celsius t) {
+  return std::pow(2.0, (t.value() - 20.0) / 10.0);
+}
+
+}  // namespace baat::battery

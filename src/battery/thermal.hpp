@@ -1,0 +1,44 @@
+#pragma once
+
+// First-order RC thermal model of a battery block. Ohmic (I²R) and gassing
+// losses heat the mass; heat leaks to ambient through a fixed thermal
+// resistance. Temperature feeds the Arrhenius factor in the aging model —
+// the paper cites the classic "+10 °C halves lifetime" rule (§III-E, [26]).
+
+#include "util/units.hpp"
+
+namespace baat::battery {
+
+using util::Celsius;
+using util::Seconds;
+using util::Watts;
+
+struct ThermalParams {
+  double heat_capacity_j_per_k = 8000.0;   ///< ~11 kg block, lead + acid + case
+  double thermal_resistance_k_per_w = 0.8; ///< block surface to rack air
+  Celsius ambient{25.0};
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params);
+
+  /// Advance by dt with the given internal loss power.
+  void step(Watts loss, Seconds dt);
+
+  [[nodiscard]] Celsius temperature() const { return temp_; }
+  [[nodiscard]] Celsius ambient() const { return params_.ambient; }
+  void set_ambient(Celsius t) { params_.ambient = t; }
+
+  /// Steady-state temperature for a sustained loss power.
+  [[nodiscard]] Celsius steady_state(Watts loss) const;
+
+ private:
+  ThermalParams params_;
+  Celsius temp_;
+};
+
+/// Lifetime acceleration factor relative to 20 °C: doubles every +10 °C.
+double arrhenius_factor(Celsius t);
+
+}  // namespace baat::battery

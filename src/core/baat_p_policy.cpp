@@ -1,0 +1,54 @@
+#include <algorithm>
+
+#include "core/policies.hpp"
+#include "core/slowdown.hpp"
+
+namespace baat::core {
+
+BaatPredictivePolicy::BaatPredictivePolicy(const PolicyParams& params)
+    : params_(params), inner_(params, /*planned=*/false), forecaster_(params.forecast) {}
+
+Actions BaatPredictivePolicy::on_control_tick(const PolicyContext& ctx) {
+  forecaster_.observe(ctx.time_of_day, ctx.solar_now);
+  Actions actions = inner_.on_control_tick(ctx);
+
+  // Energy budgeting over the rest of the duty window: if the forecast
+  // solar plus the charge stored above the slowdown knee cannot cover the
+  // fleet's remaining demand, shed power *now* — before the batteries are
+  // dragged through the deep-discharge band reactive BAAT waits for.
+  const double remaining_h =
+      std::max(0.0, (params_.day_end - ctx.time_of_day).value()) / 3600.0;
+  if (remaining_h <= 0.0) return actions;
+
+  double demand_wh = 0.0;
+  double reserve_wh = 0.0;
+  for (const NodeView& n : ctx.nodes) {
+    demand_wh += n.server_power.value() * remaining_h;
+    // Charge above the knee, through the inverter, at nominal voltage — a
+    // controller-side estimate from the power table's SoC.
+    const double above = std::max(0.0, n.soc - params_.slowdown.soc_trigger);
+    reserve_wh += above * params_.planned.nameplate.value() * 12.0 * 0.92;
+  }
+  const double solar_wh = forecaster_.forecast_remaining_energy(ctx.time_of_day).value();
+  const double shortfall = demand_wh - solar_wh - reserve_wh;
+  if (shortfall <= 0.0) return actions;
+
+  // Preemptive cap: step every node that is not already acting one DVFS
+  // level down (dedup against whatever the inner policy requested).
+  for (const NodeView& n : ctx.nodes) {
+    if (!n.powered_on || n.dvfs_level == 0) continue;
+    const bool already = std::any_of(actions.dvfs.begin(), actions.dvfs.end(),
+                                     [&n](const DvfsAction& a) { return a.node == n.index; });
+    if (already) continue;
+    actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1});
+  }
+  return actions;
+}
+
+std::optional<std::size_t> BaatPredictivePolicy::place_vm(const PolicyContext& ctx,
+                                                          double cores, double mem_gb,
+                                                          const DemandProfile& demand) {
+  return inner_.place_vm(ctx, cores, mem_gb, demand);
+}
+
+}  // namespace baat::core

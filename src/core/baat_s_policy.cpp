@@ -1,0 +1,37 @@
+#include "core/policies.hpp"
+#include "core/slowdown.hpp"
+
+namespace baat::core {
+
+Actions BaatSPolicy::on_control_tick(const PolicyContext& ctx) {
+  Actions actions;
+  for (const NodeView& n : ctx.nodes) {
+    switch (assess_slowdown(n, params_.slowdown)) {
+      case SlowdownDecision::Act:
+        // DVFS-only slowdown: step one level down ("perform DVFS ... to
+        // reduce power demand and promote the chances of battery charging",
+        // §IV-C.2).
+        if (n.dvfs_level > 0) {
+          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1});
+        }
+        break;
+      case SlowdownDecision::Restore:
+        if (n.dvfs_level < n.dvfs_top) {
+          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level + 1});
+        }
+        break;
+      case SlowdownDecision::None:
+        break;
+    }
+  }
+  return actions;
+}
+
+std::optional<std::size_t> BaatSPolicy::place_vm(const PolicyContext& ctx, double cores,
+                                                 double mem_gb,
+                                                 const DemandProfile& /*demand*/) {
+  // BAAT-s has no placement intelligence (Table 4): least-loaded, like e-Buff.
+  return place_least_loaded(ctx, cores, mem_gb);
+}
+
+}  // namespace baat::core

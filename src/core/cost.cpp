@@ -1,0 +1,24 @@
+#include "core/cost.hpp"
+
+#include "util/require.hpp"
+
+namespace baat::core {
+
+Dollars annual_battery_depreciation(const CostParams& p, double lifetime_years) {
+  BAAT_REQUIRE(lifetime_years > 0.0, "lifetime must be positive");
+  return Dollars{p.battery_unit_cost.value() * static_cast<double>(p.battery_units) /
+                 lifetime_years};
+}
+
+Dollars server_annual_cost(const CostParams& p) {
+  BAAT_REQUIRE(p.server_life_years > 0.0, "server life must be positive");
+  return Dollars{p.server_cost.value() / p.server_life_years +
+                 p.server_annual_opex.value()};
+}
+
+double servers_addable_at_constant_tco(const CostParams& p, Dollars annual_savings) {
+  BAAT_REQUIRE(annual_savings.value() >= 0.0, "savings must be >= 0");
+  return annual_savings.value() / server_annual_cost(p).value();
+}
+
+}  // namespace baat::core

@@ -1,0 +1,34 @@
+#pragma once
+
+// Cost and TCO model (Figs 16/17). Longer battery life cuts annual
+// depreciation; §VI-D's key observation is that the savings can buy extra
+// servers without raising total cost of ownership.
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace baat::core {
+
+using util::Dollars;
+
+struct CostParams {
+  Dollars battery_unit_cost{90.0};     ///< one 12 V 35 Ah VRLA block
+  std::size_t battery_units = 12;      ///< the prototype's array (Fig 11)
+  Dollars server_cost{2000.0};
+  double server_life_years = 5.0;      ///< IT refresh cadence
+  Dollars server_annual_opex{150.0};   ///< power/maintenance per server-year
+};
+
+/// Annual battery depreciation for a fleet whose units last `lifetime_years`.
+Dollars annual_battery_depreciation(const CostParams& p, double lifetime_years);
+
+/// Annual cost of owning one server (capex amortized + opex).
+Dollars server_annual_cost(const CostParams& p);
+
+/// Servers that can be added while keeping TCO constant, given the annual
+/// battery savings of a better policy (Fig 17). Fractional result — callers
+/// floor it for a purchasable count.
+double servers_addable_at_constant_tco(const CostParams& p, Dollars annual_savings);
+
+}  // namespace baat::core

@@ -1,0 +1,69 @@
+#include "core/demand.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::core {
+
+std::string_view power_class_name(PowerClass c) {
+  return c == PowerClass::Large ? "Large" : "Small";
+}
+
+std::string_view energy_class_name(EnergyClass c) {
+  return c == EnergyClass::More ? "More" : "Less";
+}
+
+DemandProfile profile_for(const workload::Spec& spec, const server::ServerSpec& host) {
+  DemandProfile p;
+  // Peak utilization of the VM's vCPUs, scaled by the share of the host it
+  // occupies, against the host's dynamic power range.
+  const double peak_util = util::clamp01(spec.base_util + spec.swing);
+  const double host_share = std::min(1.0, spec.cores / host.cores);
+  p.power_fraction_of_peak = peak_util * host_share;
+
+  const double dyn_range_w = (host.peak - host.idle).value();
+  const double avg_util = spec.base_util;
+  // Services (duration 0) are assessed per day — they keep requesting energy
+  // for as long as they run.
+  const double duration_h =
+      spec.duration.value() > 0.0 ? spec.duration.value() / 3600.0 : 24.0;
+  p.energy_request = WattHours{avg_util * host_share * dyn_range_w * duration_h};
+  return p;
+}
+
+DemandClass classify(const DemandProfile& profile, const DemandThresholds& thresholds) {
+  BAAT_REQUIRE(profile.power_fraction_of_peak >= 0.0, "power fraction must be >= 0");
+  BAAT_REQUIRE(profile.energy_request.value() >= 0.0, "energy request must be >= 0");
+  DemandClass c;
+  c.power = profile.power_fraction_of_peak > thresholds.power_large_fraction
+                ? PowerClass::Large
+                : PowerClass::Small;
+  c.energy = profile.energy_request > thresholds.energy_more ? EnergyClass::More
+                                                             : EnergyClass::Less;
+  return c;
+}
+
+AgingWeights weights_for(const DemandClass& c) {
+  // Table 3, with §IV-B.2b's mapping High = 0.5, Medium = 0.3, Low = 0.2:
+  //   Power  Energy | ΔNAT    ΔCF   ΔPC
+  //   Large  Less   | Medium  High  High
+  //   Large  More   | High    High  High
+  //   Small  More   | High    Low   Medium
+  //   Small  Less   | Low     Low   Low
+  constexpr double kHigh = 0.50;
+  constexpr double kMedium = 0.30;
+  constexpr double kLow = 0.20;
+  if (c.power == PowerClass::Large && c.energy == EnergyClass::Less) {
+    return AgingWeights{kHigh, kHigh, kMedium};
+  }
+  if (c.power == PowerClass::Large && c.energy == EnergyClass::More) {
+    return AgingWeights{kHigh, kHigh, kHigh};
+  }
+  if (c.power == PowerClass::Small && c.energy == EnergyClass::More) {
+    return AgingWeights{kLow, kMedium, kHigh};
+  }
+  return AgingWeights{kLow, kLow, kLow};
+}
+
+}  // namespace baat::core

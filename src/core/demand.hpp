@@ -1,0 +1,62 @@
+#pragma once
+
+// Table 3: the (power, energy) demand classification of a workload and its
+// implied sensitivity of each aging metric. "The power demand is treated as
+// Large if the load power consumption exceeds 50% of the peak power";
+// energy is More/Less by the load's running length and total energy request.
+
+#include <string_view>
+
+#include "server/server.hpp"
+#include "util/units.hpp"
+#include "workload/workload.hpp"
+
+namespace baat::core {
+
+using util::WattHours;
+
+enum class PowerClass { Large, Small };
+enum class EnergyClass { More, Less };
+
+[[nodiscard]] std::string_view power_class_name(PowerClass c);
+[[nodiscard]] std::string_view energy_class_name(EnergyClass c);
+
+struct DemandClass {
+  PowerClass power = PowerClass::Small;
+  EnergyClass energy = EnergyClass::Less;
+
+  friend bool operator==(const DemandClass&, const DemandClass&) = default;
+};
+
+/// Raw demand numbers a classifier consumes.
+struct DemandProfile {
+  /// Peak load power as a fraction of the server's peak dynamic range.
+  double power_fraction_of_peak = 0.0;
+  /// Total energy the load will request over its run (services: per day).
+  WattHours energy_request{0.0};
+};
+
+struct DemandThresholds {
+  double power_large_fraction = 0.50;      ///< Table 3's 50%-of-peak rule
+  WattHours energy_more{200.0};            ///< More/Less split for the request
+};
+
+/// Estimate a workload's demand profile on a given server class from its
+/// spec (the "coarse granularity power profile" of §IV-B.2a).
+DemandProfile profile_for(const workload::Spec& spec, const server::ServerSpec& host);
+
+/// Table 3 classification.
+DemandClass classify(const DemandProfile& profile,
+                     const DemandThresholds& thresholds = {});
+
+/// Table 3's sensitivity of a metric to the demand class, turned into the
+/// Eq 6 weighting factors: High → 0.50, Medium → 0.30, Low → 0.20.
+struct AgingWeights {
+  double a_cf = 0.3;
+  double b_pc = 0.3;
+  double c_nat = 0.3;
+};
+
+[[nodiscard]] AgingWeights weights_for(const DemandClass& c);
+
+}  // namespace baat::core

@@ -1,0 +1,23 @@
+#include "core/policies.hpp"
+
+namespace baat::core {
+
+Actions EBuffPolicy::on_control_tick(const PolicyContext& ctx) {
+  // e-Buff is aging-oblivious: keep everything at nominal frequency and let
+  // the router drain batteries as deep as chemistry allows.
+  Actions actions;
+  for (const NodeView& n : ctx.nodes) {
+    if (n.dvfs_level != n.dvfs_top) {
+      actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_top});
+    }
+  }
+  return actions;
+}
+
+std::optional<std::size_t> EBuffPolicy::place_vm(const PolicyContext& ctx, double cores,
+                                                 double mem_gb,
+                                                 const DemandProfile& /*demand*/) {
+  return place_least_loaded(ctx, cores, mem_gb);
+}
+
+}  // namespace baat::core

@@ -1,0 +1,53 @@
+#include "core/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::core {
+
+SolarForecaster::SolarForecaster(ForecastParams params)
+    : params_(params), attenuation_(params.prior_attenuation) {
+  BAAT_REQUIRE(params_.plant_peak.value() > 0.0, "plant peak must be positive");
+  BAAT_REQUIRE(params_.attenuation_window.value() > 0.0, "window must be positive");
+  BAAT_REQUIRE(params_.prior_attenuation >= 0.0 && params_.prior_attenuation <= 1.0,
+               "prior attenuation must be in [0, 1]");
+}
+
+void SolarForecaster::observe(Seconds time_of_day, Watts output) {
+  BAAT_REQUIRE(output.value() >= 0.0, "output must be >= 0");
+  const double clear = solar::clear_sky_fraction(params_.window, time_of_day);
+  // Attenuation is only observable when the clear-sky envelope is
+  // meaningfully above zero (dawn/dusk readings carry no signal).
+  if (clear < 0.05) return;
+  const double observed = std::clamp(
+      output.value() / (params_.plant_peak.value() * clear), 0.0, 1.0);
+  double alpha = 1.0;
+  if (last_obs_.value() >= 0.0) {
+    const double gap = std::max(0.0, (time_of_day - last_obs_).value());
+    alpha = 1.0 - std::exp(-gap / params_.attenuation_window.value());
+  }
+  attenuation_ += alpha * (observed - attenuation_);
+  last_obs_ = time_of_day;
+}
+
+Watts SolarForecaster::forecast_power(Seconds time_of_day) const {
+  const double clear = solar::clear_sky_fraction(params_.window, time_of_day);
+  return Watts{params_.plant_peak.value() * clear * attenuation_};
+}
+
+WattHours SolarForecaster::forecast_remaining_energy(Seconds from) const {
+  const double start = std::max(from.value(), params_.window.sunrise.value());
+  const double end = params_.window.sunset.value();
+  if (start >= end) return WattHours{0.0};
+  // Integrate the persistence forecast over the rest of the sun window at
+  // 5-minute resolution.
+  double wh = 0.0;
+  for (double t = start; t < end; t += 300.0) {
+    wh += forecast_power(Seconds{t}).value() * 300.0 / 3600.0;
+  }
+  return WattHours{wh};
+}
+
+}  // namespace baat::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Short-horizon solar forecasting — the input a *proactive* battery manager
+// needs (§IV-D "proactively predicts battery lifetime"; the intermittency
+// handling of §IV-C presumes some view of whether the supply will return).
+// The estimator blends the deterministic clear-sky envelope with an EWMA of
+// the observed attenuation (persistence forecasting — the standard baseline
+// for sub-hour solar horizons).
+
+#include "solar/irradiance.hpp"
+#include "util/units.hpp"
+
+namespace baat::core {
+
+using util::Seconds;
+using util::WattHours;
+using util::Watts;
+
+struct ForecastParams {
+  solar::SunWindow window{};
+  Watts plant_peak{1500.0};
+  /// EWMA horizon for the observed attenuation.
+  Seconds attenuation_window{util::minutes(30.0)};
+  /// Attenuation assumed before any observation arrives.
+  double prior_attenuation = 0.6;
+};
+
+class SolarForecaster {
+ public:
+  explicit SolarForecaster(ForecastParams params);
+
+  /// Feed one observation of plant output at a time of day.
+  void observe(Seconds time_of_day, Watts output);
+
+  /// Estimated attenuation (cloudiness) right now, in [0, 1].
+  [[nodiscard]] double attenuation() const { return attenuation_; }
+
+  /// Forecast plant output at a (later) time of day under persistence.
+  [[nodiscard]] Watts forecast_power(Seconds time_of_day) const;
+
+  /// Forecast the solar energy still to come between `from` and sunset.
+  [[nodiscard]] WattHours forecast_remaining_energy(Seconds from) const;
+
+ private:
+  ForecastParams params_;
+  double attenuation_;
+  Seconds last_obs_{-1.0};
+};
+
+}  // namespace baat::core

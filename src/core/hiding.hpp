@@ -1,0 +1,33 @@
+#pragma once
+
+// Fig 8 — aging-driven scheduling that *hides* aging variation: place new
+// load on the healthiest battery node (smallest Eq 6 weighted aging) and,
+// when the spread across the fleet grows, migrate work off the worst node.
+
+#include <optional>
+
+#include "core/policy.hpp"
+#include "core/weighted_aging.hpp"
+
+namespace baat::core {
+
+/// Weighted aging of every node for a given demand class.
+std::vector<double> node_scores(const PolicyContext& ctx, const AgingWeights& w,
+                                const AgingSignalParams& p);
+
+/// Fig 8 placement: among powered-on nodes with room for (cores, mem),
+/// the one with the smallest weighted aging for this demand's class.
+std::optional<std::size_t> select_placement(
+    const PolicyContext& ctx, double cores, double mem_gb, const DemandProfile& demand,
+    const DemandThresholds& thresholds, const AgingSignalParams& signals,
+    std::optional<AgingWeights> weights_override = {});
+
+/// Consolidation-time rebalance: if the weighted-aging spread between the
+/// worst and best node exceeds `threshold`, propose moving one migratable
+/// VM from the worst node to the best node that can host it.
+std::optional<MigrationAction> propose_rebalance(const PolicyContext& ctx,
+                                                 const AgingWeights& w,
+                                                 const AgingSignalParams& signals,
+                                                 double threshold);
+
+}  // namespace baat::core

@@ -1,0 +1,35 @@
+#include "core/lifetime.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::core {
+
+LifetimeEstimate extrapolate_lifetime(double health_start, double health_now,
+                                      double elapsed_days, double eol_health,
+                                      double max_days) {
+  BAAT_REQUIRE(health_start > 0.0 && health_start <= 1.0, "health_start must be in (0, 1]");
+  BAAT_REQUIRE(health_now > 0.0 && health_now <= health_start,
+               "health_now must be in (0, health_start]");
+  BAAT_REQUIRE(elapsed_days > 0.0, "elapsed_days must be positive");
+  BAAT_REQUIRE(eol_health > 0.0 && eol_health < 1.0, "eol_health must be in (0, 1)");
+
+  const double fade = health_start - health_now;
+  if (fade <= 1e-12) return LifetimeEstimate{max_days};
+  const double fade_per_day = fade / elapsed_days;
+  const double days = (health_start - eol_health) / fade_per_day;
+  return LifetimeEstimate{std::min(days, max_days)};
+}
+
+LifetimeEstimate lifetime_from_throughput(const battery::CycleLifeCurve& curve,
+                                          AmpereHours nameplate, double typical_dod,
+                                          AmpereHours daily_throughput,
+                                          double max_days) {
+  BAAT_REQUIRE(daily_throughput.value() >= 0.0, "daily throughput must be >= 0");
+  if (daily_throughput.value() <= 1e-9) return LifetimeEstimate{max_days};
+  const AmpereHours budget = curve.lifetime_throughput(typical_dod, nameplate);
+  return LifetimeEstimate{std::min(budget.value() / daily_throughput.value(), max_days)};
+}
+
+}  // namespace baat::core

@@ -1,0 +1,36 @@
+#pragma once
+
+// Battery lifetime prediction (§IV-D "proactively predicts battery
+// lifetime"; Figs 14/15). Two estimators that the benches cross-check:
+//
+//  1. health extrapolation — fit the observed capacity-fade rate and project
+//     when health crosses the 80% end-of-life line ([30]);
+//  2. throughput budgeting — divide the cycle-life curve's lifetime Ah at
+//     the observed typical DoD by the observed daily Ah draw.
+
+#include "battery/cycle_life.hpp"
+#include "util/units.hpp"
+
+namespace baat::core {
+
+using util::AmpereHours;
+
+struct LifetimeEstimate {
+  double days = 0.0;          ///< expected total service life, days
+  double years() const { return days / 365.0; }
+};
+
+/// Estimator 1: health moved from `health_start` to `health_now` over
+/// `elapsed_days`; linear projection to `eol_health`. If no fade was
+/// observed, returns `max_days` (the battery outlives the horizon).
+LifetimeEstimate extrapolate_lifetime(double health_start, double health_now,
+                                      double elapsed_days, double eol_health = 0.80,
+                                      double max_days = 20.0 * 365.0);
+
+/// Estimator 2: lifetime Ah at the typical cycling depth divided by daily Ah.
+LifetimeEstimate lifetime_from_throughput(const battery::CycleLifeCurve& curve,
+                                          AmpereHours nameplate, double typical_dod,
+                                          AmpereHours daily_throughput,
+                                          double max_days = 20.0 * 365.0);
+
+}  // namespace baat::core

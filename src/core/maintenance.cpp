@@ -1,0 +1,61 @@
+#include "core/maintenance.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::core {
+
+MaintenancePlan plan_replacements(const std::vector<NodeWear>& fleet,
+                                  const MaintenancePlanParams& params,
+                                  const CostParams& cost) {
+  BAAT_REQUIRE(params.horizon_days > 0.0, "horizon must be positive");
+  BAAT_REQUIRE(params.batching_window_days >= 0.0, "batching window must be >= 0");
+
+  // Expand each node's periodic replacements over the horizon.
+  struct Due {
+    double day;
+    std::size_t node;
+  };
+  std::vector<Due> due;
+  for (const NodeWear& w : fleet) {
+    BAAT_REQUIRE(w.eol_day > 0.0, "projected end-of-life must be positive");
+    for (double d = w.eol_day; d < params.horizon_days; d += w.eol_day) {
+      due.push_back(Due{d, w.node});
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
+    return a.day < b.day || (a.day == b.day && a.node < b.node);
+  });
+
+  MaintenancePlan plan;
+  plan.total_replacements = static_cast<double>(due.size());
+
+  // Greedy batching: a visit at the first due date absorbs everything due
+  // within the window (serviced slightly early — safe, never late).
+  std::size_t i = 0;
+  while (i < due.size()) {
+    ReplacementEvent visit;
+    visit.day = due[i].day;
+    while (i < due.size() && due[i].day <= visit.day + params.batching_window_days) {
+      visit.nodes.push_back(due[i].node);
+      ++i;
+    }
+    plan.visits.push_back(std::move(visit));
+  }
+
+  const double unit_cost =
+      cost.battery_unit_cost.value() * plan.total_replacements;
+  const double visit_cost =
+      params.truck_roll_cost.value() * static_cast<double>(plan.visits.size());
+  plan.total_cost = Dollars{unit_cost + visit_cost};
+  return plan;
+}
+
+std::size_t visits_saved(const MaintenancePlan& plan) {
+  std::size_t total_units = 0;
+  for (const ReplacementEvent& v : plan.visits) total_units += v.nodes.size();
+  return total_units - plan.visits.size();
+}
+
+}  // namespace baat::core

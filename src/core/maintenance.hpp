@@ -1,0 +1,60 @@
+#pragma once
+
+// Fleet battery maintenance planning — the operational layer behind the
+// paper's economics (§VI-D): "datacenter operators have to replace
+// batteries that undergo faster aging irregularly, which unavoidably
+// increases battery maintenance and replacement cost." Given per-node SoH
+// projections, this plans replacements over the datacenter's remaining life
+// and prices the plan, so the Fig 16/17 savings can be traced to concrete
+// replacement schedules instead of a single depreciation number.
+
+#include <vector>
+
+#include "core/cost.hpp"
+#include "util/units.hpp"
+
+namespace baat::core {
+
+/// One node's projected battery wear.
+struct NodeWear {
+  std::size_t node = 0;
+  double eol_day = 0.0;  ///< projected end-of-life, days from now
+};
+
+struct ReplacementEvent {
+  double day = 0.0;
+  std::vector<std::size_t> nodes;  ///< units swapped in this service visit
+};
+
+struct MaintenancePlanParams {
+  /// Remaining datacenter life to plan for (after which everything is
+  /// scrapped anyway — §VI-G's synchronization argument).
+  double horizon_days = 10.0 * 365.0;
+  /// Replacements within this window are batched into one service visit —
+  /// the irregular-replacement overhead the paper warns about is per visit.
+  double batching_window_days = 30.0;
+  /// Fixed cost of rolling a technician to the site, per visit.
+  Dollars truck_roll_cost{120.0};
+};
+
+struct MaintenancePlan {
+  std::vector<ReplacementEvent> visits;
+  double total_replacements = 0.0;
+  Dollars total_cost{0.0};  ///< units + truck rolls over the horizon
+
+  [[nodiscard]] Dollars annualized(double horizon_days) const {
+    return Dollars{total_cost.value() / (horizon_days / 365.0)};
+  }
+};
+
+/// Build the replacement schedule: each node is replaced every `eol_day`
+/// days (its observed wear cadence) until the horizon; nearby replacements
+/// are batched into shared service visits.
+MaintenancePlan plan_replacements(const std::vector<NodeWear>& fleet,
+                                  const MaintenancePlanParams& params,
+                                  const CostParams& cost);
+
+/// Number of service visits saved by batching, vs one visit per unit.
+std::size_t visits_saved(const MaintenancePlan& plan);
+
+}  // namespace baat::core

@@ -1,0 +1,36 @@
+#include "core/planned.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::core {
+
+DodGoal planned_dod(AmpereHours c_total, AmpereHours c_used, double cycles_plan,
+                    AmpereHours per_cycle_capacity, double dod_min, double dod_max) {
+  BAAT_REQUIRE(c_total.value() > 0.0, "C_total must be positive");
+  BAAT_REQUIRE(c_used.value() >= 0.0, "C_used must be >= 0");
+  BAAT_REQUIRE(cycles_plan > 0.0, "Cycle_plan must be positive");
+  BAAT_REQUIRE(per_cycle_capacity.value() > 0.0, "per-cycle capacity must be positive");
+  BAAT_REQUIRE(dod_min > 0.0 && dod_min < dod_max && dod_max <= 1.0,
+               "DoD band must satisfy 0 < min < max <= 1");
+
+  // Eq 7 yields Ah per planned cycle; normalizing by the unit's capacity
+  // turns it into a depth-of-discharge fraction.
+  const double remaining_ah = std::max(0.0, (c_total - c_used).value());
+  const double ah_per_cycle = remaining_ah / cycles_plan;
+  const double dod_raw = ah_per_cycle / per_cycle_capacity.value();
+
+  DodGoal g;
+  g.dod = std::clamp(dod_raw, dod_min, dod_max);
+  g.soc_trigger = 1.0 - g.dod;
+  return g;
+}
+
+double cycles_remaining(double service_days_remaining, double cycles_per_day) {
+  BAAT_REQUIRE(service_days_remaining >= 0.0, "service days must be >= 0");
+  BAAT_REQUIRE(cycles_per_day > 0.0, "cycles per day must be positive");
+  return std::max(1.0, service_days_remaining * cycles_per_day);
+}
+
+}  // namespace baat::core

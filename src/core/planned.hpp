@@ -1,0 +1,31 @@
+#pragma once
+
+// Eq 7 — planned aging: DoD_goal = (C_total − C_used) / Cycle_plan × 100%.
+// Synchronizes the battery's end-of-life with the datacenter's by spending
+// exactly the remaining Ah budget over the remaining planned cycles, then
+// retargets the slowdown controller's SoC knee at 1 − DoD_goal (§IV-D).
+
+#include "util/units.hpp"
+
+namespace baat::core {
+
+using util::AmpereHours;
+
+struct DodGoal {
+  double dod = 0.0;          ///< planned depth of discharge, fraction
+  double soc_trigger = 1.0;  ///< 1 − DoD_goal: the retargeted slowdown knee
+};
+
+/// Eq 7, with the result clamped to a safe operating band: DoD below
+/// `dod_min` wastes battery (discard before wear-out), DoD above `dod_max`
+/// is "over 90% DoD", the upper bound §VI-G names.
+DodGoal planned_dod(AmpereHours c_total, AmpereHours c_used, double cycles_plan,
+                    AmpereHours per_cycle_capacity, double dod_min = 0.10,
+                    double dod_max = 0.90);
+
+/// Remaining planned cycles given a service window and observed cycling
+/// cadence (cycles per day), the "estimated from the battery usage log"
+/// input of Eq 7.
+double cycles_remaining(double service_days_remaining, double cycles_per_day);
+
+}  // namespace baat::core

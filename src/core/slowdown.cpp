@@ -1,0 +1,38 @@
+#include "core/slowdown.hpp"
+
+namespace baat::core {
+
+SlowdownDecision assess_slowdown(const NodeView& node, const SlowdownParams& params,
+                                 std::optional<double> soc_trigger_override) {
+  const double trigger = soc_trigger_override.value_or(params.soc_trigger);
+  const double recover = std::max(params.soc_recover, trigger + 0.10);
+
+  if (node.soc >= recover) return SlowdownDecision::Restore;
+  if (node.soc >= trigger) return SlowdownDecision::None;
+
+  // Below the trigger: check DDT and DR (Fig 9). DR fires either when the
+  // present draw endangers the 2-minute reserve (P_threshold) or when the
+  // recent discharge C-rate is high for a deeply discharged battery.
+  const bool ddt_fired = node.metrics.ddt >= params.ddt_threshold;
+  const bool reserve_fired =
+      node.sustainable_reserve_power.value() <= 0.0 ||
+      node.battery_draw.value() >
+          params.dr_margin * node.sustainable_reserve_power.value();
+  const bool rate_fired = node.metrics.dr_c_rate >= params.dr_c_threshold;
+  const bool drain_fired =
+      node.battery_draw.value() > params.drain_watts_threshold;
+  return (ddt_fired || reserve_fired || rate_fired || drain_fired)
+             ? SlowdownDecision::Act
+             : SlowdownDecision::None;
+}
+
+std::optional<VmView> select_shed_vm(const NodeView& node) {
+  std::optional<VmView> pick;
+  for (const VmView& v : node.vms) {
+    if (!v.migratable) continue;
+    if (!pick || v.cores > pick->cores) pick = v;
+  }
+  return pick;
+}
+
+}  // namespace baat::core

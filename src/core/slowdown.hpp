@@ -1,0 +1,29 @@
+#pragma once
+
+// Fig 9 — the aging slowdown check. When a node's battery sits below the
+// SoC trigger, the controller checks DDT and DR against their thresholds;
+// if either fires, it prefers migrating a VM away (no performance loss) and
+// falls back to stepping DVFS down. When the battery recovers, DVFS is
+// restored. P_threshold is "the maximal current that can sustain discharge
+// for 2 minutes" — we express it as the sustainable reserve power the node
+// view carries.
+
+#include <optional>
+
+#include "core/policy.hpp"
+
+namespace baat::core {
+
+enum class SlowdownDecision { None, Act, Restore };
+
+/// Evaluate Fig 9's trigger for one node. `soc_trigger_override`, when set,
+/// replaces the 40% knee — this is how planned aging retargets the
+/// controller ("replacing the low SoC value ... with 1 − DoD_goal", §IV-D).
+SlowdownDecision assess_slowdown(const NodeView& node, const SlowdownParams& params,
+                                 std::optional<double> soc_trigger_override = {});
+
+/// The VM to shed first under slowdown: the migratable VM with the largest
+/// footprint (sheds the most power per migration).
+std::optional<VmView> select_shed_vm(const NodeView& node);
+
+}  // namespace baat::core

@@ -1,0 +1,46 @@
+#include "core/weighted_aging.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace baat::core {
+
+AgingSignals aging_signals(const AgingMetrics& m, const AgingSignalParams& p) {
+  AgingSignals s;
+  // CF: "when the charge factor is too low, sulphation and stratification
+  // may become the major causes of fast aging; above its normal range,
+  // shedding, water loss and corrosion" (§III-B). Both tails count.
+  s.s_cf = std::max(0.0, p.cf_low - m.cf) +
+           p.cf_over_weight * std::max(0.0, m.cf - p.cf_high);
+  // PC: Eq 4 value is 0.25 when all Ah flows at high SoC, 1.0 when all flows
+  // deep; rescale to [0, 1].
+  s.s_pc = util::clamp01((m.pc - 0.25) / 0.75);
+  // NAT is already an aging fraction; rescale into the same O(1) band.
+  s.s_nat = std::max(0.0, m.nat) * p.nat_scale;
+  return s;
+}
+
+double weighted_aging(const AgingMetrics& m, const AgingWeights& w,
+                      const AgingSignalParams& p) {
+  const AgingSignals s = aging_signals(m, p);
+  return w.a_cf * s.s_cf + w.b_pc * s.s_pc + w.c_nat * s.s_nat;
+}
+
+std::vector<std::size_t> rank_by_weighted_aging(std::span<const AgingMetrics> metrics,
+                                                const AgingWeights& w,
+                                                const AgingSignalParams& p) {
+  std::vector<double> scores(metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    scores[i] = weighted_aging(metrics[i], w, p);
+  }
+  std::vector<std::size_t> order(metrics.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  return order;
+}
+
+}  // namespace baat::core

@@ -1,0 +1,54 @@
+#pragma once
+
+// Eq 6: Weighted_aging = a·ΔCF + b·ΔPC + c·ΔNAT.
+//
+// The metrics have different natural scales and polarities (a *low* CF is
+// bad, a *high* PC — in the literal Eq 4 convention — is bad, a high NAT is
+// bad), so we first turn each into a non-negative "aging signal" that grows
+// with aging stress, then apply the Table 3 weights. A larger weighted value
+// means a faster-aging node; BAAT places load on the node with the smallest
+// value (Fig 8).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace baat::core {
+
+using telemetry::AgingMetrics;
+
+struct AgingSignalParams {
+  /// CF below this indicates under-recharge (normal band is 1–1.3, §III-B).
+  double cf_low = 1.05;
+  /// CF above this indicates chronic float/over-charge.
+  double cf_high = 1.30;
+  /// Weight of over-charge deviation relative to under-charge.
+  double cf_over_weight = 0.5;
+  /// NAT scale factor: NAT is a life-fraction (~0.1 over six months) while
+  /// the other signals are O(1) ratios; this brings it into the same band.
+  double nat_scale = 3.0;
+};
+
+/// Non-negative aging-stress signals derived from the raw metrics.
+struct AgingSignals {
+  double s_cf = 0.0;
+  double s_pc = 0.0;
+  double s_nat = 0.0;
+};
+
+AgingSignals aging_signals(const AgingMetrics& m, const AgingSignalParams& p = {});
+
+/// Eq 6 with Table 3 weights.
+double weighted_aging(const AgingMetrics& m, const AgingWeights& w,
+                      const AgingSignalParams& p = {});
+
+/// Node indices sorted by weighted aging, ascending (healthiest first) —
+/// the ranking step of Fig 8.
+std::vector<std::size_t> rank_by_weighted_aging(std::span<const AgingMetrics> metrics,
+                                                const AgingWeights& w,
+                                                const AgingSignalParams& p = {});
+
+}  // namespace baat::core

@@ -1,0 +1,131 @@
+#include "power/centralized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::power {
+
+CentralRouteResult route_power_centralized(util::Watts solar,
+                                           std::span<const util::Watts> demands,
+                                           battery::Battery& shared,
+                                           const RouterParams& params,
+                                           util::Seconds dt,
+                                           double discharge_floor_soc) {
+  BAAT_REQUIRE(solar.value() >= 0.0, "solar power must be >= 0");
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  BAAT_REQUIRE(discharge_floor_soc >= 0.0 && discharge_floor_soc <= 1.0,
+               "discharge floor must be in [0, 1]");
+
+  CentralRouteResult result;
+  const std::size_t n = demands.size();
+  result.nodes.resize(n);
+  result.solar_available = solar;
+
+  double total_demand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    BAAT_REQUIRE(demands[i].value() >= 0.0, "demand must be >= 0");
+    result.nodes[i].demand = demands[i];
+    total_demand += demands[i].value();
+  }
+
+  // Solar → load.
+  double solar_left = solar.value();
+  if (total_demand > 0.0 && solar_left > 0.0) {
+    const double coverage = std::min(1.0, solar_left / total_demand);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double used = demands[i].value() * coverage;
+      result.nodes[i].solar_used = util::Watts{used};
+      solar_left -= used;
+    }
+  }
+  solar_left = std::max(0.0, solar_left);
+
+  // Utility → pooled deficit.
+  double deficit = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    deficit += (result.nodes[i].demand - result.nodes[i].solar_used).value();
+  }
+  if (params.utility_budget.value() > 0.0 && deficit > 0.0) {
+    const double coverage = std::min(1.0, params.utility_budget.value() / deficit);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = (result.nodes[i].demand - result.nodes[i].solar_used).value();
+      result.nodes[i].utility_used = util::Watts{d * coverage};
+      result.utility_drawn += util::Watts{d * coverage};
+    }
+    deficit *= 1.0 - coverage;
+  }
+
+  bool stepped = false;
+
+  // Shared bank → pooled deficit.
+  if (deficit > 1e-12 && shared.soc() > discharge_floor_soc) {
+    const util::Watts dc_needed{deficit / params.inverter_efficiency};
+    util::Amperes i_req = current_for_dc_power(dc_needed, shared.open_circuit(),
+                                               shared.internal_resistance_ohms());
+    i_req = std::min(i_req, shared.max_discharge_current());
+    const double ah_above =
+        std::max(0.0, shared.soc() - discharge_floor_soc) *
+        shared.usable_capacity().value();
+    const double ah_req = i_req.value() * dt.value() / 3600.0;
+    if (ah_req > ah_above) {
+      i_req = util::Amperes{ah_above * 3600.0 / dt.value()};
+      result.battery_cutoff = true;
+    }
+    const auto step = shared.step(i_req, dt);
+    stepped = true;
+    result.battery_current = step.actual_current;
+    result.battery_cutoff = result.battery_cutoff || step.hit_cutoff;
+    const double delivered = std::max(0.0, step.terminal_voltage.value() *
+                                               step.actual_current.value()) *
+                             params.inverter_efficiency;
+    result.battery_delivered = util::Watts{std::min(delivered, deficit)};
+
+    // Spread battery power (and any shortfall) proportionally over deficits.
+    const double fraction = deficit > 0.0 ? result.battery_delivered.value() / deficit : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = (result.nodes[i].demand - result.nodes[i].solar_used -
+                        result.nodes[i].utility_used)
+                           .value();
+      result.nodes[i].battery_delivered = util::Watts{d * fraction};
+      result.nodes[i].unmet = util::Watts{std::max(0.0, d * (1.0 - fraction))};
+      result.nodes[i].battery_cutoff = result.battery_cutoff;
+    }
+  } else if (deficit > 1e-12) {
+    result.battery_cutoff = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = (result.nodes[i].demand - result.nodes[i].solar_used -
+                        result.nodes[i].utility_used)
+                           .value();
+      result.nodes[i].unmet = util::Watts{d};
+      result.nodes[i].battery_cutoff = true;
+    }
+  }
+
+  // Surplus → shared charger.
+  if (!stepped && solar_left > 1e-9) {
+    const util::Amperes accept = shared.max_charge_current();
+    if (accept.value() > 0.0) {
+      const double terminal_budget = solar_left * params.charger_efficiency;
+      const double v_est =
+          shared.terminal_voltage(util::Amperes{-accept.value()}).value();
+      const double i_chg = std::min(accept.value(), terminal_budget / std::max(1.0, v_est));
+      if (i_chg > 0.0) {
+        const auto step = shared.step(util::Amperes{-i_chg}, dt);
+        stepped = true;
+        result.battery_current = step.actual_current;
+        const double into =
+            step.terminal_voltage.value() * std::fabs(step.actual_current.value());
+        result.charge_drawn = util::Watts{into / params.charger_efficiency};
+        solar_left = std::max(0.0, solar_left - result.charge_drawn.value());
+      }
+    }
+  }
+
+  if (!stepped) shared.step(util::Amperes{0.0}, dt);
+  result.solar_curtailed = util::Watts{solar_left};
+  return result;
+}
+
+}  // namespace baat::power

@@ -1,0 +1,41 @@
+#pragma once
+
+// Centralized battery topology — the design alternative §II-A contrasts
+// with the per-server/per-rack distributed architecture (and that prior
+// work [6, 7, 11] provisions at the datacenter level). One shared bank
+// serves the whole fleet through a single conversion chain. The ablation
+// bench compares it against the distributed router on aging and on the
+// single-point-of-failure behaviour the paper warns about (§VI-E).
+
+#include <span>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "power/router.hpp"
+
+namespace baat::power {
+
+/// Outcome of one centralized routing tick.
+struct CentralRouteResult {
+  std::vector<NodeRoute> nodes;      ///< battery fields aggregated on node 0
+  util::Watts solar_available{0.0};
+  util::Watts solar_curtailed{0.0};
+  util::Watts utility_drawn{0.0};
+  util::Watts battery_delivered{0.0};  ///< total, at the load
+  util::Watts charge_drawn{0.0};
+  util::Amperes battery_current{0.0};
+  bool battery_cutoff = false;
+};
+
+/// Routes one tick through a single shared battery. Deficits are pooled:
+/// either the shared bank covers the *entire* remaining deficit or the
+/// shortfall is spread over every node proportionally — the SPOF coupling
+/// a distributed design avoids.
+CentralRouteResult route_power_centralized(util::Watts solar,
+                                           std::span<const util::Watts> demands,
+                                           battery::Battery& shared,
+                                           const RouterParams& params,
+                                           util::Seconds dt,
+                                           double discharge_floor_soc = 0.0);
+
+}  // namespace baat::power

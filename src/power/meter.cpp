@@ -1,0 +1,23 @@
+#include "power/meter.hpp"
+
+namespace baat::power {
+
+void EnergyMeter::add(const RouteResult& route, util::Seconds dt) {
+  solar_available_ += util::energy(route.solar_available, dt);
+  solar_curtailed_ += util::energy(route.solar_curtailed, dt);
+  utility_used_ += util::energy(route.utility_drawn, dt);
+  for (const NodeRoute& n : route.nodes) {
+    solar_to_load_ += util::energy(n.solar_used, dt);
+    solar_to_charge_ += util::energy(n.charge_drawn, dt);
+    battery_to_load_ += util::energy(n.battery_delivered, dt);
+    unmet_ += util::energy(n.unmet, dt);
+  }
+}
+
+double EnergyMeter::solar_utilization() const {
+  const double avail = solar_available_.value();
+  if (avail <= 0.0) return 0.0;
+  return (solar_to_load_.value() + solar_to_charge_.value()) / avail;
+}
+
+}  // namespace baat::power

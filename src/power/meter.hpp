@@ -1,0 +1,40 @@
+#pragma once
+
+// Energy meters — the IPDU role in the prototype (§V-A.4): accumulate where
+// every watt-hour went so experiments can report solar utilization, battery
+// round-trip efficiency (Fig 5) and unmet demand.
+
+#include "power/router.hpp"
+#include "util/units.hpp"
+
+namespace baat::power {
+
+using util::WattHours;
+
+class EnergyMeter {
+ public:
+  /// Fold one routing tick into the meters.
+  void add(const RouteResult& route, util::Seconds dt);
+
+  [[nodiscard]] WattHours solar_available() const { return solar_available_; }
+  [[nodiscard]] WattHours solar_to_load() const { return solar_to_load_; }
+  [[nodiscard]] WattHours solar_to_charge() const { return solar_to_charge_; }
+  [[nodiscard]] WattHours solar_curtailed() const { return solar_curtailed_; }
+  [[nodiscard]] WattHours battery_to_load() const { return battery_to_load_; }
+  [[nodiscard]] WattHours utility_used() const { return utility_used_; }
+  [[nodiscard]] WattHours unmet() const { return unmet_; }
+
+  /// Fraction of available solar energy that reached load or storage.
+  [[nodiscard]] double solar_utilization() const;
+
+ private:
+  WattHours solar_available_{0.0};
+  WattHours solar_to_load_{0.0};
+  WattHours solar_to_charge_{0.0};
+  WattHours solar_curtailed_{0.0};
+  WattHours battery_to_load_{0.0};
+  WattHours utility_used_{0.0};
+  WattHours unmet_{0.0};
+};
+
+}  // namespace baat::power

@@ -1,0 +1,92 @@
+#include "power/rack_pool.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::power {
+
+RackLayout even_racks(std::size_t nodes, std::size_t racks) {
+  BAAT_REQUIRE(nodes > 0 && racks > 0, "nodes and racks must be positive");
+  BAAT_REQUIRE(racks <= nodes, "cannot have more racks than nodes");
+  RackLayout layout(racks);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    layout[i % racks].push_back(i);
+  }
+  // Keep node indices contiguous per rack for readability: rack r gets the
+  // block [r*base + min(r, extra), ...).
+  RackLayout contiguous(racks);
+  const std::size_t base = nodes / racks;
+  const std::size_t extra = nodes % racks;
+  std::size_t next = 0;
+  for (std::size_t r = 0; r < racks; ++r) {
+    const std::size_t count = base + (r < extra ? 1 : 0);
+    for (std::size_t k = 0; k < count; ++k) contiguous[r].push_back(next++);
+  }
+  return contiguous;
+}
+
+RackRouteResult route_power_racked(util::Watts solar,
+                                   std::span<const util::Watts> demands,
+                                   const RackLayout& layout,
+                                   std::span<battery::Battery> pools,
+                                   const RouterParams& params, util::Seconds dt) {
+  BAAT_REQUIRE(pools.size() == layout.size(), "one pool per rack required");
+  BAAT_REQUIRE(solar.value() >= 0.0, "solar must be >= 0");
+
+  // Validate the layout covers each node exactly once.
+  std::vector<bool> seen(demands.size(), false);
+  for (const auto& rack : layout) {
+    BAAT_REQUIRE(!rack.empty(), "empty rack in layout");
+    for (std::size_t i : rack) {
+      BAAT_REQUIRE(i < demands.size(), "rack layout index out of range");
+      BAAT_REQUIRE(!seen[i], "node assigned to two racks");
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) BAAT_REQUIRE(s, "node missing from rack layout");
+
+  RackRouteResult result;
+  result.nodes.resize(demands.size());
+  result.solar_available = solar;
+
+  // Split solar across racks proportional to rack demand.
+  std::vector<double> rack_demand(layout.size(), 0.0);
+  double total_demand = 0.0;
+  for (std::size_t r = 0; r < layout.size(); ++r) {
+    for (std::size_t i : layout[r]) rack_demand[r] += demands[i].value();
+    total_demand += rack_demand[r];
+  }
+
+  double surplus = solar.value();
+  std::vector<double> rack_solar(layout.size(), 0.0);
+  if (total_demand > 0.0) {
+    const double coverage = std::min(1.0, solar.value() / total_demand);
+    for (std::size_t r = 0; r < layout.size(); ++r) {
+      rack_solar[r] = rack_demand[r] * coverage;
+      surplus -= rack_solar[r];
+    }
+  }
+  surplus = std::max(0.0, surplus);
+  // Spread the remaining surplus evenly so every pool can recharge.
+  const double surplus_share = surplus / static_cast<double>(layout.size());
+
+  result.racks.reserve(layout.size());
+  for (std::size_t r = 0; r < layout.size(); ++r) {
+    std::vector<util::Watts> rack_demands;
+    rack_demands.reserve(layout[r].size());
+    for (std::size_t i : layout[r]) rack_demands.push_back(demands[i]);
+
+    const auto rack_result = route_power_centralized(
+        util::Watts{rack_solar[r] + surplus_share}, rack_demands, pools[r], params, dt);
+
+    for (std::size_t k = 0; k < layout[r].size(); ++k) {
+      result.nodes[layout[r][k]] = rack_result.nodes[k];
+    }
+    result.solar_curtailed += rack_result.solar_curtailed;
+    result.racks.push_back(rack_result);
+  }
+  return result;
+}
+
+}  // namespace baat::power

@@ -1,0 +1,42 @@
+#pragma once
+
+// Per-rack battery pools — the second distributed architecture Fig 7
+// supports: "several racks share a pool of batteries (akin to Facebook's
+// Open Rack design [3])". Sits between the per-server integration (one
+// battery per node, router.hpp) and the fully centralized bank
+// (centralized.hpp): nodes within a rack share one pool, racks are
+// independent, so a pool exhaustion browns out one rack instead of one node
+// or the whole fleet.
+
+#include <span>
+#include <vector>
+
+#include "power/centralized.hpp"
+#include "power/router.hpp"
+
+namespace baat::power {
+
+/// Node-index grouping: rack r contains the node indices racks[r].
+using RackLayout = std::vector<std::vector<std::size_t>>;
+
+/// Evenly split n nodes into `racks` racks (remainders go to the front racks).
+RackLayout even_racks(std::size_t nodes, std::size_t racks);
+
+struct RackRouteResult {
+  std::vector<NodeRoute> nodes;            ///< per node, like route_power
+  std::vector<CentralRouteResult> racks;   ///< per rack aggregate
+  util::Watts solar_available{0.0};
+  util::Watts solar_curtailed{0.0};
+};
+
+/// Routes one tick with one shared battery pool per rack. Solar is split
+/// across racks proportional to rack demand; within a rack the pool covers
+/// the pooled deficit (centralized semantics per rack). `pools` must have
+/// one battery per rack.
+RackRouteResult route_power_racked(util::Watts solar,
+                                   std::span<const util::Watts> demands,
+                                   const RackLayout& layout,
+                                   std::span<battery::Battery> pools,
+                                   const RouterParams& params, util::Seconds dt);
+
+}  // namespace baat::power

@@ -1,0 +1,88 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::server {
+
+double DvfsLadder::factor(int level) const {
+  BAAT_REQUIRE(level >= 0 && level < levels(), "DVFS level out of range");
+  return freq_factors[static_cast<std::size_t>(level)];
+}
+
+Server::Server(ServerSpec spec) : spec_(std::move(spec)), dvfs_level_(spec_.dvfs.top()) {
+  BAAT_REQUIRE(spec_.peak > spec_.idle, "peak power must exceed idle power");
+  BAAT_REQUIRE(spec_.cores > 0.0 && spec_.mem_gb > 0.0, "server capacity must be positive");
+  BAAT_REQUIRE(!spec_.dvfs.freq_factors.empty(), "DVFS ladder must be non-empty");
+  BAAT_REQUIRE(std::is_sorted(spec_.dvfs.freq_factors.begin(), spec_.dvfs.freq_factors.end()),
+               "DVFS ladder must be ascending");
+}
+
+bool Server::can_host(double cores, double mem_gb) const {
+  return on_ && cores_free() >= cores && mem_free_gb() >= mem_gb;
+}
+
+void Server::attach(VmId vm, double cores, double mem_gb) {
+  BAAT_REQUIRE(!hosts(vm), "VM already attached");
+  BAAT_REQUIRE(can_host(cores, mem_gb), "server lacks capacity for VM");
+  vms_.push_back(HostedVm{vm, 0.0, cores, mem_gb});
+}
+
+void Server::detach(VmId vm) {
+  const auto it = std::find_if(vms_.begin(), vms_.end(),
+                               [vm](const HostedVm& h) { return h.vm == vm; });
+  BAAT_REQUIRE(it != vms_.end(), "VM not attached to this server");
+  vms_.erase(it);
+}
+
+bool Server::hosts(VmId vm) const {
+  return std::any_of(vms_.begin(), vms_.end(),
+                     [vm](const HostedVm& h) { return h.vm == vm; });
+}
+
+double Server::cores_free() const {
+  double used = 0.0;
+  for (const auto& h : vms_) used += h.cores;
+  return spec_.cores - used;
+}
+
+double Server::mem_free_gb() const {
+  double used = 0.0;
+  for (const auto& h : vms_) used += h.mem_gb;
+  return spec_.mem_gb - used;
+}
+
+void Server::set_demand(VmId vm, double util) {
+  BAAT_REQUIRE(util >= 0.0 && util <= 1.0, "utilization must be in [0, 1]");
+  const auto it = std::find_if(vms_.begin(), vms_.end(),
+                               [vm](const HostedVm& h) { return h.vm == vm; });
+  BAAT_REQUIRE(it != vms_.end(), "VM not attached to this server");
+  it->demand_util = util;
+}
+
+double Server::total_demand_util() const {
+  double core_demand = 0.0;
+  for (const auto& h : vms_) core_demand += h.demand_util * h.cores;
+  return std::min(1.0, core_demand / spec_.cores);
+}
+
+void Server::set_dvfs_level(int level) {
+  BAAT_REQUIRE(level >= 0 && level < spec_.dvfs.levels(), "DVFS level out of range");
+  dvfs_level_ = level;
+}
+
+void Server::power_off() { on_ = false; }
+
+void Server::power_on() { on_ = true; }
+
+Watts Server::power(double total_util) const {
+  BAAT_REQUIRE(total_util >= 0.0 && total_util <= 1.0, "utilization must be in [0, 1]");
+  if (!on_) return Watts{0.0};
+  const double f = freq_factor();
+  const double idle = spec_.idle.value() * (0.6 + 0.4 * f);
+  const double dynamic = (spec_.peak - spec_.idle).value() * total_util * f * f;
+  return Watts{idle + dynamic};
+}
+
+}  // namespace baat::server

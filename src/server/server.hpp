@@ -1,0 +1,96 @@
+#pragma once
+
+// Compute server model. The prototype's nodes (IBM x330 / HP ProLiant,
+// Fig 11) expose exactly the knobs BAAT actuates: DVFS frequency scaling
+// ("through software driver we can dynamically set the frequency of
+// processors", §V-B) and VM hosting with CPU/memory capacity limits that
+// constrain migration (§IV-C.2). Power follows the standard linear
+// utilization model with a frequency-quadratic dynamic term.
+
+#include <vector>
+
+#include "util/units.hpp"
+#include "workload/vm.hpp"
+
+namespace baat::server {
+
+using util::Seconds;
+using util::Watts;
+using workload::VmId;
+
+/// Discrete DVFS ladder; level 0 is the slowest, back() is nominal.
+struct DvfsLadder {
+  std::vector<double> freq_factors{0.50, 0.67, 0.83, 1.00};
+
+  [[nodiscard]] int levels() const { return static_cast<int>(freq_factors.size()); }
+  [[nodiscard]] int top() const { return levels() - 1; }
+  [[nodiscard]] double factor(int level) const;
+};
+
+struct ServerSpec {
+  Watts idle{80.0};
+  Watts peak{180.0};
+  double cores = 8.0;
+  double mem_gb = 16.0;
+  DvfsLadder dvfs{};
+};
+
+/// A VM placed on a server, with the utilization it demanded this tick.
+struct HostedVm {
+  VmId vm = -1;
+  double demand_util = 0.0;   ///< of its own vCPUs
+  double cores = 0.0;
+  double mem_gb = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerSpec spec);
+
+  [[nodiscard]] const ServerSpec& spec() const { return spec_; }
+
+  // --- VM hosting -----------------------------------------------------------
+  [[nodiscard]] bool can_host(double cores, double mem_gb) const;
+  void attach(VmId vm, double cores, double mem_gb);
+  void detach(VmId vm);
+  [[nodiscard]] bool hosts(VmId vm) const;
+  [[nodiscard]] const std::vector<HostedVm>& hosted() const { return vms_; }
+  [[nodiscard]] double cores_free() const;
+  [[nodiscard]] double mem_free_gb() const;
+
+  /// Record this tick's demanded utilization for a hosted VM.
+  void set_demand(VmId vm, double util);
+
+  /// Aggregate CPU utilization demanded by all hosted VMs (fraction of the
+  /// server's cores, clamped to 1).
+  [[nodiscard]] double total_demand_util() const;
+
+  // --- DVFS -----------------------------------------------------------------
+  [[nodiscard]] int dvfs_level() const { return dvfs_level_; }
+  void set_dvfs_level(int level);
+  [[nodiscard]] double freq_factor() const { return spec_.dvfs.factor(dvfs_level_); }
+
+  // --- power state -----------------------------------------------------------
+  [[nodiscard]] bool powered_on() const { return on_; }
+  void power_off();
+  void power_on();
+  [[nodiscard]] Seconds downtime() const { return downtime_; }
+  void add_downtime(Seconds dt) { downtime_ += dt; }
+
+  /// Electrical power drawn at a given aggregate utilization and the current
+  /// DVFS level: idle·(0.6 + 0.4f) + (peak - idle)·util·f² — frequency (and
+  /// the accompanying voltage) scaling trims both the dynamic term and a
+  /// portion of the platform idle power. Zero when powered off.
+  [[nodiscard]] Watts power(double total_util) const;
+  /// Convenience: power at this tick's recorded demand.
+  [[nodiscard]] Watts power_now() const { return power(total_demand_util()); }
+
+ private:
+  ServerSpec spec_;
+  std::vector<HostedVm> vms_;
+  int dvfs_level_;
+  bool on_ = true;
+  Seconds downtime_{0.0};
+};
+
+}  // namespace baat::server

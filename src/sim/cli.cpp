@@ -1,0 +1,195 @@
+#include "sim/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/lifetime.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "util/csv.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+namespace {
+
+core::PolicyKind parse_policy(const std::string& name) {
+  if (name == "ebuff" || name == "e-Buff") return core::PolicyKind::EBuff;
+  if (name == "baat-s") return core::PolicyKind::BaatS;
+  if (name == "baat-h") return core::PolicyKind::BaatH;
+  if (name == "baat") return core::PolicyKind::Baat;
+  if (name == "baat-planned") return core::PolicyKind::BaatPlanned;
+  if (name == "baat-p") return core::PolicyKind::BaatPredictive;
+  throw util::PreconditionError(
+      "unknown policy '" + name +
+      "' (ebuff|baat-s|baat-h|baat|baat-planned|baat-p)");
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw util::PreconditionError("bad value for " + flag + ": '" + value + "'");
+  }
+}
+
+long parse_long(const std::string& flag, const std::string& value) {
+  const double v = parse_double(flag, value);
+  const auto l = static_cast<long>(v);
+  if (static_cast<double>(l) != v) {
+    throw util::PreconditionError("expected an integer for " + flag);
+  }
+  return l;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return "baatsim — green-datacenter battery-aging simulator (BAAT, DSN'15)\n"
+         "\n"
+         "usage: baatsim [options]\n"
+         "  --policy <p>      ebuff | baat-s | baat-h | baat | baat-planned | baat-p (default baat)\n"
+         "  --days <n>        days to simulate (default 30)\n"
+         "  --sunshine <f>    sunshine fraction 0..1 (default 0.5)\n"
+         "  --nodes <n>       server/battery nodes (default 6)\n"
+         "  --ratio <w>       server-to-battery ratio, W/Ah (default: prototype)\n"
+         "  --cycles-plan <c> Eq 7 planned cycles (enables baat-planned input)\n"
+         "  --seed <s>        experiment seed (default 42)\n"
+         "  --old-fleet       start from a six-month-aged fleet\n"
+         "  --csv <path>      write per-day results to CSV\n"
+         "  --report <path>   write a markdown experiment report\n"
+         "  --help            this text\n";
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* flag) -> const std::string& {
+      BAAT_REQUIRE(i + 1 < args.size(), std::string(flag) + " needs a value");
+      return args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      options.show_help = true;
+    } else if (a == "--policy") {
+      options.policy = parse_policy(next("--policy"));
+    } else if (a == "--days") {
+      const long v = parse_long(a, next("--days"));
+      BAAT_REQUIRE(v > 0, "--days must be positive");
+      options.days = static_cast<std::size_t>(v);
+    } else if (a == "--sunshine") {
+      options.sunshine_fraction = parse_double(a, next("--sunshine"));
+      BAAT_REQUIRE(options.sunshine_fraction >= 0.0 && options.sunshine_fraction <= 1.0,
+                   "--sunshine must be in [0, 1]");
+    } else if (a == "--nodes") {
+      const long v = parse_long(a, next("--nodes"));
+      BAAT_REQUIRE(v > 0, "--nodes must be positive");
+      options.nodes = static_cast<std::size_t>(v);
+    } else if (a == "--ratio") {
+      options.watts_per_ah = parse_double(a, next("--ratio"));
+      BAAT_REQUIRE(options.watts_per_ah > 0.0, "--ratio must be positive");
+    } else if (a == "--cycles-plan") {
+      options.cycles_plan = parse_double(a, next("--cycles-plan"));
+      BAAT_REQUIRE(options.cycles_plan > 0.0, "--cycles-plan must be positive");
+    } else if (a == "--seed") {
+      options.seed = static_cast<std::uint64_t>(parse_long(a, next("--seed")));
+    } else if (a == "--old-fleet") {
+      options.old_fleet = true;
+    } else if (a == "--csv") {
+      options.csv_path = next("--csv");
+    } else if (a == "--report") {
+      options.report_path = next("--report");
+    } else {
+      throw util::PreconditionError("unknown option '" + a + "' (see --help)");
+    }
+  }
+  if (options.policy == core::PolicyKind::BaatPlanned && options.cycles_plan <= 0.0) {
+    throw util::PreconditionError("--policy baat-planned requires --cycles-plan");
+  }
+  return options;
+}
+
+ScenarioConfig scenario_from_cli(const CliOptions& options) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.nodes = options.nodes;
+  cfg.seed = options.seed;
+  cfg.policy = options.policy;
+  if (options.cycles_plan > 0.0) {
+    cfg.policy_params.planned.cycles_plan = options.cycles_plan;
+  }
+  if (options.watts_per_ah > 0.0) {
+    cfg = with_server_battery_ratio(cfg, options.watts_per_ah);
+  }
+  return cfg;
+}
+
+int run_cli(const CliOptions& options) {
+  if (options.show_help) {
+    std::fputs(cli_usage().c_str(), stdout);
+    return 0;
+  }
+
+  const ScenarioConfig cfg = scenario_from_cli(options);
+  Cluster cluster{cfg};
+  if (options.old_fleet) seed_aged_fleet(cluster, six_month_aged_state());
+
+  MultiDayOptions opts;
+  opts.days = options.days;
+  opts.sunshine_fraction = options.sunshine_fraction;
+  opts.probe_every_days = 30;
+  const MultiDayResult run = run_multi_day(cluster, opts);
+
+  if (!options.csv_path.empty()) {
+    util::CsvWriter csv{options.csv_path,
+                        {"day", "weather", "work", "worst_ah", "worst_low_soc_h",
+                         "downtime_h", "migrations", "dvfs"}};
+    for (std::size_t d = 0; d < run.days.size(); ++d) {
+      const DayResult& r = run.days[d];
+      csv.write_row({util::CsvWriter::cell(static_cast<double>(d)),
+                     std::string(solar::day_type_name(r.day_type)),
+                     util::CsvWriter::cell(r.throughput_work),
+                     util::CsvWriter::cell(r.nodes[r.worst_node()].ah_discharged.value()),
+                     util::CsvWriter::cell(r.worst_low_soc_time().value() / 3600.0),
+                     util::CsvWriter::cell(r.total_downtime().value() / 3600.0),
+                     util::CsvWriter::cell(static_cast<double>(r.migrations)),
+                     util::CsvWriter::cell(static_cast<double>(r.dvfs_transitions))});
+    }
+  }
+
+  std::printf("policy        : %s\n", std::string(core::policy_kind_name(cfg.policy)).c_str());
+  std::printf("days          : %zu (sunshine %.2f, seed %llu%s)\n", options.days,
+              options.sunshine_fraction,
+              static_cast<unsigned long long>(options.seed),
+              options.old_fleet ? ", old fleet" : "");
+  std::printf("throughput    : %.2f M core-seconds\n", run.total_throughput / 1e6);
+  std::printf("fleet health  : mean %.4f, min %.4f\n", run.mean_health_end,
+              run.min_health_end);
+  const double life =
+      core::extrapolate_lifetime(1.0, run.min_health_end,
+                                 static_cast<double>(options.days))
+          .days;
+  std::printf("worst battery : projected end-of-life in %.0f days\n", life);
+  for (const MonthlyProbe& p : run.monthly) {
+    std::printf("probe month %d : Vfull %.2f V, capacity %.1f%%, round-trip %.1f%%\n",
+                p.month, p.full_voltage, p.capacity_fraction * 100.0,
+                p.round_trip_efficiency * 100.0);
+  }
+  if (!options.report_path.empty()) {
+    ReportInputs report;
+    report.config = &cfg;
+    report.result = &run;
+    report.cluster = &cluster;
+    report.sunshine_fraction = options.sunshine_fraction;
+    write_report(options.report_path, report);
+    std::printf("report        : %s\n", options.report_path.c_str());
+  }
+  if (!options.csv_path.empty()) {
+    std::printf("per-day CSV   : %s\n", options.csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace baat::sim

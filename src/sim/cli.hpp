@@ -1,0 +1,47 @@
+#pragma once
+
+// Command-line front end for the simulator — the `baatsim` tool. The parser
+// lives in the library so it is unit-testable; tools/baatsim.cpp is a thin
+// main() around run_cli().
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace baat::sim {
+
+struct CliOptions {
+  core::PolicyKind policy = core::PolicyKind::Baat;
+  std::size_t days = 30;
+  double sunshine_fraction = 0.5;
+  std::size_t nodes = 6;
+  /// Server-to-battery capacity ratio in W/Ah; 0 keeps the prototype value.
+  double watts_per_ah = 0.0;
+  std::uint64_t seed = 42;
+  /// Eq 7 planned cycles; 0 disables planned aging.
+  double cycles_plan = 0.0;
+  /// Optional CSV path for per-day results.
+  std::string csv_path;
+  /// Optional markdown report path.
+  std::string report_path;
+  bool old_fleet = false;
+  bool show_help = false;
+};
+
+/// Parse argv. Throws util::PreconditionError with a readable message on a
+/// bad flag or value.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// Human-readable usage text.
+std::string cli_usage();
+
+/// Build the scenario a CLI run describes.
+ScenarioConfig scenario_from_cli(const CliOptions& options);
+
+/// Run the simulation described by `options`, printing a summary (and the
+/// per-day CSV when requested). Returns the process exit code.
+int run_cli(const CliOptions& options);
+
+}  // namespace baat::sim

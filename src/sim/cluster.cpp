@@ -1,0 +1,370 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/demand.hpp"
+#include "util/logging.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+namespace {
+constexpr double kBrownoutWatts = 1.0;  ///< unmet power that counts as a brownout
+}
+
+Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  BAAT_REQUIRE(cfg_.nodes > 0, "cluster needs at least one node");
+  BAAT_REQUIRE(cfg_.dt.value() > 0.0 && cfg_.dt.value() <= 300.0,
+               "dt must be in (0, 300] seconds");
+  BAAT_REQUIRE(cfg_.day_start < cfg_.day_end, "day window must be non-empty");
+
+  cfg_.bank.units = cfg_.nodes;
+  util::Rng bank_rng = rng_.fork("bank");
+  batteries_ = battery::make_bank(cfg_.bank, bank_rng);
+
+  telemetry::PowerTableParams table_params;
+  table_params.chemistry = cfg_.bank.chemistry;
+  table_params.estimation = cfg_.soc_estimation;
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    servers_.emplace_back(cfg_.server);
+    life_tables_.emplace_back(table_params);
+    day_tables_.emplace_back(table_params);
+    sensors_.emplace_back(cfg_.sensor_noise, rng_.fork("sensor"));
+  }
+
+  if (cfg_.daily_jobs.empty()) cfg_.daily_jobs = default_daily_jobs(cfg_.replicas);
+  std::stable_sort(cfg_.daily_jobs.begin(), cfg_.daily_jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.arrival < b.arrival; });
+
+  charge_priority_.resize(cfg_.nodes);
+  std::iota(charge_priority_.begin(), charge_priority_.end(), std::size_t{0});
+
+  policy_ = core::make_policy(cfg_.policy, cfg_.policy_params);
+}
+
+void Cluster::set_policy(core::PolicyKind kind) {
+  cfg_.policy = kind;
+  policy_ = core::make_policy(kind, cfg_.policy_params);
+  // Reset router hints a previous policy may have installed.
+  std::iota(charge_priority_.begin(), charge_priority_.end(), std::size_t{0});
+  charge_priority_explicit_ = false;
+  discharge_floor_.clear();
+}
+
+telemetry::AgingMetrics Cluster::life_metrics(std::size_t node) const {
+  BAAT_REQUIRE(node < life_tables_.size(), "node index out of range");
+  return telemetry::compute_metrics(life_tables_[node], cfg_.metrics);
+}
+
+Cluster::VmRecord* Cluster::find_vm(workload::VmId id) {
+  const auto it = std::find_if(vms_.begin(), vms_.end(),
+                               [id](const VmRecord& r) { return r.vm.id() == id; });
+  return it == vms_.end() ? nullptr : &*it;
+}
+
+core::PolicyContext Cluster::build_context(util::Seconds now,
+                                           const power::RouteResult* last_route,
+                                           util::Watts solar_now) const {
+  core::PolicyContext ctx;
+  ctx.now = now;
+  ctx.time_of_day = util::Seconds{std::fmod(now.value(), 86400.0)};
+  ctx.solar_now = solar_now;
+  ctx.nodes.resize(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    core::NodeView& n = ctx.nodes[i];
+    n.index = i;
+    n.powered_on = servers_[i].powered_on();
+    n.soc = life_tables_[i].estimated_soc();
+    n.metrics = telemetry::compute_metrics(day_tables_[i], cfg_.metrics);
+    n.metrics_life = telemetry::compute_metrics(life_tables_[i], cfg_.metrics);
+    n.cores_free = servers_[i].cores_free();
+    n.mem_free_gb = servers_[i].mem_free_gb();
+    n.dvfs_level = servers_[i].dvfs_level();
+    n.dvfs_top = servers_[i].spec().dvfs.top();
+    n.server_power = servers_[i].power_now();
+    if (last_route != nullptr) {
+      n.battery_draw = last_route->nodes[i].battery_delivered;
+    }
+
+    // P_threshold of Fig 9: the largest load power the battery can sustain
+    // for the 2-minute reserve window, from the controller's SoC estimate.
+    const battery::Battery& bat = batteries_[i];
+    const double ah_est = n.soc * bat.nameplate().value();
+    const double window_h = cfg_.policy_params.slowdown.reserve_window.value() / 3600.0;
+    const double i_by_charge = window_h > 0.0 ? ah_est / window_h : 0.0;
+    const double i_sus = std::min(bat.max_discharge_current().value(), i_by_charge);
+    n.sustainable_reserve_power =
+        util::Watts{bat.chemistry().nominal_voltage().value() * i_sus *
+                    cfg_.router.inverter_efficiency};
+
+    for (const server::HostedVm& h : servers_[i].hosted()) {
+      const auto it = std::find_if(vms_.begin(), vms_.end(),
+                                   [&h](const VmRecord& r) { return r.vm.id() == h.vm; });
+      BAAT_INVARIANT(it != vms_.end(), "hosted VM missing from registry");
+      core::VmView view;
+      view.id = h.vm;
+      view.kind = it->vm.kind();
+      view.cores = h.cores;
+      view.mem_gb = h.mem_gb;
+      view.migratable = it->vm.migratable();
+      view.demand = core::profile_for(it->vm.spec(), cfg_.server);
+      n.vms.push_back(view);
+    }
+  }
+  return ctx;
+}
+
+bool Cluster::deploy_job(const JobSpec& job) {
+  const workload::Spec spec = workload::spec_for(job.kind);
+  const core::PolicyContext ctx = build_context(
+      util::Seconds{static_cast<double>(day_counter_) * 86400.0 + job.arrival.value() +
+                    cfg_.day_start.value()},
+      nullptr);
+  const core::DemandProfile demand = core::profile_for(spec, cfg_.server);
+  const auto target = policy_->place_vm(ctx, spec.cores, spec.mem_gb, demand);
+  if (!target) return false;
+  const workload::VmId id = next_vm_id_++;
+  const double phase = rng_.uniform(0.0, spec.period.value());
+  vms_.push_back(VmRecord{workload::Vm{id, job.kind, phase, rng_.fork("vm")}, *target, 0.0});
+  servers_[*target].attach(id, spec.cores, spec.mem_gb);
+  return true;
+}
+
+void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
+  for (const core::DvfsAction& a : actions.dvfs) {
+    if (a.node >= servers_.size()) continue;
+    if (a.level < 0 || a.level >= servers_[a.node].spec().dvfs.levels()) continue;
+    if (servers_[a.node].dvfs_level() != a.level) {
+      servers_[a.node].set_dvfs_level(a.level);
+      ++result.dvfs_transitions;
+    }
+  }
+
+  for (const core::MigrationAction& m : actions.migrations) {
+    VmRecord* rec = find_vm(m.vm);
+    if (rec == nullptr || rec->host != m.from || m.to >= servers_.size()) continue;
+    if (!rec->vm.migratable()) continue;
+    const workload::Spec& spec = rec->vm.spec();
+    if (!servers_[m.to].can_host(spec.cores, spec.mem_gb)) continue;
+    servers_[m.from].detach(m.vm);
+    servers_[m.to].attach(m.vm, spec.cores, spec.mem_gb);
+    rec->host = m.to;
+    rec->vm.start_migration(cfg_.migration_pause);
+    ++result.migrations;
+  }
+
+  if (actions.charge_priority.size() == cfg_.nodes) {
+    // Accept only a valid permutation.
+    std::vector<bool> seen(cfg_.nodes, false);
+    bool ok = true;
+    for (std::size_t i : actions.charge_priority) {
+      if (i >= cfg_.nodes || seen[i]) {
+        ok = false;
+        break;
+      }
+      seen[i] = true;
+    }
+    if (ok) {
+      charge_priority_ = actions.charge_priority;
+      charge_priority_explicit_ = true;
+    }
+  }
+
+  if (actions.discharge_floor_soc.size() == cfg_.nodes) {
+    discharge_floor_ = actions.discharge_floor_soc;
+  }
+}
+
+DayResult Cluster::run_day(solar::DayType type) {
+  util::Rng day_rng = util::Rng::stream(
+      cfg_.seed, "solar-day-" + std::string(solar::day_type_name(type)));
+  for (long i = 0; i <= day_counter_; ++i) day_rng.next();
+  return run_day(solar::SolarDay{cfg_.plant, type, day_rng});
+}
+
+DayResult Cluster::run_day(const solar::SolarDay& day) {
+  DayResult result;
+  result.day_type = day.type();
+  result.solar_energy = day.daily_energy();
+  result.nodes.resize(cfg_.nodes);
+
+  // Fresh per-day power tables: "the logs contain ... aging metrics
+  // information of six battery nodes" recorded per experiment day (§VI-B).
+  telemetry::PowerTableParams table_params;
+  table_params.chemistry = cfg_.bank.chemistry;
+  table_params.estimation = cfg_.soc_estimation;
+  day_tables_.assign(cfg_.nodes, telemetry::PowerTable{table_params});
+
+  std::vector<double> soc_min(cfg_.nodes, 1.0);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) soc_min[i] = batteries_[i].soc();
+
+  std::size_t next_job = 0;
+  const double dt = cfg_.dt.value();
+  const auto ticks = static_cast<long>(86400.0 / dt);
+  double next_control = cfg_.day_start.value();
+  power::RouteResult last_route;
+  bool window_open = false;
+
+  for (long k = 0; k < ticks; ++k) {
+    const double tod = static_cast<double>(k) * dt;
+    const util::Seconds now{static_cast<double>(day_counter_) * 86400.0 + tod};
+    const bool in_window = tod >= cfg_.day_start.value() && tod < cfg_.day_end.value();
+
+    // --- day window transitions -------------------------------------------
+    if (in_window && !window_open) {
+      window_open = true;
+      for (auto& s : servers_) s.power_on();
+    }
+    if (!in_window && window_open) {
+      // Day end: retire the day's VMs and shut the servers down (§V-B).
+      window_open = false;
+      for (VmRecord& r : vms_) {
+        result.throughput_work += r.vm.progress_work();
+        if (r.vm.state() == workload::VmState::Finished) ++result.jobs_finished;
+        servers_[r.host].detach(r.vm.id());
+      }
+      vms_.clear();
+      pending_jobs_.clear();
+      for (auto& s : servers_) s.power_off();
+    }
+
+    if (in_window) {
+      // --- job arrivals ------------------------------------------------------
+      // Queue semantics: a job that cannot be placed yet (capacity
+      // fragmentation) waits and is retried as earlier batches finish.
+      if (!pending_jobs_.empty()) {
+        std::vector<JobSpec> still_pending;
+        for (const JobSpec& job : pending_jobs_) {
+          if (!deploy_job(job)) still_pending.push_back(job);
+        }
+        pending_jobs_ = std::move(still_pending);
+      }
+      while (next_job < cfg_.daily_jobs.size() &&
+             cfg_.daily_jobs[next_job].arrival.value() <= tod - cfg_.day_start.value()) {
+        if (!deploy_job(cfg_.daily_jobs[next_job])) {
+          pending_jobs_.push_back(cfg_.daily_jobs[next_job]);
+        }
+        ++next_job;
+      }
+
+      // --- control tick -------------------------------------------------------
+      if (tod >= next_control) {
+        next_control += cfg_.control_period.value();
+        const core::PolicyContext ctx = build_context(
+            now, k > 0 ? &last_route : nullptr, day.power(util::Seconds{tod}));
+        apply_actions(policy_->on_control_tick(ctx), result);
+      }
+    }
+
+    // --- VM demand sampling ---------------------------------------------------
+    for (VmRecord& r : vms_) {
+      r.last_util = r.vm.demand_utilization(cfg_.dt);
+      if (servers_[r.host].hosts(r.vm.id())) {
+        servers_[r.host].set_demand(r.vm.id(), r.last_util);
+      }
+    }
+
+    // --- power routing ----------------------------------------------------------
+    std::vector<util::Watts> demands(cfg_.nodes, util::Watts{0.0});
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+      demands[i] = in_window ? servers_[i].power_now() : util::Watts{0.0};
+    }
+    power::RouterParams router = cfg_.router;
+    router.charge_allocation = charge_priority_explicit_
+                                   ? power::ChargeAllocation::PriorityOrder
+                                   : power::ChargeAllocation::Proportional;
+    last_route = power::route_power(day.power(util::Seconds{tod}), demands, batteries_,
+                                    charge_priority_, router, cfg_.dt,
+                                    discharge_floor_);
+
+    // --- brownout / restart ----------------------------------------------------
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+      server::Server& srv = servers_[i];
+      if (srv.powered_on() && last_route.nodes[i].unmet.value() > kBrownoutWatts) {
+        srv.power_off();
+        ++result.nodes[i].brownouts;
+        for (VmRecord& r : vms_) {
+          if (r.host == i) r.vm.pause();
+        }
+      } else if (!srv.powered_on() && in_window &&
+                 batteries_[i].soc() >=
+                     std::max(cfg_.brownout_restart_soc,
+                              discharge_floor_.empty() ? 0.0
+                                                       : discharge_floor_[i] + 0.05)) {
+        srv.power_on();
+        for (VmRecord& r : vms_) {
+          if (r.host == i) r.vm.resume();
+        }
+      }
+    }
+
+    // --- telemetry ---------------------------------------------------------------
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+      const telemetry::SensorReading reading =
+          sensors_[i].read(batteries_[i], last_route.nodes[i].battery_current, now);
+      life_tables_[i].record(reading, cfg_.dt);
+      day_tables_[i].record(reading, cfg_.dt);
+    }
+
+    // --- work grants ----------------------------------------------------------------
+    for (VmRecord& r : vms_) {
+      const server::Server& srv = servers_[r.host];
+      if (!srv.powered_on()) continue;
+      r.vm.grant(r.last_util, srv.freq_factor(), cfg_.dt);
+    }
+
+    // --- observer ---------------------------------------------------------------
+    if (observer_) {
+      TickObservation obs;
+      obs.time_of_day = util::Seconds{tod};
+      obs.solar = day.power(util::Seconds{tod});
+      double total_demand = 0.0;
+      for (const util::Watts& d : demands) total_demand += d.value();
+      obs.total_demand = util::Watts{total_demand};
+      obs.route = &last_route;
+      obs.batteries = &batteries_;
+      obs.day_tables = &day_tables_;
+      observer_(obs);
+    }
+
+    // --- per-tick stats ----------------------------------------------------------------
+    result.meter.add(last_route, cfg_.dt);
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+      const double soc = batteries_[i].soc();
+      soc_min[i] = std::min(soc_min[i], soc);
+      result.soc_histogram.add(soc * 100.0, dt);
+      if (soc < 0.40) result.nodes[i].low_soc_time += cfg_.dt;
+      if (soc < 0.15) result.nodes[i].critical_soc_time += cfg_.dt;
+      if (in_window && !servers_[i].powered_on()) result.nodes[i].downtime += cfg_.dt;
+    }
+  }
+
+  // In case the loop ended with the window still open (day_end == 24 h).
+  if (window_open) {
+    for (VmRecord& r : vms_) {
+      result.throughput_work += r.vm.progress_work();
+      if (r.vm.state() == workload::VmState::Finished) ++result.jobs_finished;
+      servers_[r.host].detach(r.vm.id());
+    }
+    vms_.clear();
+    pending_jobs_.clear();
+    for (auto& s : servers_) s.power_off();
+  }
+
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    NodeDayStats& n = result.nodes[i];
+    n.metrics_day = telemetry::compute_metrics(day_tables_[i], cfg_.metrics);
+    n.metrics_life = telemetry::compute_metrics(life_tables_[i], cfg_.metrics);
+    n.soc_min = soc_min[i];
+    n.soc_end = batteries_[i].soc();
+    n.health = batteries_[i].health();
+    n.ah_discharged = day_tables_[i].ah_discharged();
+  }
+
+  ++day_counter_;
+  return result;
+}
+
+}  // namespace baat::sim

@@ -1,0 +1,106 @@
+#pragma once
+
+// The digital twin of the paper's prototype (Fig 11): six server nodes, one
+// battery node each, a shared solar line, the power switcher, per-battery
+// sensors/power tables and the BAAT controller, stepped at a fixed period
+// over simulated days.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "battery/bank.hpp"
+#include "core/policy.hpp"
+#include "power/meter.hpp"
+#include "power/router.hpp"
+#include "server/server.hpp"
+#include "sim/results.hpp"
+#include "sim/scenario.hpp"
+#include "solar/solar_day.hpp"
+#include "telemetry/power_table.hpp"
+#include "telemetry/sensor.hpp"
+#include "workload/vm.hpp"
+
+namespace baat::sim {
+
+/// Snapshot passed to the per-tick observer — the hook the Fig 12 runtime
+/// profiling bench (and debugging) uses to sample intra-day state.
+struct TickObservation {
+  util::Seconds time_of_day{0.0};
+  util::Watts solar{0.0};
+  util::Watts total_demand{0.0};
+  const power::RouteResult* route = nullptr;
+  const std::vector<battery::Battery>* batteries = nullptr;
+  const std::vector<telemetry::PowerTable>* day_tables = nullptr;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ScenarioConfig cfg);
+
+  /// Simulate one full calendar day against a given solar trace. Jobs from
+  /// the daily plan are deployed at their arrival offsets; all VMs are
+  /// retired at day end ("each power management scheme is run one day",
+  /// §VI-B).
+  DayResult run_day(const solar::SolarDay& day);
+
+  /// Convenience: generates the day's solar trace internally (deterministic
+  /// in the cluster seed and the running day counter).
+  DayResult run_day(solar::DayType type);
+
+  /// Swap the management policy between days (Fig 13's matched comparisons).
+  void set_policy(core::PolicyKind kind);
+
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t node_count() const { return batteries_.size(); }
+  [[nodiscard]] const std::vector<battery::Battery>& batteries() const { return batteries_; }
+  /// Mutable access for experiment setup (e.g. seeding an "old" fleet).
+  [[nodiscard]] std::vector<battery::Battery>& batteries_mutable() { return batteries_; }
+  [[nodiscard]] const core::AgingPolicy& policy() const { return *policy_; }
+  [[nodiscard]] long days_run() const { return day_counter_; }
+  /// Life-long metrics of one node, as the controller sees them.
+  [[nodiscard]] telemetry::AgingMetrics life_metrics(std::size_t node) const;
+
+  /// Install a per-tick observer (pass nullptr-like empty function to clear).
+  void set_tick_observer(std::function<void(const TickObservation&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct VmRecord {
+    workload::Vm vm;
+    std::size_t host;
+    double last_util = 0.0;
+  };
+
+  /// Try to place one job; returns false if no node can host it right now
+  /// (the caller queues it for retry — a batch queue, not a silent drop).
+  bool deploy_job(const JobSpec& job);
+  core::PolicyContext build_context(util::Seconds now,
+                                    const power::RouteResult* last_route,
+                                    util::Watts solar_now = util::Watts{0.0}) const;
+  void apply_actions(const core::Actions& actions, DayResult& result);
+  VmRecord* find_vm(workload::VmId id);
+
+  ScenarioConfig cfg_;
+  util::Rng rng_;
+  std::vector<battery::Battery> batteries_;
+  std::vector<server::Server> servers_;
+  std::vector<telemetry::PowerTable> life_tables_;
+  /// Daily-reset logs: the "recent" metric horizon the slowdown check reads.
+  std::vector<telemetry::PowerTable> day_tables_;
+  std::vector<telemetry::BatterySensor> sensors_;
+  std::unique_ptr<core::AgingPolicy> policy_;
+  std::vector<VmRecord> vms_;
+  std::vector<JobSpec> pending_jobs_;  ///< arrived but not yet placeable
+  std::vector<std::size_t> charge_priority_;
+  /// True once the policy has installed an explicit charge order — switches
+  /// the router from the physical proportional split to strict priority.
+  bool charge_priority_explicit_ = false;
+  std::vector<double> discharge_floor_;
+  workload::VmId next_vm_id_ = 0;
+  long day_counter_ = 0;
+  std::function<void(const TickObservation&)> observer_;
+};
+
+}  // namespace baat::sim

@@ -1,0 +1,80 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+DayResult run_matched_day(const ScenarioConfig& cfg, core::PolicyKind policy,
+                          const solar::SolarDay& day) {
+  ScenarioConfig local = cfg;
+  local.policy = policy;
+  Cluster cluster{local};
+  return cluster.run_day(day);
+}
+
+void age_fleet(Cluster& cluster, std::size_t days,
+               const std::vector<solar::DayType>& weather) {
+  BAAT_REQUIRE(!weather.empty(), "weather mix must be non-empty");
+  util::Rng solar_rng = util::Rng::stream(cluster.config().seed, "age-fleet");
+  for (std::size_t d = 0; d < days; ++d) {
+    const solar::SolarDay day{cluster.config().plant, weather[d % weather.size()],
+                              solar_rng.fork("day")};
+    cluster.run_day(day);
+  }
+}
+
+void seed_aged_fleet(Cluster& cluster, const battery::AgingState& state) {
+  for (battery::Battery& b : cluster.batteries_mutable()) {
+    b.aging_model().set_state(state);
+  }
+}
+
+battery::AgingState six_month_aged_state() {
+  battery::AgingState s;
+  s.corrosion = 0.018;
+  s.shedding = 0.080;
+  s.sulphation = 0.035;
+  s.water_loss = 0.002;
+  s.stratification = 0.008;
+  return s;
+}
+
+LifetimeSummary estimate_lifetime(const ScenarioConfig& cfg, core::PolicyKind policy,
+                                  double sunshine_fraction, std::size_t sim_days) {
+  ScenarioConfig local = cfg;
+  local.policy = policy;
+  Cluster cluster{local};
+
+  MultiDayOptions opts;
+  opts.days = sim_days;
+  opts.sunshine_fraction = sunshine_fraction;
+  opts.probe_every_days = 0;
+  opts.keep_days = false;
+  const MultiDayResult run = run_multi_day(cluster, opts);
+
+  LifetimeSummary summary;
+  summary.sim_days = static_cast<double>(sim_days);
+  summary.mean_health_end = run.mean_health_end;
+  summary.min_health_end = run.min_health_end;
+  summary.throughput = run.total_throughput;
+  summary.lifetime_days =
+      core::extrapolate_lifetime(1.0, run.min_health_end, summary.sim_days).days;
+  summary.lifetime_days_mean =
+      core::extrapolate_lifetime(1.0, run.mean_health_end, summary.sim_days).days;
+  return summary;
+}
+
+ScenarioConfig with_server_battery_ratio(ScenarioConfig cfg, double watts_per_ah) {
+  BAAT_REQUIRE(watts_per_ah > 0.0, "ratio must be positive");
+  const double ah = cfg.server.peak.value() / watts_per_ah;
+  cfg.bank.chemistry.capacity_c20 = util::ampere_hours(ah);
+  cfg.metrics.nameplate = cfg.bank.chemistry.capacity_c20;
+  cfg.metrics.lifetime_throughput = util::ampere_hours(ah * 1000.0);
+  cfg.policy_params.planned.total_throughput = cfg.metrics.lifetime_throughput;
+  cfg.policy_params.planned.nameplate = cfg.bank.chemistry.capacity_c20;
+  return cfg;
+}
+
+}  // namespace baat::sim

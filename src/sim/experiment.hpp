@@ -1,0 +1,51 @@
+#pragma once
+
+// Experiment helpers shared by the bench harnesses: matched single-day
+// policy comparisons (§VI-B's "most similar solar generation scenarios"
+// methodology), fleet pre-aging for the "old battery" conditions, and
+// lifetime estimation sweeps (Figs 14/15).
+
+#include "core/lifetime.hpp"
+#include "sim/cluster.hpp"
+#include "sim/multiday.hpp"
+
+namespace baat::sim {
+
+/// Run one policy for one day on a fresh prototype cluster against an
+/// externally fixed solar trace, so every policy sees the identical supply.
+DayResult run_matched_day(const ScenarioConfig& cfg, core::PolicyKind policy,
+                          const solar::SolarDay& day);
+
+/// Age a cluster's fleet by running `days` of the given weather mix under
+/// its current policy ("we regularly use the batteries and make them
+/// gradually and synchronously aging", §VI-B).
+void age_fleet(Cluster& cluster, std::size_t days,
+               const std::vector<solar::DayType>& weather);
+
+/// Install an identical pre-aged state on every unit — the fast path to the
+/// "old battery" condition for matched experiments.
+void seed_aged_fleet(Cluster& cluster, const battery::AgingState& state);
+
+/// A representative "old" state: roughly six months of aggressive cycling
+/// (health ≈ 0.88, visibly higher resistance).
+battery::AgingState six_month_aged_state();
+
+struct LifetimeSummary {
+  double lifetime_days = 0.0;     ///< worst-node extrapolated service life
+  double lifetime_days_mean = 0.0;  ///< fleet-mean extrapolated service life
+  double mean_health_end = 1.0;
+  double min_health_end = 1.0;
+  double throughput = 0.0;
+  double sim_days = 0.0;
+};
+
+/// Simulate `sim_days` at a location and extrapolate battery lifetime from
+/// the observed fade (end-of-life at 80% health, [30]).
+LifetimeSummary estimate_lifetime(const ScenarioConfig& cfg, core::PolicyKind policy,
+                                  double sunshine_fraction, std::size_t sim_days);
+
+/// Rescale the scenario to a server-to-battery capacity ratio in W/Ah
+/// (Fig 15's x-axis): battery Ah = server peak / ratio.
+ScenarioConfig with_server_battery_ratio(ScenarioConfig cfg, double watts_per_ah);
+
+}  // namespace baat::sim

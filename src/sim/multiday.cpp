@@ -1,0 +1,83 @@
+#include "sim/multiday.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+std::vector<solar::DayType> mixed_weather(std::size_t days, std::size_t sunny,
+                                          std::size_t cloudy, std::size_t rainy) {
+  BAAT_REQUIRE(sunny + cloudy + rainy > 0, "weather mix must be non-empty");
+  std::vector<solar::DayType> pattern;
+  for (std::size_t i = 0; i < sunny; ++i) pattern.push_back(solar::DayType::Sunny);
+  for (std::size_t i = 0; i < cloudy; ++i) pattern.push_back(solar::DayType::Cloudy);
+  for (std::size_t i = 0; i < rainy; ++i) pattern.push_back(solar::DayType::Rainy);
+  std::vector<solar::DayType> seq(days);
+  for (std::size_t d = 0; d < days; ++d) seq[d] = pattern[d % pattern.size()];
+  return seq;
+}
+
+MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
+  BAAT_REQUIRE(options.days > 0, "must simulate at least one day");
+
+  std::vector<solar::DayType> weather = options.weather;
+  if (weather.empty()) {
+    util::Rng weather_rng = util::Rng::stream(cluster.config().seed, "weather-seq");
+    weather = solar::Location{options.sunshine_fraction}.sample_days(options.days,
+                                                                     weather_rng);
+  }
+  BAAT_REQUIRE(weather.size() >= options.days, "weather sequence shorter than run");
+
+  util::Rng solar_rng = util::Rng::stream(cluster.config().seed, "solar-days");
+
+  MultiDayResult result;
+  for (std::size_t d = 0; d < options.days; ++d) {
+    const solar::SolarDay day{cluster.config().plant, weather[d], solar_rng.fork("day")};
+    DayResult day_result = cluster.run_day(day);
+    result.total_throughput += day_result.throughput_work;
+    for (std::size_t b = 0; b < day_result.soc_histogram.bin_count(); ++b) {
+      const double lo = day_result.soc_histogram.bin_lo(b);
+      result.soc_histogram.add(lo + 1e-6, day_result.soc_histogram.bin_weight(b));
+    }
+
+    const bool probe_due = options.probe_every_days > 0 &&
+                           (d + 1) % options.probe_every_days == 0;
+    if (probe_due) {
+      // Probe the unit with the largest *cumulative* throughput so the
+      // monthly series tracks one physical battery, as the prototype did.
+      std::size_t worst = 0;
+      for (std::size_t b = 1; b < cluster.node_count(); ++b) {
+        if (cluster.batteries()[b].counters().ah_discharged >
+            cluster.batteries()[worst].counters().ah_discharged) {
+          worst = b;
+        }
+      }
+      const battery::ProbeResult probe = battery::run_probe(cluster.batteries()[worst]);
+      MonthlyProbe mp;
+      mp.month = static_cast<int>((d + 1) / options.probe_every_days);
+      mp.full_voltage = probe.full_voltage.value();
+      mp.capacity_fraction = probe.capacity_fraction;
+      mp.energy_per_cycle_wh = probe.energy_per_cycle.value();
+      mp.round_trip_efficiency = probe.round_trip_efficiency;
+      mp.health = cluster.batteries()[worst].health();
+      result.monthly.push_back(mp);
+    }
+
+    if (options.keep_days) {
+      result.days.push_back(std::move(day_result));
+    }
+  }
+
+  double mean_health = 0.0;
+  double min_health = 1.0;
+  for (const battery::Battery& b : cluster.batteries()) {
+    mean_health += b.health();
+    min_health = std::min(min_health, b.health());
+  }
+  result.mean_health_end = mean_health / static_cast<double>(cluster.node_count());
+  result.min_health_end = min_health;
+  return result;
+}
+
+}  // namespace baat::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+// Multi-day / multi-month simulation — the substitute for the paper's six
+// months of wall-clock prototype operation. Chains daily runs over a
+// weather sequence, aggregates results, and performs the monthly
+// instrumented battery probes behind Figs 3–5.
+
+#include "battery/probe.hpp"
+#include "sim/cluster.hpp"
+#include "solar/location.hpp"
+
+namespace baat::sim {
+
+struct MultiDayOptions {
+  std::size_t days = 180;
+  /// Explicit weather sequence; when empty it is sampled from
+  /// `sunshine_fraction` with the run's seed.
+  std::vector<solar::DayType> weather;
+  double sunshine_fraction = 0.5;
+  /// Probe cadence for the Fig 3–5 measurements; 0 disables probing.
+  std::size_t probe_every_days = 30;
+  /// Keep per-day results (memory grows with days); aggregates are always kept.
+  bool keep_days = true;
+};
+
+MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options);
+
+/// A repeating Sunny→Cloudy→Rainy mix with the given counts — handy for
+/// matched long-run comparisons.
+std::vector<solar::DayType> mixed_weather(std::size_t days, std::size_t sunny,
+                                          std::size_t cloudy, std::size_t rainy);
+
+}  // namespace baat::sim

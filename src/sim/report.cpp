@@ -1,0 +1,114 @@
+#include "sim/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "core/lifetime.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+namespace {
+
+std::ostream& pct(std::ostream& out, double fraction) {
+  return out << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+}
+
+}  // namespace
+
+void write_report(std::ostream& out, const ReportInputs& inputs) {
+  BAAT_REQUIRE(inputs.config != nullptr, "report needs a scenario config");
+  BAAT_REQUIRE(inputs.result != nullptr, "report needs a result");
+  const ScenarioConfig& cfg = *inputs.config;
+  const MultiDayResult& r = *inputs.result;
+
+  out << "# " << inputs.title << "\n\n";
+
+  out << "## Configuration\n\n";
+  out << "| parameter | value |\n|---|---|\n";
+  out << "| policy | " << core::policy_kind_name(cfg.policy) << " |\n";
+  out << "| nodes | " << cfg.nodes << " |\n";
+  out << "| battery | " << cfg.bank.chemistry.cells * 2 << " V / "
+      << cfg.bank.chemistry.capacity_c20.value() << " Ah per node |\n";
+  out << "| server | " << cfg.server.idle.value() << "-" << cfg.server.peak.value()
+      << " W, " << cfg.server.cores << " cores |\n";
+  if (inputs.sunshine_fraction >= 0.0) {
+    out << "| sunshine fraction | " << inputs.sunshine_fraction << " |\n";
+  }
+  out << "| seed | " << cfg.seed << " |\n";
+  out << "| days simulated | " << r.days_simulated() << " |\n\n";
+
+  out << "## Outcome\n\n";
+  out << "- throughput: " << std::fixed << std::setprecision(2)
+      << r.total_throughput / 1e6 << " M core-seconds\n";
+  out << "- fleet health: mean ";
+  pct(out, r.mean_health_end) << ", min ";
+  pct(out, r.min_health_end) << "\n";
+  if (r.days_simulated() > 0.0 && r.min_health_end < 1.0) {
+    const double life =
+        core::extrapolate_lifetime(1.0, r.min_health_end, r.days_simulated()).days;
+    out << "- worst battery projected end-of-life: day " << std::setprecision(0)
+        << life << "\n";
+  }
+  out << "\n";
+
+  out << "## SoC distribution (node-time share)\n\n";
+  out << "| bin | share |\n|---|---|\n";
+  for (std::size_t b = 0; b < r.soc_histogram.bin_count(); ++b) {
+    out << "| " << r.soc_histogram.bin_label(b) << " | ";
+    pct(out, r.soc_histogram.fraction(b)) << " |\n";
+  }
+  out << "\n";
+
+  if (!r.monthly.empty()) {
+    out << "## Battery probes (worst unit)\n\n";
+    out << "| month | V_full (V) | capacity | round-trip |\n|---|---|---|---|\n";
+    for (const MonthlyProbe& p : r.monthly) {
+      out << "| " << p.month << " | " << std::setprecision(2) << p.full_voltage
+          << " | ";
+      pct(out, p.capacity_fraction) << " | ";
+      pct(out, p.round_trip_efficiency) << " |\n";
+    }
+    out << "\n";
+  }
+
+  if (!r.days.empty()) {
+    out << "## Per-day summary\n\n";
+    out << "| day | weather | work (Mcs) | worst Ah | low-SoC h | downtime h | "
+           "migr | dvfs |\n|---|---|---|---|---|---|---|---|\n";
+    for (std::size_t d = 0; d < r.days.size(); ++d) {
+      const DayResult& day = r.days[d];
+      out << "| " << d << " | " << solar::day_type_name(day.day_type) << " | "
+          << std::setprecision(2) << day.throughput_work / 1e6 << " | "
+          << std::setprecision(1)
+          << day.nodes[day.worst_node()].ah_discharged.value() << " | "
+          << day.worst_low_soc_time().value() / 3600.0 << " | "
+          << day.total_downtime().value() / 3600.0 << " | " << day.migrations
+          << " | " << day.dvfs_transitions << " |\n";
+    }
+    out << "\n";
+  }
+
+  if (inputs.cluster != nullptr) {
+    out << "## Fleet detail\n\n";
+    out << "| node | health | NAT | CF | PC-health | DDT |\n|---|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < inputs.cluster->node_count(); ++i) {
+      const auto m = inputs.cluster->life_metrics(i);
+      out << "| " << i << " | ";
+      pct(out, inputs.cluster->batteries()[i].health()) << " | "
+          << std::setprecision(4) << m.nat << " | " << std::setprecision(2) << m.cf
+          << " | " << m.pc_health << " | " << m.ddt << " |\n";
+    }
+    out << "\n";
+  }
+
+  if (!out) throw std::runtime_error("report write failed");
+}
+
+void write_report(const std::string& path, const ReportInputs& inputs) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_report(out, inputs);
+}
+
+}  // namespace baat::sim

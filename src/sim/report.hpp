@@ -1,0 +1,28 @@
+#pragma once
+
+// Markdown experiment reports — what an operator (or CI job) files after a
+// simulation campaign: configuration, per-day table, fleet health, probe
+// history, and lifetime projections, in one reviewable document.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/cluster.hpp"
+#include "sim/results.hpp"
+
+namespace baat::sim {
+
+struct ReportInputs {
+  std::string title = "BAAT simulation report";
+  const ScenarioConfig* config = nullptr;      ///< required
+  const MultiDayResult* result = nullptr;      ///< required
+  const Cluster* cluster = nullptr;            ///< optional: adds fleet detail
+  double sunshine_fraction = -1.0;             ///< < 0 hides the line
+};
+
+/// Render the report as markdown. Throws util::PreconditionError if the
+/// required inputs are missing.
+void write_report(std::ostream& out, const ReportInputs& inputs);
+void write_report(const std::string& path, const ReportInputs& inputs);
+
+}  // namespace baat::sim

@@ -1,0 +1,40 @@
+#include "sim/results.hpp"
+
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+util::Histogram make_soc_histogram() {
+  // Fig 19 bins; the top edge is nudged past 100 so a full battery lands in
+  // the [90, 100] bin instead of overflow.
+  return util::Histogram{{0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0, 100.0001}};
+}
+
+std::size_t DayResult::worst_node() const {
+  BAAT_REQUIRE(!nodes.empty(), "day result has no nodes");
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].ah_discharged > nodes[worst].ah_discharged) worst = i;
+  }
+  return worst;
+}
+
+Seconds DayResult::total_downtime() const {
+  Seconds t{0.0};
+  for (const NodeDayStats& n : nodes) t += n.downtime;
+  return t;
+}
+
+Seconds DayResult::worst_low_soc_time() const {
+  Seconds t{0.0};
+  for (const NodeDayStats& n : nodes) t = std::max(t, n.low_soc_time);
+  return t;
+}
+
+Seconds DayResult::worst_critical_soc_time() const {
+  Seconds t{0.0};
+  for (const NodeDayStats& n : nodes) t = std::max(t, n.critical_soc_time);
+  return t;
+}
+
+}  // namespace baat::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Result records produced by the cluster simulation, aligned with what the
+// paper's figures report.
+
+#include <vector>
+
+#include "power/meter.hpp"
+#include "solar/weather.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace baat::sim {
+
+using util::AmpereHours;
+using util::Seconds;
+using util::WattHours;
+
+/// Fig 19's seven SoC bins: [0,15) [15,30) [30,45) [45,60) [60,75) [75,90) [90,100].
+util::Histogram make_soc_histogram();
+
+struct NodeDayStats {
+  telemetry::AgingMetrics metrics_day{};   ///< metrics over this day only
+  telemetry::AgingMetrics metrics_life{};  ///< cumulative at day end
+  double soc_min = 1.0;
+  double soc_end = 1.0;
+  Seconds low_soc_time{0.0};   ///< below 40% SoC this day (Fig 18)
+  /// Below 15% SoC — the bottom Fig 19 bin, where a load spike means a
+  /// single point of failure (§VI-E).
+  Seconds critical_soc_time{0.0};
+  Seconds downtime{0.0};       ///< server brownout time this day
+  double health = 1.0;         ///< battery capacity fraction at day end
+  AmpereHours ah_discharged{0.0};  ///< this day
+  int brownouts = 0;
+};
+
+struct DayResult {
+  solar::DayType day_type = solar::DayType::Sunny;
+  WattHours solar_energy{0.0};
+  double throughput_work = 0.0;  ///< delivered core-seconds across all VMs (Fig 20)
+  int jobs_finished = 0;
+  int migrations = 0;
+  int dvfs_transitions = 0;
+  std::vector<NodeDayStats> nodes;
+  power::EnergyMeter meter;
+  util::Histogram soc_histogram = make_soc_histogram();  ///< node-seconds per bin
+
+  /// Index of the most-stressed node (largest Ah throughput today) — the
+  /// paper's "worst battery node" selection rule (§VI-B).
+  [[nodiscard]] std::size_t worst_node() const;
+  [[nodiscard]] Seconds total_downtime() const;
+  [[nodiscard]] Seconds worst_low_soc_time() const;
+  [[nodiscard]] Seconds worst_critical_soc_time() const;
+};
+
+/// One monthly instrumented measurement (Figs 3–5).
+struct MonthlyProbe {
+  int month = 0;               ///< months since deployment, 1-based
+  double full_voltage = 0.0;   ///< loaded terminal voltage at full charge (V)
+  double capacity_fraction = 0.0;
+  double energy_per_cycle_wh = 0.0;
+  double round_trip_efficiency = 0.0;
+  double health = 0.0;
+};
+
+struct MultiDayResult {
+  std::vector<DayResult> days;
+  std::vector<MonthlyProbe> monthly;   ///< probe of the worst node, per month
+  double total_throughput = 0.0;
+  /// Mean/min battery health across nodes at the end of the run.
+  double mean_health_end = 1.0;
+  double min_health_end = 1.0;
+  util::Histogram soc_histogram = make_soc_histogram();  ///< aggregated (Fig 19)
+
+  [[nodiscard]] double days_simulated() const { return static_cast<double>(days.size()); }
+};
+
+}  // namespace baat::sim

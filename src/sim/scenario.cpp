@@ -1,0 +1,62 @@
+#include "sim/scenario.hpp"
+
+namespace baat::sim {
+
+std::vector<JobSpec> default_daily_jobs(int replicas) {
+  // Big-footprint jobs are submitted first each morning (as any operator
+  // would) so that a simple least-loaded scheduler can pack them without
+  // fragmentation — keeping the policy comparison about power management,
+  // not bin-packing luck.
+  const workload::Kind order[] = {
+      workload::Kind::SoftwareTesting, workload::Kind::KMeansClustering,
+      workload::Kind::DataAnalytics,   workload::Kind::WebServing,
+      workload::Kind::NutchIndexing,   workload::Kind::WordCount,
+  };
+  std::vector<JobSpec> jobs;
+  double slot = 0.0;
+  for (int r = 0; r < replicas; ++r) {
+    for (workload::Kind k : order) {
+      jobs.push_back(JobSpec{k, util::minutes(20.0 * slot)});
+      slot += 1.0;
+    }
+  }
+  return jobs;
+}
+
+ScenarioConfig prototype_scenario() {
+  ScenarioConfig cfg;
+  cfg.nodes = 6;
+
+  // One active 12 V 35 Ah block per node (420 Wh; the prototype's twelve
+  // units give each of the six nodes a working block plus a maintenance
+  // spare), ~2.5 kWh of working storage fleet-wide.
+  cfg.bank.units = cfg.nodes;
+  cfg.bank.chemistry.cells = 6;
+  cfg.bank.chemistry.capacity_c20 = util::ampere_hours(35.0);
+  cfg.bank.chemistry.r_internal_ohms = 0.015;
+
+  cfg.server.idle = util::watts(62.0);
+  cfg.server.peak = util::watts(150.0);
+  cfg.server.cores = 8.0;
+  cfg.server.mem_gb = 16.0;
+
+  // Peak sized so the Sunny/Cloudy/Rainy energy normalization (8/6/3 kWh)
+  // needs only mild scaling.
+  cfg.plant.peak = util::watts(1500.0);
+
+  cfg.metrics.nameplate = cfg.bank.chemistry.capacity_c20;
+  // CAP_nom of Eq 1: nameplate × rated full cycles (Trojan-class midpoint).
+  cfg.metrics.lifetime_throughput =
+      util::ampere_hours(cfg.bank.chemistry.capacity_c20.value() * 1000.0);
+
+  cfg.policy_params.planned.total_throughput = cfg.metrics.lifetime_throughput;
+  cfg.policy_params.planned.nameplate = cfg.bank.chemistry.capacity_c20;
+  cfg.policy_params.day_end = cfg.day_end;
+  cfg.policy_params.forecast.plant_peak = cfg.plant.peak;
+  cfg.policy_params.forecast.window = cfg.plant.window;
+
+  cfg.daily_jobs = default_daily_jobs(cfg.replicas);
+  return cfg;
+}
+
+}  // namespace baat::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+// Scenario configuration — the knobs of the prototype (§V) plus the sweep
+// axes of the evaluation (§VI): policy, weather/location, server-to-battery
+// ratio, planned-aging parameters.
+
+#include <cstdint>
+#include <vector>
+
+#include "battery/bank.hpp"
+#include "core/policy.hpp"
+#include "power/router.hpp"
+#include "server/server.hpp"
+#include "solar/solar_day.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/power_table.hpp"
+#include "telemetry/sensor.hpp"
+#include "util/units.hpp"
+#include "workload/workload.hpp"
+
+namespace baat::sim {
+
+using util::Seconds;
+
+/// One job to deploy during a day.
+struct JobSpec {
+  workload::Kind kind{};
+  Seconds arrival{0.0};  ///< offset from day_start
+};
+
+struct ScenarioConfig {
+  std::size_t nodes = 6;                       ///< servers, one battery node each
+  battery::BankSpec bank{};                    ///< bank.units is overridden by `nodes`
+  server::ServerSpec server{};
+  solar::PlantSpec plant{};
+  power::RouterParams router{};
+  telemetry::SensorNoise sensor_noise{};
+  telemetry::MetricParams metrics{};
+  telemetry::SocEstimation soc_estimation = telemetry::SocEstimation::RestAnchoredCoulomb;
+  core::PolicyKind policy = core::PolicyKind::EBuff;
+  core::PolicyParams policy_params{};
+
+  Seconds dt{60.0};                            ///< simulation step
+  Seconds control_period{util::minutes(5.0)};  ///< BAAT controller cadence
+  Seconds day_start{util::hours(8.5)};         ///< "first server at 8:30 AM" (§V-B)
+  Seconds day_end{util::hours(18.5)};          ///< "shut down after 6:30 PM"
+  Seconds migration_pause{90.0};               ///< VM stop-and-copy downtime
+  double brownout_restart_soc = 0.35;          ///< restart a downed node above this
+  std::uint64_t seed = 42;
+
+  /// Jobs deployed each day; empty ⇒ the default six-workload mix.
+  std::vector<JobSpec> daily_jobs;
+  int replicas = 2;  ///< copies of each default workload when daily_jobs is empty
+};
+
+/// The default deployment: all six paper workloads × replicas, arriving
+/// 20 minutes apart from day start.
+std::vector<JobSpec> default_daily_jobs(int replicas);
+
+/// Paper-prototype defaults: six nodes, 2 × 12 V 35 Ah per node (the twelve
+/// batteries of Fig 11 modeled as one 24 V 35 Ah string per server),
+/// 80–180 W servers, a plant normalized to the 8/6/3 kWh weather budgets.
+ScenarioConfig prototype_scenario();
+
+}  // namespace baat::sim

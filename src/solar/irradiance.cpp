@@ -1,0 +1,25 @@
+#include "solar/irradiance.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/require.hpp"
+
+namespace baat::solar {
+
+double clear_sky_fraction(const SunWindow& w, Seconds time_of_day) {
+  BAAT_REQUIRE(w.sunset > w.sunrise, "sun window must have positive length");
+  const double t = time_of_day.value();
+  if (t <= w.sunrise.value() || t >= w.sunset.value()) return 0.0;
+  const double x = (t - w.sunrise.value()) / w.length().value();
+  const double s = std::sin(std::numbers::pi * x);
+  return s * s;
+}
+
+double clear_sky_hours(const SunWindow& w) {
+  BAAT_REQUIRE(w.sunset > w.sunrise, "sun window must have positive length");
+  // ∫₀¹ sin²(πx) dx = 1/2 exactly.
+  return w.length().value() / 3600.0 * 0.5;
+}
+
+}  // namespace baat::solar

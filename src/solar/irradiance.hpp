@@ -1,0 +1,29 @@
+#pragma once
+
+// Clear-sky irradiance shape over a day. The prototype taps "one solar power
+// line from the PV panel on the roof" (§V-A); we model its clear-sky output
+// as the standard sin² bell between sunrise and sunset, to be multiplied by
+// a cloud attenuation process (weather.hpp) and the panel rating.
+
+#include "util/units.hpp"
+
+namespace baat::solar {
+
+using util::Seconds;
+
+struct SunWindow {
+  Seconds sunrise{util::hours(6.5)};
+  Seconds sunset{util::hours(19.5)};
+
+  [[nodiscard]] Seconds length() const { return sunset - sunrise; }
+};
+
+/// Fraction [0, 1] of peak clear-sky output at time-of-day `t` (seconds from
+/// midnight); 0 outside the sun window. Shape: sin²(π·(t-rise)/length).
+double clear_sky_fraction(const SunWindow& w, Seconds time_of_day);
+
+/// ∫ clear_sky_fraction dt over the whole day, in hours — the "equivalent
+/// peak-sun hours" of the window (length/2 for the sin² shape).
+double clear_sky_hours(const SunWindow& w);
+
+}  // namespace baat::solar

@@ -1,0 +1,43 @@
+#include "solar/location.hpp"
+
+#include "util/require.hpp"
+
+namespace baat::solar {
+
+Location::Location(double sunshine_fraction) : fraction_(sunshine_fraction) {
+  BAAT_REQUIRE(sunshine_fraction >= 0.0 && sunshine_fraction <= 1.0,
+               "sunshine fraction must be in [0, 1]");
+}
+
+double Location::probability(DayType t) const {
+  switch (t) {
+    case DayType::Sunny: return fraction_;
+    case DayType::Cloudy: return (1.0 - fraction_) * 0.6;
+    case DayType::Rainy: return (1.0 - fraction_) * 0.4;
+  }
+  return 0.0;
+}
+
+double Location::expected_daily_energy_kwh() const {
+  double e = 0.0;
+  for (DayType t : {DayType::Sunny, DayType::Cloudy, DayType::Rainy}) {
+    e += probability(t) * weather_params(t).daily_energy_kwh;
+  }
+  return e;
+}
+
+DayType Location::sample_day(util::Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < probability(DayType::Sunny)) return DayType::Sunny;
+  if (u < probability(DayType::Sunny) + probability(DayType::Cloudy)) return DayType::Cloudy;
+  return DayType::Rainy;
+}
+
+std::vector<DayType> Location::sample_days(std::size_t n, util::Rng& rng) const {
+  std::vector<DayType> days;
+  days.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) days.push_back(sample_day(rng));
+  return days;
+}
+
+}  // namespace baat::solar

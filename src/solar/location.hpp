@@ -1,0 +1,39 @@
+#pragma once
+
+// Geographic solar availability, parameterized by "sunshine fraction — the
+// percentage of time when sunshine is recorded" ([41], used as the x-axis of
+// Figs 14 and 17). A location turns the fraction into a distribution over
+// weather day types and generates reproducible day sequences.
+
+#include <vector>
+
+#include "solar/weather.hpp"
+#include "util/rng.hpp"
+
+namespace baat::solar {
+
+class Location {
+ public:
+  /// sunshine_fraction in [0, 1].
+  explicit Location(double sunshine_fraction);
+
+  [[nodiscard]] double sunshine_fraction() const { return fraction_; }
+
+  /// P(Sunny) = fraction; the overcast remainder splits 60/40 into
+  /// Cloudy/Rainy (broken cloud is more common than all-day rain).
+  [[nodiscard]] double probability(DayType t) const;
+
+  /// Expected daily plant energy in kWh at the prototype scale.
+  [[nodiscard]] double expected_daily_energy_kwh() const;
+
+  /// Sample one day's weather.
+  DayType sample_day(util::Rng& rng) const;
+
+  /// Sample a sequence of n days.
+  std::vector<DayType> sample_days(std::size_t n, util::Rng& rng) const;
+
+ private:
+  double fraction_;
+};
+
+}  // namespace baat::solar

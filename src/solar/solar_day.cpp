@@ -1,0 +1,48 @@
+#include "solar/solar_day.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::solar {
+
+SolarDay::SolarDay(const PlantSpec& spec, DayType type, util::Rng rng)
+    : spec_(spec), type_(type) {
+  BAAT_REQUIRE(spec_.sample_period.value() > 0.0, "sample period must be positive");
+  BAAT_REQUIRE(spec_.peak.value() > 0.0, "plant peak must be positive");
+
+  const WeatherClassParams wp = weather_params(type);
+  CloudProcess clouds{wp, rng.fork("clouds")};
+
+  const double dt = spec_.sample_period.value();
+  const auto n = static_cast<std::size_t>(std::ceil(86400.0 / dt));
+  samples_.resize(n, 0.0);
+
+  double raw_energy_wh = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Seconds t{(static_cast<double>(k) + 0.5) * dt};
+    const double clear = clear_sky_fraction(spec_.window, t);
+    const double att = clouds.next();
+    const double w = spec_.peak.value() * clear * att;
+    samples_[k] = w;
+    raw_energy_wh += w * dt / 3600.0;
+  }
+
+  if (spec_.normalize_energy && raw_energy_wh > 0.0) {
+    const double jitter = 1.0 + spec_.energy_jitter * rng.fork("energy").normal();
+    const double target_wh = wp.daily_energy_kwh * 1000.0 * std::max(0.5, jitter);
+    const double scale = target_wh / raw_energy_wh;
+    for (double& s : samples_) s *= scale;
+    raw_energy_wh = target_wh;
+  }
+  energy_ = WattHours{raw_energy_wh};
+}
+
+Watts SolarDay::power(Seconds time_of_day) const {
+  const double t = time_of_day.value();
+  BAAT_REQUIRE(t >= 0.0 && t < 86400.0, "time of day must be in [0, 86400)");
+  const auto idx = static_cast<std::size_t>(t / spec_.sample_period.value());
+  return Watts{samples_[std::min(idx, samples_.size() - 1)]};
+}
+
+}  // namespace baat::solar

@@ -1,0 +1,99 @@
+#include "solar/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace baat::solar {
+
+util::WattHours SolarTrace::daily_energy() const {
+  double wh = 0.0;
+  for (double w : watts) wh += w * sample_period.value() / 3600.0;
+  return util::WattHours{wh};
+}
+
+util::Watts SolarTrace::power(util::Seconds time_of_day) const {
+  BAAT_REQUIRE(!watts.empty(), "empty trace");
+  const double t = time_of_day.value();
+  BAAT_REQUIRE(t >= 0.0 && t < 86400.0, "time of day must be in [0, 86400)");
+  const auto idx = static_cast<std::size_t>(t / sample_period.value());
+  return util::Watts{watts[std::min(idx, watts.size() - 1)]};
+}
+
+void write_trace_csv(std::ostream& out, const SolarTrace& trace) {
+  out << "seconds,watts\n";
+  for (std::size_t i = 0; i < trace.watts.size(); ++i) {
+    out << static_cast<long>(static_cast<double>(i) * trace.sample_period.value())
+        << ',' << trace.watts[i] << '\n';
+  }
+  if (!out) throw std::runtime_error("solar trace write failed");
+}
+
+void write_trace_csv(const std::string& path, const SolarTrace& trace) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_trace_csv(out, trace);
+}
+
+SolarTrace read_trace_csv(std::istream& in) {
+  SolarTrace trace;
+  trace.watts.clear();
+  std::string line;
+  double prev_t = -1.0;
+  double period = -1.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("seconds", 0) == 0) continue;  // header
+    std::istringstream cells{line};
+    std::string t_str;
+    std::string w_str;
+    BAAT_REQUIRE(std::getline(cells, t_str, ',') && std::getline(cells, w_str, ','),
+                 "trace row must be 'seconds,watts'");
+    double t = 0.0;
+    double w = 0.0;
+    try {
+      t = std::stod(t_str);
+      w = std::stod(w_str);
+    } catch (const std::exception&) {
+      throw util::PreconditionError("unparseable trace row: " + line);
+    }
+    BAAT_REQUIRE(w >= 0.0, "trace power must be >= 0");
+    if (trace.watts.empty()) {
+      BAAT_REQUIRE(t == 0.0, "trace must start at second 0");
+    } else if (period < 0.0) {
+      period = t - prev_t;
+      BAAT_REQUIRE(period > 0.0, "trace timestamps must increase");
+    } else {
+      BAAT_REQUIRE(std::fabs((t - prev_t) - period) < 1e-6,
+                   "trace samples must be evenly spaced");
+    }
+    prev_t = t;
+    trace.watts.push_back(w);
+  }
+  BAAT_REQUIRE(trace.watts.size() >= 2, "trace needs at least two samples");
+  trace.sample_period = util::Seconds{period};
+  return trace;
+}
+
+SolarTrace read_trace_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_trace_csv(in);
+}
+
+SolarTrace trace_from_day(const SolarDay& day, util::Seconds sample_period) {
+  BAAT_REQUIRE(sample_period.value() > 0.0, "sample period must be positive");
+  SolarTrace trace;
+  trace.sample_period = sample_period;
+  const auto n = static_cast<std::size_t>(86400.0 / sample_period.value());
+  trace.watts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.watts.push_back(
+        day.power(util::Seconds{static_cast<double>(i) * sample_period.value()}).value());
+  }
+  return trace;
+}
+
+}  // namespace baat::solar

@@ -1,0 +1,40 @@
+#pragma once
+
+// Solar trace import/export. The generated weather classes reproduce the
+// paper's 8/6/3 kWh budget methodology, but a downstream user will want to
+// feed *their* PV telemetry: this reads/writes a simple two-column CSV
+// (seconds-of-day, watts) and adapts it into the SolarDay interface the
+// rest of the system consumes.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "solar/solar_day.hpp"
+#include "util/units.hpp"
+
+namespace baat::solar {
+
+/// A measured (or exported) one-day power trace at a fixed sample period.
+struct SolarTrace {
+  util::Seconds sample_period{util::seconds(60.0)};
+  std::vector<double> watts;  ///< one sample per period slot, from midnight
+
+  [[nodiscard]] util::WattHours daily_energy() const;
+  [[nodiscard]] util::Watts power(util::Seconds time_of_day) const;
+};
+
+/// Write a trace as "seconds,watts" CSV with a header row.
+void write_trace_csv(std::ostream& out, const SolarTrace& trace);
+void write_trace_csv(const std::string& path, const SolarTrace& trace);
+
+/// Parse a "seconds,watts" CSV (header optional). Samples must be evenly
+/// spaced and start at second 0; throws util::PreconditionError otherwise.
+SolarTrace read_trace_csv(std::istream& in);
+SolarTrace read_trace_csv(const std::string& path);
+
+/// Sample a generated SolarDay into an exportable trace.
+SolarTrace trace_from_day(const SolarDay& day,
+                          util::Seconds sample_period = util::seconds(60.0));
+
+}  // namespace baat::solar

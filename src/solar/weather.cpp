@@ -1,0 +1,40 @@
+#include "solar/weather.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace baat::solar {
+
+std::string_view day_type_name(DayType t) {
+  switch (t) {
+    case DayType::Sunny: return "Sunny";
+    case DayType::Cloudy: return "Cloudy";
+    case DayType::Rainy: return "Rainy";
+  }
+  return "?";
+}
+
+WeatherClassParams weather_params(DayType t) {
+  // Energy targets from §VI-A: 8 / 6 / 3 kWh. Sunny days are steady,
+  // cloudy days churn hard (broken cloud), rainy days are dim and dull.
+  switch (t) {
+    case DayType::Sunny: return {0.95, 0.03, 0.97, 8.0};
+    case DayType::Cloudy: return {0.55, 0.18, 0.90, 6.0};
+    case DayType::Rainy: return {0.25, 0.08, 0.95, 3.0};
+  }
+  return {0.5, 0.1, 0.9, 5.0};
+}
+
+CloudProcess::CloudProcess(const WeatherClassParams& params, util::Rng rng)
+    : params_(params), rng_(rng), state_(params.mean_attenuation) {}
+
+double CloudProcess::next() {
+  const double rho = params_.correlation;
+  state_ = params_.mean_attenuation +
+           rho * (state_ - params_.mean_attenuation) + params_.sigma * rng_.normal();
+  state_ = std::clamp(state_, 0.02, 1.0);
+  return state_;
+}
+
+}  // namespace baat::solar

@@ -1,0 +1,43 @@
+#pragma once
+
+// Weather day classes and the cloud attenuation process. The paper profiles
+// its prototype under Sunny / Cloudy / Rainy days with total daily solar
+// budgets of 8 / 6 / 3 kWh respectively (§VI-A, Fig 12); we reproduce those
+// classes with an AR(1) attenuation process whose mean and variability
+// differ per class.
+
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace baat::solar {
+
+enum class DayType { Sunny, Cloudy, Rainy };
+
+[[nodiscard]] std::string_view day_type_name(DayType t);
+
+struct WeatherClassParams {
+  double mean_attenuation;   ///< long-run mean of the attenuation process
+  double sigma;              ///< innovation scale (cloud churn)
+  double correlation;        ///< AR(1) coefficient per sample step
+  double daily_energy_kwh;   ///< target plant output for the prototype scale
+};
+
+/// Paper-calibrated parameters for a weather class.
+[[nodiscard]] WeatherClassParams weather_params(DayType t);
+
+/// AR(1) cloud attenuation in [0, 1]; sample once per simulation step.
+class CloudProcess {
+ public:
+  CloudProcess(const WeatherClassParams& params, util::Rng rng);
+
+  /// Next attenuation sample (multiplies the clear-sky output).
+  double next();
+
+ private:
+  WeatherClassParams params_;
+  util::Rng rng_;
+  double state_;
+};
+
+}  // namespace baat::solar

@@ -1,0 +1,55 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace baat::telemetry {
+
+AgingMetrics compute_metrics(const PowerTable& table, const MetricParams& params) {
+  BAAT_REQUIRE(params.lifetime_throughput.value() > 0.0,
+               "lifetime throughput must be positive");
+  BAAT_REQUIRE(params.nameplate.value() > 0.0, "nameplate must be positive");
+
+  AgingMetrics m;
+
+  // Eq 1 — NAT = Q_AT / CAP_nom.
+  m.nat = table.ah_discharged().value() / params.lifetime_throughput.value();
+
+  // Eq 2 — CF = Ah_charge / Ah_discharge. With no discharge history yet the
+  // ratio is undefined; report the nominal 1.0 and let callers treat the
+  // node as unexercised. Clamp to a sane band so one sensor glitch cannot
+  // produce an absurd ranking signal.
+  const double discharged = table.ah_discharged().value();
+  if (discharged > 1e-9) {
+    m.cf = std::clamp(table.ah_charged().value() / discharged, 0.0, 5.0);
+  } else {
+    m.cf = 1.0;
+  }
+
+  // Eq 3–4 — PC: probability-weighted SoC-range mix of the discharge Ah.
+  if (discharged > 1e-9) {
+    const double pa = table.ah_in_range(0).value() / discharged;
+    const double pb = table.ah_in_range(1).value() / discharged;
+    const double pc_range = table.ah_in_range(2).value() / discharged;
+    const double pd = table.ah_in_range(3).value() / discharged;
+    m.pc = (pa * 1.0 + pb * 2.0 + pc_range * 3.0 + pd * 4.0) / 4.0;
+    // Inverted presentation: 1 when all output happens at high SoC (range A),
+    // 0 when everything happens deep in range D.
+    m.pc_health = (1.0 - m.pc) / 0.75 * 1.0;
+    m.pc_health = std::clamp(m.pc_health, 0.0, 1.0);
+  }
+
+  // Eq 5 — DDT: time fraction below 40% SoC.
+  const double t_total = table.time_total().value();
+  if (t_total > 0.0) {
+    m.ddt = table.time_below_40().value() / t_total;
+  }
+
+  // DR as a C-rate (amperes per nameplate Ah).
+  m.dr_c_rate = table.recent_discharge_amps() / params.nameplate.value();
+
+  return m;
+}
+
+}  // namespace baat::telemetry

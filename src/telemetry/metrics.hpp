@@ -1,0 +1,44 @@
+#pragma once
+
+// The five battery aging metrics of §III, computed from a PowerTable:
+//
+//   NAT — normalized Ah throughput (Eq 1)
+//   CF  — charge factor (Eq 2)
+//   PC  — partial cycling (Eq 3–4)
+//   DDT — deep discharge time (Eq 5)
+//   DR  — discharge rate (§III-E), reported as a C-rate
+//
+// Note on PC's sign convention: Eq 4 weights the low-SoC range highest, so
+// by the formula a *higher* PC means more Ah cycled at low SoC (worse). The
+// paper's evaluation narrative, however, reports PC with "higher = healthier"
+// (sunny days have high PC, aged e-Buff batteries have a *reduced* PC,
+// §VI-A/B). We expose both: `pc` is the literal Eq 4 value and `pc_health`
+// is the inverted presentation the figures use. EXPERIMENTS.md documents
+// this discrepancy in the paper.
+
+#include "telemetry/power_table.hpp"
+#include "util/units.hpp"
+
+namespace baat::telemetry {
+
+struct MetricParams {
+  /// CAP_nom of Eq 1: the nominal life-long Ah output of the unit. We take
+  /// nameplate capacity × rated full-DoD cycles (§III-A, [31, 32]).
+  AmpereHours lifetime_throughput{35.0 * 1000.0};
+  /// Nameplate capacity, for expressing DR as a C-rate.
+  AmpereHours nameplate{35.0};
+};
+
+struct AgingMetrics {
+  double nat = 0.0;        ///< Eq 1, fraction of life-long throughput used
+  double cf = 1.0;         ///< Eq 2, charge/discharge Ah ratio
+  double pc = 0.25;        ///< Eq 4 literal value, in [0.25, 1]; higher = worse
+  double pc_health = 1.0;  ///< inverted presentation, in [0, 1]; higher = better
+  double ddt = 0.0;        ///< Eq 5, fraction of time below 40% SoC
+  double dr_c_rate = 0.0;  ///< recent discharge current / nameplate capacity
+};
+
+/// Compute all five metrics from a power table's accumulators.
+AgingMetrics compute_metrics(const PowerTable& table, const MetricParams& params);
+
+}  // namespace baat::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/power_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::telemetry {
+
+PowerTable::PowerTable(PowerTableParams params) : params_(std::move(params)) {
+  BAAT_REQUIRE(params_.dr_window.value() > 0.0, "DR window must be positive");
+}
+
+void PowerTable::record(const SensorReading& reading, Seconds dt) {
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+
+  // SoC estimate. Default scheme: rest-anchored coulomb counting, the
+  // standard BMS approach the prototype's control server can implement from
+  // Table 2's sensors — integrate the measured current against the
+  // nameplate capacity, and pull the estimate toward the voltage-derived
+  // value only when the current is small (under load the ohmic drop of an
+  // *aged* cell would bias a pure voltage estimate badly, since the
+  // controller only knows the nominal internal resistance).
+  const double ocv_est = reading.voltage.value() +
+                         reading.current.value() * params_.chemistry.r_internal_ohms;
+  const double soc_v =
+      battery::soc_from_voltage(params_.chemistry, util::Volts{ocv_est});
+  if (params_.estimation == SocEstimation::VoltageOnly) {
+    soc_estimate_ = soc_v;
+  } else {
+    soc_estimate_ -= reading.current.value() * dt.value() / 3600.0 /
+                     params_.chemistry.capacity_c20.value();
+    soc_estimate_ = util::clamp01(soc_estimate_);
+    const double rest_threshold = 0.1 * params_.chemistry.capacity_c20.value();
+    if (std::fabs(reading.current.value()) < rest_threshold) {
+      // Per-minute-scale blend: anchors fully within a few idle minutes.
+      const double alpha = 1.0 - std::exp(-dt.value() / 300.0);
+      soc_estimate_ += alpha * (soc_v - soc_estimate_);
+    }
+  }
+
+  const double i = reading.current.value();
+  const AmpereHours q{std::fabs(i) * dt.value() / 3600.0};
+  if (i > 0.0) {
+    ah_discharged_ += q;
+    std::size_t range = 3;
+    if (soc_estimate_ >= 0.8) {
+      range = 0;
+    } else if (soc_estimate_ >= 0.6) {
+      range = 1;
+    } else if (soc_estimate_ >= 0.4) {
+      range = 2;
+    }
+    ah_by_range_[range] += q;
+  } else if (i < 0.0) {
+    ah_charged_ += q;
+  }
+
+  time_total_ += dt;
+  if (soc_estimate_ < 0.40) time_below_40_ += dt;
+
+  // DR: exponentially weighted discharge current over the configured window.
+  const double alpha = 1.0 - std::exp(-dt.value() / params_.dr_window.value());
+  const double discharge = std::max(0.0, i);
+  dr_ewma_ += alpha * (discharge - dr_ewma_);
+
+  history_.push_back(reading);
+  while (history_.size() > params_.history_depth) history_.pop_front();
+}
+
+AmpereHours PowerTable::ah_in_range(std::size_t range) const {
+  BAAT_REQUIRE(range < 4, "SoC range index must be 0..3");
+  return ah_by_range_[range];
+}
+
+}  // namespace baat::telemetry

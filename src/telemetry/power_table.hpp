@@ -1,0 +1,75 @@
+#pragma once
+
+// The per-battery "power table" (Table 2, Fig 7): the utilization history
+// log the BAAT controller derives all five aging metrics from. Everything
+// here is computed from *sensor readings only* — SoC is estimated from the
+// measured voltage and current the way the prototype's control server does,
+// never read from the battery's internal state.
+
+#include <deque>
+
+#include "battery/chemistry.hpp"
+#include "telemetry/sensor.hpp"
+#include "util/units.hpp"
+
+namespace baat::telemetry {
+
+using util::AmpereHours;
+using util::Seconds;
+
+/// SoC estimation scheme (ablated by bench/ablation_estimator).
+enum class SocEstimation {
+  /// Coulomb counting anchored to voltage readings at near-rest currents —
+  /// robust to the aged cell's resistance growth (the default).
+  RestAnchoredCoulomb,
+  /// Naive voltage-lookup with a nominal I·R correction — biases low on
+  /// aged cells under load.
+  VoltageOnly,
+};
+
+struct PowerTableParams {
+  battery::LeadAcidParams chemistry{};  ///< nominal chemistry for SoC estimation
+  SocEstimation estimation = SocEstimation::RestAnchoredCoulomb;
+  /// Exponential window for the discharge-rate metric (DR, §III-E).
+  Seconds dr_window{util::minutes(10.0)};
+  /// Ring-buffer depth of raw samples kept for inspection/debugging.
+  std::size_t history_depth = 1024;
+};
+
+class PowerTable {
+ public:
+  explicit PowerTable(PowerTableParams params);
+
+  /// Fold one sensor reading covering `dt` into the log.
+  void record(const SensorReading& reading, Seconds dt);
+
+  // --- accumulators the metric engine consumes (Eq 1–5 numerators) ---------
+  [[nodiscard]] AmpereHours ah_discharged() const { return ah_discharged_; }
+  [[nodiscard]] AmpereHours ah_charged() const { return ah_charged_; }
+  /// Discharge Ah per Eq 3 SoC range: 0=A [80,100], 1=B [60,80), 2=C [40,60), 3=D [0,40).
+  [[nodiscard]] AmpereHours ah_in_range(std::size_t range) const;
+  [[nodiscard]] Seconds time_total() const { return time_total_; }
+  [[nodiscard]] Seconds time_below_40() const { return time_below_40_; }
+  /// Exponentially-weighted recent discharge current (amperes), the DR signal.
+  [[nodiscard]] double recent_discharge_amps() const { return dr_ewma_; }
+
+  /// SoC estimated from the latest reading (voltage + I·R correction).
+  [[nodiscard]] double estimated_soc() const { return soc_estimate_; }
+
+  [[nodiscard]] const std::deque<SensorReading>& history() const { return history_; }
+  [[nodiscard]] const PowerTableParams& params() const { return params_; }
+
+ private:
+  PowerTableParams params_;
+  AmpereHours ah_discharged_{0.0};
+  AmpereHours ah_charged_{0.0};
+  AmpereHours ah_by_range_[4] = {AmpereHours{0}, AmpereHours{0}, AmpereHours{0},
+                                 AmpereHours{0}};
+  Seconds time_total_{0.0};
+  Seconds time_below_40_{0.0};
+  double dr_ewma_ = 0.0;
+  double soc_estimate_ = 1.0;
+  std::deque<SensorReading> history_;
+};
+
+}  // namespace baat::telemetry

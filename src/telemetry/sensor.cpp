@@ -1,0 +1,20 @@
+#include "telemetry/sensor.hpp"
+
+namespace baat::telemetry {
+
+BatterySensor::BatterySensor(SensorNoise noise, util::Rng rng)
+    : noise_(noise), rng_(rng) {}
+
+SensorReading BatterySensor::read(const battery::Battery& bat, Amperes actual_current,
+                                  Seconds now) {
+  SensorReading r;
+  r.time = now;
+  r.voltage = Volts{bat.terminal_voltage(actual_current).value() +
+                    rng_.normal(0.0, noise_.voltage_sigma)};
+  r.current = Amperes{actual_current.value() + rng_.normal(0.0, noise_.current_sigma)};
+  r.temperature =
+      Celsius{bat.temperature().value() + rng_.normal(0.0, noise_.temperature_sigma)};
+  return r;
+}
+
+}  // namespace baat::telemetry

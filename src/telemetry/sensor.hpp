@@ -1,0 +1,46 @@
+#pragma once
+
+// Front-end battery sensors (§V-A.2). The prototype measures voltage,
+// current and surface temperature of each battery through NI hardware;
+// Table 2 lists exactly these variables plus working time. We sample the
+// same observables, with optional Gaussian measurement noise so the control
+// path never quietly depends on ground truth it would not have in hardware.
+
+#include "battery/battery.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace baat::telemetry {
+
+using util::Amperes;
+using util::Celsius;
+using util::Seconds;
+using util::Volts;
+
+/// One sensor sample — the Table 2 schema.
+struct SensorReading {
+  Seconds time{0.0};
+  Volts voltage{0.0};
+  Amperes current{0.0};   ///< >0 discharge
+  Celsius temperature{0.0};
+};
+
+struct SensorNoise {
+  double voltage_sigma = 0.01;   ///< volts
+  double current_sigma = 0.05;   ///< amperes
+  double temperature_sigma = 0.2;  ///< kelvin
+};
+
+class BatterySensor {
+ public:
+  BatterySensor(SensorNoise noise, util::Rng rng);
+
+  /// Sample the battery as it carries `actual_current` at time `now`.
+  SensorReading read(const battery::Battery& bat, Amperes actual_current, Seconds now);
+
+ private:
+  SensorNoise noise_;
+  util::Rng rng_;
+};
+
+}  // namespace baat::telemetry

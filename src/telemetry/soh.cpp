@@ -1,0 +1,72 @@
+#include "telemetry/soh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace baat::telemetry {
+
+SohEstimator::SohEstimator(double eol_capacity) : eol_capacity_(eol_capacity) {
+  BAAT_REQUIRE(eol_capacity > 0.0 && eol_capacity < 1.0,
+               "end-of-life capacity must be in (0, 1)");
+}
+
+void SohEstimator::add_probe(double day, double capacity_fraction) {
+  BAAT_REQUIRE(day >= 0.0, "day must be >= 0");
+  BAAT_REQUIRE(capacity_fraction > 0.0 && capacity_fraction <= 1.2,
+               "capacity fraction out of plausible range");
+  BAAT_REQUIRE(samples_.empty() || day > samples_.back().day,
+               "probes must arrive in chronological order");
+  samples_.push_back(SohSample{day, capacity_fraction});
+}
+
+void SohEstimator::fit(double& slope, double& intercept) const {
+  BAAT_REQUIRE(samples_.size() >= 2, "fit needs at least two probes");
+  const auto n = static_cast<double>(samples_.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const SohSample& s : samples_) {
+    sx += s.day;
+    sy += s.capacity;
+    sxx += s.day * s.day;
+    sxy += s.day * s.capacity;
+  }
+  const double denom = n * sxx - sx * sx;
+  BAAT_REQUIRE(std::fabs(denom) > 1e-12, "probe days are degenerate");
+  slope = (n * sxy - sx * sy) / denom;
+  intercept = (sy - slope * sx) / n;
+}
+
+double SohEstimator::capacity_at(double day) const {
+  double slope = 0.0;
+  double intercept = 0.0;
+  fit(slope, intercept);
+  return slope * day + intercept;
+}
+
+double SohEstimator::fade_per_day() const {
+  double slope = 0.0;
+  double intercept = 0.0;
+  fit(slope, intercept);
+  return std::max(0.0, -slope);
+}
+
+std::optional<double> SohEstimator::projected_eol_day() const {
+  if (samples_.size() < 2) return std::nullopt;
+  double slope = 0.0;
+  double intercept = 0.0;
+  fit(slope, intercept);
+  if (slope >= -1e-12) return std::nullopt;  // no observed fade
+  return (eol_capacity_ - intercept) / slope;
+}
+
+bool SohEstimator::measured_eol() const {
+  return std::any_of(samples_.begin(), samples_.end(), [this](const SohSample& s) {
+    return s.capacity <= eol_capacity_;
+  });
+}
+
+}  // namespace baat::telemetry

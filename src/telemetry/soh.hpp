@@ -1,0 +1,47 @@
+#pragma once
+
+// Online state-of-health estimation from periodic capacity probes — the
+// software side of the paper's monthly instrumented measurements (Figs 3–5)
+// and the input to §IV-D's "proactively predicts battery lifetime". A least
+// squares line through the probe history gives the fade rate and the
+// projected end-of-life crossing.
+
+#include <optional>
+#include <vector>
+
+namespace baat::telemetry {
+
+struct SohSample {
+  double day = 0.0;       ///< days since deployment
+  double capacity = 1.0;  ///< measured capacity fraction of nameplate
+};
+
+class SohEstimator {
+ public:
+  /// `eol_capacity`: the end-of-life line, 0.8 per [30].
+  explicit SohEstimator(double eol_capacity = 0.80);
+
+  void add_probe(double day, double capacity_fraction);
+
+  [[nodiscard]] std::size_t probe_count() const { return samples_.size(); }
+
+  /// Least-squares capacity estimate at `day`; requires >= 2 probes.
+  [[nodiscard]] double capacity_at(double day) const;
+  /// Fitted fade per day (>= 0 clamped); requires >= 2 probes.
+  [[nodiscard]] double fade_per_day() const;
+  /// Projected day the fit crosses end-of-life; nullopt while the fit shows
+  /// no fade (or with fewer than 2 probes).
+  [[nodiscard]] std::optional<double> projected_eol_day() const;
+  /// True once a *measured* probe has crossed the end-of-life line.
+  [[nodiscard]] bool measured_eol() const;
+
+  [[nodiscard]] const std::vector<SohSample>& samples() const { return samples_; }
+
+ private:
+  void fit(double& slope, double& intercept) const;
+
+  double eol_capacity_;
+  std::vector<SohSample> samples_;
+};
+
+}  // namespace baat::telemetry

@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace baat::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  BAAT_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_line(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  BAAT_REQUIRE(cells.size() == width_, "CSV row width mismatch");
+  write_line(cells);
+  ++rows_;
+}
+
+std::string CsvWriter::cell(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed");
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace baat::util

@@ -1,0 +1,37 @@
+#pragma once
+
+// Minimal CSV writer for bench/experiment output. Values are written with
+// full double precision; strings containing separators/quotes are quoted
+// per RFC 4180.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace baat::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; the cell count must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Formats a double with round-trippable precision.
+  static std::string cell(double v);
+  static std::string cell(const std::string& v) { return v; }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace baat::util

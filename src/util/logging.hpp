@@ -1,0 +1,47 @@
+#pragma once
+
+// Tiny leveled logger. The simulator is deterministic and single-threaded
+// per experiment, so this deliberately avoids locking; benches set the level
+// to Warn to keep output clean.
+
+#include <sstream>
+#include <string>
+
+namespace baat::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) log_message(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine{LogLevel::Debug}; }
+inline detail::LogLine log_info() { return detail::LogLine{LogLevel::Info}; }
+inline detail::LogLine log_warn() { return detail::LogLine{LogLevel::Warn}; }
+inline detail::LogLine log_error() { return detail::LogLine{LogLevel::Error}; }
+
+}  // namespace baat::util

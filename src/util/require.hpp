@@ -1,0 +1,51 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace baat::util {
+
+/// Thrown when a precondition on a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace baat::util
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+#define BAAT_REQUIRE(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) ::baat::util::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws InvariantError on failure.
+#define BAAT_INVARIANT(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::baat::util::detail::fail_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

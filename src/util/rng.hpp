@@ -1,0 +1,54 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulator (weather, workload jitter,
+// manufacturing variation, sensor noise) draws from a named stream derived
+// from a single experiment seed. Two streams with different names are
+// statistically independent; the same (seed, name) pair always yields the
+// same sequence, so every experiment in the paper reproduction is
+// bit-for-bit repeatable.
+
+#include <cstdint>
+#include <string_view>
+
+namespace baat::util {
+
+/// xoshiro256** — fast, high-quality, tiny-state PRNG.
+class Rng {
+ public:
+  /// Seeds from a 64-bit value via SplitMix64 (never produces the all-zero state).
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent stream for (seed, name) — e.g. Rng::stream(42, "weather").
+  static Rng stream(std::uint64_t seed, std::string_view name);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Independent child stream (e.g. per battery node).
+  Rng fork(std::string_view name);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// FNV-1a hash for deriving stream names; exposed for testability.
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace baat::util

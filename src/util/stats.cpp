@@ -1,0 +1,146 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace baat::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  BAAT_REQUIRE(n_ > 0, "mean of empty RunningStats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  BAAT_REQUIRE(n_ > 0, "min of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  BAAT_REQUIRE(n_ > 0, "max of empty RunningStats");
+  return max_;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  BAAT_REQUIRE(edges_.size() >= 2, "histogram needs at least two edges");
+  BAAT_REQUIRE(std::is_sorted(edges_.begin(), edges_.end()) &&
+                   std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+               "histogram edges must be strictly increasing");
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+Histogram Histogram::uniform(double lo, double hi, std::size_t n_bins) {
+  BAAT_REQUIRE(n_bins > 0 && lo < hi, "invalid uniform histogram spec");
+  std::vector<double> edges(n_bins + 1);
+  for (std::size_t i = 0; i <= n_bins; ++i) {
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n_bins);
+  }
+  return Histogram{std::move(edges)};
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_weight(std::size_t i) const {
+  BAAT_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::total_weight() const {
+  double t = underflow_ + overflow_;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  const double total = total_weight();
+  if (total <= 0.0) return 0.0;
+  return bin_weight(i) / total;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  BAAT_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return edges_[i];
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  BAAT_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return edges_[i + 1];
+}
+
+std::string Histogram::bin_label(std::size_t i) const {
+  std::ostringstream os;
+  os << '[' << bin_lo(i) << ", " << bin_hi(i) << ')';
+  return os.str();
+}
+
+double quantile(std::span<const double> xs, double q) {
+  BAAT_REQUIRE(!xs.empty(), "quantile of empty sample");
+  BAAT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> xs) {
+  BAAT_REQUIRE(!xs.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace baat::util

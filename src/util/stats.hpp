@@ -1,0 +1,73 @@
+#pragma once
+
+// Streaming statistics and histograms used by the telemetry and result
+// aggregation layers. Everything here is O(1) per sample (except quantile,
+// which sorts a retained sample vector) so six-month simulations can log
+// every step without blowing up memory.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace baat::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-edge histogram. Edges must be strictly increasing; samples outside
+/// [edges.front(), edges.back()) land in underflow/overflow counters.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  /// Convenience: n equal-width bins over [lo, hi).
+  static Histogram uniform(double lo, double hi, std::size_t n_bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_weight(std::size_t i) const;
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total_weight() const;
+  /// Fraction of total weight in bin i (0 if histogram is empty).
+  [[nodiscard]] double fraction(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::string bin_label(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+/// Linear-interpolated quantile of a sample set; q in [0, 1]. Copies + sorts.
+double quantile(std::span<const double> xs, double q);
+
+/// Arithmetic mean of a sample set; requires non-empty.
+double mean_of(std::span<const double> xs);
+
+}  // namespace baat::util

@@ -1,0 +1,130 @@
+#pragma once
+
+// Strong-typed physical quantities for the BAAT library.
+//
+// Battery control code mixes watts, watt-hours, ampere-hours, volts and
+// amperes constantly; a silent W/Wh confusion is exactly the kind of bug a
+// six-month aging simulation would hide. Every public interface therefore
+// takes and returns these wrappers. Cross-unit relations (V*A = W,
+// W*duration = Wh, A*duration = Ah, ...) are expressed as explicit free
+// functions/operators below; anything not listed requires going through
+// .value(), which makes the escape hatch visible in review.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace baat::util {
+
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v_ + b.v_}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v_ - b.v_}; }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.v_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.v_ * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{a.v_ * s}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.v_ / s}; }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.v_ / b.v_; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+using Watts = Quantity<struct WattsTag>;
+using WattHours = Quantity<struct WattHoursTag>;
+using Volts = Quantity<struct VoltsTag>;
+using Amperes = Quantity<struct AmperesTag>;
+using AmpereHours = Quantity<struct AmpereHoursTag>;
+using Celsius = Quantity<struct CelsiusTag>;
+/// Simulation time and durations, in seconds.
+using Seconds = Quantity<struct SecondsTag>;
+/// US dollars, for the cost model.
+using Dollars = Quantity<struct DollarsTag>;
+
+// --- literal-style constructors -------------------------------------------
+
+constexpr Watts watts(double v) { return Watts{v}; }
+constexpr WattHours watt_hours(double v) { return WattHours{v}; }
+constexpr WattHours kilowatt_hours(double v) { return WattHours{v * 1000.0}; }
+constexpr Volts volts(double v) { return Volts{v}; }
+constexpr Amperes amperes(double v) { return Amperes{v}; }
+constexpr AmpereHours ampere_hours(double v) { return AmpereHours{v}; }
+constexpr Celsius celsius(double v) { return Celsius{v}; }
+constexpr Seconds seconds(double v) { return Seconds{v}; }
+constexpr Seconds minutes(double v) { return Seconds{v * 60.0}; }
+constexpr Seconds hours(double v) { return Seconds{v * 3600.0}; }
+constexpr Seconds days(double v) { return Seconds{v * 86400.0}; }
+constexpr Dollars dollars(double v) { return Dollars{v}; }
+
+// --- cross-unit relations --------------------------------------------------
+
+/// Electrical power from voltage and current.
+constexpr Watts operator*(Volts v, Amperes a) { return Watts{v.value() * a.value()}; }
+constexpr Watts operator*(Amperes a, Volts v) { return v * a; }
+
+/// Energy accumulated by a power level over a duration.
+constexpr WattHours energy(Watts p, Seconds dt) {
+  return WattHours{p.value() * dt.value() / 3600.0};
+}
+
+/// Electric charge moved by a current over a duration.
+constexpr AmpereHours charge(Amperes i, Seconds dt) {
+  return AmpereHours{i.value() * dt.value() / 3600.0};
+}
+
+/// Current required to deliver a power level at a voltage.
+constexpr Amperes current_for(Watts p, Volts v) { return Amperes{p.value() / v.value()}; }
+
+/// Energy stored as charge at a voltage.
+constexpr WattHours energy_at(AmpereHours q, Volts v) {
+  return WattHours{q.value() * v.value()};
+}
+
+/// Average power that drains an energy amount over a duration.
+constexpr Watts power_over(WattHours e, Seconds dt) {
+  return Watts{e.value() * 3600.0 / dt.value()};
+}
+
+// --- small numeric helpers used across modules -----------------------------
+
+constexpr double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+template <typename Tag>
+constexpr Quantity<Tag> clamp(Quantity<Tag> x, Quantity<Tag> lo, Quantity<Tag> hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Approximate equality for doubles accumulated over long simulations.
+inline bool nearly_equal(double a, double b, double rel = 1e-9, double abs = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  return diff <= rel * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace baat::util

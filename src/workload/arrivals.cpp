@@ -1,0 +1,47 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace baat::workload {
+
+std::vector<Arrival> sample_arrivals(const ArrivalPlanParams& params, util::Rng& rng) {
+  BAAT_REQUIRE(params.rate_per_hour > 0.0, "arrival rate must be positive");
+  BAAT_REQUIRE(params.window.value() > 0.0, "window must be positive");
+
+  std::vector<double> weights = params.kind_weights;
+  if (weights.empty()) weights.assign(std::size(kAllKinds), 1.0);
+  BAAT_REQUIRE(weights.size() == std::size(kAllKinds),
+               "kind_weights must cover all six workloads");
+  double total_weight = 0.0;
+  for (double w : weights) {
+    BAAT_REQUIRE(w >= 0.0, "kind weights must be >= 0");
+    total_weight += w;
+  }
+  BAAT_REQUIRE(total_weight > 0.0, "at least one kind weight must be positive");
+
+  std::vector<Arrival> plan;
+  double t = 0.0;
+  while (true) {
+    // Exponential inter-arrival via inverse CDF.
+    double u;
+    do {
+      u = rng.uniform();
+    } while (u <= 0.0);
+    t += -std::log(u) / params.rate_per_hour * 3600.0;
+    if (t >= params.window.value()) break;
+
+    double pick = rng.uniform(0.0, total_weight);
+    std::size_t k = 0;
+    for (; k + 1 < weights.size(); ++k) {
+      if (pick < weights[k]) break;
+      pick -= weights[k];
+    }
+    plan.push_back(Arrival{kAllKinds[k], util::Seconds{t}});
+  }
+  return plan;
+}
+
+}  // namespace baat::workload

@@ -1,0 +1,35 @@
+#pragma once
+
+// Stochastic job arrival generation. The paper deploys a fixed six-workload
+// mix each day; a production scheduler sees Poisson-ish arrivals instead.
+// This generator produces reproducible arrival plans (kind + offset) that
+// plug into sim::ScenarioConfig::daily_jobs for open-loop experiments.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/workload.hpp"
+
+namespace baat::workload {
+
+struct ArrivalPlanParams {
+  /// Mean arrivals per hour over the submission window.
+  double rate_per_hour = 2.0;
+  /// Submission window length (offsets are in [0, window)).
+  util::Seconds window{util::hours(8.0)};
+  /// Relative mix across the six kinds, in kAllKinds order; need not be
+  /// normalized. Default: uniform.
+  std::vector<double> kind_weights{};
+};
+
+struct Arrival {
+  Kind kind{};
+  util::Seconds offset{0.0};
+};
+
+/// Sample one day's arrival plan: exponential inter-arrival times at the
+/// given rate, kinds drawn from the weighted mix. Sorted by offset.
+std::vector<Arrival> sample_arrivals(const ArrivalPlanParams& params, util::Rng& rng);
+
+}  // namespace baat::workload

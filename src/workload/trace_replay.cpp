@@ -1,0 +1,134 @@
+#include "workload/trace_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace baat::workload {
+
+UtilizationTrace::UtilizationTrace(util::Seconds sample_period,
+                                   std::vector<double> samples)
+    : period_(sample_period), samples_(std::move(samples)) {
+  BAAT_REQUIRE(period_.value() > 0.0, "sample period must be positive");
+  BAAT_REQUIRE(!samples_.empty(), "trace must be non-empty");
+  for (double s : samples_) {
+    BAAT_REQUIRE(s >= 0.0 && s <= 1.0, "utilization samples must be in [0, 1]");
+  }
+}
+
+double UtilizationTrace::at(util::Seconds t, bool finite) const {
+  BAAT_REQUIRE(t.value() >= 0.0, "t must be >= 0");
+  const auto idx = static_cast<std::size_t>(t.value() / period_.value());
+  if (idx >= samples_.size()) {
+    return finite ? 0.0 : samples_.back();
+  }
+  return samples_[idx];
+}
+
+util::Seconds UtilizationTrace::duration() const {
+  return util::Seconds{static_cast<double>(samples_.size()) * period_.value()};
+}
+
+double UtilizationTrace::mean() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double UtilizationTrace::peak() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<UtilizationTrace> read_utilization_csv(std::istream& in) {
+  std::string line;
+  BAAT_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty trace file");
+
+  // Header: "seconds,vm0,vm1,..." — count columns.
+  std::size_t columns = 0;
+  {
+    std::istringstream cells{line};
+    std::string cell;
+    while (std::getline(cells, cell, ',')) ++columns;
+  }
+  BAAT_REQUIRE(columns >= 2, "trace needs a time column plus at least one VM");
+  const std::size_t vms = columns - 1;
+
+  std::vector<std::vector<double>> series(vms);
+  double prev_t = -1.0;
+  double period = -1.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream cells{line};
+    std::string cell;
+    BAAT_REQUIRE(static_cast<bool>(std::getline(cells, cell, ',')),
+                 "missing time cell");
+    double t = 0.0;
+    try {
+      t = std::stod(cell);
+    } catch (const std::exception&) {
+      throw util::PreconditionError("unparseable time cell: " + cell);
+    }
+    if (prev_t < 0.0) {
+      BAAT_REQUIRE(t == 0.0, "trace must start at second 0");
+    } else if (period < 0.0) {
+      period = t - prev_t;
+      BAAT_REQUIRE(period > 0.0, "timestamps must increase");
+    } else {
+      BAAT_REQUIRE(std::fabs((t - prev_t) - period) < 1e-6,
+                   "samples must be evenly spaced");
+    }
+    prev_t = t;
+    for (std::size_t v = 0; v < vms; ++v) {
+      BAAT_REQUIRE(static_cast<bool>(std::getline(cells, cell, ',')),
+                   "row has fewer columns than the header");
+      double u = 0.0;
+      try {
+        u = std::stod(cell);
+      } catch (const std::exception&) {
+        throw util::PreconditionError("unparseable utilization cell: " + cell);
+      }
+      series[v].push_back(u);
+    }
+  }
+  BAAT_REQUIRE(!series[0].empty() && series[0].size() >= 2,
+               "trace needs at least two rows");
+
+  std::vector<UtilizationTrace> traces;
+  traces.reserve(vms);
+  for (auto& s : series) {
+    traces.emplace_back(util::Seconds{period}, std::move(s));
+  }
+  return traces;
+}
+
+std::vector<UtilizationTrace> read_utilization_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_utilization_csv(in);
+}
+
+void write_utilization_csv(std::ostream& out,
+                           const std::vector<UtilizationTrace>& traces) {
+  BAAT_REQUIRE(!traces.empty(), "nothing to write");
+  const double period = traces[0].sample_period().value();
+  const std::size_t rows = traces[0].samples().size();
+  for (const auto& t : traces) {
+    BAAT_REQUIRE(t.sample_period().value() == period &&
+                     t.samples().size() == rows,
+                 "all traces must share period and length");
+  }
+  out << "seconds";
+  for (std::size_t v = 0; v < traces.size(); ++v) out << ",vm" << v;
+  out << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << static_cast<long>(static_cast<double>(r) * period);
+    for (const auto& t : traces) out << ',' << t.samples()[r];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("utilization trace write failed");
+}
+
+}  // namespace baat::workload

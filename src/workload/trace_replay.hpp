@@ -1,0 +1,47 @@
+#pragma once
+
+// Utilization trace replay. §IV-B.2a builds on "detailed and accurate
+// workload power profiling"; a downstream user will have recorded CPU
+// traces rather than our synthetic shapes. This reads a one-column-per-VM
+// CSV of utilization samples and exposes them through the same
+// `utilization(t)` interface the synthetic generator provides, so recorded
+// profiles can drive placement studies.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace baat::workload {
+
+/// One VM's recorded utilization series at a fixed sample period.
+class UtilizationTrace {
+ public:
+  UtilizationTrace(util::Seconds sample_period, std::vector<double> samples);
+
+  /// Utilization at `t` since trace start, zero-order hold; clamps past the
+  /// end to the final sample (services) unless `finite` — then 0.
+  [[nodiscard]] double at(util::Seconds t, bool finite = true) const;
+
+  [[nodiscard]] util::Seconds duration() const;
+  [[nodiscard]] util::Seconds sample_period() const { return period_; }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double peak() const;
+
+ private:
+  util::Seconds period_;
+  std::vector<double> samples_;
+};
+
+/// Read a multi-column trace CSV: header "seconds,vm0,vm1,..." then rows of
+/// evenly spaced samples starting at 0. Returns one trace per VM column.
+std::vector<UtilizationTrace> read_utilization_csv(std::istream& in);
+std::vector<UtilizationTrace> read_utilization_csv(const std::string& path);
+
+/// Write traces in the same format (all must share period and length).
+void write_utilization_csv(std::ostream& out,
+                           const std::vector<UtilizationTrace>& traces);
+
+}  // namespace baat::workload

@@ -1,0 +1,57 @@
+#include "workload/vm.hpp"
+
+#include "util/require.hpp"
+
+namespace baat::workload {
+
+Vm::Vm(VmId id, Kind kind, double phase, util::Rng noise)
+    : id_(id), kind_(kind), spec_(spec_for(kind)), phase_(phase), noise_(noise) {}
+
+double Vm::demand_utilization(util::Seconds dt) {
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  switch (state_) {
+    case VmState::Finished:
+    case VmState::Paused:
+      return 0.0;
+    case VmState::Migrating:
+      migrate_remaining_ -= dt;
+      if (migrate_remaining_.value() <= 0.0) state_ = VmState::Running;
+      return 0.0;
+    case VmState::Running:
+      break;
+  }
+  if (finished(spec_, runtime_)) {
+    state_ = VmState::Finished;
+    return 0.0;
+  }
+  return utilization(spec_, runtime_, phase_, noise_);
+}
+
+void Vm::grant(double granted_util, double freq_factor, util::Seconds dt) {
+  BAAT_REQUIRE(granted_util >= 0.0 && granted_util <= 1.0, "granted util must be in [0, 1]");
+  BAAT_REQUIRE(freq_factor > 0.0 && freq_factor <= 1.0, "freq factor must be in (0, 1]");
+  if (state_ != VmState::Running) return;
+  // Batch progress advances with delivered cycles; a DVFS-throttled VM also
+  // takes proportionally longer wall-clock to finish, which we model by
+  // advancing its internal runtime at the delivered rate.
+  progress_ += granted_util * spec_.cores * freq_factor * dt.value();
+  runtime_ += util::Seconds{dt.value() * freq_factor};
+}
+
+void Vm::start_migration(util::Seconds pause) {
+  BAAT_REQUIRE(pause.value() > 0.0, "migration pause must be positive");
+  BAAT_REQUIRE(state_ == VmState::Running, "only running VMs can migrate");
+  state_ = VmState::Migrating;
+  migrate_remaining_ = pause;
+  ++migrations_;
+}
+
+void Vm::pause() {
+  if (state_ == VmState::Running) state_ = VmState::Paused;
+}
+
+void Vm::resume() {
+  if (state_ == VmState::Paused) state_ = VmState::Running;
+}
+
+}  // namespace baat::workload

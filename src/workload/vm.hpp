@@ -1,0 +1,61 @@
+#pragma once
+
+// Virtual machine abstraction. The prototype hosts every workload in a Xen
+// VM so it can be spawned, paused and migrated between server nodes (§V-B).
+// We model live migration as a stop-and-copy pause: while migrating, the VM
+// does no work and draws no CPU — the "frequent VM stop and restart"
+// overhead the paper blames for BAAT-h's performance loss (§VI-F).
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/workload.hpp"
+
+namespace baat::workload {
+
+using VmId = std::int32_t;
+
+enum class VmState { Running, Migrating, Paused, Finished };
+
+class Vm {
+ public:
+  /// `phase` decorrelates replicas of the same workload; `noise` is this
+  /// VM's private noise stream.
+  Vm(VmId id, Kind kind, double phase, util::Rng noise);
+
+  [[nodiscard]] VmId id() const { return id_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+  [[nodiscard]] VmState state() const { return state_; }
+  [[nodiscard]] double progress_work() const { return progress_; }
+  [[nodiscard]] std::int64_t migrations() const { return migrations_; }
+
+  /// CPU utilization demanded right now (0 while migrating/paused/finished).
+  double demand_utilization(util::Seconds dt);
+
+  /// Record the utilization the host actually granted (after DVFS slowdown):
+  /// progress accumulates `granted_util * freq_factor * dt` core-seconds.
+  void grant(double granted_util, double freq_factor, util::Seconds dt);
+
+  /// Begin a live migration taking `pause` seconds of downtime.
+  void start_migration(util::Seconds pause);
+  [[nodiscard]] bool migratable() const { return state_ == VmState::Running; }
+
+  void pause();
+  void resume();
+
+ private:
+  VmId id_;
+  Kind kind_;
+  Spec spec_;
+  double phase_;
+  util::Rng noise_;
+  VmState state_ = VmState::Running;
+  util::Seconds runtime_{0.0};          ///< active (running) time accumulated
+  util::Seconds migrate_remaining_{0.0};
+  double progress_ = 0.0;               ///< core-seconds of useful work done
+  std::int64_t migrations_ = 0;
+};
+
+}  // namespace baat::workload

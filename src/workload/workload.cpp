@@ -1,0 +1,86 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/require.hpp"
+
+namespace baat::workload {
+
+std::string_view kind_name(Kind k) {
+  switch (k) {
+    case Kind::NutchIndexing: return "NutchIndexing";
+    case Kind::KMeansClustering: return "KMeansClustering";
+    case Kind::WordCount: return "WordCount";
+    case Kind::SoftwareTesting: return "SoftwareTesting";
+    case Kind::WebServing: return "WebServing";
+    case Kind::DataAnalytics: return "DataAnalytics";
+  }
+  return "?";
+}
+
+Spec spec_for(Kind k) {
+  using util::hours;
+  using util::minutes;
+  switch (k) {
+    case Kind::NutchIndexing:
+      // Search indexing: spiky crawl/index bursts, finishes in ~1.5 h.
+      return Spec{k, Shape::Bursty, 0.55, 0.35, minutes(12.0), 0.55, 0.04, hours(1.5), 2.0, 4.0};
+    case Kind::KMeansClustering:
+      // ML iterations: hard compute bursts with sync gaps, ~2 h batch.
+      return Spec{k, Shape::Bursty, 0.65, 0.30, minutes(20.0), 0.65, 0.03, hours(2.0), 5.0, 8.0};
+    case Kind::WordCount:
+      // MapReduce: busy map phase, lighter reduce, ~1 h batch.
+      return Spec{k, Shape::TwoPhase, 0.50, 0.20, minutes(30.0), 0.6, 0.03, hours(1.0), 2.0, 4.0};
+    case Kind::SoftwareTesting:
+      // "Resource-hungry and time-consuming ... stresses our servers and
+      // distributed batteries" (§V-B): near-flat heavy load, long batch.
+      return Spec{k, Shape::Steady, 0.85, 0.05, hours(1.0), 0.5, 0.04, hours(6.0), 5.0, 10.0};
+    case Kind::WebServing:
+      // Long-running service with a daytime swell.
+      return Spec{k, Shape::Diurnal, 0.35, 0.20, hours(24.0), 0.5, 0.05, Seconds{0.0}, 3.0, 6.0};
+    case Kind::DataAnalytics:
+      // Sustained heavy analytics, ~5 h batch.
+      return Spec{k, Shape::Steady, 0.75, 0.08, hours(1.0), 0.5, 0.04, hours(5.0), 4.0, 8.0};
+  }
+  return Spec{k, Shape::Steady, 0.5, 0.1, util::hours(1.0), 0.5, 0.03, util::hours(1.0), 2.0, 4.0};
+}
+
+double utilization(const Spec& spec, Seconds t_since_start, double phase, util::Rng& rng) {
+  BAAT_REQUIRE(t_since_start.value() >= 0.0, "time since start must be >= 0");
+  if (finished(spec, t_since_start)) return 0.0;
+
+  const double t = t_since_start.value() + phase;
+  double u = spec.base_util;
+  switch (spec.shape) {
+    case Shape::Steady:
+      break;
+    case Shape::Diurnal: {
+      const double x = 2.0 * std::numbers::pi * t / spec.period.value();
+      u += spec.swing * std::sin(x);
+      break;
+    }
+    case Shape::Bursty: {
+      const double frac = std::fmod(t, spec.period.value()) / spec.period.value();
+      u += frac < spec.duty ? spec.swing : -spec.swing;
+      break;
+    }
+    case Shape::TwoPhase: {
+      // First 70% of the batch is the heavy map phase, the rest the reduce.
+      const double progress = spec.duration.value() > 0.0
+                                  ? t_since_start.value() / spec.duration.value()
+                                  : 0.0;
+      u += progress < 0.7 ? spec.swing : -spec.swing;
+      break;
+    }
+  }
+  u += spec.noise_sigma * rng.normal();
+  return util::clamp01(u);
+}
+
+bool finished(const Spec& spec, Seconds t_since_start) {
+  return spec.duration.value() > 0.0 && t_since_start.value() >= spec.duration.value();
+}
+
+}  // namespace baat::workload

@@ -1,0 +1,68 @@
+#pragma once
+
+// The six datacenter workloads the prototype runs (§V-B): three HiBench
+// jobs — Nutch Indexing, K-Means Clustering, Word Count — and three
+// CloudSuite applications — Software Testing, Web Serving, Data Analytics.
+// We model each as a CPU-utilization shape (its "coarse granularity power
+// profile", §IV-B.2a) plus a resource footprint. The shapes are synthetic
+// but class-calibrated: together the six cover all four (power, energy)
+// demand quadrants of Table 3.
+
+#include <string_view>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace baat::workload {
+
+using util::Seconds;
+
+enum class Kind {
+  NutchIndexing,
+  KMeansClustering,
+  WordCount,
+  SoftwareTesting,
+  WebServing,
+  DataAnalytics,
+};
+
+inline constexpr Kind kAllKinds[] = {
+    Kind::NutchIndexing,  Kind::KMeansClustering, Kind::WordCount,
+    Kind::SoftwareTesting, Kind::WebServing,       Kind::DataAnalytics,
+};
+
+[[nodiscard]] std::string_view kind_name(Kind k);
+
+/// Shape classes for the utilization generator.
+enum class Shape {
+  Steady,     ///< sustained level + noise (SoftwareTesting, DataAnalytics)
+  Diurnal,    ///< slow sine over the day + noise (WebServing)
+  Bursty,     ///< square-wave iterations (KMeans, NutchIndexing)
+  TwoPhase,   ///< map phase then reduce phase (WordCount)
+};
+
+struct Spec {
+  Kind kind;
+  Shape shape;
+  double base_util;       ///< plateau / mean utilization of one instance
+  double swing;           ///< amplitude of the shape around base_util
+  Seconds period;         ///< burst / sine period
+  double duty = 0.5;      ///< high fraction of a burst period
+  double noise_sigma = 0.03;
+  Seconds duration;       ///< batch length; 0 ⇒ long-running service
+  double cores = 2.0;     ///< vCPU footprint
+  double mem_gb = 4.0;    ///< memory footprint
+};
+
+/// Paper-calibrated spec for each workload.
+[[nodiscard]] Spec spec_for(Kind k);
+
+/// Instantaneous CPU utilization of one instance at time `t` since its own
+/// start, with per-instance `phase` (seconds) decorrelating replicas.
+/// Deterministic apart from the additive noise drawn from `rng`.
+double utilization(const Spec& spec, Seconds t_since_start, double phase, util::Rng& rng);
+
+/// True if the batch job has finished by `t_since_start` (services never do).
+[[nodiscard]] bool finished(const Spec& spec, Seconds t_since_start);
+
+}  // namespace baat::workload

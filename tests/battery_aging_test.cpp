@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "battery/aging.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::amperes;
+using util::ampere_hours;
+using util::celsius;
+using util::days;
+using util::hours;
+using util::minutes;
+using util::volts;
+
+AgingModel fresh_model() {
+  return AgingModel{AgingParams{}, ampere_hours(35.0), 6};
+}
+
+OperatingPoint op_at(double soc, double amps, double temp_c = 25.0) {
+  OperatingPoint op;
+  op.soc = soc;
+  op.current = amperes(amps);
+  op.terminal_voltage = volts(12.3);
+  op.temperature = celsius(temp_c);
+  return op;
+}
+
+TEST(Aging, FreshModelIsHealthy) {
+  AgingModel m = fresh_model();
+  EXPECT_DOUBLE_EQ(m.capacity_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(m.resistance_factor(), 1.0);
+  EXPECT_FALSE(m.end_of_life());
+  EXPECT_DOUBLE_EQ(m.state().total(), 0.0);
+}
+
+TEST(Aging, SheddingGrowsWithThroughput) {
+  AgingModel a = fresh_model();
+  AgingModel b = fresh_model();
+  for (int i = 0; i < 600; ++i) {
+    a.step(op_at(0.7, 5.0), minutes(1.0));
+    b.step(op_at(0.7, 10.0), minutes(1.0));
+  }
+  EXPECT_GT(a.state().shedding, 0.0);
+  // Twice the current → about twice the Ah → about twice the shedding.
+  EXPECT_NEAR(b.state().shedding / a.state().shedding, 2.0, 0.01);
+}
+
+TEST(Aging, SheddingWorseAtLowSoc) {
+  AgingModel high = fresh_model();
+  AgingModel low = fresh_model();
+  for (int i = 0; i < 600; ++i) {
+    high.step(op_at(0.9, 5.0), minutes(1.0));
+    low.step(op_at(0.1, 5.0), minutes(1.0));
+  }
+  EXPECT_GT(low.state().shedding, 2.0 * high.state().shedding);
+}
+
+TEST(Aging, ChargingShedsLessThanDischarging) {
+  AgingModel dis = fresh_model();
+  AgingModel chg = fresh_model();
+  for (int i = 0; i < 600; ++i) {
+    dis.step(op_at(0.7, 5.0), minutes(1.0));
+    chg.step(op_at(0.7, -5.0), minutes(1.0));
+  }
+  EXPECT_LT(chg.state().shedding, 0.5 * dis.state().shedding);
+}
+
+TEST(Aging, SulphationOnlyBelowKnee) {
+  AgingModel above = fresh_model();
+  AgingModel below = fresh_model();
+  for (int i = 0; i < 24 * 60; ++i) {
+    above.step(op_at(0.5, 0.0), minutes(1.0));
+    below.step(op_at(0.2, 0.0), minutes(1.0));
+  }
+  EXPECT_DOUBLE_EQ(above.state().sulphation, 0.0);
+  EXPECT_GT(below.state().sulphation, 0.0);
+}
+
+TEST(Aging, SulphationDeeperIsWorse) {
+  AgingModel shallow = fresh_model();
+  AgingModel deep = fresh_model();
+  for (int i = 0; i < 24 * 60; ++i) {
+    shallow.step(op_at(0.35, 0.0), minutes(1.0));
+    deep.step(op_at(0.05, 0.0), minutes(1.0));
+  }
+  EXPECT_GT(deep.state().sulphation, 3.0 * shallow.state().sulphation);
+}
+
+TEST(Aging, SulphationAcceleratesWithoutFullCharge) {
+  AgingModel fresh_charge = fresh_model();
+  AgingModel stale = fresh_model();
+  OperatingPoint op = op_at(0.2, 0.0);
+  OperatingPoint op_stale = op;
+  op_stale.time_since_full_charge = days(30.0);
+  for (int i = 0; i < 24 * 60; ++i) {
+    fresh_charge.step(op, minutes(1.0));
+    stale.step(op_stale, minutes(1.0));
+  }
+  EXPECT_GT(stale.state().sulphation, 1.5 * fresh_charge.state().sulphation);
+}
+
+TEST(Aging, TemperatureAcceleratesAging) {
+  AgingModel cool = fresh_model();
+  AgingModel hot = fresh_model();
+  for (int i = 0; i < 24 * 60; ++i) {
+    cool.step(op_at(0.2, 5.0, 20.0), minutes(1.0));
+    hot.step(op_at(0.2, 5.0, 30.0), minutes(1.0));
+  }
+  // +10 °C doubles the rates (the paper's rule of thumb, §III-E).
+  EXPECT_NEAR(hot.state().shedding / cool.state().shedding, 2.0, 0.01);
+  EXPECT_NEAR(hot.state().sulphation / cool.state().sulphation, 2.0, 0.01);
+}
+
+TEST(Aging, CorrosionIsCalendarDriven) {
+  AgingModel m = fresh_model();
+  OperatingPoint rest = op_at(1.0, 0.0, 20.0);
+  rest.terminal_voltage = volts(12.7);
+  m.step(rest, days(365.0));
+  EXPECT_GT(m.state().corrosion, 0.0);
+  // One idle year at 20 °C should consume only a modest slice of life.
+  EXPECT_LT(m.state().corrosion, 0.08);
+}
+
+TEST(Aging, OverchargeVoltageAcceleratesCorrosion) {
+  AgingModel normal = fresh_model();
+  AgingModel over = fresh_model();
+  OperatingPoint chg = op_at(0.9, -3.0);
+  chg.terminal_voltage = volts(13.2);  // 2.2 V/cell, below knee
+  OperatingPoint hot_chg = op_at(0.9, -3.0);
+  hot_chg.terminal_voltage = volts(14.4);  // 2.4 V/cell, well above knee
+  for (int i = 0; i < 24 * 60; ++i) {
+    normal.step(chg, minutes(1.0));
+    over.step(hot_chg, minutes(1.0));
+  }
+  EXPECT_GT(over.state().corrosion, 1.5 * normal.state().corrosion);
+}
+
+TEST(Aging, WaterLossOnlyWhenGassing) {
+  AgingModel quiet = fresh_model();
+  AgingModel gassing = fresh_model();
+  OperatingPoint mild = op_at(0.9, -3.0);
+  mild.terminal_voltage = volts(13.0);
+  OperatingPoint hard = op_at(0.95, -3.0);
+  hard.terminal_voltage = volts(14.4);
+  for (int i = 0; i < 600; ++i) {
+    quiet.step(mild, minutes(1.0));
+    gassing.step(hard, minutes(1.0));
+  }
+  EXPECT_DOUBLE_EQ(quiet.state().water_loss, 0.0);
+  EXPECT_GT(gassing.state().water_loss, 0.0);
+}
+
+TEST(Aging, StratificationBuildsAndHeals) {
+  AgingModel m = fresh_model();
+  for (int i = 0; i < 7 * 24 * 60; ++i) {
+    m.step(op_at(0.3, 1.0), minutes(1.0));  // deep, trickle current
+  }
+  const double before = m.state().stratification;
+  EXPECT_GT(before, 0.0);
+  m.on_full_charge();
+  EXPECT_NEAR(m.state().stratification,
+              before * AgingParams{}.stratification_heal_factor, 1e-12);
+}
+
+TEST(Aging, StratificationSaturates) {
+  AgingParams p;
+  AgingModel m{p, ampere_hours(35.0), 6};
+  for (int i = 0; i < 365 * 24 * 6; ++i) {
+    m.step(op_at(0.3, 1.0), minutes(10.0));
+  }
+  EXPECT_LE(m.state().stratification, p.stratification_cap + 1e-12);
+}
+
+TEST(Aging, StratificationNotAtHighCurrent) {
+  AgingModel m = fresh_model();
+  for (int i = 0; i < 24 * 60; ++i) {
+    m.step(op_at(0.3, 20.0), minutes(1.0));  // heavy current stirs the acid
+  }
+  EXPECT_DOUBLE_EQ(m.state().stratification, 0.0);
+}
+
+TEST(Aging, EndOfLifeAtEightyPercent) {
+  AgingModel m = fresh_model();
+  AgingState s;
+  s.shedding = 0.15;
+  m.set_state(s);
+  EXPECT_FALSE(m.end_of_life());
+  s.shedding = 0.21;
+  m.set_state(s);
+  EXPECT_TRUE(m.end_of_life());
+}
+
+TEST(Aging, ResistanceGrowsWithDamage) {
+  AgingModel m = fresh_model();
+  AgingState s;
+  s.corrosion = 0.02;
+  s.sulphation = 0.03;
+  s.shedding = 0.05;
+  m.set_state(s);
+  EXPECT_GT(m.resistance_factor(), 1.3);
+}
+
+TEST(Aging, ObservableCouplingsScaleWithFade) {
+  AgingModel m = fresh_model();
+  EXPECT_DOUBLE_EQ(m.ocv_sag_per_cell().value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.coulombic_derating(), 1.0);
+  AgingState s;
+  s.shedding = 0.10;
+  m.set_state(s);
+  EXPECT_GT(m.ocv_sag_per_cell().value(), 0.0);
+  EXPECT_LT(m.coulombic_derating(), 1.0);
+  EXPECT_GE(m.coulombic_derating(), 0.6);
+}
+
+TEST(Aging, RejectsBadInput) {
+  AgingModel m = fresh_model();
+  EXPECT_THROW(m.step(op_at(1.5, 0.0), minutes(1.0)), util::PreconditionError);
+  EXPECT_THROW(m.step(op_at(0.5, 0.0), util::seconds(0.0)), util::PreconditionError);
+  EXPECT_THROW(AgingModel(AgingParams{}, ampere_hours(0.0), 6), util::PreconditionError);
+  EXPECT_THROW(AgingModel(AgingParams{}, ampere_hours(35.0), 0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::battery

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "battery/bank.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+TEST(Bank, ProducesRequestedUnitCount) {
+  BankSpec spec;
+  spec.units = 12;  // the prototype's array
+  util::Rng rng{1};
+  const auto bank = make_bank(spec, rng);
+  EXPECT_EQ(bank.size(), 12u);
+}
+
+TEST(Bank, DeterministicForSameSeed) {
+  BankSpec spec;
+  util::Rng r1{9};
+  util::Rng r2{9};
+  const auto a = make_bank(spec, r1);
+  const auto b = make_bank(spec, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].nameplate().value(), b[i].nameplate().value());
+    EXPECT_DOUBLE_EQ(a[i].internal_resistance_ohms(), b[i].internal_resistance_ohms());
+  }
+}
+
+TEST(Bank, UnitsVaryButStayNearNominal) {
+  BankSpec spec;
+  spec.units = 64;
+  util::Rng rng{7};
+  const auto bank = make_bank(spec, rng);
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const Battery& b : bank) {
+    lo = std::min(lo, b.nameplate().value());
+    hi = std::max(hi, b.nameplate().value());
+    // ±3σ clamp at 2.5%: [0.925, 1.075] × 35.
+    EXPECT_GE(b.nameplate().value(), 35.0 * (1.0 - 3.0 * spec.capacity_sigma) - 1e-9);
+    EXPECT_LE(b.nameplate().value(), 35.0 * (1.0 + 3.0 * spec.capacity_sigma) + 1e-9);
+  }
+  EXPECT_GT(hi - lo, 0.1);  // with 64 draws some spread must exist
+}
+
+TEST(Bank, ZeroSigmaGivesIdenticalUnits) {
+  BankSpec spec;
+  spec.capacity_sigma = 0.0;
+  spec.resistance_sigma = 0.0;
+  util::Rng rng{5};
+  const auto bank = make_bank(spec, rng);
+  for (const Battery& b : bank) {
+    EXPECT_DOUBLE_EQ(b.nameplate().value(), 35.0);
+    EXPECT_DOUBLE_EQ(b.internal_resistance_ohms(), LeadAcidParams{}.r_internal_ohms);
+  }
+}
+
+TEST(Bank, InitialSocApplied) {
+  BankSpec spec;
+  spec.initial_soc = 0.5;
+  util::Rng rng{3};
+  const auto bank = make_bank(spec, rng);
+  for (const Battery& b : bank) EXPECT_DOUBLE_EQ(b.soc(), 0.5);
+}
+
+TEST(Bank, RejectsBadSpec) {
+  util::Rng rng{1};
+  BankSpec none;
+  none.units = 0;
+  EXPECT_THROW(make_bank(none, rng), util::PreconditionError);
+  BankSpec wild;
+  wild.capacity_sigma = 0.5;
+  EXPECT_THROW(make_bank(wild, rng), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::battery

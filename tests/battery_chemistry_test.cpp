@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "battery/chemistry.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::amperes;
+using util::PreconditionError;
+
+TEST(Chemistry, OcvEndpoints) {
+  const LeadAcidParams p;
+  EXPECT_NEAR(open_circuit_voltage(p, 0.0).value(), p.ocv_cell_empty.value() * p.cells, 1e-9);
+  EXPECT_NEAR(open_circuit_voltage(p, 1.0).value(), p.ocv_cell_full.value() * p.cells, 1e-9);
+}
+
+TEST(Chemistry, OcvStrictlyIncreasing) {
+  const LeadAcidParams p;
+  double prev = open_circuit_voltage(p, 0.0).value();
+  for (int i = 1; i <= 100; ++i) {
+    const double v = open_circuit_voltage(p, i / 100.0).value();
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Chemistry, OcvRejectsOutOfRangeSoc) {
+  const LeadAcidParams p;
+  EXPECT_THROW(open_circuit_voltage(p, -0.1), PreconditionError);
+  EXPECT_THROW(open_circuit_voltage(p, 1.1), PreconditionError);
+}
+
+// Property sweep: soc_from_voltage must invert open_circuit_voltage across
+// the whole SoC range.
+class OcvRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(OcvRoundTrip, InverseOfOcv) {
+  const LeadAcidParams p;
+  const double soc = GetParam();
+  const auto v = open_circuit_voltage(p, soc);
+  EXPECT_NEAR(soc_from_voltage(p, v), soc, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SocSweep, OcvRoundTrip,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.4, 0.5, 0.6, 0.8, 0.95, 1.0));
+
+TEST(Chemistry, SocFromVoltageClamps) {
+  const LeadAcidParams p;
+  EXPECT_DOUBLE_EQ(soc_from_voltage(p, util::volts(9.0)), 0.0);
+  EXPECT_DOUBLE_EQ(soc_from_voltage(p, util::volts(15.0)), 1.0);
+}
+
+TEST(Chemistry, PeukertAtOrBelowRatedIsNameplate) {
+  const LeadAcidParams p;
+  EXPECT_DOUBLE_EQ(effective_capacity(p, amperes(0.0)).value(), p.capacity_c20.value());
+  EXPECT_DOUBLE_EQ(effective_capacity(p, p.rated_current()).value(), p.capacity_c20.value());
+}
+
+TEST(Chemistry, PeukertShrinksWithCurrent) {
+  const LeadAcidParams p;
+  const double c5 = effective_capacity(p, amperes(5.0)).value();
+  const double c15 = effective_capacity(p, amperes(15.0)).value();
+  const double c35 = effective_capacity(p, amperes(35.0)).value();
+  EXPECT_LT(c5, p.capacity_c20.value());
+  EXPECT_LT(c15, c5);
+  EXPECT_LT(c35, c15);
+  // 1C discharge of a 20h-rated battery loses tens of percent, not everything.
+  EXPECT_GT(c35, 0.5 * p.capacity_c20.value());
+}
+
+TEST(Chemistry, PeukertRejectsNegativeCurrent) {
+  const LeadAcidParams p;
+  EXPECT_THROW(effective_capacity(p, amperes(-1.0)), PreconditionError);
+}
+
+TEST(Chemistry, ChargeAcceptanceFullBelowKneeTapersAbove) {
+  const LeadAcidParams p;
+  EXPECT_DOUBLE_EQ(charge_acceptance(p, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(charge_acceptance(p, p.taper_knee_soc), 1.0);
+  const double mid = charge_acceptance(p, 0.9);
+  EXPECT_LT(mid, 1.0);
+  EXPECT_GT(mid, charge_acceptance(p, 0.99));
+  // Residual trickle keeps full charge reachable.
+  EXPECT_GT(charge_acceptance(p, 1.0), 0.0);
+}
+
+TEST(Chemistry, CoulombicEfficiencyDropsNearFull) {
+  const LeadAcidParams p;
+  EXPECT_DOUBLE_EQ(coulombic_efficiency(p, 0.5), p.coulombic_efficiency_bulk);
+  EXPECT_NEAR(coulombic_efficiency(p, 1.0), p.coulombic_efficiency_full, 1e-12);
+  EXPECT_GT(coulombic_efficiency(p, 0.85), coulombic_efficiency(p, 0.95));
+}
+
+TEST(Chemistry, DerivedVoltages) {
+  const LeadAcidParams p;
+  EXPECT_DOUBLE_EQ(p.cutoff_voltage().value(), 10.5);
+  EXPECT_DOUBLE_EQ(p.gassing_voltage().value(), 14.1);
+  EXPECT_NEAR(p.absorb_voltage().value(), 14.4, 1e-9);
+  EXPECT_DOUBLE_EQ(p.nominal_voltage().value(), 12.0);
+  EXPECT_DOUBLE_EQ(p.rated_current().value(), 1.75);
+}
+
+}  // namespace
+}  // namespace baat::battery

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "battery/cycle_life.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::ampere_hours;
+
+TEST(CycleLife, MoreCyclesAtShallowerDepth) {
+  const CycleLifeCurve c = curve_for(Manufacturer::Trojan);
+  EXPECT_GT(c.cycles(0.2), c.cycles(0.5));
+  EXPECT_GT(c.cycles(0.5), c.cycles(1.0));
+}
+
+TEST(CycleLife, RatedCyclesAtFullDepth) {
+  EXPECT_DOUBLE_EQ(curve_for(Manufacturer::Trojan).cycles(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(curve_for(Manufacturer::Hoppecke).cycles(1.0), 1400.0);
+  EXPECT_DOUBLE_EQ(curve_for(Manufacturer::UPG).cycles(1.0), 450.0);
+}
+
+// The Fig 10 headline: cycling above 50% DoD halves cycle life relative to
+// shallow cycling — for every manufacturer.
+class HalfLifeAboveFiftyDod : public ::testing::TestWithParam<Manufacturer> {};
+
+TEST_P(HalfLifeAboveFiftyDod, HoldsForManufacturer) {
+  const CycleLifeCurve c = curve_for(GetParam());
+  EXPECT_LE(c.cycles(0.5), 0.55 * c.cycles(0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManufacturers, HalfLifeAboveFiftyDod,
+                         ::testing::Values(Manufacturer::Hoppecke, Manufacturer::Trojan,
+                                           Manufacturer::UPG));
+
+TEST(CycleLife, SaturatesBelowDodMin) {
+  const CycleLifeCurve c = curve_for(Manufacturer::Trojan);
+  EXPECT_DOUBLE_EQ(c.cycles(0.01), c.cycles(c.dod_min));
+}
+
+TEST(CycleLife, LifetimeThroughputNearlyConstantForUnityExponent) {
+  // §III-A cites the "total cycled charge is almost constant" observation;
+  // with exponent ≈ 1 the lifetime Ah barely depends on DoD.
+  CycleLifeCurve c{1000.0, 1.0, 0.05};
+  const auto cap = ampere_hours(35.0);
+  const double t20 = c.lifetime_throughput(0.2, cap).value();
+  const double t80 = c.lifetime_throughput(0.8, cap).value();
+  EXPECT_NEAR(t20, t80, 1e-9);
+}
+
+TEST(CycleLife, DeepCyclingWastesThroughputForRealCurves) {
+  const CycleLifeCurve c = curve_for(Manufacturer::UPG);  // exponent > 1
+  const auto cap = ampere_hours(35.0);
+  EXPECT_GT(c.lifetime_throughput(0.2, cap).value(),
+            c.lifetime_throughput(0.9, cap).value());
+}
+
+TEST(CycleLife, DamageFractionLinearInThroughput) {
+  const CycleLifeCurve c = curve_for(Manufacturer::Trojan);
+  const auto cap = ampere_hours(35.0);
+  const double d1 = c.damage_fraction(ampere_hours(1000.0), 0.5, cap);
+  const double d2 = c.damage_fraction(ampere_hours(2000.0), 0.5, cap);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-12);
+}
+
+TEST(CycleLife, FullLifeEqualsUnityDamage) {
+  const CycleLifeCurve c = curve_for(Manufacturer::Hoppecke);
+  const auto cap = ampere_hours(35.0);
+  const auto life = c.lifetime_throughput(0.6, cap);
+  EXPECT_NEAR(c.damage_fraction(life, 0.6, cap), 1.0, 1e-12);
+}
+
+TEST(CycleLife, RejectsBadInput) {
+  const CycleLifeCurve c = curve_for(Manufacturer::Trojan);
+  EXPECT_THROW(c.cycles(0.0), util::PreconditionError);
+  EXPECT_THROW(c.cycles(1.5), util::PreconditionError);
+  EXPECT_THROW(c.lifetime_throughput(0.5, ampere_hours(0.0)), util::PreconditionError);
+  EXPECT_THROW(c.damage_fraction(ampere_hours(-1.0), 0.5, ampere_hours(35.0)),
+               util::PreconditionError);
+}
+
+TEST(CycleLife, ManufacturerNames) {
+  EXPECT_EQ(manufacturer_name(Manufacturer::Hoppecke), "Hoppecke");
+  EXPECT_EQ(manufacturer_name(Manufacturer::Trojan), "Trojan");
+  EXPECT_EQ(manufacturer_name(Manufacturer::UPG), "UPG");
+}
+
+}  // namespace
+}  // namespace baat::battery

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "battery/probe.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::amperes;
+using util::minutes;
+
+Battery fresh(double soc = 1.0) {
+  return Battery{LeadAcidParams{}, AgingParams{}, ThermalParams{}, 1.0, 1.0, soc};
+}
+
+Battery aged_unit() {
+  Battery b = fresh();
+  AgingState s;
+  s.corrosion = 0.018;
+  s.shedding = 0.080;
+  s.sulphation = 0.035;
+  s.stratification = 0.008;
+  b.aging_model().set_state(s);
+  return b;
+}
+
+TEST(Probe, ChargeToFullReachesFull) {
+  const Battery charged = charge_to_full(fresh(0.3));
+  EXPECT_GE(charged.soc(), 0.995);
+}
+
+TEST(Probe, ProbeDoesNotPerturbOriginal) {
+  const Battery b = fresh(0.6);
+  const double soc = b.soc();
+  const auto counters = b.counters().ah_discharged;
+  (void)run_probe(b);
+  EXPECT_DOUBLE_EQ(b.soc(), soc);
+  EXPECT_DOUBLE_EQ(b.counters().ah_discharged.value(), counters.value());
+}
+
+TEST(Probe, FreshUnitLooksHealthy) {
+  const ProbeResult r = run_probe(fresh());
+  // Loaded full voltage near nominal OCV minus a small ohmic drop.
+  EXPECT_GT(r.full_voltage.value(), 12.4);
+  EXPECT_LT(r.full_voltage.value(), 12.8);
+  // C/10 discharge with Peukert delivers most of nameplate.
+  EXPECT_GT(r.capacity_fraction, 0.85);
+  EXPECT_LE(r.capacity_fraction, 1.0);
+  EXPECT_GT(r.round_trip_efficiency, 0.80);
+  EXPECT_LT(r.round_trip_efficiency, 1.0);
+  EXPECT_GT(r.energy_per_cycle.value(), 300.0);
+}
+
+TEST(Probe, AgedUnitShowsAllThreeDegradations) {
+  const ProbeResult young = run_probe(fresh());
+  const ProbeResult old = run_probe(aged_unit());
+  // Fig 3: lower loaded terminal voltage.
+  EXPECT_LT(old.full_voltage.value(), young.full_voltage.value());
+  // Fig 4: less deliverable capacity / energy per cycle.
+  EXPECT_LT(old.capacity_fraction, young.capacity_fraction - 0.05);
+  EXPECT_LT(old.energy_per_cycle.value(), young.energy_per_cycle.value());
+  // Fig 5: worse round-trip efficiency.
+  EXPECT_LT(old.round_trip_efficiency, young.round_trip_efficiency - 0.02);
+}
+
+TEST(Probe, RejectsBadStep) {
+  EXPECT_THROW(run_probe(fresh(), util::seconds(0.0)), util::PreconditionError);
+  EXPECT_THROW(charge_to_full(fresh(), util::seconds(-1.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::battery

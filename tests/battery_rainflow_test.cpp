@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "battery/rainflow.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace baat::battery {
+namespace {
+
+double total_count(const std::vector<RainflowCycle>& s) {
+  double t = 0.0;
+  for (const auto& c : s) t += c.count;
+  return t;
+}
+
+TEST(Rainflow, EmptyAndConstantSeries) {
+  EXPECT_TRUE(rainflow_count({}).empty());
+  EXPECT_TRUE(rainflow_count({0.5}).empty());
+  EXPECT_TRUE(rainflow_count({0.5, 0.5, 0.5}).empty());
+}
+
+TEST(Rainflow, SingleSwingIsHalfCycle) {
+  const auto s = rainflow_count({1.0, 0.4});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s[0].depth, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(s[0].count, 0.5);
+  EXPECT_NEAR(s[0].mean, 0.7, 1e-12);
+}
+
+TEST(Rainflow, RepeatedFullCyclesCounted) {
+  // 10 identical 60% swings → ~10 equivalent cycles (mix of full + residue
+  // halves), total depth-weighted count ≈ 10 · 0.6.
+  std::vector<double> soc;
+  for (int i = 0; i < 10; ++i) {
+    soc.push_back(1.0);
+    soc.push_back(0.4);
+  }
+  soc.push_back(1.0);
+  const auto s = rainflow_count(soc);
+  EXPECT_NEAR(equivalent_full_cycles(s), 10.0 * 0.6, 0.31);
+  for (const auto& c : s) EXPECT_NEAR(c.depth, 0.6, 1e-12);
+}
+
+TEST(Rainflow, SmallRippleInsideBigSwing) {
+  // Classic rainflow case: a small dip nested in a large excursion counts
+  // as one small full cycle plus the large half cycles.
+  const auto s = rainflow_count({1.0, 0.3, 0.5, 0.35, 0.9});
+  double small_full = 0.0;
+  double big = 0.0;
+  for (const auto& c : s) {
+    if (c.depth < 0.2) {
+      small_full += c.count;
+    } else {
+      big += c.count;
+    }
+  }
+  EXPECT_DOUBLE_EQ(small_full, 1.0);  // the 0.5→0.35 ripple
+  EXPECT_GE(big, 1.0);                // the residual large swings
+}
+
+TEST(Rainflow, MonotoneRampIsOneHalfCycle) {
+  const auto s = rainflow_count({0.2, 0.3, 0.4, 0.7, 0.9});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s[0].depth, 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(s[0].count, 0.5);
+}
+
+TEST(Rainflow, EquivalentFullCyclesMatchesAmpHourIntuition) {
+  // EFC from rainflow must equal total |ΔSoC| / 2 for any closed series.
+  std::vector<double> soc{1.0, 0.5, 0.8, 0.2, 0.6, 0.1, 1.0};
+  double travel = 0.0;
+  for (std::size_t i = 1; i < soc.size(); ++i) travel += std::fabs(soc[i] - soc[i - 1]);
+  const auto s = rainflow_count(soc);
+  EXPECT_NEAR(equivalent_full_cycles(s), travel / 2.0, 1e-9);
+}
+
+TEST(Rainflow, DamageMatchesCurveForUniformCycling) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::Trojan);
+  std::vector<double> soc;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    soc.push_back(1.0);
+    soc.push_back(0.5);  // 50% DoD cycling
+  }
+  soc.push_back(1.0);
+  const double damage = rainflow_damage(rainflow_count(soc), curve);
+  EXPECT_NEAR(damage, n / curve.cycles(0.5), 0.02);
+}
+
+TEST(Rainflow, DeeperCyclingDamagesMore) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::Trojan);
+  auto cycling = [](double low) {
+    std::vector<double> soc;
+    for (int i = 0; i < 20; ++i) {
+      soc.push_back(1.0);
+      soc.push_back(low);
+    }
+    soc.push_back(1.0);
+    return soc;
+  };
+  const double shallow = rainflow_damage(rainflow_count(cycling(0.8)), curve);
+  const double deep = rainflow_damage(rainflow_count(cycling(0.2)), curve);
+  EXPECT_GT(deep, 2.0 * shallow);
+}
+
+TEST(Rainflow, RandomWalkInvariants) {
+  // Property sweep: for random SoC walks, EFC == travel/2 and damage >= 0.
+  const CycleLifeCurve curve = curve_for(Manufacturer::UPG);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    util::Rng rng{seed};
+    std::vector<double> soc{0.5};
+    for (int i = 0; i < 500; ++i) {
+      soc.push_back(util::clamp01(soc.back() + rng.uniform(-0.1, 0.1)));
+    }
+    double travel = 0.0;
+    for (std::size_t i = 1; i < soc.size(); ++i) {
+      travel += std::fabs(soc[i] - soc[i - 1]);
+    }
+    const auto s = rainflow_count(soc);
+    EXPECT_NEAR(equivalent_full_cycles(s), travel / 2.0, 1e-9) << "seed " << seed;
+    EXPECT_GE(rainflow_damage(s, curve), 0.0);
+  }
+}
+
+TEST(Rainflow, RejectsOutOfRangeSoc) {
+  EXPECT_THROW(rainflow_count({0.5, 1.4}), util::PreconditionError);
+  EXPECT_THROW(rainflow_count({-0.1}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::battery

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "battery/service.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+Battery stratified_unit() {
+  Battery b{LeadAcidParams{}, AgingParams{}, ThermalParams{}, 1.0, 1.0, 0.4};
+  AgingState s;
+  s.stratification = 0.06;
+  s.shedding = 0.03;
+  b.aging_model().set_state(s);
+  return b;
+}
+
+TEST(Service, EqualizationReversesStratification) {
+  Battery b = stratified_unit();
+  const double health_before = b.health();
+  const EqualizationResult r = equalize(b);
+  EXPECT_DOUBLE_EQ(r.stratification_before, 0.06);
+  EXPECT_LT(r.stratification_after, 0.01);
+  EXPECT_DOUBLE_EQ(b.aging_state().stratification, r.stratification_after);
+  // Stratification is recoverable capacity: health improves.
+  EXPECT_GT(b.health(), health_before);
+}
+
+TEST(Service, EqualizationCostsWater) {
+  Battery b = stratified_unit();
+  const EqualizationResult r = equalize(b);
+  EXPECT_GT(r.water_loss_added, 0.0);
+  EXPECT_GT(b.aging_state().water_loss, 0.0);
+  // The trade is worth it: water cost is far below the stratification healed.
+  EXPECT_LT(r.water_loss_added, r.stratification_before - r.stratification_after);
+}
+
+TEST(Service, LeavesUnitFull) {
+  Battery b = stratified_unit();
+  equalize(b);
+  EXPECT_GE(b.soc(), 0.99);
+}
+
+TEST(Service, FreshUnitIsNearNoop) {
+  Battery b{LeadAcidParams{}, AgingParams{}, ThermalParams{}};
+  const double health_before = b.health();
+  const EqualizationResult r = equalize(b);
+  EXPECT_DOUBLE_EQ(r.stratification_before, 0.0);
+  EXPECT_NEAR(b.health(), health_before, 1e-3);  // only the water-loss dent
+}
+
+TEST(Service, ShorterHoldCostsLessWater) {
+  Battery a = stratified_unit();
+  Battery b = stratified_unit();
+  EqualizationParams quick;
+  quick.hold = util::hours(1.0);
+  const double wa = equalize(a, quick).water_loss_added;
+  const double wb = equalize(b).water_loss_added;  // default 3 h
+  EXPECT_LT(wa, wb);
+}
+
+TEST(Service, RejectsBadParams) {
+  Battery b = stratified_unit();
+  EqualizationParams p;
+  p.hold = util::seconds(0.0);
+  EXPECT_THROW(equalize(b, p), util::PreconditionError);
+  p = EqualizationParams{};
+  p.residual_stratification = 1.5;
+  EXPECT_THROW(equalize(b, p), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::battery

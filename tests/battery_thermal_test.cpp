@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "battery/thermal.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::celsius;
+using util::minutes;
+using util::seconds;
+using util::watts;
+
+TEST(Thermal, StartsAtAmbient) {
+  ThermalModel m{ThermalParams{}};
+  EXPECT_DOUBLE_EQ(m.temperature().value(), 25.0);
+}
+
+TEST(Thermal, HeatsTowardSteadyState) {
+  ThermalParams p;
+  ThermalModel m{p};
+  const double t_inf = m.steady_state(watts(10.0)).value();
+  EXPECT_DOUBLE_EQ(t_inf, 25.0 + 10.0 * p.thermal_resistance_k_per_w);
+  for (int i = 0; i < 10000; ++i) m.step(watts(10.0), minutes(1.0));
+  EXPECT_NEAR(m.temperature().value(), t_inf, 1e-6);
+}
+
+TEST(Thermal, MonotoneApproachNoOvershoot) {
+  ThermalModel m{ThermalParams{}};
+  double prev = m.temperature().value();
+  const double t_inf = m.steady_state(watts(20.0)).value();
+  for (int i = 0; i < 200; ++i) {
+    m.step(watts(20.0), minutes(1.0));
+    EXPECT_GE(m.temperature().value(), prev);
+    EXPECT_LE(m.temperature().value(), t_inf + 1e-9);
+    prev = m.temperature().value();
+  }
+}
+
+TEST(Thermal, CoolsBackToAmbient) {
+  ThermalModel m{ThermalParams{}};
+  for (int i = 0; i < 500; ++i) m.step(watts(20.0), minutes(1.0));
+  EXPECT_GT(m.temperature().value(), 26.0);
+  for (int i = 0; i < 20000; ++i) m.step(watts(0.0), minutes(1.0));
+  EXPECT_NEAR(m.temperature().value(), 25.0, 1e-6);
+}
+
+TEST(Thermal, LargeStepIsStable) {
+  // The exponential update must not oscillate even with dt >> tau.
+  ThermalModel m{ThermalParams{}};
+  m.step(watts(10.0), util::hours(100.0));
+  EXPECT_NEAR(m.temperature().value(), m.steady_state(watts(10.0)).value(), 1e-9);
+}
+
+TEST(Thermal, AmbientTracking) {
+  ThermalModel m{ThermalParams{}};
+  m.set_ambient(celsius(35.0));
+  for (int i = 0; i < 20000; ++i) m.step(watts(0.0), minutes(1.0));
+  EXPECT_NEAR(m.temperature().value(), 35.0, 1e-6);
+}
+
+TEST(Thermal, RejectsBadInput) {
+  ThermalModel m{ThermalParams{}};
+  EXPECT_THROW(m.step(watts(-1.0), seconds(1.0)), util::PreconditionError);
+  EXPECT_THROW(m.step(watts(1.0), seconds(0.0)), util::PreconditionError);
+  ThermalParams bad;
+  bad.heat_capacity_j_per_k = 0.0;
+  EXPECT_THROW(ThermalModel{bad}, util::PreconditionError);
+}
+
+TEST(Thermal, ArrheniusRule) {
+  // The paper's rule: +10 °C halves lifetime, i.e. doubles the aging rate.
+  EXPECT_DOUBLE_EQ(arrhenius_factor(celsius(20.0)), 1.0);
+  EXPECT_DOUBLE_EQ(arrhenius_factor(celsius(30.0)), 2.0);
+  EXPECT_DOUBLE_EQ(arrhenius_factor(celsius(40.0)), 4.0);
+  EXPECT_DOUBLE_EQ(arrhenius_factor(celsius(10.0)), 0.5);
+}
+
+}  // namespace
+}  // namespace baat::battery

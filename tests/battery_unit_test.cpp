@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "battery/battery.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::amperes;
+using util::hours;
+using util::minutes;
+using util::seconds;
+
+Battery fresh(double soc = 1.0) {
+  return Battery{LeadAcidParams{}, AgingParams{}, ThermalParams{}, 1.0, 1.0, soc};
+}
+
+TEST(Battery, InitialState) {
+  Battery b = fresh();
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+  EXPECT_DOUBLE_EQ(b.health(), 1.0);
+  EXPECT_DOUBLE_EQ(b.nameplate().value(), 35.0);
+  EXPECT_FALSE(b.end_of_life());
+  EXPECT_NEAR(b.open_circuit().value(), 12.75, 0.01);
+}
+
+TEST(Battery, DischargeLowersSocAndVoltage) {
+  Battery b = fresh();
+  const double v0 = b.open_circuit().value();
+  for (int i = 0; i < 60; ++i) b.step(amperes(5.0), minutes(1.0));
+  EXPECT_LT(b.soc(), 1.0);
+  EXPECT_LT(b.open_circuit().value(), v0);
+  EXPECT_NEAR(b.counters().ah_discharged.value(), 5.0, 1e-9);
+}
+
+TEST(Battery, TerminalVoltageDropsUnderLoad) {
+  Battery b = fresh(0.8);
+  const double ocv = b.open_circuit().value();
+  EXPECT_LT(b.terminal_voltage(amperes(10.0)).value(), ocv);
+  EXPECT_GT(b.terminal_voltage(amperes(-10.0)).value(), ocv);
+  EXPECT_DOUBLE_EQ(b.terminal_voltage(amperes(0.0)).value(), ocv);
+}
+
+TEST(Battery, ChargeRaisesSocWithCoulombicLoss) {
+  Battery b = fresh(0.5);
+  const auto res = b.step(amperes(-7.0), hours(1.0));
+  EXPECT_LT(res.actual_current.value(), 0.0);
+  // 7 Ah at ≤98% efficiency into 35 Ah: ΔSoC ≤ 0.196.
+  EXPECT_GT(b.soc(), 0.5);
+  EXPECT_LE(b.soc(), 0.5 + 7.0 * 0.98 / 35.0 + 1e-9);
+  EXPECT_NEAR(b.counters().ah_charged.value(), 7.0, 1e-9);
+}
+
+TEST(Battery, SocNeverEscapesBounds) {
+  Battery b = fresh(0.05);
+  for (int i = 0; i < 500; ++i) {
+    b.step(amperes(30.0), minutes(5.0));
+    EXPECT_GE(b.soc(), 0.0);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    b.step(amperes(-30.0), minutes(5.0));
+    EXPECT_LE(b.soc(), 1.0);
+  }
+}
+
+TEST(Battery, DischargeClampedAtEmpty) {
+  Battery b = fresh(0.01);
+  const auto res = b.step(amperes(35.0), hours(1.0));
+  EXPECT_TRUE(res.hit_cutoff);
+  EXPECT_LT(res.actual_current.value(), 35.0);
+  EXPECT_GE(b.soc(), 0.0);
+}
+
+TEST(Battery, ChargeTapersAtFull) {
+  Battery b = fresh(0.999);
+  const auto res = b.step(amperes(-8.0), minutes(1.0));
+  EXPECT_GT(res.actual_current.value(), -8.0);  // clamped toward zero
+  EXPECT_LE(b.soc(), 1.0);
+}
+
+TEST(Battery, FullChargeEventDetected) {
+  Battery b = fresh(0.90);
+  bool saw_full = false;
+  for (int i = 0; i < 24 * 60 && !saw_full; ++i) {
+    saw_full = b.step(amperes(-4.0), minutes(1.0)).fully_charged;
+  }
+  EXPECT_TRUE(saw_full);
+  EXPECT_EQ(b.counters().full_charge_events, 1);
+  EXPECT_NEAR(b.counters().time_since_full_charge.value(), 0.0, 61.0);
+}
+
+TEST(Battery, PeukertReducesDeliverableCharge) {
+  Battery slow = fresh();
+  Battery fast = fresh();
+  // Drain both from full to empty, slow at C/20, fast at ~C/2.
+  for (int i = 0; i < 40 * 60; ++i) slow.step(amperes(1.75), minutes(1.0));
+  for (int i = 0; i < 10 * 60; ++i) fast.step(amperes(17.5), minutes(1.0));
+  EXPECT_DOUBLE_EQ(slow.soc(), 0.0);
+  EXPECT_DOUBLE_EQ(fast.soc(), 0.0);
+  EXPECT_GT(slow.counters().ah_discharged.value(),
+            fast.counters().ah_discharged.value());
+}
+
+TEST(Battery, SocRangeAccounting) {
+  Battery b = fresh();
+  // Drain from 1.0 to ~0: Ah must be distributed over all four Eq 3 ranges
+  // and sum to the total.
+  for (int i = 0; i < 30 * 60; ++i) b.step(amperes(3.0), minutes(1.0));
+  const auto& c = b.counters();
+  const double sum = c.ah_by_range[0].value() + c.ah_by_range[1].value() +
+                     c.ah_by_range[2].value() + c.ah_by_range[3].value();
+  EXPECT_NEAR(sum, c.ah_discharged.value(), 1e-9);
+  EXPECT_GT(c.ah_by_range[0].value(), 0.0);
+  EXPECT_GT(c.ah_by_range[3].value(), 0.0);
+}
+
+TEST(Battery, SelfDischargeWhileStanding) {
+  Battery b = fresh(0.8);
+  for (int d = 0; d < 30 * 24 * 60; ++d) b.step(amperes(0.0), minutes(1.0));
+  // ~3%/month at 20°C, accelerated a bit at the 25°C default ambient.
+  EXPECT_LT(b.soc(), 0.78);
+  EXPECT_GT(b.soc(), 0.72);
+  // Self-discharge is internal: no terminal Ah is recorded.
+  EXPECT_DOUBLE_EQ(b.counters().ah_discharged.value(), 0.0);
+}
+
+TEST(Battery, FloatChargeGassesWithoutOvershoot) {
+  Battery b = fresh(1.0);
+  const auto res = b.float_charge(amperes(1.4), hours(1.0));
+  EXPECT_DOUBLE_EQ(res.terminal_voltage.value(),
+                   LeadAcidParams{}.absorb_voltage().value());
+  EXPECT_LE(b.soc(), 1.0);
+  // Held at absorb voltage: water loss accrues.
+  EXPECT_GT(b.aging_state().water_loss, 0.0);
+}
+
+TEST(Battery, TimeCountersAdvance) {
+  Battery b = fresh(0.3);
+  b.step(amperes(0.0), hours(2.0));
+  EXPECT_DOUBLE_EQ(b.counters().time_total.value(), 7200.0);
+  EXPECT_DOUBLE_EQ(b.counters().time_below_40.value(), 7200.0);
+}
+
+TEST(Battery, MaxDischargeCurrentLimits) {
+  // On a fresh unit the 1C rate cap binds across the SoC range...
+  Battery full = fresh(1.0);
+  EXPECT_NEAR(full.max_discharge_current().value(), 35.0, 1e-9);
+  Battery empty = fresh(0.0);
+  EXPECT_DOUBLE_EQ(empty.max_discharge_current().value(), 0.0);
+  // ...but an aged unit (higher resistance, sagging OCV) becomes
+  // voltage-limited at low SoC: it cannot sustain the rated current anymore.
+  Battery aged = fresh(0.1);
+  AgingState s;
+  s.shedding = 0.15;
+  s.sulphation = 0.05;
+  aged.aging_model().set_state(s);
+  EXPECT_LT(aged.max_discharge_current().value(),
+            fresh(0.1).max_discharge_current().value());
+}
+
+TEST(Battery, MaxChargeCurrentZeroAtFull) {
+  Battery b = fresh(1.0);
+  EXPECT_DOUBLE_EQ(b.max_charge_current().value(), 0.0);
+  Battery half = fresh(0.5);
+  EXPECT_GT(half.max_charge_current().value(), 0.0);
+}
+
+TEST(Battery, StoredEnergyAboveFloor) {
+  Battery b = fresh(0.8);
+  const double e = b.stored_energy_above(0.3).value();
+  EXPECT_NEAR(e, 0.5 * 35.0 * 12.0, 1.0);
+  EXPECT_DOUBLE_EQ(fresh(0.2).stored_energy_above(0.3).value(), 0.0);
+}
+
+TEST(Battery, EquivalentFullCycles) {
+  Battery b = fresh();
+  for (int i = 0; i < 60; ++i) b.step(amperes(35.0 / 2.0), minutes(1.0));
+  EXPECT_NEAR(b.equivalent_full_cycles(), 0.5, 1e-9);
+}
+
+TEST(Battery, ManufacturingVariationScalesNameplate) {
+  Battery small{LeadAcidParams{}, AgingParams{}, ThermalParams{}, 0.95, 1.1, 1.0};
+  EXPECT_NEAR(small.nameplate().value(), 35.0 * 0.95, 1e-9);
+  Battery nominal = fresh();
+  EXPECT_GT(small.internal_resistance_ohms(), nominal.internal_resistance_ohms());
+}
+
+TEST(Battery, HeavyDischargeHeatsTheBlock) {
+  Battery b = fresh();
+  const double t0 = b.temperature().value();
+  for (int i = 0; i < 60; ++i) b.step(amperes(30.0), minutes(1.0));
+  EXPECT_GT(b.temperature().value(), t0);
+}
+
+TEST(Battery, CyclicUseAgesTheUnit) {
+  Battery b = fresh();
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    for (int i = 0; i < 6 * 60; ++i) b.step(amperes(5.0), minutes(1.0));
+    for (int i = 0; i < 8 * 60; ++i) b.step(amperes(-5.0), minutes(1.0));
+  }
+  EXPECT_LT(b.health(), 1.0);
+  EXPECT_GT(b.internal_resistance_ohms(),
+            LeadAcidParams{}.r_internal_ohms);
+  EXPECT_LT(b.usable_capacity().value(), 35.0);
+}
+
+TEST(Battery, RejectsBadConstruction) {
+  EXPECT_THROW(Battery(LeadAcidParams{}, AgingParams{}, ThermalParams{}, 0.0),
+               util::PreconditionError);
+  EXPECT_THROW(Battery(LeadAcidParams{}, AgingParams{}, ThermalParams{}, 1.0, 1.0, 1.5),
+               util::PreconditionError);
+}
+
+TEST(Battery, RejectsZeroDt) {
+  Battery b = fresh();
+  EXPECT_THROW(b.step(amperes(1.0), seconds(0.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::battery

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/demand.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+namespace {
+
+using util::watt_hours;
+
+DemandProfile profile(double power_frac, double energy_wh) {
+  DemandProfile p;
+  p.power_fraction_of_peak = power_frac;
+  p.energy_request = watt_hours(energy_wh);
+  return p;
+}
+
+TEST(Demand, FiftyPercentRuleForPowerClass) {
+  EXPECT_EQ(classify(profile(0.51, 100.0)).power, PowerClass::Large);
+  EXPECT_EQ(classify(profile(0.50, 100.0)).power, PowerClass::Small);
+  EXPECT_EQ(classify(profile(0.10, 100.0)).power, PowerClass::Small);
+}
+
+TEST(Demand, EnergyClassThreshold) {
+  EXPECT_EQ(classify(profile(0.3, 1000.0)).energy, EnergyClass::More);
+  EXPECT_EQ(classify(profile(0.3, 100.0)).energy, EnergyClass::Less);
+}
+
+TEST(Demand, CustomThresholds) {
+  DemandThresholds t;
+  t.power_large_fraction = 0.30;
+  t.energy_more = watt_hours(50.0);
+  const DemandClass c = classify(profile(0.4, 80.0), t);
+  EXPECT_EQ(c.power, PowerClass::Large);
+  EXPECT_EQ(c.energy, EnergyClass::More);
+}
+
+TEST(Demand, Table3WeightMapping) {
+  // Large/Less: ΔNAT Medium, ΔCF High, ΔPC High.
+  const AgingWeights ll = weights_for({PowerClass::Large, EnergyClass::Less});
+  EXPECT_DOUBLE_EQ(ll.a_cf, 0.5);
+  EXPECT_DOUBLE_EQ(ll.b_pc, 0.5);
+  EXPECT_DOUBLE_EQ(ll.c_nat, 0.3);
+  // Large/More: all High.
+  const AgingWeights lm = weights_for({PowerClass::Large, EnergyClass::More});
+  EXPECT_DOUBLE_EQ(lm.a_cf, 0.5);
+  EXPECT_DOUBLE_EQ(lm.b_pc, 0.5);
+  EXPECT_DOUBLE_EQ(lm.c_nat, 0.5);
+  // Small/More: ΔNAT High, ΔCF Low, ΔPC Medium.
+  const AgingWeights sm = weights_for({PowerClass::Small, EnergyClass::More});
+  EXPECT_DOUBLE_EQ(sm.a_cf, 0.2);
+  EXPECT_DOUBLE_EQ(sm.b_pc, 0.3);
+  EXPECT_DOUBLE_EQ(sm.c_nat, 0.5);
+  // Small/Less: all Low.
+  const AgingWeights sl = weights_for({PowerClass::Small, EnergyClass::Less});
+  EXPECT_DOUBLE_EQ(sl.a_cf, 0.2);
+  EXPECT_DOUBLE_EQ(sl.b_pc, 0.2);
+  EXPECT_DOUBLE_EQ(sl.c_nat, 0.2);
+}
+
+TEST(Demand, ProfileForHeavyWorkloadIsLarge) {
+  const server::ServerSpec host;
+  const auto spec = workload::spec_for(workload::Kind::SoftwareTesting);
+  const DemandProfile p = profile_for(spec, host);
+  const DemandClass c = classify(p);
+  // "Resource-hungry and time-consuming" → Large power, More energy.
+  EXPECT_EQ(c.power, PowerClass::Large);  // 5 of 8 cores at 0.9 peak util
+  EXPECT_EQ(c.energy, EnergyClass::More);
+}
+
+TEST(Demand, SixWorkloadsCoverMultipleQuadrants) {
+  const server::ServerSpec host;
+  bool saw_large = false;
+  bool saw_small = false;
+  bool saw_more = false;
+  bool saw_less = false;
+  for (workload::Kind k : workload::kAllKinds) {
+    const DemandClass c = classify(profile_for(workload::spec_for(k), host));
+    saw_large |= c.power == PowerClass::Large;
+    saw_small |= c.power == PowerClass::Small;
+    saw_more |= c.energy == EnergyClass::More;
+    saw_less |= c.energy == EnergyClass::Less;
+  }
+  EXPECT_TRUE(saw_large);
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_more);
+  EXPECT_TRUE(saw_less);
+}
+
+TEST(Demand, ProfileScalesWithHostShare) {
+  server::ServerSpec big;
+  big.cores = 32.0;
+  const auto spec = workload::spec_for(workload::Kind::KMeansClustering);
+  const DemandProfile on_big = profile_for(spec, big);
+  const DemandProfile on_small = profile_for(spec, server::ServerSpec{});
+  EXPECT_LT(on_big.power_fraction_of_peak, on_small.power_fraction_of_peak);
+}
+
+TEST(Demand, ServiceEnergyAssessedPerDay) {
+  const server::ServerSpec host;
+  const auto web = workload::spec_for(workload::Kind::WebServing);
+  const DemandProfile p = profile_for(web, host);
+  // 24 h at base utilization: substantial energy request despite modest power.
+  EXPECT_GT(p.energy_request.value(), 100.0);
+}
+
+TEST(Demand, RejectsNegativeProfile) {
+  EXPECT_THROW(classify(profile(-0.1, 10.0)), util::PreconditionError);
+  EXPECT_THROW(classify(profile(0.1, -10.0)), util::PreconditionError);
+}
+
+TEST(Demand, ClassNames) {
+  EXPECT_EQ(power_class_name(PowerClass::Large), "Large");
+  EXPECT_EQ(energy_class_name(EnergyClass::Less), "Less");
+}
+
+}  // namespace
+}  // namespace baat::core

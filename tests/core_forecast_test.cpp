@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/forecast.hpp"
+#include "solar/solar_day.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+namespace {
+
+using util::hours;
+using util::watts;
+
+TEST(Forecast, PriorBeforeObservations) {
+  SolarForecaster f{ForecastParams{}};
+  EXPECT_DOUBLE_EQ(f.attenuation(), ForecastParams{}.prior_attenuation);
+}
+
+TEST(Forecast, ConvergesToObservedAttenuation) {
+  ForecastParams p;
+  SolarForecaster f{p};
+  // Feed a perfectly clear noon for an hour: attenuation → 1.
+  for (int m = 0; m < 60; ++m) {
+    const auto t = util::Seconds{13.0 * 3600.0 + m * 60.0};
+    const double clear = solar::clear_sky_fraction(p.window, t);
+    f.observe(t, watts(p.plant_peak.value() * clear));
+  }
+  EXPECT_NEAR(f.attenuation(), 1.0, 0.05);
+}
+
+TEST(Forecast, TracksOvercastConditions) {
+  ForecastParams p;
+  SolarForecaster f{p};
+  for (int m = 0; m < 60; ++m) {
+    const auto t = util::Seconds{12.0 * 3600.0 + m * 60.0};
+    const double clear = solar::clear_sky_fraction(p.window, t);
+    f.observe(t, watts(p.plant_peak.value() * clear * 0.25));
+  }
+  EXPECT_NEAR(f.attenuation(), 0.25, 0.05);
+}
+
+TEST(Forecast, IgnoresDawnDuskNoise) {
+  ForecastParams p;
+  SolarForecaster f{p};
+  const double before = f.attenuation();
+  // 4 AM readings carry no clear-sky signal and must not move the estimate.
+  f.observe(hours(4.0), watts(0.0));
+  EXPECT_DOUBLE_EQ(f.attenuation(), before);
+}
+
+TEST(Forecast, PowerForecastFollowsEnvelope) {
+  ForecastParams p;
+  SolarForecaster f{p};
+  for (int m = 0; m < 30; ++m) {
+    const auto t = util::Seconds{11.0 * 3600.0 + m * 60.0};
+    f.observe(t, watts(p.plant_peak.value() *
+                       solar::clear_sky_fraction(p.window, t) * 0.5));
+  }
+  const double at_noon = f.forecast_power(hours(13.0)).value();
+  const double at_dusk = f.forecast_power(hours(19.0)).value();
+  EXPECT_GT(at_noon, at_dusk);
+  EXPECT_NEAR(at_noon, p.plant_peak.value() * 0.5, p.plant_peak.value() * 0.06);
+  EXPECT_DOUBLE_EQ(f.forecast_power(hours(23.0)).value(), 0.0);
+}
+
+TEST(Forecast, RemainingEnergyShrinksThroughTheDay) {
+  ForecastParams p;
+  SolarForecaster f{p};
+  f.observe(hours(10.0),
+            watts(p.plant_peak.value() *
+                  solar::clear_sky_fraction(p.window, hours(10.0)) * 0.8));
+  const double morning = f.forecast_remaining_energy(hours(10.0)).value();
+  const double noon = f.forecast_remaining_energy(hours(14.0)).value();
+  const double dusk = f.forecast_remaining_energy(hours(19.0)).value();
+  EXPECT_GT(morning, noon);
+  EXPECT_GT(noon, dusk);
+  EXPECT_NEAR(dusk, 0.0, 30.0);
+}
+
+TEST(Forecast, MorningForecastPredictsRealDayWithinBand) {
+  // End-to-end: feed the forecaster the first two hours of a generated
+  // sunny day, then compare its remaining-energy forecast to the truth.
+  solar::PlantSpec spec;
+  const solar::SolarDay day{spec, solar::DayType::Sunny, util::Rng{7}};
+  ForecastParams p;
+  p.plant_peak = spec.peak;
+  p.window = spec.window;
+  SolarForecaster f{p};
+  for (double t = 8.0 * 3600.0; t < 10.0 * 3600.0; t += 60.0) {
+    f.observe(util::Seconds{t}, day.power(util::Seconds{t}));
+  }
+  double truth_wh = 0.0;
+  for (double t = 10.0 * 3600.0; t < 86400.0; t += 60.0) {
+    truth_wh += day.power(util::Seconds{t}).value() / 60.0;
+  }
+  const double forecast_wh = f.forecast_remaining_energy(hours(10.0)).value();
+  // Sunny days are persistence-friendly: within 30%.
+  EXPECT_NEAR(forecast_wh, truth_wh, 0.3 * truth_wh);
+}
+
+TEST(Forecast, RejectsBadInput) {
+  EXPECT_THROW(SolarForecaster({solar::SunWindow{}, watts(0.0)}),
+               util::PreconditionError);
+  SolarForecaster f{ForecastParams{}};
+  EXPECT_THROW(f.observe(hours(12.0), watts(-1.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::core

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "core/lifetime.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+namespace {
+
+using util::ampere_hours;
+using util::dollars;
+
+TEST(Lifetime, LinearExtrapolationToEol) {
+  // 5% fade in 90 days → 20% fade (EoL) in 360 days.
+  const LifetimeEstimate e = extrapolate_lifetime(1.0, 0.95, 90.0);
+  EXPECT_NEAR(e.days, 360.0, 1e-9);
+  EXPECT_NEAR(e.years(), 360.0 / 365.0, 1e-9);
+}
+
+TEST(Lifetime, NoFadeMeansHorizonCap) {
+  const LifetimeEstimate e = extrapolate_lifetime(1.0, 1.0, 90.0);
+  EXPECT_DOUBLE_EQ(e.days, 20.0 * 365.0);
+}
+
+TEST(Lifetime, RespectsCustomEol) {
+  const LifetimeEstimate e = extrapolate_lifetime(1.0, 0.9, 100.0, 0.7);
+  EXPECT_NEAR(e.days, 300.0, 1e-9);
+}
+
+TEST(Lifetime, StartBelowOneSupported) {
+  // An already-aged unit observed from health 0.9 → 0.85 over 50 days.
+  const LifetimeEstimate e = extrapolate_lifetime(0.9, 0.85, 50.0);
+  EXPECT_NEAR(e.days, 100.0, 1e-9);
+}
+
+TEST(Lifetime, ThroughputEstimator) {
+  const auto curve = battery::curve_for(battery::Manufacturer::Trojan);
+  const LifetimeEstimate e = lifetime_from_throughput(curve, ampere_hours(35.0), 0.5,
+                                                      ampere_hours(17.5));
+  // Budget = N(0.5)·0.5·35 Ah at 17.5 Ah/day = N(0.5) days ≈ 2143 days.
+  EXPECT_NEAR(e.days, curve.cycles(0.5), 1.0);
+}
+
+TEST(Lifetime, ThroughputEstimatorIdleCapped) {
+  const auto curve = battery::curve_for(battery::Manufacturer::Trojan);
+  const LifetimeEstimate e =
+      lifetime_from_throughput(curve, ampere_hours(35.0), 0.5, ampere_hours(0.0));
+  EXPECT_DOUBLE_EQ(e.days, 20.0 * 365.0);
+}
+
+TEST(Lifetime, DeeperCyclingShortensThroughputLifetime) {
+  const auto curve = battery::curve_for(battery::Manufacturer::UPG);
+  const auto shallow =
+      lifetime_from_throughput(curve, ampere_hours(35.0), 0.3, ampere_hours(10.0));
+  const auto deep =
+      lifetime_from_throughput(curve, ampere_hours(35.0), 0.9, ampere_hours(10.0));
+  EXPECT_GT(shallow.days, deep.days);
+}
+
+TEST(Lifetime, RejectsBadInput) {
+  EXPECT_THROW(extrapolate_lifetime(1.0, 1.1, 90.0), util::PreconditionError);
+  EXPECT_THROW(extrapolate_lifetime(1.0, 0.9, 0.0), util::PreconditionError);
+  EXPECT_THROW(extrapolate_lifetime(0.0, 0.0, 10.0), util::PreconditionError);
+}
+
+TEST(Cost, DepreciationInverseInLifetime) {
+  const CostParams p;
+  const double one_year = annual_battery_depreciation(p, 1.0).value();
+  const double two_years = annual_battery_depreciation(p, 2.0).value();
+  EXPECT_NEAR(one_year, 2.0 * two_years, 1e-9);
+  EXPECT_NEAR(one_year, 90.0 * 12.0, 1e-9);
+}
+
+TEST(Cost, LongerLifeCutsCost) {
+  const CostParams p;
+  // The paper's 26% claim shape: +69% lifetime → 1 − 1/1.69 ≈ 41% lower
+  // depreciation; even +35% lifetime cuts ≈ 26%.
+  const double base = annual_battery_depreciation(p, 1.0).value();
+  const double improved = annual_battery_depreciation(p, 1.35).value();
+  EXPECT_NEAR(1.0 - improved / base, 0.26, 0.01);
+}
+
+TEST(Cost, ServerAnnualCost) {
+  const CostParams p;
+  EXPECT_NEAR(server_annual_cost(p).value(), 2000.0 / 5.0 + 150.0, 1e-9);
+}
+
+TEST(Cost, ExpansionScalesWithSavings) {
+  const CostParams p;
+  const double per_server = server_annual_cost(p).value();
+  EXPECT_NEAR(servers_addable_at_constant_tco(p, dollars(per_server)), 1.0, 1e-12);
+  EXPECT_NEAR(servers_addable_at_constant_tco(p, dollars(2.5 * per_server)), 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(servers_addable_at_constant_tco(p, dollars(0.0)), 0.0);
+}
+
+TEST(Cost, RejectsBadInput) {
+  const CostParams p;
+  EXPECT_THROW(annual_battery_depreciation(p, 0.0), util::PreconditionError);
+  EXPECT_THROW(servers_addable_at_constant_tco(p, dollars(-1.0)),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::core

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/maintenance.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+namespace {
+
+MaintenancePlanParams short_horizon() {
+  MaintenancePlanParams p;
+  p.horizon_days = 1000.0;
+  p.batching_window_days = 30.0;
+  return p;
+}
+
+TEST(Maintenance, SingleNodePeriodicReplacements) {
+  const std::vector<NodeWear> fleet{{0, 300.0}};
+  const MaintenancePlan plan =
+      plan_replacements(fleet, short_horizon(), CostParams{});
+  // Due at 300, 600, 900 — three replacements, three visits.
+  EXPECT_DOUBLE_EQ(plan.total_replacements, 3.0);
+  ASSERT_EQ(plan.visits.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.visits[0].day, 300.0);
+  EXPECT_DOUBLE_EQ(plan.visits[2].day, 900.0);
+}
+
+TEST(Maintenance, SynchronizedFleetBatchesIntoOneVisit) {
+  // BAAT's hiding makes the fleet wear out together → one truck roll.
+  std::vector<NodeWear> fleet;
+  for (std::size_t i = 0; i < 6; ++i) fleet.push_back({i, 400.0 + 2.0 * i});
+  MaintenancePlanParams p = short_horizon();
+  const MaintenancePlan plan = plan_replacements(fleet, p, CostParams{});
+  // All six due within 10 days of each other → batched per cycle.
+  ASSERT_EQ(plan.visits.size(), 2u);  // cycles at ~400 and ~800
+  EXPECT_EQ(plan.visits[0].nodes.size(), 6u);
+  EXPECT_EQ(visits_saved(plan), 12u - 2u);
+}
+
+TEST(Maintenance, ScatteredFleetRollsManyTrucks) {
+  // e-Buff-style irregular aging → many separate visits (the paper's
+  // maintenance-cost complaint).
+  std::vector<NodeWear> fleet;
+  for (std::size_t i = 0; i < 6; ++i) fleet.push_back({i, 250.0 + 90.0 * i});
+  const MaintenancePlan scattered =
+      plan_replacements(fleet, short_horizon(), CostParams{});
+  std::vector<NodeWear> synced;
+  for (std::size_t i = 0; i < 6; ++i) synced.push_back({i, 500.0});
+  const MaintenancePlan tight =
+      plan_replacements(synced, short_horizon(), CostParams{});
+  EXPECT_GT(scattered.visits.size(), tight.visits.size());
+}
+
+TEST(Maintenance, CostAddsUnitsAndTruckRolls) {
+  const std::vector<NodeWear> fleet{{0, 400.0}, {1, 405.0}};
+  MaintenancePlanParams p = short_horizon();
+  p.truck_roll_cost = util::dollars(100.0);
+  CostParams cost;
+  cost.battery_unit_cost = util::dollars(90.0);
+  const MaintenancePlan plan = plan_replacements(fleet, p, cost);
+  // Due at {400,405} and {800,810}: 4 units, 2 batched visits.
+  EXPECT_DOUBLE_EQ(plan.total_replacements, 4.0);
+  EXPECT_EQ(plan.visits.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.total_cost.value(), 4.0 * 90.0 + 2.0 * 100.0);
+  EXPECT_NEAR(plan.annualized(p.horizon_days).value(),
+              plan.total_cost.value() / (1000.0 / 365.0), 1e-9);
+}
+
+TEST(Maintenance, LongerLifeCutsPlanCost) {
+  auto plan_for = [](double eol) {
+    std::vector<NodeWear> fleet;
+    for (std::size_t i = 0; i < 6; ++i) fleet.push_back({i, eol});
+    MaintenancePlanParams p;
+    p.horizon_days = 3650.0;
+    return plan_replacements(fleet, p, CostParams{});
+  };
+  // The paper's lifetime → cost chain: +69% lifetime cuts the plan cost.
+  const double ebuff_cost = plan_for(240.0).total_cost.value();
+  const double baat_cost = plan_for(240.0 * 1.69).total_cost.value();
+  EXPECT_LT(baat_cost, 0.65 * ebuff_cost);
+}
+
+TEST(Maintenance, EmptyFleetEmptyPlan) {
+  const MaintenancePlan plan =
+      plan_replacements({}, short_horizon(), CostParams{});
+  EXPECT_TRUE(plan.visits.empty());
+  EXPECT_DOUBLE_EQ(plan.total_cost.value(), 0.0);
+}
+
+TEST(Maintenance, OutlivingTheHorizonMeansNoReplacement) {
+  const std::vector<NodeWear> fleet{{0, 2000.0}};
+  const MaintenancePlan plan =
+      plan_replacements(fleet, short_horizon(), CostParams{});
+  EXPECT_TRUE(plan.visits.empty());
+}
+
+TEST(Maintenance, RejectsBadInput) {
+  MaintenancePlanParams p;
+  p.horizon_days = 0.0;
+  EXPECT_THROW(plan_replacements({}, p, CostParams{}), util::PreconditionError);
+  const std::vector<NodeWear> bad{{0, 0.0}};
+  EXPECT_THROW(plan_replacements(bad, short_horizon(), CostParams{}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/planned.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+namespace {
+
+using util::ampere_hours;
+
+TEST(Planned, Eq7BasicArithmetic) {
+  // (35000 − 0) / 2000 = 17.5 Ah per cycle → 50% DoD of a 35 Ah unit.
+  const DodGoal g =
+      planned_dod(ampere_hours(35000.0), ampere_hours(0.0), 2000.0, ampere_hours(35.0));
+  EXPECT_NEAR(g.dod, 0.5, 1e-12);
+  EXPECT_NEAR(g.soc_trigger, 0.5, 1e-12);
+}
+
+TEST(Planned, UsedThroughputShrinksGoal) {
+  const DodGoal fresh =
+      planned_dod(ampere_hours(35000.0), ampere_hours(0.0), 2000.0, ampere_hours(35.0));
+  const DodGoal worn = planned_dod(ampere_hours(35000.0), ampere_hours(17500.0), 2000.0,
+                                   ampere_hours(35.0));
+  EXPECT_NEAR(worn.dod, fresh.dod / 2.0, 1e-12);
+}
+
+TEST(Planned, FewCyclesLeftMeansAggressiveDod) {
+  const DodGoal g =
+      planned_dod(ampere_hours(35000.0), ampere_hours(0.0), 400.0, ampere_hours(35.0));
+  // Raw DoD would be 2.5 — clamped to the 90% upper bound (§VI-G).
+  EXPECT_DOUBLE_EQ(g.dod, 0.90);
+  EXPECT_DOUBLE_EQ(g.soc_trigger, 0.10);
+}
+
+TEST(Planned, ManyCyclesLeftClampsAtFloor) {
+  const DodGoal g = planned_dod(ampere_hours(35000.0), ampere_hours(0.0), 100000.0,
+                                ampere_hours(35.0));
+  EXPECT_DOUBLE_EQ(g.dod, 0.10);
+  EXPECT_DOUBLE_EQ(g.soc_trigger, 0.90);
+}
+
+TEST(Planned, OverusedBatteryClampsAtFloor) {
+  // C_used beyond C_total must not produce a negative DoD.
+  const DodGoal g = planned_dod(ampere_hours(35000.0), ampere_hours(40000.0), 1000.0,
+                                ampere_hours(35.0));
+  EXPECT_DOUBLE_EQ(g.dod, 0.10);
+}
+
+TEST(Planned, DodMonotoneInRemainingBudget) {
+  double prev = 0.0;
+  for (double used : {30000.0, 20000.0, 10000.0, 0.0}) {
+    const DodGoal g = planned_dod(ampere_hours(35000.0), ampere_hours(used), 3000.0,
+                                  ampere_hours(35.0));
+    EXPECT_GE(g.dod, prev);
+    prev = g.dod;
+  }
+}
+
+TEST(Planned, CustomBand) {
+  const DodGoal g = planned_dod(ampere_hours(35000.0), ampere_hours(0.0), 400.0,
+                                ampere_hours(35.0), 0.2, 0.6);
+  EXPECT_DOUBLE_EQ(g.dod, 0.60);
+}
+
+TEST(Planned, CyclesRemainingFromCadence) {
+  EXPECT_DOUBLE_EQ(cycles_remaining(365.0, 1.0), 365.0);
+  EXPECT_DOUBLE_EQ(cycles_remaining(100.0, 0.5), 50.0);
+  // Never below one planned cycle.
+  EXPECT_DOUBLE_EQ(cycles_remaining(0.0, 2.0), 1.0);
+}
+
+TEST(Planned, RejectsBadInput) {
+  EXPECT_THROW(planned_dod(ampere_hours(0.0), ampere_hours(0.0), 100.0,
+                           ampere_hours(35.0)),
+               util::PreconditionError);
+  EXPECT_THROW(planned_dod(ampere_hours(100.0), ampere_hours(0.0), 0.0,
+                           ampere_hours(35.0)),
+               util::PreconditionError);
+  EXPECT_THROW(planned_dod(ampere_hours(100.0), ampere_hours(0.0), 100.0,
+                           ampere_hours(35.0), 0.5, 0.4),
+               util::PreconditionError);
+  EXPECT_THROW(cycles_remaining(-1.0, 1.0), util::PreconditionError);
+  EXPECT_THROW(cycles_remaining(1.0, 0.0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::core

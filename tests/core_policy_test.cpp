@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+#include "core/policy.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+namespace {
+
+NodeView node(std::size_t idx, double soc, double nat = 0.0, double cf = 1.1,
+              double pc = 0.25) {
+  NodeView n;
+  n.index = idx;
+  n.powered_on = true;
+  n.soc = soc;
+  n.metrics.cf = cf;
+  n.metrics.pc = pc;
+  n.metrics.nat = nat;
+  n.metrics_life = n.metrics;
+  n.cores_free = 8.0;
+  n.mem_free_gb = 16.0;
+  n.dvfs_level = 3;
+  n.dvfs_top = 3;
+  n.sustainable_reserve_power = util::watts(400.0);
+  n.battery_draw = util::watts(50.0);
+  return n;
+}
+
+VmView vm(workload::VmId id, double cores = 2.0) {
+  VmView v;
+  v.id = id;
+  v.kind = workload::Kind::WordCount;
+  v.cores = cores;
+  v.mem_gb = 4.0;
+  v.migratable = true;
+  return v;
+}
+
+PolicyContext ctx_with(std::vector<NodeView> nodes, double now_s = 10000.0) {
+  PolicyContext ctx;
+  ctx.now = util::Seconds{now_s};
+  ctx.nodes = std::move(nodes);
+  return ctx;
+}
+
+DemandProfile any_demand() {
+  DemandProfile d;
+  d.power_fraction_of_peak = 0.6;
+  d.energy_request = util::watt_hours(300.0);
+  return d;
+}
+
+TEST(PolicyFactory, BuildsEveryKind) {
+  PolicyParams p;
+  EXPECT_EQ(make_policy(PolicyKind::EBuff, p)->name(), "e-Buff");
+  EXPECT_EQ(make_policy(PolicyKind::BaatS, p)->name(), "BAAT-s");
+  EXPECT_EQ(make_policy(PolicyKind::BaatH, p)->name(), "BAAT-h");
+  EXPECT_EQ(make_policy(PolicyKind::Baat, p)->name(), "BAAT");
+  p.planned.cycles_plan = 500.0;
+  p.planned.total_throughput = util::ampere_hours(35000.0);
+  EXPECT_EQ(make_policy(PolicyKind::BaatPlanned, p)->name(), "BAAT-planned");
+}
+
+TEST(PolicyFactory, PlannedRequiresPlan) {
+  PolicyParams p;  // cycles_plan = 0
+  EXPECT_THROW(make_policy(PolicyKind::BaatPlanned, p), util::PreconditionError);
+}
+
+TEST(PolicyFactory, KindNames) {
+  EXPECT_EQ(policy_kind_name(PolicyKind::EBuff), "e-Buff");
+  EXPECT_EQ(policy_kind_name(PolicyKind::BaatPlanned), "BAAT-planned");
+  EXPECT_EQ(policy_kind_name(PolicyKind::BaatPredictive), "BAAT-p");
+}
+
+TEST(PolicyFactory, BuildsPredictive) {
+  const auto policy = make_policy(PolicyKind::BaatPredictive, PolicyParams{});
+  EXPECT_EQ(policy->name(), "BAAT-p");
+  EXPECT_EQ(policy->kind(), PolicyKind::BaatPredictive);
+}
+
+TEST(BaatP, PreemptiveCapOnForecastShortfall) {
+  PolicyParams params;
+  params.day_end = util::hours(18.5);
+  BaatPredictivePolicy policy{params};
+
+  // Mid-afternoon, heavy fleet demand, half-full batteries, and a dark sky
+  // reading: the budget cannot close, so every node gets capped even though
+  // nobody is below the reactive knee yet.
+  PolicyContext ctx = ctx_with({node(0, 0.55), node(1, 0.55), node(2, 0.55)});
+  ctx.time_of_day = util::hours(15.0);
+  ctx.solar_now = util::watts(0.0);
+  for (auto& n : ctx.nodes) n.server_power = util::watts(140.0);
+  const Actions a = policy.on_control_tick(ctx);
+  EXPECT_EQ(a.dvfs.size(), 3u);
+  for (const auto& d : a.dvfs) EXPECT_EQ(d.level, 2);
+}
+
+TEST(BaatP, NoCapWhenBudgetCloses) {
+  PolicyParams params;
+  BaatPredictivePolicy policy{params};
+  // Morning, light demand, full batteries, bright sky: no preemption.
+  PolicyContext ctx = ctx_with({node(0, 0.95), node(1, 0.95)});
+  ctx.time_of_day = util::hours(10.0);
+  ctx.solar_now = util::watts(900.0);
+  for (auto& n : ctx.nodes) n.server_power = util::watts(80.0);
+  const Actions a = policy.on_control_tick(ctx);
+  EXPECT_TRUE(a.dvfs.empty());
+}
+
+TEST(BaatP, NothingAfterDayEnd) {
+  PolicyParams params;
+  BaatPredictivePolicy policy{params};
+  PolicyContext ctx = ctx_with({node(0, 0.5)});
+  ctx.time_of_day = util::hours(20.0);  // past the duty window
+  ctx.solar_now = util::watts(0.0);
+  ctx.nodes[0].server_power = util::watts(140.0);
+  EXPECT_TRUE(policy.on_control_tick(ctx).dvfs.empty());
+}
+
+TEST(EBuff, NeverThrottlesAndRestoresDvfs) {
+  EBuffPolicy policy{PolicyParams{}};
+  auto nodes = std::vector<NodeView>{node(0, 0.1), node(1, 0.9)};
+  nodes[0].dvfs_level = 1;  // someone left it throttled
+  nodes[0].metrics.ddt = 0.9;
+  const Actions a = policy.on_control_tick(ctx_with(std::move(nodes)));
+  EXPECT_TRUE(a.migrations.empty());
+  ASSERT_EQ(a.dvfs.size(), 1u);
+  EXPECT_EQ(a.dvfs[0].node, 0u);
+  EXPECT_EQ(a.dvfs[0].level, 3);  // back to top
+}
+
+TEST(EBuff, PlacesLeastLoaded) {
+  EBuffPolicy policy{PolicyParams{}};
+  auto n0 = node(0, 0.9);
+  n0.cores_free = 2.0;
+  auto n1 = node(1, 0.9);
+  n1.cores_free = 6.0;
+  const auto pick =
+      policy.place_vm(ctx_with({n0, n1}), 2.0, 4.0, any_demand());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(BaatS, ThrottlesStressedNodeOneStep) {
+  BaatSPolicy policy{PolicyParams{}};
+  auto stressed = node(0, 0.30);
+  stressed.metrics.ddt = 0.5;
+  stressed.vms = {vm(1)};
+  const Actions a = policy.on_control_tick(ctx_with({stressed, node(1, 0.9)}));
+  EXPECT_TRUE(a.migrations.empty());  // BAAT-s never migrates
+  ASSERT_EQ(a.dvfs.size(), 1u);
+  EXPECT_EQ(a.dvfs[0].node, 0u);
+  EXPECT_EQ(a.dvfs[0].level, 2);
+}
+
+TEST(BaatS, RestoresWhenRecovered) {
+  BaatSPolicy policy{PolicyParams{}};
+  auto recovered = node(0, 0.80);
+  recovered.dvfs_level = 1;
+  const Actions a = policy.on_control_tick(ctx_with({recovered}));
+  ASSERT_EQ(a.dvfs.size(), 1u);
+  EXPECT_EQ(a.dvfs[0].level, 2);  // one step up per tick
+}
+
+TEST(BaatH, MigratesOffFastestAgingNode) {
+  PolicyParams params;
+  BaatHPolicy policy{params};
+  // Node 0 is clearly the fastest-aging (high NAT, starved CF, deep PC).
+  auto worn = node(0, 0.9, /*nat=*/0.4, /*cf=*/0.5, /*pc=*/0.9);
+  worn.vms = {vm(7)};
+  const Actions a =
+      policy.on_control_tick(ctx_with({worn, node(1, 0.9), node(2, 0.9)}));
+  ASSERT_EQ(a.migrations.size(), 1u);
+  EXPECT_EQ(a.migrations[0].vm, 7);
+  EXPECT_EQ(a.migrations[0].from, 0u);
+  EXPECT_NE(a.migrations[0].to, 0u);
+  EXPECT_TRUE(a.dvfs.empty());  // BAAT-h never throttles
+}
+
+TEST(BaatH, MovesSmallestVmBlindly) {
+  BaatHPolicy policy{PolicyParams{}};
+  auto worn = node(0, 0.9, 0.4, 0.5, 0.9);
+  worn.vms = {vm(7, /*cores=*/5.0), vm(8, /*cores=*/2.0)};
+  const Actions a = policy.on_control_tick(ctx_with({worn, node(1, 0.9)}));
+  ASSERT_EQ(a.migrations.size(), 1u);
+  EXPECT_EQ(a.migrations[0].vm, 8);  // cautious: smallest footprint
+}
+
+TEST(BaatH, CooldownLimitsChurn) {
+  BaatHPolicy policy{PolicyParams{}};
+  auto worn = node(0, 0.9, 0.4, 0.5, 0.9);
+  worn.vms = {vm(7)};
+  const auto ctx1 = ctx_with({worn, node(1, 0.9)}, 10000.0);
+  EXPECT_EQ(policy.on_control_tick(ctx1).migrations.size(), 1u);
+  const auto ctx2 = ctx_with({worn, node(1, 0.9)}, 10300.0);  // 5 min later
+  EXPECT_TRUE(policy.on_control_tick(ctx2).migrations.empty());
+}
+
+TEST(BaatH, NoTargetNoMigration) {
+  BaatHPolicy policy{PolicyParams{}};
+  auto worn = node(0, 0.9, 0.4, 0.5, 0.9);
+  worn.vms = {vm(7)};
+  auto other = node(1, 0.30);  // deep SoC: filtered as a target
+  const Actions a = policy.on_control_tick(ctx_with({worn, other}));
+  EXPECT_TRUE(a.migrations.empty());
+}
+
+TEST(BaatH, BalancedFleetStaysPut) {
+  BaatHPolicy policy{PolicyParams{}};
+  auto a = node(0, 0.9);
+  a.vms = {vm(7)};
+  auto b = node(1, 0.9);
+  b.vms = {vm(8)};
+  EXPECT_TRUE(policy.on_control_tick(ctx_with({a, b})).migrations.empty());
+}
+
+TEST(Baat, PrefersMigrationOverDvfs) {
+  BaatPolicy policy{PolicyParams{}, false};
+  auto stressed = node(0, 0.30);
+  stressed.metrics.ddt = 0.5;
+  stressed.vms = {vm(7)};
+  auto healthy = node(1, 0.9);
+  auto healthier = node(2, 0.9, 0.0, 1.1, 0.25);
+  healthy.metrics_life.nat = 0.2;  // make node 2 the better target
+  const Actions a = policy.on_control_tick(ctx_with({stressed, healthy, healthier}));
+  ASSERT_EQ(a.migrations.size(), 1u);
+  EXPECT_EQ(a.migrations[0].to, 2u);
+  EXPECT_TRUE(a.dvfs.empty());
+}
+
+TEST(Baat, FallsBackToDvfsWithoutTarget) {
+  BaatPolicy policy{PolicyParams{}, false};
+  auto stressed = node(0, 0.30);
+  stressed.metrics.ddt = 0.5;
+  stressed.vms = {vm(7)};
+  auto deep = node(1, 0.30);  // no SoC headroom
+  const Actions a = policy.on_control_tick(ctx_with({stressed, deep}));
+  EXPECT_TRUE(a.migrations.empty());
+  bool throttled_node0 = false;
+  for (const auto& d : a.dvfs) throttled_node0 |= d.node == 0 && d.level == 2;
+  EXPECT_TRUE(throttled_node0);
+}
+
+TEST(Baat, ChargePriorityWorstFirst) {
+  BaatPolicy policy{PolicyParams{}, false};
+  auto worst = node(0, 0.9, 0.4, 0.5, 0.9);
+  auto best = node(1, 0.9);
+  const Actions a = policy.on_control_tick(ctx_with({worst, best}));
+  ASSERT_EQ(a.charge_priority.size(), 2u);
+  EXPECT_EQ(a.charge_priority[0], 0u);
+  EXPECT_EQ(a.charge_priority[1], 1u);
+}
+
+TEST(Baat, RebalancesWideAgingSpread) {
+  PolicyParams params;
+  params.rebalance_threshold = 0.05;
+  BaatPolicy policy{params, false};
+  auto worst = node(0, 0.9, 0.5, 0.4, 0.9);
+  worst.vms = {vm(3)};
+  auto best = node(1, 0.9);
+  const Actions a = policy.on_control_tick(ctx_with({worst, best}));
+  ASSERT_EQ(a.migrations.size(), 1u);
+  EXPECT_EQ(a.migrations[0].from, 0u);
+  EXPECT_EQ(a.migrations[0].to, 1u);
+}
+
+TEST(Baat, PlannedTriggerFollowsEq7) {
+  PolicyParams params;
+  params.planned.total_throughput = util::ampere_hours(35000.0);
+  params.planned.nameplate = util::ampere_hours(35.0);
+  params.planned.cycles_plan = 2000.0;  // → DoD 50% on a fresh unit
+  BaatPolicy policy{params, true};
+  const NodeView fresh_node = node(0, 0.9);
+  EXPECT_NEAR(policy.effective_soc_trigger(fresh_node), 0.5, 1e-9);
+  // A node with half its life spent plans a shallower DoD.
+  NodeView worn = node(1, 0.9, /*nat=*/0.5);
+  EXPECT_NEAR(policy.effective_soc_trigger(worn), 0.75, 1e-9);
+}
+
+TEST(Baat, UnplannedUsesDefaultTrigger) {
+  BaatPolicy policy{PolicyParams{}, false};
+  EXPECT_DOUBLE_EQ(policy.effective_soc_trigger(node(0, 0.9)),
+                   SlowdownParams{}.soc_trigger);
+}
+
+TEST(PlaceLeastLoaded, SkipsFullAndOffNodes) {
+  auto full = node(0, 0.9);
+  full.cores_free = 1.0;
+  auto off = node(1, 0.9);
+  off.powered_on = false;
+  auto ok = node(2, 0.9);
+  ok.cores_free = 4.0;
+  const auto pick = place_least_loaded(ctx_with({full, off, ok}), 2.0, 4.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);
+  EXPECT_FALSE(place_least_loaded(ctx_with({full, off}), 2.0, 4.0).has_value());
+}
+
+}  // namespace
+}  // namespace baat::core

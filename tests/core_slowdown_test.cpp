@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/slowdown.hpp"
+
+namespace baat::core {
+namespace {
+
+NodeView node_at(double soc, double ddt, double dr_c, double draw_w = 50.0,
+                 double sustainable_w = 400.0) {
+  NodeView n;
+  n.soc = soc;
+  n.metrics.ddt = ddt;
+  n.metrics.dr_c_rate = dr_c;
+  n.battery_draw = util::watts(draw_w);
+  n.sustainable_reserve_power = util::watts(sustainable_w);
+  n.dvfs_level = 3;
+  n.dvfs_top = 3;
+  return n;
+}
+
+TEST(Slowdown, NoActionAboveTrigger) {
+  const SlowdownParams p;
+  EXPECT_EQ(assess_slowdown(node_at(0.45, 0.9, 0.9), p), SlowdownDecision::None);
+}
+
+TEST(Slowdown, RestoreWellAboveTrigger) {
+  const SlowdownParams p;
+  EXPECT_EQ(assess_slowdown(node_at(0.60, 0.0, 0.0), p), SlowdownDecision::Restore);
+}
+
+TEST(Slowdown, BelowTriggerButCalmIsNone) {
+  const SlowdownParams p;
+  // Deep but idle: no DDT history, negligible drain, low C-rate.
+  EXPECT_EQ(assess_slowdown(node_at(0.35, 0.0, 0.05, /*draw_w=*/5.0), p),
+            SlowdownDecision::None);
+}
+
+TEST(Slowdown, ActiveDrainBelowKneeFires) {
+  const SlowdownParams p;
+  // Sustained battery drain below the knee arms the response even before
+  // the DDT/DR statistics accumulate.
+  EXPECT_EQ(assess_slowdown(node_at(0.35, 0.0, 0.05,
+                                    /*draw_w=*/p.drain_watts_threshold + 10.0),
+                            p),
+            SlowdownDecision::Act);
+}
+
+TEST(Slowdown, DdtFiresAction) {
+  const SlowdownParams p;
+  EXPECT_EQ(assess_slowdown(node_at(0.35, p.ddt_threshold + 0.01, 0.0), p),
+            SlowdownDecision::Act);
+}
+
+TEST(Slowdown, HighCRateFiresAction) {
+  const SlowdownParams p;
+  EXPECT_EQ(assess_slowdown(node_at(0.35, 0.0, p.dr_c_threshold + 0.05), p),
+            SlowdownDecision::Act);
+}
+
+TEST(Slowdown, ReserveViolationFiresAction) {
+  const SlowdownParams p;
+  // Draw exceeds the margin on the 2-minute-sustainable power (Fig 9's
+  // P_threshold check).
+  EXPECT_EQ(assess_slowdown(node_at(0.35, 0.0, 0.0, 390.0, 400.0), p),
+            SlowdownDecision::Act);
+}
+
+TEST(Slowdown, ZeroReserveAlwaysFiresWhenDeep) {
+  const SlowdownParams p;
+  EXPECT_EQ(assess_slowdown(node_at(0.35, 0.0, 0.0, 10.0, 0.0), p),
+            SlowdownDecision::Act);
+}
+
+TEST(Slowdown, PlannedAgingOverridesTrigger) {
+  const SlowdownParams p;
+  const NodeView n = node_at(0.25, 0.5, 0.5);
+  // Default knee (0.40) says act; a planned knee of 0.15 says the battery
+  // may legitimately go deeper.
+  EXPECT_EQ(assess_slowdown(n, p), SlowdownDecision::Act);
+  EXPECT_EQ(assess_slowdown(n, p, 0.15), SlowdownDecision::None);
+}
+
+TEST(Slowdown, OverrideShiftsRecoverWithHysteresis) {
+  const SlowdownParams p;
+  // With a planned knee of 0.70, recover must sit above it (min +0.10).
+  EXPECT_EQ(assess_slowdown(node_at(0.75, 0.0, 0.0), p, 0.70),
+            SlowdownDecision::None);
+  EXPECT_EQ(assess_slowdown(node_at(0.85, 0.0, 0.0), p, 0.70),
+            SlowdownDecision::Restore);
+}
+
+TEST(Slowdown, ShedVmPicksLargestMigratable) {
+  NodeView n = node_at(0.3, 0.5, 0.5);
+  VmView small;
+  small.id = 1;
+  small.cores = 2.0;
+  small.migratable = true;
+  VmView big;
+  big.id = 2;
+  big.cores = 5.0;
+  big.migratable = true;
+  VmView pinned;
+  pinned.id = 3;
+  pinned.cores = 8.0;
+  pinned.migratable = false;
+  n.vms = {small, big, pinned};
+  const auto pick = select_shed_vm(n);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->id, 2);
+}
+
+TEST(Slowdown, ShedVmNoneWhenNothingMigratable) {
+  NodeView n = node_at(0.3, 0.5, 0.5);
+  VmView pinned;
+  pinned.id = 3;
+  pinned.migratable = false;
+  n.vms = {pinned};
+  EXPECT_FALSE(select_shed_vm(n).has_value());
+  n.vms.clear();
+  EXPECT_FALSE(select_shed_vm(n).has_value());
+}
+
+}  // namespace
+}  // namespace baat::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/weighted_aging.hpp"
+
+namespace baat::core {
+namespace {
+
+AgingMetrics metrics(double nat, double cf, double pc, double ddt = 0.0,
+                     double dr = 0.0) {
+  AgingMetrics m;
+  m.nat = nat;
+  m.cf = cf;
+  m.pc = pc;
+  m.pc_health = 1.0 - (pc - 0.25) / 0.75;
+  m.ddt = ddt;
+  m.dr_c_rate = dr;
+  return m;
+}
+
+TEST(AgingSignals, HealthyBatteryScoresNearZero) {
+  const AgingSignals s = aging_signals(metrics(0.0, 1.1, 0.25));
+  EXPECT_DOUBLE_EQ(s.s_nat, 0.0);
+  EXPECT_DOUBLE_EQ(s.s_cf, 0.0);
+  EXPECT_DOUBLE_EQ(s.s_pc, 0.0);
+}
+
+TEST(AgingSignals, LowCfIsStress) {
+  const AgingSignals low = aging_signals(metrics(0.0, 0.5, 0.25));
+  EXPECT_GT(low.s_cf, 0.0);
+  // Lower CF ⇒ more stress.
+  const AgingSignals lower = aging_signals(metrics(0.0, 0.2, 0.25));
+  EXPECT_GT(lower.s_cf, low.s_cf);
+}
+
+TEST(AgingSignals, OverchargeCfAlsoStress) {
+  const AgingSignals over = aging_signals(metrics(0.0, 2.0, 0.25));
+  EXPECT_GT(over.s_cf, 0.0);
+  // §III-B: the overcharge tail matters less than chronic under-recharge.
+  const AgingSignals under = aging_signals(metrics(0.0, 0.35, 0.25));
+  EXPECT_GT(under.s_cf, over.s_cf);
+}
+
+TEST(AgingSignals, PcSignalNormalized) {
+  EXPECT_DOUBLE_EQ(aging_signals(metrics(0.0, 1.1, 0.25)).s_pc, 0.0);
+  EXPECT_DOUBLE_EQ(aging_signals(metrics(0.0, 1.1, 1.0)).s_pc, 1.0);
+  EXPECT_NEAR(aging_signals(metrics(0.0, 1.1, 0.625)).s_pc, 0.5, 1e-12);
+}
+
+TEST(AgingSignals, NatScaled) {
+  AgingSignalParams p;
+  EXPECT_DOUBLE_EQ(aging_signals(metrics(0.1, 1.1, 0.25), p).s_nat, 0.1 * p.nat_scale);
+}
+
+TEST(WeightedAging, Eq6IsWeightedSum) {
+  const AgingWeights w{0.5, 0.3, 0.2};
+  const AgingMetrics m = metrics(0.2, 0.8, 0.7);
+  const AgingSignals s = aging_signals(m);
+  EXPECT_NEAR(weighted_aging(m, w),
+              0.5 * s.s_cf + 0.3 * s.s_pc + 0.2 * s.s_nat, 1e-12);
+}
+
+TEST(WeightedAging, MonotoneInEachSignal) {
+  const AgingWeights w{0.4, 0.4, 0.4};
+  const double base = weighted_aging(metrics(0.1, 1.0, 0.5), w);
+  EXPECT_GT(weighted_aging(metrics(0.2, 1.0, 0.5), w), base);  // more NAT
+  EXPECT_GT(weighted_aging(metrics(0.1, 0.7, 0.5), w), base);  // lower CF
+  EXPECT_GT(weighted_aging(metrics(0.1, 1.0, 0.8), w), base);  // deeper PC
+}
+
+TEST(RankByWeightedAging, HealthiestFirst) {
+  const std::vector<AgingMetrics> fleet{
+      metrics(0.3, 0.6, 0.8),   // heavily aged
+      metrics(0.0, 1.1, 0.25),  // fresh
+      metrics(0.1, 0.9, 0.5),   // middling
+  };
+  const AgingWeights w{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const auto order = rank_by_weighted_aging(fleet, w);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(RankByWeightedAging, StableForTies) {
+  const std::vector<AgingMetrics> fleet{metrics(0.0, 1.1, 0.25),
+                                        metrics(0.0, 1.1, 0.25)};
+  const auto order = rank_by_weighted_aging(fleet, AgingWeights{});
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(RankByWeightedAging, EmptyFleet) {
+  const std::vector<AgingMetrics> fleet;
+  EXPECT_TRUE(rank_by_weighted_aging(fleet, AgingWeights{}).empty());
+}
+
+}  // namespace
+}  // namespace baat::core

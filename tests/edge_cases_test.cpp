@@ -1,0 +1,142 @@
+// Edge-case and failure-injection tests: configurations at the boundary of
+// the supported envelope, degraded sensing, and degenerate fleets. The
+// simulator must stay physical and keep its invariants in all of them.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace baat::sim {
+namespace {
+
+TEST(EdgeCases, SingleNodeCluster) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.nodes = 1;
+  Cluster c{cfg};
+  const DayResult r = c.run_day(solar::DayType::Cloudy);
+  EXPECT_EQ(r.nodes.size(), 1u);
+  EXPECT_GT(r.throughput_work, 0.0);
+  // Hiding/migration policies must degrade gracefully with nowhere to go.
+  cfg.policy = core::PolicyKind::Baat;
+  Cluster cb{cfg};
+  const DayResult rb = cb.run_day(solar::DayType::Rainy);
+  EXPECT_EQ(rb.migrations, 0);
+}
+
+TEST(EdgeCases, CoarseTimeStep) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.dt = util::minutes(5.0);  // the supported maximum
+  Cluster c{cfg};
+  const DayResult r = c.run_day(solar::DayType::Sunny);
+  EXPECT_NEAR(r.soc_histogram.total_weight(), 6.0 * 86400.0, 1.0);
+  EXPECT_GT(r.throughput_work, 0.0);
+}
+
+TEST(EdgeCases, FullDayServiceWindow) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.day_start = util::hours(0.0);
+  cfg.day_end = util::hours(24.0);
+  Cluster c{cfg};
+  const DayResult r = c.run_day(solar::DayType::Sunny);
+  // The window-close bookkeeping at exactly 24 h must still retire the VMs.
+  EXPECT_GT(r.throughput_work, 0.0);
+  EXPECT_GT(r.jobs_finished, 0);
+}
+
+TEST(EdgeCases, UtilityBackedClusterBarelyAges) {
+  // With a generous utility tie the batteries are never needed: the green
+  // cycling stress disappears and only calendar aging remains.
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.router.utility_budget = util::watts(5000.0);
+  Cluster c{cfg};
+  MultiDayOptions opts;
+  opts.days = 10;
+  opts.weather = mixed_weather(10, 0, 0, 1);  // all rainy — worst case
+  opts.probe_every_days = 0;
+  opts.keep_days = true;
+  const MultiDayResult run = run_multi_day(c, opts);
+  EXPECT_GT(run.min_health_end, 0.995);
+  for (const DayResult& d : run.days) {
+    EXPECT_DOUBLE_EQ(d.total_downtime().value(), 0.0);
+    EXPECT_GT(d.meter.utility_used().value(), 0.0);
+  }
+}
+
+TEST(EdgeCases, NoisySensorsDoNotBreakControl) {
+  // 10x the default measurement noise: metrics stay in range and the day
+  // completes (the controller may act suboptimally, never unphysically).
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.policy = core::PolicyKind::Baat;
+  cfg.sensor_noise.voltage_sigma = 0.1;
+  cfg.sensor_noise.current_sigma = 0.5;
+  cfg.sensor_noise.temperature_sigma = 2.0;
+  Cluster c{cfg};
+  const DayResult r = c.run_day(solar::DayType::Cloudy);
+  for (const auto& n : r.nodes) {
+    EXPECT_GE(n.metrics_day.ddt, 0.0);
+    EXPECT_LE(n.metrics_day.ddt, 1.0);
+    EXPECT_GE(n.metrics_day.pc, 0.25 - 1e-9);
+  }
+}
+
+TEST(EdgeCases, DeadBatteryNodeSurvivesTheDay) {
+  // One battery arrives end-of-life (deep seeded damage): its node browns
+  // out under deficit, the rest of the fleet keeps working.
+  ScenarioConfig cfg = prototype_scenario();
+  Cluster c{cfg};
+  battery::AgingState dead;
+  dead.shedding = 0.5;
+  dead.sulphation = 0.2;
+  c.batteries_mutable()[2].aging_model().set_state(dead);
+  EXPECT_TRUE(c.batteries()[2].end_of_life());
+  const DayResult r = c.run_day(solar::DayType::Rainy);
+  EXPECT_GT(r.throughput_work, 0.0);
+  // Other nodes stay within physical bounds.
+  for (const auto& b : c.batteries()) {
+    EXPECT_GE(b.soc(), 0.0);
+    EXPECT_LE(b.soc(), 1.0);
+  }
+}
+
+TEST(EdgeCases, ZeroReplicaDeploymentIdles) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.daily_jobs = {};  // explicit empty plan...
+  cfg.replicas = 0;     // ...and nothing to regenerate from
+  Cluster c{cfg};
+  const DayResult r = c.run_day(solar::DayType::Sunny);
+  EXPECT_DOUBLE_EQ(r.throughput_work, 0.0);
+  EXPECT_EQ(r.jobs_finished, 0);
+  // Idle servers still draw idle power during the window.
+  EXPECT_GT(r.meter.solar_to_load().value(), 0.0);
+}
+
+TEST(EdgeCases, TinyBatteriesBottomOutSafely) {
+  // 10 W/Ah ratio with an old fleet on rainy days: maximal stress.
+  ScenarioConfig cfg = with_server_battery_ratio(prototype_scenario(), 10.0);
+  cfg.policy = core::PolicyKind::Baat;
+  Cluster c{cfg};
+  seed_aged_fleet(c, six_month_aged_state());
+  MultiDayOptions opts;
+  opts.days = 5;
+  opts.weather = mixed_weather(5, 0, 0, 1);
+  opts.probe_every_days = 0;
+  const MultiDayResult run = run_multi_day(c, opts);
+  EXPECT_GT(run.min_health_end, 0.05);  // the capacity floor holds
+  for (const auto& b : c.batteries()) {
+    EXPECT_GE(b.soc(), 0.0);
+  }
+}
+
+TEST(EdgeCases, ManyNodesScaleLinearly) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.nodes = 24;
+  cfg.daily_jobs = default_daily_jobs(8);  // keep the fleet busy
+  cfg.plant.peak = util::watts(6000.0);
+  Cluster c{cfg};
+  const DayResult r = c.run_day(solar::DayType::Cloudy);
+  EXPECT_EQ(r.nodes.size(), 24u);
+  EXPECT_NEAR(r.soc_histogram.total_weight(), 24.0 * 86400.0, 10.0);
+}
+
+}  // namespace
+}  // namespace baat::sim

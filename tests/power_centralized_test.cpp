@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "power/centralized.hpp"
+#include "util/require.hpp"
+
+namespace baat::power {
+namespace {
+
+using util::amperes;
+using util::minutes;
+using util::watts;
+
+battery::Battery shared_bank(double soc = 1.0, double scale = 6.0) {
+  // One pooled bank with the same total Ah as six distributed 35 Ah blocks.
+  return battery::Battery{battery::LeadAcidParams{}, battery::AgingParams{},
+                          battery::ThermalParams{}, scale, 1.0 / scale, soc};
+}
+
+TEST(Centralized, SolarCoversLoadDirectly) {
+  battery::Battery bank = shared_bank(0.5);
+  const std::vector<util::Watts> demands{watts(100.0), watts(50.0)};
+  const auto r = route_power_centralized(watts(400.0), demands, bank,
+                                         RouterParams{}, minutes(1.0));
+  EXPECT_DOUBLE_EQ(r.nodes[0].solar_used.value(), 100.0);
+  EXPECT_DOUBLE_EQ(r.nodes[1].solar_used.value(), 50.0);
+  EXPECT_DOUBLE_EQ(r.battery_delivered.value(), 0.0);
+  EXPECT_GT(r.charge_drawn.value(), 0.0);  // surplus charges the bank
+}
+
+TEST(Centralized, BankCoversPooledDeficit) {
+  battery::Battery bank = shared_bank(0.9);
+  const std::vector<util::Watts> demands{watts(150.0), watts(150.0)};
+  const auto r = route_power_centralized(watts(100.0), demands, bank,
+                                         RouterParams{}, minutes(1.0));
+  EXPECT_NEAR(r.battery_delivered.value(), 200.0, 2.0);
+  EXPECT_NEAR(r.nodes[0].battery_delivered.value(),
+              r.nodes[1].battery_delivered.value(), 1e-6);
+  EXPECT_LT(bank.soc(), 0.9);
+}
+
+TEST(Centralized, EmptyBankIsFleetWideSpof) {
+  // The paper's single-point-of-failure scenario: the shared bank runs out
+  // and EVERY node browns out at once.
+  battery::Battery bank = shared_bank(0.0);
+  const std::vector<util::Watts> demands{watts(100.0), watts(100.0), watts(100.0)};
+  const auto r = route_power_centralized(watts(0.0), demands, bank,
+                                         RouterParams{}, minutes(1.0));
+  EXPECT_TRUE(r.battery_cutoff);
+  for (const auto& n : r.nodes) {
+    EXPECT_NEAR(n.unmet.value(), 100.0, 1e-6);
+    EXPECT_TRUE(n.battery_cutoff);
+  }
+}
+
+TEST(Centralized, DistributedSurvivesWhereCentralFails) {
+  // Contrast: with per-node batteries only the empty node suffers.
+  std::vector<battery::Battery> dist;
+  dist.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                    battery::ThermalParams{}, 1.0, 1.0, 0.0);  // empty
+  dist.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                    battery::ThermalParams{}, 1.0, 1.0, 0.9);  // healthy
+  const std::vector<util::Watts> demands{watts(100.0), watts(100.0)};
+  const std::vector<std::size_t> order{0, 1};
+  const auto r = route_power(watts(0.0), demands, dist, order, RouterParams{},
+                             minutes(1.0));
+  EXPECT_GT(r.nodes[0].unmet.value(), 99.0);   // empty node browns out
+  EXPECT_LT(r.nodes[1].unmet.value(), 1.0);    // healthy node keeps running
+}
+
+TEST(Centralized, DischargeFloorRespected) {
+  battery::Battery bank = shared_bank(0.42);
+  const std::vector<util::Watts> demands{watts(300.0)};
+  for (int i = 0; i < 120; ++i) {
+    route_power_centralized(watts(0.0), demands, bank, RouterParams{},
+                            minutes(1.0), 0.40);
+  }
+  // Two hours of standing self-discharge allowed below the router floor.
+  EXPECT_GE(bank.soc(), 0.40 - 3e-4);
+}
+
+TEST(Centralized, UtilityBeforeBattery) {
+  battery::Battery bank = shared_bank(0.9);
+  RouterParams params;
+  params.utility_budget = watts(1000.0);
+  const std::vector<util::Watts> demands{watts(200.0)};
+  const auto r = route_power_centralized(watts(0.0), demands, bank, params,
+                                         minutes(1.0));
+  EXPECT_DOUBLE_EQ(r.nodes[0].utility_used.value(), 200.0);
+  EXPECT_DOUBLE_EQ(r.battery_delivered.value(), 0.0);
+}
+
+TEST(Centralized, IdleBankStillAges) {
+  battery::Battery bank = shared_bank(0.5);
+  const std::vector<util::Watts> demands{watts(0.0)};
+  route_power_centralized(watts(0.0), demands, bank, RouterParams{}, minutes(1.0));
+  EXPECT_DOUBLE_EQ(bank.counters().time_total.value(), 60.0);
+}
+
+TEST(Centralized, EnergyBalancePerNode) {
+  battery::Battery bank = shared_bank(0.7);
+  const std::vector<util::Watts> demands{watts(120.0), watts(60.0), watts(240.0)};
+  const auto r = route_power_centralized(watts(150.0), demands, bank,
+                                         RouterParams{}, minutes(1.0));
+  for (const auto& n : r.nodes) {
+    EXPECT_NEAR(n.demand.value(),
+                n.solar_used.value() + n.utility_used.value() +
+                    n.battery_delivered.value() + n.unmet.value(),
+                1e-6);
+  }
+}
+
+TEST(Centralized, RejectsBadInput) {
+  battery::Battery bank = shared_bank();
+  const std::vector<util::Watts> demands{watts(-1.0)};
+  EXPECT_THROW(route_power_centralized(watts(0.0), demands, bank, RouterParams{},
+                                       minutes(1.0)),
+               util::PreconditionError);
+  const std::vector<util::Watts> ok{watts(1.0)};
+  EXPECT_THROW(route_power_centralized(watts(0.0), ok, bank, RouterParams{},
+                                       minutes(1.0), 1.5),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::power

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "power/rack_pool.hpp"
+#include "util/require.hpp"
+
+namespace baat::power {
+namespace {
+
+using util::minutes;
+using util::watts;
+
+battery::Battery pool(double soc = 1.0, double scale = 3.0) {
+  return battery::Battery{battery::LeadAcidParams{}, battery::AgingParams{},
+                          battery::ThermalParams{}, scale, 1.0 / scale, soc};
+}
+
+TEST(RackLayout, EvenSplitContiguous) {
+  const RackLayout l = even_racks(6, 2);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(l[1], (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(RackLayout, RemainderGoesToFrontRacks) {
+  const RackLayout l = even_racks(7, 3);
+  EXPECT_EQ(l[0].size(), 3u);
+  EXPECT_EQ(l[1].size(), 2u);
+  EXPECT_EQ(l[2].size(), 2u);
+  EXPECT_THROW(even_racks(2, 3), util::PreconditionError);
+}
+
+TEST(RackPool, SolarCoversBothRacks) {
+  std::vector<battery::Battery> pools{pool(0.5), pool(0.5)};
+  const std::vector<util::Watts> demands{watts(50.0), watts(50.0), watts(50.0),
+                                         watts(50.0), watts(50.0), watts(50.0)};
+  const auto r = route_power_racked(watts(600.0), demands, even_racks(6, 2), pools,
+                                    RouterParams{}, minutes(1.0));
+  for (const auto& n : r.nodes) {
+    EXPECT_DOUBLE_EQ(n.solar_used.value(), 50.0);
+    EXPECT_DOUBLE_EQ(n.unmet.value(), 0.0);
+  }
+  // Surplus charges both half-full pools.
+  EXPECT_GT(r.racks[0].charge_drawn.value(), 0.0);
+  EXPECT_GT(r.racks[1].charge_drawn.value(), 0.0);
+}
+
+TEST(RackPool, PoolExhaustionIsRackScoped) {
+  // Rack 0's pool is empty, rack 1's is healthy: only rack 0 browns out —
+  // the middle ground between per-node and fleet-wide failure domains.
+  std::vector<battery::Battery> pools{pool(0.0), pool(0.9)};
+  const std::vector<util::Watts> demands{watts(80.0), watts(80.0), watts(80.0),
+                                         watts(80.0), watts(80.0), watts(80.0)};
+  const auto r = route_power_racked(watts(0.0), demands, even_racks(6, 2), pools,
+                                    RouterParams{}, minutes(1.0));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(r.nodes[i].unmet.value(), 79.0) << i;
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_LT(r.nodes[i].unmet.value(), 1.0) << i;
+  }
+}
+
+TEST(RackPool, EnergyBalancePerNode) {
+  std::vector<battery::Battery> pools{pool(0.7), pool(0.4)};
+  const std::vector<util::Watts> demands{watts(120.0), watts(30.0), watts(90.0),
+                                         watts(60.0), watts(150.0), watts(10.0)};
+  const auto r = route_power_racked(watts(200.0), demands, even_racks(6, 2), pools,
+                                    RouterParams{}, minutes(1.0));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(r.nodes[i].demand.value(),
+                r.nodes[i].solar_used.value() + r.nodes[i].utility_used.value() +
+                    r.nodes[i].battery_delivered.value() + r.nodes[i].unmet.value(),
+                1e-6)
+        << i;
+  }
+}
+
+TEST(RackPool, PoolsAlwaysStepped) {
+  std::vector<battery::Battery> pools{pool(0.5), pool(0.5)};
+  const std::vector<util::Watts> demands(6, watts(0.0));
+  route_power_racked(watts(0.0), demands, even_racks(6, 2), pools, RouterParams{},
+                     minutes(1.0));
+  for (const auto& p : pools) {
+    EXPECT_DOUBLE_EQ(p.counters().time_total.value(), 60.0);
+  }
+}
+
+TEST(RackPool, RejectsBadLayouts) {
+  std::vector<battery::Battery> pools{pool(), pool()};
+  const std::vector<util::Watts> demands(6, watts(10.0));
+  // Wrong pool count.
+  std::vector<battery::Battery> one{pool()};
+  EXPECT_THROW(route_power_racked(watts(0.0), demands, even_racks(6, 2), one,
+                                  RouterParams{}, minutes(1.0)),
+               util::PreconditionError);
+  // Node in two racks.
+  RackLayout dup{{0, 1, 2}, {2, 3, 4}};
+  EXPECT_THROW(route_power_racked(watts(0.0), demands, dup, pools, RouterParams{},
+                                  minutes(1.0)),
+               util::PreconditionError);
+  // Node missing.
+  RackLayout missing{{0, 1, 2}, {3, 4}};
+  EXPECT_THROW(route_power_racked(watts(0.0), demands, missing, pools,
+                                  RouterParams{}, minutes(1.0)),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::power

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "power/meter.hpp"
+#include "power/router.hpp"
+#include "util/require.hpp"
+
+namespace baat::power {
+namespace {
+
+using util::amperes;
+using util::minutes;
+using util::volts;
+using util::watts;
+
+std::vector<battery::Battery> make_batteries(std::size_t n, double soc) {
+  std::vector<battery::Battery> v;
+  for (std::size_t i = 0; i < n; ++i) {
+    v.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                   battery::ThermalParams{}, 1.0, 1.0, soc);
+  }
+  return v;
+}
+
+std::vector<std::size_t> natural_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+TEST(CurrentForDcPower, SolvesQuadratic) {
+  // I·(12 − 0.015·I) = 60 → I ≈ 5.03 A.
+  const auto i = current_for_dc_power(watts(60.0), volts(12.0), 0.015);
+  EXPECT_NEAR(i.value() * (12.0 - 0.015 * i.value()), 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(current_for_dc_power(watts(0.0), volts(12.0), 0.015).value(), 0.0);
+}
+
+TEST(CurrentForDcPower, CapsAtMaximumPowerPoint) {
+  // Max deliverable power is v²/4r; beyond it, current caps at v/2r.
+  const auto i = current_for_dc_power(watts(1e6), volts(12.0), 0.015);
+  EXPECT_DOUBLE_EQ(i.value(), 12.0 / (2.0 * 0.015));
+}
+
+TEST(Router, SolarCoversDemandDirectly) {
+  auto bats = make_batteries(2, 0.5);
+  const std::vector<util::Watts> demands{watts(100.0), watts(50.0)};
+  const auto order = natural_order(2);
+  const auto r = route_power(watts(500.0), demands, bats, order, RouterParams{},
+                             minutes(1.0));
+  EXPECT_DOUBLE_EQ(r.nodes[0].solar_used.value(), 100.0);
+  EXPECT_DOUBLE_EQ(r.nodes[1].solar_used.value(), 50.0);
+  EXPECT_DOUBLE_EQ(r.nodes[0].unmet.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.nodes[0].battery_delivered.value(), 0.0);
+  // Surplus charges the half-full batteries.
+  EXPECT_GT(r.nodes[0].charge_drawn.value() + r.nodes[1].charge_drawn.value(), 0.0);
+}
+
+TEST(Router, ProportionalSolarSplitUnderShortage) {
+  auto bats = make_batteries(2, 0.0);  // empty: no battery assist
+  const std::vector<util::Watts> demands{watts(300.0), watts(100.0)};
+  const auto order = natural_order(2);
+  const auto r = route_power(watts(200.0), demands, bats, order, RouterParams{},
+                             minutes(1.0));
+  EXPECT_NEAR(r.nodes[0].solar_used.value(), 150.0, 1e-9);
+  EXPECT_NEAR(r.nodes[1].solar_used.value(), 50.0, 1e-9);
+  EXPECT_NEAR(r.nodes[0].unmet.value(), 150.0, 1e-9);
+  EXPECT_NEAR(r.nodes[1].unmet.value(), 50.0, 1e-9);
+}
+
+TEST(Router, BatteryCoversDeficit) {
+  auto bats = make_batteries(1, 0.9);
+  const std::vector<util::Watts> demands{watts(120.0)};
+  const auto order = natural_order(1);
+  const auto r = route_power(watts(0.0), demands, bats, order, RouterParams{},
+                             minutes(1.0));
+  EXPECT_NEAR(r.nodes[0].battery_delivered.value(), 120.0, 0.5);
+  EXPECT_NEAR(r.nodes[0].unmet.value(), 0.0, 0.5);
+  EXPECT_GT(r.nodes[0].battery_current.value(), 0.0);
+  EXPECT_LT(bats[0].soc(), 0.9);
+}
+
+TEST(Router, InverterLossDrawsExtraFromBattery) {
+  auto bats = make_batteries(1, 0.9);
+  const std::vector<util::Watts> demands{watts(100.0)};
+  const auto order = natural_order(1);
+  RouterParams params;
+  params.inverter_efficiency = 0.80;
+  const auto r = route_power(watts(0.0), demands, bats, order, params, minutes(1.0));
+  const double dc = r.nodes[0].battery_current.value() *
+                    bats[0].terminal_voltage(r.nodes[0].battery_current).value();
+  EXPECT_NEAR(dc * 0.80, r.nodes[0].battery_delivered.value(), 1.0);
+}
+
+TEST(Router, EmptyBatteryYieldsUnmet) {
+  auto bats = make_batteries(1, 0.0);
+  const std::vector<util::Watts> demands{watts(100.0)};
+  const auto order = natural_order(1);
+  const auto r = route_power(watts(0.0), demands, bats, order, RouterParams{},
+                             minutes(1.0));
+  EXPECT_NEAR(r.nodes[0].unmet.value(), 100.0, 1e-6);
+  EXPECT_TRUE(r.nodes[0].battery_cutoff);
+}
+
+TEST(Router, UtilityBudgetCoversDeficitFirst) {
+  auto bats = make_batteries(1, 0.9);
+  const std::vector<util::Watts> demands{watts(100.0)};
+  const auto order = natural_order(1);
+  RouterParams params;
+  params.utility_budget = watts(1000.0);
+  const auto r = route_power(watts(0.0), demands, bats, order, params, minutes(1.0));
+  EXPECT_DOUBLE_EQ(r.nodes[0].utility_used.value(), 100.0);
+  EXPECT_DOUBLE_EQ(r.nodes[0].battery_delivered.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.utility_drawn.value(), 100.0);
+}
+
+TEST(Router, ChargePriorityOrderRespected) {
+  auto bats = make_batteries(2, 0.5);
+  const std::vector<util::Watts> demands{watts(0.0), watts(0.0)};
+  // Strict priority mode with node 1 first: with a small surplus node 1
+  // soaks up (nearly) all of it; only the residual its charger could not
+  // absorb trickles down to node 0.
+  const std::vector<std::size_t> order{1, 0};
+  RouterParams params;
+  params.charge_allocation = ChargeAllocation::PriorityOrder;
+  const auto r = route_power(watts(30.0), demands, bats, order, params, minutes(1.0));
+  EXPECT_GT(r.nodes[1].charge_drawn.value(), 25.0);
+  EXPECT_LT(r.nodes[0].charge_drawn.value(), 2.0);
+}
+
+TEST(Router, ProportionalChargingSharesTheBus) {
+  auto bats = make_batteries(2, 0.5);
+  const std::vector<util::Watts> demands{watts(0.0), watts(0.0)};
+  const std::vector<std::size_t> order{0, 1};
+  // Default mode: identical batteries split a small surplus about evenly.
+  const auto r = route_power(watts(30.0), demands, bats, order, RouterParams{},
+                             minutes(1.0));
+  EXPECT_GT(r.nodes[0].charge_drawn.value(), 5.0);
+  EXPECT_GT(r.nodes[1].charge_drawn.value(), 5.0);
+  EXPECT_NEAR(r.nodes[0].charge_drawn.value(), r.nodes[1].charge_drawn.value(), 2.0);
+}
+
+TEST(Router, DischargeFloorBlocksDeepDischarge) {
+  auto bats = make_batteries(1, 0.35);
+  const std::vector<util::Watts> demands{watts(100.0)};
+  const auto order = natural_order(1);
+  const std::vector<double> floor{0.35};
+  const auto r = route_power(watts(0.0), demands, bats, order, RouterParams{},
+                             minutes(1.0), floor);
+  EXPECT_NEAR(r.nodes[0].unmet.value(), 100.0, 1e-6);
+  // Only internal self-discharge may move the SoC, never the router.
+  EXPECT_NEAR(bats[0].soc(), 0.35, 1e-6);
+}
+
+TEST(Router, DischargeFloorPartiallyHonored) {
+  auto bats = make_batteries(1, 0.42);
+  const std::vector<util::Watts> demands{watts(150.0)};
+  const auto order = natural_order(1);
+  const std::vector<double> floor{0.40};
+  route_power(watts(0.0), demands, bats, order, RouterParams{}, minutes(30.0), floor);
+  // The router may not discharge below the floor; standing self-discharge
+  // over the 30-minute step accounts for the tiny epsilon.
+  EXPECT_GE(bats[0].soc(), 0.40 - 1e-4);
+}
+
+TEST(Router, EveryBatterySteppedOncePerTick) {
+  auto bats = make_batteries(3, 0.7);
+  const std::vector<util::Watts> demands{watts(0.0), watts(0.0), watts(0.0)};
+  const auto order = natural_order(3);
+  route_power(watts(0.0), demands, bats, order, RouterParams{}, minutes(1.0));
+  for (const auto& b : bats) {
+    EXPECT_DOUBLE_EQ(b.counters().time_total.value(), 60.0);
+  }
+}
+
+TEST(Router, EnergyConservationAcrossRoute) {
+  auto bats = make_batteries(3, 0.6);
+  const std::vector<util::Watts> demands{watts(120.0), watts(60.0), watts(200.0)};
+  const auto order = natural_order(3);
+  const auto r = route_power(watts(250.0), demands, bats, order, RouterParams{},
+                             minutes(1.0));
+  double solar_used = 0.0;
+  for (const auto& n : r.nodes) {
+    solar_used += n.solar_used.value() + n.charge_drawn.value();
+    // Per-node demand balance.
+    EXPECT_NEAR(n.demand.value(),
+                n.solar_used.value() + n.utility_used.value() +
+                    n.battery_delivered.value() + n.unmet.value(),
+                1e-6);
+  }
+  EXPECT_NEAR(solar_used + r.solar_curtailed.value(), 250.0, 1e-6);
+}
+
+TEST(Router, RejectsBadArguments) {
+  auto bats = make_batteries(1, 0.5);
+  const std::vector<util::Watts> demands{watts(10.0), watts(10.0)};  // size mismatch
+  const auto order = natural_order(1);
+  EXPECT_THROW(route_power(watts(0.0), demands, bats, order, RouterParams{},
+                           minutes(1.0)),
+               util::PreconditionError);
+}
+
+TEST(Meter, AccumulatesAndReportsUtilization) {
+  auto bats = make_batteries(1, 0.5);
+  const std::vector<util::Watts> demands{watts(100.0)};
+  const auto order = natural_order(1);
+  EnergyMeter meter;
+  for (int i = 0; i < 60; ++i) {
+    const auto r = route_power(watts(200.0), demands, bats, order, RouterParams{},
+                               minutes(1.0));
+    meter.add(r, minutes(1.0));
+  }
+  EXPECT_NEAR(meter.solar_available().value(), 200.0, 1e-9);
+  EXPECT_NEAR(meter.solar_to_load().value(), 100.0, 1e-9);
+  EXPECT_GT(meter.solar_to_charge().value(), 0.0);
+  EXPECT_GT(meter.solar_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(meter.unmet().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace baat::power

@@ -1,0 +1,208 @@
+// Property-based sweeps across randomized scenarios: physical invariants
+// that must hold for ANY seed, policy, weather, or duty pattern. These are
+// the guardrails that catch bookkeeping bugs the targeted unit tests miss.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "battery/battery.hpp"
+#include "power/router.hpp"
+#include "sim/experiment.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace baat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Battery invariants under random duty.
+// ---------------------------------------------------------------------------
+
+class BatteryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatteryFuzz, InvariantsUnderRandomDuty) {
+  util::Rng rng{GetParam()};
+  battery::Battery bat{battery::LeadAcidParams{}, battery::AgingParams{},
+                       battery::ThermalParams{}, rng.uniform(0.9, 1.1),
+                       rng.uniform(0.8, 1.2), rng.uniform(0.2, 1.0)};
+  double prev_health = bat.health();
+  double prev_ah_out = 0.0;
+  double prev_time = 0.0;
+  for (int step = 0; step < 2000; ++step) {
+    const double amps = rng.uniform(-20.0, 30.0);
+    const auto res = bat.step(util::amperes(amps), util::minutes(1.0));
+
+    // SoC bounded; health never recovers; counters monotone.
+    ASSERT_GE(bat.soc(), 0.0);
+    ASSERT_LE(bat.soc(), 1.0);
+    ASSERT_LE(bat.health(), prev_health + 1e-12);
+    ASSERT_GE(bat.counters().ah_discharged.value(), prev_ah_out);
+    ASSERT_GT(bat.counters().time_total.value(), prev_time);
+    // Actual current never exceeds the request in magnitude.
+    if (amps >= 0.0) {
+      ASSERT_LE(res.actual_current.value(), amps + 1e-9);
+      ASSERT_GE(res.actual_current.value(), -1e-9);
+    } else {
+      ASSERT_GE(res.actual_current.value(), amps - 1e-9);
+      ASSERT_LE(res.actual_current.value(), 1e-9);
+    }
+    // Terminal voltage stays physical.
+    ASSERT_GT(res.terminal_voltage.value(), 5.0);
+    ASSERT_LT(res.terminal_voltage.value(), 16.0);
+
+    prev_health = bat.health();
+    prev_ah_out = bat.counters().ah_discharged.value();
+    prev_time = bat.counters().time_total.value();
+  }
+  // Range bins always partition the discharge total.
+  const auto& c = bat.counters();
+  const double bins = c.ah_by_range[0].value() + c.ah_by_range[1].value() +
+                      c.ah_by_range[2].value() + c.ah_by_range[3].value();
+  EXPECT_NEAR(bins, c.ah_discharged.value(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatteryFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---------------------------------------------------------------------------
+// Router conservation across random fleets.
+// ---------------------------------------------------------------------------
+
+class RouterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterFuzz, ConservationAndBalance) {
+  util::Rng rng{GetParam()};
+  const std::size_t n = 2 + rng.uniform_index(6);
+  std::vector<battery::Battery> bats;
+  std::vector<util::Watts> demands;
+  for (std::size_t i = 0; i < n; ++i) {
+    bats.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                      battery::ThermalParams{}, 1.0, 1.0, rng.uniform(0.0, 1.0));
+    demands.push_back(util::watts(rng.uniform(0.0, 200.0)));
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int tick = 0; tick < 200; ++tick) {
+    const auto solar = util::watts(rng.uniform(0.0, 1200.0));
+    const auto r = power::route_power(solar, demands, bats, order,
+                                      power::RouterParams{}, util::minutes(1.0));
+    double solar_used = 0.0;
+    for (const auto& node : r.nodes) {
+      // Per-node balance: demand fully attributed.
+      ASSERT_NEAR(node.demand.value(),
+                  node.solar_used.value() + node.utility_used.value() +
+                      node.battery_delivered.value() + node.unmet.value(),
+                  1e-6);
+      ASSERT_GE(node.unmet.value(), -1e-9);
+      solar_used += node.solar_used.value() + node.charge_drawn.value();
+    }
+    // Solar fully attributed: used + stored + curtailed.
+    ASSERT_NEAR(solar_used + r.solar_curtailed.value(), solar.value(), 1e-6);
+    ASSERT_GE(r.solar_curtailed.value(), -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,
+                         ::testing::Values(3u, 17u, 256u, 4096u));
+
+// ---------------------------------------------------------------------------
+// Metric invariants on random power tables.
+// ---------------------------------------------------------------------------
+
+class MetricsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsFuzz, RangesAlwaysHold) {
+  util::Rng rng{GetParam()};
+  battery::Battery bat{battery::LeadAcidParams{}, battery::AgingParams{},
+                       battery::ThermalParams{}, 1.0, 1.0, rng.uniform(0.1, 1.0)};
+  telemetry::PowerTableParams params;
+  params.chemistry = battery::LeadAcidParams{};
+  telemetry::PowerTable table{params};
+  telemetry::BatterySensor sensor{telemetry::SensorNoise{}, rng.fork("sensor")};
+
+  for (int step = 0; step < 1500; ++step) {
+    const auto res = bat.step(util::amperes(rng.uniform(-15.0, 25.0)),
+                              util::minutes(1.0));
+    table.record(sensor.read(bat, res.actual_current,
+                             util::Seconds{step * 60.0}),
+                 util::minutes(1.0));
+    const auto m = telemetry::compute_metrics(table, telemetry::MetricParams{});
+    ASSERT_GE(m.nat, 0.0);
+    ASSERT_GE(m.cf, 0.0);
+    ASSERT_LE(m.cf, 5.0);
+    ASSERT_GE(m.pc, 0.25 - 1e-9);
+    ASSERT_LE(m.pc, 1.0 + 1e-9);
+    ASSERT_GE(m.pc_health, 0.0);
+    ASSERT_LE(m.pc_health, 1.0);
+    ASSERT_GE(m.ddt, 0.0);
+    ASSERT_LE(m.ddt, 1.0);
+    ASSERT_GE(m.dr_c_rate, -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsFuzz, ::testing::Values(11u, 22u, 33u));
+
+// ---------------------------------------------------------------------------
+// Whole-cluster invariants across policies and weather.
+// ---------------------------------------------------------------------------
+
+struct ClusterCase {
+  core::PolicyKind policy;
+  solar::DayType weather;
+  std::uint64_t seed;
+};
+
+class ClusterSweep : public ::testing::TestWithParam<ClusterCase> {};
+
+TEST_P(ClusterSweep, DayLevelInvariants) {
+  const ClusterCase c = GetParam();
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.policy = c.policy;
+  cfg.seed = c.seed;
+  if (c.policy == core::PolicyKind::BaatPlanned) {
+    cfg.policy_params.planned.cycles_plan = 800.0;
+  }
+  sim::Cluster cluster{cfg};
+  const sim::DayResult r = cluster.run_day(c.weather);
+
+  // Energy attribution.
+  EXPECT_NEAR(r.meter.solar_available().value(),
+              r.meter.solar_to_load().value() + r.meter.solar_to_charge().value() +
+                  r.meter.solar_curtailed().value(),
+              1.0);
+  // Work and counters sane.
+  EXPECT_GE(r.throughput_work, 0.0);
+  EXPECT_GE(r.jobs_finished, 0);
+  EXPECT_NEAR(r.soc_histogram.total_weight(),
+              static_cast<double>(cfg.nodes) * 86400.0, 10.0);
+  for (const auto& n : r.nodes) {
+    EXPECT_GE(n.soc_min, 0.0);
+    EXPECT_LE(n.soc_end, 1.0);
+    EXPECT_LE(n.critical_soc_time.value(), n.low_soc_time.value() + 1e-9);
+    EXPECT_LE(n.health, 1.0);
+    EXPECT_GT(n.health, 0.5);
+  }
+  // Batteries never escape bounds.
+  for (const auto& b : cluster.batteries()) {
+    EXPECT_GE(b.soc(), 0.0);
+    EXPECT_LE(b.soc(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyWeather, ClusterSweep,
+    ::testing::Values(
+        ClusterCase{core::PolicyKind::EBuff, solar::DayType::Sunny, 1},
+        ClusterCase{core::PolicyKind::EBuff, solar::DayType::Rainy, 2},
+        ClusterCase{core::PolicyKind::BaatS, solar::DayType::Cloudy, 3},
+        ClusterCase{core::PolicyKind::BaatH, solar::DayType::Cloudy, 4},
+        ClusterCase{core::PolicyKind::Baat, solar::DayType::Rainy, 5},
+        ClusterCase{core::PolicyKind::Baat, solar::DayType::Sunny, 6},
+        ClusterCase{core::PolicyKind::BaatPlanned, solar::DayType::Cloudy, 7},
+        ClusterCase{core::PolicyKind::BaatPredictive, solar::DayType::Rainy, 8},
+        ClusterCase{core::PolicyKind::BaatPredictive, solar::DayType::Cloudy, 9}));
+
+}  // namespace
+}  // namespace baat

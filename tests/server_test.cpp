@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "server/server.hpp"
+#include "util/require.hpp"
+
+namespace baat::server {
+namespace {
+
+using util::watts;
+
+Server fresh() { return Server{ServerSpec{}}; }
+
+TEST(Dvfs, LadderBasics) {
+  const DvfsLadder l;
+  EXPECT_EQ(l.levels(), 4);
+  EXPECT_EQ(l.top(), 3);
+  EXPECT_DOUBLE_EQ(l.factor(3), 1.0);
+  EXPECT_LT(l.factor(0), l.factor(3));
+  EXPECT_THROW(l.factor(4), util::PreconditionError);
+  EXPECT_THROW(l.factor(-1), util::PreconditionError);
+}
+
+TEST(Server, StartsAtTopFrequencyPoweredOn) {
+  Server s = fresh();
+  EXPECT_TRUE(s.powered_on());
+  EXPECT_EQ(s.dvfs_level(), s.spec().dvfs.top());
+  EXPECT_DOUBLE_EQ(s.freq_factor(), 1.0);
+}
+
+TEST(Server, PowerModelAtNominalFrequency) {
+  Server s = fresh();
+  EXPECT_DOUBLE_EQ(s.power(0.0).value(), s.spec().idle.value());
+  EXPECT_DOUBLE_EQ(s.power(1.0).value(), s.spec().peak.value());
+  EXPECT_DOUBLE_EQ(s.power(0.5).value(),
+                   s.spec().idle.value() + 0.5 * (s.spec().peak - s.spec().idle).value());
+}
+
+TEST(Server, DvfsReducesPower) {
+  Server s = fresh();
+  const double p_full = s.power(0.8).value();
+  s.set_dvfs_level(0);
+  const double p_slow = s.power(0.8).value();
+  EXPECT_LT(p_slow, p_full);
+  // Idle also shrinks: idle·(0.6 + 0.4·0.5) = 0.8·idle at the lowest level.
+  EXPECT_DOUBLE_EQ(s.power(0.0).value(), s.spec().idle.value() * 0.8);
+}
+
+TEST(Server, PowerZeroWhenOff) {
+  Server s = fresh();
+  s.power_off();
+  EXPECT_DOUBLE_EQ(s.power(1.0).value(), 0.0);
+  s.power_on();
+  EXPECT_GT(s.power(0.0).value(), 0.0);
+}
+
+TEST(Server, VmAttachDetachTracksCapacity) {
+  Server s = fresh();
+  EXPECT_DOUBLE_EQ(s.cores_free(), 8.0);
+  s.attach(1, 4.0, 8.0);
+  s.attach(2, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.cores_free(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mem_free_gb(), 4.0);
+  EXPECT_TRUE(s.hosts(1));
+  s.detach(1);
+  EXPECT_FALSE(s.hosts(1));
+  EXPECT_DOUBLE_EQ(s.cores_free(), 6.0);
+}
+
+TEST(Server, CannotOverSubscribe) {
+  Server s = fresh();
+  s.attach(1, 6.0, 8.0);
+  EXPECT_FALSE(s.can_host(4.0, 4.0));
+  EXPECT_THROW(s.attach(2, 4.0, 4.0), util::PreconditionError);
+  EXPECT_FALSE(s.can_host(1.0, 16.0));  // memory bound
+}
+
+TEST(Server, OffServerCannotHost) {
+  Server s = fresh();
+  s.power_off();
+  EXPECT_FALSE(s.can_host(1.0, 1.0));
+}
+
+TEST(Server, DuplicateAttachAndMissingDetachRejected) {
+  Server s = fresh();
+  s.attach(1, 1.0, 1.0);
+  EXPECT_THROW(s.attach(1, 1.0, 1.0), util::PreconditionError);
+  EXPECT_THROW(s.detach(9), util::PreconditionError);
+  EXPECT_THROW(s.set_demand(9, 0.5), util::PreconditionError);
+}
+
+TEST(Server, AggregateDemandWeightsByCores) {
+  Server s = fresh();
+  s.attach(1, 4.0, 4.0);
+  s.attach(2, 2.0, 2.0);
+  s.set_demand(1, 1.0);   // 4 cores fully busy
+  s.set_demand(2, 0.5);   // 1 core busy
+  EXPECT_DOUBLE_EQ(s.total_demand_util(), 5.0 / 8.0);
+}
+
+TEST(Server, AggregateDemandClampsAtOne) {
+  ServerSpec spec;
+  spec.cores = 2.0;
+  Server s{spec};
+  s.attach(1, 2.0, 4.0);
+  s.set_demand(1, 1.0);
+  EXPECT_DOUBLE_EQ(s.total_demand_util(), 1.0);
+}
+
+TEST(Server, DowntimeAccumulates) {
+  Server s = fresh();
+  s.add_downtime(util::minutes(5.0));
+  s.add_downtime(util::minutes(3.0));
+  EXPECT_DOUBLE_EQ(s.downtime().value(), 480.0);
+}
+
+TEST(Server, RejectsBadSpec) {
+  ServerSpec inverted;
+  inverted.idle = watts(200.0);
+  inverted.peak = watts(100.0);
+  EXPECT_THROW(Server{inverted}, util::PreconditionError);
+  ServerSpec unsorted;
+  unsorted.dvfs.freq_factors = {1.0, 0.5};
+  EXPECT_THROW(Server{unsorted}, util::PreconditionError);
+}
+
+TEST(Server, RejectsBadArguments) {
+  Server s = fresh();
+  EXPECT_THROW(s.power(1.5), util::PreconditionError);
+  EXPECT_THROW(s.set_dvfs_level(17), util::PreconditionError);
+  s.attach(1, 1.0, 1.0);
+  EXPECT_THROW(s.set_demand(1, -0.1), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::server

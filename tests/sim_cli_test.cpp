@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/cli.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+namespace {
+
+TEST(Cli, DefaultsWithNoArguments) {
+  const CliOptions o = parse_cli({});
+  EXPECT_EQ(o.policy, core::PolicyKind::Baat);
+  EXPECT_EQ(o.days, 30u);
+  EXPECT_DOUBLE_EQ(o.sunshine_fraction, 0.5);
+  EXPECT_EQ(o.nodes, 6u);
+  EXPECT_FALSE(o.old_fleet);
+  EXPECT_FALSE(o.show_help);
+}
+
+TEST(Cli, ParsesEveryFlag) {
+  const CliOptions o = parse_cli({"--policy", "ebuff", "--days", "90", "--sunshine",
+                                  "0.7", "--nodes", "12", "--ratio", "8", "--seed",
+                                  "7", "--old-fleet", "--csv", "/tmp/out.csv"});
+  EXPECT_EQ(o.policy, core::PolicyKind::EBuff);
+  EXPECT_EQ(o.days, 90u);
+  EXPECT_DOUBLE_EQ(o.sunshine_fraction, 0.7);
+  EXPECT_EQ(o.nodes, 12u);
+  EXPECT_DOUBLE_EQ(o.watts_per_ah, 8.0);
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_TRUE(o.old_fleet);
+  EXPECT_EQ(o.csv_path, "/tmp/out.csv");
+}
+
+TEST(Cli, PolicyNames) {
+  EXPECT_EQ(parse_cli({"--policy", "baat-s"}).policy, core::PolicyKind::BaatS);
+  EXPECT_EQ(parse_cli({"--policy", "baat-h"}).policy, core::PolicyKind::BaatH);
+  EXPECT_EQ(parse_cli({"--policy", "baat-planned", "--cycles-plan", "500"}).policy,
+            core::PolicyKind::BaatPlanned);
+  EXPECT_THROW(parse_cli({"--policy", "frobnicate"}), util::PreconditionError);
+}
+
+TEST(Cli, PlannedRequiresCyclesPlan) {
+  EXPECT_THROW(parse_cli({"--policy", "baat-planned"}), util::PreconditionError);
+}
+
+TEST(Cli, HelpFlag) {
+  EXPECT_TRUE(parse_cli({"--help"}).show_help);
+  EXPECT_TRUE(parse_cli({"-h"}).show_help);
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(Cli, RejectsBadValues) {
+  EXPECT_THROW(parse_cli({"--days", "0"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--days", "ten"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--days", "1.5"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--sunshine", "1.5"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--ratio", "-2"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--days"}), util::PreconditionError);  // missing value
+  EXPECT_THROW(parse_cli({"--frobnicate"}), util::PreconditionError);
+}
+
+TEST(Cli, ScenarioReflectsOptions) {
+  CliOptions o;
+  o.nodes = 4;
+  o.seed = 99;
+  o.policy = core::PolicyKind::BaatS;
+  o.watts_per_ah = 10.0;
+  const ScenarioConfig cfg = scenario_from_cli(o);
+  EXPECT_EQ(cfg.nodes, 4u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.policy, core::PolicyKind::BaatS);
+  EXPECT_NEAR(cfg.bank.chemistry.capacity_c20.value(), 15.0, 1e-9);  // 150 W / 10
+}
+
+TEST(Cli, RunHelpReturnsZero) {
+  CliOptions o;
+  o.show_help = true;
+  EXPECT_EQ(run_cli(o), 0);
+}
+
+TEST(Cli, EndToEndTinyRunWithCsv) {
+  CliOptions o;
+  o.days = 2;
+  o.nodes = 3;
+  o.csv_path = ::testing::TempDir() + "baatsim_cli_test.csv";
+  EXPECT_EQ(run_cli(o), 0);
+  std::ifstream in{o.csv_path};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "day,weather,work,worst_ah,worst_low_soc_h,downtime_h,migrations,dvfs");
+  int rows = 0;
+  for (std::string line; std::getline(in, line);) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::remove(o.csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace baat::sim

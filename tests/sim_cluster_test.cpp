@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+namespace {
+
+ScenarioConfig quick_config(core::PolicyKind policy = core::PolicyKind::EBuff) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(Scenario, PrototypeDefaultsMatchPaper) {
+  const ScenarioConfig cfg = prototype_scenario();
+  EXPECT_EQ(cfg.nodes, 6u);  // three IBM + three HP servers
+  EXPECT_DOUBLE_EQ(cfg.bank.chemistry.capacity_c20.value(), 35.0);
+  EXPECT_EQ(cfg.bank.chemistry.cells, 6);  // 12 V blocks
+  EXPECT_DOUBLE_EQ(cfg.day_start.value(), 8.5 * 3600.0);   // 8:30 AM
+  EXPECT_DOUBLE_EQ(cfg.day_end.value(), 18.5 * 3600.0);    // 6:30 PM
+  EXPECT_EQ(cfg.daily_jobs.size(), 12u);  // six workloads × 2 replicas
+}
+
+TEST(Scenario, DefaultJobsCoverAllSixWorkloads) {
+  const auto jobs = default_daily_jobs(1);
+  ASSERT_EQ(jobs.size(), 6u);
+  for (workload::Kind k : workload::kAllKinds) {
+    const bool present = std::any_of(jobs.begin(), jobs.end(),
+                                     [k](const JobSpec& j) { return j.kind == k; });
+    EXPECT_TRUE(present) << workload::kind_name(k);
+  }
+  // Arrivals are staggered, biggest footprints first (anti-fragmentation).
+  EXPECT_LT(jobs[0].arrival.value(), jobs[5].arrival.value());
+  EXPECT_EQ(jobs[0].kind, workload::Kind::SoftwareTesting);
+}
+
+TEST(Cluster, ConstructionBuildsFleet) {
+  Cluster c{quick_config()};
+  EXPECT_EQ(c.node_count(), 6u);
+  EXPECT_EQ(c.days_run(), 0);
+  for (const auto& b : c.batteries()) EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+}
+
+TEST(Cluster, RunDayProducesCoherentResult) {
+  Cluster c{quick_config()};
+  const DayResult r = c.run_day(solar::DayType::Sunny);
+  EXPECT_EQ(c.days_run(), 1);
+  EXPECT_EQ(r.day_type, solar::DayType::Sunny);
+  EXPECT_GT(r.solar_energy.value(), 5000.0);
+  EXPECT_GT(r.throughput_work, 0.0);
+  EXPECT_EQ(r.nodes.size(), 6u);
+  EXPECT_GT(r.jobs_finished, 0);
+  for (const auto& n : r.nodes) {
+    EXPECT_GE(n.soc_min, 0.0);
+    EXPECT_LE(n.soc_min, 1.0);
+    EXPECT_GT(n.health, 0.9);
+    EXPECT_GE(n.metrics_day.nat, 0.0);
+  }
+}
+
+TEST(Cluster, SocHistogramAccountsAllNodeTime) {
+  Cluster c{quick_config()};
+  const DayResult r = c.run_day(solar::DayType::Cloudy);
+  // 6 nodes × 86400 s of weighted samples.
+  EXPECT_NEAR(r.soc_histogram.total_weight(), 6.0 * 86400.0, 1.0);
+}
+
+TEST(Cluster, EnergyConservationOverDay) {
+  Cluster c{quick_config()};
+  const DayResult r = c.run_day(solar::DayType::Cloudy);
+  const auto& m = r.meter;
+  // Solar is either used, stored or curtailed.
+  EXPECT_NEAR(m.solar_available().value(),
+              m.solar_to_load().value() + m.solar_to_charge().value() +
+                  m.solar_curtailed().value(),
+              1.0);
+  // Pure green operation: no utility.
+  EXPECT_DOUBLE_EQ(m.utility_used().value(), 0.0);
+}
+
+TEST(Cluster, CloudyDayStressesBatteries) {
+  Cluster c{quick_config()};
+  const DayResult sunny = c.run_day(solar::DayType::Sunny);
+  Cluster c2{quick_config()};
+  const DayResult cloudy = c2.run_day(solar::DayType::Cloudy);
+  EXPECT_GT(cloudy.nodes[cloudy.worst_node()].ah_discharged.value(),
+            sunny.nodes[sunny.worst_node()].ah_discharged.value());
+}
+
+TEST(Cluster, DeterministicForSameSeed) {
+  Cluster a{quick_config()};
+  Cluster b{quick_config()};
+  const DayResult ra = a.run_day(solar::DayType::Cloudy);
+  const DayResult rb = b.run_day(solar::DayType::Cloudy);
+  EXPECT_DOUBLE_EQ(ra.throughput_work, rb.throughput_work);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.batteries()[i].soc(), b.batteries()[i].soc());
+    EXPECT_DOUBLE_EQ(ra.nodes[i].ah_discharged.value(),
+                     rb.nodes[i].ah_discharged.value());
+  }
+}
+
+TEST(Cluster, SeedChangesOutcome) {
+  ScenarioConfig cfg = quick_config();
+  Cluster a{cfg};
+  cfg.seed = 777;
+  Cluster b{cfg};
+  const DayResult ra = a.run_day(solar::DayType::Cloudy);
+  const DayResult rb = b.run_day(solar::DayType::Cloudy);
+  EXPECT_NE(ra.throughput_work, rb.throughput_work);
+}
+
+TEST(Cluster, VmsRetiredAtDayEnd) {
+  Cluster c{quick_config()};
+  c.run_day(solar::DayType::Sunny);
+  // A second day must deploy fresh jobs and produce similar work, not
+  // double-count yesterday's.
+  const DayResult r2 = c.run_day(solar::DayType::Sunny);
+  EXPECT_GT(r2.throughput_work, 0.0);
+}
+
+TEST(Cluster, LifeMetricsAccumulateAcrossDays) {
+  Cluster c{quick_config()};
+  c.run_day(solar::DayType::Cloudy);
+  const double nat1 = c.life_metrics(0).nat;
+  c.run_day(solar::DayType::Cloudy);
+  const double nat2 = c.life_metrics(0).nat;
+  EXPECT_GT(nat1, 0.0);
+  EXPECT_GT(nat2, nat1);
+}
+
+TEST(Cluster, PolicySwapResetsRouterHints) {
+  Cluster c{quick_config(core::PolicyKind::Baat)};
+  c.run_day(solar::DayType::Cloudy);
+  c.set_policy(core::PolicyKind::EBuff);
+  EXPECT_EQ(c.policy().kind(), core::PolicyKind::EBuff);
+  const DayResult r = c.run_day(solar::DayType::Cloudy);
+  EXPECT_EQ(r.migrations, 0);
+}
+
+TEST(Cluster, BaatActsOnStressedDays) {
+  ScenarioConfig cfg = quick_config(core::PolicyKind::Baat);
+  Cluster c{cfg};
+  seed_aged_fleet(c, six_month_aged_state());
+  const DayResult r = c.run_day(solar::DayType::Rainy);
+  EXPECT_GT(r.migrations + r.dvfs_transitions, 0);
+}
+
+TEST(Cluster, TickObserverSeesEveryTick) {
+  Cluster c{quick_config()};
+  long ticks = 0;
+  double max_solar = 0.0;
+  c.set_tick_observer([&](const TickObservation& obs) {
+    ++ticks;
+    max_solar = std::max(max_solar, obs.solar.value());
+    ASSERT_NE(obs.route, nullptr);
+    ASSERT_EQ(obs.route->nodes.size(), 6u);
+  });
+  c.run_day(solar::DayType::Sunny);
+  EXPECT_EQ(ticks, 1440);
+  EXPECT_GT(max_solar, 500.0);
+}
+
+TEST(Cluster, WorstNodeSelection) {
+  DayResult r;
+  r.nodes.resize(3);
+  r.nodes[0].ah_discharged = util::ampere_hours(5.0);
+  r.nodes[1].ah_discharged = util::ampere_hours(9.0);
+  r.nodes[2].ah_discharged = util::ampere_hours(7.0);
+  EXPECT_EQ(r.worst_node(), 1u);
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  ScenarioConfig cfg = quick_config();
+  cfg.nodes = 0;
+  EXPECT_THROW(Cluster{cfg}, util::PreconditionError);
+  cfg = quick_config();
+  cfg.dt = util::seconds(0.0);
+  EXPECT_THROW(Cluster{cfg}, util::PreconditionError);
+  cfg = quick_config();
+  cfg.day_start = util::hours(20.0);
+  cfg.day_end = util::hours(8.0);
+  EXPECT_THROW(Cluster{cfg}, util::PreconditionError);
+}
+
+TEST(Experiment, RatioRescalesBattery) {
+  const ScenarioConfig cfg = with_server_battery_ratio(prototype_scenario(), 10.0);
+  EXPECT_NEAR(cfg.bank.chemistry.capacity_c20.value(), 15.0, 1e-9);  // 150 W / 10
+  EXPECT_THROW(with_server_battery_ratio(prototype_scenario(), 0.0),
+               util::PreconditionError);
+}
+
+TEST(Experiment, SeedAgedFleetAges) {
+  Cluster c{quick_config()};
+  seed_aged_fleet(c, six_month_aged_state());
+  for (const auto& b : c.batteries()) {
+    EXPECT_LT(b.health(), 0.93);
+    EXPECT_GT(b.health(), 0.80);
+  }
+}
+
+}  // namespace
+}  // namespace baat::sim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/multiday.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+namespace {
+
+TEST(MixedWeather, PatternRepeats) {
+  const auto seq = mixed_weather(7, 2, 1, 1);
+  ASSERT_EQ(seq.size(), 7u);
+  EXPECT_EQ(seq[0], solar::DayType::Sunny);
+  EXPECT_EQ(seq[1], solar::DayType::Sunny);
+  EXPECT_EQ(seq[2], solar::DayType::Cloudy);
+  EXPECT_EQ(seq[3], solar::DayType::Rainy);
+  EXPECT_EQ(seq[4], solar::DayType::Sunny);  // wraps
+  EXPECT_THROW(mixed_weather(5, 0, 0, 0), util::PreconditionError);
+}
+
+TEST(MultiDay, RunsAndAggregates) {
+  ScenarioConfig cfg = prototype_scenario();
+  Cluster cluster{cfg};
+  MultiDayOptions opts;
+  opts.days = 5;
+  opts.weather = mixed_weather(5, 3, 1, 1);
+  opts.probe_every_days = 0;
+  const MultiDayResult r = run_multi_day(cluster, opts);
+  EXPECT_EQ(r.days.size(), 5u);
+  EXPECT_GT(r.total_throughput, 0.0);
+  EXPECT_LE(r.min_health_end, r.mean_health_end);
+  EXPECT_NEAR(r.soc_histogram.total_weight(), 5.0 * 6.0 * 86400.0, 10.0);
+}
+
+TEST(MultiDay, KeepDaysFalseDropsDetail) {
+  Cluster cluster{prototype_scenario()};
+  MultiDayOptions opts;
+  opts.days = 3;
+  opts.weather = mixed_weather(3, 1, 1, 1);
+  opts.probe_every_days = 0;
+  opts.keep_days = false;
+  const MultiDayResult r = run_multi_day(cluster, opts);
+  EXPECT_TRUE(r.days.empty());
+  EXPECT_GT(r.total_throughput, 0.0);
+}
+
+TEST(MultiDay, ProbesOnSchedule) {
+  Cluster cluster{prototype_scenario()};
+  MultiDayOptions opts;
+  opts.days = 6;
+  opts.weather = mixed_weather(6, 1, 1, 1);
+  opts.probe_every_days = 2;
+  opts.keep_days = false;
+  const MultiDayResult r = run_multi_day(cluster, opts);
+  ASSERT_EQ(r.monthly.size(), 3u);
+  EXPECT_EQ(r.monthly[0].month, 1);
+  EXPECT_EQ(r.monthly[2].month, 3);
+  for (const auto& p : r.monthly) {
+    EXPECT_GT(p.full_voltage, 11.5);
+    EXPECT_GT(p.capacity_fraction, 0.5);
+    EXPECT_GT(p.round_trip_efficiency, 0.5);
+  }
+}
+
+TEST(MultiDay, HealthDeclinesUnderCycling) {
+  Cluster cluster{prototype_scenario()};
+  MultiDayOptions opts;
+  opts.days = 10;
+  opts.weather = mixed_weather(10, 0, 1, 1);  // harsh: no sunny days
+  opts.probe_every_days = 0;
+  opts.keep_days = false;
+  const MultiDayResult r = run_multi_day(cluster, opts);
+  EXPECT_LT(r.min_health_end, 1.0);
+}
+
+TEST(MultiDay, WeatherSampledFromSunshineFraction) {
+  Cluster cluster{prototype_scenario()};
+  MultiDayOptions opts;
+  opts.days = 4;
+  opts.sunshine_fraction = 1.0;  // all days must be sunny
+  opts.probe_every_days = 0;
+  const MultiDayResult r = run_multi_day(cluster, opts);
+  for (const auto& d : r.days) EXPECT_EQ(d.day_type, solar::DayType::Sunny);
+}
+
+TEST(MultiDay, RejectsZeroDays) {
+  Cluster cluster{prototype_scenario()};
+  MultiDayOptions opts;
+  opts.days = 0;
+  EXPECT_THROW(run_multi_day(cluster, opts), util::PreconditionError);
+}
+
+TEST(Experiment, MatchedDayUsesSameTrace) {
+  const ScenarioConfig cfg = prototype_scenario();
+  const solar::SolarDay day{cfg.plant, solar::DayType::Cloudy, util::Rng{99}};
+  const DayResult a = run_matched_day(cfg, core::PolicyKind::EBuff, day);
+  const DayResult b = run_matched_day(cfg, core::PolicyKind::EBuff, day);
+  EXPECT_DOUBLE_EQ(a.throughput_work, b.throughput_work);
+  EXPECT_DOUBLE_EQ(a.solar_energy.value(), b.solar_energy.value());
+}
+
+TEST(Experiment, AgeFleetAdvancesAging) {
+  Cluster cluster{prototype_scenario()};
+  age_fleet(cluster, 5, mixed_weather(5, 0, 1, 1));
+  EXPECT_EQ(cluster.days_run(), 5);
+  double mean = 0.0;
+  for (const auto& b : cluster.batteries()) mean += b.health();
+  EXPECT_LT(mean / 6.0, 1.0);
+}
+
+TEST(Experiment, LifetimeEstimateShape) {
+  const ScenarioConfig cfg = prototype_scenario();
+  const LifetimeSummary s =
+      estimate_lifetime(cfg, core::PolicyKind::EBuff, 0.5, 12);
+  EXPECT_GT(s.lifetime_days, 12.0);
+  EXPECT_GE(s.lifetime_days_mean, s.lifetime_days);  // worst ≤ mean
+  EXPECT_GT(s.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(s.sim_days, 12.0);
+}
+
+}  // namespace
+}  // namespace baat::sim

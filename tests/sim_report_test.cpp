@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+namespace {
+
+struct ReportFixture : ::testing::Test {
+  void SetUp() override {
+    cfg = prototype_scenario();
+    cfg.policy = core::PolicyKind::Baat;
+    cluster = std::make_unique<Cluster>(cfg);
+    MultiDayOptions opts;
+    opts.days = 3;
+    opts.weather = mixed_weather(3, 1, 1, 1);
+    opts.probe_every_days = 2;
+    result = run_multi_day(*cluster, opts);
+  }
+
+  ScenarioConfig cfg;
+  std::unique_ptr<Cluster> cluster;
+  MultiDayResult result;
+};
+
+TEST_F(ReportFixture, ContainsEverySection) {
+  ReportInputs in;
+  in.config = &cfg;
+  in.result = &result;
+  in.cluster = cluster.get();
+  in.sunshine_fraction = 0.5;
+  std::ostringstream out;
+  write_report(out, in);
+  const std::string md = out.str();
+
+  EXPECT_NE(md.find("# BAAT simulation report"), std::string::npos);
+  EXPECT_NE(md.find("## Configuration"), std::string::npos);
+  EXPECT_NE(md.find("| policy | BAAT |"), std::string::npos);
+  EXPECT_NE(md.find("## Outcome"), std::string::npos);
+  EXPECT_NE(md.find("## SoC distribution"), std::string::npos);
+  EXPECT_NE(md.find("## Battery probes"), std::string::npos);
+  EXPECT_NE(md.find("## Per-day summary"), std::string::npos);
+  EXPECT_NE(md.find("## Fleet detail"), std::string::npos);
+  // One per-day row per simulated day.
+  std::size_t rows = 0;
+  for (std::size_t p = md.find("| 0 | "); p != std::string::npos;
+       p = md.find("\n| ", p + 1)) {
+    ++rows;
+  }
+  EXPECT_GE(rows, 3u);
+}
+
+TEST_F(ReportFixture, OptionalSectionsOmitted) {
+  ReportInputs in;
+  in.config = &cfg;
+  in.result = &result;  // no cluster, no sunshine
+  std::ostringstream out;
+  write_report(out, in);
+  const std::string md = out.str();
+  EXPECT_EQ(md.find("## Fleet detail"), std::string::npos);
+  EXPECT_EQ(md.find("sunshine fraction"), std::string::npos);
+}
+
+TEST_F(ReportFixture, CustomTitle) {
+  ReportInputs in;
+  in.title = "Nightly aging run";
+  in.config = &cfg;
+  in.result = &result;
+  std::ostringstream out;
+  write_report(out, in);
+  EXPECT_EQ(out.str().rfind("# Nightly aging run", 0), 0u);
+}
+
+TEST(Report, RejectsMissingInputs) {
+  std::ostringstream out;
+  EXPECT_THROW(write_report(out, ReportInputs{}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::sim

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "solar/irradiance.hpp"
+#include "solar/location.hpp"
+#include "solar/solar_day.hpp"
+#include "solar/weather.hpp"
+#include "util/require.hpp"
+
+namespace baat::solar {
+namespace {
+
+using util::hours;
+using util::seconds;
+
+TEST(Irradiance, ZeroOutsideSunWindow) {
+  const SunWindow w;
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(w, hours(3.0)), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(w, hours(22.0)), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(w, w.sunrise), 0.0);
+}
+
+TEST(Irradiance, PeaksAtSolarNoon) {
+  const SunWindow w;
+  const auto noon = util::Seconds{(w.sunrise + w.sunset).value() / 2.0};
+  EXPECT_NEAR(clear_sky_fraction(w, noon), 1.0, 1e-9);
+  EXPECT_LT(clear_sky_fraction(w, hours(9.0)), 1.0);
+}
+
+TEST(Irradiance, SymmetricAroundNoon) {
+  const SunWindow w;
+  const double noon_h = (w.sunrise + w.sunset).value() / 2.0 / 3600.0;
+  for (double dh : {1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(clear_sky_fraction(w, hours(noon_h - dh)),
+                clear_sky_fraction(w, hours(noon_h + dh)), 1e-9);
+  }
+}
+
+TEST(Irradiance, ClearSkyHoursIsHalfWindow) {
+  const SunWindow w;
+  EXPECT_NEAR(clear_sky_hours(w), w.length().value() / 3600.0 / 2.0, 1e-12);
+}
+
+TEST(Weather, ParamsMatchPaperBudgets) {
+  EXPECT_DOUBLE_EQ(weather_params(DayType::Sunny).daily_energy_kwh, 8.0);
+  EXPECT_DOUBLE_EQ(weather_params(DayType::Cloudy).daily_energy_kwh, 6.0);
+  EXPECT_DOUBLE_EQ(weather_params(DayType::Rainy).daily_energy_kwh, 3.0);
+}
+
+TEST(Weather, CloudProcessStaysInBounds) {
+  CloudProcess p{weather_params(DayType::Cloudy), util::Rng{5}};
+  for (int i = 0; i < 10000; ++i) {
+    const double a = p.next();
+    EXPECT_GE(a, 0.02);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Weather, CloudyIsChurnierThanSunny) {
+  CloudProcess sunny{weather_params(DayType::Sunny), util::Rng{5}};
+  CloudProcess cloudy{weather_params(DayType::Cloudy), util::Rng{5}};
+  double sunny_var = 0.0;
+  double cloudy_var = 0.0;
+  double prev_s = sunny.next();
+  double prev_c = cloudy.next();
+  for (int i = 0; i < 5000; ++i) {
+    const double s = sunny.next();
+    const double c = cloudy.next();
+    sunny_var += (s - prev_s) * (s - prev_s);
+    cloudy_var += (c - prev_c) * (c - prev_c);
+    prev_s = s;
+    prev_c = c;
+  }
+  EXPECT_GT(cloudy_var, 3.0 * sunny_var);
+}
+
+TEST(SolarDay, EnergyNormalizedToWeatherBudget) {
+  const PlantSpec spec;
+  for (DayType t : {DayType::Sunny, DayType::Cloudy, DayType::Rainy}) {
+    const SolarDay day{spec, t, util::Rng{11}};
+    const double target = weather_params(t).daily_energy_kwh * 1000.0;
+    // ±3σ of the 5% jitter.
+    EXPECT_NEAR(day.daily_energy().value(), target, target * 0.16);
+  }
+}
+
+TEST(SolarDay, PowerIntegralMatchesReportedEnergy) {
+  const PlantSpec spec;
+  const SolarDay day{spec, DayType::Cloudy, util::Rng{3}};
+  double wh = 0.0;
+  for (int m = 0; m < 1440; ++m) {
+    wh += day.power(util::minutes(static_cast<double>(m))).value() / 60.0;
+  }
+  EXPECT_NEAR(wh, day.daily_energy().value(), 1.0);
+}
+
+TEST(SolarDay, DarkAtNight) {
+  const SolarDay day{PlantSpec{}, DayType::Sunny, util::Rng{1}};
+  EXPECT_DOUBLE_EQ(day.power(hours(2.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(day.power(hours(23.0)).value(), 0.0);
+  EXPECT_GT(day.power(hours(13.0)).value(), 0.0);
+}
+
+TEST(SolarDay, DeterministicForSameRng) {
+  const PlantSpec spec;
+  const SolarDay a{spec, DayType::Cloudy, util::Rng{42}};
+  const SolarDay b{spec, DayType::Cloudy, util::Rng{42}};
+  for (double h : {9.0, 12.0, 15.0, 18.0}) {
+    EXPECT_DOUBLE_EQ(a.power(hours(h)).value(), b.power(hours(h)).value());
+  }
+}
+
+TEST(SolarDay, RejectsOutOfDayQuery) {
+  const SolarDay day{PlantSpec{}, DayType::Sunny, util::Rng{1}};
+  EXPECT_THROW(day.power(seconds(-1.0)), util::PreconditionError);
+  EXPECT_THROW(day.power(hours(24.0)), util::PreconditionError);
+}
+
+TEST(Location, ProbabilitiesSumToOne) {
+  for (double f : {0.0, 0.3, 0.7, 1.0}) {
+    const Location loc{f};
+    const double sum = loc.probability(DayType::Sunny) +
+                       loc.probability(DayType::Cloudy) +
+                       loc.probability(DayType::Rainy);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Location, MoreSunshineMoreEnergy) {
+  EXPECT_GT(Location{0.8}.expected_daily_energy_kwh(),
+            Location{0.3}.expected_daily_energy_kwh());
+  EXPECT_DOUBLE_EQ(Location{1.0}.expected_daily_energy_kwh(), 8.0);
+}
+
+TEST(Location, SampledMixMatchesProbabilities) {
+  const Location loc{0.6};
+  util::Rng rng{17};
+  const auto days = loc.sample_days(20000, rng);
+  double sunny = 0.0;
+  for (DayType t : days) sunny += t == DayType::Sunny ? 1.0 : 0.0;
+  EXPECT_NEAR(sunny / 20000.0, 0.6, 0.02);
+}
+
+TEST(Location, RejectsOutOfRangeFraction) {
+  EXPECT_THROW(Location{-0.1}, util::PreconditionError);
+  EXPECT_THROW(Location{1.1}, util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::solar

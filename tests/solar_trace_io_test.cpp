@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "solar/trace_io.hpp"
+#include "util/require.hpp"
+
+namespace baat::solar {
+namespace {
+
+using util::hours;
+using util::seconds;
+
+SolarTrace small_trace() {
+  SolarTrace t;
+  t.sample_period = seconds(3600.0);
+  t.watts = {0.0, 100.0, 400.0, 200.0};
+  return t;
+}
+
+TEST(SolarTrace, EnergyIntegration) {
+  // 0+100+400+200 W for an hour each = 700 Wh.
+  EXPECT_DOUBLE_EQ(small_trace().daily_energy().value(), 700.0);
+}
+
+TEST(SolarTrace, PowerLookupIsStairstep) {
+  const SolarTrace t = small_trace();
+  EXPECT_DOUBLE_EQ(t.power(seconds(0.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.power(seconds(3650.0)).value(), 100.0);
+  EXPECT_DOUBLE_EQ(t.power(hours(2.5)).value(), 400.0);
+  // Beyond the last sample it holds the final value.
+  EXPECT_DOUBLE_EQ(t.power(hours(20.0)).value(), 200.0);
+  EXPECT_THROW(t.power(seconds(-1.0)), util::PreconditionError);
+}
+
+TEST(SolarTrace, WriteReadRoundTrip) {
+  const SolarTrace t = small_trace();
+  std::stringstream buffer;
+  write_trace_csv(buffer, t);
+  const SolarTrace back = read_trace_csv(buffer);
+  ASSERT_EQ(back.watts.size(), t.watts.size());
+  EXPECT_DOUBLE_EQ(back.sample_period.value(), t.sample_period.value());
+  for (std::size_t i = 0; i < t.watts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.watts[i], t.watts[i]);
+  }
+}
+
+TEST(SolarTrace, ReadAcceptsHeaderless) {
+  std::stringstream in{"0,10\n60,20\n120,30\n"};
+  const SolarTrace t = read_trace_csv(in);
+  EXPECT_EQ(t.watts.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.sample_period.value(), 60.0);
+}
+
+TEST(SolarTrace, ReadRejectsMalformedInput) {
+  {
+    std::stringstream in{"60,10\n120,20\n"};  // does not start at 0
+    EXPECT_THROW(read_trace_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"0,10\n60,20\n180,30\n"};  // uneven spacing
+    EXPECT_THROW(read_trace_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"0,10\n60,-5\n"};  // negative power
+    EXPECT_THROW(read_trace_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"0,ten\n60,20\n"};  // unparseable
+    EXPECT_THROW(read_trace_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"0,10\n"};  // too short
+    EXPECT_THROW(read_trace_csv(in), util::PreconditionError);
+  }
+}
+
+TEST(SolarTrace, FromGeneratedDayPreservesEnergy) {
+  const SolarDay day{PlantSpec{}, DayType::Cloudy, util::Rng{17}};
+  const SolarTrace t = trace_from_day(day);
+  EXPECT_NEAR(t.daily_energy().value(), day.daily_energy().value(), 5.0);
+  // Pointwise agreement on the shared grid.
+  for (double h : {9.0, 12.0, 16.0}) {
+    EXPECT_DOUBLE_EQ(t.power(hours(h)).value(), day.power(hours(h)).value());
+  }
+}
+
+}  // namespace
+}  // namespace baat::solar

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/soh.hpp"
+#include "util/require.hpp"
+
+namespace baat::telemetry {
+namespace {
+
+TEST(Soh, LinearFadeRecoveredExactly) {
+  SohEstimator e;
+  // capacity(t) = 1.0 − 0.001·t
+  for (double day : {0.0, 30.0, 60.0, 90.0}) e.add_probe(day, 1.0 - 0.001 * day);
+  EXPECT_NEAR(e.fade_per_day(), 0.001, 1e-12);
+  EXPECT_NEAR(e.capacity_at(120.0), 0.88, 1e-12);
+  const auto eol = e.projected_eol_day();
+  ASSERT_TRUE(eol.has_value());
+  EXPECT_NEAR(*eol, 200.0, 1e-9);  // crosses 0.8 at day 200
+}
+
+TEST(Soh, NoisyProbesStillCloseToTruth) {
+  SohEstimator e;
+  const double noise[] = {0.004, -0.003, 0.002, -0.004, 0.001, 0.0};
+  int i = 0;
+  for (double day : {0.0, 30.0, 60.0, 90.0, 120.0, 150.0}) {
+    e.add_probe(day, 1.0 - 0.0008 * day + noise[i++]);
+  }
+  EXPECT_NEAR(e.fade_per_day(), 0.0008, 0.0002);
+  const auto eol = e.projected_eol_day();
+  ASSERT_TRUE(eol.has_value());
+  EXPECT_NEAR(*eol, 250.0, 50.0);
+}
+
+TEST(Soh, HealthyBatteryHasNoProjection) {
+  SohEstimator e;
+  e.add_probe(0.0, 0.98);
+  e.add_probe(30.0, 0.98);
+  EXPECT_DOUBLE_EQ(e.fade_per_day(), 0.0);
+  EXPECT_FALSE(e.projected_eol_day().has_value());
+}
+
+TEST(Soh, ImprovingFitClampsToZeroFade) {
+  SohEstimator e;
+  e.add_probe(0.0, 0.95);
+  e.add_probe(30.0, 0.96);  // probe noise can show "improvement"
+  EXPECT_DOUBLE_EQ(e.fade_per_day(), 0.0);
+  EXPECT_FALSE(e.projected_eol_day().has_value());
+}
+
+TEST(Soh, MeasuredEol) {
+  SohEstimator e;
+  e.add_probe(0.0, 0.95);
+  EXPECT_FALSE(e.measured_eol());
+  e.add_probe(30.0, 0.79);
+  EXPECT_TRUE(e.measured_eol());
+}
+
+TEST(Soh, CustomEolLine) {
+  SohEstimator e{0.70};
+  for (double day : {0.0, 100.0}) e.add_probe(day, 1.0 - 0.001 * day);
+  const auto eol = e.projected_eol_day();
+  ASSERT_TRUE(eol.has_value());
+  EXPECT_NEAR(*eol, 300.0, 1e-9);
+}
+
+TEST(Soh, RejectsBadInput) {
+  EXPECT_THROW(SohEstimator{1.0}, util::PreconditionError);
+  SohEstimator e;
+  EXPECT_THROW(e.add_probe(-1.0, 0.9), util::PreconditionError);
+  e.add_probe(10.0, 0.9);
+  EXPECT_THROW(e.add_probe(5.0, 0.9), util::PreconditionError);  // out of order
+  EXPECT_THROW(e.fade_per_day(), util::PreconditionError);       // one probe
+  EXPECT_FALSE(e.projected_eol_day().has_value());
+}
+
+}  // namespace
+}  // namespace baat::telemetry

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "battery/battery.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/power_table.hpp"
+#include "telemetry/sensor.hpp"
+#include "util/require.hpp"
+
+namespace baat::telemetry {
+namespace {
+
+using util::amperes;
+using util::hours;
+using util::minutes;
+
+battery::Battery fresh(double soc = 1.0) {
+  return battery::Battery{battery::LeadAcidParams{}, battery::AgingParams{},
+                          battery::ThermalParams{}, 1.0, 1.0, soc};
+}
+
+PowerTable make_table() {
+  PowerTableParams p;
+  p.chemistry = battery::LeadAcidParams{};
+  return PowerTable{p};
+}
+
+/// Drives a battery and logs every step through a noiseless sensor.
+void drive(battery::Battery& bat, PowerTable& table, double amps, double hours_len) {
+  BatterySensor sensor{SensorNoise{0.0, 0.0, 0.0}, util::Rng{1}};
+  const auto steps = static_cast<long>(hours_len * 60.0);
+  for (long i = 0; i < steps; ++i) {
+    const auto res = bat.step(amperes(amps), minutes(1.0));
+    const auto reading = sensor.read(bat, res.actual_current,
+                                     util::Seconds{table.time_total().value()});
+    table.record(reading, minutes(1.0));
+  }
+}
+
+TEST(Sensor, NoiselessSensorMatchesGroundTruth) {
+  battery::Battery b = fresh(0.8);
+  BatterySensor s{SensorNoise{0.0, 0.0, 0.0}, util::Rng{1}};
+  const auto r = s.read(b, amperes(5.0), util::Seconds{0.0});
+  EXPECT_DOUBLE_EQ(r.voltage.value(), b.terminal_voltage(amperes(5.0)).value());
+  EXPECT_DOUBLE_EQ(r.current.value(), 5.0);
+  EXPECT_DOUBLE_EQ(r.temperature.value(), b.temperature().value());
+}
+
+TEST(Sensor, NoiseIsBoundedInPractice) {
+  battery::Battery b = fresh(0.8);
+  BatterySensor s{SensorNoise{}, util::Rng{1}};
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = s.read(b, amperes(5.0), util::Seconds{0.0});
+    EXPECT_NEAR(r.voltage.value(), b.terminal_voltage(amperes(5.0)).value(), 0.1);
+    EXPECT_NEAR(r.current.value(), 5.0, 0.5);
+  }
+}
+
+TEST(PowerTable, SocEstimateTracksTruthOnFreshUnit) {
+  battery::Battery b = fresh(1.0);
+  PowerTable t = make_table();
+  drive(b, t, 5.0, 3.0);  // 15 Ah out of 35 → soc ≈ 0.55 (Peukert a bit lower)
+  EXPECT_NEAR(t.estimated_soc(), b.soc(), 0.08);
+}
+
+TEST(PowerTable, AccumulatesChargeAndDischargeSeparately) {
+  battery::Battery b = fresh(0.9);
+  PowerTable t = make_table();
+  drive(b, t, 5.0, 2.0);
+  drive(b, t, -5.0, 1.0);
+  EXPECT_NEAR(t.ah_discharged().value(), 10.0, 0.01);
+  EXPECT_NEAR(t.ah_charged().value(), 5.0, 0.01);
+}
+
+TEST(PowerTable, RangeBinsSumToTotal) {
+  battery::Battery b = fresh(1.0);
+  PowerTable t = make_table();
+  drive(b, t, 6.0, 5.0);  // deep drain across ranges
+  const double sum = t.ah_in_range(0).value() + t.ah_in_range(1).value() +
+                     t.ah_in_range(2).value() + t.ah_in_range(3).value();
+  EXPECT_NEAR(sum, t.ah_discharged().value(), 1e-9);
+  EXPECT_THROW(t.ah_in_range(4), util::PreconditionError);
+}
+
+TEST(PowerTable, TimeBelow40Tracked) {
+  battery::Battery b = fresh(0.2);
+  PowerTable t = make_table();
+  drive(b, t, 0.0, 2.0);
+  // The estimator starts at SoC 1 and needs a few rest anchors to converge
+  // onto the deeply discharged unit, so allow a short warm-up slack.
+  EXPECT_NEAR(t.time_below_40().value(), 7200.0, 900.0);
+  EXPECT_NEAR(t.time_total().value(), 7200.0, 1e-9);
+}
+
+TEST(PowerTable, DrEwmaRisesAndDecays) {
+  battery::Battery b = fresh(1.0);
+  PowerTable t = make_table();
+  drive(b, t, 10.0, 1.0);
+  const double during = t.recent_discharge_amps();
+  EXPECT_NEAR(during, 10.0, 0.5);
+  drive(b, t, 0.0, 1.0);
+  EXPECT_LT(t.recent_discharge_amps(), 0.1);
+}
+
+TEST(PowerTable, HistoryRingBounded) {
+  PowerTableParams p;
+  p.chemistry = battery::LeadAcidParams{};
+  p.history_depth = 16;
+  PowerTable t{p};
+  battery::Battery b = fresh(0.9);
+  drive(b, t, 1.0, 2.0);
+  EXPECT_EQ(t.history().size(), 16u);
+}
+
+TEST(Metrics, FreshTableIsNeutral) {
+  PowerTable t = make_table();
+  const AgingMetrics m = compute_metrics(t, MetricParams{});
+  EXPECT_DOUBLE_EQ(m.nat, 0.0);
+  EXPECT_DOUBLE_EQ(m.cf, 1.0);
+  EXPECT_DOUBLE_EQ(m.ddt, 0.0);
+  EXPECT_DOUBLE_EQ(m.dr_c_rate, 0.0);
+}
+
+TEST(Metrics, NatIsLifeFraction) {
+  battery::Battery b = fresh(1.0);
+  PowerTable t = make_table();
+  drive(b, t, 7.0, 2.0);  // 14 Ah
+  MetricParams p;
+  p.lifetime_throughput = util::ampere_hours(1400.0);
+  const AgingMetrics m = compute_metrics(t, p);
+  EXPECT_NEAR(m.nat, 0.01, 1e-4);
+}
+
+TEST(Metrics, CfReflectsRechargeRatio) {
+  battery::Battery b = fresh(0.8);
+  PowerTable t = make_table();
+  drive(b, t, 5.0, 2.0);   // 10 Ah out
+  drive(b, t, -5.0, 2.0);  // 10 Ah in
+  const AgingMetrics m = compute_metrics(t, MetricParams{});
+  EXPECT_NEAR(m.cf, 1.0, 0.05);
+}
+
+TEST(Metrics, PcHighSocIsHealthy) {
+  battery::Battery b = fresh(1.0);
+  PowerTable t = make_table();
+  drive(b, t, 3.0, 1.0);  // all output at high SoC
+  const AgingMetrics m = compute_metrics(t, MetricParams{});
+  EXPECT_NEAR(m.pc, 0.25, 0.01);
+  EXPECT_NEAR(m.pc_health, 1.0, 0.05);
+}
+
+TEST(Metrics, PcDeepDischargeIsWorse) {
+  battery::Battery shallow_b = fresh(1.0);
+  PowerTable shallow_t = make_table();
+  drive(shallow_b, shallow_t, 3.0, 1.0);
+  battery::Battery deep_b = fresh(0.3);
+  PowerTable deep_t = make_table();
+  drive(deep_b, deep_t, 3.0, 1.0);
+  const AgingMetrics shallow = compute_metrics(shallow_t, MetricParams{});
+  const AgingMetrics deep = compute_metrics(deep_t, MetricParams{});
+  EXPECT_GT(deep.pc, shallow.pc + 0.3);
+  EXPECT_LT(deep.pc_health, shallow.pc_health - 0.3);
+}
+
+TEST(Metrics, DdtIsTimeFraction) {
+  battery::Battery b = fresh(0.2);
+  PowerTable t = make_table();
+  drive(b, t, 0.0, 1.0);   // 1 h deep
+  battery::Battery b2 = fresh(0.9);
+  drive(b2, t, 0.0, 3.0);  // 3 h high (same table: 25% of time deep)
+  const AgingMetrics m = compute_metrics(t, MetricParams{});
+  EXPECT_NEAR(m.ddt, 0.25, 0.035);  // small estimator warm-up slack
+}
+
+TEST(Metrics, DrIsCRate) {
+  battery::Battery b = fresh(1.0);
+  PowerTable t = make_table();
+  drive(b, t, 17.5, 0.5);  // C/2
+  const AgingMetrics m = compute_metrics(t, MetricParams{});
+  EXPECT_NEAR(m.dr_c_rate, 0.5, 0.05);
+}
+
+TEST(Metrics, CfClampedAgainstGlitches) {
+  PowerTable t = make_table();
+  battery::Battery b = fresh(0.5);
+  // Tiny discharge, huge charge: CF would explode without the clamp.
+  drive(b, t, 0.1, 0.1);
+  drive(b, t, -8.0, 6.0);
+  const AgingMetrics m = compute_metrics(t, MetricParams{});
+  EXPECT_LE(m.cf, 5.0);
+}
+
+TEST(Metrics, RejectsBadParams) {
+  PowerTable t = make_table();
+  MetricParams p;
+  p.lifetime_throughput = util::ampere_hours(0.0);
+  EXPECT_THROW(compute_metrics(t, p), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::telemetry

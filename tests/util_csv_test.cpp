@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/require.hpp"
+
+namespace baat::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "baat_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w{path_, {"a", "b"}};
+    w.write_row({"1", "2"});
+    w.write_row({CsvWriter::cell(3.5), "x"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\n3.5,x\n");
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  CsvWriter w{path_, {"a", "b"}};
+  EXPECT_THROW(w.write_row({"only-one"}), PreconditionError);
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w{path_, {"v"}};
+    w.write_row({"has,comma"});
+    w.write_row({"has\"quote"});
+  }
+  EXPECT_EQ(read_file(path_), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, DoubleCellRoundTrips) {
+  const double v = 0.1234567890123456789;
+  const std::string cell = CsvWriter::cell(v);
+  EXPECT_DOUBLE_EQ(std::stod(cell), v);
+}
+
+TEST_F(CsvTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter(path_, {}), PreconditionError);
+}
+
+TEST_F(CsvTest, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace baat::util

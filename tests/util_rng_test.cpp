@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace baat::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NamedStreamsAreIndependentAndStable) {
+  Rng a = Rng::stream(7, "weather");
+  Rng a2 = Rng::stream(7, "weather");
+  Rng b = Rng::stream(7, "sensor");
+  EXPECT_EQ(a.next(), a2.next());
+  Rng c = Rng::stream(7, "weather");
+  EXPECT_NE(c.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r{11};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInvertedBounds) {
+  Rng r{5};
+  EXPECT_THROW(r.uniform(1.0, 0.0), PreconditionError);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng r{9};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_index(6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng r{9};
+  EXPECT_THROW(r.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng r{13};
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng r{17};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_THROW(r.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng r{19};
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliClampsP) {
+  Rng r{19};
+  EXPECT_FALSE(r.bernoulli(-1.0));
+  EXPECT_TRUE(r.bernoulli(2.0));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{23};
+  Rng child = parent.fork("child");
+  // The fork consumed state, so the parent moved on; both still deterministic.
+  Rng parent2{23};
+  Rng child2 = parent2.fork("child");
+  EXPECT_EQ(child.next(), child2.next());
+  EXPECT_EQ(parent.next(), parent2.next());
+}
+
+TEST(Rng, Fnv1aStableValues) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("weather"), fnv1a("weather"));
+}
+
+}  // namespace
+}  // namespace baat::util

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace baat::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.min(), PreconditionError);
+  EXPECT_THROW(s.max(), PreconditionError);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, BinsAndBoundaries) {
+  Histogram h{{0.0, 1.0, 2.0, 4.0}};
+  ASSERT_EQ(h.bin_count(), 3u);
+  h.add(0.0);    // bin 0 (left edge inclusive)
+  h.add(0.999);  // bin 0
+  h.add(1.0);    // bin 1 (right edge exclusive of bin 0)
+  h.add(3.9);    // bin 2
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 1.0);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h{{0.0, 1.0}};
+  h.add(-0.1);
+  h.add(1.0);  // top edge is exclusive → overflow
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+}
+
+TEST(Histogram, WeightedSamplesAndFractions) {
+  Histogram h{{0.0, 10.0, 20.0}};
+  h.add(5.0, 3.0);
+  h.add(15.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h{{0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, UniformFactory) {
+  Histogram h = Histogram::uniform(0.0, 100.0, 10);
+  EXPECT_EQ(h.bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 40.0);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+}
+
+TEST(Histogram, LabelFormat) {
+  Histogram h{{0.0, 15.0, 30.0}};
+  EXPECT_EQ(h.bin_label(0), "[0, 15)");
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, RejectsBadArguments) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), PreconditionError);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), PreconditionError);
+}
+
+TEST(MeanOf, BasicAndEmpty) {
+  const std::vector<double> xs{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_THROW(mean_of(std::vector<double>{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::util

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace baat::util {
+namespace {
+
+TEST(Units, ArithmeticOnLikeQuantities) {
+  const Watts a = watts(100.0);
+  const Watts b = watts(50.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w = watts(10.0);
+  w += watts(5.0);
+  EXPECT_DOUBLE_EQ(w.value(), 15.0);
+  w -= watts(3.0);
+  EXPECT_DOUBLE_EQ(w.value(), 12.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(watts(1.0), watts(2.0));
+  EXPECT_GE(watts(2.0), watts(2.0));
+  EXPECT_EQ(watts(3.0), watts(3.0));
+}
+
+TEST(Units, PowerFromVoltageAndCurrent) {
+  EXPECT_DOUBLE_EQ((volts(12.0) * amperes(5.0)).value(), 60.0);
+  EXPECT_DOUBLE_EQ((amperes(5.0) * volts(12.0)).value(), 60.0);
+}
+
+TEST(Units, EnergyIntegration) {
+  // 100 W for 30 minutes = 50 Wh.
+  EXPECT_DOUBLE_EQ(energy(watts(100.0), minutes(30.0)).value(), 50.0);
+}
+
+TEST(Units, ChargeIntegration) {
+  // 7 A for 2 hours = 14 Ah.
+  EXPECT_DOUBLE_EQ(charge(amperes(7.0), hours(2.0)).value(), 14.0);
+}
+
+TEST(Units, CurrentForPower) {
+  EXPECT_DOUBLE_EQ(current_for(watts(120.0), volts(12.0)).value(), 10.0);
+}
+
+TEST(Units, EnergyAtVoltage) {
+  EXPECT_DOUBLE_EQ(energy_at(ampere_hours(35.0), volts(12.0)).value(), 420.0);
+}
+
+TEST(Units, PowerOverDuration) {
+  EXPECT_DOUBLE_EQ(power_over(watt_hours(100.0), hours(2.0)).value(), 50.0);
+}
+
+TEST(Units, TimeConstructors) {
+  EXPECT_DOUBLE_EQ(minutes(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.5).value(), 5400.0);
+  EXPECT_DOUBLE_EQ(days(2.0).value(), 172800.0);
+  EXPECT_DOUBLE_EQ(kilowatt_hours(1.5).value(), 1500.0);
+}
+
+TEST(Units, Clamp01) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(1.5), 1.0);
+}
+
+TEST(Units, ClampQuantity) {
+  EXPECT_EQ(clamp(watts(5.0), watts(0.0), watts(3.0)), watts(3.0));
+  EXPECT_EQ(clamp(watts(-1.0), watts(0.0), watts(3.0)), watts(0.0));
+  EXPECT_EQ(clamp(watts(2.0), watts(0.0), watts(3.0)), watts(2.0));
+}
+
+TEST(Units, NearlyEqual) {
+  EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(nearly_equal(1.0, 1.001));
+  EXPECT_TRUE(nearly_equal(0.0, 0.0));
+  EXPECT_TRUE(nearly_equal(1e6, 1e6 * (1.0 + 1e-10)));
+}
+
+}  // namespace
+}  // namespace baat::util

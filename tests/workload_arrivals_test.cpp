@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "workload/arrivals.hpp"
+
+namespace baat::workload {
+namespace {
+
+TEST(Arrivals, MeanCountMatchesRate) {
+  ArrivalPlanParams p;
+  p.rate_per_hour = 3.0;
+  p.window = util::hours(8.0);
+  util::Rng rng{11};
+  double total = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(sample_arrivals(p, rng).size());
+  }
+  EXPECT_NEAR(total / trials, 24.0, 1.5);  // λ·T = 24 ± sampling noise
+}
+
+TEST(Arrivals, OffsetsSortedWithinWindow) {
+  ArrivalPlanParams p;
+  util::Rng rng{5};
+  const auto plan = sample_arrivals(p, rng);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i].offset.value(), 0.0);
+    EXPECT_LT(plan[i].offset.value(), p.window.value());
+    if (i > 0) EXPECT_GE(plan[i].offset.value(), plan[i - 1].offset.value());
+  }
+}
+
+TEST(Arrivals, DeterministicForSameStream) {
+  ArrivalPlanParams p;
+  util::Rng a{9};
+  util::Rng b{9};
+  const auto pa = sample_arrivals(p, a);
+  const auto pb = sample_arrivals(p, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].kind, pb[i].kind);
+    EXPECT_DOUBLE_EQ(pa[i].offset.value(), pb[i].offset.value());
+  }
+}
+
+TEST(Arrivals, WeightedMixRespected) {
+  ArrivalPlanParams p;
+  p.rate_per_hour = 50.0;
+  p.kind_weights = {0.0, 0.0, 0.0, 1.0, 0.0, 1.0};  // SoftwareTesting + DataAnalytics
+  util::Rng rng{3};
+  const auto plan = sample_arrivals(p, rng);
+  ASSERT_FALSE(plan.empty());
+  for (const Arrival& a : plan) {
+    EXPECT_TRUE(a.kind == Kind::SoftwareTesting || a.kind == Kind::DataAnalytics);
+  }
+  const auto st = std::count_if(plan.begin(), plan.end(), [](const Arrival& a) {
+    return a.kind == Kind::SoftwareTesting;
+  });
+  const double frac = static_cast<double>(st) / static_cast<double>(plan.size());
+  EXPECT_NEAR(frac, 0.5, 0.1);
+}
+
+TEST(Arrivals, UniformMixCoversAllKinds) {
+  ArrivalPlanParams p;
+  p.rate_per_hour = 100.0;
+  util::Rng rng{7};
+  const auto plan = sample_arrivals(p, rng);
+  for (Kind k : kAllKinds) {
+    const bool seen = std::any_of(plan.begin(), plan.end(),
+                                  [k](const Arrival& a) { return a.kind == k; });
+    EXPECT_TRUE(seen) << kind_name(k);
+  }
+}
+
+TEST(Arrivals, RejectsBadParams) {
+  util::Rng rng{1};
+  ArrivalPlanParams p;
+  p.rate_per_hour = 0.0;
+  EXPECT_THROW(sample_arrivals(p, rng), util::PreconditionError);
+  p = ArrivalPlanParams{};
+  p.kind_weights = {1.0, 1.0};  // wrong arity
+  EXPECT_THROW(sample_arrivals(p, rng), util::PreconditionError);
+  p.kind_weights = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(sample_arrivals(p, rng), util::PreconditionError);
+  p.kind_weights = {1.0, 1.0, 1.0, 1.0, 1.0, -1.0};
+  EXPECT_THROW(sample_arrivals(p, rng), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::workload

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "workload/vm.hpp"
+#include "workload/workload.hpp"
+
+namespace baat::workload {
+namespace {
+
+using util::hours;
+using util::minutes;
+using util::seconds;
+
+TEST(Workload, AllKindsHaveSaneSpecs) {
+  for (Kind k : kAllKinds) {
+    const Spec s = spec_for(k);
+    EXPECT_EQ(s.kind, k);
+    EXPECT_GT(s.base_util, 0.0);
+    EXPECT_LE(s.base_util + s.swing, 1.01);
+    EXPECT_GT(s.cores, 0.0);
+    EXPECT_GT(s.mem_gb, 0.0);
+    EXPECT_FALSE(kind_name(k).empty());
+  }
+}
+
+TEST(Workload, WebServingIsTheOnlyService) {
+  for (Kind k : kAllKinds) {
+    const Spec s = spec_for(k);
+    if (k == Kind::WebServing) {
+      EXPECT_DOUBLE_EQ(s.duration.value(), 0.0);
+    } else {
+      EXPECT_GT(s.duration.value(), 0.0);
+    }
+  }
+}
+
+// Parameterized sweep: utilization stays in [0, 1] for every kind across
+// the whole runtime.
+class UtilizationBounds : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(UtilizationBounds, StaysInRange) {
+  const Spec s = spec_for(GetParam());
+  util::Rng rng{3};
+  const double horizon = s.duration.value() > 0.0 ? s.duration.value() : 86400.0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = horizon * i / 500.0;
+    const double u = utilization(s, seconds(t), 123.0, rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, UtilizationBounds, ::testing::ValuesIn(kAllKinds));
+
+TEST(Workload, FinishedAfterDuration) {
+  const Spec s = spec_for(Kind::WordCount);
+  EXPECT_FALSE(finished(s, seconds(0.0)));
+  EXPECT_FALSE(finished(s, util::Seconds{s.duration.value() - 1.0}));
+  EXPECT_TRUE(finished(s, s.duration));
+  util::Rng rng{1};
+  EXPECT_DOUBLE_EQ(utilization(s, s.duration, 0.0, rng), 0.0);
+}
+
+TEST(Workload, ServicesNeverFinish) {
+  const Spec s = spec_for(Kind::WebServing);
+  EXPECT_FALSE(finished(s, hours(1000.0)));
+}
+
+TEST(Workload, BurstyShapeSwitchesLevels) {
+  const Spec s = spec_for(Kind::KMeansClustering);
+  Spec noiseless = s;
+  noiseless.noise_sigma = 0.0;
+  util::Rng rng{1};
+  const double hi = utilization(noiseless, seconds(60.0), 0.0, rng);
+  const double lo = utilization(
+      noiseless, util::Seconds{s.period.value() * s.duty + 60.0}, 0.0, rng);
+  EXPECT_GT(hi, lo + 0.3);
+}
+
+TEST(Workload, TwoPhaseDropsInReducePhase) {
+  Spec s = spec_for(Kind::WordCount);
+  s.noise_sigma = 0.0;
+  util::Rng rng{1};
+  const double map = utilization(s, util::Seconds{s.duration.value() * 0.3}, 0.0, rng);
+  const double reduce = utilization(s, util::Seconds{s.duration.value() * 0.9}, 0.0, rng);
+  EXPECT_GT(map, reduce);
+}
+
+TEST(Vm, RunsAndAccumulatesProgress) {
+  Vm vm{1, Kind::SoftwareTesting, 0.0, util::Rng{2}};
+  EXPECT_EQ(vm.state(), VmState::Running);
+  const double u = vm.demand_utilization(minutes(1.0));
+  EXPECT_GT(u, 0.0);
+  vm.grant(u, 1.0, minutes(1.0));
+  EXPECT_NEAR(vm.progress_work(), u * vm.spec().cores * 60.0, 1e-9);
+}
+
+TEST(Vm, DvfsSlowsProgressAndRuntime) {
+  Vm fast{1, Kind::DataAnalytics, 0.0, util::Rng{2}};
+  Vm slow{2, Kind::DataAnalytics, 0.0, util::Rng{2}};
+  for (int i = 0; i < 60; ++i) {
+    const double uf = fast.demand_utilization(minutes(1.0));
+    const double us = slow.demand_utilization(minutes(1.0));
+    fast.grant(uf, 1.0, minutes(1.0));
+    slow.grant(us, 0.5, minutes(1.0));
+  }
+  EXPECT_GT(fast.progress_work(), 1.8 * slow.progress_work());
+}
+
+TEST(Vm, MigrationPausesWork) {
+  Vm vm{1, Kind::WebServing, 0.0, util::Rng{2}};
+  vm.start_migration(seconds(120.0));
+  EXPECT_EQ(vm.state(), VmState::Migrating);
+  EXPECT_FALSE(vm.migratable());
+  EXPECT_DOUBLE_EQ(vm.demand_utilization(minutes(1.0)), 0.0);
+  vm.grant(0.5, 1.0, minutes(1.0));  // ignored while migrating
+  EXPECT_DOUBLE_EQ(vm.progress_work(), 0.0);
+  // Second minute completes the 120 s pause.
+  EXPECT_DOUBLE_EQ(vm.demand_utilization(minutes(1.0)), 0.0);
+  EXPECT_GT(vm.demand_utilization(minutes(1.0)), 0.0);
+  EXPECT_EQ(vm.state(), VmState::Running);
+  EXPECT_EQ(vm.migrations(), 1);
+}
+
+TEST(Vm, PauseAndResume) {
+  Vm vm{1, Kind::WebServing, 0.0, util::Rng{2}};
+  vm.pause();
+  EXPECT_EQ(vm.state(), VmState::Paused);
+  EXPECT_DOUBLE_EQ(vm.demand_utilization(minutes(1.0)), 0.0);
+  vm.resume();
+  EXPECT_EQ(vm.state(), VmState::Running);
+  EXPECT_GT(vm.demand_utilization(minutes(1.0)), 0.0);
+}
+
+TEST(Vm, BatchJobFinishes) {
+  Vm vm{1, Kind::WordCount, 0.0, util::Rng{2}};
+  // WordCount runs 1 h of delivered runtime.
+  for (int i = 0; i < 90; ++i) {
+    const double u = vm.demand_utilization(minutes(1.0));
+    vm.grant(u, 1.0, minutes(1.0));
+  }
+  EXPECT_EQ(vm.state(), VmState::Finished);
+  EXPECT_DOUBLE_EQ(vm.demand_utilization(minutes(1.0)), 0.0);
+}
+
+TEST(Vm, CannotMigrateWhileMigrating) {
+  Vm vm{1, Kind::WebServing, 0.0, util::Rng{2}};
+  vm.start_migration(seconds(60.0));
+  EXPECT_THROW(vm.start_migration(seconds(60.0)), util::PreconditionError);
+}
+
+TEST(Vm, GrantValidatesArguments) {
+  Vm vm{1, Kind::WebServing, 0.0, util::Rng{2}};
+  EXPECT_THROW(vm.grant(1.5, 1.0, minutes(1.0)), util::PreconditionError);
+  EXPECT_THROW(vm.grant(0.5, 0.0, minutes(1.0)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::workload

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/require.hpp"
+#include "workload/trace_replay.hpp"
+
+namespace baat::workload {
+namespace {
+
+using util::minutes;
+using util::seconds;
+
+UtilizationTrace small() {
+  return UtilizationTrace{minutes(1.0), {0.2, 0.8, 0.5}};
+}
+
+TEST(TraceReplay, ZeroOrderHoldLookup) {
+  const UtilizationTrace t = small();
+  EXPECT_DOUBLE_EQ(t.at(seconds(0.0)), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(seconds(59.0)), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(seconds(60.0)), 0.8);
+  EXPECT_DOUBLE_EQ(t.at(seconds(179.0)), 0.5);
+}
+
+TEST(TraceReplay, FiniteVsServiceSemantics) {
+  const UtilizationTrace t = small();
+  EXPECT_DOUBLE_EQ(t.at(minutes(10.0), /*finite=*/true), 0.0);   // batch ended
+  EXPECT_DOUBLE_EQ(t.at(minutes(10.0), /*finite=*/false), 0.5);  // service holds
+}
+
+TEST(TraceReplay, Statistics) {
+  const UtilizationTrace t = small();
+  EXPECT_NEAR(t.mean(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(t.peak(), 0.8);
+  EXPECT_DOUBLE_EQ(t.duration().value(), 180.0);
+}
+
+TEST(TraceReplay, CsvRoundTrip) {
+  const std::vector<UtilizationTrace> traces{
+      UtilizationTrace{minutes(1.0), {0.1, 0.2, 0.3}},
+      UtilizationTrace{minutes(1.0), {0.9, 0.8, 0.7}},
+  };
+  std::stringstream buffer;
+  write_utilization_csv(buffer, traces);
+  const auto back = read_utilization_csv(buffer);
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t v = 0; v < 2; ++v) {
+    ASSERT_EQ(back[v].samples().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(back[v].samples()[i], traces[v].samples()[i]);
+    }
+  }
+}
+
+TEST(TraceReplay, ReadRejectsMalformed) {
+  {
+    std::stringstream in{"seconds,vm0\n60,0.5\n120,0.6\n"};  // not from 0
+    EXPECT_THROW(read_utilization_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"seconds,vm0\n0,0.5\n60,0.6\n180,0.7\n"};  // uneven
+    EXPECT_THROW(read_utilization_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"seconds,vm0,vm1\n0,0.5\n60,0.6\n"};  // short row
+    EXPECT_THROW(read_utilization_csv(in), util::PreconditionError);
+  }
+  {
+    std::stringstream in{"seconds\n0\n60\n"};  // no VM columns
+    EXPECT_THROW(read_utilization_csv(in), util::PreconditionError);
+  }
+}
+
+TEST(TraceReplay, RejectsBadConstruction) {
+  EXPECT_THROW(UtilizationTrace(seconds(0.0), {0.5}), util::PreconditionError);
+  EXPECT_THROW(UtilizationTrace(minutes(1.0), {}), util::PreconditionError);
+  EXPECT_THROW(UtilizationTrace(minutes(1.0), {1.5}), util::PreconditionError);
+  const UtilizationTrace t = small();
+  EXPECT_THROW(t.at(seconds(-1.0)), util::PreconditionError);
+}
+
+TEST(TraceReplay, WriteRejectsMismatchedTraces) {
+  const std::vector<UtilizationTrace> mixed{
+      UtilizationTrace{minutes(1.0), {0.1, 0.2}},
+      UtilizationTrace{minutes(5.0), {0.9, 0.8}},
+  };
+  std::stringstream buffer;
+  EXPECT_THROW(write_utilization_csv(buffer, mixed), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::workload

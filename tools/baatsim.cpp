@@ -1,0 +1,21 @@
+// baatsim — command-line front end for the BAAT green-datacenter simulator.
+// All logic lives in sim::run_cli so it is unit-testable; this is only the
+// argv shim and the error boundary.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "sim/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return baat::sim::run_cli(baat::sim::parse_cli(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "baatsim: %s\n\n%s", e.what(),
+                 baat::sim::cli_usage().c_str());
+    return 2;
+  }
+}
