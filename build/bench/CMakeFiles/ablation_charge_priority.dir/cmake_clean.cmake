@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_charge_priority.dir/ablation_charge_priority.cpp.o"
+  "CMakeFiles/ablation_charge_priority.dir/ablation_charge_priority.cpp.o.d"
+  "ablation_charge_priority"
+  "ablation_charge_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_charge_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

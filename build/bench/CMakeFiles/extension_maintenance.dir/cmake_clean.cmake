@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_maintenance.dir/extension_maintenance.cpp.o"
+  "CMakeFiles/extension_maintenance.dir/extension_maintenance.cpp.o.d"
+  "extension_maintenance"
+  "extension_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

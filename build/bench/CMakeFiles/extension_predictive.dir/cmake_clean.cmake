@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_predictive.dir/extension_predictive.cpp.o"
+  "CMakeFiles/extension_predictive.dir/extension_predictive.cpp.o.d"
+  "extension_predictive"
+  "extension_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

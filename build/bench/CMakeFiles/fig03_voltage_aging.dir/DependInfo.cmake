@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_voltage_aging.cpp" "bench/CMakeFiles/fig03_voltage_aging.dir/fig03_voltage_aging.cpp.o" "gcc" "bench/CMakeFiles/fig03_voltage_aging.dir/fig03_voltage_aging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/baat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/baat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/baat_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/baat_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/baat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/baat_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/baat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/baat_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_voltage_aging.dir/fig03_voltage_aging.cpp.o"
+  "CMakeFiles/fig03_voltage_aging.dir/fig03_voltage_aging.cpp.o.d"
+  "fig03_voltage_aging"
+  "fig03_voltage_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_voltage_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_capacity_aging.dir/fig04_capacity_aging.cpp.o"
+  "CMakeFiles/fig04_capacity_aging.dir/fig04_capacity_aging.cpp.o.d"
+  "fig04_capacity_aging"
+  "fig04_capacity_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_capacity_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

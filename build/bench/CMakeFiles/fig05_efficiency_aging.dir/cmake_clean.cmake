@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_efficiency_aging.dir/fig05_efficiency_aging.cpp.o"
+  "CMakeFiles/fig05_efficiency_aging.dir/fig05_efficiency_aging.cpp.o.d"
+  "fig05_efficiency_aging"
+  "fig05_efficiency_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_efficiency_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

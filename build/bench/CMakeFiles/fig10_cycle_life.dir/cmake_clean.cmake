@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cycle_life.dir/fig10_cycle_life.cpp.o"
+  "CMakeFiles/fig10_cycle_life.dir/fig10_cycle_life.cpp.o.d"
+  "fig10_cycle_life"
+  "fig10_cycle_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cycle_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

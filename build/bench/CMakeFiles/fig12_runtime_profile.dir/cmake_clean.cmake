@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_runtime_profile.dir/fig12_runtime_profile.cpp.o"
+  "CMakeFiles/fig12_runtime_profile.dir/fig12_runtime_profile.cpp.o.d"
+  "fig12_runtime_profile"
+  "fig12_runtime_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_runtime_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_lifetime_sunshine.dir/fig14_lifetime_sunshine.cpp.o"
+  "CMakeFiles/fig14_lifetime_sunshine.dir/fig14_lifetime_sunshine.cpp.o.d"
+  "fig14_lifetime_sunshine"
+  "fig14_lifetime_sunshine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_lifetime_sunshine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

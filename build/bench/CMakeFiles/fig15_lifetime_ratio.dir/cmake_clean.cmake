@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_lifetime_ratio.dir/fig15_lifetime_ratio.cpp.o"
+  "CMakeFiles/fig15_lifetime_ratio.dir/fig15_lifetime_ratio.cpp.o.d"
+  "fig15_lifetime_ratio"
+  "fig15_lifetime_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_lifetime_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

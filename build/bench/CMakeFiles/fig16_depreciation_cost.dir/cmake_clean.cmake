@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_depreciation_cost.dir/fig16_depreciation_cost.cpp.o"
+  "CMakeFiles/fig16_depreciation_cost.dir/fig16_depreciation_cost.cpp.o.d"
+  "fig16_depreciation_cost"
+  "fig16_depreciation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_depreciation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

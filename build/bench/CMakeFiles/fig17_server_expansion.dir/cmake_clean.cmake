@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_server_expansion.dir/fig17_server_expansion.cpp.o"
+  "CMakeFiles/fig17_server_expansion.dir/fig17_server_expansion.cpp.o.d"
+  "fig17_server_expansion"
+  "fig17_server_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_server_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

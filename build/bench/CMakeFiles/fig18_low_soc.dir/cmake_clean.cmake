@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_low_soc.dir/fig18_low_soc.cpp.o"
+  "CMakeFiles/fig18_low_soc.dir/fig18_low_soc.cpp.o.d"
+  "fig18_low_soc"
+  "fig18_low_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_low_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

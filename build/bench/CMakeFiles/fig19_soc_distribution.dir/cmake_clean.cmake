@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_soc_distribution.dir/fig19_soc_distribution.cpp.o"
+  "CMakeFiles/fig19_soc_distribution.dir/fig19_soc_distribution.cpp.o.d"
+  "fig19_soc_distribution"
+  "fig19_soc_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_soc_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_dod_performance.dir/fig21_dod_performance.cpp.o"
+  "CMakeFiles/fig21_dod_performance.dir/fig21_dod_performance.cpp.o.d"
+  "fig21_dod_performance"
+  "fig21_dod_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_dod_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_planned_aging.dir/fig22_planned_aging.cpp.o"
+  "CMakeFiles/fig22_planned_aging.dir/fig22_planned_aging.cpp.o.d"
+  "fig22_planned_aging"
+  "fig22_planned_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_planned_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_usage_scenarios.dir/table01_usage_scenarios.cpp.o"
+  "CMakeFiles/table01_usage_scenarios.dir/table01_usage_scenarios.cpp.o.d"
+  "table01_usage_scenarios"
+  "table01_usage_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_usage_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

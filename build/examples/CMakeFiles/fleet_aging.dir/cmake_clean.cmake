@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_aging.dir/fleet_aging.cpp.o"
+  "CMakeFiles/fleet_aging.dir/fleet_aging.cpp.o.d"
+  "fleet_aging"
+  "fleet_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

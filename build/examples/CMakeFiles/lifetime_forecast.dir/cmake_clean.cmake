@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_forecast.dir/lifetime_forecast.cpp.o"
+  "CMakeFiles/lifetime_forecast.dir/lifetime_forecast.cpp.o.d"
+  "lifetime_forecast"
+  "lifetime_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

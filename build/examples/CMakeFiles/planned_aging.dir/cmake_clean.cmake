@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planned_aging.dir/planned_aging.cpp.o"
+  "CMakeFiles/planned_aging.dir/planned_aging.cpp.o.d"
+  "planned_aging"
+  "planned_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planned_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology.dir/topology.cpp.o"
+  "CMakeFiles/topology.dir/topology.cpp.o.d"
+  "topology"
+  "topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/aging.cpp" "src/battery/CMakeFiles/baat_battery.dir/aging.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/aging.cpp.o.d"
+  "/root/repo/src/battery/bank.cpp" "src/battery/CMakeFiles/baat_battery.dir/bank.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/bank.cpp.o.d"
+  "/root/repo/src/battery/battery.cpp" "src/battery/CMakeFiles/baat_battery.dir/battery.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/battery.cpp.o.d"
+  "/root/repo/src/battery/chemistry.cpp" "src/battery/CMakeFiles/baat_battery.dir/chemistry.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/chemistry.cpp.o.d"
+  "/root/repo/src/battery/cycle_life.cpp" "src/battery/CMakeFiles/baat_battery.dir/cycle_life.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/cycle_life.cpp.o.d"
+  "/root/repo/src/battery/kibam.cpp" "src/battery/CMakeFiles/baat_battery.dir/kibam.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/kibam.cpp.o.d"
+  "/root/repo/src/battery/probe.cpp" "src/battery/CMakeFiles/baat_battery.dir/probe.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/probe.cpp.o.d"
+  "/root/repo/src/battery/rainflow.cpp" "src/battery/CMakeFiles/baat_battery.dir/rainflow.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/rainflow.cpp.o.d"
+  "/root/repo/src/battery/service.cpp" "src/battery/CMakeFiles/baat_battery.dir/service.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/service.cpp.o.d"
+  "/root/repo/src/battery/thermal.cpp" "src/battery/CMakeFiles/baat_battery.dir/thermal.cpp.o" "gcc" "src/battery/CMakeFiles/baat_battery.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_battery.dir/aging.cpp.o"
+  "CMakeFiles/baat_battery.dir/aging.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/bank.cpp.o"
+  "CMakeFiles/baat_battery.dir/bank.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/battery.cpp.o"
+  "CMakeFiles/baat_battery.dir/battery.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/chemistry.cpp.o"
+  "CMakeFiles/baat_battery.dir/chemistry.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/cycle_life.cpp.o"
+  "CMakeFiles/baat_battery.dir/cycle_life.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/kibam.cpp.o"
+  "CMakeFiles/baat_battery.dir/kibam.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/probe.cpp.o"
+  "CMakeFiles/baat_battery.dir/probe.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/rainflow.cpp.o"
+  "CMakeFiles/baat_battery.dir/rainflow.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/service.cpp.o"
+  "CMakeFiles/baat_battery.dir/service.cpp.o.d"
+  "CMakeFiles/baat_battery.dir/thermal.cpp.o"
+  "CMakeFiles/baat_battery.dir/thermal.cpp.o.d"
+  "libbaat_battery.a"
+  "libbaat_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

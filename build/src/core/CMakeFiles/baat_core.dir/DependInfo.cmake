@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baat_h_policy.cpp" "src/core/CMakeFiles/baat_core.dir/baat_h_policy.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/baat_h_policy.cpp.o.d"
+  "/root/repo/src/core/baat_p_policy.cpp" "src/core/CMakeFiles/baat_core.dir/baat_p_policy.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/baat_p_policy.cpp.o.d"
+  "/root/repo/src/core/baat_policy.cpp" "src/core/CMakeFiles/baat_core.dir/baat_policy.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/baat_policy.cpp.o.d"
+  "/root/repo/src/core/baat_s_policy.cpp" "src/core/CMakeFiles/baat_core.dir/baat_s_policy.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/baat_s_policy.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/baat_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/demand.cpp" "src/core/CMakeFiles/baat_core.dir/demand.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/demand.cpp.o.d"
+  "/root/repo/src/core/ebuff_policy.cpp" "src/core/CMakeFiles/baat_core.dir/ebuff_policy.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/ebuff_policy.cpp.o.d"
+  "/root/repo/src/core/forecast.cpp" "src/core/CMakeFiles/baat_core.dir/forecast.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/core/hiding.cpp" "src/core/CMakeFiles/baat_core.dir/hiding.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/hiding.cpp.o.d"
+  "/root/repo/src/core/lifetime.cpp" "src/core/CMakeFiles/baat_core.dir/lifetime.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/lifetime.cpp.o.d"
+  "/root/repo/src/core/maintenance.cpp" "src/core/CMakeFiles/baat_core.dir/maintenance.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/maintenance.cpp.o.d"
+  "/root/repo/src/core/planned.cpp" "src/core/CMakeFiles/baat_core.dir/planned.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/planned.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/baat_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/slowdown.cpp" "src/core/CMakeFiles/baat_core.dir/slowdown.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/slowdown.cpp.o.d"
+  "/root/repo/src/core/weighted_aging.cpp" "src/core/CMakeFiles/baat_core.dir/weighted_aging.cpp.o" "gcc" "src/core/CMakeFiles/baat_core.dir/weighted_aging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/baat_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/baat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/baat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/baat_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/baat_solar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_core.dir/baat_h_policy.cpp.o"
+  "CMakeFiles/baat_core.dir/baat_h_policy.cpp.o.d"
+  "CMakeFiles/baat_core.dir/baat_p_policy.cpp.o"
+  "CMakeFiles/baat_core.dir/baat_p_policy.cpp.o.d"
+  "CMakeFiles/baat_core.dir/baat_policy.cpp.o"
+  "CMakeFiles/baat_core.dir/baat_policy.cpp.o.d"
+  "CMakeFiles/baat_core.dir/baat_s_policy.cpp.o"
+  "CMakeFiles/baat_core.dir/baat_s_policy.cpp.o.d"
+  "CMakeFiles/baat_core.dir/cost.cpp.o"
+  "CMakeFiles/baat_core.dir/cost.cpp.o.d"
+  "CMakeFiles/baat_core.dir/demand.cpp.o"
+  "CMakeFiles/baat_core.dir/demand.cpp.o.d"
+  "CMakeFiles/baat_core.dir/ebuff_policy.cpp.o"
+  "CMakeFiles/baat_core.dir/ebuff_policy.cpp.o.d"
+  "CMakeFiles/baat_core.dir/forecast.cpp.o"
+  "CMakeFiles/baat_core.dir/forecast.cpp.o.d"
+  "CMakeFiles/baat_core.dir/hiding.cpp.o"
+  "CMakeFiles/baat_core.dir/hiding.cpp.o.d"
+  "CMakeFiles/baat_core.dir/lifetime.cpp.o"
+  "CMakeFiles/baat_core.dir/lifetime.cpp.o.d"
+  "CMakeFiles/baat_core.dir/maintenance.cpp.o"
+  "CMakeFiles/baat_core.dir/maintenance.cpp.o.d"
+  "CMakeFiles/baat_core.dir/planned.cpp.o"
+  "CMakeFiles/baat_core.dir/planned.cpp.o.d"
+  "CMakeFiles/baat_core.dir/policy.cpp.o"
+  "CMakeFiles/baat_core.dir/policy.cpp.o.d"
+  "CMakeFiles/baat_core.dir/slowdown.cpp.o"
+  "CMakeFiles/baat_core.dir/slowdown.cpp.o.d"
+  "CMakeFiles/baat_core.dir/weighted_aging.cpp.o"
+  "CMakeFiles/baat_core.dir/weighted_aging.cpp.o.d"
+  "libbaat_core.a"
+  "libbaat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/centralized.cpp" "src/power/CMakeFiles/baat_power.dir/centralized.cpp.o" "gcc" "src/power/CMakeFiles/baat_power.dir/centralized.cpp.o.d"
+  "/root/repo/src/power/meter.cpp" "src/power/CMakeFiles/baat_power.dir/meter.cpp.o" "gcc" "src/power/CMakeFiles/baat_power.dir/meter.cpp.o.d"
+  "/root/repo/src/power/rack_pool.cpp" "src/power/CMakeFiles/baat_power.dir/rack_pool.cpp.o" "gcc" "src/power/CMakeFiles/baat_power.dir/rack_pool.cpp.o.d"
+  "/root/repo/src/power/router.cpp" "src/power/CMakeFiles/baat_power.dir/router.cpp.o" "gcc" "src/power/CMakeFiles/baat_power.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/baat_battery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_power.dir/centralized.cpp.o"
+  "CMakeFiles/baat_power.dir/centralized.cpp.o.d"
+  "CMakeFiles/baat_power.dir/meter.cpp.o"
+  "CMakeFiles/baat_power.dir/meter.cpp.o.d"
+  "CMakeFiles/baat_power.dir/rack_pool.cpp.o"
+  "CMakeFiles/baat_power.dir/rack_pool.cpp.o.d"
+  "CMakeFiles/baat_power.dir/router.cpp.o"
+  "CMakeFiles/baat_power.dir/router.cpp.o.d"
+  "libbaat_power.a"
+  "libbaat_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_server.dir/server.cpp.o"
+  "CMakeFiles/baat_server.dir/server.cpp.o.d"
+  "libbaat_server.a"
+  "libbaat_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cli.cpp" "src/sim/CMakeFiles/baat_sim.dir/cli.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/cli.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/baat_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/baat_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/multiday.cpp" "src/sim/CMakeFiles/baat_sim.dir/multiday.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/multiday.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/baat_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/results.cpp" "src/sim/CMakeFiles/baat_sim.dir/results.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/results.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/baat_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/baat_sim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/baat_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/baat_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/baat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/baat_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/baat_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/baat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/baat_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

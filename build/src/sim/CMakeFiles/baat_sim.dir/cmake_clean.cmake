@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_sim.dir/cli.cpp.o"
+  "CMakeFiles/baat_sim.dir/cli.cpp.o.d"
+  "CMakeFiles/baat_sim.dir/cluster.cpp.o"
+  "CMakeFiles/baat_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/baat_sim.dir/experiment.cpp.o"
+  "CMakeFiles/baat_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/baat_sim.dir/multiday.cpp.o"
+  "CMakeFiles/baat_sim.dir/multiday.cpp.o.d"
+  "CMakeFiles/baat_sim.dir/report.cpp.o"
+  "CMakeFiles/baat_sim.dir/report.cpp.o.d"
+  "CMakeFiles/baat_sim.dir/results.cpp.o"
+  "CMakeFiles/baat_sim.dir/results.cpp.o.d"
+  "CMakeFiles/baat_sim.dir/scenario.cpp.o"
+  "CMakeFiles/baat_sim.dir/scenario.cpp.o.d"
+  "libbaat_sim.a"
+  "libbaat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solar/irradiance.cpp" "src/solar/CMakeFiles/baat_solar.dir/irradiance.cpp.o" "gcc" "src/solar/CMakeFiles/baat_solar.dir/irradiance.cpp.o.d"
+  "/root/repo/src/solar/location.cpp" "src/solar/CMakeFiles/baat_solar.dir/location.cpp.o" "gcc" "src/solar/CMakeFiles/baat_solar.dir/location.cpp.o.d"
+  "/root/repo/src/solar/solar_day.cpp" "src/solar/CMakeFiles/baat_solar.dir/solar_day.cpp.o" "gcc" "src/solar/CMakeFiles/baat_solar.dir/solar_day.cpp.o.d"
+  "/root/repo/src/solar/trace_io.cpp" "src/solar/CMakeFiles/baat_solar.dir/trace_io.cpp.o" "gcc" "src/solar/CMakeFiles/baat_solar.dir/trace_io.cpp.o.d"
+  "/root/repo/src/solar/weather.cpp" "src/solar/CMakeFiles/baat_solar.dir/weather.cpp.o" "gcc" "src/solar/CMakeFiles/baat_solar.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_solar.dir/irradiance.cpp.o"
+  "CMakeFiles/baat_solar.dir/irradiance.cpp.o.d"
+  "CMakeFiles/baat_solar.dir/location.cpp.o"
+  "CMakeFiles/baat_solar.dir/location.cpp.o.d"
+  "CMakeFiles/baat_solar.dir/solar_day.cpp.o"
+  "CMakeFiles/baat_solar.dir/solar_day.cpp.o.d"
+  "CMakeFiles/baat_solar.dir/trace_io.cpp.o"
+  "CMakeFiles/baat_solar.dir/trace_io.cpp.o.d"
+  "CMakeFiles/baat_solar.dir/weather.cpp.o"
+  "CMakeFiles/baat_solar.dir/weather.cpp.o.d"
+  "libbaat_solar.a"
+  "libbaat_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

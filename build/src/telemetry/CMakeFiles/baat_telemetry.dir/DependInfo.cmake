@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/metrics.cpp" "src/telemetry/CMakeFiles/baat_telemetry.dir/metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/baat_telemetry.dir/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/power_table.cpp" "src/telemetry/CMakeFiles/baat_telemetry.dir/power_table.cpp.o" "gcc" "src/telemetry/CMakeFiles/baat_telemetry.dir/power_table.cpp.o.d"
+  "/root/repo/src/telemetry/sensor.cpp" "src/telemetry/CMakeFiles/baat_telemetry.dir/sensor.cpp.o" "gcc" "src/telemetry/CMakeFiles/baat_telemetry.dir/sensor.cpp.o.d"
+  "/root/repo/src/telemetry/soh.cpp" "src/telemetry/CMakeFiles/baat_telemetry.dir/soh.cpp.o" "gcc" "src/telemetry/CMakeFiles/baat_telemetry.dir/soh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/baat_battery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

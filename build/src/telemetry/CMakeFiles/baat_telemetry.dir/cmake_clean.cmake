@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/baat_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/baat_telemetry.dir/power_table.cpp.o"
+  "CMakeFiles/baat_telemetry.dir/power_table.cpp.o.d"
+  "CMakeFiles/baat_telemetry.dir/sensor.cpp.o"
+  "CMakeFiles/baat_telemetry.dir/sensor.cpp.o.d"
+  "CMakeFiles/baat_telemetry.dir/soh.cpp.o"
+  "CMakeFiles/baat_telemetry.dir/soh.cpp.o.d"
+  "libbaat_telemetry.a"
+  "libbaat_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_util.dir/csv.cpp.o"
+  "CMakeFiles/baat_util.dir/csv.cpp.o.d"
+  "CMakeFiles/baat_util.dir/logging.cpp.o"
+  "CMakeFiles/baat_util.dir/logging.cpp.o.d"
+  "CMakeFiles/baat_util.dir/rng.cpp.o"
+  "CMakeFiles/baat_util.dir/rng.cpp.o.d"
+  "CMakeFiles/baat_util.dir/stats.cpp.o"
+  "CMakeFiles/baat_util.dir/stats.cpp.o.d"
+  "libbaat_util.a"
+  "libbaat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/baat_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/baat_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/trace_replay.cpp" "src/workload/CMakeFiles/baat_workload.dir/trace_replay.cpp.o" "gcc" "src/workload/CMakeFiles/baat_workload.dir/trace_replay.cpp.o.d"
+  "/root/repo/src/workload/vm.cpp" "src/workload/CMakeFiles/baat_workload.dir/vm.cpp.o" "gcc" "src/workload/CMakeFiles/baat_workload.dir/vm.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/baat_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/baat_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/baat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

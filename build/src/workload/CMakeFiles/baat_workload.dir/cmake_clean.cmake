@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baat_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/baat_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/baat_workload.dir/trace_replay.cpp.o"
+  "CMakeFiles/baat_workload.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/baat_workload.dir/vm.cpp.o"
+  "CMakeFiles/baat_workload.dir/vm.cpp.o.d"
+  "CMakeFiles/baat_workload.dir/workload.cpp.o"
+  "CMakeFiles/baat_workload.dir/workload.cpp.o.d"
+  "libbaat_workload.a"
+  "libbaat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

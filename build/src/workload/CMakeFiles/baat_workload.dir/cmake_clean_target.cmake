@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbaat_workload.a"
+)

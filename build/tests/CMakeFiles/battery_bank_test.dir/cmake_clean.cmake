@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_bank_test.dir/battery_bank_test.cpp.o"
+  "CMakeFiles/battery_bank_test.dir/battery_bank_test.cpp.o.d"
+  "battery_bank_test"
+  "battery_bank_test.pdb"
+  "battery_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_chemistry_test.dir/battery_chemistry_test.cpp.o"
+  "CMakeFiles/battery_chemistry_test.dir/battery_chemistry_test.cpp.o.d"
+  "battery_chemistry_test"
+  "battery_chemistry_test.pdb"
+  "battery_chemistry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_chemistry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_cycle_life_test.dir/battery_cycle_life_test.cpp.o"
+  "CMakeFiles/battery_cycle_life_test.dir/battery_cycle_life_test.cpp.o.d"
+  "battery_cycle_life_test"
+  "battery_cycle_life_test.pdb"
+  "battery_cycle_life_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_cycle_life_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

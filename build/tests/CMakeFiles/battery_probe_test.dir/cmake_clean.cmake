@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_probe_test.dir/battery_probe_test.cpp.o"
+  "CMakeFiles/battery_probe_test.dir/battery_probe_test.cpp.o.d"
+  "battery_probe_test"
+  "battery_probe_test.pdb"
+  "battery_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_rainflow_test.dir/battery_rainflow_test.cpp.o"
+  "CMakeFiles/battery_rainflow_test.dir/battery_rainflow_test.cpp.o.d"
+  "battery_rainflow_test"
+  "battery_rainflow_test.pdb"
+  "battery_rainflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_rainflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_service_test.dir/battery_service_test.cpp.o"
+  "CMakeFiles/battery_service_test.dir/battery_service_test.cpp.o.d"
+  "battery_service_test"
+  "battery_service_test.pdb"
+  "battery_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_thermal_test.dir/battery_thermal_test.cpp.o"
+  "CMakeFiles/battery_thermal_test.dir/battery_thermal_test.cpp.o.d"
+  "battery_thermal_test"
+  "battery_thermal_test.pdb"
+  "battery_thermal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_thermal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_unit_test.dir/battery_unit_test.cpp.o"
+  "CMakeFiles/battery_unit_test.dir/battery_unit_test.cpp.o.d"
+  "battery_unit_test"
+  "battery_unit_test.pdb"
+  "battery_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_forecast_test.dir/core_forecast_test.cpp.o"
+  "CMakeFiles/core_forecast_test.dir/core_forecast_test.cpp.o.d"
+  "core_forecast_test"
+  "core_forecast_test.pdb"
+  "core_forecast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_forecast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

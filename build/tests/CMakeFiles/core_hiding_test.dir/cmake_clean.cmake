@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hiding_test.dir/core_hiding_test.cpp.o"
+  "CMakeFiles/core_hiding_test.dir/core_hiding_test.cpp.o.d"
+  "core_hiding_test"
+  "core_hiding_test.pdb"
+  "core_hiding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hiding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

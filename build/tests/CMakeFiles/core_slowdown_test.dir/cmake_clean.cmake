@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_slowdown_test.dir/core_slowdown_test.cpp.o"
+  "CMakeFiles/core_slowdown_test.dir/core_slowdown_test.cpp.o.d"
+  "core_slowdown_test"
+  "core_slowdown_test.pdb"
+  "core_slowdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_slowdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

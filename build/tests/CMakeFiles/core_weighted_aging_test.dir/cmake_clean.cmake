@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_weighted_aging_test.dir/core_weighted_aging_test.cpp.o"
+  "CMakeFiles/core_weighted_aging_test.dir/core_weighted_aging_test.cpp.o.d"
+  "core_weighted_aging_test"
+  "core_weighted_aging_test.pdb"
+  "core_weighted_aging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_weighted_aging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_centralized_test.dir/power_centralized_test.cpp.o"
+  "CMakeFiles/power_centralized_test.dir/power_centralized_test.cpp.o.d"
+  "power_centralized_test"
+  "power_centralized_test.pdb"
+  "power_centralized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_router_test.dir/power_router_test.cpp.o"
+  "CMakeFiles/power_router_test.dir/power_router_test.cpp.o.d"
+  "power_router_test"
+  "power_router_test.pdb"
+  "power_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cli_test.dir/sim_cli_test.cpp.o"
+  "CMakeFiles/sim_cli_test.dir/sim_cli_test.cpp.o.d"
+  "sim_cli_test"
+  "sim_cli_test.pdb"
+  "sim_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

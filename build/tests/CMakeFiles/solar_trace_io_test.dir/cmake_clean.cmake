@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_trace_io_test.dir/solar_trace_io_test.cpp.o"
+  "CMakeFiles/solar_trace_io_test.dir/solar_trace_io_test.cpp.o.d"
+  "solar_trace_io_test"
+  "solar_trace_io_test.pdb"
+  "solar_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baatsim.dir/baatsim.cpp.o"
+  "CMakeFiles/baatsim.dir/baatsim.cpp.o.d"
+  "baatsim"
+  "baatsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baatsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
