@@ -1,12 +1,15 @@
 // google-benchmark microbenchmarks of the simulator's hot paths: battery
 // stepping, power routing and whole-cluster days. These bound how much
-// wall-clock the figure benches and multi-month studies cost.
+// wall-clock the figure benches and multi-month studies cost. The BM_Obs*
+// benches bound the cost of the observability layer itself — compare
+// BM_ClusterDay against BM_ClusterDayTraced for the end-to-end overhead.
 
 #include <benchmark/benchmark.h>
 
 #include <numeric>
 
 #include "battery/battery.hpp"
+#include "obs/obs.hpp"
 #include "power/router.hpp"
 #include "sim/cluster.hpp"
 #include "sim/scenario.hpp"
@@ -63,5 +66,90 @@ BENCHMARK(BM_ClusterDay)
     ->Arg(static_cast<int>(core::PolicyKind::EBuff))
     ->Arg(static_cast<int>(core::PolicyKind::Baat))
     ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterDayTraced(benchmark::State& state) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.policy = static_cast<core::PolicyKind>(state.range(0));
+  obs::global_trace().set_capacity(obs::TraceBuffer::kDefaultCapacity);
+  obs::set_trace_enabled(true);
+  obs::set_profiling_enabled(true);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Cluster cluster{cfg};
+    state.ResumeTiming();
+    const auto r = cluster.run_day(solar::DayType::Cloudy);
+    benchmark::DoNotOptimize(r.throughput_work);
+  }
+  obs::set_trace_enabled(false);
+  obs::set_profiling_enabled(false);
+  obs::global_trace().clear();
+}
+BENCHMARK(BM_ClusterDayTraced)
+    ->Arg(static_cast<int>(core::PolicyKind::Baat))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramAdd(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.hist", obs::duration_bounds_ns());
+  double v = 1.0;
+  for (auto _ : state) {
+    h.add(v);
+    v = v < 1e9 ? v * 3.0 : 1.0;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_ObsHistogramAdd);
+
+void BM_ObsTimerDisabled(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.timer_ns", obs::duration_bounds_ns());
+  obs::set_profiling_enabled(false);
+  for (auto _ : state) {
+    obs::ScopedTimer t{h};
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ObsTimerDisabled);
+
+void BM_ObsTimerEnabled(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.timer_ns", obs::duration_bounds_ns());
+  obs::set_profiling_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedTimer t{h};
+    benchmark::DoNotOptimize(t);
+  }
+  obs::set_profiling_enabled(false);
+}
+BENCHMARK(BM_ObsTimerEnabled);
+
+void BM_ObsTraceEmitDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    obs::emit(obs::EventKind::JobDeploy, 3, 1.0);
+  }
+}
+BENCHMARK(BM_ObsTraceEmitDisabled);
+
+void BM_ObsTraceEmit(benchmark::State& state) {
+  obs::global_trace().set_capacity(4096);
+  obs::set_trace_enabled(true);
+  for (auto _ : state) {
+    obs::emit(obs::EventKind::JobDeploy, 3, 1.0, "web");
+  }
+  obs::set_trace_enabled(false);
+  obs::global_trace().set_capacity(obs::TraceBuffer::kDefaultCapacity);
+}
+BENCHMARK(BM_ObsTraceEmit);
 
 }  // namespace

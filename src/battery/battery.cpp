@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/timer.hpp"
 #include "util/require.hpp"
 
 namespace baat::battery {
@@ -144,6 +145,7 @@ StepResult Battery::float_charge(Amperes trickle, Seconds dt) {
 }
 
 StepResult Battery::step(Amperes requested, Seconds dt) {
+  BAAT_OBS_TIMED("battery_step");
   BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
   const double soc_before = soc_;
   StepResult result;

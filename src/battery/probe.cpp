@@ -1,5 +1,6 @@
 #include "battery/probe.hpp"
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace baat::battery {
@@ -50,6 +51,9 @@ ProbeResult run_probe(const Battery& b, Seconds step) {
   const double e_in = (unit.counters().energy_charged - e_in_before).value();
   r.round_trip_efficiency = e_in > 0.0 ? r.energy_per_cycle.value() / e_in : 0.0;
 
+  obs::global_registry().counter("battery.probes_run").inc();
+  obs::emit(obs::EventKind::ProbeRun, -1, r.capacity_fraction,
+            "offline capacity test");
   return r;
 }
 

@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace baat::obs {
+
+namespace {
+
+std::string labeled(const std::string& name, const std::string& label) {
+  return name + "{" + label + "}";
+}
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << json_quote(s);
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  BAAT_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::bucket_upper(std::size_t b) const {
+  BAAT_REQUIRE(b < counts_.size(), "bucket index out of range");
+  if (b == bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[b];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Counter& Registry::counter(const std::string& name, const std::string& label) {
+  return counters_[labeled(name, label)];
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Gauge& Registry::gauge(const std::string& name, const std::string& label) {
+  return gauges_[labeled(name, label)];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram{upper_bounds}).first->second;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    write_json_string(out, name);
+    out << ": " << format_number(c.value());
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    write_json_string(out, name);
+    out << ": " << format_number(g.value());
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    write_json_string(out, name);
+    out << ": {\"count\": " << h.count() << ", \"sum\": " << format_number(h.sum());
+    if (h.count() > 0) {
+      out << ", \"min\": " << format_number(h.min())
+          << ", \"max\": " << format_number(h.max());
+    }
+    out << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      if (b > 0) out << ", ";
+      const double upper = h.bucket_upper(b);
+      out << "{\"le\": ";
+      if (std::isinf(upper)) {
+        out << "\"inf\"";
+      } else {
+        out << format_number(upper);
+      }
+      out << ", \"count\": " << h.bucket_value(b) << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  out << "type,name,field,value\n";
+  for (const auto& [name, c] : counters_) {
+    out << "counter,\"" << name << "\",value," << format_number(c.value()) << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge,\"" << name << "\",value," << format_number(g.value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram,\"" << name << "\",count," << h.count() << "\n";
+    out << "histogram,\"" << name << "\",sum," << format_number(h.sum()) << "\n";
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      const double upper = h.bucket_upper(b);
+      out << "histogram,\"" << name << "\",le_"
+          << (std::isinf(upper) ? std::string("inf") : format_number(upper)) << ","
+          << h.bucket_value(b) << "\n";
+    }
+  }
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string Registry::csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
+const std::vector<double>& duration_bounds_ns() {
+  static const std::vector<double> bounds{
+      100.0,    250.0,    500.0,    1e3,   2.5e3, 5e3,   1e4,   2.5e4,
+      5e4,      1e5,      2.5e5,    5e5,   1e6,   2.5e6, 5e6,   1e7,
+      2.5e7,    5e7,      1e8,      1e9};
+  return bounds;
+}
+
+}  // namespace baat::obs

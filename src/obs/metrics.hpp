@@ -1,0 +1,146 @@
+#pragma once
+
+// Metrics registry — the twin's replacement for the paper's NI-sensor power
+// tables as a *runtime* window: named counters, gauges and fixed-bucket
+// histograms with deterministic JSON/CSV export.
+//
+// Design rules (they are what make the layer safe to leave on):
+//  * Handles are stable: the registry never erases an entry, so a
+//    `Counter&` resolved once (e.g. a static local in a hot path, or a
+//    member pointer in Cluster) stays valid for the life of the process.
+//    `reset()` zeroes values in place.
+//  * Exports are deterministic: entries iterate in sorted name order and
+//    numbers are printed with a fixed format, so two identically seeded
+//    runs produce byte-identical files (guarded by a regression test).
+//  * Single-threaded by design, like the rest of the simulator — plain
+//    doubles, no atomics.
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace baat::obs {
+
+/// Monotonically increasing value (events, ticks, decisions).
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins value (SoC, health, queue depth).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of
+/// the finite buckets, ascending; one implicit overflow bucket catches the
+/// rest. Tracks count/sum/min/max alongside the bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double v);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Valid only when count() > 0.
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Finite buckets plus the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  /// Upper edge of bucket `b`; the last bucket has no finite edge and
+  /// returns +infinity.
+  [[nodiscard]] double bucket_upper(std::size_t b) const;
+  [[nodiscard]] std::size_t bucket_value(std::size_t b) const { return counts_[b]; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metric store. Metric names use dotted paths with an optional
+/// `{label}` dimension suffix, e.g. `policy.decisions{migration}` or
+/// `node.health{3}`.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Counter& counter(const std::string& name, const std::string& label);
+  Gauge& gauge(const std::string& name);
+  Gauge& gauge(const std::string& name, const std::string& label);
+  /// Registers the histogram on first use; later calls with the same name
+  /// return the existing instance (the bounds argument is then ignored).
+  Histogram& histogram(const std::string& name, const std::vector<double>& upper_bounds);
+
+  /// Lookup without registering; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Read-only iteration (sorted by name) for exporters and reports.
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zero every metric in place. Entries (and therefore handles) survive.
+  void reset();
+
+  /// Deterministic exports: sorted names, fixed number formatting.
+  void write_json(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  // std::map: stable addresses (required for handle stability) and sorted
+  // iteration (required for deterministic export).
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide registry the instrumented hot paths feed.
+Registry& global_registry();
+
+/// Exponential nanosecond bucket edges (100 ns … 1 s) shared by all
+/// scoped-timer histograms.
+const std::vector<double>& duration_bounds_ns();
+
+/// Format a double the way the exporters do (integers without a decimal
+/// point, otherwise shortest round-trip form). Exposed for tests.
+std::string format_number(double v);
+
+/// Quote and escape `s` as a JSON string literal (shared by the metric and
+/// trace exporters).
+std::string json_quote(const std::string& s);
+
+}  // namespace baat::obs

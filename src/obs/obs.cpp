@@ -1,0 +1,12 @@
+#include "obs/obs.hpp"
+
+namespace baat::obs {
+
+void reset_all() {
+  global_registry().reset();
+  global_trace().clear();
+  set_trace_enabled(false);
+  set_profiling_enabled(false);
+}
+
+}  // namespace baat::obs

@@ -1,0 +1,18 @@
+#pragma once
+
+// Facade for the observability layer: metrics registry (obs/metrics.hpp),
+// structured event trace (obs/trace.hpp) and scoped hot-path timers
+// (obs/timer.hpp). See DESIGN.md "Observability" for the event taxonomy
+// and the determinism contract.
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace baat::obs {
+
+/// Zero every metric, clear the trace ring and turn tracing/profiling off.
+/// Metric entries (and therefore cached handles) survive.
+void reset_all();
+
+}  // namespace baat::obs

@@ -1,0 +1,9 @@
+#include "obs/timer.hpp"
+
+namespace baat::obs {
+
+Histogram& profile_histogram(const std::string& site) {
+  return global_registry().histogram("profile." + site + "_ns", duration_bounds_ns());
+}
+
+}  // namespace baat::obs

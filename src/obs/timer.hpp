@@ -1,0 +1,61 @@
+#pragma once
+
+// Scoped RAII timers for the simulator's hot paths (Battery::step,
+// route_power, Cluster::run_day, run_multi_day). Disabled by default: the
+// constructor then reads one bool and skips the clock entirely, so leaving
+// a timer compiled into a hot loop costs ~a branch (bounded by a
+// microbench and a regression test). When enabled, each scope feeds a
+// nanosecond histogram in the global registry under `profile.<site>_ns`.
+//
+// Wall-clock durations are inherently non-deterministic, which is why
+// profiling is a separate switch from metrics/tracing: the byte-identical
+// export guarantee holds for everything except these profile histograms.
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace baat::obs {
+
+namespace detail {
+inline bool g_profiling_enabled = false;
+}
+
+inline bool profiling_enabled() { return detail::g_profiling_enabled; }
+inline void set_profiling_enabled(bool enabled) { detail::g_profiling_enabled = enabled; }
+
+/// Register (once) the nanosecond histogram `profile.<site>_ns` in the
+/// global registry.
+Histogram& profile_histogram(const std::string& site);
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) : sink_(profiling_enabled() ? &sink : nullptr) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      sink_->add(static_cast<double>(ns));
+    }
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace baat::obs
+
+/// Time the enclosing scope under `profile.<site>_ns`. The histogram handle
+/// is resolved once per call site (registry entries are never erased, so
+/// the static reference stays valid).
+#define BAAT_OBS_TIMED(site)                                            \
+  static ::baat::obs::Histogram& baat_obs_timed_hist_ =                 \
+      ::baat::obs::profile_histogram(site);                             \
+  ::baat::obs::ScopedTimer baat_obs_timed_scope_ { baat_obs_timed_hist_ }

@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "obs/metrics.hpp"
+#include "util/require.hpp"
+#include "util/sim_clock.hpp"
+
+namespace baat::obs {
+
+namespace {
+bool g_trace_enabled = false;
+}
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::DayStart: return "day_start";
+    case EventKind::DayEnd: return "day_end";
+    case EventKind::PolicySwitch: return "policy_switch";
+    case EventKind::ChargePriority: return "charge_priority";
+    case EventKind::DischargeFloor: return "discharge_floor";
+    case EventKind::ProbeRun: return "probe_run";
+    case EventKind::JobDeploy: return "job_deploy";
+    case EventKind::JobQueued: return "job_queued";
+    case EventKind::Migration: return "migration";
+    case EventKind::Dvfs: return "dvfs";
+    case EventKind::LowSocEnter: return "low_soc_enter";
+    case EventKind::LowSocExit: return "low_soc_exit";
+    case EventKind::UnmetDemand: return "unmet_demand";
+    case EventKind::Brownout: return "brownout";
+    case EventKind::NodeRestart: return "node_restart";
+    case EventKind::BatteryEol: return "battery_eol";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  BAAT_REQUIRE(capacity > 0, "trace capacity must be positive");
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void TraceBuffer::push(TraceEvent event) {
+  if (size_ < capacity_) {
+    ring_.push_back(std::move(event));
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  BAAT_REQUIRE(capacity > 0, "trace capacity must be positive");
+  capacity_ = capacity;
+  clear();
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  if (size_ < capacity_) return ring_;  // not yet wrapped: already in order
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+void TraceBuffer::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events()) {
+    out << "{\"ts\": " << format_number(e.ts) << ", \"day\": " << e.day
+        << ", \"kind\": " << json_quote(std::string(event_kind_name(e.kind)))
+        << ", \"node\": " << e.node << ", \"value\": " << format_number(e.value)
+        << ", \"detail\": " << json_quote(e.detail) << "}\n";
+  }
+}
+
+void TraceBuffer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> evs = events();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+
+  // Track metadata: tid 0 is the cluster, tid n+1 is battery node n.
+  std::set<int> tids;
+  for (const TraceEvent& e : evs) tids.insert(e.node + 1);
+  bool first = true;
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, "
+         "\"args\": {\"name\": \"baatsim\"}}";
+  first = false;
+  for (const int tid : tids) {
+    const std::string label =
+        tid == 0 ? std::string("cluster") : "node " + std::to_string(tid - 1);
+    out << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": " << tid
+        << ", \"args\": {\"name\": " << json_quote(label) << "}}";
+  }
+
+  for (const TraceEvent& e : evs) {
+    // Instant events on the node's track, simulated time in microseconds.
+    out << (first ? "" : ",\n") << "{\"name\": "
+        << json_quote(std::string(event_kind_name(e.kind)))
+        << ", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": " << e.node + 1
+        << ", \"ts\": " << format_number(e.ts * 1e6) << ", \"args\": {\"day\": " << e.day
+        << ", \"value\": " << format_number(e.value)
+        << ", \"detail\": " << json_quote(e.detail) << "}}";
+    first = false;
+  }
+  out << "\n]}\n";
+}
+
+TraceBuffer& global_trace() {
+  static TraceBuffer trace;
+  return trace;
+}
+
+bool trace_enabled() { return g_trace_enabled; }
+
+void set_trace_enabled(bool enabled) { g_trace_enabled = enabled; }
+
+void emit(EventKind kind, int node, double value, std::string detail) {
+  if (!g_trace_enabled) return;
+  TraceEvent e;
+  e.ts = std::max(0.0, util::sim_time());
+  e.day = std::max(0L, util::sim_day());
+  e.kind = kind;
+  e.node = node;
+  e.value = value;
+  e.detail = std::move(detail);
+  global_trace().push(std::move(e));
+}
+
+}  // namespace baat::obs

@@ -1,0 +1,96 @@
+#pragma once
+
+// Structured event trace — a bounded ring of typed events emitted by the
+// policies, the power router, the battery probes and the cluster loop.
+// Events are stamped with *simulated* time (util/sim_clock.hpp), so the
+// trace of a 180-day run is a deterministic artifact of the seed: two
+// identically seeded runs export byte-identical traces.
+//
+// Two export formats:
+//  * JSONL — one event object per line, easy to grep/jq;
+//  * Chrome trace_event JSON — opens directly in chrome://tracing or
+//    Perfetto, with one track ("thread") per battery node.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace baat::obs {
+
+enum class EventKind {
+  DayStart,
+  DayEnd,
+  PolicySwitch,
+  ChargePriority,   ///< router charge order changed by the policy
+  DischargeFloor,   ///< planned-aging floor (Eq 7) installed or moved
+  ProbeRun,         ///< offline monthly battery probe (Figs 3-5)
+  JobDeploy,
+  JobQueued,        ///< job could not be placed, entered the retry queue
+  Migration,
+  Dvfs,
+  LowSocEnter,      ///< node battery dropped below the 40% knee
+  LowSocExit,
+  UnmetDemand,      ///< router could not cover a node's load this tick
+  Brownout,
+  NodeRestart,
+  BatteryEol,
+};
+
+/// Stable snake_case name used in both export formats.
+std::string_view event_kind_name(EventKind kind);
+
+struct TraceEvent {
+  double ts = 0.0;          ///< simulated seconds since run start
+  long day = 0;             ///< simulated day index
+  EventKind kind{};
+  int node = -1;            ///< battery/server node, -1 = cluster-wide
+  double value = 0.0;       ///< kind-specific payload (SoC, watts, ...)
+  std::string detail;       ///< kind-specific free text
+};
+
+/// Fixed-capacity ring: pushing past capacity evicts the oldest event and
+/// counts it as dropped, so a multi-month run keeps the most recent window.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void push(TraceEvent event);
+  /// Re-size the ring; clears contents and the dropped counter.
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events evicted because the ring was full.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Events oldest → newest.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void write_jsonl(std::ostream& out) const;
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  std::size_t size_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// The process-wide trace the instrumented layers feed.
+TraceBuffer& global_trace();
+
+/// Tracing master switch; `emit` below is a no-op while disabled (default).
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// Emit into the global trace, stamped from the simulated clock. No-op when
+/// tracing is disabled, so call sites can stay unconditional.
+void emit(EventKind kind, int node = -1, double value = 0.0, std::string detail = {});
+
+}  // namespace baat::obs

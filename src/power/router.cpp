@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace baat::power {
@@ -27,6 +28,7 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
                         std::span<const std::size_t> charge_priority,
                         const RouterParams& params, Seconds dt,
                         std::span<const double> discharge_floor_soc) {
+  BAAT_OBS_TIMED("router_route");
   const std::size_t n = demands.size();
   BAAT_REQUIRE(batteries.size() == n, "demands/batteries size mismatch");
   BAAT_REQUIRE(charge_priority.size() == n, "charge priority must list every node");
@@ -180,6 +182,29 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
   }
 
   result.solar_curtailed = Watts{solar_left};
+
+  // Observability: one "redirect" = a tick where solar alone could not
+  // carry the load and the switcher pulled in battery or utility power.
+  static obs::Counter& ticks = obs::global_registry().counter("router.ticks");
+  static obs::Counter& redirects = obs::global_registry().counter("router.redirects");
+  static obs::Counter& cutoffs = obs::global_registry().counter("router.cutoff_ticks");
+  static obs::Counter& curtailed =
+      obs::global_registry().counter("router.curtailed_ticks");
+  ticks.inc();
+  if (result.solar_curtailed.value() > 1e-9) curtailed.inc();
+  bool redirected = false;
+  bool cutoff = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeRoute& node = result.nodes[i];
+    redirected = redirected || node.battery_delivered.value() > 1e-9 ||
+                 node.utility_used.value() > 1e-9;
+    cutoff = cutoff || node.battery_cutoff;
+    if (node.unmet.value() > 1e-9) {
+      obs::emit(obs::EventKind::UnmetDemand, static_cast<int>(i), node.unmet.value());
+    }
+  }
+  if (redirected) redirects.inc();
+  if (cutoff) cutoffs.inc();
   return result;
 }
 

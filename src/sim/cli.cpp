@@ -1,13 +1,16 @@
 #include "sim/cli.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "core/lifetime.hpp"
+#include "obs/obs.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "util/csv.hpp"
 #include "util/require.hpp"
+#include "util/sim_clock.hpp"
 
 namespace baat::sim {
 
@@ -45,6 +48,11 @@ long parse_long(const std::string& flag, const std::string& value) {
   return l;
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -61,6 +69,12 @@ std::string cli_usage() {
          "  --old-fleet       start from a six-month-aged fleet\n"
          "  --csv <path>      write per-day results to CSV\n"
          "  --report <path>   write a markdown experiment report\n"
+         "  --metrics-out <p> dump the metrics registry (JSON; .csv suffix for CSV)\n"
+         "                    and enable hot-path timer histograms\n"
+         "  --trace-out <p>   write the event trace (Chrome trace_event JSON — open\n"
+         "                    in chrome://tracing or Perfetto; .jsonl suffix for JSONL)\n"
+         "  --trace-events <n> trace ring capacity in events (default 65536)\n"
+         "  --log-level <l>   debug | info | warn | error | off (default warn)\n"
          "  --help            this text\n";
 }
 
@@ -102,6 +116,21 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.csv_path = next("--csv");
     } else if (a == "--report") {
       options.report_path = next("--report");
+    } else if (a == "--metrics-out") {
+      options.metrics_path = next("--metrics-out");
+    } else if (a == "--trace-out") {
+      options.trace_path = next("--trace-out");
+    } else if (a == "--trace-events") {
+      const long v = parse_long(a, next("--trace-events"));
+      BAAT_REQUIRE(v > 0, "--trace-events must be positive");
+      options.trace_events = static_cast<std::size_t>(v);
+    } else if (a == "--log-level") {
+      const std::string& name = next("--log-level");
+      const auto level = util::parse_log_level(name);
+      BAAT_REQUIRE(level.has_value(),
+                   "bad value for --log-level: '" + name +
+                       "' (debug|info|warn|error|off)");
+      options.log_level = level;
     } else {
       throw util::PreconditionError("unknown option '" + a + "' (see --help)");
     }
@@ -131,6 +160,18 @@ int run_cli(const CliOptions& options) {
     std::fputs(cli_usage().c_str(), stdout);
     return 0;
   }
+
+  if (options.log_level) util::set_log_level(*options.log_level);
+
+  // Observability session: fresh numbers per invocation. Profiling rides on
+  // --metrics-out (wall-clock histograms are only useful when exported);
+  // tracing rides on --trace-out.
+  obs::Registry& registry = obs::global_registry();
+  registry.reset();
+  obs::TraceBuffer& trace = obs::global_trace();
+  trace.set_capacity(options.trace_events);
+  obs::set_trace_enabled(!options.trace_path.empty());
+  obs::set_profiling_enabled(!options.metrics_path.empty());
 
   const ScenarioConfig cfg = scenario_from_cli(options);
   Cluster cluster{cfg};
@@ -183,12 +224,42 @@ int run_cli(const CliOptions& options) {
     report.result = &run;
     report.cluster = &cluster;
     report.sunshine_fraction = options.sunshine_fraction;
+    report.registry = &registry;
+    report.trace = options.trace_path.empty() ? nullptr : &trace;
     write_report(options.report_path, report);
     std::printf("report        : %s\n", options.report_path.c_str());
   }
   if (!options.csv_path.empty()) {
     std::printf("per-day CSV   : %s\n", options.csv_path.c_str());
   }
+
+  if (!options.metrics_path.empty()) {
+    std::ofstream out{options.metrics_path};
+    if (!out) throw std::runtime_error("cannot open " + options.metrics_path);
+    if (ends_with(options.metrics_path, ".csv")) {
+      registry.write_csv(out);
+    } else {
+      registry.write_json(out);
+    }
+    std::printf("metrics       : %s\n", options.metrics_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    std::ofstream out{options.trace_path};
+    if (!out) throw std::runtime_error("cannot open " + options.trace_path);
+    if (ends_with(options.trace_path, ".jsonl")) {
+      trace.write_jsonl(out);
+    } else {
+      trace.write_chrome_trace(out);
+    }
+    std::printf("trace         : %s (%zu events, %zu dropped)\n",
+                options.trace_path.c_str(), trace.size(), trace.dropped());
+  }
+
+  // Leave the process-global switches the way we found them (matters when
+  // run_cli is driven from tests rather than main()).
+  obs::set_trace_enabled(false);
+  obs::set_profiling_enabled(false);
+  util::set_sim_time(-1.0);
   return 0;
 }
 

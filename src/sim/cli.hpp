@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/scenario.hpp"
+#include "util/logging.hpp"
 
 namespace baat::sim {
 
@@ -28,6 +30,18 @@ struct CliOptions {
   std::string report_path;
   bool old_fleet = false;
   bool show_help = false;
+
+  // --- observability ------------------------------------------------------
+  /// Metrics-registry JSON dump (`.csv` suffix switches to CSV). Also turns
+  /// hot-path profiling on so the dump carries timer histograms.
+  std::string metrics_path;
+  /// Event-trace path: Chrome trace_event JSON by default, JSONL when the
+  /// path ends in `.jsonl`. Enables tracing for the run.
+  std::string trace_path;
+  /// Trace ring capacity (events kept; older ones are dropped).
+  std::size_t trace_events = obs::TraceBuffer::kDefaultCapacity;
+  /// Logger threshold for the run, when given on the command line.
+  std::optional<util::LogLevel> log_level;
 };
 
 /// Parse argv. Throws util::PreconditionError with a readable message on a

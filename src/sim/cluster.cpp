@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "core/demand.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 #include "util/require.hpp"
+#include "util/sim_clock.hpp"
 
 namespace baat::sim {
 
@@ -42,9 +45,28 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   std::iota(charge_priority_.begin(), charge_priority_.end(), std::size_t{0});
 
   policy_ = core::make_policy(cfg_.policy, cfg_.policy_params);
+
+  obs::Registry& reg = obs::global_registry();
+  obs_.jobs_deployed = &reg.counter("sim.jobs_deployed");
+  obs_.deploy_retries = &reg.counter("sim.vm_deploy_retries");
+  obs_.low_soc_ticks = &reg.counter("battery.low_soc_ticks");
+  obs_.critical_soc_ticks = &reg.counter("battery.critical_soc_ticks");
+  obs_.brownouts = &reg.counter("sim.brownouts");
+  obs_.migrations = &reg.counter("sim.migrations");
+  obs_.dvfs_transitions = &reg.counter("sim.dvfs_transitions");
+  obs_.days_run = &reg.counter("sim.days_run");
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    const std::string label = std::to_string(i);
+    obs_.node_soc.push_back(&reg.gauge("node.soc", label));
+    obs_.node_health.push_back(&reg.gauge("node.health", label));
+  }
+  node_low_soc_.assign(cfg_.nodes, false);
+  node_eol_seen_.assign(cfg_.nodes, false);
 }
 
 void Cluster::set_policy(core::PolicyKind kind) {
+  obs::emit(obs::EventKind::PolicySwitch, -1, static_cast<double>(day_counter_),
+            std::string(core::policy_kind_name(kind)));
   cfg_.policy = kind;
   policy_ = core::make_policy(kind, cfg_.policy_params);
   // Reset router hints a previous policy may have installed.
@@ -129,6 +151,9 @@ bool Cluster::deploy_job(const JobSpec& job) {
   const double phase = rng_.uniform(0.0, spec.period.value());
   vms_.push_back(VmRecord{workload::Vm{id, job.kind, phase, rng_.fork("vm")}, *target, 0.0});
   servers_[*target].attach(id, spec.cores, spec.mem_gb);
+  obs_.jobs_deployed->inc();
+  obs::emit(obs::EventKind::JobDeploy, static_cast<int>(*target),
+            static_cast<double>(id), std::string(workload::kind_name(job.kind)));
   return true;
 }
 
@@ -139,6 +164,9 @@ void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
     if (servers_[a.node].dvfs_level() != a.level) {
       servers_[a.node].set_dvfs_level(a.level);
       ++result.dvfs_transitions;
+      obs_.dvfs_transitions->inc();
+      obs::emit(obs::EventKind::Dvfs, static_cast<int>(a.node),
+                static_cast<double>(a.level));
     }
   }
 
@@ -153,6 +181,10 @@ void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
     rec->host = m.to;
     rec->vm.start_migration(cfg_.migration_pause);
     ++result.migrations;
+    obs_.migrations->inc();
+    obs::emit(obs::EventKind::Migration, static_cast<int>(m.from),
+              static_cast<double>(m.vm),
+              "to node " + std::to_string(m.to));
   }
 
   if (actions.charge_priority.size() == cfg_.nodes) {
@@ -167,12 +199,28 @@ void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
       seen[i] = true;
     }
     if (ok) {
+      if (!charge_priority_explicit_ || charge_priority_ != actions.charge_priority) {
+        // Most-favoured node first in the detail string.
+        std::string order;
+        for (const std::size_t i : actions.charge_priority) {
+          if (!order.empty()) order += ',';
+          order += std::to_string(i);
+        }
+        obs::emit(obs::EventKind::ChargePriority,
+                  static_cast<int>(actions.charge_priority.front()), 0.0, order);
+      }
       charge_priority_ = actions.charge_priority;
       charge_priority_explicit_ = true;
     }
   }
 
   if (actions.discharge_floor_soc.size() == cfg_.nodes) {
+    if (discharge_floor_ != actions.discharge_floor_soc) {
+      const auto worst = std::max_element(actions.discharge_floor_soc.begin(),
+                                          actions.discharge_floor_soc.end());
+      obs::emit(obs::EventKind::DischargeFloor,
+                static_cast<int>(worst - actions.discharge_floor_soc.begin()), *worst);
+    }
     discharge_floor_ = actions.discharge_floor_soc;
   }
 }
@@ -185,6 +233,11 @@ DayResult Cluster::run_day(solar::DayType type) {
 }
 
 DayResult Cluster::run_day(const solar::SolarDay& day) {
+  BAAT_OBS_TIMED("cluster_run_day");
+  util::set_sim_time(static_cast<double>(day_counter_) * 86400.0);
+  obs::emit(obs::EventKind::DayStart, -1, static_cast<double>(day_counter_),
+            std::string(solar::day_type_name(day.type())));
+
   DayResult result;
   result.day_type = day.type();
   result.solar_energy = day.daily_energy();
@@ -210,6 +263,7 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
   for (long k = 0; k < ticks; ++k) {
     const double tod = static_cast<double>(k) * dt;
     const util::Seconds now{static_cast<double>(day_counter_) * 86400.0 + tod};
+    util::set_sim_time(now.value());
     const bool in_window = tod >= cfg_.day_start.value() && tod < cfg_.day_end.value();
 
     // --- day window transitions -------------------------------------------
@@ -237,13 +291,19 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
       if (!pending_jobs_.empty()) {
         std::vector<JobSpec> still_pending;
         for (const JobSpec& job : pending_jobs_) {
-          if (!deploy_job(job)) still_pending.push_back(job);
+          if (!deploy_job(job)) {
+            obs_.deploy_retries->inc();
+            still_pending.push_back(job);
+          }
         }
         pending_jobs_ = std::move(still_pending);
       }
       while (next_job < cfg_.daily_jobs.size() &&
              cfg_.daily_jobs[next_job].arrival.value() <= tod - cfg_.day_start.value()) {
         if (!deploy_job(cfg_.daily_jobs[next_job])) {
+          obs::emit(obs::EventKind::JobQueued, -1,
+                    static_cast<double>(pending_jobs_.size() + 1),
+                    std::string(workload::kind_name(cfg_.daily_jobs[next_job].kind)));
           pending_jobs_.push_back(cfg_.daily_jobs[next_job]);
         }
         ++next_job;
@@ -254,7 +314,9 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
         next_control += cfg_.control_period.value();
         const core::PolicyContext ctx = build_context(
             now, k > 0 ? &last_route : nullptr, day.power(util::Seconds{tod}));
-        apply_actions(policy_->on_control_tick(ctx), result);
+        const core::Actions actions = policy_->on_control_tick(ctx);
+        core::record_actions(actions);
+        apply_actions(actions, result);
       }
     }
 
@@ -285,6 +347,11 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
       if (srv.powered_on() && last_route.nodes[i].unmet.value() > kBrownoutWatts) {
         srv.power_off();
         ++result.nodes[i].brownouts;
+        obs_.brownouts->inc();
+        obs::emit(obs::EventKind::Brownout, static_cast<int>(i),
+                  last_route.nodes[i].unmet.value());
+        util::log_warn() << "node " << i << " brownout: "
+                         << last_route.nodes[i].unmet.value() << " W unmet";
         for (VmRecord& r : vms_) {
           if (r.host == i) r.vm.pause();
         }
@@ -294,6 +361,7 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
                               discharge_floor_.empty() ? 0.0
                                                        : discharge_floor_[i] + 0.05)) {
         srv.power_on();
+        obs::emit(obs::EventKind::NodeRestart, static_cast<int>(i), batteries_[i].soc());
         for (VmRecord& r : vms_) {
           if (r.host == i) r.vm.resume();
         }
@@ -335,8 +403,21 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
       const double soc = batteries_[i].soc();
       soc_min[i] = std::min(soc_min[i], soc);
       result.soc_histogram.add(soc * 100.0, dt);
-      if (soc < 0.40) result.nodes[i].low_soc_time += cfg_.dt;
-      if (soc < 0.15) result.nodes[i].critical_soc_time += cfg_.dt;
+      if (soc < 0.40) {
+        result.nodes[i].low_soc_time += cfg_.dt;
+        obs_.low_soc_ticks->inc();
+        if (!node_low_soc_[i]) {
+          node_low_soc_[i] = true;
+          obs::emit(obs::EventKind::LowSocEnter, static_cast<int>(i), soc);
+        }
+      } else if (node_low_soc_[i]) {
+        node_low_soc_[i] = false;
+        obs::emit(obs::EventKind::LowSocExit, static_cast<int>(i), soc);
+      }
+      if (soc < 0.15) {
+        result.nodes[i].critical_soc_time += cfg_.dt;
+        obs_.critical_soc_ticks->inc();
+      }
       if (in_window && !servers_[i].powered_on()) result.nodes[i].downtime += cfg_.dt;
     }
   }
@@ -361,9 +442,21 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
     n.soc_end = batteries_[i].soc();
     n.health = batteries_[i].health();
     n.ah_discharged = day_tables_[i].ah_discharged();
+
+    obs_.node_soc[i]->set(n.soc_end);
+    obs_.node_health[i]->set(n.health);
+    if (batteries_[i].end_of_life() && !node_eol_seen_[i]) {
+      node_eol_seen_[i] = true;
+      obs::emit(obs::EventKind::BatteryEol, static_cast<int>(i), n.health);
+      util::log_warn() << "node " << i << " battery reached end of life (health "
+                       << n.health << ")";
+    }
   }
 
+  obs_.days_run->inc();
+  obs::emit(obs::EventKind::DayEnd, -1, result.throughput_work);
   ++day_counter_;
+  util::set_sim_time(static_cast<double>(day_counter_) * 86400.0);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "battery/bank.hpp"
+#include "obs/metrics.hpp"
 #include "core/policy.hpp"
 #include "power/meter.hpp"
 #include "power/router.hpp"
@@ -24,7 +25,10 @@
 namespace baat::sim {
 
 /// Snapshot passed to the per-tick observer — the hook the Fig 12 runtime
-/// profiling bench (and debugging) uses to sample intra-day state.
+/// profiling bench (and debugging) uses to sample intra-day state. The hook
+/// is layered on top of the obs event stream: coarse-grained structured
+/// events (policy switches, low-SoC crossings, brownouts, ...) go to
+/// obs::global_trace(); this callback remains the raw per-tick firehose.
 struct TickObservation {
   util::Seconds time_of_day{0.0};
   util::Watts solar{0.0};
@@ -101,6 +105,27 @@ class Cluster {
   workload::VmId next_vm_id_ = 0;
   long day_counter_ = 0;
   std::function<void(const TickObservation&)> observer_;
+
+  // --- observability ---------------------------------------------------------
+  // Handles into obs::global_registry(), resolved once in the constructor
+  // (registry entries are never erased, so the pointers stay valid). All of
+  // this is read-only with respect to simulation state: metrics and events
+  // must never perturb the deterministic run (regression-tested).
+  struct ObsHandles {
+    obs::Counter* jobs_deployed = nullptr;
+    obs::Counter* deploy_retries = nullptr;
+    obs::Counter* low_soc_ticks = nullptr;
+    obs::Counter* critical_soc_ticks = nullptr;
+    obs::Counter* brownouts = nullptr;
+    obs::Counter* migrations = nullptr;
+    obs::Counter* dvfs_transitions = nullptr;
+    obs::Counter* days_run = nullptr;
+    std::vector<obs::Gauge*> node_soc;
+    std::vector<obs::Gauge*> node_health;
+  };
+  ObsHandles obs_;
+  std::vector<bool> node_low_soc_;   ///< per-node "currently below 40%" latch
+  std::vector<bool> node_eol_seen_;  ///< per-node "EOL event already emitted"
 };
 
 }  // namespace baat::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace baat::sim {
@@ -19,6 +20,7 @@ std::vector<solar::DayType> mixed_weather(std::size_t days, std::size_t sunny,
 }
 
 MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
+  BAAT_OBS_TIMED("run_multi_day");
   BAAT_REQUIRE(options.days > 0, "must simulate at least one day");
 
   std::vector<solar::DayType> weather = options.weather;

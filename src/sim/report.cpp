@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <map>
 
 #include "core/lifetime.hpp"
 #include "util/require.hpp"
@@ -12,6 +13,50 @@ namespace {
 
 std::ostream& pct(std::ostream& out, double fraction) {
   return out << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+}
+
+void write_runtime_section(std::ostream& out, const obs::Registry& registry,
+                           const obs::TraceBuffer* trace) {
+  out << "## Runtime & events\n\n";
+
+  out << "### Counters\n\n";
+  out << "| counter | value |\n|---|---|\n";
+  for (const auto& [name, c] : registry.counters()) {
+    if (c.value() == 0.0) continue;  // keep the table to what actually happened
+    out << "| `" << name << "` | " << obs::format_number(c.value()) << " |\n";
+  }
+  out << "\n";
+
+  bool profile_header = false;
+  for (const auto& [name, h] : registry.histograms()) {
+    if (name.rfind("profile.", 0) != 0 || h.count() == 0) continue;
+    if (!profile_header) {
+      out << "### Hot-path profile\n\n";
+      out << "| section | calls | mean µs | max µs |\n|---|---|---|---|\n";
+      profile_header = true;
+    }
+    out << "| `" << name << "` | " << h.count() << " | " << std::fixed
+        << std::setprecision(2) << h.mean() / 1e3 << " | " << h.max() / 1e3 << " |\n";
+  }
+  if (profile_header) out << "\n";
+
+  if (trace != nullptr) {
+    out << "### Event summary\n\n";
+    std::map<std::string, std::size_t> by_kind;
+    for (const obs::TraceEvent& e : trace->events()) {
+      ++by_kind[std::string(obs::event_kind_name(e.kind))];
+    }
+    out << "| event | count |\n|---|---|\n";
+    for (const auto& [kind, count] : by_kind) {
+      out << "| `" << kind << "` | " << count << " |\n";
+    }
+    out << "\n" << trace->size() << " events retained";
+    if (trace->dropped() > 0) {
+      out << " (" << trace->dropped() << " dropped; ring capacity " << trace->capacity()
+          << ")";
+    }
+    out << ".\n\n";
+  }
 }
 
 }  // namespace
@@ -100,6 +145,10 @@ void write_report(std::ostream& out, const ReportInputs& inputs) {
           << " | " << m.pc_health << " | " << m.ddt << " |\n";
     }
     out << "\n";
+  }
+
+  if (inputs.registry != nullptr) {
+    write_runtime_section(out, *inputs.registry, inputs.trace);
   }
 
   if (!out) throw std::runtime_error("report write failed");

@@ -7,6 +7,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "sim/cluster.hpp"
 #include "sim/results.hpp"
 
@@ -18,6 +19,10 @@ struct ReportInputs {
   const MultiDayResult* result = nullptr;      ///< required
   const Cluster* cluster = nullptr;            ///< optional: adds fleet detail
   double sunshine_fraction = -1.0;             ///< < 0 hides the line
+  /// Optional: adds the "Runtime & events" section (counters, hot-path
+  /// profile, event summary) from the observability layer.
+  const obs::Registry* registry = nullptr;
+  const obs::TraceBuffer* trace = nullptr;
 };
 
 /// Render the report as markdown. Throws util::PreconditionError if the

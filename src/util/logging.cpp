@@ -1,13 +1,22 @@
 #include "util/logging.hpp"
 
+#include <cstdio>
 #include <iostream>
+
+#include "util/sim_clock.hpp"
 
 namespace baat::util {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;  // empty = stderr default
+}  // namespace
 
-const char* level_name(LogLevel level) {
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Debug: return "DEBUG";
     case LogLevel::Info: return "INFO";
@@ -17,15 +26,49 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level; }
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  std::string line = "[";
+  line += log_level_name(level);
+  if (sim_time() >= 0.0) {
+    const double tod = sim_time_of_day();
+    const auto h = static_cast<int>(tod / 3600.0);
+    const auto m = static_cast<int>(tod / 60.0) % 60;
+    const auto s = static_cast<int>(tod) % 60;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " d%03ld %02d:%02d:%02d", sim_day(), h, m, s);
+    line += buf;
+  }
+  line += "] ";
+  line += msg;
+  return line;
+}
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level) return;
-  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+  const std::string line = format_log_line(level, msg);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::cerr << line << '\n';
+  }
 }
+
+CaptureLog::CaptureLog() {
+  set_log_sink([this](LogLevel, const std::string& line) { lines_.push_back(line); });
+}
+
+CaptureLog::~CaptureLog() { set_log_sink({}); }
 
 }  // namespace baat::util

@@ -1,11 +1,21 @@
 #pragma once
 
-// Tiny leveled logger. The simulator is deterministic and single-threaded
-// per experiment, so this deliberately avoids locking; benches set the level
-// to Warn to keep output clean.
+// Leveled logger with pluggable sinks. The simulator is deterministic and
+// single-threaded per experiment, so this deliberately avoids locking;
+// benches set the level to Warn to keep output clean.
+//
+// Each line carries a level tag and — when the simulated clock has been
+// published (util/sim_clock.hpp) — a `dDDD hh:mm:ss` simulated-time prefix,
+// mirroring what the prototype's control-server logs looked like. The sink
+// is replaceable: stderr by default, a capture sink for tests, or anything
+// a tool wants to install.
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace baat::util {
 
@@ -15,7 +25,41 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// "DEBUG", "INFO", ... — stable names used in line prefixes and the CLI.
+const char* log_level_name(LogLevel level);
+
+/// Parse a CLI-style level name ("debug" | "info" | "warn" | "error" |
+/// "off", case-sensitive). Returns nullopt on an unknown name.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// A sink receives the fully formatted line (prefix included, no trailing
+/// newline) plus the level for sinks that want to split streams.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Install a sink; an empty function restores the stderr default.
+void set_log_sink(LogSink sink);
+
+/// Format `[LEVEL dDDD hh:mm:ss] msg` (the sim-time fields appear only when
+/// the simulated clock is set). Exposed for tests of the prefix format.
+std::string format_log_line(LogLevel level, const std::string& msg);
+
 void log_message(LogLevel level, const std::string& msg);
+
+/// RAII capture sink for tests: installs itself on construction, records
+/// every formatted line, and restores the stderr default on destruction.
+class CaptureLog {
+ public:
+  CaptureLog();
+  ~CaptureLog();
+  CaptureLog(const CaptureLog&) = delete;
+  CaptureLog& operator=(const CaptureLog&) = delete;
+
+  [[nodiscard]] const std::vector<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+};
 
 namespace detail {
 class LogLine {

@@ -1,0 +1,25 @@
+#include "util/sim_clock.hpp"
+
+#include <cmath>
+
+namespace baat::util {
+
+namespace {
+double g_sim_time = -1.0;
+}
+
+void set_sim_time(double seconds) { g_sim_time = seconds; }
+
+double sim_time() { return g_sim_time; }
+
+long sim_day() {
+  if (g_sim_time < 0.0) return -1;
+  return static_cast<long>(g_sim_time / 86400.0);
+}
+
+double sim_time_of_day() {
+  if (g_sim_time < 0.0) return -1.0;
+  return std::fmod(g_sim_time, 86400.0);
+}
+
+}  // namespace baat::util

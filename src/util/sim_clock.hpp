@@ -1,0 +1,29 @@
+#pragma once
+
+// Global simulated-time clock. The cluster loop publishes the current
+// simulated timestamp once per tick so that layers with no access to the
+// simulation state (logging prefixes, trace-event stamping, offline probes)
+// can stamp their output with *simulated* time rather than wall time.
+//
+// The clock is a plain double store: writing it never perturbs simulation
+// state, and reading it is a single load. Negative means "unset" (e.g. unit
+// tests of lower layers that never run a cluster).
+
+namespace baat::util {
+
+/// Publish the current simulated time in seconds since the start of the
+/// run. Pass a negative value to clear the clock.
+void set_sim_time(double seconds);
+
+/// Current simulated time in seconds, or a negative value when unset.
+double sim_time();
+
+/// Simulated day index derived from the clock (86400 s days), or -1 when
+/// the clock is unset.
+long sim_day();
+
+/// Seconds since midnight of the current simulated day, or a negative
+/// value when the clock is unset.
+double sim_time_of_day();
+
+}  // namespace baat::util

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "sim/multiday.hpp"
+#include "sim/scenario.hpp"
+#include "util/sim_clock.hpp"
+
+namespace baat::sim {
+namespace {
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.nodes = 3;
+  cfg.seed = 2026;
+  return cfg;
+}
+
+MultiDayResult run_once(const ScenarioConfig& cfg) {
+  Cluster cluster{cfg};
+  MultiDayOptions opts;
+  opts.days = 2;
+  opts.weather = mixed_weather(opts.days, 1, 1, 0);
+  opts.probe_every_days = 2;  // exercise the probe path (and its event)
+  return run_multi_day(cluster, opts);
+}
+
+/// The observability layer must be a pure observer: identically seeded runs
+/// produce byte-identical metric and trace exports, and enabling it does
+/// not change the simulation outcome.
+TEST(ObsDeterminism, ExportsAreByteIdenticalAcrossRuns) {
+  const ScenarioConfig cfg = small_scenario();
+  obs::Registry& reg = obs::global_registry();
+  obs::TraceBuffer& trace = obs::global_trace();
+
+  // Profiling stays off: wall-clock histograms are the documented exception
+  // to the determinism contract.
+  obs::set_profiling_enabled(false);
+  obs::set_trace_enabled(true);
+
+  reg.reset();
+  trace.clear();
+  const MultiDayResult first = run_once(cfg);
+  const std::string metrics_a = reg.json();
+  const std::string metrics_csv_a = reg.csv();
+  std::ostringstream trace_a;
+  trace.write_jsonl(trace_a);
+  std::ostringstream chrome_a;
+  trace.write_chrome_trace(chrome_a);
+
+  reg.reset();
+  trace.clear();
+  const MultiDayResult second = run_once(cfg);
+  const std::string metrics_b = reg.json();
+  const std::string metrics_csv_b = reg.csv();
+  std::ostringstream trace_b;
+  trace.write_jsonl(trace_b);
+  std::ostringstream chrome_b;
+  trace.write_chrome_trace(chrome_b);
+
+  obs::set_trace_enabled(false);
+  util::set_sim_time(-1.0);
+
+  EXPECT_EQ(metrics_a, metrics_b);
+  EXPECT_EQ(metrics_csv_a, metrics_csv_b);
+  EXPECT_EQ(trace_a.str(), trace_b.str());
+  EXPECT_EQ(chrome_a.str(), chrome_b.str());
+  EXPECT_GT(trace.size(), 0u);
+
+  EXPECT_DOUBLE_EQ(first.total_throughput, second.total_throughput);
+  EXPECT_DOUBLE_EQ(first.min_health_end, second.min_health_end);
+}
+
+TEST(ObsDeterminism, TracingDoesNotPerturbSimulation) {
+  const ScenarioConfig cfg = small_scenario();
+
+  obs::set_trace_enabled(false);
+  obs::set_profiling_enabled(false);
+  const MultiDayResult plain = run_once(cfg);
+
+  obs::global_trace().clear();
+  obs::set_trace_enabled(true);
+  obs::set_profiling_enabled(true);  // timers read the wall clock, never the sim
+  const MultiDayResult observed = run_once(cfg);
+  obs::set_trace_enabled(false);
+  obs::set_profiling_enabled(false);
+  util::set_sim_time(-1.0);
+
+  EXPECT_DOUBLE_EQ(plain.total_throughput, observed.total_throughput);
+  EXPECT_DOUBLE_EQ(plain.mean_health_end, observed.mean_health_end);
+  EXPECT_DOUBLE_EQ(plain.min_health_end, observed.min_health_end);
+  ASSERT_EQ(plain.days.size(), observed.days.size());
+  for (std::size_t d = 0; d < plain.days.size(); ++d) {
+    EXPECT_DOUBLE_EQ(plain.days[d].throughput_work, observed.days[d].throughput_work);
+    for (std::size_t n = 0; n < plain.days[d].nodes.size(); ++n) {
+      EXPECT_DOUBLE_EQ(plain.days[d].nodes[n].soc_end,
+                       observed.days[d].nodes[n].soc_end);
+    }
+  }
+}
+
+/// The metrics actually carry the run: spot-check a few counters and the
+/// per-node gauges against the simulation result.
+TEST(ObsDeterminism, MetricsReflectSimulation) {
+  const ScenarioConfig cfg = small_scenario();
+  obs::Registry& reg = obs::global_registry();
+  reg.reset();
+  const MultiDayResult run = run_once(cfg);
+
+  EXPECT_DOUBLE_EQ(reg.counter("sim.days_run").value(), 2.0);
+  EXPECT_GT(reg.counter("sim.jobs_deployed").value(), 0.0);
+  EXPECT_GT(reg.counter("policy.control_ticks").value(), 0.0);
+  EXPECT_GT(reg.counter("router.ticks").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.counter("battery.probes_run").value(), 1.0);
+
+  const DayResult& last = run.days.back();
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    EXPECT_DOUBLE_EQ(reg.gauge("node.soc", std::to_string(i)).value(),
+                     last.nodes[i].soc_end);
+    EXPECT_DOUBLE_EQ(reg.gauge("node.health", std::to_string(i)).value(),
+                     last.nodes[i].health);
+  }
+
+  // low-SoC tick counter agrees with the per-day accounting (dt seconds per
+  // tick, summed over nodes and days).
+  double low_soc_seconds = 0.0;
+  for (const DayResult& day : run.days) {
+    for (const NodeDayStats& n : day.nodes) low_soc_seconds += n.low_soc_time.value();
+  }
+  EXPECT_DOUBLE_EQ(reg.counter("battery.low_soc_ticks").value() * cfg.dt.value(),
+                   low_soc_seconds);
+}
+
+}  // namespace
+}  // namespace baat::sim

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace baat::obs {
+namespace {
+
+// Minimal JSON helper: the number following `"key": ` in `json`.
+double number_after(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key << " in:\n" << json;
+  if (pos == std::string::npos) return NAN;
+  return std::stod(json.substr(pos + needle.size()));
+}
+
+TEST(Metrics, CounterSemantics) {
+  Registry reg;
+  Counter& c = reg.counter("a.b");
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Same name resolves to the same instance.
+  EXPECT_EQ(&reg.counter("a.b"), &c);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Metrics, GaugeSemantics) {
+  Registry reg;
+  Gauge& g = reg.gauge("x");
+  g.set(4.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+  EXPECT_EQ(&reg.gauge("x"), &g);
+}
+
+TEST(Metrics, LabeledNamesAreDistinctSeries) {
+  Registry reg;
+  reg.counter("policy.decisions", "migration").inc(3.0);
+  reg.counter("policy.decisions", "dvfs").inc();
+  EXPECT_DOUBLE_EQ(reg.counter("policy.decisions{migration}").value(), 3.0);
+  EXPECT_DOUBLE_EQ(reg.counter("policy.decisions{dvfs}").value(), 1.0);
+  EXPECT_EQ(reg.find_counter("policy.decisions"), nullptr);
+}
+
+TEST(Metrics, HistogramSemantics) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {10.0, 100.0});
+  h.add(5.0);
+  h.add(10.0);   // boundary is inclusive for the finite bucket
+  h.add(50.0);
+  h.add(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 565.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  ASSERT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(2)));
+  // Re-registration returns the existing histogram, bounds ignored.
+  EXPECT_EQ(&reg.histogram("lat", {1.0}), &h);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_value(1), 0u);
+}
+
+TEST(Metrics, JsonExportRoundTrip) {
+  Registry reg;
+  reg.counter("jobs").inc(7.0);
+  reg.gauge("node.health", "2").set(0.875);
+  Histogram& h = reg.histogram("dur", {100.0});
+  h.add(42.0);
+  h.add(250.0);
+
+  const std::string json = reg.json();
+  EXPECT_DOUBLE_EQ(number_after(json, "jobs"), 7.0);
+  EXPECT_DOUBLE_EQ(number_after(json, "node.health{2}"), 0.875);
+  EXPECT_DOUBLE_EQ(number_after(json, "count"), 2.0);
+  EXPECT_DOUBLE_EQ(number_after(json, "sum"), 292.0);
+  EXPECT_NE(json.find("\"le\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+  // Balanced braces (no string values in metric JSON, so a raw count works).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, ExportIsByteStable) {
+  Registry reg;
+  reg.counter("b").inc();
+  reg.counter("a").inc(2.0);
+  reg.gauge("g").set(1.25);
+  EXPECT_EQ(reg.json(), reg.json());
+  EXPECT_EQ(reg.csv(), reg.csv());
+  // Sorted name order regardless of registration order.
+  EXPECT_LT(reg.json().find("\"a\""), reg.json().find("\"b\""));
+}
+
+TEST(Metrics, CsvExport) {
+  Registry reg;
+  reg.counter("hits").inc(3.0);
+  reg.histogram("d", {1.0}).add(0.5);
+  std::istringstream in{reg.csv()};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "type,name,field,value");
+  EXPECT_NE(reg.csv().find("counter,\"hits\",value,3"), std::string::npos);
+  EXPECT_NE(reg.csv().find("histogram,\"d\",count,1"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter("keep");
+  c.inc(5.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_EQ(&reg.counter("keep"), &c);  // entry survived
+  c.inc();
+  EXPECT_DOUBLE_EQ(reg.counter("keep").value(), 1.0);
+}
+
+TEST(Metrics, FormatNumberIsCompactAndExact) {
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(-12.0), "-12");
+  EXPECT_EQ(format_number(0.875), "0.875");
+  // Round-trips through parse exactly.
+  EXPECT_DOUBLE_EQ(std::stod(format_number(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+TEST(Timer, RecordsWhenEnabled) {
+  Registry reg;
+  Histogram& h = reg.histogram("t_ns", duration_bounds_ns());
+  set_profiling_enabled(true);
+  {
+    ScopedTimer t{h};
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  set_profiling_enabled(false);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST(Timer, DisabledPathIsEffectivelyFree) {
+  Registry reg;
+  Histogram& h = reg.histogram("t2_ns", duration_bounds_ns());
+  set_profiling_enabled(false);
+  constexpr int kIters = 1'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    ScopedTimer t{h};
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(h.count(), 0u);
+  // ~a flag check per scope. 100 ns/iter is an order of magnitude of slack
+  // over what this costs even on a loaded CI box.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+            100ll * kIters);
+}
+
+}  // namespace
+}  // namespace baat::obs

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "util/sim_clock.hpp"
+
+namespace baat::obs {
+namespace {
+
+TraceEvent make_event(double ts, EventKind kind, int node = -1, double value = 0.0,
+                      std::string detail = {}) {
+  TraceEvent e;
+  e.ts = ts;
+  e.day = static_cast<long>(ts / 86400.0);
+  e.kind = kind;
+  e.node = node;
+  e.value = value;
+  e.detail = std::move(detail);
+  return e;
+}
+
+/// Minimal JSON structure check: balanced braces/brackets outside string
+/// literals, with escape handling. Not a full parser, but catches every
+/// class of breakage a writer bug can produce (unescaped quotes, truncated
+/// arrays, stray commas in keys, ...).
+bool json_balanced(const std::string& s) {
+  int brace = 0;
+  int bracket = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      default: break;
+    }
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(Trace, RingBoundEvictsOldest) {
+  TraceBuffer buf{4};
+  for (int i = 0; i < 10; ++i) {
+    buf.push(make_event(static_cast<double>(i), EventKind::JobDeploy, i));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // The most recent four, oldest → newest.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(evs[static_cast<std::size_t>(i)].ts, 6.0 + i);
+    EXPECT_EQ(evs[static_cast<std::size_t>(i)].node, 6 + i);
+  }
+}
+
+TEST(Trace, PreservesOrderAndFieldsBeforeWrap) {
+  TraceBuffer buf{100};
+  buf.push(make_event(1.0, EventKind::DayStart, -1, 0.0, "Sunny"));
+  buf.push(make_event(2.0, EventKind::LowSocEnter, 3, 0.39));
+  EXPECT_EQ(buf.dropped(), 0u);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].kind, EventKind::DayStart);
+  EXPECT_EQ(evs[0].detail, "Sunny");
+  EXPECT_EQ(evs[1].node, 3);
+  EXPECT_DOUBLE_EQ(evs[1].value, 0.39);
+}
+
+TEST(Trace, EmitRespectsEnabledFlagAndSimClock) {
+  global_trace().set_capacity(16);
+  set_trace_enabled(false);
+  emit(EventKind::Brownout, 1, 50.0);
+  EXPECT_EQ(global_trace().size(), 0u);
+
+  set_trace_enabled(true);
+  util::set_sim_time(3.0 * 86400.0 + 123.0);
+  emit(EventKind::Brownout, 1, 50.0);
+  set_trace_enabled(false);
+  util::set_sim_time(-1.0);
+
+  ASSERT_EQ(global_trace().size(), 1u);
+  const TraceEvent e = global_trace().events()[0];
+  EXPECT_DOUBLE_EQ(e.ts, 3.0 * 86400.0 + 123.0);
+  EXPECT_EQ(e.day, 3);
+  EXPECT_EQ(e.kind, EventKind::Brownout);
+  global_trace().clear();
+}
+
+TEST(Trace, SetCapacityClears) {
+  TraceBuffer buf{2};
+  buf.push(make_event(0.0, EventKind::DayStart));
+  buf.push(make_event(1.0, EventKind::DayEnd));
+  buf.push(make_event(2.0, EventKind::DayStart));
+  EXPECT_EQ(buf.dropped(), 1u);
+  buf.set_capacity(8);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.capacity(), 8u);
+}
+
+TEST(Trace, JsonlExportOneObjectPerLine) {
+  TraceBuffer buf{8};
+  buf.push(make_event(60.0, EventKind::JobDeploy, 2, 7.0, "web"));
+  buf.push(make_event(120.0, EventKind::Migration, 0, 3.0, "to node 1"));
+  std::ostringstream os;
+  buf.write_jsonl(os);
+  std::istringstream in{os.str()};
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(json_balanced(line)) << line;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"kind\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(os.str().find("\"kind\": \"job_deploy\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"detail\": \"to node 1\""), std::string::npos);
+}
+
+TEST(Trace, ChromeTraceIsValidJson) {
+  TraceBuffer buf{8};
+  buf.push(make_event(0.0, EventKind::DayStart, -1, 0.0, "Cloudy"));
+  buf.push(make_event(30600.0, EventKind::LowSocEnter, 4, 0.397));
+  buf.push(make_event(30900.0, EventKind::LowSocExit, 4, 0.41));
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Instant events with microsecond timestamps on the node's track.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 30600000000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 5"), std::string::npos);  // node 4 → tid 5
+  // Track naming metadata for the viewer.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"node 4\""), std::string::npos);
+}
+
+TEST(Trace, ExportsEscapeStrings) {
+  TraceBuffer buf{4};
+  buf.push(make_event(1.0, EventKind::PolicySwitch, -1, 0.0, "quote\" back\\ nl\n"));
+  std::ostringstream chrome;
+  buf.write_chrome_trace(chrome);
+  std::ostringstream jsonl;
+  buf.write_jsonl(jsonl);
+  for (const std::string& json : {chrome.str(), jsonl.str()}) {
+    EXPECT_TRUE(json_balanced(json)) << json;
+    EXPECT_NE(json.find("quote\\\" back\\\\ nl\\n"), std::string::npos);
+  }
+}
+
+TEST(Trace, EventKindNamesAreStable) {
+  EXPECT_EQ(event_kind_name(EventKind::LowSocEnter), "low_soc_enter");
+  EXPECT_EQ(event_kind_name(EventKind::ProbeRun), "probe_run");
+  EXPECT_EQ(event_kind_name(EventKind::BatteryEol), "battery_eol");
+}
+
+}  // namespace
+}  // namespace baat::obs

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "sim/cli.hpp"
 #include "util/require.hpp"
@@ -51,6 +52,31 @@ TEST(Cli, HelpFlag) {
   EXPECT_FALSE(cli_usage().empty());
 }
 
+TEST(Cli, ParsesObservabilityFlags) {
+  const CliOptions o =
+      parse_cli({"--metrics-out", "/tmp/m.json", "--trace-out", "/tmp/t.json",
+                 "--trace-events", "1024", "--log-level", "warn"});
+  EXPECT_EQ(o.metrics_path, "/tmp/m.json");
+  EXPECT_EQ(o.trace_path, "/tmp/t.json");
+  EXPECT_EQ(o.trace_events, 1024u);
+  ASSERT_TRUE(o.log_level.has_value());
+  EXPECT_EQ(*o.log_level, util::LogLevel::Warn);
+
+  const CliOptions defaults = parse_cli({});
+  EXPECT_TRUE(defaults.metrics_path.empty());
+  EXPECT_TRUE(defaults.trace_path.empty());
+  EXPECT_EQ(defaults.trace_events, obs::TraceBuffer::kDefaultCapacity);
+  EXPECT_FALSE(defaults.log_level.has_value());
+}
+
+TEST(Cli, RejectsBadObservabilityValues) {
+  EXPECT_THROW(parse_cli({"--trace-events", "0"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--trace-events", "many"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--log-level", "bogus"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--metrics-out"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--trace-out"}), util::PreconditionError);
+}
+
 TEST(Cli, RejectsBadValues) {
   EXPECT_THROW(parse_cli({"--days", "0"}), util::PreconditionError);
   EXPECT_THROW(parse_cli({"--days", "ten"}), util::PreconditionError);
@@ -94,6 +120,66 @@ TEST(Cli, EndToEndTinyRunWithCsv) {
   for (std::string line; std::getline(in, line);) ++rows;
   EXPECT_EQ(rows, 2);
   std::remove(o.csv_path.c_str());
+}
+
+TEST(Cli, EndToEndTinyRunWithObservability) {
+  CliOptions o;
+  o.days = 2;
+  o.nodes = 3;
+  o.metrics_path = ::testing::TempDir() + "baatsim_cli_metrics.json";
+  o.trace_path = ::testing::TempDir() + "baatsim_cli_trace.json";
+  EXPECT_EQ(run_cli(o), 0);
+
+  std::ifstream min{o.metrics_path};
+  ASSERT_TRUE(min.good());
+  std::stringstream mbuf;
+  mbuf << min.rdbuf();
+  const std::string metrics = mbuf.str();
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("policy.decisions{"), std::string::npos);
+  EXPECT_NE(metrics.find("\"battery.low_soc_ticks\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"node.health{0}\""), std::string::npos);
+  // --metrics-out turns profiling on, so the hot-path histograms have samples.
+  EXPECT_NE(metrics.find("\"profile.cluster_run_day_ns\""), std::string::npos);
+
+  std::ifstream tin{o.trace_path};
+  ASSERT_TRUE(tin.good());
+  std::stringstream tbuf;
+  tbuf << tin.rdbuf();
+  const std::string trace = tbuf.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"day_start\""), std::string::npos);
+  EXPECT_NE(trace.find("\"day_end\""), std::string::npos);
+
+  std::remove(o.metrics_path.c_str());
+  std::remove(o.trace_path.c_str());
+}
+
+TEST(Cli, TraceOutJsonlSuffixSwitchesFormat) {
+  CliOptions o;
+  o.days = 1;
+  o.nodes = 2;
+  o.trace_path = ::testing::TempDir() + "baatsim_cli_trace.jsonl";
+  o.metrics_path = ::testing::TempDir() + "baatsim_cli_metrics.csv";
+  EXPECT_EQ(run_cli(o), 0);
+
+  std::ifstream tin{o.trace_path};
+  ASSERT_TRUE(tin.good());
+  std::string first_line;
+  std::getline(tin, first_line);
+  // JSONL: every line is a bare event object, no Chrome wrapper.
+  EXPECT_EQ(first_line.front(), '{');
+  EXPECT_NE(first_line.find("\"kind\""), std::string::npos);
+  EXPECT_EQ(first_line.find("traceEvents"), std::string::npos);
+
+  std::ifstream min{o.metrics_path};
+  ASSERT_TRUE(min.good());
+  std::string header;
+  std::getline(min, header);
+  EXPECT_EQ(header, "type,name,field,value");
+
+  std::remove(o.trace_path.c_str());
+  std::remove(o.metrics_path.c_str());
 }
 
 }  // namespace
