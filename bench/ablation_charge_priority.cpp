@@ -2,10 +2,21 @@
 // node can obtain more solar charging chances and has higher CF") vs the
 // physical proportional split. Measures the design choice DESIGN.md calls
 // out: does steering surplus at the most-aged unit actually buy worst-node
-// lifetime?
+// lifetime? Both arms run concurrently on the parallel sweep engine.
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+struct ArmResult {
+  double worst_cf = 0.0;
+  double min_health = 1.0;
+  double lifetime_days = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace baat;
@@ -13,15 +24,11 @@ int main() {
       "Ablation — BAAT charge priority: worst-aged-first vs proportional split",
       "priority charging should raise the worst node's CF and lifetime");
 
-  auto csv = bench::open_csv("ablation_charge_priority",
-                             {"mode", "worst_cf", "min_health", "lifetime_days"});
-
-  std::printf("%-14s %10s %12s %14s\n", "mode", "worst CF", "min health",
-              "lifetime(worst)");
-  for (bool priority : {true, false}) {
+  const bool modes[] = {true, false};
+  const std::vector<ArmResult> arms = sim::sweep_map(2, [&](std::size_t i) {
     sim::ScenarioConfig cfg = sim::prototype_scenario();
     cfg.policy = core::PolicyKind::Baat;
-    cfg.policy_params.use_charge_priority = priority;
+    cfg.policy_params.use_charge_priority = modes[i];
     sim::Cluster cluster{cfg};
     sim::MultiDayOptions opts;
     opts.days = 45;
@@ -32,19 +39,28 @@ int main() {
 
     // Worst node by health; report its lifetime CF.
     std::size_t worst = 0;
-    for (std::size_t i = 1; i < cluster.node_count(); ++i) {
-      if (cluster.batteries()[i].health() < cluster.batteries()[worst].health()) {
-        worst = i;
+    for (std::size_t n = 1; n < cluster.node_count(); ++n) {
+      if (cluster.batteries()[n].health() < cluster.batteries()[worst].health()) {
+        worst = n;
       }
     }
-    const double cf = cluster.life_metrics(worst).cf;
-    const double life =
-        core::extrapolate_lifetime(1.0, run.min_health_end, 45.0).days;
-    const char* name = priority ? "worst-first" : "proportional";
-    std::printf("%-14s %10.2f %12.4f %13.0fd\n", name, cf, run.min_health_end, life);
-    csv.write_row({name, util::CsvWriter::cell(cf),
-                   util::CsvWriter::cell(run.min_health_end),
-                   util::CsvWriter::cell(life)});
+    return ArmResult{cluster.life_metrics(worst).cf, run.min_health_end,
+                     core::extrapolate_lifetime(1.0, run.min_health_end, 45.0).days};
+  });
+
+  auto csv = bench::open_csv("ablation_charge_priority",
+                             {"mode", "worst_cf", "min_health", "lifetime_days"});
+
+  std::printf("%-14s %10s %12s %14s\n", "mode", "worst CF", "min health",
+              "lifetime(worst)");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const char* name = modes[i] ? "worst-first" : "proportional";
+    const ArmResult& r = arms[i];
+    std::printf("%-14s %10.2f %12.4f %13.0fd\n", name, r.worst_cf, r.min_health,
+                r.lifetime_days);
+    csv.write_row({name, util::CsvWriter::cell(r.worst_cf),
+                   util::CsvWriter::cell(r.min_health),
+                   util::CsvWriter::cell(r.lifetime_days)});
   }
   bench::print_footer();
   return 0;

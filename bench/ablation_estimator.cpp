@@ -3,10 +3,23 @@
 // under load (the aged cell's grown resistance is unknown to the
 // controller), sending BAAT into permanent panic throttling. The
 // rest-anchored coulomb counter is the fix. This ablation quantifies the
-// design note in DESIGN.md §5.
+// design note in DESIGN.md §5. Both arms run concurrently on the parallel
+// sweep engine.
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+struct ArmResult {
+  double work = 0.0;
+  int dvfs = 0;
+  int migr = 0;
+  double mean_err = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace baat;
@@ -14,19 +27,15 @@ int main() {
       "Ablation — SoC estimation: rest-anchored coulomb vs voltage-only (old fleet)",
       "voltage-only mis-reads aged cells under load and over-throttles");
 
-  auto csv = bench::open_csv("ablation_estimator",
-                             {"estimator", "work_mcs", "dvfs_transitions",
-                              "migrations", "mean_soc_error"});
-
   const sim::ScenarioConfig base = sim::prototype_scenario();
-  std::printf("%-14s %10s %8s %8s %16s\n", "estimator", "work(Mcs)", "dvfs",
-              "migr", "mean |SoC err|");
-  for (telemetry::SocEstimation mode :
-       {telemetry::SocEstimation::RestAnchoredCoulomb,
-        telemetry::SocEstimation::VoltageOnly}) {
+  const telemetry::SocEstimation modes[] = {
+      telemetry::SocEstimation::RestAnchoredCoulomb,
+      telemetry::SocEstimation::VoltageOnly};
+
+  const std::vector<ArmResult> arms = sim::sweep_map(2, [&](std::size_t i) {
     sim::ScenarioConfig cfg = base;
     cfg.policy = core::PolicyKind::Baat;
-    cfg.soc_estimation = mode;
+    cfg.soc_estimation = modes[i];
     sim::Cluster cluster{cfg};
     sim::seed_aged_fleet(cluster, sim::six_month_aged_state());
 
@@ -34,36 +43,44 @@ int main() {
     double err_sum = 0.0;
     long err_n = 0;
     cluster.set_tick_observer([&](const sim::TickObservation& obs) {
-      for (std::size_t i = 0; i < obs.batteries->size(); ++i) {
-        err_sum += std::fabs((*obs.day_tables)[i].estimated_soc() -
-                             (*obs.batteries)[i].soc());
+      for (std::size_t n = 0; n < obs.batteries->size(); ++n) {
+        err_sum += std::fabs((*obs.day_tables)[n].estimated_soc() -
+                             (*obs.batteries)[n].soc());
         ++err_n;
       }
     });
 
-    double work = 0.0;
-    int dvfs = 0;
-    int migr = 0;
+    ArmResult r;
     const auto weather = sim::mixed_weather(7, 2, 3, 2);
     util::Rng solar_rng = util::Rng::stream(cfg.seed, "ablation-estimator");
     for (solar::DayType t : weather) {
       const solar::SolarDay day{cfg.plant, t, solar_rng.fork("day")};
-      const sim::DayResult r = cluster.run_day(day);
-      work += r.throughput_work;
-      dvfs += r.dvfs_transitions;
-      migr += r.migrations;
+      const sim::DayResult dr = cluster.run_day(day);
+      r.work += dr.throughput_work;
+      r.dvfs += dr.dvfs_transitions;
+      r.migr += dr.migrations;
     }
+    r.mean_err = err_sum / static_cast<double>(err_n);
+    return r;
+  });
 
-    const char* name = mode == telemetry::SocEstimation::VoltageOnly
+  auto csv = bench::open_csv("ablation_estimator",
+                             {"estimator", "work_mcs", "dvfs_transitions",
+                              "migrations", "mean_soc_error"});
+
+  std::printf("%-14s %10s %8s %8s %16s\n", "estimator", "work(Mcs)", "dvfs",
+              "migr", "mean |SoC err|");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const char* name = modes[i] == telemetry::SocEstimation::VoltageOnly
                            ? "voltage-only"
                            : "rest-coulomb";
-    const double mean_err = err_sum / static_cast<double>(err_n);
-    std::printf("%-14s %10.2f %8d %8d %16.3f\n", name, work / 1e6, dvfs, migr,
-                mean_err);
-    csv.write_row({name, util::CsvWriter::cell(work / 1e6),
-                   util::CsvWriter::cell(static_cast<double>(dvfs)),
-                   util::CsvWriter::cell(static_cast<double>(migr)),
-                   util::CsvWriter::cell(mean_err)});
+    const ArmResult& r = arms[i];
+    std::printf("%-14s %10.2f %8d %8d %16.3f\n", name, r.work / 1e6, r.dvfs,
+                r.migr, r.mean_err);
+    csv.write_row({name, util::CsvWriter::cell(r.work / 1e6),
+                   util::CsvWriter::cell(static_cast<double>(r.dvfs)),
+                   util::CsvWriter::cell(static_cast<double>(r.migr)),
+                   util::CsvWriter::cell(r.mean_err)});
   }
   bench::print_footer();
   return 0;

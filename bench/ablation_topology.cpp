@@ -13,6 +13,7 @@
 #include "power/rack_pool.hpp"
 #include "power/router.hpp"
 #include "sim/multiday.hpp"
+#include "sim/sweep.hpp"
 #include "solar/solar_day.hpp"
 
 namespace {
@@ -145,9 +146,18 @@ int main() {
     days.emplace_back(solar::PlantSpec{}, t, rng.fork("day"));
   }
 
-  const TopoResult dist = run_distributed(days);
-  const TopoResult racked = run_racked(days);
-  const TopoResult cent = run_centralized(days);
+  // The three topologies run concurrently on the sweep engine; the solar
+  // days are shared read-only (SolarDay::power is const).
+  const std::vector<TopoResult> arms = sim::sweep_map(3, [&](std::size_t i) {
+    switch (i) {
+      case 0: return run_distributed(days);
+      case 1: return run_racked(days);
+      default: return run_centralized(days);
+    }
+  });
+  const TopoResult& dist = arms[0];
+  const TopoResult& racked = arms[1];
+  const TopoResult& cent = arms[2];
 
   auto csv = bench::open_csv("ablation_topology",
                              {"topology", "min_health", "unmet_kwh", "spof_ticks",

@@ -6,6 +6,17 @@
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+struct ArmResult {
+  double min_health = 1.0;
+  double spread = 0.0;
+  double lifetime_days = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace baat;
@@ -23,16 +34,11 @@ int main() {
       {"nat-only", core::AgingWeights{0.0, 0.0, 1.0}},
   };
 
-  auto csv = bench::open_csv("ablation_weights",
-                             {"weights", "min_health", "health_spread",
-                              "lifetime_days"});
-
-  std::printf("%-10s %12s %14s %14s\n", "weights", "min health", "health spread",
-              "lifetime(worst)");
-  for (const Mode& mode : modes) {
+  // The three weighting schemes run concurrently on the sweep engine.
+  const std::vector<ArmResult> arms = sim::sweep_map(3, [&](std::size_t i) {
     sim::ScenarioConfig cfg = sim::prototype_scenario();
     cfg.policy = core::PolicyKind::Baat;
-    cfg.policy_params.placement_weights_override = mode.override;
+    cfg.policy_params.placement_weights_override = modes[i].override;
     sim::Cluster cluster{cfg};
     sim::MultiDayOptions opts;
     opts.days = 45;
@@ -47,11 +53,23 @@ int main() {
       lo = std::min(lo, b.health());
       hi = std::max(hi, b.health());
     }
-    const double life = core::extrapolate_lifetime(1.0, run.min_health_end, 45.0).days;
-    std::printf("%-10s %12.4f %14.4f %13.0fd\n", mode.name, run.min_health_end,
-                hi - lo, life);
-    csv.write_row({mode.name, util::CsvWriter::cell(run.min_health_end),
-                   util::CsvWriter::cell(hi - lo), util::CsvWriter::cell(life)});
+    return ArmResult{run.min_health_end, hi - lo,
+                     core::extrapolate_lifetime(1.0, run.min_health_end, 45.0).days};
+  });
+
+  auto csv = bench::open_csv("ablation_weights",
+                             {"weights", "min_health", "health_spread",
+                              "lifetime_days"});
+
+  std::printf("%-10s %12s %14s %14s\n", "weights", "min health", "health spread",
+              "lifetime(worst)");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ArmResult& r = arms[i];
+    std::printf("%-10s %12.4f %14.4f %13.0fd\n", modes[i].name, r.min_health,
+                r.spread, r.lifetime_days);
+    csv.write_row({modes[i].name, util::CsvWriter::cell(r.min_health),
+                   util::CsvWriter::cell(r.spread),
+                   util::CsvWriter::cell(r.lifetime_days)});
   }
   bench::print_footer();
   return 0;

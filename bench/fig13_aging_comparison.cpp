@@ -6,12 +6,31 @@
 //     worst case (cloudy + old battery);
 //   * BAAT cuts the worst-case weighted aging speed by ~38% (Eq 6, equal
 //     weights).
+//
+// The {fleet, weather, policy} grid runs on the parallel sweep engine; each
+// job rebuilds its matched solar days from the same named RNG stream, so
+// every policy still sees the identical supply and the output is identical
+// at any BAAT_JOBS worker count.
 
 #include <map>
 
 #include "bench_util.hpp"
 #include "core/weighted_aging.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+struct CellResult {
+  double worst_ah = 0.0;
+  double nat = 0.0;
+  double cf = 0.0;
+  double pc_health = 0.0;
+  double ddt = 0.0;
+  double weighted = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace baat;
@@ -23,54 +42,71 @@ int main() {
   const sim::ScenarioConfig cfg = sim::prototype_scenario();
   const core::PolicyKind policies[] = {core::PolicyKind::EBuff, core::PolicyKind::BaatS,
                                        core::PolicyKind::BaatH, core::PolicyKind::Baat};
+  const bool fleets[] = {false, true};
+  const solar::DayType weathers[] = {solar::DayType::Sunny, solar::DayType::Cloudy};
   const core::AgingWeights equal{1.0 / 3, 1.0 / 3, 1.0 / 3};
 
   auto csv = bench::open_csv("fig13_aging_comparison",
                              {"fleet", "weather", "policy", "worst_ah", "nat", "cf",
                               "pc_health", "ddt", "weighted_aging"});
 
-  std::map<std::string, double> ah;        // (fleet|weather|policy) → worst Ah
-  std::map<std::string, double> weighted;  // same → Eq 6 score
-
   // The prototype's batteries are in continuous service — a measured day
   // starts from wherever yesterday left the fleet, not from a full charge.
   // Warm every cluster up with three matched days of the same weather, then
-  // measure the fourth (all four policies see identical solar traces).
+  // measure the fourth (all four policies see identical solar traces: the
+  // day stream is re-derived from the same seed inside every job).
   constexpr int kWarmupDays = 3;
-  for (bool old_fleet : {false, true}) {
-    for (solar::DayType type : {solar::DayType::Sunny, solar::DayType::Cloudy}) {
-      std::vector<solar::SolarDay> days;
-      util::Rng day_rng = util::Rng::stream(cfg.seed, "fig13-days");
-      for (int d = 0; d <= kWarmupDays; ++d) {
-        days.emplace_back(cfg.plant, type, day_rng.fork("day"));
-      }
+  constexpr std::size_t kPolicies = 4;
+  const std::size_t n_cells = 2 * 2 * kPolicies;
+  const std::vector<CellResult> cells = sim::sweep_map(n_cells, [&](std::size_t i) {
+    const core::PolicyKind p = policies[i % kPolicies];
+    const solar::DayType type = weathers[(i / kPolicies) % 2];
+    const bool old_fleet = fleets[i / (kPolicies * 2)];
+
+    std::vector<solar::SolarDay> days;
+    util::Rng day_rng = util::Rng::stream(cfg.seed, "fig13-days");
+    for (int d = 0; d <= kWarmupDays; ++d) {
+      days.emplace_back(cfg.plant, type, day_rng.fork("day"));
+    }
+
+    sim::ScenarioConfig local = cfg;
+    local.policy = p;
+    sim::Cluster cluster{local};
+    if (old_fleet) sim::seed_aged_fleet(cluster, sim::six_month_aged_state());
+    for (int d = 0; d < kWarmupDays; ++d) cluster.run_day(days[d]);
+    const sim::DayResult r = cluster.run_day(days.back());
+    const auto& m = r.nodes[r.worst_node()].metrics_day;
+    return CellResult{r.nodes[r.worst_node()].ah_discharged.value(), m.nat, m.cf,
+                      m.pc_health, m.ddt, core::weighted_aging(m, equal)};
+  });
+
+  std::map<std::string, double> ah;        // (fleet|weather|policy) → worst Ah
+  std::map<std::string, double> weighted;  // same → Eq 6 score
+
+  std::size_t idx = 0;
+  for (bool old_fleet : fleets) {
+    for (solar::DayType type : weathers) {
       std::printf("%s fleet, %s day:\n", old_fleet ? "old" : "young",
                   std::string(solar::day_type_name(type)).c_str());
       std::printf("  %-8s %9s %9s %7s %10s %7s %10s\n", "policy", "worstAh", "NAT",
                   "CF", "PC-health", "DDT", "weighted");
       for (core::PolicyKind p : policies) {
-        sim::ScenarioConfig local = cfg;
-        local.policy = p;
-        sim::Cluster cluster{local};
-        if (old_fleet) sim::seed_aged_fleet(cluster, sim::six_month_aged_state());
-        for (int d = 0; d < kWarmupDays; ++d) cluster.run_day(days[d]);
-        const sim::DayResult r = cluster.run_day(days.back());
-        const auto& m = r.nodes[r.worst_node()].metrics_day;
-        const double score = core::weighted_aging(m, equal);
+        const CellResult& c = cells[idx++];
         const std::string key = std::string(old_fleet ? "old" : "young") + "|" +
                                 std::string(solar::day_type_name(type)) + "|" +
                                 std::string(core::policy_kind_name(p));
-        ah[key] = r.nodes[r.worst_node()].ah_discharged.value();
-        weighted[key] = score;
+        ah[key] = c.worst_ah;
+        weighted[key] = c.weighted;
         std::printf("  %-8s %9.1f %9.5f %7.2f %10.2f %7.2f %10.3f\n",
-                    std::string(core::policy_kind_name(p)).c_str(), ah[key], m.nat,
-                    m.cf, m.pc_health, m.ddt, score);
+                    std::string(core::policy_kind_name(p)).c_str(), c.worst_ah,
+                    c.nat, c.cf, c.pc_health, c.ddt, c.weighted);
         csv.write_row({old_fleet ? "old" : "young",
                        std::string(solar::day_type_name(type)),
                        std::string(core::policy_kind_name(p)),
-                       util::CsvWriter::cell(ah[key]), util::CsvWriter::cell(m.nat),
-                       util::CsvWriter::cell(m.cf), util::CsvWriter::cell(m.pc_health),
-                       util::CsvWriter::cell(m.ddt), util::CsvWriter::cell(score)});
+                       util::CsvWriter::cell(c.worst_ah), util::CsvWriter::cell(c.nat),
+                       util::CsvWriter::cell(c.cf), util::CsvWriter::cell(c.pc_health),
+                       util::CsvWriter::cell(c.ddt),
+                       util::CsvWriter::cell(c.weighted)});
       }
       std::printf("\n");
     }

@@ -2,12 +2,16 @@
 // threshold. Paper: raising the threshold lets batteries offload more
 // burden, extending lifetime and cutting cost; BAAT achieves ~26% annual
 // depreciation savings over e-Buff (but over-throttling wastes performance).
+//
+// The e-Buff baseline and the five threshold points run on the parallel
+// sweep engine; set BAAT_JOBS to pick the worker count.
 
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/cost.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace baat;
@@ -18,9 +22,23 @@ int main() {
   const core::CostParams cost;
   constexpr double kSunshine = 0.5;
   constexpr std::size_t kSimDays = 45;
+  const std::vector<double> triggers{0.20, 0.30, 0.40, 0.50, 0.60};
 
-  const sim::LifetimeSummary ebuff =
-      sim::estimate_lifetime(base, core::PolicyKind::EBuff, kSunshine, kSimDays);
+  // Job 0 is the e-Buff baseline; jobs 1..N are the BAAT threshold points.
+  const std::vector<sim::LifetimeSummary> runs =
+      sim::sweep_map(1 + triggers.size(), [&](std::size_t i) {
+        if (i == 0) {
+          return sim::estimate_lifetime(base, core::PolicyKind::EBuff, kSunshine,
+                                        kSimDays);
+        }
+        sim::ScenarioConfig cfg = base;
+        cfg.policy_params.slowdown.soc_trigger = triggers[i - 1];
+        cfg.policy_params.slowdown.soc_recover = triggers[i - 1] + 0.15;
+        return sim::estimate_lifetime(cfg, core::PolicyKind::Baat, kSunshine,
+                                      kSimDays);
+      });
+
+  const sim::LifetimeSummary& ebuff = runs[0];
   const double ebuff_cost =
       core::annual_battery_depreciation(cost, ebuff.lifetime_days / 365.0).value();
 
@@ -34,12 +52,9 @@ int main() {
               "saving", "work(Mcs)");
 
   double best_saving = 0.0;
-  for (double trigger : {0.20, 0.30, 0.40, 0.50, 0.60}) {
-    sim::ScenarioConfig cfg = base;
-    cfg.policy_params.slowdown.soc_trigger = trigger;
-    cfg.policy_params.slowdown.soc_recover = trigger + 0.15;
-    const sim::LifetimeSummary baat =
-        sim::estimate_lifetime(cfg, core::PolicyKind::Baat, kSunshine, kSimDays);
+  for (std::size_t i = 0; i < triggers.size(); ++i) {
+    const double trigger = triggers[i];
+    const sim::LifetimeSummary& baat = runs[i + 1];
     const double annual =
         core::annual_battery_depreciation(cost, baat.lifetime_days / 365.0).value();
     const double saving = (1.0 - annual / ebuff_cost) * 100.0;

@@ -2,12 +2,16 @@
 // battery-depreciation savings, versus sunshine fraction. Paper: up to ~15%
 // more servers in sun-rich locations; the expansion ratio grows sublinearly
 // because added servers age the batteries faster.
+//
+// The sunshine x policy grid runs on the parallel sweep engine; set
+// BAAT_JOBS to pick the worker count.
 
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/cost.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace baat;
@@ -17,6 +21,17 @@ int main() {
   const sim::ScenarioConfig base = sim::prototype_scenario();
   const core::CostParams cost;
   constexpr std::size_t kSimDays = 45;
+  const std::vector<double> fractions{0.2, 0.35, 0.5, 0.65, 0.8};
+
+  // Even indices are e-Buff, odd indices BAAT, paired per fraction.
+  const std::vector<double> years =
+      sim::sweep_map(2 * fractions.size(), [&](std::size_t i) {
+        const core::PolicyKind p =
+            (i % 2 == 0) ? core::PolicyKind::EBuff : core::PolicyKind::Baat;
+        return sim::estimate_lifetime(base, p, fractions[i / 2], kSimDays)
+                   .lifetime_days /
+               365.0;
+      });
 
   auto csv = bench::open_csv("fig17_server_expansion",
                              {"sunshine_fraction", "ebuff_cost", "baat_cost",
@@ -26,17 +41,12 @@ int main() {
   std::printf("%10s %12s %12s %12s %10s %10s\n", "sunshine", "e-Buff $/y",
               "BAAT $/y", "saving $/y", "servers", "expansion");
   double best = 0.0;
-  for (double f : {0.2, 0.35, 0.5, 0.65, 0.8}) {
-    const double ebuff_years =
-        sim::estimate_lifetime(base, core::PolicyKind::EBuff, f, kSimDays)
-            .lifetime_days /
-        365.0;
-    const double baat_years =
-        sim::estimate_lifetime(base, core::PolicyKind::Baat, f, kSimDays)
-            .lifetime_days /
-        365.0;
-    const double c_ebuff = core::annual_battery_depreciation(cost, ebuff_years).value();
-    const double c_baat = core::annual_battery_depreciation(cost, baat_years).value();
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    const double f = fractions[fi];
+    const double c_ebuff =
+        core::annual_battery_depreciation(cost, years[2 * fi]).value();
+    const double c_baat =
+        core::annual_battery_depreciation(cost, years[2 * fi + 1]).value();
     const double saving = std::max(0.0, c_ebuff - c_baat);
     const double servers =
         core::servers_addable_at_constant_tco(cost, util::dollars(saving));

@@ -35,12 +35,14 @@ std::unique_ptr<AgingPolicy> make_policy(PolicyKind kind, const PolicyParams& pa
 }
 
 void record_actions(const Actions& actions) {
+  // Per-call resolution (no static caching): the active registry is
+  // per-thread under the sweep engine.
   obs::Registry& reg = obs::global_registry();
-  static obs::Counter& ticks = reg.counter("policy.control_ticks");
-  static obs::Counter& migrations = reg.counter("policy.decisions", "migration");
-  static obs::Counter& dvfs = reg.counter("policy.decisions", "dvfs");
-  static obs::Counter& charge = reg.counter("policy.decisions", "charge_priority");
-  static obs::Counter& floor = reg.counter("policy.decisions", "discharge_floor");
+  obs::Counter& ticks = reg.counter("policy.control_ticks");
+  obs::Counter& migrations = reg.counter("policy.decisions", "migration");
+  obs::Counter& dvfs = reg.counter("policy.decisions", "dvfs");
+  obs::Counter& charge = reg.counter("policy.decisions", "charge_priority");
+  obs::Counter& floor = reg.counter("policy.decisions", "discharge_floor");
   ticks.inc();
   if (!actions.migrations.empty()) {
     migrations.inc(static_cast<double>(actions.migrations.size()));

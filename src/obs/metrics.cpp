@@ -66,15 +66,16 @@ Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper
 void Histogram::add(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  if (count_ == 0) {
-    min_ = v;
-    max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++count_;
+  stats_.add(v);
   sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  BAAT_REQUIRE(bounds_ == other.bounds_,
+               "histogram merge requires identical bucket bounds");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  stats_.merge(other.stats_);
+  sum_ += other.sum_;
 }
 
 double Histogram::bucket_upper(std::size_t b) const {
@@ -85,10 +86,8 @@ double Histogram::bucket_upper(std::size_t b) const {
 
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), std::size_t{0});
-  count_ = 0;
+  stats_ = util::RunningStats{};
   sum_ = 0.0;
-  min_ = 0.0;
-  max_ = 0.0;
 }
 
 Counter& Registry::counter(const std::string& name) { return counters_[name]; }
@@ -129,6 +128,19 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
 }
 
 void Registry::write_json(std::ostream& out) const {
@@ -208,9 +220,22 @@ std::string Registry::csv() const {
   return os.str();
 }
 
+namespace {
+// Sweep jobs run with a private registry installed here, so parallel
+// simulations never contend on (or pollute) the process-wide instance.
+thread_local Registry* t_registry = nullptr;
+}  // namespace
+
 Registry& global_registry() {
+  if (t_registry != nullptr) return *t_registry;
   static Registry registry;
   return registry;
+}
+
+Registry* set_thread_registry(Registry* registry) {
+  Registry* previous = t_registry;
+  t_registry = registry;
+  return previous;
 }
 
 const std::vector<double>& duration_bounds_ns() {

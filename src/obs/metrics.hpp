@@ -12,8 +12,11 @@
 //  * Exports are deterministic: entries iterate in sorted name order and
 //    numbers are printed with a fixed format, so two identically seeded
 //    runs produce byte-identical files (guarded by a regression test).
-//  * Single-threaded by design, like the rest of the simulator — plain
-//    doubles, no atomics.
+//  * No locks, no atomics: a registry is only ever touched by one thread.
+//    The parallel sweep engine (sim/sweep.hpp) gives each job its own
+//    registry via the thread-local override below and merges them into the
+//    caller's registry in job-index order at join, so concurrency never
+//    changes an exported byte.
 
 #include <cstddef>
 #include <iosfwd>
@@ -21,12 +24,16 @@
 #include <string>
 #include <vector>
 
+#include "util/stats.hpp"
+
 namespace baat::obs {
 
 /// Monotonically increasing value (events, ticks, decisions).
 class Counter {
  public:
   void inc(double delta = 1.0) { value_ += delta; }
+  /// Fold another counter in (sweep join): counts add.
+  void merge(const Counter& other) { value_ += other.value_; }
   [[nodiscard]] double value() const { return value_; }
   void reset() { value_ = 0.0; }
 
@@ -38,6 +45,9 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_ = v; }
+  /// Fold another gauge in (sweep join): last writer wins, so merging in
+  /// job-index order leaves the highest-index job's value.
+  void merge(const Gauge& other) { value_ = other.value_; }
   [[nodiscard]] double value() const { return value_; }
   void reset() { value_ = 0.0; }
 
@@ -53,13 +63,18 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void add(double v);
-  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Fold another histogram with identical bounds in (sweep join). The
+  /// count/sum/min/max summary rides on util::RunningStats::merge.
+  void merge(const Histogram& other);
+  [[nodiscard]] std::size_t count() const { return stats_.count(); }
+  /// Exact accumulated sum (kept separately from the Welford state so the
+  /// exported value does not pick up mean-reconstruction rounding).
   [[nodiscard]] double sum() const { return sum_; }
   /// Valid only when count() > 0.
-  [[nodiscard]] double min() const { return min_; }
-  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double min() const { return stats_.count() == 0 ? 0.0 : stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.count() == 0 ? 0.0 : stats_.max(); }
   [[nodiscard]] double mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    return stats_.count() == 0 ? 0.0 : sum_ / static_cast<double>(stats_.count());
   }
 
   /// Finite buckets plus the overflow bucket.
@@ -68,16 +83,15 @@ class Histogram {
   /// returns +infinity.
   [[nodiscard]] double bucket_upper(std::size_t b) const;
   [[nodiscard]] std::size_t bucket_value(std::size_t b) const { return counts_[b]; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
 
   void reset();
 
  private:
   std::vector<double> bounds_;
   std::vector<std::size_t> counts_;
-  std::size_t count_ = 0;
+  util::RunningStats stats_;
   double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
 };
 
 /// Named metric store. Metric names use dotted paths with an optional
@@ -114,6 +128,12 @@ class Registry {
   /// Zero every metric in place. Entries (and therefore handles) survive.
   void reset();
 
+  /// Fold `other` in: counters add, gauges take the incoming value,
+  /// histograms merge bucket-wise (bounds must match). Registering absent
+  /// entries as needed. The sweep engine calls this once per job in
+  /// job-index order, which keeps merged exports deterministic.
+  void merge(const Registry& other);
+
   /// Deterministic exports: sorted names, fixed number formatting.
   void write_json(std::ostream& out) const;
   void write_csv(std::ostream& out) const;
@@ -128,8 +148,16 @@ class Registry {
   std::map<std::string, Histogram> histograms_;
 };
 
-/// The process-wide registry the instrumented hot paths feed.
+/// The registry the instrumented hot paths feed: the thread's override when
+/// one is installed (a sweep job's private registry), otherwise the
+/// process-wide registry.
 Registry& global_registry();
+
+/// Install a thread-local registry override (nullptr restores the
+/// process-wide default). The sweep engine brackets each job with this so
+/// instrumentation from parallel jobs never shares state; returns the
+/// previous override so scopes can nest.
+Registry* set_thread_registry(Registry* registry);
 
 /// Exponential nanosecond bucket edges (100 ns … 1 s) shared by all
 /// scoped-timer histograms.

@@ -5,7 +5,12 @@
 // constructor then reads one bool and skips the clock entirely, so leaving
 // a timer compiled into a hot loop costs ~a branch (bounded by a
 // microbench and a regression test). When enabled, each scope feeds a
-// nanosecond histogram in the global registry under `profile.<site>_ns`.
+// nanosecond histogram in the *active* registry (the thread's sweep-job
+// registry if one is installed, else the process-wide one) under
+// `profile.<site>_ns`. The histogram handle is resolved per scope, not
+// cached in a static: a cached handle would pin every thread to whichever
+// registry happened to be active at first execution — a data race under
+// the parallel sweep engine.
 //
 // Wall-clock durations are inherently non-deterministic, which is why
 // profiling is a separate switch from metrics/tracing: the byte-identical
@@ -19,18 +24,27 @@
 namespace baat::obs {
 
 namespace detail {
+// Written only from single-threaded phases; sweep workers only read it.
 inline bool g_profiling_enabled = false;
 }
 
 inline bool profiling_enabled() { return detail::g_profiling_enabled; }
 inline void set_profiling_enabled(bool enabled) { detail::g_profiling_enabled = enabled; }
 
-/// Register (once) the nanosecond histogram `profile.<site>_ns` in the
-/// global registry.
+/// Register (or look up) the nanosecond histogram `profile.<site>_ns` in
+/// the active registry.
 Histogram& profile_histogram(const std::string& site);
 
 class ScopedTimer {
  public:
+  /// The registry lookup happens only when profiling is on; the off path is
+  /// one bool load.
+  explicit ScopedTimer(const char* site) {
+    if (profiling_enabled()) {
+      sink_ = &profile_histogram(site);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
   explicit ScopedTimer(Histogram& sink) : sink_(profiling_enabled() ? &sink : nullptr) {
     if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
@@ -46,16 +60,13 @@ class ScopedTimer {
   }
 
  private:
-  Histogram* sink_;
+  Histogram* sink_ = nullptr;
   std::chrono::steady_clock::time_point start_{};
 };
 
 }  // namespace baat::obs
 
-/// Time the enclosing scope under `profile.<site>_ns`. The histogram handle
-/// is resolved once per call site (registry entries are never erased, so
-/// the static reference stays valid).
-#define BAAT_OBS_TIMED(site)                                            \
-  static ::baat::obs::Histogram& baat_obs_timed_hist_ =                 \
-      ::baat::obs::profile_histogram(site);                             \
-  ::baat::obs::ScopedTimer baat_obs_timed_scope_ { baat_obs_timed_hist_ }
+/// Time the enclosing scope under `profile.<site>_ns` in the active
+/// registry.
+#define BAAT_OBS_TIMED(site) \
+  ::baat::obs::ScopedTimer baat_obs_timed_scope_ { site }

@@ -53,6 +53,10 @@ void TraceBuffer::push(TraceEvent event) {
   ++dropped_;
 }
 
+void TraceBuffer::merge(const TraceBuffer& other) {
+  for (TraceEvent& e : other.events()) push(std::move(e));
+}
+
 void TraceBuffer::set_capacity(std::size_t capacity) {
   BAAT_REQUIRE(capacity > 0, "trace capacity must be positive");
   capacity_ = capacity;
@@ -114,9 +118,20 @@ void TraceBuffer::write_chrome_trace(std::ostream& out) const {
   out << "\n]}\n";
 }
 
+namespace {
+thread_local TraceBuffer* t_trace = nullptr;
+}  // namespace
+
 TraceBuffer& global_trace() {
+  if (t_trace != nullptr) return *t_trace;
   static TraceBuffer trace;
   return trace;
+}
+
+TraceBuffer* set_thread_trace(TraceBuffer* trace) {
+  TraceBuffer* previous = t_trace;
+  t_trace = trace;
+  return previous;
 }
 
 bool trace_enabled() { return g_trace_enabled; }

@@ -59,6 +59,10 @@ class TraceBuffer {
   explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
 
   void push(TraceEvent event);
+  /// Append every event of `other` (oldest first), honouring this ring's
+  /// capacity. The sweep engine folds per-job traces in with this, in
+  /// job-index order, so the merged trace is deterministic.
+  void merge(const TraceBuffer& other);
   /// Re-size the ring; clears contents and the dropped counter.
   void set_capacity(std::size_t capacity);
   void clear();
@@ -82,10 +86,19 @@ class TraceBuffer {
   std::size_t dropped_ = 0;
 };
 
-/// The process-wide trace the instrumented layers feed.
+/// The trace the instrumented layers feed: the thread's override when one
+/// is installed (a sweep job's private buffer), otherwise the process-wide
+/// trace.
 TraceBuffer& global_trace();
 
+/// Install a thread-local trace override (nullptr restores the process-wide
+/// default); returns the previous override so scopes can nest. Paired with
+/// obs::set_thread_registry by the sweep engine.
+TraceBuffer* set_thread_trace(TraceBuffer* trace);
+
 /// Tracing master switch; `emit` below is a no-op while disabled (default).
+/// The flag is written only from single-threaded phases (CLI setup, test
+/// setup, between sweeps); worker threads only read it.
 bool trace_enabled();
 void set_trace_enabled(bool enabled);
 

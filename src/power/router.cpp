@@ -185,11 +185,14 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
 
   // Observability: one "redirect" = a tick where solar alone could not
   // carry the load and the switcher pulled in battery or utility power.
-  static obs::Counter& ticks = obs::global_registry().counter("router.ticks");
-  static obs::Counter& redirects = obs::global_registry().counter("router.redirects");
-  static obs::Counter& cutoffs = obs::global_registry().counter("router.cutoff_ticks");
-  static obs::Counter& curtailed =
-      obs::global_registry().counter("router.curtailed_ticks");
+  // Resolved per call, not cached in statics: the active registry is
+  // per-thread under the sweep engine, and a static handle would alias
+  // every thread onto one job's registry.
+  obs::Registry& reg = obs::global_registry();
+  obs::Counter& ticks = reg.counter("router.ticks");
+  obs::Counter& redirects = reg.counter("router.redirects");
+  obs::Counter& cutoffs = reg.counter("router.cutoff_ticks");
+  obs::Counter& curtailed = reg.counter("router.curtailed_ticks");
   ticks.inc();
   if (result.solar_curtailed.value() > 1e-9) curtailed.inc();
   bool redirected = false;

@@ -2,12 +2,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "core/lifetime.hpp"
 #include "obs/obs.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/require.hpp"
 #include "util/sim_clock.hpp"
@@ -39,13 +41,56 @@ double parse_double(const std::string& flag, const std::string& value) {
   }
 }
 
+// Integer flags must never round-trip through double: above 2^53 a double
+// cannot represent every integer, so large --seed values were silently
+// corrupted (or spuriously rejected by the exactness check).
 long parse_long(const std::string& flag, const std::string& value) {
-  const double v = parse_double(flag, value);
-  const auto l = static_cast<long>(v);
-  if (static_cast<double>(l) != v) {
-    throw util::PreconditionError("expected an integer for " + flag);
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    if (v < std::numeric_limits<long>::min() || v > std::numeric_limits<long>::max()) {
+      throw std::out_of_range(value);
+    }
+    return static_cast<long>(v);
+  } catch (const std::exception&) {
+    throw util::PreconditionError("expected an integer for " + flag + ": '" + value +
+                                  "'");
   }
-  return l;
+}
+
+std::uint64_t parse_uint64(const std::string& flag, const std::string& value) {
+  try {
+    // stoull happily wraps "-1" to 2^64-1; reject signs explicitly.
+    if (value.empty() || value[0] == '-' || value[0] == '+') {
+      throw std::invalid_argument(value);
+    }
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    throw util::PreconditionError("expected an unsigned integer for " + flag + ": '" +
+                                  value + "'");
+  }
+}
+
+std::vector<double> parse_fraction_list(const std::string& flag,
+                                        const std::string& value) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item = value.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    const double f = parse_double(flag, item);
+    BAAT_REQUIRE(f >= 0.0 && f <= 1.0, flag + " fractions must be in [0, 1]");
+    out.push_back(f);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  BAAT_REQUIRE(!out.empty(), flag + " needs at least one fraction");
+  return out;
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -66,8 +111,13 @@ std::string cli_usage() {
          "  --ratio <w>       server-to-battery ratio, W/Ah (default: prototype)\n"
          "  --cycles-plan <c> Eq 7 planned cycles (enables baat-planned input)\n"
          "  --seed <s>        experiment seed (default 42)\n"
+         "  --sweep-sunshine <f1,f2,...>\n"
+         "                    sweep mode: one multi-day run per sunshine fraction,\n"
+         "                    executed on the parallel sweep engine\n"
+         "  --jobs <n>        sweep worker threads (default: BAAT_JOBS env or all\n"
+         "                    cores); never changes results, only wall-clock time\n"
          "  --old-fleet       start from a six-month-aged fleet\n"
-         "  --csv <path>      write per-day results to CSV\n"
+         "  --csv <path>      write per-day results to CSV (per-point in sweep mode)\n"
          "  --report <path>   write a markdown experiment report\n"
          "  --metrics-out <p> dump the metrics registry (JSON; .csv suffix for CSV)\n"
          "                    and enable hot-path timer histograms\n"
@@ -109,7 +159,13 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.cycles_plan = parse_double(a, next("--cycles-plan"));
       BAAT_REQUIRE(options.cycles_plan > 0.0, "--cycles-plan must be positive");
     } else if (a == "--seed") {
-      options.seed = static_cast<std::uint64_t>(parse_long(a, next("--seed")));
+      options.seed = parse_uint64(a, next("--seed"));
+    } else if (a == "--sweep-sunshine") {
+      options.sweep_sunshine = parse_fraction_list(a, next("--sweep-sunshine"));
+    } else if (a == "--jobs") {
+      const long v = parse_long(a, next("--jobs"));
+      BAAT_REQUIRE(v > 0, "--jobs must be positive");
+      options.jobs = static_cast<std::size_t>(v);
     } else if (a == "--old-fleet") {
       options.old_fleet = true;
     } else if (a == "--csv") {
@@ -155,6 +211,76 @@ ScenarioConfig scenario_from_cli(const CliOptions& options) {
   return cfg;
 }
 
+namespace {
+
+/// Sweep mode: one multi-day simulation per sunshine fraction, run on the
+/// parallel engine. Per-point summaries print (and export) in point order,
+/// so stdout, the CSV and the merged obs exports are byte-identical at any
+/// --jobs value.
+void run_sunshine_sweep(const CliOptions& options, const ScenarioConfig& cfg) {
+  const std::vector<double>& fractions = options.sweep_sunshine;
+  SweepOptions sweep_opts;
+  sweep_opts.jobs = options.jobs;
+  sweep_opts.trace_capacity = options.trace_events;
+  const std::vector<LifetimeSummary> points = sweep_map(
+      fractions.size(),
+      [&](std::size_t i) {
+        Cluster cluster{cfg};
+        if (options.old_fleet) seed_aged_fleet(cluster, six_month_aged_state());
+        MultiDayOptions opts;
+        opts.days = options.days;
+        opts.sunshine_fraction = fractions[i];
+        opts.probe_every_days = 0;
+        opts.keep_days = false;
+        const MultiDayResult run = run_multi_day(cluster, opts);
+        LifetimeSummary s;
+        s.sim_days = static_cast<double>(options.days);
+        s.mean_health_end = run.mean_health_end;
+        s.min_health_end = run.min_health_end;
+        s.throughput = run.total_throughput;
+        s.lifetime_days =
+            core::extrapolate_lifetime(1.0, run.min_health_end, s.sim_days).days;
+        s.lifetime_days_mean =
+            core::extrapolate_lifetime(1.0, run.mean_health_end, s.sim_days).days;
+        return s;
+      },
+      sweep_opts);
+
+  std::printf("policy        : %s\n",
+              std::string(core::policy_kind_name(cfg.policy)).c_str());
+  std::printf("sweep         : %zu sunshine points x %zu days (seed %llu%s)\n",
+              fractions.size(), options.days,
+              static_cast<unsigned long long>(options.seed),
+              options.old_fleet ? ", old fleet" : "");
+  std::printf("%10s %12s %12s %14s %12s\n", "sunshine", "lifetime", "mean life",
+              "work (Mcs)", "min health");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::printf("%10.2f %11.0fd %11.0fd %14.2f %12.4f\n", fractions[i],
+                points[i].lifetime_days, points[i].lifetime_days_mean,
+                points[i].throughput / 1e6, points[i].min_health_end);
+  }
+
+  if (!options.csv_path.empty()) {
+    util::CsvWriter csv{options.csv_path,
+                        {"sunshine_fraction", "policy", "days", "lifetime_days",
+                         "lifetime_days_mean", "throughput", "mean_health_end",
+                         "min_health_end"}};
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      csv.write_row({util::CsvWriter::cell(fractions[i]),
+                     std::string(core::policy_kind_name(cfg.policy)),
+                     util::CsvWriter::cell(static_cast<double>(options.days)),
+                     util::CsvWriter::cell(points[i].lifetime_days),
+                     util::CsvWriter::cell(points[i].lifetime_days_mean),
+                     util::CsvWriter::cell(points[i].throughput),
+                     util::CsvWriter::cell(points[i].mean_health_end),
+                     util::CsvWriter::cell(points[i].min_health_end)});
+    }
+    std::printf("per-point CSV : %s\n", options.csv_path.c_str());
+  }
+}
+
+}  // namespace
+
 int run_cli(const CliOptions& options) {
   if (options.show_help) {
     std::fputs(cli_usage().c_str(), stdout);
@@ -174,6 +300,37 @@ int run_cli(const CliOptions& options) {
   obs::set_profiling_enabled(!options.metrics_path.empty());
 
   const ScenarioConfig cfg = scenario_from_cli(options);
+
+  if (!options.sweep_sunshine.empty()) {
+    run_sunshine_sweep(options, cfg);
+
+    if (!options.metrics_path.empty()) {
+      std::ofstream out{options.metrics_path};
+      if (!out) throw std::runtime_error("cannot open " + options.metrics_path);
+      if (ends_with(options.metrics_path, ".csv")) {
+        registry.write_csv(out);
+      } else {
+        registry.write_json(out);
+      }
+      std::printf("metrics       : %s\n", options.metrics_path.c_str());
+    }
+    if (!options.trace_path.empty()) {
+      std::ofstream out{options.trace_path};
+      if (!out) throw std::runtime_error("cannot open " + options.trace_path);
+      if (ends_with(options.trace_path, ".jsonl")) {
+        trace.write_jsonl(out);
+      } else {
+        trace.write_chrome_trace(out);
+      }
+      std::printf("trace         : %s (%zu events, %zu dropped)\n",
+                  options.trace_path.c_str(), trace.size(), trace.dropped());
+    }
+    obs::set_trace_enabled(false);
+    obs::set_profiling_enabled(false);
+    util::set_sim_time(-1.0);
+    return 0;
+  }
+
   Cluster cluster{cfg};
   if (options.old_fleet) seed_aged_fleet(cluster, six_month_aged_state());
 

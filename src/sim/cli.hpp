@@ -31,6 +31,14 @@ struct CliOptions {
   bool old_fleet = false;
   bool show_help = false;
 
+  // --- sweep mode ---------------------------------------------------------
+  /// Sunshine fractions to sweep; non-empty switches run_cli into sweep
+  /// mode (one multi-day simulation per fraction on the parallel engine).
+  std::vector<double> sweep_sunshine;
+  /// Worker threads for sweep mode; 0 = default_sweep_jobs(). The thread
+  /// count never changes any output byte, only the wall-clock time.
+  std::size_t jobs = 0;
+
   // --- observability ------------------------------------------------------
   /// Metrics-registry JSON dump (`.csv` suffix switches to CSV). Also turns
   /// hot-path profiling on so the dump carries timer histograms.

@@ -38,10 +38,10 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
     const solar::SolarDay day{cluster.config().plant, weather[d], solar_rng.fork("day")};
     DayResult day_result = cluster.run_day(day);
     result.total_throughput += day_result.throughput_work;
-    for (std::size_t b = 0; b < day_result.soc_histogram.bin_count(); ++b) {
-      const double lo = day_result.soc_histogram.bin_lo(b);
-      result.soc_histogram.add(lo + 1e-6, day_result.soc_histogram.bin_weight(b));
-    }
+    // Same-edge merge, not re-binning: re-adding bin weights at bin_lo()
+    // silently dropped each day's underflow/overflow weight — exactly the
+    // out-of-range low-SoC (and pegged-full) node-seconds Figs 18/19 read.
+    result.soc_histogram.merge(day_result.soc_histogram);
 
     const bool probe_due = options.probe_every_days > 0 &&
                            (d + 1) % options.probe_every_days == 0;

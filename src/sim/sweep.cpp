@@ -1,0 +1,123 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "util/sim_clock.hpp"
+
+namespace baat::sim {
+
+namespace {
+
+/// RAII bracket installing a job's private obs sinks on the current thread
+/// and restoring whatever was there before (so inline execution at
+/// --jobs 1 leaves the caller's sinks exactly as found).
+class JobSinkScope {
+ public:
+  JobSinkScope(obs::Registry* registry, obs::TraceBuffer* trace,
+               util::LogSink* log_sink)
+      : prev_registry_(obs::set_thread_registry(registry)),
+        prev_trace_(obs::set_thread_trace(trace)),
+        prev_log_sink_(util::set_thread_log_sink(log_sink)),
+        prev_sim_time_(util::sim_time()) {}
+  JobSinkScope(const JobSinkScope&) = delete;
+  JobSinkScope& operator=(const JobSinkScope&) = delete;
+  ~JobSinkScope() {
+    obs::set_thread_registry(prev_registry_);
+    obs::set_thread_trace(prev_trace_);
+    util::set_thread_log_sink(prev_log_sink_);
+    util::set_sim_time(prev_sim_time_);
+  }
+
+ private:
+  obs::Registry* prev_registry_;
+  obs::TraceBuffer* prev_trace_;
+  util::LogSink* prev_log_sink_;
+  double prev_sim_time_;
+};
+
+void run_one(const SweepJob& job, std::size_t index, std::size_t trace_capacity,
+             SweepResult& slot) {
+  slot.index = index;
+  slot.name = job.name;
+  obs::TraceBuffer local_trace{trace_capacity};
+  util::LogSink local_log = [&slot](util::LogLevel level, const std::string& line) {
+    slot.log_lines.emplace_back(level, line);
+  };
+  JobSinkScope sinks{&slot.metrics, &local_trace, &local_log};
+  try {
+    job.work();
+    slot.ok = true;
+  } catch (const std::exception& e) {
+    slot.error = e.what();
+  } catch (...) {
+    slot.error = "unknown exception";
+  }
+  slot.trace = local_trace.events();
+}
+
+}  // namespace
+
+std::size_t default_sweep_jobs() {
+  if (const char* env = std::getenv("BAAT_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
+                                   const SweepOptions& options) {
+  for (const SweepJob& job : jobs) {
+    BAAT_REQUIRE(static_cast<bool>(job.work), "sweep job must have work");
+  }
+  BAAT_REQUIRE(options.trace_capacity > 0, "trace capacity must be positive");
+
+  const std::size_t n = jobs.size();
+  std::vector<SweepResult> results(n);
+  std::size_t workers = options.jobs > 0 ? options.jobs : default_sweep_jobs();
+  if (workers > n) workers = n;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      run_one(jobs[i], i, options.trace_capacity, results[i]);
+    }
+  } else {
+    // Fixed-size pool over an atomic work index. Each slot is written by
+    // exactly one worker and read only after join, so no further
+    // synchronisation is needed.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        run_one(jobs[i], i, options.trace_capacity, results[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (options.merge_obs) {
+    // Job-index order makes the merged exports independent of completion
+    // order and worker count.
+    obs::Registry& registry = obs::global_registry();
+    obs::TraceBuffer& trace = obs::global_trace();
+    for (const SweepResult& r : results) {
+      registry.merge(r.metrics);
+      for (const obs::TraceEvent& e : r.trace) trace.push(e);
+      for (const auto& [level, line] : r.log_lines) {
+        util::emit_log_line(level, line);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace baat::sim

@@ -1,0 +1,107 @@
+#pragma once
+
+// Deterministic parallel scenario-sweep engine. The paper's headline
+// results (Figs 13–17, Table 1) are grids of policy × sunshine × seed, and
+// every point is an independent Cluster simulation: no shared RNG (streams
+// derive from util::Rng::stream(seed, name)), no shared mutable state once
+// the obs layer runs on per-thread sinks. run_sweep() executes a job list
+// on a fixed-size worker pool and slots every result by job index, so the
+// output — typed results, merged metrics, merged trace — is byte-identical
+// whether it ran on 1 thread or 16, in whatever completion order.
+//
+// Concurrency contract (see DESIGN.md "Parallel sweeps"):
+//  * per job: a private obs::Registry, obs::TraceBuffer and log capture,
+//    installed as thread-local overrides for the duration of the job, plus
+//    the thread-local simulated clock;
+//  * shared read-only: the enable flags (tracing/profiling/log level) and
+//    anything captured by const reference in the job closures;
+//  * at join: job registries are merged into the caller's active registry,
+//    job traces into the caller's active trace, and job log lines replayed
+//    to the caller's log sink — all in job-index order.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/require.hpp"
+
+namespace baat::sim {
+
+struct SweepOptions {
+  /// Worker threads; 0 means default_sweep_jobs() (BAAT_JOBS env override,
+  /// else hardware concurrency). 1 runs inline on the calling thread.
+  std::size_t jobs = 0;
+  /// Fold per-job metrics/trace into the caller's obs sinks at join.
+  bool merge_obs = true;
+  /// Ring capacity for each job's private trace buffer.
+  std::size_t trace_capacity = obs::TraceBuffer::kDefaultCapacity;
+};
+
+struct SweepJob {
+  /// Label carried into the result (and error messages).
+  std::string name;
+  /// The work. Runs with the job's private obs sinks installed; anything it
+  /// captures must be immutable or owned by the job.
+  std::function<void()> work;
+};
+
+struct SweepResult {
+  std::size_t index = 0;
+  std::string name;
+  bool ok = false;
+  /// Exception message when !ok.
+  std::string error;
+  /// The job's private metrics; already folded into the caller's registry
+  /// when SweepOptions::merge_obs is set.
+  obs::Registry metrics;
+  /// The job's trace events (oldest first), when tracing was enabled.
+  std::vector<obs::TraceEvent> trace;
+  /// Formatted log lines the job emitted, in emission order; already
+  /// replayed to the caller's sink when SweepOptions::merge_obs is set.
+  std::vector<std::pair<util::LogLevel, std::string>> log_lines;
+};
+
+/// Worker count used when SweepOptions::jobs == 0: the BAAT_JOBS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency().
+std::size_t default_sweep_jobs();
+
+/// Run every job, slotting results by job index. Job exceptions are
+/// captured per result, never thrown. Deterministic: results, merged
+/// metrics and merged traces do not depend on the worker count.
+std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
+                                   const SweepOptions& options = {});
+
+/// Typed convenience over run_sweep: evaluate fn(0) … fn(n-1) in parallel
+/// and return the values slotted by index. fn must be safe to call
+/// concurrently (each call touching only its own state); any job failure
+/// rethrows as util::PreconditionError after the pool joins.
+template <typename Fn>
+auto sweep_map(std::size_t n, Fn&& fn, const SweepOptions& options = {})
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using T = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<T>,
+                "sweep_map results are pre-allocated and need a default state");
+  std::vector<T> out(n);
+  std::vector<SweepJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(SweepJob{"point-" + std::to_string(i),
+                            [&out, &fn, i] { out[i] = fn(i); }});
+  }
+  const std::vector<SweepResult> results = run_sweep(std::move(jobs), options);
+  for (const SweepResult& r : results) {
+    if (!r.ok) {
+      throw util::PreconditionError("sweep job '" + r.name + "' failed: " + r.error);
+    }
+  }
+  return out;
+}
+
+}  // namespace baat::sim

@@ -10,6 +10,9 @@ namespace baat::util {
 namespace {
 LogLevel g_level = LogLevel::Warn;
 LogSink g_sink;  // empty = stderr default
+// Per-thread override installed by the sweep engine; the level and the
+// process-wide sink are only mutated in single-threaded phases.
+thread_local LogSink* t_sink = nullptr;
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
@@ -38,6 +41,22 @@ std::optional<LogLevel> parse_log_level(std::string_view name) {
 
 void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
 
+LogSink* set_thread_log_sink(LogSink* sink) {
+  LogSink* previous = t_sink;
+  t_sink = sink;
+  return previous;
+}
+
+void emit_log_line(LogLevel level, const std::string& line) {
+  if (t_sink != nullptr && *t_sink) {
+    (*t_sink)(level, line);
+  } else if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::cerr << line << '\n';
+  }
+}
+
 std::string format_log_line(LogLevel level, const std::string& msg) {
   std::string line = "[";
   line += log_level_name(level);
@@ -57,12 +76,7 @@ std::string format_log_line(LogLevel level, const std::string& msg) {
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level) return;
-  const std::string line = format_log_line(level, msg);
-  if (g_sink) {
-    g_sink(level, line);
-  } else {
-    std::cerr << line << '\n';
-  }
+  emit_log_line(level, format_log_line(level, msg));
 }
 
 CaptureLog::CaptureLog() {

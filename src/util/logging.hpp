@@ -2,7 +2,11 @@
 
 // Leveled logger with pluggable sinks. The simulator is deterministic and
 // single-threaded per experiment, so this deliberately avoids locking;
-// benches set the level to Warn to keep output clean.
+// benches set the level to Warn to keep output clean. Parallel sweeps stay
+// safe under the same discipline: the level and the process-wide sink are
+// only mutated while no workers run, and each sweep worker installs a
+// per-thread sink override (set_thread_log_sink) that captures its job's
+// lines for deterministic replay in job-index order at join.
 //
 // Each line carries a level tag and — when the simulated clock has been
 // published (util/sim_clock.hpp) — a `dDDD hh:mm:ss` simulated-time prefix,
@@ -38,6 +42,17 @@ using LogSink = std::function<void(LogLevel, const std::string& line)>;
 
 /// Install a sink; an empty function restores the stderr default.
 void set_log_sink(LogSink sink);
+
+/// Install a per-thread sink override, shadowing the process-wide sink on
+/// the calling thread. Used by the sweep engine so each worker captures its
+/// job's log lines for deterministic replay at join. Returns the previous
+/// override (for nesting); nullptr removes the override.
+LogSink* set_thread_log_sink(LogSink* sink);
+
+/// Deliver an already formatted line to the active sink (thread override,
+/// then process sink, then stderr) without re-formatting or level
+/// filtering. The sweep engine uses this to replay captured job logs.
+void emit_log_line(LogLevel level, const std::string& line);
 
 /// Format `[LEVEL dDDD hh:mm:ss] msg` (the sim-time fields appear only when
 /// the simulated clock is set). Exposed for tests of the prefix format.

@@ -5,7 +5,10 @@
 namespace baat::util {
 
 namespace {
-double g_sim_time = -1.0;
+// One clock per thread: each parallel sweep job simulates its own timeline,
+// so sharing a single store would both race and interleave unrelated runs'
+// timestamps. Single-threaded behaviour is unchanged.
+thread_local double g_sim_time = -1.0;
 }
 
 void set_sim_time(double seconds) { g_sim_time = seconds; }

@@ -5,8 +5,10 @@
 // simulation state (logging prefixes, trace-event stamping, offline probes)
 // can stamp their output with *simulated* time rather than wall time.
 //
-// The clock is a plain double store: writing it never perturbs simulation
-// state, and reading it is a single load. Negative means "unset" (e.g. unit
+// The clock is a plain thread-local double store: writing it never perturbs
+// simulation state, and reading it is a single load. Each thread owns its
+// own clock, so parallel sweep jobs (sim/sweep.hpp) keep independent
+// timelines without synchronisation. Negative means "unset" (e.g. unit
 // tests of lower layers that never run a cluster).
 
 namespace baat::util {

@@ -78,6 +78,13 @@ Histogram Histogram::uniform(double lo, double hi, std::size_t n_bins) {
 }
 
 void Histogram::add(double x, double weight) {
+  // NaN fails every ordered comparison: it would fall through both range
+  // guards and upper_bound would return end(), indexing one past the last
+  // bin. Catch it first and keep it out of the bins entirely.
+  if (std::isnan(x)) {
+    nan_ += weight;
+    return;
+  }
   if (x < edges_.front()) {
     underflow_ += weight;
     return;
@@ -89,6 +96,14 @@ void Histogram::add(double x, double weight) {
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
   const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
   counts_[idx] += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  BAAT_REQUIRE(edges_ == other.edges_, "histogram merge requires identical edges");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  nan_ += other.nan_;
 }
 
 double Histogram::bin_weight(std::size_t i) const {

@@ -36,7 +36,9 @@ class RunningStats {
 };
 
 /// Fixed-edge histogram. Edges must be strictly increasing; samples outside
-/// [edges.front(), edges.back()) land in underflow/overflow counters.
+/// [edges.front(), edges.back()) land in underflow/overflow counters. NaN
+/// samples land in a separate counter and never reach the bins (they are
+/// unordered, so no bin or edge comparison is meaningful for them).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> edges);
@@ -46,10 +48,17 @@ class Histogram {
 
   void add(double x, double weight = 1.0);
 
+  /// Accumulate another histogram with identical edges: bins, underflow,
+  /// overflow and the NaN counter are all carried over.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] double bin_weight(std::size_t i) const;
   [[nodiscard]] double underflow() const { return underflow_; }
   [[nodiscard]] double overflow() const { return overflow_; }
+  /// Weight of NaN samples; excluded from total_weight() and fractions.
+  [[nodiscard]] double nan_weight() const { return nan_; }
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
   [[nodiscard]] double total_weight() const;
   /// Fraction of total weight in bin i (0 if histogram is empty).
   [[nodiscard]] double fraction(std::size_t i) const;
@@ -62,6 +71,7 @@ class Histogram {
   std::vector<double> counts_;
   double underflow_ = 0.0;
   double overflow_ = 0.0;
+  double nan_ = 0.0;
 };
 
 /// Linear-interpolated quantile of a sample set; q in [0, 1]. Copies + sorts.

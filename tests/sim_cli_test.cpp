@@ -87,6 +87,57 @@ TEST(Cli, RejectsBadValues) {
   EXPECT_THROW(parse_cli({"--frobnicate"}), util::PreconditionError);
 }
 
+// Regression: --seed used to round-trip through double, so any value above
+// 2^53 was silently rounded to a neighbouring seed. The full uint64 range
+// must survive parsing exactly.
+TEST(Cli, SeedRoundTripsAbove2Pow53) {
+  EXPECT_EQ(parse_cli({"--seed", "9007199254740993"}).seed,
+            9007199254740993ull);  // 2^53 + 1: first casualty of the double path
+  EXPECT_EQ(parse_cli({"--seed", "18446744073709551615"}).seed,
+            18446744073709551615ull);  // 2^64 - 1
+  EXPECT_EQ(parse_cli({"--seed", "0"}).seed, 0ull);
+}
+
+TEST(Cli, SeedRejectsNonIntegers) {
+  EXPECT_THROW(parse_cli({"--seed", "abc"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--seed", "12.5"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--seed", "-1"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--seed", "+7"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--seed", ""}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--seed", "18446744073709551616"}),
+               util::PreconditionError);  // 2^64: out of range
+  EXPECT_THROW(parse_cli({"--seed", "7seven"}), util::PreconditionError);
+}
+
+TEST(Cli, IntegerFlagsRejectOverflowNotSilentlyWrap) {
+  EXPECT_THROW(parse_cli({"--days", "99999999999999999999"}),
+               util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--nodes", "-3"}), util::PreconditionError);
+}
+
+TEST(Cli, ParsesSweepFlags) {
+  const CliOptions o =
+      parse_cli({"--sweep-sunshine", "0.2,0.5,0.8", "--jobs", "4"});
+  ASSERT_EQ(o.sweep_sunshine.size(), 3u);
+  EXPECT_DOUBLE_EQ(o.sweep_sunshine[0], 0.2);
+  EXPECT_DOUBLE_EQ(o.sweep_sunshine[1], 0.5);
+  EXPECT_DOUBLE_EQ(o.sweep_sunshine[2], 0.8);
+  EXPECT_EQ(o.jobs, 4u);
+
+  const CliOptions defaults = parse_cli({});
+  EXPECT_TRUE(defaults.sweep_sunshine.empty());
+  EXPECT_EQ(defaults.jobs, 0u);
+}
+
+TEST(Cli, RejectsBadSweepValues) {
+  EXPECT_THROW(parse_cli({"--sweep-sunshine", ""}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--sweep-sunshine", "0.2,"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--sweep-sunshine", "0.2,1.5"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--sweep-sunshine", "0.2,x"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--jobs", "0"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--jobs", "many"}), util::PreconditionError);
+}
+
 TEST(Cli, ScenarioReflectsOptions) {
   CliOptions o;
   o.nodes = 4;

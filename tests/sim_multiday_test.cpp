@@ -32,6 +32,35 @@ TEST(MultiDay, RunsAndAggregates) {
   EXPECT_NEAR(r.soc_histogram.total_weight(), 5.0 * 6.0 * 86400.0, 10.0);
 }
 
+// Regression companion to the Histogram::merge fix: the aggregate SoC
+// histogram used to be rebuilt by re-adding each day's bin weight at the
+// bin's low edge, which silently dropped every day's underflow, overflow
+// and NaN weight. The aggregate must now be the exact merge of the per-day
+// histograms, every weight class included. (The histogram-level
+// failing-before cases — merge carrying under/overflow/NaN — live in
+// util_stats_test.)
+TEST(MultiDay, SocHistogramAggregateIsExactMergeOfDays) {
+  ScenarioConfig cfg = prototype_scenario();
+  Cluster cluster{cfg};
+  MultiDayOptions opts;
+  opts.days = 4;
+  opts.weather = mixed_weather(4, 2, 1, 1);
+  opts.probe_every_days = 0;
+  const MultiDayResult r = run_multi_day(cluster, opts);
+  ASSERT_EQ(r.days.size(), 4u);
+  util::Histogram manual = make_soc_histogram();
+  for (const auto& d : r.days) manual.merge(d.soc_histogram);
+  ASSERT_EQ(r.soc_histogram.bin_count(), manual.bin_count());
+  for (std::size_t b = 0; b < manual.bin_count(); ++b) {
+    EXPECT_DOUBLE_EQ(r.soc_histogram.bin_weight(b), manual.bin_weight(b));
+  }
+  EXPECT_DOUBLE_EQ(r.soc_histogram.underflow(), manual.underflow());
+  EXPECT_DOUBLE_EQ(r.soc_histogram.overflow(), manual.overflow());
+  EXPECT_DOUBLE_EQ(r.soc_histogram.nan_weight(), manual.nan_weight());
+  EXPECT_DOUBLE_EQ(r.soc_histogram.total_weight(), manual.total_weight());
+  EXPECT_NEAR(r.soc_histogram.total_weight(), 4.0 * 6.0 * 86400.0, 10.0);
+}
+
 TEST(MultiDay, KeepDaysFalseDropsDetail) {
   Cluster cluster{prototype_scenario()};
   MultiDayOptions opts;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/require.hpp"
@@ -109,6 +111,57 @@ TEST(Histogram, RejectsBadEdges) {
   EXPECT_THROW(Histogram({1.0}), PreconditionError);
   EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
   EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+}
+
+// Regression: NaN fails every ordered comparison, so upper_bound used to
+// return end() and the bin increment wrote one past the counts array. NaN
+// weight now lands in its own counter, outside total_weight().
+TEST(Histogram, NanGoesToNanCounterNotOutOfBounds) {
+  Histogram h{{0.0, 1.0, 2.0}};
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::nan(""), 2.5);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.nan_weight(), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+}
+
+TEST(Histogram, MergeAddsBinsUnderflowOverflowAndNan) {
+  Histogram a{{0.0, 1.0, 2.0}};
+  Histogram b{{0.0, 1.0, 2.0}};
+  a.add(0.5);
+  a.add(-1.0);  // underflow
+  b.add(1.5, 2.0);
+  b.add(3.0);  // overflow
+  b.add(-2.0, 0.5);
+  b.add(std::numeric_limits<double>::quiet_NaN(), 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.bin_weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.underflow(), 1.5);
+  EXPECT_DOUBLE_EQ(a.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(a.nan_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 5.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedEdges) {
+  Histogram a{{0.0, 1.0}};
+  Histogram b{{0.0, 2.0}};
+  Histogram c{{0.0, 0.5, 1.0}};
+  EXPECT_THROW(a.merge(b), PreconditionError);
+  EXPECT_THROW(a.merge(c), PreconditionError);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a{{0.0, 1.0}};
+  a.add(0.5, 2.0);
+  Histogram empty{{0.0, 1.0}};
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 2.0);
 }
 
 TEST(Histogram, LabelFormat) {
