@@ -31,6 +31,7 @@ Battery::Battery(LeadAcidParams chem, AgingParams aging, ThermalParams thermal,
 }
 
 Volts Battery::open_circuit() const {
+  if (open_) return Volts{0.0};
   const Volts fresh = open_circuit_voltage(chem_, soc_);
   return Volts{fresh.value() - aging_.ocv_sag_per_cell().value() * chem_.cells};
 }
@@ -40,15 +41,17 @@ double Battery::internal_resistance_ohms() const {
 }
 
 Volts Battery::terminal_voltage(Amperes current) const {
+  if (open_) return Volts{0.0};  // no circuit, no IR drop
   return Volts{open_circuit().value() - current.value() * internal_resistance_ohms()};
 }
 
 AmpereHours Battery::usable_capacity() const {
+  if (open_) return AmpereHours{0.0};
   return AmpereHours{nameplate_.value() * aging_.capacity_fraction()};
 }
 
 Amperes Battery::max_discharge_current() const {
-  if (soc_ <= 0.0) return Amperes{0.0};
+  if (open_ || soc_ <= 0.0) return Amperes{0.0};
   const double headroom = open_circuit().value() - chem_.cutoff_voltage().value();
   if (headroom <= 0.0) return Amperes{0.0};
   const double by_voltage = headroom / internal_resistance_ohms();
@@ -57,7 +60,7 @@ Amperes Battery::max_discharge_current() const {
 }
 
 Amperes Battery::max_charge_current() const {
-  if (soc_ >= 1.0) return Amperes{0.0};
+  if (open_ || soc_ >= 1.0) return Amperes{0.0};
   const double by_rate =
       chem_.max_charge_c_rate * nameplate_.value() * charge_acceptance(chem_, soc_);
   const double headroom = chem_.absorb_voltage().value() - open_circuit().value();
@@ -149,9 +152,12 @@ StepResult Battery::step(Amperes requested, Seconds dt) {
   BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
   const double soc_before = soc_;
   StepResult result;
-  Amperes actual = requested;
+  // An open cell can neither source nor sink current; it still tracks
+  // time, temperature relaxation and calendar effects below.
+  Amperes actual = open_ ? Amperes{0.0} : requested;
+  if (open_ && requested.value() > 0.0) result.hit_cutoff = true;
 
-  if (requested.value() > 0.0) {
+  if (actual.value() > 0.0) {
     // ---- discharge ----
     const Amperes cap = max_discharge_current();
     if (actual > cap) {
@@ -174,13 +180,14 @@ StepResult Battery::step(Amperes requested, Seconds dt) {
       account_discharge(actual, dt, soc_before);
       counters_.min_soc_since_full = std::min(counters_.min_soc_since_full, soc_);
     }
-  } else if (requested.value() < 0.0) {
+  } else if (actual.value() < 0.0) {
     // ---- charge ----
     const Amperes accept = max_charge_current();
     if (-actual > accept) actual = -accept;
+    const double cap = usable_capacity().value();
+    if (cap <= 0.0) actual = Amperes{0.0};  // zero capacity accepts nothing
     if (actual.value() < 0.0) {
       const double eta = coulombic_efficiency(chem_, soc_) * aging_.coulombic_derating();
-      const double cap = usable_capacity().value();
       const double dq = std::fabs(actual.value()) * dt.value() / 3600.0;
       double dsoc = eta * dq / cap;
       if (soc_ + dsoc > 1.0) {

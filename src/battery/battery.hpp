@@ -82,8 +82,16 @@ class Battery {
   /// Present usable capacity after aging fade.
   [[nodiscard]] AmpereHours usable_capacity() const;
   /// usable_capacity / nameplate, the paper's health measure ([30]).
-  [[nodiscard]] double health() const { return aging_.capacity_fraction(); }
-  [[nodiscard]] bool end_of_life() const { return aging_.end_of_life(); }
+  [[nodiscard]] double health() const {
+    return open_ ? 0.0 : aging_.capacity_fraction();
+  }
+  [[nodiscard]] bool end_of_life() const { return open_ || aging_.end_of_life(); }
+
+  /// Open-cell failure (a broken inter-cell weld, a dried-out cell): the
+  /// unit instantly stops sourcing or sinking any current — 0 V at the
+  /// terminals, zero usable capacity, health 0. Irreversible.
+  void fail_open() { open_ = true; }
+  [[nodiscard]] bool open_failed() const { return open_; }
   [[nodiscard]] const AgingState& aging_state() const { return aging_.state(); }
   [[nodiscard]] AgingModel& aging_model() { return aging_; }
 
@@ -114,6 +122,7 @@ class Battery {
   double soc_;
   UsageCounters counters_;
   double last_temp_c_;
+  bool open_ = false;
 };
 
 }  // namespace baat::battery

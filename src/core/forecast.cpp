@@ -13,6 +13,9 @@ SolarForecaster::SolarForecaster(ForecastParams params)
   BAAT_REQUIRE(params_.attenuation_window.value() > 0.0, "window must be positive");
   BAAT_REQUIRE(params_.prior_attenuation >= 0.0 && params_.prior_attenuation <= 1.0,
                "prior attenuation must be in [0, 1]");
+  BAAT_REQUIRE(params_.max_attenuation_drop_per_obs > 0.0 &&
+                   params_.max_attenuation_drop_per_obs <= 1.0,
+               "max attenuation drop must be in (0, 1]");
 }
 
 void SolarForecaster::observe(Seconds time_of_day, Watts output) {
@@ -28,7 +31,12 @@ void SolarForecaster::observe(Seconds time_of_day, Watts output) {
     const double gap = std::max(0.0, (time_of_day - last_obs_).value());
     alpha = 1.0 - std::exp(-gap / params_.attenuation_window.value());
   }
-  attenuation_ += alpha * (observed - attenuation_);
+  // Downward steps are rate-limited (upward ones never are): sunshine
+  // returning should be believed immediately, sunshine "vanishing" may be a
+  // meter glitch. With the default limit of 1.0 the clamp can never bind,
+  // since both values live in [0, 1].
+  const double target = attenuation_ + alpha * (observed - attenuation_);
+  attenuation_ = std::max(target, attenuation_ - params_.max_attenuation_drop_per_obs);
   last_obs_ = time_of_day;
 }
 

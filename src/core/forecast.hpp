@@ -23,6 +23,11 @@ struct ForecastParams {
   Seconds attenuation_window{util::minutes(30.0)};
   /// Attenuation assumed before any observation arrives.
   double prior_attenuation = 0.6;
+  /// Largest downward attenuation step a single observation may cause.
+  /// 1.0 (the default) is unclamped; the fault layer tightens this so one
+  /// glitched meter reading or a momentary PV dropout cannot collapse the
+  /// whole forecast in a single control period.
+  double max_attenuation_drop_per_obs = 1.0;
 };
 
 class SolarForecaster {

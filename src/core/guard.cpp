@@ -1,0 +1,76 @@
+#include "core/guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "util/require.hpp"
+
+namespace baat::core {
+
+TelemetryGuard::TelemetryGuard(const GuardParams& params, std::size_t nodes)
+    : params_(params), nodes_(nodes) {
+  BAAT_REQUIRE(params_.soc_floor < params_.soc_ceil, "guard soc range is empty");
+  BAAT_REQUIRE(params_.max_rate_per_s > 0.0, "guard rate limit must be positive");
+  BAAT_REQUIRE(params_.max_staleness.value() > 0.0, "guard staleness must be positive");
+  BAAT_REQUIRE(params_.staleness_tau.value() > 0.0, "guard tau must be positive");
+  BAAT_REQUIRE(params_.conservative_soc >= 0.0 && params_.conservative_soc <= 1.0,
+               "guard conservative soc must be in [0, 1]");
+  if (params_.enabled) {
+    obs::Registry& reg = obs::global_registry();
+    fallback_range_ = &reg.counter("policy.fallback", "range");
+    fallback_rate_ = &reg.counter("policy.fallback", "rate");
+    fallback_stale_ = &reg.counter("policy.fallback", "stale");
+  }
+}
+
+double TelemetryGuard::filter_soc(std::size_t node, double raw_soc,
+                                  util::Seconds reading_time, util::Seconds now) {
+  if (!params_.enabled) return raw_soc;
+  BAAT_REQUIRE(node < nodes_.size(), "guard node index out of range");
+  NodeState& st = nodes_[node];
+  if (st.last_eval == now.value()) return st.last_result;  // same decision instant
+
+  const char* reason = nullptr;
+  obs::Counter* counter = nullptr;
+  if (now.value() - reading_time.value() > params_.max_staleness.value()) {
+    reason = "stale";
+    counter = fallback_stale_;
+  } else if (raw_soc < params_.soc_floor || raw_soc > params_.soc_ceil ||
+             !std::isfinite(raw_soc)) {
+    reason = "range";
+    counter = fallback_range_;
+  } else if (st.has_good && now.value() > st.last_good_time) {
+    const double rate =
+        std::fabs(raw_soc - st.last_good) / (now.value() - st.last_good_time);
+    if (rate > params_.max_rate_per_s) {
+      reason = "rate";
+      counter = fallback_rate_;
+    }
+  }
+
+  double result = raw_soc;
+  if (reason == nullptr) {
+    st.has_good = true;
+    st.last_good = std::clamp(raw_soc, 0.0, 1.0);
+    st.last_good_time = now.value();
+  } else {
+    // Exponential staleness discount: trust the last good estimate fully
+    // when it is fresh, slide toward the conservative assumption as the
+    // outage ages. Never having seen a good sample degenerates to the
+    // conservative value outright.
+    const double anchor = st.has_good ? st.last_good : params_.conservative_soc;
+    const double age = st.has_good ? std::max(0.0, now.value() - st.last_good_time)
+                                   : params_.staleness_tau.value() * 1e3;
+    const double w = std::exp(-age / params_.staleness_tau.value());
+    result = params_.conservative_soc + (anchor - params_.conservative_soc) * w;
+    ++fallbacks_;
+    if (counter != nullptr) counter->inc();
+    obs::emit(obs::EventKind::PolicyFallback, static_cast<int>(node), raw_soc, reason);
+  }
+  st.last_eval = now.value();
+  st.last_result = result;
+  return result;
+}
+
+}  // namespace baat::core

@@ -1,0 +1,79 @@
+#pragma once
+
+// Degraded-mode telemetry guard — the controller-side defence the paper's
+// prototype needed against its drifting NI sensors (§V-A): before BAAT acts
+// on an estimated SoC, the guard checks that the estimate is plausible
+// (range and rate-of-change) and fresh (the newest sensor sample behind it
+// is recent). When a check fails, the controller falls back to its last
+// known-good estimate, discounted exponentially toward a conservative SoC
+// as the outage ages — stale confidence decays, it is not trusted forever.
+//
+// Every rejected estimate is observable: `policy.fallback{range|rate|stale}`
+// counters plus a PolicyFallback trace event per degraded decision. The
+// guard is disabled by default and enabled with the fault layer, so clean
+// runs are byte-identical to builds without it.
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/units.hpp"
+
+namespace baat::core {
+
+struct GuardParams {
+  bool enabled = false;
+  /// Plausible SoC estimate range; outside it the reading is rejected.
+  double soc_floor = -0.001;
+  double soc_ceil = 1.001;
+  /// Largest believable |dSoC/dt| in 1/s. 1e-3/s is ~3.6 full swings per
+  /// hour — far beyond any sustainable C-rate of the prototype's VRLA units.
+  double max_rate_per_s = 1.0e-3;
+  /// Newest sensor sample older than this ⇒ the estimate is stale.
+  util::Seconds max_staleness{util::minutes(10.0)};
+  /// Decay constant of the staleness discount toward `conservative_soc`.
+  util::Seconds staleness_tau{util::minutes(30.0)};
+  /// Where a blind controller assumes the battery sits — low enough to act
+  /// cautiously, high enough not to declare an instant emergency.
+  double conservative_soc = 0.25;
+};
+
+class TelemetryGuard {
+ public:
+  TelemetryGuard() = default;
+  /// Registers the `policy.fallback` counters iff `params.enabled` — a
+  /// disabled guard must not add rows to the metrics export.
+  TelemetryGuard(const GuardParams& params, std::size_t nodes);
+
+  [[nodiscard]] bool enabled() const { return params_.enabled; }
+
+  /// Validate node `node`'s estimated SoC and return the value the policy
+  /// should act on. `reading_time` is the timestamp of the newest sensor
+  /// sample behind the estimate (stale injections keep old timestamps, so
+  /// staleness is visible here); `now` is the decision time. Evaluations at
+  /// the same `now` are cached, so calling twice per tick cannot double-count
+  /// fallbacks or double-advance state.
+  double filter_soc(std::size_t node, double raw_soc, util::Seconds reading_time,
+                    util::Seconds now);
+
+  /// Fallbacks taken so far (all nodes, all reasons).
+  [[nodiscard]] std::uint64_t fallback_count() const { return fallbacks_; }
+
+ private:
+  struct NodeState {
+    bool has_good = false;
+    double last_good = 1.0;
+    double last_good_time = 0.0;
+    double last_eval = -1.0;   ///< dedupe key: decision timestamp
+    double last_result = 1.0;
+  };
+
+  GuardParams params_{};
+  std::vector<NodeState> nodes_;
+  std::uint64_t fallbacks_ = 0;
+  obs::Counter* fallback_range_ = nullptr;
+  obs::Counter* fallback_rate_ = nullptr;
+  obs::Counter* fallback_stale_ = nullptr;
+};
+
+}  // namespace baat::core

@@ -10,8 +10,10 @@ LifetimeEstimate extrapolate_lifetime(double health_start, double health_now,
                                       double elapsed_days, double eol_health,
                                       double max_days) {
   BAAT_REQUIRE(health_start > 0.0 && health_start <= 1.0, "health_start must be in (0, 1]");
-  BAAT_REQUIRE(health_now > 0.0 && health_now <= health_start,
-               "health_now must be in (0, health_start]");
+  // health_now == 0 is a valid observation (an open cell is already at end
+  // of life); the linear projection below handles it without a special case.
+  BAAT_REQUIRE(health_now >= 0.0 && health_now <= health_start,
+               "health_now must be in [0, health_start]");
   BAAT_REQUIRE(elapsed_days > 0.0, "elapsed_days must be positive");
   BAAT_REQUIRE(eol_health > 0.0 && eol_health < 1.0, "eol_health must be in (0, 1)");
 

@@ -1,0 +1,357 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace baat::fault {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos == std::string::npos ? std::string::npos
+                                                           : pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& spec, const std::string& field,
+                    const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size() || !std::isfinite(v)) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw util::PreconditionError("fault spec '" + spec + "': " + field +
+                                  " needs a finite number, got '" + value + "'");
+  }
+}
+
+long parse_day(const std::string& spec, const std::string& value) {
+  const double v = parse_number(spec, "day", value);
+  BAAT_REQUIRE(v >= 0.0 && v == std::floor(v) && v <= 1e6,
+               "fault spec '" + spec + "': day must be a non-negative integer");
+  return static_cast<long>(v);
+}
+
+SensorChannel parse_channel(const std::string& spec, const std::string& name) {
+  if (name == "voltage") return SensorChannel::Voltage;
+  if (name == "current") return SensorChannel::Current;
+  if (name == "temp" || name == "temperature") return SensorChannel::Temperature;
+  if (name == "soc") return SensorChannel::Soc;
+  throw util::PreconditionError("fault spec '" + spec + "': unknown channel '" + name +
+                                "' (voltage|current|temp|soc)");
+}
+
+/// Key=value fields after the keyword (and any positional fields).
+struct Fields {
+  const std::string& spec;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const std::string& require(const std::string& key) const {
+    const std::string* v = find(key);
+    if (v == nullptr) {
+      throw util::PreconditionError("fault spec '" + spec + "': missing required field '" +
+                                    key + "='");
+    }
+    return *v;
+  }
+
+  void reject_unknown(std::initializer_list<const char*> known) const {
+    for (const auto& [k, v] : kv) {
+      const bool ok = std::any_of(known.begin(), known.end(),
+                                  [&k](const char* name) { return k == name; });
+      if (!ok) {
+        throw util::PreconditionError("fault spec '" + spec + "': unknown field '" + k +
+                                      "'");
+      }
+    }
+  }
+};
+
+Fields key_values(const std::string& spec, const std::vector<std::string>& parts,
+                  std::size_t from) {
+  Fields f{spec, {}};
+  for (std::size_t i = from; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 > parts[i].size()) {
+      throw util::PreconditionError("fault spec '" + spec + "': expected key=value, got '" +
+                                    parts[i] + "'");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    if (f.find(key) != nullptr) {
+      throw util::PreconditionError("fault spec '" + spec + "': duplicate field '" + key +
+                                    "'");
+    }
+    f.kv.emplace_back(key, parts[i].substr(eq + 1));
+  }
+  return f;
+}
+
+double parse_probability(const Fields& f) {
+  const double p = parse_number(f.spec, "p", f.require("p"));
+  BAAT_REQUIRE(p >= 0.0 && p <= 1.0,
+               "fault spec '" + f.spec + "': p must be in [0, 1]");
+  return p;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::SensorNoise: return "sensor_noise";
+    case FaultKind::SensorBias: return "sensor_bias";
+    case FaultKind::SensorStuck: return "sensor_stuck";
+    case FaultKind::ProbeStale: return "probe_stale";
+    case FaultKind::PvDropout: return "pv_dropout";
+    case FaultKind::PvDerate: return "pv_derate";
+    case FaultKind::CellWeak: return "cell_weak";
+    case FaultKind::CellOpen: return "cell_open";
+    case FaultKind::MeterGlitch: return "meter_glitch";
+  }
+  return "unknown";
+}
+
+std::string_view sensor_channel_name(SensorChannel channel) {
+  switch (channel) {
+    case SensorChannel::Voltage: return "voltage";
+    case SensorChannel::Current: return "current";
+    case SensorChannel::Temperature: return "temp";
+    case SensorChannel::Soc: return "soc";
+  }
+  return "unknown";
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  BAAT_REQUIRE(!spec.empty(), "fault spec must not be empty");
+  const std::vector<std::string> parts = split(spec, ':');
+  const std::string& kind = parts.front();
+  FaultSpec f;
+
+  if (kind == "sensor_noise" || kind == "sensor_bias") {
+    f.kind = kind == "sensor_noise" ? FaultKind::SensorNoise : FaultKind::SensorBias;
+    if (parts.size() != 3) {
+      throw util::PreconditionError("fault spec '" + spec + "': expected " + kind +
+                                    ":<channel>:<value>");
+    }
+    f.channel = parse_channel(spec, parts[1]);
+    f.magnitude = parse_number(spec, "value", parts[2]);
+    if (f.kind == FaultKind::SensorNoise) {
+      BAAT_REQUIRE(f.magnitude >= 0.0 && f.magnitude <= 100.0,
+                   "fault spec '" + spec + "': noise sigma must be in [0, 100]");
+    } else {
+      BAAT_REQUIRE(std::fabs(f.magnitude) <= 1000.0,
+                   "fault spec '" + spec + "': bias magnitude out of range");
+    }
+  } else if (kind == "sensor_stuck") {
+    f.kind = FaultKind::SensorStuck;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"p", "hold"});
+    f.probability = parse_probability(kv);
+    if (const std::string* hold = kv.find("hold")) {
+      f.hold_minutes = parse_number(spec, "hold", *hold);
+      BAAT_REQUIRE(f.hold_minutes > 0.0 && f.hold_minutes <= 24.0 * 60.0,
+                   "fault spec '" + spec + "': hold must be in (0, 1440] minutes");
+    }
+  } else if (kind == "probe_stale") {
+    f.kind = FaultKind::ProbeStale;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"p"});
+    f.probability = parse_probability(kv);
+  } else if (kind == "pv_dropout") {
+    f.kind = FaultKind::PvDropout;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"day", "hours", "start"});
+    f.day = parse_day(spec, kv.require("day"));
+    f.hours = parse_number(spec, "hours", kv.require("hours"));
+    BAAT_REQUIRE(f.hours > 0.0 && f.hours <= 24.0,
+                 "fault spec '" + spec + "': hours must be in (0, 24]");
+    if (const std::string* start = kv.find("start")) {
+      f.start_hour = parse_number(spec, "start", *start);
+      BAAT_REQUIRE(f.start_hour >= 0.0 && f.start_hour < 24.0,
+                   "fault spec '" + spec + "': start must be in [0, 24)");
+    }
+  } else if (kind == "pv_derate") {
+    f.kind = FaultKind::PvDerate;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"factor", "day"});
+    f.magnitude = parse_number(spec, "factor", kv.require("factor"));
+    BAAT_REQUIRE(f.magnitude >= 0.0 && f.magnitude <= 1.0,
+                 "fault spec '" + spec + "': factor must be in [0, 1]");
+    if (const std::string* day = kv.find("day")) f.day = parse_day(spec, *day);
+  } else if (kind == "cell_weak") {
+    f.kind = FaultKind::CellWeak;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"bank", "capacity", "resistance"});
+    const double bank = parse_number(spec, "bank", kv.require("bank"));
+    BAAT_REQUIRE(bank >= 0.0 && bank == std::floor(bank) && bank < 4096.0,
+                 "fault spec '" + spec + "': bank must be a small non-negative integer");
+    f.bank = static_cast<std::size_t>(bank);
+    f.magnitude = parse_number(spec, "capacity", kv.require("capacity"));
+    BAAT_REQUIRE(f.magnitude > 0.0 && f.magnitude <= 1.0,
+                 "fault spec '" + spec + "': capacity factor must be in (0, 1]");
+    if (const std::string* r = kv.find("resistance")) {
+      f.resistance = parse_number(spec, "resistance", *r);
+      BAAT_REQUIRE(f.resistance >= 1.0 && f.resistance <= 100.0,
+                   "fault spec '" + spec + "': resistance factor must be in [1, 100]");
+    }
+  } else if (kind == "cell_open") {
+    f.kind = FaultKind::CellOpen;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"bank", "day"});
+    const double bank = parse_number(spec, "bank", kv.require("bank"));
+    BAAT_REQUIRE(bank >= 0.0 && bank == std::floor(bank) && bank < 4096.0,
+                 "fault spec '" + spec + "': bank must be a small non-negative integer");
+    f.bank = static_cast<std::size_t>(bank);
+    f.day = 0;
+    if (const std::string* day = kv.find("day")) f.day = parse_day(spec, *day);
+  } else if (kind == "meter_glitch") {
+    f.kind = FaultKind::MeterGlitch;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"p", "scale"});
+    f.probability = parse_probability(kv);
+    if (const std::string* scale = kv.find("scale")) {
+      f.glitch_scale = parse_number(spec, "scale", *scale);
+      BAAT_REQUIRE(f.glitch_scale > 0.0 && f.glitch_scale <= 1.0,
+                   "fault spec '" + spec + "': scale must be in (0, 1]");
+    }
+  } else {
+    throw util::PreconditionError(
+        "unknown fault kind '" + kind +
+        "' (sensor_noise|sensor_bias|sensor_stuck|probe_stale|pv_dropout|pv_derate|"
+        "cell_weak|cell_open|meter_glitch)");
+  }
+  return f;
+}
+
+namespace {
+
+void validate_plan(const FaultPlan& plan) {
+  // Duplicate / overlapping pv_dropout windows on the same day are almost
+  // certainly a typo in a sweep spec; reject them loudly.
+  for (std::size_t a = 0; a < plan.faults.size(); ++a) {
+    const FaultSpec& fa = plan.faults[a];
+    if (fa.kind != FaultKind::PvDropout) continue;
+    for (std::size_t b = a + 1; b < plan.faults.size(); ++b) {
+      const FaultSpec& fb = plan.faults[b];
+      if (fb.kind != FaultKind::PvDropout || fa.day != fb.day) continue;
+      const double a_end = fa.start_hour + fa.hours;
+      const double b_end = fb.start_hour + fb.hours;
+      if (fa.start_hour < b_end && fb.start_hour < a_end) {
+        throw util::PreconditionError(
+            "fault plan: overlapping pv_dropout windows on day " +
+            std::to_string(fa.day) + " ('" + fa.to_string() + "' and '" + fb.to_string() +
+            "')");
+      }
+    }
+  }
+  // One battery cannot both be weak and fail open ambiguously twice.
+  for (std::size_t a = 0; a < plan.faults.size(); ++a) {
+    const FaultSpec& fa = plan.faults[a];
+    if (fa.kind != FaultKind::CellOpen && fa.kind != FaultKind::CellWeak) continue;
+    for (std::size_t b = a + 1; b < plan.faults.size(); ++b) {
+      const FaultSpec& fb = plan.faults[b];
+      if (fb.kind == fa.kind && fb.bank == fa.bank) {
+        throw util::PreconditionError("fault plan: duplicate " +
+                                      std::string(fault_kind_name(fa.kind)) +
+                                      " for bank " + std::to_string(fa.bank));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& specs) {
+  BAAT_REQUIRE(!specs.empty(), "--faults needs at least one fault spec");
+  FaultPlan plan;
+  for (const std::string& item : split(specs, ',')) {
+    BAAT_REQUIRE(!item.empty(), "fault list contains an empty spec (stray comma?)");
+    plan.faults.push_back(parse_fault_spec(item));
+  }
+  validate_plan(plan);
+  return plan;
+}
+
+void append_fault_plan(FaultPlan& plan, const FaultPlan& extra) {
+  // Validate on a copy: a rejected merge must leave `plan` untouched.
+  FaultPlan merged = plan;
+  merged.faults.insert(merged.faults.end(), extra.faults.begin(),
+                       extra.faults.end());
+  validate_plan(merged);
+  plan = std::move(merged);
+}
+
+namespace {
+
+std::string trimmed_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::SensorNoise:
+    case FaultKind::SensorBias:
+      os << ':' << sensor_channel_name(channel) << ':' << trimmed_number(magnitude);
+      break;
+    case FaultKind::SensorStuck:
+      os << ":p=" << trimmed_number(probability) << ":hold=" << trimmed_number(hold_minutes);
+      break;
+    case FaultKind::ProbeStale:
+      os << ":p=" << trimmed_number(probability);
+      break;
+    case FaultKind::PvDropout:
+      os << ":day=" << day << ":hours=" << trimmed_number(hours)
+         << ":start=" << trimmed_number(start_hour);
+      break;
+    case FaultKind::PvDerate:
+      os << ":factor=" << trimmed_number(magnitude);
+      if (day >= 0) os << ":day=" << day;
+      break;
+    case FaultKind::CellWeak:
+      os << ":bank=" << bank << ":capacity=" << trimmed_number(magnitude);
+      if (resistance != 1.0) os << ":resistance=" << trimmed_number(resistance);
+      break;
+    case FaultKind::CellOpen:
+      os << ":bank=" << bank << ":day=" << day;
+      break;
+    case FaultKind::MeterGlitch:
+      os << ":p=" << trimmed_number(probability)
+         << ":scale=" << trimmed_number(glitch_scale);
+      break;
+  }
+  return os.str();
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultSpec& f : faults) {
+    if (!out.empty()) out += ',';
+    out += f.to_string();
+  }
+  return out;
+}
+
+}  // namespace baat::fault

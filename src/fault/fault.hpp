@@ -1,0 +1,101 @@
+#pragma once
+
+// Fault-injection plans — the scenario-level description of everything that
+// can go wrong in the field and that the six-month prototype actually saw:
+// drifting NI sensors, PV feed dropouts, weak and open battery cells, and
+// glitching power meters (§II-B, §V-A). A FaultPlan is pure configuration:
+// parsed from the `baatsim --faults` spec (or built programmatically),
+// validated eagerly, and interpreted at runtime by fault::FaultInjector.
+//
+// Spec grammar (comma-separated list of faults, fields colon-separated):
+//
+//   sensor_noise:<channel>:<sigma>      extra zero-mean Gaussian noise
+//   sensor_bias:<channel>:<bias>        constant additive offset
+//   sensor_stuck:p=<prob>[:hold=<min>]  reading freezes for `hold` minutes
+//   probe_stale:p=<prob>                read returns the previous sample
+//                                       (timestamp included — staleness is
+//                                       detectable downstream)
+//   pv_dropout:day=<d>:hours=<h>[:start=<hour>]   PV feed drops to zero
+//   pv_derate:factor=<f>[:day=<d>]      PV output scaled by f (all days when
+//                                       day is omitted)
+//   cell_weak:bank=<i>:capacity=<f>[:resistance=<f>]  manufacturing outlier
+//   cell_open:bank=<i>[:day=<d>]        open-cell failure from day d on
+//   meter_glitch:p=<prob>[:scale=<s>]   controller power readings corrupted
+//
+// Channels: voltage | current | temp | soc (soc = current-channel noise in
+// fractions of C20 capacity, which corrupts coulomb-counted SoC estimates).
+//
+// Everything is validated here with readable errors — a malformed key, an
+// out-of-range probability, a duplicate dropout window or an empty spec is
+// a PreconditionError, never UB.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace baat::fault {
+
+enum class FaultKind {
+  SensorNoise,
+  SensorBias,
+  SensorStuck,
+  ProbeStale,
+  PvDropout,
+  PvDerate,
+  CellWeak,
+  CellOpen,
+  MeterGlitch,
+};
+
+/// Stable snake_case name (matches the spec keyword and the
+/// `fault.injected{...}` counter label).
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+
+enum class SensorChannel { Voltage, Current, Temperature, Soc };
+
+[[nodiscard]] std::string_view sensor_channel_name(SensorChannel channel);
+
+/// One parsed fault. Only the fields relevant to `kind` are meaningful.
+struct FaultSpec {
+  FaultKind kind{};
+  SensorChannel channel = SensorChannel::Voltage;  ///< sensor_noise/bias
+  double magnitude = 0.0;   ///< sigma, bias, derate factor or capacity factor
+  double resistance = 1.0;  ///< cell_weak resistance multiplier
+  double probability = 0.0; ///< sensor_stuck / probe_stale / meter_glitch
+  double hold_minutes = 10.0;  ///< sensor_stuck freeze duration
+  double glitch_scale = 0.5;   ///< meter_glitch relative amplitude
+  long day = -1;            ///< pv_dropout / cell_open day (-1 = every day /
+                            ///< day 0 for cell_open, all days for pv_derate)
+  double start_hour = 12.0; ///< pv_dropout window start (hour of day)
+  double hours = 0.0;       ///< pv_dropout window length
+  std::size_t bank = 0;     ///< cell_weak / cell_open unit index
+
+  /// Canonical spec-string form (round-trips through parse_fault_plan).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A validated set of faults. Empty plan = clean run; everything downstream
+/// must be byte-identical to a build without the fault layer.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  [[nodiscard]] std::size_t size() const { return faults.size(); }
+
+  /// Canonical comma-joined spec string (for reports and CLI echo).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse one fault spec (e.g. "pv_dropout:day=2:hours=4"). Throws
+/// util::PreconditionError with a message naming the offending field.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& spec);
+
+/// Parse a comma-separated list of fault specs and cross-validate the plan
+/// (e.g. overlapping pv_dropout windows are rejected). Throws
+/// util::PreconditionError on any malformed or empty spec.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& specs);
+
+/// Merge `extra` into `plan`, re-running the cross-fault validation.
+void append_fault_plan(FaultPlan& plan, const FaultPlan& extra);
+
+}  // namespace baat::fault

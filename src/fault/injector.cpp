@@ -1,0 +1,209 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "util/require.hpp"
+
+namespace baat::fault {
+
+namespace {
+
+/// SplitMix64 finalizer — the stateless mixer behind the hash draws.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t time_key(util::Seconds t) {
+  // Millisecond resolution keys every tick the simulator can produce.
+  return static_cast<std::uint64_t>(std::llround(t.value() * 1000.0));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes)
+    : plan_(std::move(plan)), seed_(seed) {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind == FaultKind::CellWeak || f.kind == FaultKind::CellOpen) {
+      BAAT_REQUIRE(f.bank < nodes,
+                   "fault '" + f.to_string() + "': bank index out of range (" +
+                       std::to_string(nodes) + " nodes)");
+    }
+  }
+  util::Rng root = util::Rng::stream(seed, "fault");
+  nodes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nodes_.emplace_back(root.fork("node-" + std::to_string(i)));
+  }
+  open_fired_.assign(nodes, false);
+  if (!plan_.empty()) {
+    obs::Registry& reg = obs::global_registry();
+    for (const FaultSpec& f : plan_.faults) {
+      auto& slot = counters_[static_cast<std::size_t>(f.kind)];
+      if (slot == nullptr) {
+        slot = &reg.counter("fault.injected", std::string(fault_kind_name(f.kind)));
+      }
+    }
+  }
+}
+
+void FaultInjector::count(FaultKind kind) const {
+  obs::Counter* c = counters_[static_cast<std::size_t>(kind)];
+  if (c != nullptr) c->inc();
+}
+
+double FaultInjector::hash_uniform(std::string_view tag, std::uint64_t a,
+                                   std::uint64_t b) const {
+  std::uint64_t h = util::fnv1a(tag) ^ mix(seed_);
+  h = mix(h ^ a);
+  h = mix(h ^ b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::apply_bank_faults(std::vector<battery::Battery>& bank,
+                                      const battery::BankSpec& spec) {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::CellWeak) continue;
+    BAAT_REQUIRE(f.bank < bank.size(), "cell_weak bank index out of range");
+    bank[f.bank] = battery::Battery{spec.chemistry, spec.aging, spec.thermal,
+                                    f.magnitude, f.resistance, spec.initial_soc};
+    count(FaultKind::CellWeak);
+    obs::emit(obs::EventKind::FaultInjected, static_cast<int>(f.bank), f.magnitude,
+              f.to_string());
+  }
+}
+
+void FaultInjector::begin_day(long day, std::vector<battery::Battery>& bank) {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::CellOpen) continue;
+    if (open_fired_[f.bank] || day < f.day) continue;
+    BAAT_REQUIRE(f.bank < bank.size(), "cell_open bank index out of range");
+    bank[f.bank].fail_open();
+    open_fired_[f.bank] = true;
+    count(FaultKind::CellOpen);
+    obs::emit(obs::EventKind::FaultInjected, static_cast<int>(f.bank),
+              static_cast<double>(day), f.to_string());
+  }
+}
+
+double FaultInjector::solar_scale(long day, util::Seconds time_of_day) {
+  double scale = 1.0;
+  bool in_dropout = false;
+  const double hour = time_of_day.value() / 3600.0;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind == FaultKind::PvDropout) {
+      if (f.day == day && hour >= f.start_hour && hour < f.start_hour + f.hours) {
+        scale = 0.0;
+        in_dropout = true;
+      }
+    } else if (f.kind == FaultKind::PvDerate) {
+      if (f.day < 0 || f.day == day) scale *= f.magnitude;
+    }
+  }
+  if (in_dropout && !dropout_active_) {
+    count(FaultKind::PvDropout);
+    obs::emit(obs::EventKind::FaultInjected, -1, hour, "pv_dropout window entered");
+  }
+  dropout_active_ = in_dropout;
+  return scale;
+}
+
+telemetry::SensorReading FaultInjector::perturb_reading(
+    std::size_t node, const telemetry::SensorReading& reading) {
+  BAAT_REQUIRE(node < nodes_.size(), "sensor fault node index out of range");
+  NodeState& st = nodes_[node];
+
+  // A stuck sensor repeats its frozen sample — timestamps included — until
+  // the hold expires; nothing else applies while it holds.
+  if (st.stuck_until >= 0.0 && reading.time.value() < st.stuck_until) {
+    st.last = st.stuck;
+    st.has_last = true;
+    return st.stuck;
+  }
+  st.stuck_until = -1.0;
+
+  telemetry::SensorReading out = reading;
+  for (const FaultSpec& f : plan_.faults) {
+    switch (f.kind) {
+      case FaultKind::SensorBias:
+      case FaultKind::SensorNoise: {
+        const bool noise = f.kind == FaultKind::SensorNoise;
+        const double delta = noise ? st.rng.normal(0.0, f.magnitude) : f.magnitude;
+        switch (f.channel) {
+          case SensorChannel::Voltage:
+            out.voltage = util::Volts{out.voltage.value() + delta};
+            break;
+          case SensorChannel::Current:
+            out.current = util::Amperes{out.current.value() + delta};
+            break;
+          case SensorChannel::Temperature:
+            out.temperature = util::Celsius{out.temperature.value() + delta};
+            break;
+          case SensorChannel::Soc:
+            // SoC corruption enters through the current channel, in
+            // fractions of an hour's worth of C20 capacity — this is what
+            // skews a coulomb-counting estimator without touching physics.
+            out.current = util::Amperes{out.current.value() + delta * 35.0};
+            break;
+        }
+        count(f.kind);
+        break;
+      }
+      case FaultKind::SensorStuck: {
+        if (st.rng.bernoulli(f.probability)) {
+          st.stuck = out;
+          st.stuck_until = reading.time.value() + f.hold_minutes * 60.0;
+          count(FaultKind::SensorStuck);
+          obs::emit(obs::EventKind::FaultInjected, static_cast<int>(node),
+                    f.hold_minutes, "sensor_stuck onset");
+        }
+        break;
+      }
+      case FaultKind::ProbeStale: {
+        if (st.has_last && st.rng.bernoulli(f.probability)) {
+          out = st.last;  // previous sample, previous timestamp
+          count(FaultKind::ProbeStale);
+        }
+        break;
+      }
+      default:
+        break;  // not a sensor fault
+    }
+  }
+  st.last = out;
+  st.has_last = true;
+  return out;
+}
+
+double FaultInjector::meter_scale(int node, util::Seconds now) const {
+  double scale = 1.0;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::MeterGlitch) continue;
+    const auto key = static_cast<std::uint64_t>(node + 1);
+    if (hash_uniform("meter-hit", key, time_key(now)) < f.probability) {
+      // Symmetric multiplicative spike in [1 - s, 1 + s].
+      const double u = hash_uniform("meter-amp", key, time_key(now));
+      scale *= 1.0 + f.glitch_scale * (2.0 * u - 1.0);
+      count(FaultKind::MeterGlitch);
+    }
+  }
+  return scale;
+}
+
+bool FaultInjector::probe_is_stale(int index) const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::ProbeStale) continue;
+    if (hash_uniform("probe-stale", static_cast<std::uint64_t>(index), 0) <
+        f.probability) {
+      count(FaultKind::ProbeStale);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace baat::fault

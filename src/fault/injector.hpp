@@ -1,0 +1,95 @@
+#pragma once
+
+// Runtime interpreter of a FaultPlan — the piece that actually corrupts
+// sensor readings, drops the PV feed, weakens battery cells and glitches
+// the controller's power meters. One injector per Cluster, seeded from the
+// experiment seed, so a faulted run is as reproducible as a clean one and
+// sweep jobs (which each own their Cluster) stay byte-identical at any
+// --jobs count.
+//
+// Determinism rules:
+//  * Faults applied from the deterministic per-tick telemetry loop (noise,
+//    bias, stuck, stale) may keep per-node mutable state and draw from
+//    per-node forked Rng streams — the loop visits nodes in a fixed order.
+//  * Faults evaluated from paths whose call count per tick is not fixed
+//    (meter glitches inside build_context, probe staleness) use stateless
+//    hash draws keyed on (seed, tag, node, time), so re-evaluating at the
+//    same instant always agrees.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "battery/bank.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "telemetry/sensor.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace baat::fault {
+
+class FaultInjector {
+ public:
+  /// Validates the plan against the node count (e.g. cell_weak bank index
+  /// in range). `seed` is the experiment seed the clean run already uses.
+  FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes);
+
+  [[nodiscard]] bool active() const { return !plan_.empty(); }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Construction-time bank faults: replace each cell_weak unit with a
+  /// manufacturing outlier built at the spec's capacity/resistance scales.
+  /// Units without a fault are left untouched (their RNG draws are already
+  /// fixed by the clean bank construction).
+  void apply_bank_faults(std::vector<battery::Battery>& bank,
+                         const battery::BankSpec& spec);
+
+  /// Day boundary: fire cell_open failures whose day has arrived.
+  void begin_day(long day, std::vector<battery::Battery>& bank);
+
+  /// Physical PV availability factor in [0, 1] for this day and time-of-day
+  /// (pv_dropout windows and pv_derate). Call once per tick.
+  [[nodiscard]] double solar_scale(long day, util::Seconds time_of_day);
+
+  /// Corrupt one sensor reading (bias, extra noise, stuck, stale). Stale and
+  /// stuck readings keep their original timestamps, so staleness stays
+  /// detectable downstream.
+  [[nodiscard]] telemetry::SensorReading perturb_reading(
+      std::size_t node, const telemetry::SensorReading& reading);
+
+  /// Controller-side meter glitch: multiplicative factor on a power reading
+  /// taken at `now` (node = -1 for the plant-level solar meter). Stateless
+  /// in (seed, node, now); safe to call any number of times per tick.
+  [[nodiscard]] double meter_scale(int node, util::Seconds now) const;
+
+  /// Whether the `index`-th offline capacity probe returns the previous
+  /// (stale) measurement instead of a fresh one.
+  [[nodiscard]] bool probe_is_stale(int index) const;
+
+ private:
+  struct NodeState {
+    util::Rng rng;
+    bool has_last = false;
+    telemetry::SensorReading last{};   ///< previous delivered reading
+    double stuck_until = -1.0;         ///< absolute seconds, exclusive
+    telemetry::SensorReading stuck{};  ///< frozen reading while stuck
+    explicit NodeState(util::Rng r) : rng(r) {}
+  };
+
+  void count(FaultKind kind) const;
+  [[nodiscard]] double hash_uniform(std::string_view tag, std::uint64_t a,
+                                    std::uint64_t b) const;
+
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  std::vector<NodeState> nodes_;
+  std::vector<bool> open_fired_;       ///< per-bank cell_open already applied
+  bool dropout_active_ = false;        ///< inside a pv_dropout window (latch)
+  /// Injection counters, one per fault kind present in the plan. Registered
+  /// only when the plan is non-empty — a clean run must not grow the metrics
+  /// export by a single row.
+  obs::Counter* counters_[9] = {};
+};
+
+}  // namespace baat::fault

@@ -32,6 +32,8 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::Brownout: return "brownout";
     case EventKind::NodeRestart: return "node_restart";
     case EventKind::BatteryEol: return "battery_eol";
+    case EventKind::FaultInjected: return "fault_injected";
+    case EventKind::PolicyFallback: return "policy_fallback";
   }
   return "?";
 }

@@ -36,6 +36,8 @@ enum class EventKind {
   Brownout,
   NodeRestart,
   BatteryEol,
+  FaultInjected,    ///< a fault-plan entry fired (src/fault)
+  PolicyFallback,   ///< controller rejected telemetry, used degraded estimate
 };
 
 /// Stable snake_case name used in both export formats.

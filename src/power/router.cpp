@@ -94,6 +94,13 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
       node.battery_cutoff = true;
       continue;
     }
+    // An open-cell failure leaves no source at all (0 V OCV) — skip it
+    // instead of asking current_for_dc_power to divide by a dead battery.
+    if (bat.open_circuit().value() <= 0.0) {
+      node.unmet = Watts{deficit};
+      node.battery_cutoff = true;
+      continue;
+    }
 
     const Watts dc_needed{deficit / params.inverter_efficiency};
     Amperes i_req = current_for_dc_power(dc_needed, bat.open_circuit(),

@@ -111,6 +111,10 @@ std::string cli_usage() {
          "  --ratio <w>       server-to-battery ratio, W/Ah (default: prototype)\n"
          "  --cycles-plan <c> Eq 7 planned cycles (enables baat-planned input)\n"
          "  --seed <s>        experiment seed (default 42)\n"
+         "  --faults <spec>   comma-separated fault-injection plan, e.g.\n"
+         "                    sensor_noise:soc:0.03,pv_dropout:day=2:hours=4 or\n"
+         "                    cell_weak:bank=1:capacity=0.8,probe_stale:p=0.01;\n"
+         "                    repeatable; enables the degraded-mode telemetry guard\n"
          "  --sweep-sunshine <f1,f2,...>\n"
          "                    sweep mode: one multi-day run per sunshine fraction,\n"
          "                    executed on the parallel sweep engine\n"
@@ -160,6 +164,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       BAAT_REQUIRE(options.cycles_plan > 0.0, "--cycles-plan must be positive");
     } else if (a == "--seed") {
       options.seed = parse_uint64(a, next("--seed"));
+    } else if (a == "--faults") {
+      fault::append_fault_plan(options.faults,
+                               fault::parse_fault_plan(next("--faults")));
     } else if (a == "--sweep-sunshine") {
       options.sweep_sunshine = parse_fraction_list(a, next("--sweep-sunshine"));
     } else if (a == "--jobs") {
@@ -208,6 +215,14 @@ ScenarioConfig scenario_from_cli(const CliOptions& options) {
   if (options.watts_per_ah > 0.0) {
     cfg = with_server_battery_ratio(cfg, options.watts_per_ah);
   }
+  cfg.faults = options.faults;
+  if (!cfg.faults.empty()) {
+    // Degraded-mode posture rides with the fault plan: telemetry guarding
+    // on, forecast collapse rate-limited. A clean run keeps the exact
+    // pre-fault-layer behaviour.
+    cfg.guard.enabled = true;
+    cfg.policy_params.forecast.max_attenuation_drop_per_obs = 0.2;
+  }
   return cfg;
 }
 
@@ -248,6 +263,9 @@ void run_sunshine_sweep(const CliOptions& options, const ScenarioConfig& cfg) {
 
   std::printf("policy        : %s\n",
               std::string(core::policy_kind_name(cfg.policy)).c_str());
+  if (!cfg.faults.empty()) {
+    std::printf("faults        : %s\n", cfg.faults.to_string().c_str());
+  }
   std::printf("sweep         : %zu sunshine points x %zu days (seed %llu%s)\n",
               fractions.size(), options.days,
               static_cast<unsigned long long>(options.seed),
@@ -358,6 +376,9 @@ int run_cli(const CliOptions& options) {
   }
 
   std::printf("policy        : %s\n", std::string(core::policy_kind_name(cfg.policy)).c_str());
+  if (!cfg.faults.empty()) {
+    std::printf("faults        : %s\n", cfg.faults.to_string().c_str());
+  }
   std::printf("days          : %zu (sunshine %.2f, seed %llu%s)\n", options.days,
               options.sunshine_fraction,
               static_cast<unsigned long long>(options.seed),

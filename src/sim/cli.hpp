@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 #include "util/logging.hpp"
@@ -30,6 +31,9 @@ struct CliOptions {
   std::string report_path;
   bool old_fleet = false;
   bool show_help = false;
+  /// Parsed --faults plan (repeatable flag; specs accumulate). Empty = clean
+  /// run with byte-identical outputs to a build without the fault layer.
+  fault::FaultPlan faults;
 
   // --- sweep mode ---------------------------------------------------------
   /// Sunshine fractions to sweep; non-empty switches run_cli into sweep

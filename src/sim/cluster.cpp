@@ -27,6 +27,15 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   util::Rng bank_rng = rng_.fork("bank");
   batteries_ = battery::make_bank(cfg_.bank, bank_rng);
 
+  // Fault layer: the injector exists only when the plan is non-empty, so a
+  // clean run takes exactly the code paths (and RNG draws) it always has.
+  if (!cfg_.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(cfg_.faults, cfg_.seed,
+                                                       cfg_.nodes);
+    injector_->apply_bank_faults(batteries_, cfg_.bank);
+  }
+  guard_ = core::TelemetryGuard{cfg_.guard, cfg_.nodes};
+
   telemetry::PowerTableParams table_params;
   table_params.chemistry = cfg_.bank.chemistry;
   table_params.estimation = cfg_.soc_estimation;
@@ -88,17 +97,29 @@ Cluster::VmRecord* Cluster::find_vm(workload::VmId id) {
 
 core::PolicyContext Cluster::build_context(util::Seconds now,
                                            const power::RouteResult* last_route,
-                                           util::Watts solar_now) const {
+                                           util::Watts solar_now) {
   core::PolicyContext ctx;
   ctx.now = now;
   ctx.time_of_day = util::Seconds{std::fmod(now.value(), 86400.0)};
   ctx.solar_now = solar_now;
+  if (injector_ != nullptr) {
+    // The controller reads the plant meter, not the sun: glitch it.
+    ctx.solar_now = util::Watts{std::max(
+        0.0, solar_now.value() * injector_->meter_scale(-1, now))};
+  }
   ctx.nodes.resize(cfg_.nodes);
   for (std::size_t i = 0; i < cfg_.nodes; ++i) {
     core::NodeView& n = ctx.nodes[i];
     n.index = i;
     n.powered_on = servers_[i].powered_on();
     n.soc = life_tables_[i].estimated_soc();
+    if (guard_.enabled()) {
+      // Staleness is judged by the newest sensor sample behind the estimate
+      // (stuck/stale injections deliver old timestamps, so it lags).
+      const auto& hist = life_tables_[i].history();
+      const util::Seconds reading_time = hist.empty() ? now : hist.back().time;
+      n.soc = guard_.filter_soc(i, n.soc, reading_time, now);
+    }
     n.metrics = telemetry::compute_metrics(day_tables_[i], cfg_.metrics);
     n.metrics_life = telemetry::compute_metrics(life_tables_[i], cfg_.metrics);
     n.cores_free = servers_[i].cores_free();
@@ -108,6 +129,13 @@ core::PolicyContext Cluster::build_context(util::Seconds now,
     n.server_power = servers_[i].power_now();
     if (last_route != nullptr) {
       n.battery_draw = last_route->nodes[i].battery_delivered;
+    }
+    if (injector_ != nullptr) {
+      // Per-node meter glitches corrupt what the controller *reads*, never
+      // what physically flowed.
+      const double m = injector_->meter_scale(static_cast<int>(i), now);
+      n.server_power = util::Watts{std::max(0.0, n.server_power.value() * m)};
+      n.battery_draw = util::Watts{std::max(0.0, n.battery_draw.value() * m)};
     }
 
     // P_threshold of Fig 9: the largest load power the battery can sustain
@@ -238,6 +266,8 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
   obs::emit(obs::EventKind::DayStart, -1, static_cast<double>(day_counter_),
             std::string(solar::day_type_name(day.type())));
 
+  if (injector_ != nullptr) injector_->begin_day(day_counter_, batteries_);
+
   DayResult result;
   result.day_type = day.type();
   result.solar_energy = day.daily_energy();
@@ -265,6 +295,13 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
     const util::Seconds now{static_cast<double>(day_counter_) * 86400.0 + tod};
     util::set_sim_time(now.value());
     const bool in_window = tod >= cfg_.day_start.value() && tod < cfg_.day_end.value();
+
+    // Physical PV feed this tick — the fault layer can drop or derate it.
+    util::Watts solar_now = day.power(util::Seconds{tod});
+    if (injector_ != nullptr) {
+      solar_now = util::Watts{solar_now.value() *
+                              injector_->solar_scale(day_counter_, util::Seconds{tod})};
+    }
 
     // --- day window transitions -------------------------------------------
     if (in_window && !window_open) {
@@ -312,8 +349,8 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
       // --- control tick -------------------------------------------------------
       if (tod >= next_control) {
         next_control += cfg_.control_period.value();
-        const core::PolicyContext ctx = build_context(
-            now, k > 0 ? &last_route : nullptr, day.power(util::Seconds{tod}));
+        const core::PolicyContext ctx =
+            build_context(now, k > 0 ? &last_route : nullptr, solar_now);
         const core::Actions actions = policy_->on_control_tick(ctx);
         core::record_actions(actions);
         apply_actions(actions, result);
@@ -337,9 +374,8 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
     router.charge_allocation = charge_priority_explicit_
                                    ? power::ChargeAllocation::PriorityOrder
                                    : power::ChargeAllocation::Proportional;
-    last_route = power::route_power(day.power(util::Seconds{tod}), demands, batteries_,
-                                    charge_priority_, router, cfg_.dt,
-                                    discharge_floor_);
+    last_route = power::route_power(solar_now, demands, batteries_, charge_priority_,
+                                    router, cfg_.dt, discharge_floor_);
 
     // --- brownout / restart ----------------------------------------------------
     for (std::size_t i = 0; i < cfg_.nodes; ++i) {
@@ -370,8 +406,9 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
 
     // --- telemetry ---------------------------------------------------------------
     for (std::size_t i = 0; i < cfg_.nodes; ++i) {
-      const telemetry::SensorReading reading =
+      telemetry::SensorReading reading =
           sensors_[i].read(batteries_[i], last_route.nodes[i].battery_current, now);
+      if (injector_ != nullptr) reading = injector_->perturb_reading(i, reading);
       life_tables_[i].record(reading, cfg_.dt);
       day_tables_[i].record(reading, cfg_.dt);
     }
@@ -387,7 +424,7 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
     if (observer_) {
       TickObservation obs;
       obs.time_of_day = util::Seconds{tod};
-      obs.solar = day.power(util::Seconds{tod});
+      obs.solar = solar_now;
       double total_demand = 0.0;
       for (const util::Watts& d : demands) total_demand += d.value();
       obs.total_demand = util::Watts{total_demand};

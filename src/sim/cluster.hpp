@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "battery/bank.hpp"
-#include "obs/metrics.hpp"
+#include "core/guard.hpp"
 #include "core/policy.hpp"
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
 #include "power/meter.hpp"
 #include "power/router.hpp"
 #include "server/server.hpp"
@@ -62,6 +64,10 @@ class Cluster {
   [[nodiscard]] std::vector<battery::Battery>& batteries_mutable() { return batteries_; }
   [[nodiscard]] const core::AgingPolicy& policy() const { return *policy_; }
   [[nodiscard]] long days_run() const { return day_counter_; }
+  /// Non-null iff the scenario carries a fault plan.
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
+  /// The degraded-mode guard (disabled unless the scenario enables it).
+  [[nodiscard]] const core::TelemetryGuard& guard() const { return guard_; }
   /// Life-long metrics of one node, as the controller sees them.
   [[nodiscard]] telemetry::AgingMetrics life_metrics(std::size_t node) const;
 
@@ -80,9 +86,11 @@ class Cluster {
   /// Try to place one job; returns false if no node can host it right now
   /// (the caller queues it for retry — a batch queue, not a silent drop).
   bool deploy_job(const JobSpec& job);
+  /// Non-const: the telemetry guard advances its per-node acceptance state
+  /// while filtering SoC estimates for the controller's view.
   core::PolicyContext build_context(util::Seconds now,
                                     const power::RouteResult* last_route,
-                                    util::Watts solar_now = util::Watts{0.0}) const;
+                                    util::Watts solar_now = util::Watts{0.0});
   void apply_actions(const core::Actions& actions, DayResult& result);
   VmRecord* find_vm(workload::VmId id);
 
@@ -94,6 +102,8 @@ class Cluster {
   /// Daily-reset logs: the "recent" metric horizon the slowdown check reads.
   std::vector<telemetry::PowerTable> day_tables_;
   std::vector<telemetry::BatterySensor> sensors_;
+  std::unique_ptr<fault::FaultInjector> injector_;  ///< null = clean run
+  core::TelemetryGuard guard_;
   std::unique_ptr<core::AgingPolicy> policy_;
   std::vector<VmRecord> vms_;
   std::vector<JobSpec> pending_jobs_;  ///< arrived but not yet placeable

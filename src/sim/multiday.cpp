@@ -1,8 +1,11 @@
 #include "sim/multiday.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "fault/injector.hpp"
 #include "obs/obs.hpp"
+#include "telemetry/soh.hpp"
 #include "util/require.hpp"
 
 namespace baat::sim {
@@ -34,6 +37,11 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
   util::Rng solar_rng = util::Rng::stream(cluster.config().seed, "solar-days");
 
   MultiDayResult result;
+  // The probe series feeds an online SoH estimator — the least-squares fit
+  // behind the lifetime projection. A probe_stale fault repeats the previous
+  // measurement instead of running a fresh one (the series still advances).
+  telemetry::SohEstimator soh;
+  std::optional<battery::ProbeResult> last_probe;
   for (std::size_t d = 0; d < options.days; ++d) {
     const solar::SolarDay day{cluster.config().plant, weather[d], solar_rng.fork("day")};
     DayResult day_result = cluster.run_day(day);
@@ -55,9 +63,18 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
           worst = b;
         }
       }
-      const battery::ProbeResult probe = battery::run_probe(cluster.batteries()[worst]);
       MonthlyProbe mp;
       mp.month = static_cast<int>((d + 1) / options.probe_every_days);
+      fault::FaultInjector* injector = cluster.injector();
+      battery::ProbeResult probe;
+      if (injector != nullptr && last_probe.has_value() &&
+          injector->probe_is_stale(mp.month)) {
+        probe = *last_probe;
+      } else {
+        probe = battery::run_probe(cluster.batteries()[worst]);
+        last_probe = probe;
+      }
+      soh.add_probe(static_cast<double>(d + 1), probe.capacity_fraction);
       mp.full_voltage = probe.full_voltage.value();
       mp.capacity_fraction = probe.capacity_fraction;
       mp.energy_per_cycle_wh = probe.energy_per_cycle.value();
@@ -79,6 +96,7 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
   }
   result.mean_health_end = mean_health / static_cast<double>(cluster.node_count());
   result.min_health_end = min_health;
+  if (soh.probe_count() >= 2) result.projected_eol_day = soh.projected_eol_day();
   return result;
 }
 

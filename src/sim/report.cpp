@@ -81,6 +81,9 @@ void write_report(std::ostream& out, const ReportInputs& inputs) {
     out << "| sunshine fraction | " << inputs.sunshine_fraction << " |\n";
   }
   out << "| seed | " << cfg.seed << " |\n";
+  if (!cfg.faults.empty()) {
+    out << "| faults | `" << cfg.faults.to_string() << "` |\n";
+  }
   out << "| days simulated | " << r.days_simulated() << " |\n\n";
 
   out << "## Outcome\n\n";

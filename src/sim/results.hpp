@@ -3,6 +3,7 @@
 // Result records produced by the cluster simulation, aligned with what the
 // paper's figures report.
 
+#include <optional>
 #include <vector>
 
 #include "power/meter.hpp"
@@ -72,6 +73,10 @@ struct MultiDayResult {
   double mean_health_end = 1.0;
   double min_health_end = 1.0;
   util::Histogram soc_histogram = make_soc_histogram();  ///< aggregated (Fig 19)
+  /// Least-squares end-of-life projection from the monthly probe series
+  /// (§IV-D "proactively predicts battery lifetime"); needs ≥ 2 probes and
+  /// an observed fade.
+  std::optional<double> projected_eol_day;
 
   [[nodiscard]] double days_simulated() const { return static_cast<double>(days.size()); }
 };

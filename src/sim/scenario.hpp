@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "battery/bank.hpp"
+#include "core/guard.hpp"
 #include "core/policy.hpp"
+#include "fault/fault.hpp"
 #include "power/router.hpp"
 #include "server/server.hpp"
 #include "solar/solar_day.hpp"
@@ -39,6 +41,11 @@ struct ScenarioConfig {
   telemetry::SocEstimation soc_estimation = telemetry::SocEstimation::RestAnchoredCoulomb;
   core::PolicyKind policy = core::PolicyKind::EBuff;
   core::PolicyParams policy_params{};
+  /// Fault-injection plan; empty (the default) is a clean run and leaves
+  /// every output byte-identical to a build without the fault layer.
+  fault::FaultPlan faults{};
+  /// Degraded-mode telemetry guard; enabled alongside the fault plan.
+  core::GuardParams guard{};
 
   Seconds dt{60.0};                            ///< simulation step
   Seconds control_period{util::minutes(5.0)};  ///< BAAT controller cadence

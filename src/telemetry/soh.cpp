@@ -14,7 +14,10 @@ SohEstimator::SohEstimator(double eol_capacity) : eol_capacity_(eol_capacity) {
 
 void SohEstimator::add_probe(double day, double capacity_fraction) {
   BAAT_REQUIRE(day >= 0.0, "day must be >= 0");
-  BAAT_REQUIRE(capacity_fraction > 0.0 && capacity_fraction <= 1.2,
+  // 0 is a legal measurement — an open-cell failure probes as zero capacity
+  // (it used to be rejected here, which crashed the monthly probe feed the
+  // first time a dead battery was tested).
+  BAAT_REQUIRE(capacity_fraction >= 0.0 && capacity_fraction <= 1.2,
                "capacity fraction out of plausible range");
   BAAT_REQUIRE(samples_.empty() || day > samples_.back().day,
                "probes must arrive in chronological order");

@@ -1,0 +1,445 @@
+// Runtime behavior of the fault layer: injector determinism, each fault
+// class's observable effect, the degraded-mode telemetry guard, and the
+// zero-capacity regression tests — the div-zero/NaN class that the open-cell
+// fault exposed in battery::run_probe, Battery::step and SohEstimator (each
+// of these threw or produced NaN before this PR).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "battery/bank.hpp"
+#include "battery/probe.hpp"
+#include "core/guard.hpp"
+#include "core/lifetime.hpp"
+#include "fault/injector.hpp"
+#include "power/router.hpp"
+#include "sim/cluster.hpp"
+#include "sim/multiday.hpp"
+#include "sim/report.hpp"
+#include "telemetry/soh.hpp"
+#include "util/require.hpp"
+
+namespace baat {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::parse_fault_plan;
+
+telemetry::SensorReading reading_at(double t, double v = 24.5, double a = 3.0,
+                                    double c = 25.0) {
+  telemetry::SensorReading r;
+  r.time = util::Seconds{t};
+  r.voltage = util::Volts{v};
+  r.current = util::Amperes{a};
+  r.temperature = util::Celsius{c};
+  return r;
+}
+
+battery::Battery fresh_battery(double soc = 0.8) {
+  return battery::Battery{battery::LeadAcidParams{}, battery::AgingParams{},
+                          battery::ThermalParams{}, 1.0, 1.0, soc};
+}
+
+// ---------------------------------------------------------------------------
+// Injector determinism.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSamePerturbations) {
+  const FaultPlan plan =
+      parse_fault_plan("sensor_noise:voltage:0.1,sensor_stuck:p=0.05,probe_stale:p=0.1");
+  FaultInjector a{plan, 42, 4};
+  FaultInjector b{plan, 42, 4};
+  for (int t = 0; t < 500; ++t) {
+    for (std::size_t n = 0; n < 4; ++n) {
+      const auto ra = a.perturb_reading(n, reading_at(t * 60.0));
+      const auto rb = b.perturb_reading(n, reading_at(t * 60.0));
+      ASSERT_EQ(ra.time.value(), rb.time.value());
+      ASSERT_EQ(ra.voltage.value(), rb.voltage.value());
+      ASSERT_EQ(ra.current.value(), rb.current.value());
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const FaultPlan plan = parse_fault_plan("sensor_noise:voltage:0.1");
+  FaultInjector a{plan, 1, 1};
+  FaultInjector b{plan, 2, 1};
+  bool diverged = false;
+  for (int t = 0; t < 50 && !diverged; ++t) {
+    diverged = a.perturb_reading(0, reading_at(t * 60.0)).voltage.value() !=
+               b.perturb_reading(0, reading_at(t * 60.0)).voltage.value();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, MeterScaleIsStatelessInTime) {
+  const FaultPlan plan = parse_fault_plan("meter_glitch:p=0.5:scale=0.4");
+  const FaultInjector inj{plan, 7, 2};
+  for (int t = 0; t < 200; ++t) {
+    const util::Seconds now{t * 60.0};
+    const double first = inj.meter_scale(0, now);
+    // Same instant, any call count: must agree (build_context may re-read).
+    EXPECT_EQ(inj.meter_scale(0, now), first);
+    EXPECT_GT(first, 0.0);
+    EXPECT_GE(first, 0.6 - 1e-12);
+    EXPECT_LE(first, 1.4 + 1e-12);
+  }
+}
+
+TEST(FaultInjector, ProbeStaleDeterministicPerIndex) {
+  const FaultPlan plan = parse_fault_plan("probe_stale:p=0.5");
+  const FaultInjector inj{plan, 11, 1};
+  int stale = 0;
+  for (int i = 0; i < 100; ++i) {
+    const bool s = inj.probe_is_stale(i);
+    EXPECT_EQ(inj.probe_is_stale(i), s);
+    stale += s ? 1 : 0;
+  }
+  // p=0.5 over 100 draws: comfortably away from both degenerate outcomes.
+  EXPECT_GT(stale, 20);
+  EXPECT_LT(stale, 80);
+}
+
+// ---------------------------------------------------------------------------
+// Per-class effects.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, BiasShiftsChannelExactly) {
+  FaultInjector inj{parse_fault_plan("sensor_bias:current:-0.75"), 3, 1};
+  const auto out = inj.perturb_reading(0, reading_at(60.0));
+  EXPECT_DOUBLE_EQ(out.current.value(), 3.0 - 0.75);
+  EXPECT_DOUBLE_EQ(out.voltage.value(), 24.5);   // other channels untouched
+  EXPECT_DOUBLE_EQ(out.time.value(), 60.0);      // timestamps never faked
+}
+
+TEST(FaultInjector, SocChannelNoiseEntersThroughCurrent) {
+  FaultInjector inj{parse_fault_plan("sensor_bias:soc:0.01"), 3, 1};
+  const auto out = inj.perturb_reading(0, reading_at(60.0));
+  EXPECT_DOUBLE_EQ(out.current.value(), 3.0 + 0.01 * 35.0);
+  EXPECT_DOUBLE_EQ(out.voltage.value(), 24.5);
+}
+
+TEST(FaultInjector, StuckSensorFreezesUntilHoldExpires) {
+  // p=1 sticks on the very first reading for 10 minutes.
+  FaultInjector inj{parse_fault_plan("sensor_stuck:p=1:hold=10"), 5, 1};
+  const auto first = inj.perturb_reading(0, reading_at(0.0, 24.0));
+  const auto during = inj.perturb_reading(0, reading_at(300.0, 20.0));
+  EXPECT_DOUBLE_EQ(during.voltage.value(), first.voltage.value());
+  EXPECT_DOUBLE_EQ(during.time.value(), first.time.value());  // stale timestamp
+}
+
+TEST(FaultInjector, StaleReadingRepeatsPreviousSample) {
+  FaultInjector inj{parse_fault_plan("probe_stale:p=1"), 5, 1};
+  const auto first = inj.perturb_reading(0, reading_at(0.0, 24.0));
+  const auto second = inj.perturb_reading(0, reading_at(60.0, 23.0));
+  EXPECT_DOUBLE_EQ(second.voltage.value(), first.voltage.value());
+  EXPECT_DOUBLE_EQ(second.time.value(), first.time.value());
+}
+
+TEST(FaultInjector, SolarScaleDropoutWindowAndDerate) {
+  FaultInjector inj{parse_fault_plan("pv_dropout:day=2:hours=4:start=10,pv_derate:factor=0.5"),
+                    9, 1};
+  // Outside the dropout day: only the derate applies.
+  EXPECT_DOUBLE_EQ(inj.solar_scale(1, util::hours(12.0)), 0.5);
+  // On the day, inside the window: hard zero.
+  EXPECT_DOUBLE_EQ(inj.solar_scale(2, util::hours(11.0)), 0.0);
+  EXPECT_DOUBLE_EQ(inj.solar_scale(2, util::hours(13.9)), 0.0);
+  // Window edges: [start, start+hours).
+  EXPECT_DOUBLE_EQ(inj.solar_scale(2, util::hours(9.9)), 0.5);
+  EXPECT_DOUBLE_EQ(inj.solar_scale(2, util::hours(14.0)), 0.5);
+}
+
+TEST(FaultInjector, CellWeakReplacesUnit) {
+  battery::BankSpec spec;
+  spec.units = 3;
+  util::Rng rng{1};
+  auto bank = battery::make_bank(spec, rng);
+  const double healthy_cap = bank[2].usable_capacity().value();
+  FaultInjector inj{parse_fault_plan("cell_weak:bank=1:capacity=0.7"), 1, 3};
+  inj.apply_bank_faults(bank, spec);
+  EXPECT_LT(bank[1].usable_capacity().value(), 0.75 * healthy_cap);
+  EXPECT_NEAR(bank[2].usable_capacity().value(), healthy_cap, 1e-12);
+}
+
+TEST(FaultInjector, CellOpenFiresOnceOnItsDay) {
+  battery::BankSpec spec;
+  spec.units = 2;
+  util::Rng rng{1};
+  auto bank = battery::make_bank(spec, rng);
+  FaultInjector inj{parse_fault_plan("cell_open:bank=0:day=3"), 1, 2};
+  inj.begin_day(2, bank);
+  EXPECT_FALSE(bank[0].open_failed());
+  inj.begin_day(3, bank);
+  EXPECT_TRUE(bank[0].open_failed());
+  EXPECT_FALSE(bank[1].open_failed());
+  EXPECT_DOUBLE_EQ(bank[0].open_circuit().value(), 0.0);
+  EXPECT_DOUBLE_EQ(bank[0].usable_capacity().value(), 0.0);
+  EXPECT_DOUBLE_EQ(bank[0].health(), 0.0);
+  EXPECT_TRUE(bank[0].end_of_life());
+}
+
+TEST(FaultInjector, BankIndexValidatedAgainstNodeCount) {
+  EXPECT_THROW(FaultInjector(parse_fault_plan("cell_open:bank=6"), 1, 6),
+               util::PreconditionError);
+  EXPECT_THROW(FaultInjector(parse_fault_plan("cell_weak:bank=9:capacity=0.8"), 1, 4),
+               util::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode telemetry guard.
+// ---------------------------------------------------------------------------
+
+core::GuardParams enabled_guard() {
+  core::GuardParams p;
+  p.enabled = true;
+  return p;
+}
+
+TEST(TelemetryGuard, DisabledGuardIsTransparent) {
+  core::TelemetryGuard guard{core::GuardParams{}, 2};
+  EXPECT_DOUBLE_EQ(guard.filter_soc(0, 7.5, util::Seconds{0.0}, util::Seconds{0.0}),
+                   7.5);  // even nonsense passes through when disabled
+  EXPECT_EQ(guard.fallback_count(), 0u);
+}
+
+TEST(TelemetryGuard, AcceptsPlausibleReadings) {
+  core::TelemetryGuard guard{enabled_guard(), 1};
+  for (int t = 0; t < 10; ++t) {
+    const util::Seconds now{t * 60.0};
+    EXPECT_DOUBLE_EQ(guard.filter_soc(0, 0.8 - 0.001 * t, now, now), 0.8 - 0.001 * t);
+  }
+  EXPECT_EQ(guard.fallback_count(), 0u);
+}
+
+TEST(TelemetryGuard, RangeViolationFallsBackToLastGood) {
+  core::TelemetryGuard guard{enabled_guard(), 1};
+  ASSERT_DOUBLE_EQ(guard.filter_soc(0, 0.8, util::Seconds{0.0}, util::Seconds{0.0}),
+                   0.8);
+  const double out =
+      guard.filter_soc(0, 1.7, util::Seconds{60.0}, util::Seconds{60.0});
+  EXPECT_GT(out, 0.25);  // discounted last-good, not the bogus reading
+  EXPECT_LE(out, 0.8 + 1e-12);
+  EXPECT_EQ(guard.fallback_count(), 1u);
+}
+
+TEST(TelemetryGuard, NonFiniteReadingNeverPropagates) {
+  core::TelemetryGuard guard{enabled_guard(), 1};
+  (void)guard.filter_soc(0, 0.6, util::Seconds{0.0}, util::Seconds{0.0});
+  const double nan_out = guard.filter_soc(
+      0, std::numeric_limits<double>::quiet_NaN(), util::Seconds{60.0},
+      util::Seconds{60.0});
+  EXPECT_TRUE(std::isfinite(nan_out));
+  const double inf_out = guard.filter_soc(
+      0, std::numeric_limits<double>::infinity(), util::Seconds{120.0},
+      util::Seconds{120.0});
+  EXPECT_TRUE(std::isfinite(inf_out));
+  EXPECT_EQ(guard.fallback_count(), 2u);
+}
+
+TEST(TelemetryGuard, StaleReadingDecaysTowardConservative) {
+  core::GuardParams p = enabled_guard();
+  p.conservative_soc = 0.25;
+  core::TelemetryGuard guard{p, 1};
+  ASSERT_DOUBLE_EQ(guard.filter_soc(0, 0.9, util::Seconds{0.0}, util::Seconds{0.0}),
+                   0.9);
+  // Sensor froze at t=0; decisions keep coming. Staleness past the limit
+  // rejects the reading and the fallback decays with outage age.
+  const double early =
+      guard.filter_soc(0, 0.9, util::Seconds{0.0}, util::minutes(15.0));
+  const double late =
+      guard.filter_soc(0, 0.9, util::Seconds{0.0}, util::hours(4.0));
+  EXPECT_LT(early, 0.9);
+  EXPECT_LT(late, early);
+  EXPECT_NEAR(late, p.conservative_soc, 0.02);
+  EXPECT_GE(guard.fallback_count(), 2u);
+}
+
+TEST(TelemetryGuard, RateViolationRejected) {
+  core::TelemetryGuard guard{enabled_guard(), 1};
+  ASSERT_DOUBLE_EQ(guard.filter_soc(0, 0.5, util::Seconds{0.0}, util::Seconds{0.0}),
+                   0.5);
+  // 0.5 → 0.95 in 60 s is 7.5e-3/s, far past max_rate_per_s=1e-3.
+  const double out =
+      guard.filter_soc(0, 0.95, util::Seconds{60.0}, util::Seconds{60.0});
+  EXPECT_LT(out, 0.95);
+  EXPECT_EQ(guard.fallback_count(), 1u);
+}
+
+TEST(TelemetryGuard, SameTickEvaluationIsCached) {
+  core::TelemetryGuard guard{enabled_guard(), 1};
+  (void)guard.filter_soc(0, 0.5, util::Seconds{0.0}, util::Seconds{0.0});
+  const util::Seconds now{60.0};
+  const double first = guard.filter_soc(0, 2.0, util::Seconds{60.0}, now);
+  const double second = guard.filter_soc(0, 2.0, util::Seconds{60.0}, now);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(guard.fallback_count(), 1u);  // not double-counted
+}
+
+TEST(TelemetryGuard, OutputAlwaysInUnitRange) {
+  core::TelemetryGuard guard{enabled_guard(), 1};
+  util::Rng rng{99};
+  for (int t = 0; t < 2000; ++t) {
+    const util::Seconds now{t * 60.0};
+    double raw = rng.uniform(-2.0, 3.0);
+    if (rng.bernoulli(0.05)) raw = std::numeric_limits<double>::quiet_NaN();
+    const double age = rng.bernoulli(0.2) ? rng.uniform(0.0, 7200.0) : 0.0;
+    const double out =
+        guard.filter_soc(0, raw, util::Seconds{now.value() - age}, now);
+    ASSERT_TRUE(std::isfinite(out));
+    ASSERT_GE(out, 0.0);
+    ASSERT_LE(out, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-capacity regression tests. Each of these fails on the pre-PR code.
+// ---------------------------------------------------------------------------
+
+// SohEstimator::add_probe rejected capacity_fraction == 0 with a
+// PreconditionError — but 0 is exactly what a probe of an open cell
+// measures, and it must feed measured_eol(), not kill the simulation.
+TEST(ZeroCapacityRegression, SohEstimatorAcceptsDeadCellProbe) {
+  telemetry::SohEstimator soh;
+  soh.add_probe(30.0, 0.95);
+  EXPECT_NO_THROW(soh.add_probe(60.0, 0.0));
+  EXPECT_TRUE(soh.measured_eol());
+  const auto eol = soh.projected_eol_day();
+  ASSERT_TRUE(eol.has_value());
+  EXPECT_TRUE(std::isfinite(*eol));
+}
+
+// Battery::step's charge branch divided dq by usable_capacity(); with an
+// open cell that capacity is 0 and the SoC went NaN.
+TEST(ZeroCapacityRegression, OpenCellStepStaysFinite) {
+  battery::Battery bat = fresh_battery(0.5);
+  bat.fail_open();
+  for (int i = 0; i < 10; ++i) {
+    const auto discharge = bat.step(util::amperes(5.0), util::minutes(1.0));
+    EXPECT_DOUBLE_EQ(discharge.actual_current.value(), 0.0);
+    const auto charge = bat.step(util::amperes(-5.0), util::minutes(1.0));
+    EXPECT_DOUBLE_EQ(charge.actual_current.value(), 0.0);
+    ASSERT_TRUE(std::isfinite(bat.soc()));
+    ASSERT_GE(bat.soc(), 0.0);
+    ASSERT_LE(bat.soc(), 1.0);
+  }
+}
+
+// run_probe on an open cell: the charge/discharge rigs must terminate and
+// report a zero-capacity measurement instead of looping or throwing.
+TEST(ZeroCapacityRegression, ProbeOfOpenCellMeasuresZero) {
+  battery::Battery bat = fresh_battery(0.9);
+  bat.fail_open();
+  battery::ProbeResult probe;
+  ASSERT_NO_THROW(probe = battery::run_probe(bat));
+  EXPECT_DOUBLE_EQ(probe.capacity_fraction, 0.0);
+  EXPECT_TRUE(std::isfinite(probe.full_voltage.value()));
+  EXPECT_TRUE(std::isfinite(probe.round_trip_efficiency));
+}
+
+// The router asked an open cell for current at 0 V open-circuit, which blew
+// a precondition inside current_for_dc_power mid-simulation.
+TEST(ZeroCapacityRegression, RouterSurvivesOpenCellInFleet) {
+  std::vector<battery::Battery> bats;
+  bats.push_back(fresh_battery(0.9));
+  bats.push_back(fresh_battery(0.9));
+  bats[0].fail_open();
+  const std::vector<util::Watts> demands{util::watts(150.0), util::watts(150.0)};
+  std::vector<std::size_t> order{0, 1};
+  power::RouteResult r;
+  // No solar: both nodes want battery power; node 0's cell is open.
+  ASSERT_NO_THROW(r = power::route_power(util::watts(0.0), demands, bats, order,
+                                         power::RouterParams{}, util::minutes(1.0)));
+  EXPECT_TRUE(r.nodes[0].battery_cutoff);
+  EXPECT_NEAR(r.nodes[0].unmet.value() + r.nodes[0].utility_used.value(), 150.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.nodes[0].battery_delivered.value(), 0.0);
+  EXPECT_GT(r.nodes[1].battery_delivered.value(), 0.0);  // healthy node unaffected
+}
+
+// End-to-end: a cluster with a day-0 open cell must run a full day and a
+// probe cycle without NaNs anywhere the results expose.
+TEST(ZeroCapacityRegression, ClusterRunsWithOpenCellFromDayZero) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 3;
+  cfg.faults = parse_fault_plan("cell_open:bank=1");
+  cfg.guard.enabled = true;
+  sim::Cluster cluster{cfg};
+  sim::MultiDayOptions opt;
+  opt.days = 2;
+  opt.probe_every_days = 1;  // probes the worst (dead) unit
+  opt.sunshine_fraction = 0.5;
+  const sim::MultiDayResult r = sim::run_multi_day(cluster, opt);
+  EXPECT_TRUE(std::isfinite(r.total_throughput));
+  EXPECT_TRUE(std::isfinite(r.mean_health_end));
+  EXPECT_DOUBLE_EQ(cluster.batteries()[1].health(), 0.0);
+  for (const auto& mp : r.monthly) {
+    EXPECT_TRUE(std::isfinite(mp.capacity_fraction));
+    EXPECT_TRUE(std::isfinite(mp.full_voltage));
+  }
+  for (const auto& b : cluster.batteries()) {
+    EXPECT_TRUE(std::isfinite(b.soc()));
+  }
+}
+
+// Old extrapolate_lifetime rejected health_now == 0, so every report /
+// summary path crashed (exit 2) the moment a fleet contained a dead cell.
+TEST(ZeroCapacityRegression, LifetimeExtrapolationAcceptsDeadBattery) {
+  core::LifetimeEstimate est;
+  EXPECT_NO_THROW(est = core::extrapolate_lifetime(1.0, 0.0, 5.0));
+  EXPECT_TRUE(std::isfinite(est.days));
+  // Full fade in 5 days, EOL line at 0.80: crossed after (1-0.8)/(1/5) = 1 d.
+  EXPECT_NEAR(est.days, 1.0, 1e-9);
+  // Degenerate-but-legal bounds still rejected.
+  EXPECT_THROW((void)core::extrapolate_lifetime(1.0, -0.1, 5.0),
+               util::PreconditionError);
+}
+
+TEST(ZeroCapacityRegression, ReportRendersFleetWithDeadCell) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 3;
+  cfg.faults = parse_fault_plan("cell_open:bank=1:day=1");
+  cfg.guard.enabled = true;
+  sim::Cluster cluster{cfg};
+  sim::MultiDayOptions opt;
+  opt.days = 3;
+  opt.probe_every_days = 1;
+  opt.sunshine_fraction = 0.5;
+  const sim::MultiDayResult r = sim::run_multi_day(cluster, opt);
+  ASSERT_DOUBLE_EQ(r.min_health_end, 0.0);
+
+  sim::ReportInputs in;
+  in.config = &cfg;
+  in.result = &r;
+  in.cluster = &cluster;
+  std::ostringstream out;
+  EXPECT_NO_THROW(sim::write_report(out, in));
+  EXPECT_NE(out.str().find("projected end-of-life"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Probe staleness plumbs through the multi-day probe series.
+// ---------------------------------------------------------------------------
+
+TEST(FaultMultiDay, StaleProbeRepeatsPreviousMeasurement) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 2;
+  cfg.faults = parse_fault_plan("probe_stale:p=1");
+  cfg.guard.enabled = true;
+  sim::Cluster cluster{cfg};
+  sim::MultiDayOptions opt;
+  opt.days = 3;
+  opt.probe_every_days = 1;
+  opt.sunshine_fraction = 0.5;
+  const sim::MultiDayResult r = sim::run_multi_day(cluster, opt);
+  ASSERT_EQ(r.monthly.size(), 3u);
+  // p=1: every probe after the first replays it verbatim.
+  EXPECT_DOUBLE_EQ(r.monthly[1].capacity_fraction, r.monthly[0].capacity_fraction);
+  EXPECT_DOUBLE_EQ(r.monthly[2].capacity_fraction, r.monthly[0].capacity_fraction);
+  EXPECT_DOUBLE_EQ(r.monthly[1].full_voltage, r.monthly[0].full_voltage);
+}
+
+}  // namespace
+}  // namespace baat

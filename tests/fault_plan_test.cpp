@@ -1,0 +1,324 @@
+// The --faults spec parser: every malformed input must be a readable
+// PreconditionError, never UB — these are the fuzz-ish negative tests the
+// sanitizer jobs lean on. Positive parses are checked field-by-field and
+// through the to_string round-trip.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "sim/cli.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace baat {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+using fault::parse_fault_plan;
+using fault::parse_fault_spec;
+using fault::SensorChannel;
+
+// ---------------------------------------------------------------------------
+// Positive parses, one per grammar production.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanParse, SensorNoiseAllChannels) {
+  const struct {
+    const char* name;
+    SensorChannel channel;
+  } channels[] = {{"voltage", SensorChannel::Voltage},
+                  {"current", SensorChannel::Current},
+                  {"temp", SensorChannel::Temperature},
+                  {"soc", SensorChannel::Soc}};
+  for (const auto& c : channels) {
+    const FaultSpec s =
+        parse_fault_spec(std::string("sensor_noise:") + c.name + ":0.03");
+    EXPECT_EQ(s.kind, FaultKind::SensorNoise);
+    EXPECT_EQ(s.channel, c.channel);
+    EXPECT_DOUBLE_EQ(s.magnitude, 0.03);
+  }
+}
+
+TEST(FaultPlanParse, SensorBias) {
+  const FaultSpec s = parse_fault_spec("sensor_bias:current:-0.5");
+  EXPECT_EQ(s.kind, FaultKind::SensorBias);
+  EXPECT_EQ(s.channel, SensorChannel::Current);
+  EXPECT_DOUBLE_EQ(s.magnitude, -0.5);
+}
+
+TEST(FaultPlanParse, SensorStuckDefaultsHold) {
+  const FaultSpec s = parse_fault_spec("sensor_stuck:p=0.01");
+  EXPECT_EQ(s.kind, FaultKind::SensorStuck);
+  EXPECT_DOUBLE_EQ(s.probability, 0.01);
+  EXPECT_DOUBLE_EQ(s.hold_minutes, 10.0);
+  const FaultSpec h = parse_fault_spec("sensor_stuck:p=0.01:hold=45");
+  EXPECT_DOUBLE_EQ(h.hold_minutes, 45.0);
+}
+
+TEST(FaultPlanParse, ProbeStale) {
+  const FaultSpec s = parse_fault_spec("probe_stale:p=0.25");
+  EXPECT_EQ(s.kind, FaultKind::ProbeStale);
+  EXPECT_DOUBLE_EQ(s.probability, 0.25);
+}
+
+TEST(FaultPlanParse, PvDropoutDefaultsStartToNoon) {
+  const FaultSpec s = parse_fault_spec("pv_dropout:day=12:hours=4");
+  EXPECT_EQ(s.kind, FaultKind::PvDropout);
+  EXPECT_EQ(s.day, 12);
+  EXPECT_DOUBLE_EQ(s.hours, 4.0);
+  EXPECT_DOUBLE_EQ(s.start_hour, 12.0);
+  const FaultSpec t = parse_fault_spec("pv_dropout:day=0:hours=2:start=9.5");
+  EXPECT_DOUBLE_EQ(t.start_hour, 9.5);
+}
+
+TEST(FaultPlanParse, PvDerateAllDaysWhenDayOmitted) {
+  const FaultSpec s = parse_fault_spec("pv_derate:factor=0.7");
+  EXPECT_EQ(s.kind, FaultKind::PvDerate);
+  EXPECT_DOUBLE_EQ(s.magnitude, 0.7);
+  EXPECT_EQ(s.day, -1);
+  const FaultSpec t = parse_fault_spec("pv_derate:factor=0.5:day=3");
+  EXPECT_EQ(t.day, 3);
+}
+
+TEST(FaultPlanParse, CellWeak) {
+  const FaultSpec s = parse_fault_spec("cell_weak:bank=1:capacity=0.8");
+  EXPECT_EQ(s.kind, FaultKind::CellWeak);
+  EXPECT_EQ(s.bank, 1u);
+  EXPECT_DOUBLE_EQ(s.magnitude, 0.8);
+  EXPECT_DOUBLE_EQ(s.resistance, 1.0);
+  const FaultSpec r = parse_fault_spec("cell_weak:bank=0:capacity=0.9:resistance=1.6");
+  EXPECT_DOUBLE_EQ(r.resistance, 1.6);
+}
+
+TEST(FaultPlanParse, CellOpenDefaultsToDayZero) {
+  const FaultSpec s = parse_fault_spec("cell_open:bank=2");
+  EXPECT_EQ(s.kind, FaultKind::CellOpen);
+  EXPECT_EQ(s.bank, 2u);
+  EXPECT_EQ(s.day, 0);
+  const FaultSpec t = parse_fault_spec("cell_open:bank=2:day=5");
+  EXPECT_EQ(t.day, 5);
+}
+
+TEST(FaultPlanParse, MeterGlitch) {
+  const FaultSpec s = parse_fault_spec("meter_glitch:p=0.02");
+  EXPECT_EQ(s.kind, FaultKind::MeterGlitch);
+  EXPECT_DOUBLE_EQ(s.probability, 0.02);
+  EXPECT_DOUBLE_EQ(s.glitch_scale, 0.5);
+  const FaultSpec t = parse_fault_spec("meter_glitch:p=0.02:scale=0.9");
+  EXPECT_DOUBLE_EQ(t.glitch_scale, 0.9);
+}
+
+TEST(FaultPlanParse, CommaSeparatedPlan) {
+  const FaultPlan plan = parse_fault_plan(
+      "sensor_noise:soc:0.03,pv_dropout:day=12:hours=4,cell_weak:bank=1:capacity=0.8");
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::SensorNoise);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::PvDropout);
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::CellWeak);
+}
+
+TEST(FaultPlanParse, ToStringRoundTrips) {
+  const char* specs[] = {
+      "sensor_noise:soc:0.03",
+      "sensor_bias:voltage:0.2",
+      "sensor_stuck:p=0.01:hold=30",
+      "probe_stale:p=0.1",
+      "pv_dropout:day=12:hours=4:start=12",
+      "pv_derate:factor=0.7",
+      "cell_weak:bank=1:capacity=0.8:resistance=1.5",
+      "cell_open:bank=0:day=3",
+      "meter_glitch:p=0.05:scale=0.5",
+  };
+  for (const char* spec : specs) {
+    const FaultSpec once = parse_fault_spec(spec);
+    const FaultSpec twice = parse_fault_spec(once.to_string());
+    EXPECT_EQ(once.to_string(), twice.to_string()) << spec;
+  }
+  const FaultPlan plan =
+      parse_fault_plan("sensor_noise:soc:0.03,meter_glitch:p=0.05");
+  EXPECT_EQ(parse_fault_plan(plan.to_string()).to_string(), plan.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Negative cases: every malformed spec throws with a readable message.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanErrors, EmptyAndStructural) {
+  EXPECT_THROW((void)parse_fault_plan(""), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_plan(","), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_plan("sensor_noise:soc:0.03,"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_plan(",sensor_noise:soc:0.03"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec(""), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec(":"), util::PreconditionError);
+}
+
+TEST(FaultPlanErrors, UnknownKindChannelField) {
+  EXPECT_THROW((void)parse_fault_spec("gremlins:p=0.1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_noise:humidity:0.1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("probe_stale:prob=0.1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=1:hours=2:frequency=3"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_open:bank=0:bank=1"), util::PreconditionError);
+}
+
+TEST(FaultPlanErrors, MissingRequiredFields) {
+  EXPECT_THROW((void)parse_fault_spec("sensor_noise:soc"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_stuck"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:hours=2"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_derate"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_weak:bank=1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_weak:capacity=0.8"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_open"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("meter_glitch"), util::PreconditionError);
+}
+
+TEST(FaultPlanErrors, MalformedNumbers) {
+  EXPECT_THROW((void)parse_fault_spec("sensor_noise:soc:lots"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_noise:soc:nan"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_noise:soc:inf"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_stuck:p=0.1x"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=1.5:hours=2"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=-1:hours=2"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=:hours=2"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_weak:bank=one:capacity=0.8"),
+               util::PreconditionError);
+}
+
+TEST(FaultPlanErrors, OutOfRangeValues) {
+  EXPECT_THROW((void)parse_fault_spec("sensor_stuck:p=1.5"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_stuck:p=-0.1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_stuck:p=0.1:hold=0"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("sensor_stuck:p=0.1:hold=100000"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("probe_stale:p=2"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=1:hours=0"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=1:hours=25"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_dropout:day=1:hours=2:start=24"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_derate:factor=1.2"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("pv_derate:factor=-0.1"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_weak:bank=1:capacity=0"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_weak:bank=1:capacity=1.1"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("cell_weak:bank=1:capacity=0.8:resistance=0.5"),
+               util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("meter_glitch:p=0.1:scale=0"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("meter_glitch:p=0.1:scale=2"), util::PreconditionError);
+}
+
+TEST(FaultPlanErrors, CrossFaultValidation) {
+  // Overlapping dropout windows on the same day.
+  EXPECT_THROW(
+      parse_fault_plan("pv_dropout:day=2:hours=4:start=10,pv_dropout:day=2:hours=4:start=12"),
+      util::PreconditionError);
+  // Same windows on different days are fine.
+  EXPECT_NO_THROW(
+      (void)parse_fault_plan("pv_dropout:day=2:hours=4,pv_dropout:day=3:hours=4"));
+  // Duplicate bank-level faults on one unit.
+  EXPECT_THROW(
+      parse_fault_plan("cell_weak:bank=1:capacity=0.8,cell_weak:bank=1:capacity=0.9"),
+      util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_plan("cell_open:bank=0,cell_open:bank=0:day=4"),
+               util::PreconditionError);
+  EXPECT_NO_THROW(
+      (void)parse_fault_plan("cell_weak:bank=0:capacity=0.8,cell_weak:bank=1:capacity=0.8"));
+}
+
+TEST(FaultPlanErrors, AppendRevalidates) {
+  FaultPlan plan = parse_fault_plan("cell_open:bank=1");
+  EXPECT_THROW(fault::append_fault_plan(plan, parse_fault_plan("cell_open:bank=1")),
+               util::PreconditionError);
+  // A failed append must not corrupt the plan.
+  EXPECT_EQ(plan.size(), 1u);
+  fault::append_fault_plan(plan, parse_fault_plan("probe_stale:p=0.5"));
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CLI integration: --faults feeds the same parser and accumulates.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanCli, FaultsFlagParsesAndAccumulates) {
+  const sim::CliOptions opt = sim::parse_cli(
+      {"--faults", "sensor_noise:soc:0.03", "--faults", "probe_stale:p=0.1"});
+  ASSERT_EQ(opt.faults.size(), 2u);
+  const sim::ScenarioConfig cfg = sim::scenario_from_cli(opt);
+  EXPECT_EQ(cfg.faults.size(), 2u);
+  EXPECT_TRUE(cfg.guard.enabled);  // fault plans switch on degraded mode
+}
+
+TEST(FaultPlanCli, CleanRunLeavesGuardDisabled) {
+  const sim::ScenarioConfig cfg = sim::scenario_from_cli(sim::parse_cli({}));
+  EXPECT_TRUE(cfg.faults.empty());
+  EXPECT_FALSE(cfg.guard.enabled);
+}
+
+TEST(FaultPlanCli, BadFaultSpecIsReadableError) {
+  EXPECT_THROW(sim::parse_cli({"--faults", "gremlins:p=0.1"}), util::PreconditionError);
+  EXPECT_THROW(sim::parse_cli({"--faults"}), util::PreconditionError);
+  EXPECT_THROW(sim::parse_cli({"--faults", ""}), util::PreconditionError);
+  try {
+    sim::parse_cli({"--faults", "sensor_stuck:p=7"});
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("p"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish: random garbage either parses or throws PreconditionError —
+// never UB, never any other exception type. ASan/UBSan make this sharp.
+// ---------------------------------------------------------------------------
+
+class FaultPlanFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultPlanFuzz, GarbageNeverCausesUb) {
+  static constexpr char kCharset[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789:=.,-+_ eEpP";
+  util::Rng rng{GetParam()};
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string spec;
+    const std::size_t len = rng.uniform_index(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      spec.push_back(kCharset[rng.uniform_index(sizeof(kCharset) - 1)]);
+    }
+    try {
+      const FaultPlan plan = parse_fault_plan(spec);
+      // Whatever parsed must round-trip through its canonical form.
+      EXPECT_EQ(parse_fault_plan(plan.to_string()).size(), plan.size());
+    } catch (const util::PreconditionError&) {
+      // Expected for nearly all random strings.
+    }
+  }
+}
+
+// Mutations of valid specs: flip one character of a well-formed spec.
+TEST_P(FaultPlanFuzz, MutatedValidSpecsNeverCauseUb) {
+  static constexpr const char* kValid[] = {
+      "sensor_noise:soc:0.03",       "sensor_stuck:p=0.01:hold=30",
+      "pv_dropout:day=12:hours=4",   "cell_weak:bank=1:capacity=0.8",
+      "meter_glitch:p=0.05:scale=0.5"};
+  static constexpr char kCharset[] = "abcz019:=.,-~";
+  util::Rng rng{GetParam() + 1000};
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string spec = kValid[rng.uniform_index(std::size(kValid))];
+    spec[rng.uniform_index(spec.size())] =
+        kCharset[rng.uniform_index(sizeof(kCharset) - 1)];
+    try {
+      (void)parse_fault_spec(spec);
+    } catch (const util::PreconditionError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace baat

@@ -1,0 +1,123 @@
+// Golden-file regression tests: two canonical scenarios rendered to a
+// deterministic document (markdown report + full-precision per-day rows)
+// and compared byte-for-byte against tests/golden/*.golden.
+//
+// Updating the goldens after an INTENDED behavior change:
+//
+//   BAAT_UPDATE_GOLDEN=1 ./build/tests/golden_test
+//
+// then review the diff of tests/golden/ like any other code change. The
+// goldens deliberately exclude the obs registry (counters accumulate across
+// tests in this binary) and the wall-clock profile histograms — everything
+// in them is a pure function of (scenario, seed).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "sim/cluster.hpp"
+#include "sim/multiday.hpp"
+#include "sim/report.hpp"
+#include "util/csv.hpp"
+
+#ifndef BAAT_GOLDEN_DIR
+#error "BAAT_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace baat {
+namespace {
+
+std::string render_scenario(const sim::ScenarioConfig& cfg,
+                            const std::vector<solar::DayType>& weather,
+                            const std::string& title) {
+  sim::Cluster cluster{cfg};
+  sim::MultiDayOptions opt;
+  opt.days = weather.size();
+  opt.weather = weather;
+  opt.probe_every_days = 2;
+  const sim::MultiDayResult result = sim::run_multi_day(cluster, opt);
+
+  std::ostringstream out;
+  sim::ReportInputs inputs;
+  inputs.title = title;
+  inputs.config = &cfg;
+  inputs.result = &result;
+  inputs.cluster = &cluster;
+  sim::write_report(out, inputs);
+
+  // Full-precision per-day rows — the markdown tables round for humans;
+  // these rows are the bytes that catch a 1-ulp behavior drift.
+  out << "## Per-day values (full precision)\n\n";
+  out << "day,weather,work,worst_ah,low_soc_h,downtime_h,migrations,dvfs\n";
+  for (std::size_t d = 0; d < result.days.size(); ++d) {
+    const sim::DayResult& day = result.days[d];
+    out << d << "," << solar::day_type_name(day.day_type) << ","
+        << util::CsvWriter::cell(day.throughput_work) << ","
+        << util::CsvWriter::cell(day.nodes[day.worst_node()].ah_discharged.value())
+        << "," << util::CsvWriter::cell(day.worst_low_soc_time().value() / 3600.0)
+        << "," << util::CsvWriter::cell(day.total_downtime().value() / 3600.0) << ","
+        << day.migrations << "," << day.dvfs_transitions << "\n";
+  }
+  out << "\n## Final fleet state (full precision)\n\n";
+  out << "node,soc,health\n";
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    out << i << "," << util::CsvWriter::cell(cluster.batteries()[i].soc()) << ","
+        << util::CsvWriter::cell(cluster.batteries()[i].health()) << "\n";
+  }
+  return out.str();
+}
+
+void compare_against_golden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(BAAT_GOLDEN_DIR) + "/" + name + ".golden";
+  if (std::getenv("BAAT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{path, std::ios::binary};
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path << " — review the diff";
+  }
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — generate with BAAT_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "output drifted from " << path
+      << "\nIf the change is intended, refresh with BAAT_UPDATE_GOLDEN=1 "
+         "./golden_test and review the golden diff.";
+}
+
+// Canonical scenario 1: a clean sunny week on the prototype config.
+TEST(Golden, SunnyCleanWeek) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 3;
+  cfg.policy = core::PolicyKind::Baat;
+  cfg.seed = 7;
+  const std::vector<solar::DayType> weather(4, solar::DayType::Sunny);
+  compare_against_golden(
+      "sunny_clean", render_scenario(cfg, weather, "Golden: clean sunny week"));
+}
+
+// Canonical scenario 2: cloudy weather under a representative fault plan —
+// locks down the fault layer's end-to-end behavior, not just the clean path.
+TEST(Golden, CloudyFaulted) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 3;
+  cfg.policy = core::PolicyKind::Baat;
+  cfg.seed = 11;
+  cfg.faults = fault::parse_fault_plan(
+      "sensor_noise:soc:0.03,pv_dropout:day=1:hours=3,cell_weak:bank=2:capacity=0.8,"
+      "meter_glitch:p=0.02,probe_stale:p=0.5");
+  cfg.guard.enabled = true;
+  const std::vector<solar::DayType> weather{
+      solar::DayType::Cloudy, solar::DayType::Rainy, solar::DayType::Cloudy,
+      solar::DayType::Sunny};
+  compare_against_golden(
+      "cloudy_faulted", render_scenario(cfg, weather, "Golden: faulted cloudy run"));
+}
+
+}  // namespace
+}  // namespace baat

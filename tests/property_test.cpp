@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
 #include <numeric>
+#include <string>
 
 #include "battery/battery.hpp"
+#include "fault/fault.hpp"
 #include "power/router.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -63,7 +68,7 @@ TEST_P(BatteryFuzz, InvariantsUnderRandomDuty) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatteryFuzz,
-                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+                         ::testing::Range<std::uint64_t>(1u, 26u));
 
 // ---------------------------------------------------------------------------
 // Router conservation across random fleets.
@@ -105,7 +110,7 @@ TEST_P(RouterFuzz, ConservationAndBalance) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,
-                         ::testing::Values(3u, 17u, 256u, 4096u));
+                         ::testing::Range<std::uint64_t>(1u, 21u));
 
 // ---------------------------------------------------------------------------
 // Metric invariants on random power tables.
@@ -142,7 +147,8 @@ TEST_P(MetricsFuzz, RangesAlwaysHold) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MetricsFuzz, ::testing::Values(11u, 22u, 33u));
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsFuzz,
+                         ::testing::Range<std::uint64_t>(11u, 21u));
 
 // ---------------------------------------------------------------------------
 // Whole-cluster invariants across policies and weather.
@@ -203,6 +209,249 @@ INSTANTIATE_TEST_SUITE_P(
         ClusterCase{core::PolicyKind::BaatPlanned, solar::DayType::Cloudy, 7},
         ClusterCase{core::PolicyKind::BaatPredictive, solar::DayType::Rainy, 8},
         ClusterCase{core::PolicyKind::BaatPredictive, solar::DayType::Cloudy, 9}));
+
+// ---------------------------------------------------------------------------
+// The same physical invariants under every fault class. Faults corrupt what
+// the controller *sees* (or remove supply/capacity), never the bookkeeping:
+// energy attribution, SoC bounds and monotone aging counters must survive
+// any of them.
+// ---------------------------------------------------------------------------
+
+/// One spec string per fault class, "" = clean baseline, "combined" = all
+/// sensor/supply/meter classes at once.
+const char* const kFaultClasses[] = {
+    "",
+    "sensor_noise:soc:0.05",
+    "sensor_bias:voltage:0.3",
+    "sensor_stuck:p=0.01:hold=20",
+    "probe_stale:p=0.3",
+    "pv_dropout:day=0:hours=3",
+    "pv_derate:factor=0.6",
+    "cell_weak:bank=0:capacity=0.75",
+    "cell_open:bank=1",
+    "meter_glitch:p=0.05",
+    "sensor_noise:current:0.2,sensor_stuck:p=0.005,pv_derate:factor=0.8,"
+    "meter_glitch:p=0.02,probe_stale:p=0.1",
+};
+
+sim::ScenarioConfig faulted_scenario(const char* spec, std::uint64_t seed) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 2;  // keep the per-case day run cheap
+  cfg.policy = core::PolicyKind::Baat;
+  cfg.seed = seed;
+  if (spec[0] != '\0') {
+    cfg.faults = fault::parse_fault_plan(spec);
+    cfg.guard.enabled = true;
+  }
+  return cfg;
+}
+
+struct FaultCase {
+  std::size_t fault_class;
+  std::uint64_t seed;
+};
+
+class FaultedClusterSweep : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultedClusterSweep, PhysicalInvariantsSurviveFaults) {
+  const FaultCase fc = GetParam();
+  const sim::ScenarioConfig cfg =
+      faulted_scenario(kFaultClasses[fc.fault_class], fc.seed);
+  sim::Cluster cluster{cfg};
+
+  struct Baseline {
+    double ah = 0.0, time = 0.0, health = 1.0;
+  };
+  std::vector<Baseline> before(cfg.nodes);
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    before[i] = {cluster.batteries()[i].counters().ah_discharged.value(),
+                 cluster.batteries()[i].counters().time_total.value(),
+                 cluster.batteries()[i].health()};
+  }
+
+  const solar::DayType weather =
+      fc.seed % 3 == 0 ? solar::DayType::Rainy
+                       : (fc.seed % 3 == 1 ? solar::DayType::Sunny
+                                           : solar::DayType::Cloudy);
+  const sim::DayResult r = cluster.run_day(weather);
+
+  // Energy attribution holds no matter what the controller was shown.
+  EXPECT_NEAR(r.meter.solar_available().value(),
+              r.meter.solar_to_load().value() + r.meter.solar_to_charge().value() +
+                  r.meter.solar_curtailed().value(),
+              1.0);
+  EXPECT_TRUE(std::isfinite(r.throughput_work));
+  EXPECT_GE(r.throughput_work, 0.0);
+  EXPECT_NEAR(r.soc_histogram.total_weight(),
+              static_cast<double>(cfg.nodes) * 86400.0, 10.0);
+
+  for (const auto& n : r.nodes) {
+    EXPECT_GE(n.soc_min, 0.0);
+    EXPECT_LE(n.soc_end, 1.0);
+    EXPECT_LE(n.critical_soc_time.value(), n.low_soc_time.value() + 1e-9);
+    EXPECT_GE(n.ah_discharged.value(), 0.0);
+  }
+
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    const battery::Battery& b = cluster.batteries()[i];
+    // SoC bounded and finite under every fault class.
+    ASSERT_TRUE(std::isfinite(b.soc()));
+    EXPECT_GE(b.soc(), 0.0);
+    EXPECT_LE(b.soc(), 1.0);
+    // True accumulators are monotone; health never recovers.
+    EXPECT_GE(b.counters().ah_discharged.value(), before[i].ah);
+    EXPECT_GT(b.counters().time_total.value(), before[i].time);
+    EXPECT_LE(b.health(), before[i].health + 1e-12);
+    EXPECT_GE(b.health(), 0.0);
+    // Bounded (EWMA/fraction) aging metrics stay in range.
+    const auto m = cluster.life_metrics(i);
+    EXPECT_GE(m.nat, 0.0);
+    EXPECT_GE(m.ddt, 0.0);
+    EXPECT_LE(m.ddt, 1.0);
+    EXPECT_GE(m.pc_health, 0.0);
+    EXPECT_LE(m.pc_health, 1.0);
+  }
+}
+
+std::vector<FaultCase> all_fault_cases() {
+  std::vector<FaultCase> cases;
+  for (std::size_t f = 0; f < std::size(kFaultClasses); ++f) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      cases.push_back(FaultCase{f, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultClassesBySeed, FaultedClusterSweep,
+                         ::testing::ValuesIn(all_fault_cases()));
+
+// ---------------------------------------------------------------------------
+// Open-cell battery fuzz: a dead unit must stay inert and finite under any
+// duty pattern (the zero-capacity class that used to NaN the SoC).
+// ---------------------------------------------------------------------------
+
+class OpenCellFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpenCellFuzz, DeadUnitStaysInertAndFinite) {
+  util::Rng rng{GetParam()};
+  battery::Battery bat{battery::LeadAcidParams{}, battery::AgingParams{},
+                       battery::ThermalParams{}, 1.0, 1.0, rng.uniform(0.1, 1.0)};
+  const int fail_at = static_cast<int>(rng.uniform_index(200));
+  for (int step = 0; step < 400; ++step) {
+    if (step == fail_at) bat.fail_open();
+    const auto res = bat.step(util::amperes(rng.uniform(-25.0, 25.0)),
+                              util::minutes(1.0));
+    ASSERT_TRUE(std::isfinite(bat.soc()));
+    ASSERT_GE(bat.soc(), 0.0);
+    ASSERT_LE(bat.soc(), 1.0);
+    if (step >= fail_at) {
+      ASSERT_DOUBLE_EQ(res.actual_current.value(), 0.0);
+      ASSERT_DOUBLE_EQ(bat.health(), 0.0);
+      ASSERT_TRUE(bat.end_of_life());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpenCellFuzz,
+                         ::testing::Range<std::uint64_t>(1u, 11u));
+
+// ---------------------------------------------------------------------------
+// Faulted runs are exactly reproducible: same seed + same plan = identical
+// results, run to run and at any sweep worker count.
+// ---------------------------------------------------------------------------
+
+class FaultDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultDeterminism, RepeatRunsAreBitIdentical) {
+  const char* spec = kFaultClasses[std::size(kFaultClasses) - 1];  // combined
+  auto run_once = [&] {
+    sim::Cluster cluster{faulted_scenario(spec, GetParam())};
+    return cluster.run_day(solar::DayType::Cloudy);
+  };
+  const sim::DayResult a = run_once();
+  const sim::DayResult b = run_once();
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.throughput_work, b.throughput_work);
+  EXPECT_EQ(a.meter.solar_to_load().value(), b.meter.solar_to_load().value());
+  EXPECT_EQ(a.meter.solar_curtailed().value(), b.meter.solar_curtailed().value());
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].soc_end, b.nodes[i].soc_end);
+    EXPECT_EQ(a.nodes[i].ah_discharged.value(), b.nodes[i].ah_discharged.value());
+    EXPECT_EQ(a.nodes[i].health, b.nodes[i].health);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultDeterminism,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// The sweep engine must give byte-identical faulted results at any worker
+// count — this is the test the TSan CI shard runs with BAAT_JOBS=4.
+TEST(FaultSweepDeterminism, WorkerCountNeverChangesResults) {
+  auto run_grid = [](std::size_t jobs) {
+    sim::SweepOptions opt;
+    opt.jobs = jobs;
+    return sim::sweep_map(
+        6,
+        [](std::size_t i) {
+          const char* spec = kFaultClasses[1 + i % (std::size(kFaultClasses) - 1)];
+          sim::Cluster cluster{faulted_scenario(spec, 100 + i)};
+          const sim::DayResult r = cluster.run_day(solar::DayType::Cloudy);
+          return std::vector<double>{r.throughput_work,
+                                     r.meter.solar_to_load().value(),
+                                     r.nodes[0].soc_end, r.nodes[1].soc_end,
+                                     r.nodes[0].ah_discharged.value()};
+        },
+        opt);
+  };
+  const auto serial = run_grid(1);
+  const auto parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    for (std::size_t k = 0; k < serial[i].size(); ++k) {
+      EXPECT_EQ(serial[i][k], parallel[i][k]) << "point " << i << " field " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-day faulted runs keep their aggregate invariants (probe series,
+// histogram mass, lifetime projection stays finite).
+// ---------------------------------------------------------------------------
+
+class FaultedMultiDay : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultedMultiDay, AggregatesStayConsistent) {
+  sim::ScenarioConfig cfg = faulted_scenario(
+      "sensor_noise:soc:0.03,probe_stale:p=0.3,pv_derate:factor=0.8", GetParam());
+  sim::Cluster cluster{cfg};
+  sim::MultiDayOptions opt;
+  opt.days = 3;
+  opt.probe_every_days = 1;
+  opt.sunshine_fraction = 0.5;
+  const sim::MultiDayResult r = sim::run_multi_day(cluster, opt);
+  EXPECT_EQ(r.days.size(), 3u);
+  EXPECT_EQ(r.monthly.size(), 3u);
+  EXPECT_NEAR(r.soc_histogram.total_weight(),
+              static_cast<double>(cfg.nodes) * 86400.0 * 3.0, 30.0);
+  EXPECT_TRUE(std::isfinite(r.total_throughput));
+  EXPECT_GE(r.mean_health_end, r.min_health_end);
+  for (const auto& mp : r.monthly) {
+    EXPECT_TRUE(std::isfinite(mp.capacity_fraction));
+    EXPECT_GE(mp.capacity_fraction, 0.0);
+    EXPECT_LE(mp.capacity_fraction, 1.2);
+  }
+  if (r.projected_eol_day.has_value()) {
+    EXPECT_TRUE(std::isfinite(*r.projected_eol_day));
+    EXPECT_GT(*r.projected_eol_day, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultedMultiDay,
+                         ::testing::Range<std::uint64_t>(1u, 9u));
 
 }  // namespace
 }  // namespace baat
