@@ -1,0 +1,266 @@
+// Perf-regression harness for the hot-path tick kernel (DESIGN.md §5e).
+//
+// Measures the batched SoA fleet kernel at several bank sizes, the
+// object-per-cell Battery::step loop as the reference shape, and the
+// --math=fast tier, with the exact alternating charge/discharge workload
+// the kernel was tuned on. Reports ns per cell-tick, fleet ticks/second
+// and heap allocations per tick (the steady-state loop must be
+// allocation-free), plus a machine-speed calibration scalar so the CI
+// gate (tools/perf_gate.py) can compare runs across hosts.
+//
+// Usage: kernel_bench [--quick] [--out <path>]
+//   --quick   ~10x fewer ticks — the ctest smoke mode. Numbers are noisy;
+//             only the committed full run is gate-worthy.
+//   --out     JSON output path (default: BENCH_kernel.json in the cwd).
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "battery/fleet.hpp"
+
+namespace {
+
+// Allocation counter: every global new/delete bumps it. Single-threaded
+// bench, so a plain counter is fine; the sized/aligned overloads all
+// funnel through the counting pair.
+std::size_t g_allocs = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace baat;
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Fixed floating-point workload timed once per run: a dependent
+/// multiply-add chain no smarter compiler can skip. The ratio of this
+/// number across two machines approximates their scalar-FP speed ratio,
+/// which is what the kernel is bound by — the perf gate divides
+/// ns/cell-tick by it before comparing against the committed baseline.
+double calibration_ns() {
+  // volatile on both ends: the seed stops constant folding, the sink makes
+  // the chain's value (not just its sign) observable, so the compiler must
+  // run every iteration.
+  volatile double seed = 1.0;
+  double x = seed;
+  const long kIters = 5'000'000;
+  const auto t0 = Clock::now();
+  for (long i = 0; i < kIters; ++i) {
+    x = x * 0.999999999 + 1e-9;
+  }
+  const auto t1 = Clock::now();
+  volatile double sink = x;
+  (void)sink;
+  return elapsed_ns(t0, t1);
+}
+
+struct BenchResult {
+  std::string name;
+  std::size_t cells = 0;
+  long ticks = 0;
+  double ns_per_cell_tick = 0.0;
+  double ticks_per_sec = 0.0;
+  double allocs_per_tick = 0.0;
+  double sink = 0.0;  ///< trajectory checksum — equal across equivalent paths
+};
+
+/// The shared workload: ±5 A at 60 s ticks, sign flipping at SoC 0.2/0.9,
+/// cells detuned by capacity so their trajectories decorrelate.
+constexpr double kAmps = 5.0;
+constexpr double kDt = 60.0;
+
+double cap_scale(std::size_t i) { return 1.0 + 0.001 * static_cast<double>(i % 7); }
+
+/// Batched fleet kernel: one fleet_step per tick.
+BenchResult bench_fleet(std::size_t cells, long warmup, long ticks,
+                        battery::MathMode math, const char* name) {
+  battery::FleetState fleet{battery::LeadAcidParams{}, battery::AgingParams{},
+                            battery::ThermalParams{}, math};
+  for (std::size_t i = 0; i < cells; ++i) fleet.add_cell(cap_scale(i), 1.0, 0.7);
+  std::vector<double> sign(cells, 1.0);
+  std::vector<util::Amperes> req(cells);
+  std::vector<battery::StepResult> res(cells);
+  const util::Seconds dt{kDt};
+  double sink = 0.0;
+  auto tick = [&] {
+    for (std::size_t i = 0; i < cells; ++i) req[i] = util::Amperes{kAmps * sign[i]};
+    battery::fleet_step(fleet, req, dt, res);
+    for (std::size_t i = 0; i < cells; ++i) {
+      sink += res[i].terminal_voltage.value();
+      if (fleet.cell_soc(i) < 0.2) sign[i] = -1.0;
+      if (fleet.cell_soc(i) > 0.9) sign[i] = 1.0;
+    }
+  };
+  for (long k = 0; k < warmup; ++k) tick();
+  const std::size_t allocs0 = g_allocs;
+  const auto t0 = Clock::now();
+  for (long k = 0; k < ticks; ++k) tick();
+  const auto t1 = Clock::now();
+  const std::size_t allocs = g_allocs - allocs0;
+  const double ns = elapsed_ns(t0, t1);
+  BenchResult r;
+  r.name = name;
+  r.cells = cells;
+  r.ticks = ticks;
+  r.ns_per_cell_tick = ns / (static_cast<double>(ticks) * static_cast<double>(cells));
+  r.ticks_per_sec = static_cast<double>(ticks) / (ns * 1e-9);
+  r.allocs_per_tick = static_cast<double>(allocs) / static_cast<double>(ticks);
+  r.sink = sink;
+  return r;
+}
+
+/// Reference shape: one Battery object per cell, stepped in a loop — the
+/// pre-kernel code structure, kept to show what the SoA batch buys.
+BenchResult bench_objects(std::size_t cells, long warmup, long ticks) {
+  std::vector<battery::Battery> bats;
+  bats.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    bats.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                      battery::ThermalParams{}, cap_scale(i), 1.0, 0.7);
+  }
+  std::vector<double> sign(cells, 1.0);
+  const util::Seconds dt{kDt};
+  double sink = 0.0;
+  auto tick = [&] {
+    for (std::size_t i = 0; i < cells; ++i) {
+      const auto r = bats[i].step(util::Amperes{kAmps * sign[i]}, dt);
+      sink += r.terminal_voltage.value();
+      if (bats[i].soc() < 0.2) sign[i] = -1.0;
+      if (bats[i].soc() > 0.9) sign[i] = 1.0;
+    }
+  };
+  for (long k = 0; k < warmup; ++k) tick();
+  const std::size_t allocs0 = g_allocs;
+  const auto t0 = Clock::now();
+  for (long k = 0; k < ticks; ++k) tick();
+  const auto t1 = Clock::now();
+  const std::size_t allocs = g_allocs - allocs0;
+  const double ns = elapsed_ns(t0, t1);
+  BenchResult r;
+  r.name = "objects_48";
+  r.cells = cells;
+  r.ticks = ticks;
+  r.ns_per_cell_tick = ns / (static_cast<double>(ticks) * static_cast<double>(cells));
+  r.ticks_per_sec = static_cast<double>(ticks) / (ns * 1e-9);
+  r.allocs_per_tick = static_cast<double>(allocs) / static_cast<double>(ticks);
+  r.sink = sink;
+  return r;
+}
+
+void write_json(const std::string& path, double calib,
+                const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "kernel_bench: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  char buf[256];
+  out << "{\n";
+  std::snprintf(buf, sizeof buf, "  \"calibration_ns\": %.0f,\n", calib);
+  out << buf;
+  out << "  \"benches\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"cells\": %zu, \"ticks\": %ld, "
+                  "\"ns_per_cell_tick\": %.3f, \"ticks_per_sec\": %.1f, "
+                  "\"allocs_per_tick\": %.4f}%s\n",
+                  r.name.c_str(), r.cells, r.ticks, r.ns_per_cell_tick,
+                  r.ticks_per_sec, r.allocs_per_tick,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: kernel_bench [--quick] [--out <path>]\n");
+      return 2;
+    }
+  }
+  const long warmup = quick ? 100 : 1000;
+  const long ticks = quick ? 2000 : 20000;
+  // Small banks get proportionally more ticks so every config's measured
+  // window is long enough to ride out clock-ramp and timer granularity
+  // (roughly constant cell-ticks per config, floored at `ticks`).
+  auto ticks_for = [&](std::size_t cells) {
+    return std::max(ticks, ticks * 48 / static_cast<long>(cells));
+  };
+
+  const double calib = calibration_ns();
+
+  std::vector<BenchResult> results;
+  results.push_back(
+      bench_fleet(1, warmup, ticks_for(1), battery::MathMode::Exact, "fleet_1"));
+  results.push_back(
+      bench_fleet(6, warmup, ticks_for(6), battery::MathMode::Exact, "fleet_6"));
+  results.push_back(
+      bench_fleet(48, warmup, ticks, battery::MathMode::Exact, "fleet_48"));
+  results.push_back(
+      bench_fleet(384, warmup, ticks, battery::MathMode::Exact, "fleet_384"));
+  results.push_back(bench_objects(48, warmup, ticks));
+  results.push_back(
+      bench_fleet(48, warmup, ticks, battery::MathMode::Fast, "fleet_48_fast"));
+
+  std::printf("calibration_ns: %.0f%s\n", calib, quick ? "  (quick mode)" : "");
+  for (const BenchResult& r : results) {
+    std::printf(
+        "%-14s cells=%-4zu ns/cell-tick=%8.2f  ticks/s=%10.0f  allocs/tick=%.4f  "
+        "(sink %.3f)\n",
+        r.name.c_str(), r.cells, r.ns_per_cell_tick, r.ticks_per_sec,
+        r.allocs_per_tick, r.sink);
+  }
+
+  // The exact-tier fleet and object paths must trace identical physics —
+  // equal checksums are the in-bench bit-identity check.
+  double fleet48_sink = 0.0, objects_sink = 0.0;
+  for (const BenchResult& r : results) {
+    if (r.name == "fleet_48") fleet48_sink = r.sink;
+    if (r.name == "objects_48") objects_sink = r.sink;
+  }
+  if (fleet48_sink != objects_sink) {
+    std::fprintf(stderr,
+                 "kernel_bench: fleet/object trajectory checksums differ "
+                 "(%.17g vs %.17g) — the kernel is no longer bit-identical\n",
+                 fleet48_sink, objects_sink);
+    return 1;
+  }
+
+  write_json(out_path, calib, results);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

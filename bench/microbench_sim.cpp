@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "battery/battery.hpp"
+#include "battery/fleet.hpp"
 #include "obs/obs.hpp"
 #include "power/router.hpp"
 #include "sim/cluster.hpp"
@@ -31,6 +32,52 @@ void BM_BatteryStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatteryStep);
+
+void BM_FleetStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  battery::FleetState fleet{battery::LeadAcidParams{}, battery::AgingParams{},
+                            battery::ThermalParams{}};
+  for (std::size_t i = 0; i < n; ++i) {
+    fleet.add_cell(1.0 + 0.001 * static_cast<double>(i % 7), 1.0, 0.7);
+  }
+  std::vector<double> sign(n, 1.0);
+  std::vector<util::Amperes> req(n);
+  std::vector<battery::StepResult> res(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) req[i] = util::Amperes{5.0 * sign[i]};
+    battery::fleet_step(fleet, req, util::minutes(1.0), res);
+    benchmark::DoNotOptimize(res.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fleet.cell_soc(i) < 0.2) sign[i] = -1.0;
+      if (fleet.cell_soc(i) > 0.9) sign[i] = 1.0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FleetStep)->Arg(1)->Arg(6)->Arg(48)->Arg(384);
+
+void BM_FleetStepFast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  battery::FleetState fleet{battery::LeadAcidParams{}, battery::AgingParams{},
+                            battery::ThermalParams{}, battery::MathMode::Fast};
+  for (std::size_t i = 0; i < n; ++i) {
+    fleet.add_cell(1.0 + 0.001 * static_cast<double>(i % 7), 1.0, 0.7);
+  }
+  std::vector<double> sign(n, 1.0);
+  std::vector<util::Amperes> req(n);
+  std::vector<battery::StepResult> res(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) req[i] = util::Amperes{5.0 * sign[i]};
+    battery::fleet_step(fleet, req, util::minutes(1.0), res);
+    benchmark::DoNotOptimize(res.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fleet.cell_soc(i) < 0.2) sign[i] = -1.0;
+      if (fleet.cell_soc(i) > 0.9) sign[i] = 1.0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FleetStepFast)->Arg(48);
 
 void BM_RouterTick(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,11 +1,12 @@
 #include "battery/aging.hpp"
 
-#include <algorithm>
-#include <cmath>
-
+#include "battery/step_math.hpp"
 #include "util/require.hpp"
 
 namespace baat::battery {
+
+// The rate equations and effect mappings live in step_math.hpp, shared with
+// the fleet tick kernel; AgingModel is the stateful object-per-cell wrapper.
 
 AgingModel::AgingModel(AgingParams params, AmpereHours nameplate_capacity, int cells)
     : params_(params), capacity_(nameplate_capacity), cells_(cells) {
@@ -14,59 +15,8 @@ AgingModel::AgingModel(AgingParams params, AmpereHours nameplate_capacity, int c
 }
 
 void AgingModel::step(const OperatingPoint& op, Seconds dt) {
-  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
-  BAAT_REQUIRE(op.soc >= 0.0 && op.soc <= 1.0, "soc must be in [0, 1]");
-
-  const double arr = arrhenius_factor(op.temperature);
-  const double dt_s = dt.value();
-  const double i = op.current.value();  // >0 discharge
-  const double v_cell = op.terminal_voltage.value() / cells_;
-
-  // Active-mass shedding: proportional to Ah moved (both directions stress
-  // the plates, discharge dominates), amplified at low SoC and by fast
-  // temperature changes (§II-B.2).
-  const double efc_moved = std::fabs(i) * dt_s / 3600.0 / capacity_.value();
-  if (efc_moved > 0.0) {
-    const double low_soc = 1.0 + params_.shedding_low_soc_gain * (1.0 - op.soc);
-    const double dtemp = 1.0 + params_.shedding_dtemp_gain * op.temperature_rate_k_per_h;
-    const double direction = i > 0.0 ? 1.0 : 0.35;  // charging stresses less
-    state_.shedding +=
-        params_.shedding_per_efc * efc_moved * low_soc * dtemp * arr * direction;
-  }
-
-  // Sulphation: grows while sitting below the knee, worse the deeper the
-  // discharge and the longer since the last full recharge (§II-B.3).
-  if (op.soc < params_.sulphation_knee_soc) {
-    const double depth = (params_.sulphation_knee_soc - op.soc) / params_.sulphation_knee_soc;
-    const double staleness =
-        1.0 + op.time_since_full_charge.value() / params_.sulphation_memory.value();
-    state_.sulphation += params_.sulphation_per_s * depth * staleness * arr * dt_s;
-  }
-
-  // Grid corrosion: calendar aging accelerated by temperature and by charge
-  // polarization above float level (§II-B.1).
-  const double over_v = std::max(0.0, v_cell - params_.corrosion_voltage_knee_cell.value());
-  const double v_gain = 1.0 + params_.corrosion_voltage_gain * over_v;
-  state_.corrosion += params_.corrosion_per_s * arr * (i < 0.0 ? v_gain : 1.0) * dt_s;
-
-  // Water loss: the share of charge current that drives gassing once the
-  // per-cell voltage passes the float knee (§II-B.4); the share ramps to 1
-  // as the voltage approaches the gassing level.
-  if (i < 0.0 && v_cell > params_.corrosion_voltage_knee_cell.value()) {
-    const double gassing_frac =
-        util::clamp01((v_cell - params_.corrosion_voltage_knee_cell.value()) / 0.15);
-    const double gas_efc = std::fabs(i) * dt_s / 3600.0 * gassing_frac / capacity_.value();
-    state_.water_loss += params_.water_per_gassing_efc * gas_efc * arr;
-  }
-
-  // Stratification: builds while deeply discharged with small currents and
-  // no full recharge (§II-B.5); saturates, and on_full_charge() heals it.
-  const double low_i_amperes = params_.stratification_low_current_c * capacity_.value();
-  if (op.soc < 0.5 && std::fabs(i) < low_i_amperes) {
-    state_.stratification =
-        std::min(params_.stratification_cap,
-                 state_.stratification + params_.stratification_per_s * arr * dt_s);
-  }
+  detail::aging_mechanism_step(params_, capacity_.value(), cells_, op, dt,
+                               arrhenius_factor(op.temperature), state_);
 }
 
 void AgingModel::on_full_charge() {
@@ -74,25 +24,19 @@ void AgingModel::on_full_charge() {
 }
 
 double AgingModel::capacity_fraction() const {
-  const double fade = params_.capacity_w_corrosion * state_.corrosion +
-                      state_.shedding + state_.sulphation + state_.stratification +
-                      params_.capacity_w_water * state_.water_loss;
-  return std::max(0.05, 1.0 - fade);
+  return detail::aging_capacity_fraction(params_, state_);
 }
 
 double AgingModel::resistance_factor() const {
-  return 1.0 + params_.resistance_w_corrosion * state_.corrosion +
-         params_.resistance_w_sulphation * state_.sulphation +
-         params_.resistance_w_shedding * state_.shedding +
-         params_.resistance_w_water * state_.water_loss;
+  return detail::aging_resistance_factor(params_, state_);
 }
 
 Volts AgingModel::ocv_sag_per_cell() const {
-  return Volts{params_.ocv_sag_v_per_fade_cell * (1.0 - capacity_fraction())};
+  return Volts{detail::aging_ocv_sag_v(params_, capacity_fraction())};
 }
 
 double AgingModel::coulombic_derating() const {
-  return std::max(0.6, 1.0 - params_.coulombic_fade * (1.0 - capacity_fraction()));
+  return detail::aging_coulombic_derating_f(params_, capacity_fraction());
 }
 
 }  // namespace baat::battery

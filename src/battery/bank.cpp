@@ -11,14 +11,18 @@ double truncated_scale(util::Rng& rng, double sigma) {
   const double draw = rng.normal(1.0, sigma);
   return std::clamp(draw, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma);
 }
-}  // namespace
 
-std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng) {
+void check_spec(const BankSpec& spec) {
   BAAT_REQUIRE(spec.units > 0, "bank must have at least one unit");
   BAAT_REQUIRE(spec.capacity_sigma >= 0.0 && spec.capacity_sigma < 0.3,
                "capacity sigma out of plausible range");
   BAAT_REQUIRE(spec.resistance_sigma >= 0.0 && spec.resistance_sigma < 0.5,
                "resistance sigma out of plausible range");
+}
+}  // namespace
+
+std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng) {
+  check_spec(spec);
   std::vector<Battery> bank;
   bank.reserve(spec.units);
   for (std::size_t i = 0; i < spec.units; ++i) {
@@ -27,9 +31,31 @@ std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng) {
     const double res_scale =
         spec.resistance_sigma > 0.0 ? truncated_scale(rng, spec.resistance_sigma) : 1.0;
     bank.emplace_back(spec.chemistry, spec.aging, spec.thermal, cap_scale, res_scale,
-                      spec.initial_soc);
+                      spec.initial_soc, spec.math);
   }
   return bank;
+}
+
+std::unique_ptr<FleetState> make_fleet(const BankSpec& spec, util::Rng& rng) {
+  check_spec(spec);
+  auto fleet =
+      std::make_unique<FleetState>(spec.chemistry, spec.aging, spec.thermal, spec.math);
+  for (std::size_t i = 0; i < spec.units; ++i) {
+    // Same draw order as make_bank: capacity first, then resistance.
+    const double cap_scale =
+        spec.capacity_sigma > 0.0 ? truncated_scale(rng, spec.capacity_sigma) : 1.0;
+    const double res_scale =
+        spec.resistance_sigma > 0.0 ? truncated_scale(rng, spec.resistance_sigma) : 1.0;
+    fleet->add_cell(cap_scale, res_scale, spec.initial_soc);
+  }
+  return fleet;
+}
+
+std::vector<Battery> fleet_views(FleetState& fleet) {
+  std::vector<Battery> views;
+  views.reserve(fleet.size());
+  for (std::size_t c = 0; c < fleet.size(); ++c) views.emplace_back(fleet, c);
+  return views;
 }
 
 }  // namespace baat::battery

@@ -5,6 +5,7 @@
 // one or more units in series) per server in the per-server integration
 // architecture (Fig 7).
 
+#include <memory>
 #include <vector>
 
 #include "battery/battery.hpp"
@@ -23,10 +24,22 @@ struct BankSpec {
   /// Relative stddev of fresh internal resistance across units.
   double resistance_sigma = 0.05;
   double initial_soc = 1.0;
+  /// Transcendental tier of the tick kernel (--math=fast selects Fast).
+  MathMode math = MathMode::Exact;
 };
 
-/// Builds `spec.units` batteries whose capacity/resistance scales are drawn
-/// from truncated normals around 1.0 (clamped to ±3σ so no unit is absurd).
+/// Builds `spec.units` standalone batteries whose capacity/resistance scales
+/// are drawn from truncated normals around 1.0 (clamped to ±3σ so no unit is
+/// absurd).
 std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng);
+
+/// SoA variant of make_bank: one FleetState holding every unit of the bank,
+/// with the identical RNG draw sequence (capacity then resistance, per unit)
+/// so a fleet and a bank built from the same forked Rng are the same units.
+std::unique_ptr<FleetState> make_fleet(const BankSpec& spec, util::Rng& rng);
+
+/// Thin Battery views over each cell of `fleet`, usable anywhere a bank is.
+/// The fleet must outlive the views.
+std::vector<Battery> fleet_views(FleetState& fleet);
 
 }  // namespace baat::battery

@@ -1,252 +1,63 @@
 #include "battery/battery.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "obs/timer.hpp"
 #include "util/require.hpp"
 
 namespace baat::battery {
 
-namespace {
-constexpr double kFullChargeSoc = 0.995;
-}
-
 Battery::Battery(LeadAcidParams chem, AgingParams aging, ThermalParams thermal,
-                 double capacity_scale, double resistance_scale, double initial_soc)
-    : chem_(chem),
-      nameplate_(AmpereHours{chem.capacity_c20.value() * capacity_scale}),
-      resistance_scale_(resistance_scale),
-      aging_(aging, nameplate_, chem.cells),
-      thermal_(thermal),
-      soc_(initial_soc),
-      last_temp_c_(thermal_.temperature().value()) {
-  BAAT_REQUIRE(capacity_scale > 0.0, "capacity_scale must be positive");
-  BAAT_REQUIRE(resistance_scale > 0.0, "resistance_scale must be positive");
-  BAAT_REQUIRE(initial_soc >= 0.0 && initial_soc <= 1.0, "initial soc must be in [0, 1]");
-  // Bake the manufacturing variation into the chemistry view so Peukert and
-  // rate caps all see this unit's true capacity.
-  chem_.capacity_c20 = nameplate_;
-  counters_.min_soc_since_full = initial_soc;
+                 double capacity_scale, double resistance_scale, double initial_soc,
+                 MathMode math)
+    : owned_(std::make_unique<FleetState>(chem, aging, thermal, math)) {
+  fleet_ = owned_.get();
+  cell_ = fleet_->add_cell(capacity_scale, resistance_scale, initial_soc);
 }
 
-Volts Battery::open_circuit() const {
-  if (open_) return Volts{0.0};
-  const Volts fresh = open_circuit_voltage(chem_, soc_);
-  return Volts{fresh.value() - aging_.ocv_sag_per_cell().value() * chem_.cells};
+Battery::Battery(FleetState& fleet, std::size_t cell) : fleet_(&fleet), cell_(cell) {
+  BAAT_REQUIRE(cell < fleet.size(), "cell index out of range");
 }
 
-double Battery::internal_resistance_ohms() const {
-  return chem_.r_internal_ohms * resistance_scale_ * aging_.resistance_factor();
+Battery::Battery(const Battery& other)
+    : owned_(std::make_unique<FleetState>(other.fleet_->clone_cell(other.cell_))) {
+  fleet_ = owned_.get();
+  cell_ = 0;
 }
 
-Volts Battery::terminal_voltage(Amperes current) const {
-  if (open_) return Volts{0.0};  // no circuit, no IR drop
-  return Volts{open_circuit().value() - current.value() * internal_resistance_ohms()};
+Battery::Battery(Battery&& other) noexcept
+    : fleet_(other.fleet_), cell_(other.cell_), owned_(std::move(other.owned_)) {
+  other.fleet_ = nullptr;
+  other.cell_ = 0;
 }
 
-AmpereHours Battery::usable_capacity() const {
-  if (open_) return AmpereHours{0.0};
-  return AmpereHours{nameplate_.value() * aging_.capacity_fraction()};
-}
-
-Amperes Battery::max_discharge_current() const {
-  if (open_ || soc_ <= 0.0) return Amperes{0.0};
-  const double headroom = open_circuit().value() - chem_.cutoff_voltage().value();
-  if (headroom <= 0.0) return Amperes{0.0};
-  const double by_voltage = headroom / internal_resistance_ohms();
-  const double by_rate = chem_.max_discharge_c_rate * nameplate_.value();
-  return Amperes{std::min(by_voltage, by_rate)};
-}
-
-Amperes Battery::max_charge_current() const {
-  if (open_ || soc_ >= 1.0) return Amperes{0.0};
-  const double by_rate =
-      chem_.max_charge_c_rate * nameplate_.value() * charge_acceptance(chem_, soc_);
-  const double headroom = chem_.absorb_voltage().value() - open_circuit().value();
-  if (headroom <= 0.0) return Amperes{0.0};
-  const double by_voltage = headroom / internal_resistance_ohms();
-  return Amperes{std::min(by_rate, by_voltage)};
-}
-
-WattHours Battery::stored_energy_above(double floor_soc) const {
-  BAAT_REQUIRE(floor_soc >= 0.0 && floor_soc <= 1.0, "floor soc must be in [0, 1]");
-  const double frac = std::max(0.0, soc_ - floor_soc);
-  return WattHours{frac * usable_capacity().value() * chem_.nominal_voltage().value()};
-}
-
-double Battery::equivalent_full_cycles() const {
-  return counters_.ah_discharged.value() / nameplate_.value();
-}
-
-void Battery::account_discharge(Amperes i, Seconds dt, double soc_before) {
-  const AmpereHours q = util::charge(i, dt);
-  counters_.ah_discharged += q;
-  // Eq 3 SoC ranges: A = [0.8, 1], B = [0.6, 0.8), C = [0.4, 0.6), D = [0, 0.4).
-  std::size_t range = 3;
-  if (soc_before >= 0.8) {
-    range = 0;
-  } else if (soc_before >= 0.6) {
-    range = 1;
-  } else if (soc_before >= 0.4) {
-    range = 2;
-  }
-  counters_.ah_by_range[range] += q;
-  counters_.energy_discharged += util::energy(terminal_voltage(i) * i, dt);
-}
-
-void Battery::account_charge(Amperes i, Seconds dt) {
-  const AmpereHours q = util::charge(Amperes{std::fabs(i.value())}, dt);
-  counters_.ah_charged += q;
-  counters_.energy_charged +=
-      util::energy(Watts{terminal_voltage(i).value() * std::fabs(i.value())}, dt);
-}
-
-StepResult Battery::float_charge(Amperes trickle, Seconds dt) {
-  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
-  BAAT_REQUIRE(trickle.value() >= 0.0, "trickle must be >= 0 (magnitude)");
-  const double soc_before = soc_;
-  const Amperes i{-trickle.value()};
-
-  // Whatever fits below full still converts; the rest gasses.
-  if (soc_ < 1.0 && trickle.value() > 0.0) {
-    const double eta = coulombic_efficiency(chem_, soc_) * aging_.coulombic_derating();
-    const double dq = trickle.value() * dt.value() / 3600.0;
-    soc_ = std::min(1.0, soc_ + eta * dq / usable_capacity().value());
-    account_charge(i, dt);
-  }
-
-  StepResult result;
-  result.actual_current = i;
-  result.terminal_voltage = chem_.absorb_voltage();
-
-  const Watts loss{trickle.value() * trickle.value() * internal_resistance_ohms()};
-  thermal_.step(loss, dt);
-
-  const bool was_full = soc_before >= kFullChargeSoc;
-  if (soc_ >= kFullChargeSoc && !was_full) {
-    result.fully_charged = true;
-    ++counters_.full_charge_events;
-    counters_.time_since_full_charge = Seconds{0.0};
-    counters_.min_soc_since_full = soc_;
-    aging_.on_full_charge();
+Battery& Battery::operator=(const Battery& other) {
+  if (this == &other) return *this;
+  if (fleet_ != nullptr) {
+    // Deep copy into our slot — bound views propagate the new state to the
+    // fleet, standalones overwrite their private cell.
+    fleet_->copy_cell_from(cell_, *other.fleet_, other.cell_);
   } else {
-    counters_.time_since_full_charge += dt;
+    // Moved-from shell: become a fresh standalone clone.
+    owned_ = std::make_unique<FleetState>(other.fleet_->clone_cell(other.cell_));
+    fleet_ = owned_.get();
+    cell_ = 0;
   }
-
-  OperatingPoint op;
-  op.soc = soc_;
-  op.current = i;
-  op.terminal_voltage = result.terminal_voltage;  // held at absorb level
-  op.temperature = thermal_.temperature();
-  op.time_since_full_charge = counters_.time_since_full_charge;
-  aging_.step(op, dt);
-
-  counters_.time_total += dt;
-  if (soc_ < 0.40) counters_.time_below_40 += dt;
-  return result;
+  return *this;
 }
 
-StepResult Battery::step(Amperes requested, Seconds dt) {
-  BAAT_OBS_TIMED("battery_step");
-  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
-  const double soc_before = soc_;
-  StepResult result;
-  // An open cell can neither source nor sink current; it still tracks
-  // time, temperature relaxation and calendar effects below.
-  Amperes actual = open_ ? Amperes{0.0} : requested;
-  if (open_ && requested.value() > 0.0) result.hit_cutoff = true;
-
-  if (actual.value() > 0.0) {
-    // ---- discharge ----
-    const Amperes cap = max_discharge_current();
-    if (actual > cap) {
-      actual = cap;
-      result.hit_cutoff = true;
-    }
-    if (actual.value() > 0.0) {
-      // Peukert-corrected SoC drain, then clamp so SoC cannot go negative.
-      const double c_eff =
-          effective_capacity(chem_, actual).value() * aging_.capacity_fraction();
-      const double dq = actual.value() * dt.value() / 3600.0;
-      double dsoc = dq / c_eff;
-      if (dsoc > soc_) {
-        const double scale = soc_ / dsoc;
-        actual *= scale;
-        dsoc = soc_;
-        result.hit_cutoff = true;
-      }
-      soc_ -= dsoc;
-      account_discharge(actual, dt, soc_before);
-      counters_.min_soc_since_full = std::min(counters_.min_soc_since_full, soc_);
-    }
-  } else if (actual.value() < 0.0) {
-    // ---- charge ----
-    const Amperes accept = max_charge_current();
-    if (-actual > accept) actual = -accept;
-    const double cap = usable_capacity().value();
-    if (cap <= 0.0) actual = Amperes{0.0};  // zero capacity accepts nothing
-    if (actual.value() < 0.0) {
-      const double eta = coulombic_efficiency(chem_, soc_) * aging_.coulombic_derating();
-      const double dq = std::fabs(actual.value()) * dt.value() / 3600.0;
-      double dsoc = eta * dq / cap;
-      if (soc_ + dsoc > 1.0) {
-        const double scale = (1.0 - soc_) / dsoc;
-        actual *= scale;
-        dsoc = 1.0 - soc_;
-      }
-      soc_ += dsoc;
-      account_charge(actual, dt);
-    }
-  }
-
-  // ---- self-discharge (standing loss, temperature-accelerated) ----
-  const double sd_rate =
-      chem_.self_discharge_per_month / (30.0 * 86400.0) *
-      arrhenius_factor(thermal_.temperature());
-  soc_ = std::max(0.0, soc_ - sd_rate * dt.value());
-
-  result.actual_current = actual;
-  result.terminal_voltage = terminal_voltage(actual);
-
-  // ---- thermal ----
-  const double r = internal_resistance_ohms();
-  const Watts loss{actual.value() * actual.value() * r};
-  const double temp_before = thermal_.temperature().value();
-  thermal_.step(loss, dt);
-  const double dtemp_per_h =
-      std::fabs(thermal_.temperature().value() - temp_before) / dt.value() * 3600.0;
-  last_temp_c_ = thermal_.temperature().value();
-
-  // ---- full-charge detection (before aging sees time_since_full_charge) ----
-  const bool was_full = soc_before >= kFullChargeSoc;
-  const bool is_full = soc_ >= kFullChargeSoc;
-  if (is_full && !was_full) {
-    result.fully_charged = true;
-    ++counters_.full_charge_events;
-    counters_.time_since_full_charge = Seconds{0.0};
-    counters_.min_soc_since_full = soc_;
-    aging_.on_full_charge();
+Battery& Battery::operator=(Battery&& other) noexcept {
+  if (this == &other) return *this;
+  if (fleet_ != nullptr && owned_ == nullptr) {
+    // Bound view: assignment replaces the unit in place so the fleet slot
+    // (and every other view of it) sees the replacement — this is how the
+    // fault injector swaps a degraded unit into a bank.
+    fleet_->copy_cell_from(cell_, *other.fleet_, other.cell_);
   } else {
-    counters_.time_since_full_charge += dt;
+    owned_ = std::move(other.owned_);
+    fleet_ = other.fleet_;
+    cell_ = other.cell_;
+    other.fleet_ = nullptr;
+    other.cell_ = 0;
   }
-
-  // ---- aging ----
-  OperatingPoint op;
-  op.soc = soc_;
-  op.current = actual;
-  op.terminal_voltage = result.terminal_voltage;
-  op.temperature = thermal_.temperature();
-  op.time_since_full_charge = counters_.time_since_full_charge;
-  op.temperature_rate_k_per_h = dtemp_per_h;
-  aging_.step(op, dt);
-
-  // ---- time counters ----
-  counters_.time_total += dt;
-  if (soc_ < 0.40) counters_.time_below_40 += dt;
-
-  BAAT_INVARIANT(soc_ >= 0.0 && soc_ <= 1.0, "soc escaped [0, 1]");
-  return result;
+  return *this;
 }
 
 }  // namespace baat::battery

@@ -2,27 +2,16 @@
 
 #include <cmath>
 
+#include "battery/step_math.hpp"
 #include "util/require.hpp"
 
 namespace baat::battery {
 
-namespace {
-// OCV shape: v(soc) = empty + span * (a*soc + (1-a)*soc^2) would be
-// sub-linear near empty; lead-acid is the opposite (voltage collapses toward
-// empty), so we use s(soc) = (1+c)*soc - c*soc^2 with c in (0,1):
-// slope (1+c) at soc=0, (1-c) at soc=1, monotone on [0,1].
-constexpr double kCurvature = 0.25;
-
-double ocv_shape(double soc) {
-  return (1.0 + kCurvature) * soc - kCurvature * soc * soc;
-}
-}  // namespace
+// The formulas live in step_math.hpp (shared with the fleet tick kernel);
+// these wrappers keep the public unit-typed API.
 
 Volts open_circuit_voltage(const LeadAcidParams& p, double soc) {
-  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
-  const double span = (p.ocv_cell_full - p.ocv_cell_empty).value();
-  const double cell = p.ocv_cell_empty.value() + span * ocv_shape(soc);
-  return Volts{cell * p.cells};
+  return Volts{detail::block_ocv_v(p, soc)};
 }
 
 double soc_from_voltage(const LeadAcidParams& p, Volts ocv) {
@@ -32,36 +21,22 @@ double soc_from_voltage(const LeadAcidParams& p, Volts ocv) {
   if (s <= 0.0) return 0.0;
   if (s >= 1.0) return 1.0;
   // Invert (1+c)x - cx^2 = s  =>  cx^2 - (1+c)x + s = 0, take the root in [0,1].
-  const double c = kCurvature;
+  const double c = detail::kOcvCurvature;
   const double disc = (1.0 + c) * (1.0 + c) - 4.0 * c * s;
   const double x = ((1.0 + c) - std::sqrt(disc)) / (2.0 * c);
   return util::clamp01(x);
 }
 
 AmpereHours effective_capacity(const LeadAcidParams& p, Amperes discharge_current) {
-  BAAT_REQUIRE(discharge_current.value() >= 0.0, "discharge current must be >= 0");
-  const double i20 = p.rated_current().value();
-  const double i = discharge_current.value();
-  if (i <= i20) return p.capacity_c20;
-  const double shrink = std::pow(i20 / i, p.peukert_exponent - 1.0);
-  return AmpereHours{p.capacity_c20.value() * shrink};
+  return AmpereHours{detail::effective_capacity_ah(p, discharge_current.value())};
 }
 
 double charge_acceptance(const LeadAcidParams& p, double soc) {
-  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
-  if (soc <= p.taper_knee_soc) return 1.0;
-  // Linear taper from 1 at the knee down to a trickle at full; the residual
-  // 2% keeps float charging alive so the unit can actually reach SoC = 1.
-  const double frac = (1.0 - soc) / (1.0 - p.taper_knee_soc);
-  return 0.02 + 0.98 * util::clamp01(frac);
+  return detail::charge_acceptance_f(p, soc);
 }
 
 double coulombic_efficiency(const LeadAcidParams& p, double soc) {
-  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
-  if (soc <= p.taper_knee_soc) return p.coulombic_efficiency_bulk;
-  const double frac = (soc - p.taper_knee_soc) / (1.0 - p.taper_knee_soc);
-  return p.coulombic_efficiency_bulk +
-         (p.coulombic_efficiency_full - p.coulombic_efficiency_bulk) * frac;
+  return detail::coulombic_efficiency_f(p, soc);
 }
 
 }  // namespace baat::battery

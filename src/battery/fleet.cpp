@@ -1,0 +1,452 @@
+#include "battery/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "battery/step_math.hpp"
+#include "obs/timer.hpp"
+#include "util/fastmath.hpp"
+#include "util/require.hpp"
+
+namespace baat::battery {
+
+namespace {
+constexpr double kFullChargeSoc = 0.995;
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+FleetState::FleetState(LeadAcidParams chem, AgingParams aging, ThermalParams thermal,
+                       MathMode math)
+    : chem_base_(chem), aging_params_(aging), thermal_base_(thermal), math_(math) {
+  BAAT_REQUIRE(chem_base_.cells > 0, "cell count must be positive");
+  BAAT_REQUIRE(thermal_base_.heat_capacity_j_per_k > 0.0, "heat capacity must be positive");
+  BAAT_REQUIRE(thermal_base_.thermal_resistance_k_per_w > 0.0,
+               "thermal resistance must be positive");
+}
+
+std::size_t FleetState::add_cell(double capacity_scale, double resistance_scale,
+                                 double initial_soc) {
+  BAAT_REQUIRE(capacity_scale > 0.0, "capacity_scale must be positive");
+  BAAT_REQUIRE(resistance_scale > 0.0, "resistance_scale must be positive");
+  BAAT_REQUIRE(initial_soc >= 0.0 && initial_soc <= 1.0, "initial soc must be in [0, 1]");
+  const double nameplate = chem_base_.capacity_c20.value() * capacity_scale;
+  BAAT_REQUIRE(nameplate > 0.0, "nameplate capacity must be positive");
+
+  const std::size_t c = soc_.size();
+  LeadAcidParams chem = chem_base_;
+  // Bake the manufacturing variation into the chemistry view so Peukert and
+  // rate caps all see this unit's true capacity.
+  chem.capacity_c20 = AmpereHours{nameplate};
+  chem_.push_back(chem);
+  thermal_.push_back(thermal_base_);
+  tau_.push_back(thermal_base_.heat_capacity_j_per_k *
+                 thermal_base_.thermal_resistance_k_per_w);
+  nameplate_.push_back(nameplate);
+  resistance_scale_.push_back(resistance_scale);
+  soc_.push_back(initial_soc);
+  temp_c_.push_back(thermal_base_.ambient.value());
+  open_.push_back(0);
+  aging_.emplace_back();
+  UsageCounters counters;
+  counters.min_soc_since_full = initial_soc;
+  counters_.push_back(counters);
+  arr_key_.push_back(kNaN);
+  arr_val_.push_back(1.0);
+  pk_key_.push_back(kNaN);
+  pk_val_.push_back(1.0);
+  decay_key_.push_back(kNaN);
+  decay_val_.push_back(1.0);
+  return c;
+}
+
+// --- transcendental memos ----------------------------------------------------
+// Last-argument caches: a hit returns the exact double the library call
+// produced for the same input, so Exact mode stays bit-identical. The keys
+// start NaN (NaN != x for every x), so the first lookup always misses.
+
+double FleetState::arrhenius(std::size_t c, double temp_c) {
+  if (temp_c != arr_key_[c]) {
+    arr_key_[c] = temp_c;
+    arr_val_[c] = math_ == MathMode::Fast ? util::fast_exp2((temp_c - 20.0) / 10.0)
+                                          : detail::arrhenius_value(temp_c);
+  }
+  return arr_val_[c];
+}
+
+double FleetState::peukert_capacity_ah(std::size_t c, double i) {
+  const LeadAcidParams& p = chem_[c];
+  BAAT_REQUIRE(i >= 0.0, "discharge current must be >= 0");
+  const double i20 = p.rated_current().value();
+  if (i <= i20) return p.capacity_c20.value();
+  const double ratio = i20 / i;
+  if (ratio != pk_key_[c]) {
+    pk_key_[c] = ratio;
+    pk_val_[c] = math_ == MathMode::Fast
+                     ? util::fast_pow(ratio, p.peukert_exponent - 1.0)
+                     : std::pow(ratio, p.peukert_exponent - 1.0);
+  }
+  return p.capacity_c20.value() * pk_val_[c];
+}
+
+double FleetState::thermal_decay(std::size_t c, double dt_s) {
+  // Kept exact in every math tier: the decay feeds temperature directly
+  // (state, not an aging rate), and the fixed simulation dt makes this a
+  // once-per-run computation anyway.
+  if (dt_s != decay_key_[c]) {
+    decay_key_[c] = dt_s;
+    decay_val_[c] = std::exp(-dt_s / tau_[c]);
+  }
+  return decay_val_[c];
+}
+
+// --- per-cell observables ----------------------------------------------------
+
+Volts FleetState::cell_open_circuit(std::size_t c) const {
+  if (open_[c] != 0) return Volts{0.0};
+  const double fresh = detail::block_ocv_v(chem_[c], soc_[c]);
+  const double sag = detail::aging_ocv_sag_v(
+      aging_params_, detail::aging_capacity_fraction(aging_params_, aging_[c]));
+  return Volts{fresh - sag * chem_[c].cells};
+}
+
+double FleetState::cell_internal_resistance_ohms(std::size_t c) const {
+  return chem_[c].r_internal_ohms * resistance_scale_[c] *
+         detail::aging_resistance_factor(aging_params_, aging_[c]);
+}
+
+Volts FleetState::cell_terminal_voltage(std::size_t c, Amperes current) const {
+  if (open_[c] != 0) return Volts{0.0};  // no circuit, no IR drop
+  return Volts{cell_open_circuit(c).value() -
+               current.value() * cell_internal_resistance_ohms(c)};
+}
+
+AmpereHours FleetState::cell_usable_capacity(std::size_t c) const {
+  if (open_[c] != 0) return AmpereHours{0.0};
+  return AmpereHours{nameplate_[c] *
+                     detail::aging_capacity_fraction(aging_params_, aging_[c])};
+}
+
+double FleetState::cell_health(std::size_t c) const {
+  return open_[c] != 0 ? 0.0 : detail::aging_capacity_fraction(aging_params_, aging_[c]);
+}
+
+bool FleetState::cell_end_of_life(std::size_t c) const {
+  return open_[c] != 0 ||
+         detail::aging_capacity_fraction(aging_params_, aging_[c]) < 0.80;
+}
+
+Amperes FleetState::cell_max_discharge_current(std::size_t c) const {
+  if (open_[c] != 0 || soc_[c] <= 0.0) return Amperes{0.0};
+  const double headroom = cell_open_circuit(c).value() - chem_[c].cutoff_voltage().value();
+  if (headroom <= 0.0) return Amperes{0.0};
+  const double by_voltage = headroom / cell_internal_resistance_ohms(c);
+  const double by_rate = chem_[c].max_discharge_c_rate * nameplate_[c];
+  return Amperes{std::min(by_voltage, by_rate)};
+}
+
+Amperes FleetState::cell_max_charge_current(std::size_t c) const {
+  if (open_[c] != 0 || soc_[c] >= 1.0) return Amperes{0.0};
+  const double by_rate = chem_[c].max_charge_c_rate * nameplate_[c] *
+                         detail::charge_acceptance_f(chem_[c], soc_[c]);
+  const double headroom = chem_[c].absorb_voltage().value() - cell_open_circuit(c).value();
+  if (headroom <= 0.0) return Amperes{0.0};
+  const double by_voltage = headroom / cell_internal_resistance_ohms(c);
+  return Amperes{std::min(by_rate, by_voltage)};
+}
+
+WattHours FleetState::cell_stored_energy_above(std::size_t c, double floor_soc) const {
+  BAAT_REQUIRE(floor_soc >= 0.0 && floor_soc <= 1.0, "floor soc must be in [0, 1]");
+  const double frac = std::max(0.0, soc_[c] - floor_soc);
+  return WattHours{frac * cell_usable_capacity(c).value() *
+                   chem_[c].nominal_voltage().value()};
+}
+
+// --- the tick kernel ---------------------------------------------------------
+
+StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
+  BAAT_OBS_TIMED("battery_step");
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
+
+  const LeadAcidParams& chem = chem_[c];
+  AgingState& ag = aging_[c];
+  UsageCounters& ctr = counters_[c];
+  const bool open = open_[c] != 0;
+  double soc = soc_[c];
+  const double soc_before = soc;
+
+  // Aging-derived factors are pure functions of the aging state, which only
+  // mutates in the aging step at the tail — hoist them once per tick. The
+  // products below are the exact expressions the accessors evaluate.
+  const double cap_frac = detail::aging_capacity_fraction(aging_params_, ag);
+  const double sag_block = detail::aging_ocv_sag_v(aging_params_, cap_frac) * chem.cells;
+  const double r = chem.r_internal_ohms * resistance_scale_[c] *
+                   detail::aging_resistance_factor(aging_params_, ag);
+  // Open-circuit voltage at a given SoC; only evaluated on non-open cells
+  // (the scalar code's open_ early-outs are preserved at every call site).
+  const auto ocv_at = [&](double s) { return detail::block_ocv_v(chem, s) - sag_block; };
+
+  StepResult result;
+  // An open cell can neither source nor sink current; it still tracks
+  // time, temperature relaxation and calendar effects below.
+  Amperes actual = open ? Amperes{0.0} : requested;
+  if (open && requested.value() > 0.0) result.hit_cutoff = true;
+
+  if (actual.value() > 0.0) {
+    // ---- discharge ----
+    double cap_a = 0.0;  // max_discharge_current (cell is not open here)
+    if (soc > 0.0) {
+      const double headroom = ocv_at(soc) - chem.cutoff_voltage().value();
+      if (headroom > 0.0) {
+        const double by_voltage = headroom / r;
+        const double by_rate = chem.max_discharge_c_rate * nameplate_[c];
+        cap_a = std::min(by_voltage, by_rate);
+      }
+    }
+    if (actual.value() > cap_a) {
+      actual = Amperes{cap_a};
+      result.hit_cutoff = true;
+    }
+    if (actual.value() > 0.0) {
+      // Peukert-corrected SoC drain, then clamp so SoC cannot go negative.
+      const double c_eff = peukert_capacity_ah(c, actual.value()) * cap_frac;
+      const double dq = actual.value() * dt.value() / 3600.0;
+      double dsoc = dq / c_eff;
+      if (dsoc > soc) {
+        const double scale = soc / dsoc;
+        actual *= scale;
+        dsoc = soc;
+        result.hit_cutoff = true;
+      }
+      soc -= dsoc;
+      // account_discharge(actual, dt, soc_before).
+      const AmpereHours q = util::charge(actual, dt);
+      ctr.ah_discharged += q;
+      // Eq 3 SoC ranges: A = [0.8, 1], B = [0.6, 0.8), C = [0.4, 0.6), D = [0, 0.4).
+      std::size_t range = 3;
+      if (soc_before >= 0.8) {
+        range = 0;
+      } else if (soc_before >= 0.6) {
+        range = 1;
+      } else if (soc_before >= 0.4) {
+        range = 2;
+      }
+      ctr.ah_by_range[range] += q;
+      const Volts tv{ocv_at(soc) - actual.value() * r};
+      ctr.energy_discharged += util::energy(tv * actual, dt);
+      ctr.min_soc_since_full = std::min(ctr.min_soc_since_full, soc);
+    }
+  } else if (actual.value() < 0.0) {
+    // ---- charge ----
+    double accept = 0.0;  // max_charge_current (cell is not open here)
+    if (soc < 1.0) {
+      const double by_rate = chem.max_charge_c_rate * nameplate_[c] *
+                             detail::charge_acceptance_f(chem, soc);
+      const double headroom = chem.absorb_voltage().value() - ocv_at(soc);
+      if (headroom > 0.0) accept = std::min(by_rate, headroom / r);
+    }
+    if (-actual.value() > accept) actual = Amperes{-accept};
+    const double cap = open ? 0.0 : nameplate_[c] * cap_frac;  // usable_capacity
+    if (cap <= 0.0) actual = Amperes{0.0};  // zero capacity accepts nothing
+    if (actual.value() < 0.0) {
+      const double eta = detail::coulombic_efficiency_f(chem, soc) *
+                         detail::aging_coulombic_derating_f(aging_params_, cap_frac);
+      const double dq = std::fabs(actual.value()) * dt.value() / 3600.0;
+      double dsoc = eta * dq / cap;
+      if (soc + dsoc > 1.0) {
+        const double scale = (1.0 - soc) / dsoc;
+        actual *= scale;
+        dsoc = 1.0 - soc;
+      }
+      soc += dsoc;
+      // account_charge(actual, dt).
+      const AmpereHours q = util::charge(Amperes{std::fabs(actual.value())}, dt);
+      ctr.ah_charged += q;
+      const double tv = ocv_at(soc) - actual.value() * r;
+      ctr.energy_charged += util::energy(Watts{tv * std::fabs(actual.value())}, dt);
+    }
+  }
+
+  // ---- self-discharge (standing loss, temperature-accelerated) ----
+  const double sd_rate =
+      chem.self_discharge_per_month / (30.0 * 86400.0) * arrhenius(c, temp_c_[c]);
+  soc = std::max(0.0, soc - sd_rate * dt.value());
+
+  result.actual_current = actual;
+  result.terminal_voltage = open ? Volts{0.0} : Volts{ocv_at(soc) - actual.value() * r};
+
+  // ---- thermal (exact RC exponential; decay memoized on the fixed dt) ----
+  const double loss = actual.value() * actual.value() * r;
+  const double temp_before = temp_c_[c];
+  const double t_inf =
+      thermal_[c].ambient.value() + loss * thermal_[c].thermal_resistance_k_per_w;
+  temp_c_[c] = t_inf + (temp_before - t_inf) * thermal_decay(c, dt.value());
+  const double dtemp_per_h = std::fabs(temp_c_[c] - temp_before) / dt.value() * 3600.0;
+
+  // ---- full-charge detection (before aging sees time_since_full_charge) ----
+  const bool was_full = soc_before >= kFullChargeSoc;
+  const bool is_full = soc >= kFullChargeSoc;
+  if (is_full && !was_full) {
+    result.fully_charged = true;
+    ++ctr.full_charge_events;
+    ctr.time_since_full_charge = Seconds{0.0};
+    ctr.min_soc_since_full = soc;
+    ag.stratification *= aging_params_.stratification_heal_factor;  // on_full_charge()
+  } else {
+    ctr.time_since_full_charge += dt;
+  }
+
+  // ---- aging ----
+  OperatingPoint op;
+  op.soc = soc;
+  op.current = actual;
+  op.terminal_voltage = result.terminal_voltage;
+  op.temperature = Celsius{temp_c_[c]};
+  op.time_since_full_charge = ctr.time_since_full_charge;
+  op.temperature_rate_k_per_h = dtemp_per_h;
+  detail::aging_mechanism_step(aging_params_, nameplate_[c], chem.cells, op, dt,
+                               arrhenius(c, temp_c_[c]), ag);
+
+  // ---- time counters ----
+  ctr.time_total += dt;
+  if (soc < 0.40) ctr.time_below_40 += dt;
+
+  soc_[c] = soc;
+  BAAT_INVARIANT(soc >= 0.0 && soc <= 1.0, "soc escaped [0, 1]");
+  return result;
+}
+
+StepResult FleetState::float_charge_cell(std::size_t c, Amperes trickle, Seconds dt) {
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  BAAT_REQUIRE(trickle.value() >= 0.0, "trickle must be >= 0 (magnitude)");
+  BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
+
+  const LeadAcidParams& chem = chem_[c];
+  AgingState& ag = aging_[c];
+  UsageCounters& ctr = counters_[c];
+  const bool open = open_[c] != 0;
+  double soc = soc_[c];
+  const double soc_before = soc;
+  const Amperes i{-trickle.value()};
+
+  const double cap_frac = detail::aging_capacity_fraction(aging_params_, ag);
+  const double sag_block = detail::aging_ocv_sag_v(aging_params_, cap_frac) * chem.cells;
+  const double r = chem.r_internal_ohms * resistance_scale_[c] *
+                   detail::aging_resistance_factor(aging_params_, ag);
+  const auto ocv_at = [&](double s) { return detail::block_ocv_v(chem, s) - sag_block; };
+
+  // Whatever fits below full still converts; the rest gasses.
+  if (soc < 1.0 && trickle.value() > 0.0) {
+    const double eta = detail::coulombic_efficiency_f(chem, soc) *
+                       detail::aging_coulombic_derating_f(aging_params_, cap_frac);
+    const double dq = trickle.value() * dt.value() / 3600.0;
+    const double usable = open ? 0.0 : nameplate_[c] * cap_frac;
+    soc = std::min(1.0, soc + eta * dq / usable);
+    // account_charge(i, dt).
+    const AmpereHours q = util::charge(Amperes{std::fabs(i.value())}, dt);
+    ctr.ah_charged += q;
+    const double tv = open ? 0.0 : ocv_at(soc) - i.value() * r;
+    ctr.energy_charged += util::energy(Watts{tv * std::fabs(i.value())}, dt);
+  }
+
+  StepResult result;
+  result.actual_current = i;
+  result.terminal_voltage = chem.absorb_voltage();
+
+  const double loss = trickle.value() * trickle.value() * r;
+  const double t_inf =
+      thermal_[c].ambient.value() + loss * thermal_[c].thermal_resistance_k_per_w;
+  temp_c_[c] = t_inf + (temp_c_[c] - t_inf) * thermal_decay(c, dt.value());
+
+  const bool was_full = soc_before >= kFullChargeSoc;
+  if (soc >= kFullChargeSoc && !was_full) {
+    result.fully_charged = true;
+    ++ctr.full_charge_events;
+    ctr.time_since_full_charge = Seconds{0.0};
+    ctr.min_soc_since_full = soc;
+    ag.stratification *= aging_params_.stratification_heal_factor;  // on_full_charge()
+  } else {
+    ctr.time_since_full_charge += dt;
+  }
+
+  OperatingPoint op;
+  op.soc = soc;
+  op.current = i;
+  op.terminal_voltage = result.terminal_voltage;  // held at absorb level
+  op.temperature = Celsius{temp_c_[c]};
+  op.time_since_full_charge = ctr.time_since_full_charge;
+  detail::aging_mechanism_step(aging_params_, nameplate_[c], chem.cells, op, dt,
+                               arrhenius(c, temp_c_[c]), ag);
+
+  ctr.time_total += dt;
+  if (soc < 0.40) ctr.time_below_40 += dt;
+  soc_[c] = soc;
+  return result;
+}
+
+void FleetState::step_all(std::span<const Amperes> requested, Seconds dt,
+                          std::span<StepResult> results) {
+  BAAT_REQUIRE(requested.size() == size() && results.size() == size(),
+               "fleet_step span sizes must match the fleet size");
+  for (std::size_t c = 0; c < size(); ++c) results[c] = step_cell(c, requested[c], dt);
+}
+
+void FleetState::step_cells(std::span<const std::size_t> cells, Amperes requested,
+                            Seconds dt) {
+  for (const std::size_t c : cells) (void)step_cell(c, requested, dt);
+}
+
+// --- view support ------------------------------------------------------------
+
+FleetState FleetState::clone_cell(std::size_t c) const {
+  BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
+  FleetState out{chem_base_, aging_params_, thermal_base_, math_};
+  out.chem_.push_back(chem_[c]);
+  out.thermal_.push_back(thermal_[c]);
+  out.tau_.push_back(tau_[c]);
+  out.nameplate_.push_back(nameplate_[c]);
+  out.resistance_scale_.push_back(resistance_scale_[c]);
+  out.soc_.push_back(soc_[c]);
+  out.temp_c_.push_back(temp_c_[c]);
+  out.open_.push_back(open_[c]);
+  out.aging_.push_back(aging_[c]);
+  out.counters_.push_back(counters_[c]);
+  out.arr_key_.push_back(arr_key_[c]);
+  out.arr_val_.push_back(arr_val_[c]);
+  out.pk_key_.push_back(pk_key_[c]);
+  out.pk_val_.push_back(pk_val_[c]);
+  out.decay_key_.push_back(decay_key_[c]);
+  out.decay_val_.push_back(decay_val_[c]);
+  return out;
+}
+
+void FleetState::copy_cell_from(std::size_t dst, const FleetState& src,
+                                std::size_t src_cell) {
+  BAAT_REQUIRE(dst < soc_.size(), "destination cell index out of range");
+  BAAT_REQUIRE(src_cell < src.soc_.size(), "source cell index out of range");
+  if (size() == 1) {
+    chem_base_ = src.chem_base_;
+    aging_params_ = src.aging_params_;
+    thermal_base_ = src.thermal_base_;
+    math_ = src.math_;
+  }
+  chem_[dst] = src.chem_[src_cell];
+  thermal_[dst] = src.thermal_[src_cell];
+  tau_[dst] = src.tau_[src_cell];
+  nameplate_[dst] = src.nameplate_[src_cell];
+  resistance_scale_[dst] = src.resistance_scale_[src_cell];
+  soc_[dst] = src.soc_[src_cell];
+  temp_c_[dst] = src.temp_c_[src_cell];
+  open_[dst] = src.open_[src_cell];
+  aging_[dst] = src.aging_[src_cell];
+  counters_[dst] = src.counters_[src_cell];
+  arr_key_[dst] = src.arr_key_[src_cell];
+  arr_val_[dst] = src.arr_val_[src_cell];
+  pk_key_[dst] = src.pk_key_[src_cell];
+  pk_val_[dst] = src.pk_val_[src_cell];
+  decay_key_[dst] = src.decay_key_[src_cell];
+  decay_val_[dst] = src.decay_val_[src_cell];
+}
+
+}  // namespace baat::battery

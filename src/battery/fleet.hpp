@@ -1,0 +1,175 @@
+#pragma once
+
+// Batched battery-fleet stepping kernel. Per-cell state lives in
+// structure-of-arrays form inside FleetState and every cell of a bank is
+// advanced by one fleet_step() call per tick — contiguous state, no
+// per-cell virtual dispatch, and all tick-invariant subexpressions
+// (aging-derived factors, Peukert/Arrhenius transcendentals, the fixed-dt
+// thermal decay) hoisted or memoized per cell. battery::Battery remains as
+// a thin view over one cell (see battery.hpp) so tests, probes and
+// single-cell benches keep their object-per-cell API.
+//
+// Bit-exactness contract (DESIGN.md §5e): in MathMode::Exact a
+// FleetState::step_cell is bit-identical to the pre-kernel scalar
+// Battery::step — the memos are last-argument caches that return the exact
+// double std::pow/std::exp produced for the same input, and every other
+// hoist reuses a value of unchanged state within one step. MathMode::Fast
+// swaps the Arrhenius/Peukert transcendentals for the bounded-error
+// polynomials in util/fastmath.hpp (opt-in via --math=fast).
+//
+// Sign convention everywhere: current > 0 discharges, < 0 charges.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "battery/aging.hpp"
+#include "battery/chemistry.hpp"
+#include "battery/thermal.hpp"
+#include "util/units.hpp"
+
+namespace baat::battery {
+
+using util::Seconds;
+using util::WattHours;
+using util::Watts;
+
+/// Ground-truth usage counters accumulated over the battery's whole life.
+/// The telemetry layer rebuilds an *estimated* version of these from sensor
+/// samples; tests compare the two.
+struct UsageCounters {
+  AmpereHours ah_discharged{0.0};
+  AmpereHours ah_charged{0.0};
+  /// Discharge Ah binned by the SoC ranges of Eq 3:
+  /// A = [80,100], B = [60,80), C = [40,60), D = [0,40).
+  AmpereHours ah_by_range[4] = {AmpereHours{0}, AmpereHours{0}, AmpereHours{0}, AmpereHours{0}};
+  Seconds time_total{0.0};
+  Seconds time_below_40{0.0};
+  Seconds time_since_full_charge{0.0};
+  std::int64_t full_charge_events = 0;
+  double min_soc_since_full = 1.0;
+  WattHours energy_discharged{0.0};
+  WattHours energy_charged{0.0};
+};
+
+/// Outcome of one step() call.
+struct StepResult {
+  Amperes actual_current{0.0};   ///< after clamping to physical limits
+  Volts terminal_voltage{0.0};
+  bool hit_cutoff = false;       ///< discharge was curtailed by the LVD
+  bool fully_charged = false;    ///< this step completed a full charge
+};
+
+/// Transcendental tier of the tick kernel. Exact is the default and is
+/// byte-identical to the pre-kernel code; Fast trades ~1e-9 relative error
+/// in the aging stressors for avoiding libm pow on the hot path.
+enum class MathMode {
+  Exact,
+  Fast,
+};
+
+/// Structure-of-arrays state of a bank of battery units sharing one
+/// chemistry/aging/thermal template (per-cell manufacturing variation is
+/// baked into the per-cell parameter slots).
+class FleetState {
+ public:
+  FleetState(LeadAcidParams chem, AgingParams aging, ThermalParams thermal,
+             MathMode math = MathMode::Exact);
+
+  /// Append one unit; returns its cell index. `capacity_scale` and
+  /// `resistance_scale` model unit-to-unit manufacturing variation.
+  std::size_t add_cell(double capacity_scale, double resistance_scale, double initial_soc);
+
+  [[nodiscard]] std::size_t size() const { return soc_.size(); }
+  [[nodiscard]] MathMode math() const { return math_; }
+  [[nodiscard]] const AgingParams& aging_params() const { return aging_params_; }
+
+  // --- the tick kernel -------------------------------------------------------
+  /// Advance cell `c` by dt, requesting `requested` (>0 discharge,
+  /// <0 charge), clamped to what chemistry allows.
+  StepResult step_cell(std::size_t c, Amperes requested, Seconds dt);
+  /// Maintenance-rig entry: hold cell `c` at absorb voltage with a forced
+  /// trickle current, bypassing the acceptance clamp.
+  StepResult float_charge_cell(std::size_t c, Amperes trickle, Seconds dt);
+  /// Step every cell with its own requested current.
+  void step_all(std::span<const Amperes> requested, Seconds dt,
+                std::span<StepResult> results);
+  /// Step the listed cells with one common current (the router's batched
+  /// idle pass uses this with 0 A).
+  void step_cells(std::span<const std::size_t> cells, Amperes requested, Seconds dt);
+
+  // --- per-cell observables (exact ports of the Battery accessors) ----------
+  [[nodiscard]] double cell_soc(std::size_t c) const { return soc_[c]; }
+  [[nodiscard]] Volts cell_open_circuit(std::size_t c) const;
+  [[nodiscard]] Volts cell_terminal_voltage(std::size_t c, Amperes current) const;
+  [[nodiscard]] Celsius cell_temperature(std::size_t c) const { return Celsius{temp_c_[c]}; }
+  [[nodiscard]] double cell_internal_resistance_ohms(std::size_t c) const;
+  [[nodiscard]] AmpereHours cell_nameplate(std::size_t c) const {
+    return AmpereHours{nameplate_[c]};
+  }
+  [[nodiscard]] AmpereHours cell_usable_capacity(std::size_t c) const;
+  [[nodiscard]] double cell_health(std::size_t c) const;
+  [[nodiscard]] bool cell_end_of_life(std::size_t c) const;
+  void fail_open_cell(std::size_t c) { open_[c] = 1; }
+  [[nodiscard]] bool cell_open_failed(std::size_t c) const { return open_[c] != 0; }
+  [[nodiscard]] const AgingState& cell_aging_state(std::size_t c) const { return aging_[c]; }
+  void set_cell_aging_state(std::size_t c, const AgingState& s) { aging_[c] = s; }
+  [[nodiscard]] Amperes cell_max_discharge_current(std::size_t c) const;
+  [[nodiscard]] Amperes cell_max_charge_current(std::size_t c) const;
+  [[nodiscard]] WattHours cell_stored_energy_above(std::size_t c, double floor_soc) const;
+  [[nodiscard]] const UsageCounters& cell_counters(std::size_t c) const {
+    return counters_[c];
+  }
+  [[nodiscard]] const LeadAcidParams& cell_chemistry(std::size_t c) const { return chem_[c]; }
+  [[nodiscard]] double cell_equivalent_full_cycles(std::size_t c) const {
+    return counters_[c].ah_discharged.value() / nameplate_[c];
+  }
+
+  // --- view support ----------------------------------------------------------
+  /// A one-cell fleet carrying a deep copy of cell `c` (Battery's copy ctor).
+  [[nodiscard]] FleetState clone_cell(std::size_t c) const;
+  /// Overwrite cell `dst` with the full state of `src_cell` of `src`
+  /// (Battery's copy/move-assignment into a bound view). A one-cell
+  /// destination also adopts the source's shared templates; a multi-cell
+  /// destination keeps its own (callers only ever assign units built from
+  /// the same bank spec, so the shared aging parameters match).
+  void copy_cell_from(std::size_t dst, const FleetState& src, std::size_t src_cell);
+
+ private:
+  double arrhenius(std::size_t c, double temp_c);
+  double peukert_capacity_ah(std::size_t c, double i);
+  double thermal_decay(std::size_t c, double dt_s);
+
+  LeadAcidParams chem_base_;   ///< unscaled template for add_cell
+  AgingParams aging_params_;   ///< shared by every cell
+  ThermalParams thermal_base_;
+  MathMode math_;
+
+  // Per-cell parameter slots (capacity variation baked into chem_[c]).
+  std::vector<LeadAcidParams> chem_;
+  std::vector<ThermalParams> thermal_;
+  std::vector<double> tau_;  ///< heat_capacity * thermal_resistance, s
+  std::vector<double> nameplate_;
+  std::vector<double> resistance_scale_;
+
+  // Per-cell mutable state.
+  std::vector<double> soc_;
+  std::vector<double> temp_c_;
+  std::vector<std::uint8_t> open_;
+  std::vector<AgingState> aging_;
+  std::vector<UsageCounters> counters_;
+
+  // Last-argument transcendental memos (exact: same input → the exact
+  // cached double). Keys start NaN so the first lookup always misses.
+  std::vector<double> arr_key_, arr_val_;
+  std::vector<double> pk_key_, pk_val_;
+  std::vector<double> decay_key_, decay_val_;
+};
+
+/// Batched tick entry point: one call advances the whole fleet.
+inline void fleet_step(FleetState& fleet, std::span<const Amperes> requested, Seconds dt,
+                       std::span<StepResult> results) {
+  fleet.step_all(requested, dt, results);
+}
+
+}  // namespace baat::battery

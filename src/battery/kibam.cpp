@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/require.hpp"
 
 namespace baat::battery {
 
-Kibam::Kibam(KibamParams params, double initial_soc) : params_(params) {
+Kibam::Kibam(KibamParams params, double initial_soc)
+    : params_(params), ekt_key_(std::numeric_limits<double>::quiet_NaN()) {
   BAAT_REQUIRE(params_.total_capacity.value() > 0.0, "capacity must be positive");
   BAAT_REQUIRE(params_.available_fraction > 0.0 && params_.available_fraction < 1.0,
                "available fraction must be in (0, 1)");
@@ -20,6 +22,14 @@ Kibam::Kibam(KibamParams params, double initial_soc) : params_(params) {
 
 double Kibam::soc() const {
   return (q_avail_ + q_bound_) / params_.total_capacity.value();
+}
+
+double Kibam::ekt(double kt) const {
+  if (kt != ekt_key_) {
+    ekt_key_ = kt;
+    ekt_val_ = std::exp(-kt);
+  }
+  return ekt_val_;
 }
 
 Amperes Kibam::step(Amperes current, Seconds dt) {
@@ -42,7 +52,7 @@ Amperes Kibam::step(Amperes current, Seconds dt) {
   // Exact KiBaM update (Manwell–McGowan closed form) for constant current
   // over the step.
   const double q0 = q_avail_ + q_bound_;
-  const double ekt = std::exp(-k * t);
+  const double ekt = this->ekt(k * t);
   const double q_avail_new =
       q_avail_ * ekt + (q0 * k * c - i) * (1.0 - ekt) / k - i * c * (k * t - 1.0 + ekt) / k;
   const double q_bound_new =
@@ -66,7 +76,7 @@ Amperes Kibam::max_discharge_current(Seconds duration) const {
   const double k = params_.rate_constant_per_h;
   const double t = duration.value() / 3600.0;
   const double q0 = q_avail_ + q_bound_;
-  const double ekt = std::exp(-k * t);
+  const double ekt = this->ekt(k * t);
   // Largest i such that q_avail stays >= 0 at the end of the window.
   const double denom =
       (1.0 - ekt) / k + c * (k * t - 1.0 + ekt) / k;

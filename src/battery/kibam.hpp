@@ -60,9 +60,16 @@ class Kibam {
   [[nodiscard]] const KibamParams& params() const { return params_; }
 
  private:
+  /// exp(-kt), cached on kt: step() and max_discharge_current() are almost
+  /// always called with the same fixed dt, so the std::exp runs once. A hit
+  /// returns the exact cached double, so results are bitwise unchanged.
+  double ekt(double kt) const;
+
   KibamParams params_;
   double q_avail_;  // Ah
   double q_bound_;  // Ah
+  mutable double ekt_key_;  // NaN = nothing cached yet
+  mutable double ekt_val_ = 1.0;
 };
 
 }  // namespace baat::battery

@@ -37,7 +37,7 @@ EqualizationResult equalize(Battery& unit, const EqualizationParams& params) {
   // The stirred electrolyte: stratification collapses to a residual.
   AgingState state = unit.aging_state();
   state.stratification *= params.residual_stratification;
-  unit.aging_model().set_state(state);
+  unit.set_aging_state(state);
 
   result.stratification_after = unit.aging_state().stratification;
   result.water_loss_added = unit.aging_state().water_loss - water_before;

@@ -1,0 +1,156 @@
+#pragma once
+
+// Single-definition inline physics of the battery tick. Every expression
+// here is the one source of truth shared by the public wrappers in
+// chemistry.cpp / aging.cpp / thermal.cpp and by the batched fleet kernel
+// (fleet.cpp): the kernel inlines the whole step in one translation unit
+// without duplicating a formula, so the two paths cannot drift apart.
+// Bit-exactness contract (DESIGN.md §5e): these are the exact expressions
+// the pre-kernel scalar code evaluated, in the same order, with no
+// contraction-sensitive rewrites.
+
+#include <algorithm>
+#include <cmath>
+
+#include "battery/aging.hpp"
+#include "battery/chemistry.hpp"
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace baat::battery::detail {
+
+// OCV shape: v(soc) = empty + span * (a*soc + (1-a)*soc^2) would be
+// sub-linear near empty; lead-acid is the opposite (voltage collapses toward
+// empty), so we use s(soc) = (1+c)*soc - c*soc^2 with c in (0,1):
+// slope (1+c) at soc=0, (1-c) at soc=1, monotone on [0,1].
+inline constexpr double kOcvCurvature = 0.25;
+
+inline double ocv_shape(double soc) {
+  return (1.0 + kOcvCurvature) * soc - kOcvCurvature * soc * soc;
+}
+
+/// Whole-block open-circuit voltage of the fresh cell, in volts.
+inline double block_ocv_v(const LeadAcidParams& p, double soc) {
+  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
+  const double span = (p.ocv_cell_full - p.ocv_cell_empty).value();
+  const double cell = p.ocv_cell_empty.value() + span * ocv_shape(soc);
+  return cell * p.cells;
+}
+
+/// Peukert-corrected capacity at a sustained discharge current, in Ah.
+inline double effective_capacity_ah(const LeadAcidParams& p, double i) {
+  BAAT_REQUIRE(i >= 0.0, "discharge current must be >= 0");
+  const double i20 = p.rated_current().value();
+  if (i <= i20) return p.capacity_c20.value();
+  const double shrink = std::pow(i20 / i, p.peukert_exponent - 1.0);
+  return p.capacity_c20.value() * shrink;
+}
+
+/// Fraction [0,1] of the bulk charge current accepted at `soc`.
+inline double charge_acceptance_f(const LeadAcidParams& p, double soc) {
+  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
+  if (soc <= p.taper_knee_soc) return 1.0;
+  // Linear taper from 1 at the knee down to a trickle at full; the residual
+  // 2% keeps float charging alive so the unit can actually reach SoC = 1.
+  const double frac = (1.0 - soc) / (1.0 - p.taper_knee_soc);
+  return 0.02 + 0.98 * util::clamp01(frac);
+}
+
+/// Coulombic efficiency of charging at `soc`.
+inline double coulombic_efficiency_f(const LeadAcidParams& p, double soc) {
+  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
+  if (soc <= p.taper_knee_soc) return p.coulombic_efficiency_bulk;
+  const double frac = (soc - p.taper_knee_soc) / (1.0 - p.taper_knee_soc);
+  return p.coulombic_efficiency_bulk +
+         (p.coulombic_efficiency_full - p.coulombic_efficiency_bulk) * frac;
+}
+
+/// Lifetime acceleration factor relative to 20 °C: doubles every +10 °C.
+inline double arrhenius_value(double temp_c) {
+  return std::pow(2.0, (temp_c - 20.0) / 10.0);
+}
+
+/// Fraction of nameplate capacity remaining, in (0, 1].
+inline double aging_capacity_fraction(const AgingParams& p, const AgingState& s) {
+  const double fade = p.capacity_w_corrosion * s.corrosion + s.shedding + s.sulphation +
+                      s.stratification + p.capacity_w_water * s.water_loss;
+  return std::max(0.05, 1.0 - fade);
+}
+
+/// Multiplier on the fresh internal resistance, >= 1.
+inline double aging_resistance_factor(const AgingParams& p, const AgingState& s) {
+  return 1.0 + p.resistance_w_corrosion * s.corrosion +
+         p.resistance_w_sulphation * s.sulphation + p.resistance_w_shedding * s.shedding +
+         p.resistance_w_water * s.water_loss;
+}
+
+/// OCV depression of the aged cell, per cell, in volts.
+inline double aging_ocv_sag_v(const AgingParams& p, double capacity_fraction) {
+  return p.ocv_sag_v_per_fade_cell * (1.0 - capacity_fraction);
+}
+
+/// Multiplier (<= 1) on the fresh coulombic charge efficiency.
+inline double aging_coulombic_derating_f(const AgingParams& p, double capacity_fraction) {
+  return std::max(0.6, 1.0 - p.coulombic_fade * (1.0 - capacity_fraction));
+}
+
+/// One integration step of the five mechanism rate equations. `arr` is the
+/// Arrhenius factor at op.temperature — hoisted to the caller so the fleet
+/// kernel can serve it from its per-cell memo.
+inline void aging_mechanism_step(const AgingParams& params, double capacity_ah, int cells,
+                                 const OperatingPoint& op, util::Seconds dt, double arr,
+                                 AgingState& state) {
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  BAAT_REQUIRE(op.soc >= 0.0 && op.soc <= 1.0, "soc must be in [0, 1]");
+
+  const double dt_s = dt.value();
+  const double i = op.current.value();  // >0 discharge
+  const double v_cell = op.terminal_voltage.value() / cells;
+
+  // Active-mass shedding: proportional to Ah moved (both directions stress
+  // the plates, discharge dominates), amplified at low SoC and by fast
+  // temperature changes (§II-B.2).
+  const double efc_moved = std::fabs(i) * dt_s / 3600.0 / capacity_ah;
+  if (efc_moved > 0.0) {
+    const double low_soc = 1.0 + params.shedding_low_soc_gain * (1.0 - op.soc);
+    const double dtemp = 1.0 + params.shedding_dtemp_gain * op.temperature_rate_k_per_h;
+    const double direction = i > 0.0 ? 1.0 : 0.35;  // charging stresses less
+    state.shedding += params.shedding_per_efc * efc_moved * low_soc * dtemp * arr * direction;
+  }
+
+  // Sulphation: grows while sitting below the knee, worse the deeper the
+  // discharge and the longer since the last full recharge (§II-B.3).
+  if (op.soc < params.sulphation_knee_soc) {
+    const double depth = (params.sulphation_knee_soc - op.soc) / params.sulphation_knee_soc;
+    const double staleness =
+        1.0 + op.time_since_full_charge.value() / params.sulphation_memory.value();
+    state.sulphation += params.sulphation_per_s * depth * staleness * arr * dt_s;
+  }
+
+  // Grid corrosion: calendar aging accelerated by temperature and by charge
+  // polarization above float level (§II-B.1).
+  const double over_v = std::max(0.0, v_cell - params.corrosion_voltage_knee_cell.value());
+  const double v_gain = 1.0 + params.corrosion_voltage_gain * over_v;
+  state.corrosion += params.corrosion_per_s * arr * (i < 0.0 ? v_gain : 1.0) * dt_s;
+
+  // Water loss: the share of charge current that drives gassing once the
+  // per-cell voltage passes the float knee (§II-B.4); the share ramps to 1
+  // as the voltage approaches the gassing level.
+  if (i < 0.0 && v_cell > params.corrosion_voltage_knee_cell.value()) {
+    const double gassing_frac =
+        util::clamp01((v_cell - params.corrosion_voltage_knee_cell.value()) / 0.15);
+    const double gas_efc = std::fabs(i) * dt_s / 3600.0 * gassing_frac / capacity_ah;
+    state.water_loss += params.water_per_gassing_efc * gas_efc * arr;
+  }
+
+  // Stratification: builds while deeply discharged with small currents and
+  // no full recharge (§II-B.5); saturates, and on_full_charge() heals it.
+  const double low_i_amperes = params.stratification_low_current_c * capacity_ah;
+  if (op.soc < 0.5 && std::fabs(i) < low_i_amperes) {
+    state.stratification =
+        std::min(params.stratification_cap,
+                 state.stratification + params.stratification_per_s * arr * dt_s);
+  }
+}
+
+}  // namespace baat::battery::detail

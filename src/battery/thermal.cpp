@@ -1,12 +1,17 @@
 #include "battery/thermal.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/require.hpp"
 
 namespace baat::battery {
 
-ThermalModel::ThermalModel(ThermalParams params) : params_(params), temp_(params.ambient) {
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params),
+      temp_(params.ambient),
+      tau_(params.heat_capacity_j_per_k * params.thermal_resistance_k_per_w),
+      decay_dt_(std::numeric_limits<double>::quiet_NaN()) {
   BAAT_REQUIRE(params_.heat_capacity_j_per_k > 0.0, "heat capacity must be positive");
   BAAT_REQUIRE(params_.thermal_resistance_k_per_w > 0.0, "thermal resistance must be positive");
 }
@@ -15,11 +20,16 @@ void ThermalModel::step(Watts loss, Seconds dt) {
   BAAT_REQUIRE(loss.value() >= 0.0, "loss power must be >= 0");
   BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
   // Exact exponential update of dT/dt = (P - (T - Ta)/Rth) / Cth; this stays
-  // stable even if a caller steps with a very large dt.
-  const double tau = params_.heat_capacity_j_per_k * params_.thermal_resistance_k_per_w;
+  // stable even if a caller steps with a very large dt. The decay factor
+  // only depends on dt and the fixed time constant, so cache it across the
+  // (overwhelmingly common) fixed-dt tick sequence — a hit returns the exact
+  // double std::exp produced for the same dt.
   const double t_inf = steady_state(loss).value();
-  const double decay = std::exp(-dt.value() / tau);
-  temp_ = Celsius{t_inf + (temp_.value() - t_inf) * decay};
+  if (dt.value() != decay_dt_) {
+    decay_dt_ = dt.value();
+    decay_ = std::exp(-dt.value() / tau_);
+  }
+  temp_ = Celsius{t_inf + (temp_.value() - t_inf) * decay_};
 }
 
 Celsius ThermalModel::steady_state(Watts loss) const {

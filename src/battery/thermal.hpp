@@ -36,6 +36,9 @@ class ThermalModel {
  private:
   ThermalParams params_;
   Celsius temp_;
+  double tau_;       ///< heat_capacity * thermal_resistance, seconds
+  double decay_dt_;  ///< dt of the cached decay factor (NaN = none yet)
+  double decay_ = 1.0;
 };
 
 /// Lifetime acceleration factor relative to 20 °C: doubles every +10 °C.

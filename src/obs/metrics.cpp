@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -15,6 +16,11 @@ namespace {
 
 std::string labeled(const std::string& name, const std::string& label) {
   return name + "{" + label + "}";
+}
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> g_next{1};
+  return g_next.fetch_add(1, std::memory_order_relaxed);
 }
 
 void write_json_string(std::ostream& out, const std::string& s) {
@@ -88,6 +94,47 @@ void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), std::size_t{0});
   stats_ = util::RunningStats{};
   sum_ = 0.0;
+}
+
+// Identity rule: every operation that may destroy or transfer map nodes
+// retires the affected object's id by drawing a fresh one. A cached handle
+// (Counter* + id) can therefore only validate while the nodes it points at
+// are alive and still owned by the registry presenting that id. reset() and
+// merge() keep existing nodes, so they keep the id too.
+
+Registry::Registry() : id_(next_registry_id()) {}
+
+Registry::Registry(const Registry& other)
+    : id_(next_registry_id()),
+      counters_(other.counters_),
+      gauges_(other.gauges_),
+      histograms_(other.histograms_) {}
+
+Registry::Registry(Registry&& other) noexcept
+    : id_(next_registry_id()),
+      counters_(std::move(other.counters_)),
+      gauges_(std::move(other.gauges_)),
+      histograms_(std::move(other.histograms_)) {
+  other.id_ = next_registry_id();  // its nodes left with us
+}
+
+Registry& Registry::operator=(const Registry& other) {
+  if (this == &other) return *this;
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+  id_ = next_registry_id();  // our previous nodes are gone
+  return *this;
+}
+
+Registry& Registry::operator=(Registry&& other) noexcept {
+  if (this == &other) return *this;
+  counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  histograms_ = std::move(other.histograms_);
+  id_ = next_registry_id();
+  other.id_ = next_registry_id();
+  return *this;
 }
 
 Counter& Registry::counter(const std::string& name) { return counters_[name]; }

@@ -19,6 +19,7 @@
 //    changes an exported byte.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -99,6 +100,26 @@ class Histogram {
 /// `node.health{3}`.
 class Registry {
  public:
+  Registry();
+  // Every special member that destroys or transfers entry nodes retires the
+  // involved ids (both sides of a move): a cached handle (entry pointer +
+  // registry id) can only validate while its nodes are alive and owned by
+  // the registry presenting that id. reset() and merge() keep nodes, and
+  // therefore keep the id.
+  Registry(const Registry& other);
+  Registry(Registry&& other) noexcept;
+  Registry& operator=(const Registry& other);
+  Registry& operator=(Registry&& other) noexcept;
+  ~Registry() = default;
+
+  /// Process-unique identity of this registry's current entry set. Hot
+  /// paths intern handles (`Counter*`) once and revalidate with one integer
+  /// compare instead of a map lookup per tick — keying on id rather than
+  /// object address is what makes the cache sound when a registry dies and
+  /// another is allocated at the same address (the parallel sweep does
+  /// exactly that).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
   Counter& counter(const std::string& name);
   Counter& counter(const std::string& name, const std::string& label);
   Gauge& gauge(const std::string& name);
@@ -141,6 +162,7 @@ class Registry {
   [[nodiscard]] std::string csv() const;
 
  private:
+  std::uint64_t id_;
   // std::map: stable addresses (required for handle stability) and sorted
   // iteration (required for deterministic export).
   std::map<std::string, Counter> counters_;

@@ -43,16 +43,20 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
   ring_.reserve(std::min<std::size_t>(capacity, 1024));
 }
 
-void TraceBuffer::push(TraceEvent event) {
+void TraceBuffer::push(TraceEvent event) { next_slot() = std::move(event); }
+
+TraceEvent& TraceBuffer::next_slot() {
   if (size_ < capacity_) {
-    ring_.push_back(std::move(event));
+    if (size_ < ring_.size()) return ring_[size_++];  // reuse a cleared slot
+    ring_.emplace_back();
     ++size_;
-    return;
+    return ring_.back();
   }
-  // Full: overwrite the oldest slot.
-  ring_[head_] = std::move(event);
+  // Full: hand back the oldest slot for overwrite.
+  TraceEvent& slot = ring_[head_];
   head_ = (head_ + 1) % capacity_;
   ++dropped_;
+  return slot;
 }
 
 void TraceBuffer::merge(const TraceBuffer& other) {
@@ -62,18 +66,28 @@ void TraceBuffer::merge(const TraceBuffer& other) {
 void TraceBuffer::set_capacity(std::size_t capacity) {
   BAAT_REQUIRE(capacity > 0, "trace capacity must be positive");
   capacity_ = capacity;
-  clear();
+  ring_.clear();
+  ring_.shrink_to_fit();
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
 }
 
 void TraceBuffer::clear() {
-  ring_.clear();
+  // Keep the ring's elements alive: next_slot() reuses them (and their
+  // detail-string capacity), so a clear-per-day loop never re-allocates.
   head_ = 0;
   size_ = 0;
   dropped_ = 0;
 }
 
 std::vector<TraceEvent> TraceBuffer::events() const {
-  if (size_ < capacity_) return ring_;  // not yet wrapped: already in order
+  if (size_ < capacity_) {
+    // Not yet wrapped: the first size_ slots, already in order (the ring may
+    // hold more live-but-cleared slots beyond size_).
+    return {ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(size_)};
+  }
   std::vector<TraceEvent> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(head_ + i) % capacity_]);
@@ -140,16 +154,17 @@ bool trace_enabled() { return g_trace_enabled; }
 
 void set_trace_enabled(bool enabled) { g_trace_enabled = enabled; }
 
-void emit(EventKind kind, int node, double value, std::string detail) {
+void emit(EventKind kind, int node, double value, std::string_view detail) {
   if (!g_trace_enabled) return;
-  TraceEvent e;
+  // Fill a reused ring slot in place; assign() keeps the slot string's
+  // existing capacity, so steady-state emission is allocation-free.
+  TraceEvent& e = global_trace().next_slot();
   e.ts = std::max(0.0, util::sim_time());
   e.day = std::max(0L, util::sim_day());
   e.kind = kind;
   e.node = node;
   e.value = value;
-  e.detail = std::move(detail);
-  global_trace().push(std::move(e));
+  e.detail.assign(detail.begin(), detail.end());
 }
 
 }  // namespace baat::obs

@@ -61,12 +61,19 @@ class TraceBuffer {
   explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
 
   void push(TraceEvent event);
+  /// The slot the next event should be written into (allocation-free fast
+  /// path used by emit()): a cleared or evicted slot is handed back with its
+  /// detail-string capacity intact, so a steady-state tick loop emits events
+  /// without touching the heap. The caller must overwrite every field.
+  [[nodiscard]] TraceEvent& next_slot();
   /// Append every event of `other` (oldest first), honouring this ring's
   /// capacity. The sweep engine folds per-job traces in with this, in
   /// job-index order, so the merged trace is deterministic.
   void merge(const TraceBuffer& other);
-  /// Re-size the ring; clears contents and the dropped counter.
+  /// Re-size the ring; releases contents and the dropped counter.
   void set_capacity(std::size_t capacity);
+  /// Empty the ring. Slots (and their string capacity) are kept alive for
+  /// reuse by next_slot(), so clearing between days stays allocation-free.
   void clear();
 
   [[nodiscard]] std::size_t size() const { return size_; }
@@ -105,7 +112,9 @@ bool trace_enabled();
 void set_trace_enabled(bool enabled);
 
 /// Emit into the global trace, stamped from the simulated clock. No-op when
-/// tracing is disabled, so call sites can stay unconditional.
-void emit(EventKind kind, int node = -1, double value = 0.0, std::string detail = {});
+/// tracing is disabled, so call sites can stay unconditional. The detail
+/// text is copied into a reused ring slot — no per-event allocation once
+/// the ring's slots have grown to the working detail lengths.
+void emit(EventKind kind, int node = -1, double value = 0.0, std::string_view detail = {});
 
 }  // namespace baat::obs

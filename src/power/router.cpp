@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"
@@ -23,11 +24,12 @@ Amperes current_for_dc_power(Watts dc_power, util::Volts ocv, double r) {
   return Amperes{(v - std::sqrt(disc)) / (2.0 * r)};
 }
 
-RouteResult route_power(Watts solar, std::span<const Watts> demands,
-                        std::span<battery::Battery> batteries,
-                        std::span<const std::size_t> charge_priority,
-                        const RouterParams& params, Seconds dt,
-                        std::span<const double> discharge_floor_soc) {
+void route_power_into(Watts solar, std::span<const Watts> demands,
+                      std::span<battery::Battery> batteries,
+                      std::span<const std::size_t> charge_priority,
+                      const RouterParams& params, Seconds dt,
+                      std::span<const double> discharge_floor_soc, RouteResult& out,
+                      RouterScratch& scratch) {
   BAAT_OBS_TIMED("router_route");
   const std::size_t n = demands.size();
   BAAT_REQUIRE(batteries.size() == n, "demands/batteries size mismatch");
@@ -40,9 +42,13 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
                    params.inverter_efficiency > 0.0 && params.inverter_efficiency <= 1.0,
                "efficiencies must be in (0, 1]");
 
-  RouteResult result;
-  result.nodes.resize(n);
+  RouteResult& result = out;
+  // assign (not resize): every slot must be reset to a default NodeRoute,
+  // including the ones a previous tick already wrote.
+  result.nodes.assign(n, NodeRoute{});
   result.solar_available = solar;
+  result.solar_curtailed = Watts{0.0};
+  result.utility_drawn = Watts{0.0};
 
   double total_demand = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -78,7 +84,8 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
     }
   }
 
-  std::vector<bool> stepped(n, false);
+  scratch.stepped.assign(n, 0);
+  std::vector<std::uint8_t>& stepped = scratch.stepped;
 
   // 3. Batteries → remaining per-node deficits.
   for (std::size_t i = 0; i < n; ++i) {
@@ -183,25 +190,54 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
     solar_left = std::max(0.0, solar_left - from_bus);
   }
 
-  // 5. Idle batteries still age on the calendar.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!stepped[i]) batteries[i].step(Amperes{0.0}, dt);
+  // 5. Idle batteries still age on the calendar. When every node's battery
+  // is a view into one shared FleetState (a cluster bank), the zero-current
+  // steps go through the batched kernel entry in one call; mixed or
+  // standalone banks take the per-object loop. Cell order matches the loop,
+  // so the two paths are identical.
+  battery::FleetState* fleet = n > 0 ? batteries[0].fleet() : nullptr;
+  for (std::size_t i = 1; i < n && fleet != nullptr; ++i) {
+    if (batteries[i].fleet() != fleet) fleet = nullptr;
+  }
+  if (fleet != nullptr) {
+    scratch.idle_cells.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!stepped[i]) scratch.idle_cells.push_back(batteries[i].cell_index());
+    }
+    fleet->step_cells(scratch.idle_cells, Amperes{0.0}, dt);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!stepped[i]) batteries[i].step(Amperes{0.0}, dt);
+    }
   }
 
   result.solar_curtailed = Watts{solar_left};
 
   // Observability: one "redirect" = a tick where solar alone could not
   // carry the load and the switcher pulled in battery or utility power.
-  // Resolved per call, not cached in statics: the active registry is
-  // per-thread under the sweep engine, and a static handle would alias
-  // every thread onto one job's registry.
+  // Counter handles are interned per registry id, not per call (four map
+  // lookups per tick was measurable) and not in bare statics: the active
+  // registry is per-thread under the sweep engine, and a static handle
+  // would alias every thread onto one job's registry. The id check catches
+  // a registry swap or death (Registry retires its id when nodes go away).
   obs::Registry& reg = obs::global_registry();
-  obs::Counter& ticks = reg.counter("router.ticks");
-  obs::Counter& redirects = reg.counter("router.redirects");
-  obs::Counter& cutoffs = reg.counter("router.cutoff_ticks");
-  obs::Counter& curtailed = reg.counter("router.curtailed_ticks");
-  ticks.inc();
-  if (result.solar_curtailed.value() > 1e-9) curtailed.inc();
+  struct CounterCache {
+    std::uint64_t reg_id = 0;
+    obs::Counter* ticks = nullptr;
+    obs::Counter* redirects = nullptr;
+    obs::Counter* cutoffs = nullptr;
+    obs::Counter* curtailed = nullptr;
+  };
+  thread_local CounterCache cache;
+  if (cache.reg_id != reg.id()) {
+    cache.ticks = &reg.counter("router.ticks");
+    cache.redirects = &reg.counter("router.redirects");
+    cache.cutoffs = &reg.counter("router.cutoff_ticks");
+    cache.curtailed = &reg.counter("router.curtailed_ticks");
+    cache.reg_id = reg.id();
+  }
+  cache.ticks->inc();
+  if (result.solar_curtailed.value() > 1e-9) cache.curtailed->inc();
   bool redirected = false;
   bool cutoff = false;
   for (std::size_t i = 0; i < n; ++i) {
@@ -213,8 +249,19 @@ RouteResult route_power(Watts solar, std::span<const Watts> demands,
       obs::emit(obs::EventKind::UnmetDemand, static_cast<int>(i), node.unmet.value());
     }
   }
-  if (redirected) redirects.inc();
-  if (cutoff) cutoffs.inc();
+  if (redirected) cache.redirects->inc();
+  if (cutoff) cache.cutoffs->inc();
+}
+
+RouteResult route_power(Watts solar, std::span<const Watts> demands,
+                        std::span<battery::Battery> batteries,
+                        std::span<const std::size_t> charge_priority,
+                        const RouterParams& params, Seconds dt,
+                        std::span<const double> discharge_floor_soc) {
+  RouteResult result;
+  RouterScratch scratch;
+  route_power_into(solar, demands, batteries, charge_priority, params, dt,
+                   discharge_floor_soc, result, scratch);
   return result;
 }
 

@@ -17,6 +17,7 @@
 // Every battery is stepped exactly once per call, including idle ones, so
 // calendar aging and time counters always advance.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -66,11 +67,30 @@ struct RouteResult {
   Watts utility_drawn{0.0};
 };
 
+/// Reusable per-call working memory for route_power_into. Keeping one of
+/// these alive across ticks (Cluster does) makes routing allocation-free in
+/// steady state: the vectors grow once to the node count and are reused.
+struct RouterScratch {
+  std::vector<std::uint8_t> stepped;
+  std::vector<std::size_t> idle_cells;
+};
+
 /// Routes one tick. `demands[i]` is node i's server power; `batteries[i]` is
 /// its battery (spans must be equal length). `charge_priority` lists node
 /// indices in the order surplus solar should charge them; pass the natural
 /// order for aging-oblivious policies. `discharge_floor_soc[i]` (optional)
 /// forbids discharging node i below that SoC — the planned-aging knob (Eq 7).
+/// Results are written into `out` (previous contents reset in place) using
+/// `scratch` for working memory, so a caller looping over ticks performs no
+/// per-tick allocation.
+void route_power_into(Watts solar, std::span<const Watts> demands,
+                      std::span<battery::Battery> batteries,
+                      std::span<const std::size_t> charge_priority,
+                      const RouterParams& params, Seconds dt,
+                      std::span<const double> discharge_floor_soc, RouteResult& out,
+                      RouterScratch& scratch);
+
+/// Convenience wrapper over route_power_into with fresh result/scratch.
 RouteResult route_power(Watts solar, std::span<const Watts> demands,
                         std::span<battery::Battery> batteries,
                         std::span<const std::size_t> charge_priority,

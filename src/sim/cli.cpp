@@ -120,6 +120,10 @@ std::string cli_usage() {
          "                    executed on the parallel sweep engine\n"
          "  --jobs <n>        sweep worker threads (default: BAAT_JOBS env or all\n"
          "                    cores); never changes results, only wall-clock time\n"
+         "  --math <tier>     exact | fast (default exact). fast swaps the aging\n"
+         "                    stressor transcendentals for bounded-error polynomial\n"
+         "                    approximations (~2e-9 relative error; lifetime metrics\n"
+         "                    within 0.1%); exact is bit-identical to the reference\n"
          "  --old-fleet       start from a six-month-aged fleet\n"
          "  --csv <path>      write per-day results to CSV (per-point in sweep mode)\n"
          "  --report <path>   write a markdown experiment report\n"
@@ -173,6 +177,16 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       const long v = parse_long(a, next("--jobs"));
       BAAT_REQUIRE(v > 0, "--jobs must be positive");
       options.jobs = static_cast<std::size_t>(v);
+    } else if (a == "--math") {
+      const std::string& tier = next("--math");
+      if (tier == "exact") {
+        options.math = battery::MathMode::Exact;
+      } else if (tier == "fast") {
+        options.math = battery::MathMode::Fast;
+      } else {
+        throw util::PreconditionError("bad value for --math: '" + tier +
+                                      "' (exact|fast)");
+      }
     } else if (a == "--old-fleet") {
       options.old_fleet = true;
     } else if (a == "--csv") {
@@ -209,6 +223,7 @@ ScenarioConfig scenario_from_cli(const CliOptions& options) {
   cfg.nodes = options.nodes;
   cfg.seed = options.seed;
   cfg.policy = options.policy;
+  cfg.bank.math = options.math;
   if (options.cycles_plan > 0.0) {
     cfg.policy_params.planned.cycles_plan = options.cycles_plan;
   }

@@ -31,6 +31,10 @@ struct CliOptions {
   std::string report_path;
   bool old_fleet = false;
   bool show_help = false;
+  /// Transcendental-math tier for the battery kernel. Exact (default) is
+  /// bit-identical to the reference implementation; Fast swaps the aging
+  /// Arrhenius/Peukert pow and exp for bounded-error polynomials.
+  battery::MathMode math = battery::MathMode::Exact;
   /// Parsed --faults plan (repeatable flag; specs accumulate). Empty = clean
   /// run with byte-identical outputs to a build without the fault layer.
   fault::FaultPlan faults;

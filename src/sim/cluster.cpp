@@ -25,7 +25,11 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
 
   cfg_.bank.units = cfg_.nodes;
   util::Rng bank_rng = rng_.fork("bank");
-  batteries_ = battery::make_bank(cfg_.bank, bank_rng);
+  // One shared FleetState for the whole bank (same RNG draws as make_bank),
+  // with a thin Battery view per node: the router batch-steps idle cells
+  // through the fleet kernel while everything else keeps the object API.
+  fleet_ = battery::make_fleet(cfg_.bank, bank_rng);
+  batteries_ = battery::fleet_views(*fleet_);
 
   // Fault layer: the injector exists only when the plan is non-empty, so a
   // clean run takes exactly the code paths (and RNG draws) it always has.
@@ -366,16 +370,16 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
     }
 
     // --- power routing ----------------------------------------------------------
-    std::vector<util::Watts> demands(cfg_.nodes, util::Watts{0.0});
+    demands_.assign(cfg_.nodes, util::Watts{0.0});
     for (std::size_t i = 0; i < cfg_.nodes; ++i) {
-      demands[i] = in_window ? servers_[i].power_now() : util::Watts{0.0};
+      demands_[i] = in_window ? servers_[i].power_now() : util::Watts{0.0};
     }
     power::RouterParams router = cfg_.router;
     router.charge_allocation = charge_priority_explicit_
                                    ? power::ChargeAllocation::PriorityOrder
                                    : power::ChargeAllocation::Proportional;
-    last_route = power::route_power(solar_now, demands, batteries_, charge_priority_,
-                                    router, cfg_.dt, discharge_floor_);
+    power::route_power_into(solar_now, demands_, batteries_, charge_priority_, router,
+                            cfg_.dt, discharge_floor_, last_route, router_scratch_);
 
     // --- brownout / restart ----------------------------------------------------
     for (std::size_t i = 0; i < cfg_.nodes; ++i) {
@@ -426,7 +430,7 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
       obs.time_of_day = util::Seconds{tod};
       obs.solar = solar_now;
       double total_demand = 0.0;
-      for (const util::Watts& d : demands) total_demand += d.value();
+      for (const util::Watts& d : demands_) total_demand += d.value();
       obs.total_demand = util::Watts{total_demand};
       obs.route = &last_route;
       obs.batteries = &batteries_;

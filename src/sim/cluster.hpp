@@ -96,7 +96,10 @@ class Cluster {
 
   ScenarioConfig cfg_;
   util::Rng rng_;
-  std::vector<battery::Battery> batteries_;
+  /// All per-cell battery state, stepped through the batched fleet kernel.
+  /// Declared before batteries_: the views must die before the fleet.
+  std::unique_ptr<battery::FleetState> fleet_;
+  std::vector<battery::Battery> batteries_;  ///< views into *fleet_, one per node
   std::vector<server::Server> servers_;
   std::vector<telemetry::PowerTable> life_tables_;
   /// Daily-reset logs: the "recent" metric horizon the slowdown check reads.
@@ -115,6 +118,9 @@ class Cluster {
   workload::VmId next_vm_id_ = 0;
   long day_counter_ = 0;
   std::function<void(const TickObservation&)> observer_;
+  /// Reused per-tick buffers (run_day performs no per-tick allocation).
+  std::vector<util::Watts> demands_;
+  power::RouterScratch router_scratch_;
 
   // --- observability ---------------------------------------------------------
   // Handles into obs::global_registry(), resolved once in the constructor

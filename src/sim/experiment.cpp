@@ -27,7 +27,7 @@ void age_fleet(Cluster& cluster, std::size_t days,
 
 void seed_aged_fleet(Cluster& cluster, const battery::AgingState& state) {
   for (battery::Battery& b : cluster.batteries_mutable()) {
-    b.aging_model().set_state(state);
+    b.set_aging_state(state);
   }
 }
 

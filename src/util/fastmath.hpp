@@ -1,0 +1,80 @@
+#pragma once
+
+// Bounded-error polynomial replacements for the transcendentals on the
+// battery tick hot path (std::pow in the Arrhenius and Peukert laws). The
+// default math tier never touches these — they back the opt-in
+// `--math=fast` tier (battery::MathMode::Fast), where a relative error of
+// ~1e-9 in an aging *rate* is far below the 0.1% lifetime-metric tolerance
+// the tier guarantees (see tests/fleet_kernel_test.cpp).
+//
+// Construction:
+//   fast_exp2: split x = n + f with f in [0, 1); 2^f by a degree-10 Taylor
+//     expansion of exp(f ln 2) (truncation < 3e-10 relative), scaled by 2^n
+//     through direct exponent-bit assembly.
+//   fast_log2: reduce the mantissa to [sqrt(1/2), sqrt(2)); ln m by the
+//     atanh series in z = (m-1)/(m+1) (|z| <= 0.172, truncation < 1e-11).
+//   fast_pow:  a^b = 2^(b * log2 a), for a > 0.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace baat::util {
+
+inline double fast_exp2(double x) {
+  if (!(x > -1022.0)) return 0.0;  // underflow (and NaN) to zero
+  if (x > 1023.0) return std::numeric_limits<double>::infinity();
+  const double xf = std::floor(x);
+  const int n = static_cast<int>(xf);
+  const double f = x - xf;  // [0, 1)
+  // 2^f = sum_k (f ln2)^k / k!, truncated at k = 10.
+  double p = 7.054911620801123e-9;
+  p = p * f + 1.0178086009239699e-7;
+  p = p * f + 1.3215486790144307e-6;
+  p = p * f + 1.5252733804059841e-5;
+  p = p * f + 1.5403530393381609e-4;
+  p = p * f + 1.3333558146428443e-3;
+  p = p * f + 9.618129107628477e-3;
+  p = p * f + 5.550410866482158e-2;
+  p = p * f + 2.402265069591007e-1;
+  p = p * f + 6.931471805599453e-1;
+  p = p * f + 1.0;
+  const auto scale_bits = static_cast<std::uint64_t>(n + 1023) << 52;
+  return p * std::bit_cast<double>(scale_bits);
+}
+
+inline double fast_log2(double x) {
+  // Domain: finite x > 0 (callers pass positive physical ratios).
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  int e = static_cast<int>((bits >> 52) & 0x7ffU) - 1023;
+  if (e == -1023) {  // subnormal: renormalize through a 2^54 lift
+    bits = std::bit_cast<std::uint64_t>(x * 0x1p54);
+    e = static_cast<int>((bits >> 52) & 0x7ffU) - 1023 - 54;
+  }
+  double m = std::bit_cast<double>((bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL);
+  if (m > 1.4142135623730951) {  // keep m in [sqrt(1/2), sqrt(2)) so |z| stays small
+    m *= 0.5;
+    ++e;
+  }
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  // ln m = 2 z (1 + z^2/3 + z^4/5 + z^6/7 + z^8/9 + z^10/11)
+  double p = 1.0 / 11.0;
+  p = p * z2 + 1.0 / 9.0;
+  p = p * z2 + 1.0 / 7.0;
+  p = p * z2 + 1.0 / 5.0;
+  p = p * z2 + 1.0 / 3.0;
+  p = p * z2 + 1.0;
+  const double ln_m = 2.0 * z * p;
+  return static_cast<double>(e) + ln_m * 1.4426950408889634;  // 1/ln 2
+}
+
+/// a^b for a > 0. Relative error bounded by the exp2/log2 errors scaled by
+/// |b * log2 a| — well under 1e-8 for the exponent ranges the aging
+/// stressors use (Peukert k-1 = 0.15, Arrhenius (T-20)/10 within ±10).
+inline double fast_pow(double a, double b) {
+  return fast_exp2(b * fast_log2(a));
+}
+
+}  // namespace baat::util

@@ -20,7 +20,7 @@ Battery aged_unit() {
   s.shedding = 0.080;
   s.sulphation = 0.035;
   s.stratification = 0.008;
-  b.aging_model().set_state(s);
+  b.set_aging_state(s);
   return b;
 }
 

@@ -11,7 +11,7 @@ Battery stratified_unit() {
   AgingState s;
   s.stratification = 0.06;
   s.shedding = 0.03;
-  b.aging_model().set_state(s);
+  b.set_aging_state(s);
   return b;
 }
 

@@ -153,7 +153,7 @@ TEST(Battery, MaxDischargeCurrentLimits) {
   AgingState s;
   s.shedding = 0.15;
   s.sulphation = 0.05;
-  aged.aging_model().set_state(s);
+  aged.set_aging_state(s);
   EXPECT_LT(aged.max_discharge_current().value(),
             fresh(0.1).max_discharge_current().value());
 }

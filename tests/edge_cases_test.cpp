@@ -87,7 +87,7 @@ TEST(EdgeCases, DeadBatteryNodeSurvivesTheDay) {
   battery::AgingState dead;
   dead.shedding = 0.5;
   dead.sulphation = 0.2;
-  c.batteries_mutable()[2].aging_model().set_state(dead);
+  c.batteries_mutable()[2].set_aging_state(dead);
   EXPECT_TRUE(c.batteries()[2].end_of_life());
   const DayResult r = c.run_day(solar::DayType::Rainy);
   EXPECT_GT(r.throughput_work, 0.0);

@@ -126,6 +126,55 @@ TEST(Metrics, ResetZeroesButKeepsHandles) {
   EXPECT_DOUBLE_EQ(reg.counter("keep").value(), 1.0);
 }
 
+TEST(Metrics, RegistryIdsAreUniqueAndSurviveInPlaceOps) {
+  Registry a;
+  Registry b;
+  EXPECT_NE(a.id(), 0u);
+  EXPECT_NE(a.id(), b.id());
+
+  // In-place operations keep every entry node alive, so cached handles
+  // stay valid and the id must not change.
+  const std::uint64_t id = a.id();
+  a.counter("x").inc();
+  a.reset();
+  EXPECT_EQ(a.id(), id);
+  b.counter("x").inc(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.id(), id);
+  EXPECT_EQ(a.counter("x").value(), 3.0);
+}
+
+TEST(Metrics, RegistryRetiresIdWhenNodesAreDestroyedOrTransferred) {
+  // The id is how hot-path handle caches (e.g. the router's thread-local
+  // counter cache) detect that their interned pointers went stale. Every
+  // special member that destroys or transfers map nodes must hand out
+  // fresh ids on both sides, so no cache keyed on an old id can validate
+  // against dangling or re-owned entries.
+  Registry a;
+  a.counter("x").inc();
+  const std::uint64_t a_id = a.id();
+
+  Registry copied{a};  // new entry set => new id; source untouched
+  EXPECT_NE(copied.id(), a_id);
+  EXPECT_EQ(a.id(), a_id);
+
+  Registry moved{std::move(a)};  // nodes transferred => both ids retire
+  EXPECT_NE(moved.id(), a_id);
+  EXPECT_NE(a.id(), a_id);  // NOLINT(bugprone-use-after-move): tests the contract
+
+  Registry target;
+  target.counter("y").inc();
+  const std::uint64_t target_id = target.id();
+  const std::uint64_t moved_id = moved.id();
+  target = copied;  // copy-assign destroys target's old nodes
+  EXPECT_NE(target.id(), target_id);
+  const std::uint64_t target_id2 = target.id();
+  target = std::move(moved);  // move-assign: target nodes destroyed, source transferred
+  EXPECT_NE(target.id(), target_id2);
+  EXPECT_NE(moved.id(), moved_id);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(target.counter("x").value(), 1.0);
+}
+
 TEST(Metrics, FormatNumberIsCompactAndExact) {
   EXPECT_EQ(format_number(3.0), "3");
   EXPECT_EQ(format_number(-12.0), "-12");

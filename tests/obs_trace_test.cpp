@@ -115,6 +115,68 @@ TEST(Trace, SetCapacityClears) {
   EXPECT_EQ(buf.capacity(), 8u);
 }
 
+TEST(Trace, ClearKeepsSlotsAndRestartsCleanly) {
+  // clear() is the per-tick-friendly reset: it must drop the logical
+  // contents (size, head, dropped counter) without invalidating later use —
+  // events pushed afterwards come back exactly, in order.
+  TraceBuffer buf{4};
+  for (int i = 0; i < 6; ++i) {
+    buf.push(make_event(static_cast<double>(i), EventKind::DayStart, i));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_TRUE(buf.events().empty());
+  buf.push(make_event(10.0, EventKind::JobDeploy, 1, 1.5, "alpha"));
+  buf.push(make_event(11.0, EventKind::Migration, 2, 2.5, "beta"));
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts, 10.0);
+  EXPECT_EQ(events[0].node, 1);
+  EXPECT_EQ(events[0].detail, "alpha");
+  EXPECT_EQ(events[1].ts, 11.0);
+  EXPECT_EQ(events[1].detail, "beta");
+}
+
+TEST(Trace, SlotReuseAfterClearPreservesRingSemantics) {
+  // Fill past capacity after a clear: eviction order and the dropped
+  // counter must behave exactly as on a fresh buffer.
+  TraceBuffer buf{3};
+  for (int i = 0; i < 5; ++i) {
+    buf.push(make_event(static_cast<double>(i), EventKind::DayStart, i));
+  }
+  buf.clear();
+  for (int i = 100; i < 105; ++i) {
+    buf.push(make_event(static_cast<double>(i), EventKind::DayEnd, i));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  const auto events = buf.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].node, 102);  // oldest surviving
+  EXPECT_EQ(events[1].node, 103);
+  EXPECT_EQ(events[2].node, 104);
+}
+
+TEST(Trace, EmitReusesSlotsWithoutGrowingDetail) {
+  // emit() into a warm ring must not allocate per event: the detail string
+  // is assigned into the reused slot's existing buffer. Observable contract:
+  // a long-lived buffer cycles through shorter and longer details correctly.
+  global_trace().set_capacity(2);
+  set_trace_enabled(true);
+  emit(EventKind::JobDeploy, 0, 1.0, "a-rather-long-first-detail-string");
+  emit(EventKind::JobDeploy, 1, 2.0, "x");
+  emit(EventKind::JobDeploy, 2, 3.0, "y");
+  set_trace_enabled(false);
+  const auto events = global_trace().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "x");
+  EXPECT_EQ(events[1].detail, "y");
+  global_trace().set_capacity(TraceBuffer::kDefaultCapacity);
+}
+
 TEST(Trace, JsonlExportOneObjectPerLine) {
   TraceBuffer buf{8};
   buf.push(make_event(60.0, EventKind::JobDeploy, 2, 7.0, "web"));

@@ -453,5 +453,51 @@ TEST_P(FaultedMultiDay, AggregatesStayConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultedMultiDay,
                          ::testing::Range<std::uint64_t>(1u, 9u));
 
+// ---------------------------------------------------------------------------
+// Fast-math tier tolerance: --math=fast swaps the aging stressors'
+// transcendentals for ~1e-9-relative-error polynomials. That perturbation
+// must stay invisible at the metric level — every lifetime-relevant output
+// of a multi-day run within 0.1% of the exact tier.
+// ---------------------------------------------------------------------------
+
+class FastMathTolerance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastMathTolerance, LifetimeMetricsWithinTenthOfAPercent) {
+  auto run_tier = [&](battery::MathMode math) {
+    sim::ScenarioConfig cfg = sim::prototype_scenario();
+    cfg.nodes = 3;
+    cfg.seed = GetParam();
+    cfg.bank.math = math;
+    sim::Cluster cluster{cfg};
+    sim::MultiDayOptions opt;
+    opt.days = 4;
+    opt.sunshine_fraction = 0.5;
+    return sim::run_multi_day(cluster, opt);
+  };
+  const sim::MultiDayResult exact = run_tier(battery::MathMode::Exact);
+  const sim::MultiDayResult fast = run_tier(battery::MathMode::Fast);
+
+  auto within = [](double got, double ref, const char* what) {
+    const double tol = 1e-3 * std::max(std::fabs(ref), 1e-9);
+    EXPECT_NEAR(got, ref, tol) << what;
+  };
+  within(fast.min_health_end, exact.min_health_end, "min_health_end");
+  within(fast.mean_health_end, exact.mean_health_end, "mean_health_end");
+  within(fast.total_throughput, exact.total_throughput, "total_throughput");
+  ASSERT_EQ(fast.days.size(), exact.days.size());
+  for (std::size_t d = 0; d < exact.days.size(); ++d) {
+    ASSERT_EQ(fast.days[d].nodes.size(), exact.days[d].nodes.size());
+    for (std::size_t i = 0; i < exact.days[d].nodes.size(); ++i) {
+      within(fast.days[d].nodes[i].soc_end, exact.days[d].nodes[i].soc_end,
+             "soc_end");
+      within(fast.days[d].nodes[i].health, exact.days[d].nodes[i].health,
+             "health");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastMathTolerance,
+                         ::testing::Values(1u, 7u, 42u));
+
 }  // namespace
 }  // namespace baat

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the tick kernel (DESIGN.md §5e).
+
+Compares a fresh kernel_bench run against the committed baseline
+(bench_results/BENCH_kernel.json) and fails when any shared bench's
+machine-normalized ns/cell-tick regressed by more than the threshold, or
+when a bench that was allocation-free started allocating.
+
+Machines differ, so raw nanoseconds are not comparable across hosts: both
+files carry a `calibration_ns` scalar (a fixed dependent-FMA loop timed on
+the same host as the bench). The gate compares ns_per_cell_tick divided by
+that scalar, which cancels first-order machine-speed differences.
+
+Refreshing the baseline mirrors the golden-file convention
+(BAAT_UPDATE_GOLDEN): rerun the full bench on a quiet machine and pass
+--update, or run the `bench-kernel` cmake target which writes straight to
+bench_results/BENCH_kernel.json.
+
+Usage:
+  perf_gate.py --baseline bench_results/BENCH_kernel.json \
+               --current build/bench/BENCH_kernel.json [--threshold 0.15]
+  perf_gate.py --baseline ... --current ... --update
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "calibration_ns" not in doc or "benches" not in doc:
+        sys.exit(f"perf_gate: {path} is not a kernel_bench result file")
+    if doc["calibration_ns"] <= 0:
+        sys.exit(f"perf_gate: {path} has a non-positive calibration scalar")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_kernel.json")
+    ap.add_argument("--current", required=True, help="freshly measured BENCH_kernel.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed normalized slowdown (default 0.15 = 15%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy --current over --baseline instead of gating")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"perf_gate: baseline {args.baseline} refreshed from {args.current}")
+        return
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_by_name = {b["name"]: b for b in base["benches"]}
+    cur_by_name = {b["name"]: b for b in cur["benches"]}
+
+    shared = [n for n in base_by_name if n in cur_by_name]
+    if not shared:
+        sys.exit("perf_gate: no benches shared between baseline and current run")
+
+    failures = []
+    for name in shared:
+        b, c = base_by_name[name], cur_by_name[name]
+        b_norm = b["ns_per_cell_tick"] / base["calibration_ns"]
+        c_norm = c["ns_per_cell_tick"] / cur["calibration_ns"]
+        ratio = c_norm / b_norm
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSED"
+            failures.append(f"{name}: normalized ns/cell-tick {ratio:.2f}x baseline "
+                            f"(limit {1.0 + args.threshold:.2f}x)")
+        # An allocation-free loop that starts allocating is a regression at
+        # any speed — per-tick heap traffic is what the kernel removed.
+        if b["allocs_per_tick"] < 0.005 and c["allocs_per_tick"] >= 0.005:
+            flag += "  ALLOCATES"
+            failures.append(f"{name}: allocs/tick {c['allocs_per_tick']:.4f} "
+                            f"(baseline {b['allocs_per_tick']:.4f})")
+        print(f"{name:16s} baseline {b['ns_per_cell_tick']:8.2f} ns  "
+              f"current {c['ns_per_cell_tick']:8.2f} ns  "
+              f"normalized ratio {ratio:5.2f}x{flag}")
+
+    missing = [n for n in base_by_name if n not in cur_by_name]
+    for name in missing:
+        failures.append(f"{name}: present in baseline but missing from current run")
+
+    if failures:
+        print("\nperf_gate: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf the change is an accepted tradeoff, refresh the baseline on a\n"
+              "quiet machine: cmake --build build --target bench-kernel\n"
+              "(or rerun kernel_bench and pass --update).", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_gate: OK ({len(shared)} benches within "
+          f"{args.threshold * 100:.0f}% of baseline)")
+
+
+if __name__ == "__main__":
+    main()
