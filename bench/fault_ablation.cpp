@@ -6,6 +6,7 @@
 // the parallel sweep engine and is byte-identical at any BAAT_JOBS count.
 
 #include <cmath>
+#include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/weighted_aging.hpp"
@@ -22,7 +23,8 @@ struct AblationCell {
   double min_health = 1.0;
   double weighted = 0.0;      // Eq 6, equal weights, worst node
   double fallbacks = 0.0;     // degraded-mode decisions the guard took
-  double eol_day = 0.0;       // projected end-of-life (0 = no fade fitted)
+  double eol_day = 0.0;       // projected end-of-life; only valid when has_eol
+  bool has_eol = false;       // the probe fit observed a fade to project from
 };
 
 struct FaultClass {
@@ -88,6 +90,9 @@ int main() {
     cell.worst_ah = cluster.batteries()[worst].counters().ah_discharged.value();
     cell.weighted = core::weighted_aging(cluster.life_metrics(worst), equal);
     cell.fallbacks = static_cast<double>(cluster.guard().fallback_count());
+    // A fleet that never fades has no projection — "day 0" read as if the
+    // battery died on arrival. Carry the absence through to the table/CSV.
+    cell.has_eol = r.projected_eol_day.has_value();
     cell.eol_day = r.projected_eol_day.value_or(0.0);
     return cell;
   });
@@ -97,15 +102,21 @@ int main() {
   const double base_work = cells[0].throughput;
   for (std::size_t i = 0; i < n; ++i) {
     const AblationCell& c = cells[i];
-    std::printf("  %-13s %10.2f %9.1f %9.4f %9.3f %10.0f %8.0f\n", classes[i].name,
+    char eol_text[32];
+    if (c.has_eol) {
+      std::snprintf(eol_text, sizeof eol_text, "%.0f", c.eol_day);
+    } else {
+      std::snprintf(eol_text, sizeof eol_text, "-");
+    }
+    std::printf("  %-13s %10.2f %9.1f %9.4f %9.3f %10.0f %8s\n", classes[i].name,
                 c.throughput / 1e6, c.worst_ah, c.min_health, c.weighted,
-                c.fallbacks, c.eol_day);
+                c.fallbacks, eol_text);
     csv.write_row({classes[i].name, util::CsvWriter::cell(c.throughput),
                    util::CsvWriter::cell(c.worst_ah),
                    util::CsvWriter::cell(c.min_health),
                    util::CsvWriter::cell(c.weighted),
                    util::CsvWriter::cell(c.fallbacks),
-                   util::CsvWriter::cell(c.eol_day)});
+                   c.has_eol ? util::CsvWriter::cell(c.eol_day) : std::string()});
   }
   std::printf("\nmeasured: combined-fault work retained: %.1f%% of clean\n",
               100.0 * cells[n - 1].throughput / base_work);

@@ -449,4 +449,157 @@ void FleetState::copy_cell_from(std::size_t dst, const FleetState& src,
   decay_val_[dst] = src.decay_val_[src_cell];
 }
 
+namespace {
+
+void save_chem(snapshot::SnapshotWriter& w, const LeadAcidParams& p) {
+  w.write_i64(p.cells);
+  w.write_f64(p.capacity_c20.value());
+  w.write_f64(p.ocv_cell_full.value());
+  w.write_f64(p.ocv_cell_empty.value());
+  w.write_f64(p.r_internal_ohms);
+  w.write_f64(p.peukert_exponent);
+  w.write_f64(p.cutoff_cell.value());
+  w.write_f64(p.gassing_cell.value());
+  w.write_f64(p.absorb_cell.value());
+  w.write_f64(p.max_discharge_c_rate);
+  w.write_f64(p.max_charge_c_rate);
+  w.write_f64(p.coulombic_efficiency_bulk);
+  w.write_f64(p.coulombic_efficiency_full);
+  w.write_f64(p.taper_knee_soc);
+  w.write_f64(p.self_discharge_per_month);
+}
+
+void load_chem(snapshot::SnapshotReader& r, LeadAcidParams& p) {
+  p.cells = static_cast<int>(r.read_i64());
+  p.capacity_c20 = AmpereHours{r.read_f64()};
+  p.ocv_cell_full = Volts{r.read_f64()};
+  p.ocv_cell_empty = Volts{r.read_f64()};
+  p.r_internal_ohms = r.read_f64();
+  p.peukert_exponent = r.read_f64();
+  p.cutoff_cell = Volts{r.read_f64()};
+  p.gassing_cell = Volts{r.read_f64()};
+  p.absorb_cell = Volts{r.read_f64()};
+  p.max_discharge_c_rate = r.read_f64();
+  p.max_charge_c_rate = r.read_f64();
+  p.coulombic_efficiency_bulk = r.read_f64();
+  p.coulombic_efficiency_full = r.read_f64();
+  p.taper_knee_soc = r.read_f64();
+  p.self_discharge_per_month = r.read_f64();
+}
+
+void save_thermal(snapshot::SnapshotWriter& w, const ThermalParams& p) {
+  w.write_f64(p.heat_capacity_j_per_k);
+  w.write_f64(p.thermal_resistance_k_per_w);
+  w.write_f64(p.ambient.value());
+}
+
+void load_thermal(snapshot::SnapshotReader& r, ThermalParams& p) {
+  p.heat_capacity_j_per_k = r.read_f64();
+  p.thermal_resistance_k_per_w = r.read_f64();
+  p.ambient = Celsius{r.read_f64()};
+}
+
+void save_aging_state(snapshot::SnapshotWriter& w, const AgingState& s) {
+  w.write_f64(s.corrosion);
+  w.write_f64(s.shedding);
+  w.write_f64(s.sulphation);
+  w.write_f64(s.water_loss);
+  w.write_f64(s.stratification);
+}
+
+void load_aging_state(snapshot::SnapshotReader& r, AgingState& s) {
+  s.corrosion = r.read_f64();
+  s.shedding = r.read_f64();
+  s.sulphation = r.read_f64();
+  s.water_loss = r.read_f64();
+  s.stratification = r.read_f64();
+}
+
+void save_counters(snapshot::SnapshotWriter& w, const UsageCounters& c) {
+  w.write_f64(c.ah_discharged.value());
+  w.write_f64(c.ah_charged.value());
+  for (const AmpereHours& ah : c.ah_by_range) w.write_f64(ah.value());
+  w.write_f64(c.time_total.value());
+  w.write_f64(c.time_below_40.value());
+  w.write_f64(c.time_since_full_charge.value());
+  w.write_i64(c.full_charge_events);
+  w.write_f64(c.min_soc_since_full);
+  w.write_f64(c.energy_discharged.value());
+  w.write_f64(c.energy_charged.value());
+}
+
+void load_counters(snapshot::SnapshotReader& r, UsageCounters& c) {
+  c.ah_discharged = AmpereHours{r.read_f64()};
+  c.ah_charged = AmpereHours{r.read_f64()};
+  for (AmpereHours& ah : c.ah_by_range) ah = AmpereHours{r.read_f64()};
+  c.time_total = Seconds{r.read_f64()};
+  c.time_below_40 = Seconds{r.read_f64()};
+  c.time_since_full_charge = Seconds{r.read_f64()};
+  c.full_charge_events = r.read_i64();
+  c.min_soc_since_full = r.read_f64();
+  c.energy_discharged = WattHours{r.read_f64()};
+  c.energy_charged = WattHours{r.read_f64()};
+}
+
+}  // namespace
+
+void FleetState::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u8(math_ == MathMode::Fast ? 1 : 0);
+  w.write_u64(size());
+  for (const LeadAcidParams& p : chem_) save_chem(w, p);
+  for (const ThermalParams& p : thermal_) save_thermal(w, p);
+  w.write_f64_vec(tau_);
+  w.write_f64_vec(nameplate_);
+  w.write_f64_vec(resistance_scale_);
+  w.write_f64_vec(soc_);
+  w.write_f64_vec(temp_c_);
+  w.write_u8_vec(open_);
+  for (const AgingState& s : aging_) save_aging_state(w, s);
+  for (const UsageCounters& c : counters_) save_counters(w, c);
+  w.write_f64_vec(arr_key_);
+  w.write_f64_vec(arr_val_);
+  w.write_f64_vec(pk_key_);
+  w.write_f64_vec(pk_val_);
+  w.write_f64_vec(decay_key_);
+  w.write_f64_vec(decay_val_);
+}
+
+void FleetState::load_state(snapshot::SnapshotReader& r) {
+  const MathMode saved_math = r.read_u8() != 0 ? MathMode::Fast : MathMode::Exact;
+  if (saved_math != math_) {
+    throw snapshot::SnapshotError(
+        "fleet snapshot was taken in a different --math mode; resume with the "
+        "same math tier the checkpoint was written under");
+  }
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  if (n != size()) {
+    throw snapshot::SnapshotError("fleet snapshot holds " + std::to_string(n) +
+                                  " cells but the scenario builds " + std::to_string(size()));
+  }
+  for (LeadAcidParams& p : chem_) load_chem(r, p);
+  for (ThermalParams& p : thermal_) load_thermal(r, p);
+  tau_ = r.read_f64_vec();
+  nameplate_ = r.read_f64_vec();
+  resistance_scale_ = r.read_f64_vec();
+  soc_ = r.read_f64_vec();
+  temp_c_ = r.read_f64_vec();
+  open_ = r.read_u8_vec();
+  if (tau_.size() != n || nameplate_.size() != n || resistance_scale_.size() != n ||
+      soc_.size() != n || temp_c_.size() != n || open_.size() != n) {
+    throw snapshot::SnapshotError("fleet snapshot per-cell arrays disagree on cell count");
+  }
+  for (AgingState& s : aging_) load_aging_state(r, s);
+  for (UsageCounters& c : counters_) load_counters(r, c);
+  arr_key_ = r.read_f64_vec();
+  arr_val_ = r.read_f64_vec();
+  pk_key_ = r.read_f64_vec();
+  pk_val_ = r.read_f64_vec();
+  decay_key_ = r.read_f64_vec();
+  decay_val_ = r.read_f64_vec();
+  if (arr_key_.size() != n || arr_val_.size() != n || pk_key_.size() != n ||
+      pk_val_.size() != n || decay_key_.size() != n || decay_val_.size() != n) {
+    throw snapshot::SnapshotError("fleet snapshot memo arrays disagree on cell count");
+  }
+}
+
 }  // namespace baat::battery

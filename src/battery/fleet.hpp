@@ -26,6 +26,7 @@
 #include "battery/aging.hpp"
 #include "battery/chemistry.hpp"
 #include "battery/thermal.hpp"
+#include "snapshot/serialize.hpp"
 #include "util/units.hpp"
 
 namespace baat::battery {
@@ -134,6 +135,18 @@ class FleetState {
   /// destination keeps its own (callers only ever assign units built from
   /// the same bank spec, so the shared aging parameters match).
   void copy_cell_from(std::size_t dst, const FleetState& src, std::size_t src_cell);
+
+  // --- checkpoint support ----------------------------------------------------
+  /// Serializes every per-cell slot, including the per-cell *parameter*
+  /// vectors: faults can rewrite a cell's chemistry mid-run (cell_weak
+  /// assigns a weakened unit into the bank view), so the parameters are
+  /// state, not just configuration. The transcendental memos ride along too
+  /// — they would repopulate with identical doubles on the next step, but
+  /// carrying them keeps "restored state == live state" literal.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  /// Refuses (SnapshotError) a snapshot whose cell count or math mode does
+  /// not match this fleet — the config hash should have caught that first.
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   double arrhenius(std::size_t c, double temp_c);

@@ -8,11 +8,20 @@ namespace baat::battery {
 
 namespace {
 
+/// Faulted/degraded telemetry legitimately produces SoC estimates a few ULP
+/// outside [0, 1] (sensor-noise injection plus coulomb-counting drift).
+/// Aborting the whole report over a 1e-12 excursion is wrong; silently
+/// accepting an estimator bug that yields 1.3 is worse. Clamp within this
+/// tolerance, reject beyond it.
+constexpr double kSocTolerance = 1e-9;
+
 /// Compress a series to its turning points (local extrema), dropping flats.
 std::vector<double> turning_points(const std::vector<double>& xs) {
   std::vector<double> tp;
   for (double x : xs) {
-    BAAT_REQUIRE(x >= 0.0 && x <= 1.0, "SoC values must be in [0, 1]");
+    BAAT_REQUIRE(x >= -kSocTolerance && x <= 1.0 + kSocTolerance,
+                 "SoC values must be in [0, 1]");
+    x = std::min(1.0, std::max(0.0, x));
     if (!tp.empty() && std::fabs(x - tp.back()) < 1e-12) continue;
     if (tp.size() >= 2) {
       const double a = tp[tp.size() - 2];

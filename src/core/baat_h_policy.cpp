@@ -72,4 +72,18 @@ std::optional<std::size_t> BaatHPolicy::place_vm(const PolicyContext& ctx, doubl
                           params_.signals, params_.placement_weights_override);
 }
 
+void BaatHPolicy::save_state(snapshot::SnapshotWriter& w) const {
+  rng_.save_state(w);
+  w.write_u64(last_migration_.size());
+  for (const Seconds& t : last_migration_) w.write_f64(t.value());
+}
+
+void BaatHPolicy::load_state(snapshot::SnapshotReader& r) {
+  rng_.load_state(r);
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  last_migration_.clear();
+  last_migration_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) last_migration_.push_back(Seconds{r.read_f64()});
+}
+
 }  // namespace baat::core

@@ -51,4 +51,14 @@ std::optional<std::size_t> BaatPredictivePolicy::place_vm(const PolicyContext& c
   return inner_.place_vm(ctx, cores, mem_gb, demand);
 }
 
+void BaatPredictivePolicy::save_state(snapshot::SnapshotWriter& w) const {
+  inner_.save_state(w);
+  forecaster_.save_state(w);
+}
+
+void BaatPredictivePolicy::load_state(snapshot::SnapshotReader& r) {
+  inner_.load_state(r);
+  forecaster_.load_state(r);
+}
+
 }  // namespace baat::core

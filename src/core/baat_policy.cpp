@@ -139,4 +139,18 @@ std::optional<std::size_t> BaatPolicy::place_vm(const PolicyContext& ctx, double
                           params_.signals, params_.placement_weights_override);
 }
 
+void BaatPolicy::save_state(snapshot::SnapshotWriter& w) const {
+  // The cooldown vector is sized lazily on the first control tick, so its
+  // length (possibly zero) is itself state.
+  w.write_u64(last_migration_.size());
+  for (const Seconds& t : last_migration_) w.write_f64(t.value());
+}
+
+void BaatPolicy::load_state(snapshot::SnapshotReader& r) {
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  last_migration_.clear();
+  last_migration_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) last_migration_.push_back(Seconds{r.read_f64()});
+}
+
 }  // namespace baat::core

@@ -7,6 +7,7 @@
 // the observed attenuation (persistence forecasting — the standard baseline
 // for sub-hour solar horizons).
 
+#include "snapshot/serialize.hpp"
 #include "solar/irradiance.hpp"
 #include "util/units.hpp"
 
@@ -45,6 +46,16 @@ class SolarForecaster {
 
   /// Forecast the solar energy still to come between `from` and sunset.
   [[nodiscard]] WattHours forecast_remaining_energy(Seconds from) const;
+
+  /// Checkpoint support: the EWMA attenuation and the last-observation time.
+  void save_state(snapshot::SnapshotWriter& w) const {
+    w.write_f64(attenuation_);
+    w.write_f64(last_obs_.value());
+  }
+  void load_state(snapshot::SnapshotReader& r) {
+    attenuation_ = r.read_f64();
+    last_obs_ = Seconds{r.read_f64()};
+  }
 
  private:
   ForecastParams params_;

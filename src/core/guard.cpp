@@ -73,4 +73,33 @@ double TelemetryGuard::filter_soc(std::size_t node, double raw_soc,
   return result;
 }
 
+void TelemetryGuard::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u64(nodes_.size());
+  for (const NodeState& n : nodes_) {
+    w.write_bool(n.has_good);
+    w.write_f64(n.last_good);
+    w.write_f64(n.last_good_time);
+    w.write_f64(n.last_eval);
+    w.write_f64(n.last_result);
+  }
+  w.write_u64(fallbacks_);
+}
+
+void TelemetryGuard::load_state(snapshot::SnapshotReader& r) {
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  if (n != nodes_.size()) {
+    throw snapshot::SnapshotError("telemetry-guard snapshot covers " + std::to_string(n) +
+                                  " nodes but the scenario builds " +
+                                  std::to_string(nodes_.size()));
+  }
+  for (NodeState& node : nodes_) {
+    node.has_good = r.read_bool();
+    node.last_good = r.read_f64();
+    node.last_good_time = r.read_f64();
+    node.last_eval = r.read_f64();
+    node.last_result = r.read_f64();
+  }
+  fallbacks_ = r.read_u64();
+}
+
 }  // namespace baat::core

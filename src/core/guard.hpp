@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "snapshot/serialize.hpp"
 #include "util/units.hpp"
 
 namespace baat::core {
@@ -58,6 +59,12 @@ class TelemetryGuard {
 
   /// Fallbacks taken so far (all nodes, all reasons).
   [[nodiscard]] std::uint64_t fallback_count() const { return fallbacks_; }
+
+  /// Checkpoint support: per-node last-good/eval state and the fallback
+  /// total. The `policy.fallback` counter handles stay bound to the live
+  /// registry (their values restore with the registry itself).
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   struct NodeState {

@@ -18,10 +18,10 @@ LifetimeEstimate extrapolate_lifetime(double health_start, double health_now,
   BAAT_REQUIRE(eol_health > 0.0 && eol_health < 1.0, "eol_health must be in (0, 1)");
 
   const double fade = health_start - health_now;
-  if (fade <= 1e-12) return LifetimeEstimate{max_days};
+  if (fade <= 1e-12) return LifetimeEstimate{max_days, true};
   const double fade_per_day = fade / elapsed_days;
   const double days = (health_start - eol_health) / fade_per_day;
-  return LifetimeEstimate{std::min(days, max_days)};
+  return LifetimeEstimate{std::min(days, max_days), days > max_days};
 }
 
 LifetimeEstimate lifetime_from_throughput(const battery::CycleLifeCurve& curve,
@@ -29,9 +29,10 @@ LifetimeEstimate lifetime_from_throughput(const battery::CycleLifeCurve& curve,
                                           AmpereHours daily_throughput,
                                           double max_days) {
   BAAT_REQUIRE(daily_throughput.value() >= 0.0, "daily throughput must be >= 0");
-  if (daily_throughput.value() <= 1e-9) return LifetimeEstimate{max_days};
+  if (daily_throughput.value() <= 1e-9) return LifetimeEstimate{max_days, true};
   const AmpereHours budget = curve.lifetime_throughput(typical_dod, nameplate);
-  return LifetimeEstimate{std::min(budget.value() / daily_throughput.value(), max_days)};
+  const double days = budget.value() / daily_throughput.value();
+  return LifetimeEstimate{std::min(days, max_days), days > max_days};
 }
 
 }  // namespace baat::core

@@ -17,6 +17,11 @@ using util::AmpereHours;
 
 struct LifetimeEstimate {
   double days = 0.0;          ///< expected total service life, days
+  /// The estimate hit its `max_days` clamp: no fade was observed, or the
+  /// projection lands past the horizon. `days` then holds the horizon
+  /// itself — a bound, not a prediction — and reports must say "beyond
+  /// horizon" instead of presenting it as a day number.
+  bool beyond_horizon = false;
   double years() const { return days / 365.0; }
 };
 

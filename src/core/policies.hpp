@@ -55,6 +55,8 @@ class BaatHPolicy final : public AgingPolicy {
   Actions on_control_tick(const PolicyContext& ctx) override;
   std::optional<std::size_t> place_vm(const PolicyContext& ctx, double cores,
                                       double mem_gb, const DemandProfile& demand) override;
+  void save_state(snapshot::SnapshotWriter& w) const override;
+  void load_state(snapshot::SnapshotReader& r) override;
 
  private:
   PolicyParams params_;
@@ -81,6 +83,9 @@ class BaatPolicy final : public AgingPolicy {
   /// The SoC knee currently in force for a node (Eq 7 override when planned).
   [[nodiscard]] double effective_soc_trigger(const NodeView& node) const;
 
+  void save_state(snapshot::SnapshotWriter& w) const override;
+  void load_state(snapshot::SnapshotReader& r) override;
+
  private:
   PolicyParams params_;
   bool planned_;
@@ -100,6 +105,8 @@ class BaatPredictivePolicy final : public AgingPolicy {
   Actions on_control_tick(const PolicyContext& ctx) override;
   std::optional<std::size_t> place_vm(const PolicyContext& ctx, double cores,
                                       double mem_gb, const DemandProfile& demand) override;
+  void save_state(snapshot::SnapshotWriter& w) const override;
+  void load_state(snapshot::SnapshotReader& r) override;
 
  private:
   PolicyParams params_;

@@ -13,6 +13,7 @@
 
 #include "core/demand.hpp"
 #include "core/forecast.hpp"
+#include "snapshot/serialize.hpp"
 #include "core/weighted_aging.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
@@ -158,6 +159,13 @@ class AgingPolicy {
   virtual std::optional<std::size_t> place_vm(const PolicyContext& ctx,
                                               double cores, double mem_gb,
                                               const DemandProfile& demand) = 0;
+
+  /// Checkpoint support. Stateless policies (e-Buff, BAAT-s, plain BAAT's
+  /// parameters) keep the no-op default; policies carrying runtime state
+  /// (migration cooldowns, the BAAT-h RNG, the predictive forecaster)
+  /// override both. Save/load pairs must consume symmetric bytes.
+  virtual void save_state(snapshot::SnapshotWriter& w) const { (void)w; }
+  virtual void load_state(snapshot::SnapshotReader& r) { (void)r; }
 };
 
 std::unique_ptr<AgingPolicy> make_policy(PolicyKind kind, const PolicyParams& params);

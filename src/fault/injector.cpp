@@ -206,4 +206,40 @@ bool FaultInjector::probe_is_stale(int index) const {
   return false;
 }
 
+void FaultInjector::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u64(nodes_.size());
+  for (const NodeState& n : nodes_) {
+    n.rng.save_state(w);
+    w.write_bool(n.has_last);
+    telemetry::save_state(w, n.last);
+    w.write_f64(n.stuck_until);
+    telemetry::save_state(w, n.stuck);
+  }
+  w.write_bool_vec(open_fired_);
+  w.write_bool(dropout_active_);
+}
+
+void FaultInjector::load_state(snapshot::SnapshotReader& r) {
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  if (n != nodes_.size()) {
+    throw snapshot::SnapshotError("fault-injector snapshot covers " + std::to_string(n) +
+                                  " nodes but the scenario builds " +
+                                  std::to_string(nodes_.size()));
+  }
+  for (NodeState& node : nodes_) {
+    node.rng.load_state(r);
+    node.has_last = r.read_bool();
+    telemetry::load_state(r, node.last);
+    node.stuck_until = r.read_f64();
+    telemetry::load_state(r, node.stuck);
+  }
+  const std::vector<bool> fired = r.read_bool_vec();
+  if (fired.size() != open_fired_.size()) {
+    throw snapshot::SnapshotError("fault-injector snapshot cell_open latches disagree "
+                                  "with the plan's bank size");
+  }
+  open_fired_ = fired;
+  dropout_active_ = r.read_bool();
+}
+
 }  // namespace baat::fault

@@ -67,6 +67,12 @@ class FaultInjector {
   /// (stale) measurement instead of a fresh one.
   [[nodiscard]] bool probe_is_stale(int index) const;
 
+  /// Checkpoint support: per-node forked RNG positions, stuck/last reading
+  /// slots, the cell_open latches and the dropout latch. The stateless hash
+  /// draws need nothing — they are pure in (seed, tag, node, time).
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
+
  private:
   struct NodeState {
     util::Rng rng;

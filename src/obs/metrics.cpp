@@ -96,6 +96,28 @@ void Histogram::reset() {
   sum_ = 0.0;
 }
 
+void Histogram::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_f64_vec(bounds_);
+  w.write_u64(counts_.size());
+  for (std::size_t c : counts_) w.write_u64(c);
+  stats_.save_state(w);
+  w.write_f64(sum_);
+}
+
+void Histogram::load_state(snapshot::SnapshotReader& r) {
+  bounds_ = r.read_f64_vec();
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  if (n != bounds_.size() + 1) {
+    throw snapshot::SnapshotError("metric histogram state is inconsistent: " +
+                                  std::to_string(n) + " buckets for " +
+                                  std::to_string(bounds_.size()) + " bounds");
+  }
+  counts_.assign(n, 0);
+  for (auto& c : counts_) c = static_cast<std::size_t>(r.read_u64());
+  stats_.load_state(r);
+  sum_ = r.read_f64();
+}
+
 // Identity rule: every operation that may destroy or transfer map nodes
 // retires the affected object's id by drawing a fresh one. A cached handle
 // (Counter* + id) can therefore only validate while the nodes it points at
@@ -187,6 +209,47 @@ void Registry::merge(const Registry& other) {
     } else {
       it->second.merge(h);
     }
+  }
+}
+
+void Registry::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u64(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    w.write_string(name);
+    c.save_state(w);
+  }
+  w.write_u64(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    w.write_string(name);
+    g.save_state(w);
+  }
+  w.write_u64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    w.write_string(name);
+    h.save_state(w);
+  }
+}
+
+void Registry::load_state(snapshot::SnapshotReader& r) {
+  const auto n_counters = r.read_u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    const std::string name = r.read_string();
+    counters_[name].load_state(r);
+  }
+  const auto n_gauges = r.read_u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    const std::string name = r.read_string();
+    gauges_[name].load_state(r);
+  }
+  const auto n_histograms = r.read_u64();
+  for (std::uint64_t i = 0; i < n_histograms; ++i) {
+    const std::string name = r.read_string();
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      // Placeholder bounds; load_state replaces them wholesale.
+      it = histograms_.emplace(name, Histogram(std::vector<double>{0.0})).first;
+    }
+    it->second.load_state(r);
   }
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/serialize.hpp"
 #include "util/stats.hpp"
 
 namespace baat::obs {
@@ -37,6 +38,9 @@ class Counter {
   void merge(const Counter& other) { value_ += other.value_; }
   [[nodiscard]] double value() const { return value_; }
   void reset() { value_ = 0.0; }
+
+  void save_state(snapshot::SnapshotWriter& w) const { w.write_f64(value_); }
+  void load_state(snapshot::SnapshotReader& r) { value_ = r.read_f64(); }
 
  private:
   double value_ = 0.0;
@@ -51,6 +55,9 @@ class Gauge {
   void merge(const Gauge& other) { value_ = other.value_; }
   [[nodiscard]] double value() const { return value_; }
   void reset() { value_ = 0.0; }
+
+  void save_state(snapshot::SnapshotWriter& w) const { w.write_f64(value_); }
+  void load_state(snapshot::SnapshotReader& r) { value_ = r.read_f64(); }
 
  private:
   double value_ = 0.0;
@@ -87,6 +94,12 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
 
   void reset();
+
+  /// Checkpoint support: load_state replaces bounds and counts wholesale,
+  /// so a registry restore can get-or-create the entry with placeholder
+  /// bounds and then overwrite it.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   std::vector<double> bounds_;
@@ -154,6 +167,13 @@ class Registry {
   /// entries as needed. The sweep engine calls this once per job in
   /// job-index order, which keeps merged exports deterministic.
   void merge(const Registry& other);
+
+  /// Checkpoint support. save_state writes every entry; load_state
+  /// get-or-creates each saved entry and overwrites its value in place, so
+  /// cached handles stay valid and entries registered before the restore
+  /// (e.g. during Cluster construction) pick up their checkpointed values.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
   /// Deterministic exports: sorted names, fixed number formatting.
   void write_json(std::ostream& out) const;

@@ -94,6 +94,39 @@ std::vector<TraceEvent> TraceBuffer::events() const {
   return out;
 }
 
+void TraceBuffer::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u64(capacity_);
+  w.write_u64(dropped_);
+  const std::vector<TraceEvent> evs = events();
+  w.write_u64(evs.size());
+  for (const TraceEvent& e : evs) {
+    w.write_f64(e.ts);
+    w.write_i64(e.day);
+    w.write_u8(static_cast<std::uint8_t>(e.kind));
+    w.write_i64(e.node);
+    w.write_f64(e.value);
+    w.write_string(e.detail);
+  }
+}
+
+void TraceBuffer::load_state(snapshot::SnapshotReader& r) {
+  set_capacity(static_cast<std::size_t>(r.read_u64()));
+  const std::size_t dropped = static_cast<std::size_t>(r.read_u64());
+  const auto n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceEvent& e = next_slot();
+    e.ts = r.read_f64();
+    e.day = static_cast<long>(r.read_i64());
+    e.kind = static_cast<EventKind>(r.read_u8());
+    e.node = static_cast<int>(r.read_i64());
+    e.value = r.read_f64();
+    e.detail = r.read_string();
+  }
+  // The replayed pushes above cannot evict (n <= saved capacity), so the
+  // dropped counter carries over verbatim.
+  dropped_ = dropped;
+}
+
 void TraceBuffer::write_jsonl(std::ostream& out) const {
   for (const TraceEvent& e : events()) {
     out << "{\"ts\": " << format_number(e.ts) << ", \"day\": " << e.day

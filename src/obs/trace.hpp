@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "snapshot/serialize.hpp"
+
 namespace baat::obs {
 
 enum class EventKind {
@@ -86,6 +88,12 @@ class TraceBuffer {
 
   void write_jsonl(std::ostream& out) const;
   void write_chrome_trace(std::ostream& out) const;
+
+  /// Checkpoint support: round-trips capacity, the retained window (oldest
+  /// first) and the dropped counter, so a resumed run exports the same
+  /// trace bytes as one that never paused.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   std::vector<TraceEvent> ring_;

@@ -20,4 +20,24 @@ double EnergyMeter::solar_utilization() const {
   return (solar_to_load_.value() + solar_to_charge_.value()) / avail;
 }
 
+void EnergyMeter::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_f64(solar_available_.value());
+  w.write_f64(solar_to_load_.value());
+  w.write_f64(solar_to_charge_.value());
+  w.write_f64(solar_curtailed_.value());
+  w.write_f64(battery_to_load_.value());
+  w.write_f64(utility_used_.value());
+  w.write_f64(unmet_.value());
+}
+
+void EnergyMeter::load_state(snapshot::SnapshotReader& r) {
+  solar_available_ = WattHours{r.read_f64()};
+  solar_to_load_ = WattHours{r.read_f64()};
+  solar_to_charge_ = WattHours{r.read_f64()};
+  solar_curtailed_ = WattHours{r.read_f64()};
+  battery_to_load_ = WattHours{r.read_f64()};
+  utility_used_ = WattHours{r.read_f64()};
+  unmet_ = WattHours{r.read_f64()};
+}
+
 }  // namespace baat::power

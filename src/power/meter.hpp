@@ -5,6 +5,7 @@
 // round-trip efficiency (Fig 5) and unmet demand.
 
 #include "power/router.hpp"
+#include "snapshot/serialize.hpp"
 #include "util/units.hpp"
 
 namespace baat::power {
@@ -26,6 +27,9 @@ class EnergyMeter {
 
   /// Fraction of available solar energy that reached load or storage.
   [[nodiscard]] double solar_utilization() const;
+
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   WattHours solar_available_{0.0};

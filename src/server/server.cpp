@@ -85,4 +85,26 @@ Watts Server::power(double total_util) const {
   return Watts{idle + dynamic};
 }
 
+void Server::save_state(snapshot::SnapshotWriter& w) const {
+  if (!vms_.empty()) {
+    throw snapshot::SnapshotError(
+        "server still hosts VMs; snapshots are only taken at day boundaries "
+        "after the workload has drained");
+  }
+  w.write_i64(dvfs_level_);
+  w.write_bool(on_);
+  w.write_f64(downtime_.value());
+}
+
+void Server::load_state(snapshot::SnapshotReader& r) {
+  const int level = static_cast<int>(r.read_i64());
+  if (level < 0 || level >= spec_.dvfs.levels()) {
+    throw snapshot::SnapshotError("server snapshot carries DVFS level " +
+                                  std::to_string(level) + " outside this spec's ladder");
+  }
+  dvfs_level_ = level;
+  on_ = r.read_bool();
+  downtime_ = Seconds{r.read_f64()};
+}
+
 }  // namespace baat::server

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "snapshot/serialize.hpp"
 #include "util/units.hpp"
 #include "workload/vm.hpp"
 
@@ -84,6 +85,12 @@ class Server {
   [[nodiscard]] Watts power(double total_util) const;
   /// Convenience: power at this tick's recorded demand.
   [[nodiscard]] Watts power_now() const { return power(total_demand_util()); }
+
+  /// Checkpoint support. Snapshots are taken at day boundaries, after the
+  /// cluster has drained every VM, so only the power/DVFS state is carried;
+  /// save refuses a server that still hosts VMs.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   ServerSpec spec_;

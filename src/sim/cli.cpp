@@ -1,5 +1,6 @@
 #include "sim/cli.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -78,11 +79,22 @@ std::uint64_t parse_uint64(const std::string& flag, const std::string& value) {
 std::vector<double> parse_fraction_list(const std::string& flag,
                                         const std::string& value) {
   std::vector<double> out;
+  if (value.empty()) {
+    throw util::PreconditionError(flag + " needs at least one fraction");
+  }
   std::size_t start = 0;
   while (start <= value.size()) {
     const std::size_t comma = value.find(',', start);
     const std::string item = value.substr(
         start, comma == std::string::npos ? std::string::npos : comma - start);
+    // An empty item means a leading/trailing/doubled comma. parse_double
+    // would reject it anyway, but with a message about '' being a bad
+    // number; name the actual mistake instead.
+    if (item.empty()) {
+      throw util::PreconditionError(
+          flag + " has an empty item (leading, trailing or doubled comma) in '" +
+          value + "'");
+    }
     const double f = parse_double(flag, item);
     BAAT_REQUIRE(f >= 0.0 && f <= 1.0, flag + " fractions must be in [0, 1]");
     out.push_back(f);
@@ -125,6 +137,14 @@ std::string cli_usage() {
          "                    approximations (~2e-9 relative error; lifetime metrics\n"
          "                    within 0.1%); exact is bit-identical to the reference\n"
          "  --old-fleet       start from a six-month-aged fleet\n"
+         "  --checkpoint-every <n>\n"
+         "                    write a crash-safe resume snapshot every n days\n"
+         "                    (single-run mode; sweeps checkpoint per point)\n"
+         "  --checkpoint-dir <d>\n"
+         "                    directory for checkpoint files (default '.'); in\n"
+         "                    sweep mode this alone enables per-point resume\n"
+         "  --resume <path>   resume a single run from a snapshot; the scenario\n"
+         "                    flags must match the checkpointed run exactly\n"
          "  --csv <path>      write per-day results to CSV (per-point in sweep mode)\n"
          "  --report <path>   write a markdown experiment report\n"
          "  --metrics-out <p> dump the metrics registry (JSON; .csv suffix for CSV)\n"
@@ -189,6 +209,17 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (a == "--old-fleet") {
       options.old_fleet = true;
+    } else if (a == "--checkpoint-every") {
+      const long v = parse_long(a, next("--checkpoint-every"));
+      BAAT_REQUIRE(v > 0, "--checkpoint-every must be positive");
+      options.checkpoint_every = static_cast<std::size_t>(v);
+    } else if (a == "--checkpoint-dir") {
+      options.checkpoint_dir = next("--checkpoint-dir");
+      BAAT_REQUIRE(!options.checkpoint_dir.empty(),
+                   "--checkpoint-dir needs a non-empty path");
+    } else if (a == "--resume") {
+      options.resume_path = next("--resume");
+      BAAT_REQUIRE(!options.resume_path.empty(), "--resume needs a non-empty path");
     } else if (a == "--csv") {
       options.csv_path = next("--csv");
     } else if (a == "--report") {
@@ -214,6 +245,22 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   if (options.policy == core::PolicyKind::BaatPlanned && options.cycles_plan <= 0.0) {
     throw util::PreconditionError("--policy baat-planned requires --cycles-plan");
+  }
+  if (!options.sweep_sunshine.empty()) {
+    // Sweep checkpoints are whole completed points, not day boundaries: the
+    // engine skips any point whose `.ckpt` file is already in
+    // --checkpoint-dir, so the day-granular flags don't apply.
+    if (!options.resume_path.empty()) {
+      throw util::PreconditionError(
+          "--resume applies to single runs; an interrupted sweep resumes by "
+          "re-running with the same --checkpoint-dir (finished points are "
+          "skipped)");
+    }
+    if (options.checkpoint_every > 0) {
+      throw util::PreconditionError(
+          "--checkpoint-every applies to single runs; sweeps checkpoint each "
+          "completed point into --checkpoint-dir");
+    }
   }
   return options;
 }
@@ -243,38 +290,105 @@ ScenarioConfig scenario_from_cli(const CliOptions& options) {
 
 namespace {
 
+/// Fold a value into a fingerprint (Boost-style hash combine). Used for the
+/// CLI knobs that shape the trajectory but live outside ScenarioConfig /
+/// MultiDayOptions (old fleet, the sweep's fraction list).
+std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h == 0 ? 1 : h;
+}
+
+/// Scenario fingerprint for one CLI-described run, stamped into snapshot
+/// headers so a resume under different flags fails loudly.
+std::uint64_t cli_config_hash(const CliOptions& options, const ScenarioConfig& cfg,
+                              const MultiDayOptions& opts) {
+  std::uint64_t h = scenario_fingerprint(cfg, opts);
+  h = mix_hash(h, options.old_fleet ? 1 : 0);
+  return h;
+}
+
 /// Sweep mode: one multi-day simulation per sunshine fraction, run on the
 /// parallel engine. Per-point summaries print (and export) in point order,
 /// so stdout, the CSV and the merged obs exports are byte-identical at any
-/// --jobs value.
+/// --jobs value. With --checkpoint-dir, every finished point commits
+/// `point-<i>.ckpt`; re-running the same sweep restores those points and
+/// simulates only the missing ones.
 void run_sunshine_sweep(const CliOptions& options, const ScenarioConfig& cfg) {
   const std::vector<double>& fractions = options.sweep_sunshine;
   SweepOptions sweep_opts;
   sweep_opts.jobs = options.jobs;
   sweep_opts.trace_capacity = options.trace_events;
-  const std::vector<LifetimeSummary> points = sweep_map(
-      fractions.size(),
-      [&](std::size_t i) {
-        Cluster cluster{cfg};
-        if (options.old_fleet) seed_aged_fleet(cluster, six_month_aged_state());
-        MultiDayOptions opts;
-        opts.days = options.days;
-        opts.sunshine_fraction = fractions[i];
-        opts.probe_every_days = 0;
-        opts.keep_days = false;
-        const MultiDayResult run = run_multi_day(cluster, opts);
-        LifetimeSummary s;
-        s.sim_days = static_cast<double>(options.days);
-        s.mean_health_end = run.mean_health_end;
-        s.min_health_end = run.min_health_end;
-        s.throughput = run.total_throughput;
-        s.lifetime_days =
-            core::extrapolate_lifetime(1.0, run.min_health_end, s.sim_days).days;
-        s.lifetime_days_mean =
-            core::extrapolate_lifetime(1.0, run.mean_health_end, s.sim_days).days;
-        return s;
-      },
-      sweep_opts);
+  sweep_opts.checkpoint_dir = options.checkpoint_dir;
+
+  MultiDayOptions base_opts;
+  base_opts.days = options.days;
+  base_opts.probe_every_days = 0;
+  base_opts.keep_days = false;
+  std::uint64_t sweep_hash = cli_config_hash(options, cfg, base_opts);
+  for (double f : fractions) {
+    sweep_hash = mix_hash(sweep_hash, std::bit_cast<std::uint64_t>(f));
+  }
+  sweep_opts.config_hash = sweep_hash;
+
+  std::vector<LifetimeSummary> points(fractions.size());
+  std::vector<SweepJob> jobs;
+  jobs.reserve(fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    SweepJob job;
+    job.name = "point-" + std::to_string(i);
+    job.work = [&, i] {
+      Cluster cluster{cfg};
+      if (options.old_fleet) seed_aged_fleet(cluster, six_month_aged_state());
+      MultiDayOptions opts;
+      opts.days = options.days;
+      opts.sunshine_fraction = fractions[i];
+      opts.probe_every_days = 0;
+      opts.keep_days = false;
+      const MultiDayResult run = run_multi_day(cluster, opts);
+      LifetimeSummary s;
+      s.sim_days = static_cast<double>(options.days);
+      s.mean_health_end = run.mean_health_end;
+      s.min_health_end = run.min_health_end;
+      s.throughput = run.total_throughput;
+      s.lifetime_days =
+          core::extrapolate_lifetime(1.0, run.min_health_end, s.sim_days).days;
+      s.lifetime_days_mean =
+          core::extrapolate_lifetime(1.0, run.mean_health_end, s.sim_days).days;
+      points[i] = s;
+    };
+    job.save_result = [&points, i](snapshot::SnapshotWriter& w) {
+      const LifetimeSummary& s = points[i];
+      w.write_f64(s.sim_days);
+      w.write_f64(s.mean_health_end);
+      w.write_f64(s.min_health_end);
+      w.write_f64(s.throughput);
+      w.write_f64(s.lifetime_days);
+      w.write_f64(s.lifetime_days_mean);
+    };
+    job.restore_result = [&points, i](snapshot::SnapshotReader& r) {
+      LifetimeSummary& s = points[i];
+      s.sim_days = r.read_f64();
+      s.mean_health_end = r.read_f64();
+      s.min_health_end = r.read_f64();
+      s.throughput = r.read_f64();
+      s.lifetime_days = r.read_f64();
+      s.lifetime_days_mean = r.read_f64();
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  const std::vector<SweepResult> results = run_sweep(std::move(jobs), sweep_opts);
+  std::size_t resumed = 0;
+  for (const SweepResult& r : results) {
+    if (!r.ok) {
+      throw util::PreconditionError("sweep job '" + r.name + "' failed: " + r.error);
+    }
+    if (r.resumed) ++resumed;
+  }
+  if (resumed > 0) {
+    std::fprintf(stderr, "[checkpoint] restored %zu of %zu sweep points from '%s'\n",
+                 resumed, results.size(), options.checkpoint_dir.c_str());
+  }
 
   std::printf("policy        : %s\n",
               std::string(core::policy_kind_name(cfg.policy)).c_str());
@@ -371,6 +485,10 @@ int run_cli(const CliOptions& options) {
   opts.days = options.days;
   opts.sunshine_fraction = options.sunshine_fraction;
   opts.probe_every_days = 30;
+  opts.checkpoint.every_days = options.checkpoint_every;
+  opts.checkpoint.dir = options.checkpoint_dir;
+  opts.checkpoint.resume_path = options.resume_path;
+  opts.checkpoint.config_hash = cli_config_hash(options, cfg, opts);
   const MultiDayResult run = run_multi_day(cluster, opts);
 
   if (!options.csv_path.empty()) {
@@ -401,11 +519,16 @@ int run_cli(const CliOptions& options) {
   std::printf("throughput    : %.2f M core-seconds\n", run.total_throughput / 1e6);
   std::printf("fleet health  : mean %.4f, min %.4f\n", run.mean_health_end,
               run.min_health_end);
-  const double life =
-      core::extrapolate_lifetime(1.0, run.min_health_end,
-                                 static_cast<double>(options.days))
-          .days;
-  std::printf("worst battery : projected end-of-life in %.0f days\n", life);
+  const core::LifetimeEstimate life = core::extrapolate_lifetime(
+      1.0, run.min_health_end, static_cast<double>(options.days));
+  if (life.beyond_horizon) {
+    // The clamp value is a horizon, not a prediction — presenting it as a
+    // day number ("end-of-life in 7300 days") misread as a forecast.
+    std::printf("worst battery : no end-of-life within the %.0f-day projection horizon\n",
+                life.days);
+  } else {
+    std::printf("worst battery : projected end-of-life in %.0f days\n", life.days);
+  }
   for (const MonthlyProbe& p : run.monthly) {
     std::printf("probe month %d : Vfull %.2f V, capacity %.1f%%, round-trip %.1f%%\n",
                 p.month, p.full_voltage, p.capacity_fraction * 100.0,

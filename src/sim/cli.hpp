@@ -47,6 +47,17 @@ struct CliOptions {
   /// count never changes any output byte, only the wall-clock time.
   std::size_t jobs = 0;
 
+  // --- checkpointing ------------------------------------------------------
+  /// Write a resume snapshot every N completed days; 0 disables. Single-run
+  /// mode only — sweeps checkpoint at point granularity instead.
+  std::size_t checkpoint_every = 0;
+  /// Directory for checkpoint files (single-run `checkpoint-day-<N>.snap`,
+  /// sweep `point-<i>.ckpt`); empty keeps checkpointing off in sweep mode
+  /// and means "." in single-run mode.
+  std::string checkpoint_dir;
+  /// Snapshot file to resume a single run from; empty = fresh run.
+  std::string resume_path;
+
   // --- observability ------------------------------------------------------
   /// Metrics-registry JSON dump (`.csv` suffix switches to CSV). Also turns
   /// hot-path profiling on so the dump carries timer histograms.

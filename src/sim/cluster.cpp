@@ -88,6 +88,80 @@ void Cluster::set_policy(core::PolicyKind kind) {
   discharge_floor_.clear();
 }
 
+void Cluster::save_state(snapshot::SnapshotWriter& w) const {
+  if (!vms_.empty() || !pending_jobs_.empty()) {
+    throw snapshot::SnapshotError(
+        "cluster snapshot requested mid-day: VMs or queued jobs are still "
+        "live; snapshots are only taken at day boundaries");
+  }
+  rng_.save_state(w);
+  fleet_->save_state(w);
+  w.write_u64(servers_.size());
+  for (const server::Server& s : servers_) s.save_state(w);
+  w.write_u64(life_tables_.size());
+  for (const telemetry::PowerTable& t : life_tables_) t.save_state(w);
+  for (const telemetry::PowerTable& t : day_tables_) t.save_state(w);
+  for (const telemetry::BatterySensor& s : sensors_) s.save_state(w);
+  w.write_bool(injector_ != nullptr);
+  if (injector_ != nullptr) injector_->save_state(w);
+  guard_.save_state(w);
+  policy_->save_state(w);
+  w.write_u64_vec(std::vector<std::uint64_t>(charge_priority_.begin(), charge_priority_.end()));
+  w.write_bool(charge_priority_explicit_);
+  w.write_f64_vec(discharge_floor_);
+  w.write_i64(next_vm_id_);
+  w.write_i64(day_counter_);
+  w.write_bool_vec(node_low_soc_);
+  w.write_bool_vec(node_eol_seen_);
+}
+
+void Cluster::load_state(snapshot::SnapshotReader& r) {
+  rng_.load_state(r);
+  fleet_->load_state(r);
+  const auto n_servers = static_cast<std::size_t>(r.read_u64());
+  if (n_servers != servers_.size()) {
+    throw snapshot::SnapshotError("cluster snapshot covers " + std::to_string(n_servers) +
+                                  " servers but the scenario builds " +
+                                  std::to_string(servers_.size()));
+  }
+  for (server::Server& s : servers_) s.load_state(r);
+  const auto n_tables = static_cast<std::size_t>(r.read_u64());
+  if (n_tables != life_tables_.size()) {
+    throw snapshot::SnapshotError("cluster snapshot covers " + std::to_string(n_tables) +
+                                  " telemetry tables but the scenario builds " +
+                                  std::to_string(life_tables_.size()));
+  }
+  for (telemetry::PowerTable& t : life_tables_) t.load_state(r);
+  for (telemetry::PowerTable& t : day_tables_) t.load_state(r);
+  for (telemetry::BatterySensor& s : sensors_) s.load_state(r);
+  const bool had_injector = r.read_bool();
+  if (had_injector != (injector_ != nullptr)) {
+    throw snapshot::SnapshotError(
+        "cluster snapshot and scenario disagree on whether a fault plan is "
+        "active; resume with the same --faults spec");
+  }
+  if (injector_ != nullptr) injector_->load_state(r);
+  guard_.load_state(r);
+  policy_->load_state(r);
+  const std::vector<std::uint64_t> prio = r.read_u64_vec();
+  if (prio.size() != charge_priority_.size()) {
+    throw snapshot::SnapshotError("cluster snapshot charge priority covers " +
+                                  std::to_string(prio.size()) + " nodes, scenario builds " +
+                                  std::to_string(charge_priority_.size()));
+  }
+  charge_priority_.assign(prio.begin(), prio.end());
+  charge_priority_explicit_ = r.read_bool();
+  discharge_floor_ = r.read_f64_vec();
+  next_vm_id_ = static_cast<workload::VmId>(r.read_i64());
+  day_counter_ = static_cast<long>(r.read_i64());
+  node_low_soc_ = r.read_bool_vec();
+  node_eol_seen_ = r.read_bool_vec();
+  if (node_low_soc_.size() != cfg_.nodes || node_eol_seen_.size() != cfg_.nodes) {
+    throw snapshot::SnapshotError("cluster snapshot per-node latches disagree with the "
+                                  "scenario's node count");
+  }
+}
+
 telemetry::AgingMetrics Cluster::life_metrics(std::size_t node) const {
   BAAT_REQUIRE(node < life_tables_.size(), "node index out of range");
   return telemetry::compute_metrics(life_tables_[node], cfg_.metrics);

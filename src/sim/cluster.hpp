@@ -76,6 +76,16 @@ class Cluster {
     observer_ = std::move(observer);
   }
 
+  /// Checkpoint support (DESIGN.md §5f). Valid only at a day boundary —
+  /// run_day drains every VM and powers servers off at day end, so the
+  /// workload microstate never enters the snapshot; save refuses otherwise.
+  /// load_state runs on a freshly constructed Cluster for the *same*
+  /// scenario: construction makes its usual deterministic RNG draws, then
+  /// every drawn-from stream and mutable field is overwritten with the
+  /// checkpointed values, leaving exactly the state the saved cluster had.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
+
  private:
   struct VmRecord {
     workload::Vm vm;

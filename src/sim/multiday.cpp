@@ -1,14 +1,36 @@
 #include "sim/multiday.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <iostream>
 #include <optional>
 
 #include "fault/injector.hpp"
 #include "obs/obs.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/soh.hpp"
 #include "util/require.hpp"
+#include "util/sim_clock.hpp"
 
 namespace baat::sim {
+
+namespace {
+
+void save_probe(snapshot::SnapshotWriter& w, const battery::ProbeResult& p) {
+  w.write_f64(p.full_voltage.value());
+  w.write_f64(p.capacity_fraction);
+  w.write_f64(p.energy_per_cycle.value());
+  w.write_f64(p.round_trip_efficiency);
+}
+
+void load_probe(snapshot::SnapshotReader& r, battery::ProbeResult& p) {
+  p.full_voltage = util::Volts{r.read_f64()};
+  p.capacity_fraction = r.read_f64();
+  p.energy_per_cycle = util::WattHours{r.read_f64()};
+  p.round_trip_efficiency = r.read_f64();
+}
+
+}  // namespace
 
 std::vector<solar::DayType> mixed_weather(std::size_t days, std::size_t sunny,
                                           std::size_t cloudy, std::size_t rainy) {
@@ -42,7 +64,51 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
   // measurement instead of running a fresh one (the series still advances).
   telemetry::SohEstimator soh;
   std::optional<battery::ProbeResult> last_probe;
-  for (std::size_t d = 0; d < options.days; ++d) {
+
+  std::size_t start_day = 0;
+  const CheckpointOptions& ckpt = options.checkpoint;
+  if (!ckpt.resume_path.empty()) {
+    // Restore the loop exactly where the snapshot left it. Status goes to
+    // stderr: stdout must stay byte-identical to the uninterrupted run.
+    const std::vector<std::uint8_t> payload =
+        snapshot::read_snapshot_file(ckpt.resume_path, ckpt.config_hash);
+    snapshot::SnapshotReader r{payload};
+    start_day = static_cast<std::size_t>(r.read_u64());
+    if (start_day > options.days) {
+      throw snapshot::SnapshotError("snapshot '" + ckpt.resume_path + "' has already passed day " +
+                                    std::to_string(options.days) +
+                                    "; nothing left to resume");
+    }
+    const std::vector<std::uint8_t> saved_weather = r.read_u8_vec();
+    for (std::size_t d = 0; d < saved_weather.size() && d < weather.size(); ++d) {
+      if (saved_weather[d] != static_cast<std::uint8_t>(weather[d])) {
+        throw snapshot::SnapshotError(
+            "snapshot '" + ckpt.resume_path + "' was taken under a different weather "
+            "sequence (day " + std::to_string(d) + " differs); the config hash should "
+            "normally catch this — check seed and sunshine options");
+      }
+    }
+    solar_rng.load_state(r);
+    soh.load_state(r);
+    const bool has_probe = r.read_bool();
+    battery::ProbeResult probe;
+    load_probe(r, probe);
+    if (has_probe) last_probe = probe;
+    load_state(r, result);
+    cluster.load_state(r);
+    obs::global_registry().load_state(r);
+    obs::global_trace().load_state(r);
+    util::set_sim_time(r.read_f64());
+    if (!r.exhausted()) {
+      throw snapshot::SnapshotError("snapshot '" + ckpt.resume_path + "' carries " +
+                                    std::to_string(r.remaining()) +
+                                    " trailing bytes past the restored state");
+    }
+    std::cerr << "[checkpoint] resumed from '" << ckpt.resume_path << "' at day "
+              << start_day << " of " << options.days << "\n";
+  }
+
+  for (std::size_t d = start_day; d < options.days; ++d) {
     const solar::SolarDay day{cluster.config().plant, weather[d], solar_rng.fork("day")};
     DayResult day_result = cluster.run_day(day);
     result.total_throughput += day_result.throughput_work;
@@ -86,6 +152,39 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
     if (options.keep_days) {
       result.days.push_back(std::move(day_result));
     }
+
+    const bool checkpoint_due = ckpt.every_days > 0 && (d + 1) % ckpt.every_days == 0 &&
+                                d + 1 < options.days;
+    if (checkpoint_due) {
+      snapshot::SnapshotWriter w;
+      w.write_u64(d + 1);
+      std::vector<std::uint8_t> weather_bytes;
+      weather_bytes.reserve(weather.size());
+      for (solar::DayType t : weather) {
+        weather_bytes.push_back(static_cast<std::uint8_t>(t));
+      }
+      w.write_u8_vec(weather_bytes);
+      solar_rng.save_state(w);
+      soh.save_state(w);
+      w.write_bool(last_probe.has_value());
+      save_probe(w, last_probe.value_or(battery::ProbeResult{}));
+      save_state(w, result);
+      cluster.save_state(w);
+      obs::global_registry().save_state(w);
+      obs::global_trace().save_state(w);
+      w.write_f64(util::sim_time());
+
+      const std::string dir = ckpt.dir.empty() ? std::string(".") : ckpt.dir;
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        throw snapshot::SnapshotError("cannot create checkpoint directory '" + dir +
+                                      "': " + ec.message());
+      }
+      const std::string path = dir + "/checkpoint-day-" + std::to_string(d + 1) + ".snap";
+      snapshot::write_snapshot_file(path, ckpt.config_hash, w.bytes());
+      std::cerr << "[checkpoint] wrote '" << path << "' after day " << (d + 1) << "\n";
+    }
   }
 
   double mean_health = 0.0;
@@ -98,6 +197,48 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
   result.min_health_end = min_health;
   if (soh.probe_count() >= 2) result.projected_eol_day = soh.projected_eol_day();
   return result;
+}
+
+std::uint64_t scenario_fingerprint(const ScenarioConfig& cfg, const MultiDayOptions& options) {
+  // Serialize every trajectory-shaping knob into a buffer and hash it. The
+  // encoding only has to be stable within one format version — it is never
+  // decoded, just compared.
+  snapshot::SnapshotWriter w;
+  w.write_u64(cfg.nodes);
+  w.write_u64(cfg.seed);
+  w.write_u8(static_cast<std::uint8_t>(cfg.policy));
+  w.write_u8(static_cast<std::uint8_t>(cfg.soc_estimation));
+  w.write_f64(cfg.dt.value());
+  w.write_f64(cfg.control_period.value());
+  w.write_f64(cfg.day_start.value());
+  w.write_f64(cfg.day_end.value());
+  w.write_f64(cfg.migration_pause.value());
+  w.write_f64(cfg.brownout_restart_soc);
+  w.write_i64(cfg.replicas);
+  w.write_u64(cfg.daily_jobs.size());
+  w.write_u8(cfg.bank.math == battery::MathMode::Fast ? 1 : 0);
+  w.write_f64(cfg.bank.chemistry.capacity_c20.value());
+  w.write_i64(cfg.bank.chemistry.cells);
+  w.write_f64(cfg.bank.capacity_sigma);
+  w.write_f64(cfg.bank.resistance_sigma);
+  w.write_f64(cfg.bank.initial_soc);
+  w.write_f64(cfg.policy_params.planned.cycles_plan);
+  w.write_bool(cfg.guard.enabled);
+  w.write_string(cfg.faults.to_string());
+  w.write_u64(options.days);
+  w.write_f64(options.sunshine_fraction);
+  w.write_u64(options.probe_every_days);
+  w.write_u64(options.weather.size());
+  for (solar::DayType t : options.weather) w.write_u8(static_cast<std::uint8_t>(t));
+  // FNV-1a over the buffer, folded with the payload CRC so both byte order
+  // and content contribute; never zero (0 means "unchecked").
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : w.bytes()) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= static_cast<std::uint64_t>(snapshot::crc32(w.bytes())) << 32;
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace baat::sim

@@ -5,11 +5,31 @@
 // weather sequence, aggregates results, and performs the monthly
 // instrumented battery probes behind Figs 3–5.
 
+#include <string>
+
 #include "battery/probe.hpp"
 #include "sim/cluster.hpp"
 #include "solar/location.hpp"
 
 namespace baat::sim {
+
+/// Crash-safe checkpointing of a multi-day run (DESIGN.md §5f). Checkpoints
+/// are written at day boundaries — the only instants where the cluster's
+/// workload microstate is empty — and capture everything the loop needs to
+/// continue bit-identically: cluster state, the solar-day RNG, the SoH probe
+/// series, the result accumulators and the obs registry/trace.
+struct CheckpointOptions {
+  /// Write a snapshot every N completed days; 0 disables periodic
+  /// checkpoints (a `resume_path` alone is still honoured).
+  std::size_t every_days = 0;
+  /// Directory for `checkpoint-day-<N>.snap` files (created on demand).
+  std::string dir;
+  /// Snapshot file to restore before the loop starts; empty = fresh run.
+  std::string resume_path;
+  /// Scenario fingerprint stamped into written snapshots and demanded from
+  /// resumed ones; 0 skips the check (tests exercising raw files).
+  std::uint64_t config_hash = 0;
+};
 
 struct MultiDayOptions {
   std::size_t days = 180;
@@ -21,9 +41,16 @@ struct MultiDayOptions {
   std::size_t probe_every_days = 30;
   /// Keep per-day results (memory grows with days); aggregates are always kept.
   bool keep_days = true;
+  CheckpointOptions checkpoint{};
 };
 
 MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options);
+
+/// Fingerprint of everything that shapes a run's trajectory (scenario knobs,
+/// fault plan, math tier, weather/probe options). Stamped into snapshot
+/// headers so resuming under a different scenario fails loudly instead of
+/// continuing a subtly different simulation.
+std::uint64_t scenario_fingerprint(const ScenarioConfig& cfg, const MultiDayOptions& options);
 
 /// A repeating Sunny→Cloudy→Rainy mix with the given counts — handy for
 /// matched long-run comparisons.

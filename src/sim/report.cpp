@@ -93,10 +93,15 @@ void write_report(std::ostream& out, const ReportInputs& inputs) {
   pct(out, r.mean_health_end) << ", min ";
   pct(out, r.min_health_end) << "\n";
   if (r.days_simulated() > 0.0 && r.min_health_end < 1.0) {
-    const double life =
-        core::extrapolate_lifetime(1.0, r.min_health_end, r.days_simulated()).days;
-    out << "- worst battery projected end-of-life: day " << std::setprecision(0)
-        << life << "\n";
+    const core::LifetimeEstimate life =
+        core::extrapolate_lifetime(1.0, r.min_health_end, r.days_simulated());
+    if (life.beyond_horizon) {
+      out << "- worst battery projected end-of-life: beyond the "
+          << std::setprecision(0) << life.days << "-day horizon\n";
+    } else {
+      out << "- worst battery projected end-of-life: day " << std::setprecision(0)
+          << life.days << "\n";
+    }
   }
   out << "\n";
 

@@ -37,4 +37,129 @@ Seconds DayResult::worst_critical_soc_time() const {
   return t;
 }
 
+namespace {
+
+void save_metrics(snapshot::SnapshotWriter& w, const telemetry::AgingMetrics& m) {
+  w.write_f64(m.nat);
+  w.write_f64(m.cf);
+  w.write_f64(m.pc);
+  w.write_f64(m.pc_health);
+  w.write_f64(m.ddt);
+  w.write_f64(m.dr_c_rate);
+}
+
+void load_metrics(snapshot::SnapshotReader& r, telemetry::AgingMetrics& m) {
+  m.nat = r.read_f64();
+  m.cf = r.read_f64();
+  m.pc = r.read_f64();
+  m.pc_health = r.read_f64();
+  m.ddt = r.read_f64();
+  m.dr_c_rate = r.read_f64();
+}
+
+}  // namespace
+
+void save_state(snapshot::SnapshotWriter& w, const NodeDayStats& s) {
+  save_metrics(w, s.metrics_day);
+  save_metrics(w, s.metrics_life);
+  w.write_f64(s.soc_min);
+  w.write_f64(s.soc_end);
+  w.write_f64(s.low_soc_time.value());
+  w.write_f64(s.critical_soc_time.value());
+  w.write_f64(s.downtime.value());
+  w.write_f64(s.health);
+  w.write_f64(s.ah_discharged.value());
+  w.write_i64(s.brownouts);
+}
+
+void load_state(snapshot::SnapshotReader& r, NodeDayStats& s) {
+  load_metrics(r, s.metrics_day);
+  load_metrics(r, s.metrics_life);
+  s.soc_min = r.read_f64();
+  s.soc_end = r.read_f64();
+  s.low_soc_time = Seconds{r.read_f64()};
+  s.critical_soc_time = Seconds{r.read_f64()};
+  s.downtime = Seconds{r.read_f64()};
+  s.health = r.read_f64();
+  s.ah_discharged = AmpereHours{r.read_f64()};
+  s.brownouts = static_cast<int>(r.read_i64());
+}
+
+void save_state(snapshot::SnapshotWriter& w, const DayResult& d) {
+  w.write_u8(static_cast<std::uint8_t>(d.day_type));
+  w.write_f64(d.solar_energy.value());
+  w.write_f64(d.throughput_work);
+  w.write_i64(d.jobs_finished);
+  w.write_i64(d.migrations);
+  w.write_i64(d.dvfs_transitions);
+  w.write_u64(d.nodes.size());
+  for (const NodeDayStats& n : d.nodes) save_state(w, n);
+  d.meter.save_state(w);
+  d.soc_histogram.save_state(w);
+}
+
+void load_state(snapshot::SnapshotReader& r, DayResult& d) {
+  d.day_type = static_cast<solar::DayType>(r.read_u8());
+  d.solar_energy = WattHours{r.read_f64()};
+  d.throughput_work = r.read_f64();
+  d.jobs_finished = static_cast<int>(r.read_i64());
+  d.migrations = static_cast<int>(r.read_i64());
+  d.dvfs_transitions = static_cast<int>(r.read_i64());
+  d.nodes.assign(static_cast<std::size_t>(r.read_u64()), NodeDayStats{});
+  for (NodeDayStats& n : d.nodes) load_state(r, n);
+  d.meter.load_state(r);
+  d.soc_histogram.load_state(r);
+}
+
+void save_state(snapshot::SnapshotWriter& w, const MonthlyProbe& p) {
+  w.write_i64(p.month);
+  w.write_f64(p.full_voltage);
+  w.write_f64(p.capacity_fraction);
+  w.write_f64(p.energy_per_cycle_wh);
+  w.write_f64(p.round_trip_efficiency);
+  w.write_f64(p.health);
+}
+
+void load_state(snapshot::SnapshotReader& r, MonthlyProbe& p) {
+  p.month = static_cast<int>(r.read_i64());
+  p.full_voltage = r.read_f64();
+  p.capacity_fraction = r.read_f64();
+  p.energy_per_cycle_wh = r.read_f64();
+  p.round_trip_efficiency = r.read_f64();
+  p.health = r.read_f64();
+}
+
+void save_state(snapshot::SnapshotWriter& w, const MultiDayResult& m) {
+  w.write_u64(m.days.size());
+  for (const DayResult& d : m.days) save_state(w, d);
+  w.write_u64(m.monthly.size());
+  for (const MonthlyProbe& p : m.monthly) save_state(w, p);
+  w.write_f64(m.total_throughput);
+  w.write_f64(m.mean_health_end);
+  w.write_f64(m.min_health_end);
+  m.soc_histogram.save_state(w);
+  w.write_bool(m.projected_eol_day.has_value());
+  w.write_f64(m.projected_eol_day.value_or(0.0));
+}
+
+void load_state(snapshot::SnapshotReader& r, MultiDayResult& m) {
+  m.days.clear();
+  const auto n_days = r.read_u64();
+  m.days.reserve(static_cast<std::size_t>(n_days));
+  for (std::uint64_t i = 0; i < n_days; ++i) {
+    DayResult d;
+    load_state(r, d);
+    m.days.push_back(std::move(d));
+  }
+  m.monthly.assign(static_cast<std::size_t>(r.read_u64()), MonthlyProbe{});
+  for (MonthlyProbe& p : m.monthly) load_state(r, p);
+  m.total_throughput = r.read_f64();
+  m.mean_health_end = r.read_f64();
+  m.min_health_end = r.read_f64();
+  m.soc_histogram.load_state(r);
+  const bool has_eol = r.read_bool();
+  const double eol = r.read_f64();
+  m.projected_eol_day = has_eol ? std::optional<double>(eol) : std::nullopt;
+}
+
 }  // namespace baat::sim

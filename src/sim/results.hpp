@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "power/meter.hpp"
+#include "snapshot/serialize.hpp"
 #include "solar/weather.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
@@ -80,5 +81,17 @@ struct MultiDayResult {
 
   [[nodiscard]] double days_simulated() const { return static_cast<double>(days.size()); }
 };
+
+/// Checkpoint serialization of the result records (DESIGN.md §5f): the
+/// multi-day accumulators are part of the simulation state a resumed run
+/// must reproduce byte-for-byte.
+void save_state(snapshot::SnapshotWriter& w, const NodeDayStats& s);
+void load_state(snapshot::SnapshotReader& r, NodeDayStats& s);
+void save_state(snapshot::SnapshotWriter& w, const DayResult& d);
+void load_state(snapshot::SnapshotReader& r, DayResult& d);
+void save_state(snapshot::SnapshotWriter& w, const MonthlyProbe& p);
+void load_state(snapshot::SnapshotReader& r, MonthlyProbe& p);
+void save_state(snapshot::SnapshotWriter& w, const MultiDayResult& m);
+void load_state(snapshot::SnapshotReader& r, MultiDayResult& m);
 
 }  // namespace baat::sim

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <iostream>
 #include <thread>
 
+#include "snapshot/snapshot.hpp"
 #include "util/sim_clock.hpp"
 
 namespace baat::sim {
@@ -38,24 +41,71 @@ class JobSinkScope {
   double prev_sim_time_;
 };
 
-void run_one(const SweepJob& job, std::size_t index, std::size_t trace_capacity,
+void run_one(const SweepJob& job, std::size_t index, const SweepOptions& options,
              SweepResult& slot) {
   slot.index = index;
   slot.name = job.name;
-  obs::TraceBuffer local_trace{trace_capacity};
+
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  const std::string ckpt_path =
+      checkpointing ? options.checkpoint_dir + "/" + job.name + ".ckpt"
+                    : std::string();
+  if (checkpointing && job.restore_result &&
+      std::filesystem::exists(ckpt_path)) {
+    // A valid per-job checkpoint means the job already ran to completion in
+    // an earlier (interrupted) sweep: restore its result and skip the work.
+    // Anything wrong with the file — truncation, CRC, version, config hash,
+    // trailing bytes — downgrades to a warning and a normal re-run, which
+    // overwrites the bad file.
+    try {
+      const std::vector<std::uint8_t> payload =
+          snapshot::read_snapshot_file(ckpt_path, options.config_hash);
+      snapshot::SnapshotReader r{payload};
+      job.restore_result(r);
+      if (!r.exhausted()) {
+        throw snapshot::SnapshotError("checkpoint carries " +
+                                      std::to_string(r.remaining()) +
+                                      " trailing bytes");
+      }
+      slot.ok = true;
+      slot.resumed = true;
+      return;
+    } catch (const std::exception& e) {
+      std::cerr << "[checkpoint] ignoring '" << ckpt_path << "' (" << e.what()
+                << "); re-running " << job.name << "\n";
+    }
+  }
+
+  obs::TraceBuffer local_trace{options.trace_capacity};
   util::LogSink local_log = [&slot](util::LogLevel level, const std::string& line) {
     slot.log_lines.emplace_back(level, line);
   };
-  JobSinkScope sinks{&slot.metrics, &local_trace, &local_log};
-  try {
-    job.work();
-    slot.ok = true;
-  } catch (const std::exception& e) {
-    slot.error = e.what();
-  } catch (...) {
-    slot.error = "unknown exception";
+  {
+    JobSinkScope sinks{&slot.metrics, &local_trace, &local_log};
+    try {
+      job.work();
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    } catch (...) {
+      slot.error = "unknown exception";
+    }
   }
   slot.trace = local_trace.events();
+
+  if (slot.ok && checkpointing && job.save_result) {
+    // Commit is atomic (write-then-rename) and each job owns a distinct
+    // path, so concurrent workers never collide. A failed write (disk full,
+    // permissions) costs the resume point, not the job's result.
+    try {
+      snapshot::SnapshotWriter w;
+      job.save_result(w);
+      snapshot::write_snapshot_file(ckpt_path, options.config_hash, w.bytes());
+    } catch (const std::exception& e) {
+      std::cerr << "[checkpoint] could not write '" << ckpt_path << "': "
+                << e.what() << "\n";
+    }
+  }
 }
 
 }  // namespace
@@ -77,6 +127,15 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
   }
   BAAT_REQUIRE(options.trace_capacity > 0, "trace capacity must be positive");
 
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      throw snapshot::SnapshotError("cannot create checkpoint directory '" +
+                                    options.checkpoint_dir + "': " + ec.message());
+    }
+  }
+
   const std::size_t n = jobs.size();
   std::vector<SweepResult> results(n);
   std::size_t workers = options.jobs > 0 ? options.jobs : default_sweep_jobs();
@@ -84,7 +143,7 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      run_one(jobs[i], i, options.trace_capacity, results[i]);
+      run_one(jobs[i], i, options, results[i]);
     }
   } else {
     // Fixed-size pool over an atomic work index. Each slot is written by
@@ -95,7 +154,7 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
       while (true) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        run_one(jobs[i], i, options.trace_capacity, results[i]);
+        run_one(jobs[i], i, options, results[i]);
       }
     };
     std::vector<std::thread> pool;

@@ -28,6 +28,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "snapshot/serialize.hpp"
 #include "util/logging.hpp"
 #include "util/require.hpp"
 
@@ -41,20 +42,41 @@ struct SweepOptions {
   bool merge_obs = true;
   /// Ring capacity for each job's private trace buffer.
   std::size_t trace_capacity = obs::TraceBuffer::kDefaultCapacity;
+  /// Job-granular checkpointing (DESIGN.md §5f): when non-empty, each job
+  /// with a `save_result` callback commits `<dir>/<name>.ckpt` after it
+  /// succeeds, and a job with a `restore_result` callback whose file is
+  /// present and valid is *skipped* — its result is restored instead of
+  /// recomputed. A corrupt, truncated or hash-mismatched file is warned
+  /// about on stderr, ignored, and overwritten by the re-run. Restored jobs
+  /// contribute no metrics/trace/log lines (no work ran).
+  std::string checkpoint_dir;
+  /// Fingerprint stamped into job checkpoint files and demanded back on
+  /// restore; 0 skips the check.
+  std::uint64_t config_hash = 0;
 };
 
 struct SweepJob {
-  /// Label carried into the result (and error messages).
+  /// Label carried into the result (and error messages). Doubles as the
+  /// checkpoint file stem, so it must be filesystem-safe when
+  /// SweepOptions::checkpoint_dir is used.
   std::string name;
   /// The work. Runs with the job's private obs sinks installed; anything it
   /// captures must be immutable or owned by the job.
   std::function<void()> work;
+  /// Serialize the job's externally visible result after `work` succeeded.
+  /// Optional; required for the job to write a checkpoint.
+  std::function<void(snapshot::SnapshotWriter&)> save_result;
+  /// Restore the result `save_result` wrote, instead of running `work`.
+  /// Optional; required for the job to resume from a checkpoint.
+  std::function<void(snapshot::SnapshotReader&)> restore_result;
 };
 
 struct SweepResult {
   std::size_t index = 0;
   std::string name;
   bool ok = false;
+  /// The job was skipped: its result was restored from a checkpoint file.
+  bool resumed = false;
   /// Exception message when !ok.
   std::string error;
   /// The job's private metrics; already folded into the caller's registry

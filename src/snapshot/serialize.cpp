@@ -1,0 +1,170 @@
+#include "snapshot/serialize.hpp"
+
+#include <array>
+#include <bit>
+
+namespace baat::snapshot {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void SnapshotWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void SnapshotWriter::write_i64(std::int64_t v) {
+  write_u64(static_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::write_f64(double v) {
+  write_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::write_string(std::string_view s) {
+  write_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::write_f64_vec(const std::vector<double>& v) {
+  write_u64(v.size());
+  for (double x : v) write_f64(x);
+}
+
+void SnapshotWriter::write_u64_vec(const std::vector<std::uint64_t>& v) {
+  write_u64(v.size());
+  for (std::uint64_t x : v) write_u64(x);
+}
+
+void SnapshotWriter::write_u8_vec(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void SnapshotWriter::write_bool_vec(const std::vector<bool>& v) {
+  write_u64(v.size());
+  for (bool b : v) write_u8(b ? 1 : 0);
+}
+
+void SnapshotReader::require(std::size_t n) {
+  if (remaining() < n) {
+    throw SnapshotError("snapshot truncated: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) + " but only " +
+                        std::to_string(remaining()) + " remain");
+  }
+}
+
+std::size_t SnapshotReader::read_length(std::size_t elem_size) {
+  const std::uint64_t n = read_u64();
+  if (elem_size > 0 && n > remaining() / elem_size) {
+    throw SnapshotError("snapshot corrupted: sequence of " + std::to_string(n) +
+                        " elements at offset " + std::to_string(pos_) +
+                        " exceeds the bytes remaining in the payload");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::uint8_t SnapshotReader::read_u8() {
+  require(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t SnapshotReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::read_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t SnapshotReader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+double SnapshotReader::read_f64() {
+  return std::bit_cast<double>(read_u64());
+}
+
+std::string SnapshotReader::read_string() {
+  const std::size_t n = read_length(1);
+  require(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> SnapshotReader::read_f64_vec() {
+  const std::size_t n = read_length(8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(read_f64());
+  return v;
+}
+
+std::vector<std::uint64_t> SnapshotReader::read_u64_vec() {
+  const std::size_t n = read_length(8);
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(read_u64());
+  return v;
+}
+
+std::vector<std::uint8_t> SnapshotReader::read_u8_vec() {
+  const std::size_t n = read_length(1);
+  require(n);
+  std::vector<std::uint8_t> v(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return v;
+}
+
+std::vector<bool> SnapshotReader::read_bool_vec() {
+  const std::size_t n = read_length(1);
+  std::vector<bool> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(read_u8() != 0);
+  return v;
+}
+
+}  // namespace baat::snapshot

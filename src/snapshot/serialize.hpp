@@ -1,0 +1,100 @@
+#pragma once
+
+// Binary serialization primitives for state snapshots (DESIGN.md §5f).
+//
+// Snapshots must round-trip the simulation state *bit-identically* — a
+// resumed run has to reproduce the uninterrupted run byte-for-byte — so
+// every scalar is written in a fixed little-endian layout and doubles are
+// transported as their raw IEEE-754 bit patterns (std::bit_cast), never
+// through text formatting. The writer appends to a growable byte buffer;
+// the reader walks a borrowed byte span and throws SnapshotError (with a
+// byte offset) on any underrun instead of reading past the end, so a
+// truncated or corrupted file is a readable failure, never UB.
+//
+// This layer is deliberately dependency-free (pure std) and knows nothing
+// about batteries or clusters: domain types serialize themselves via
+// save_state(SnapshotWriter&) / load_state(SnapshotReader&) members living
+// next to their private state.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace baat::snapshot {
+
+/// Raised on any malformed snapshot: truncation, bad magic, CRC mismatch,
+/// version or config-hash mismatch. The message is meant for the user.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Appends fixed-layout little-endian scalars to a byte buffer.
+class SnapshotWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  /// Raw IEEE-754 bit pattern; NaN payloads and signed zeros survive.
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  /// u64 length prefix + raw bytes.
+  void write_string(std::string_view s);
+
+  void write_f64_vec(const std::vector<double>& v);
+  void write_u64_vec(const std::vector<std::uint64_t>& v);
+  void write_u8_vec(const std::vector<std::uint8_t>& v);
+  void write_bool_vec(const std::vector<bool>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Walks a borrowed byte span; throws SnapshotError on underrun. The span
+/// must outlive the reader.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  double read_f64();
+  bool read_bool() { return read_u8() != 0; }
+  std::string read_string();
+
+  std::vector<double> read_f64_vec();
+  std::vector<std::uint64_t> read_u64_vec();
+  std::vector<std::uint8_t> read_u8_vec();
+  std::vector<bool> read_bool_vec();
+
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// True once every byte has been consumed; callers check this after a
+  /// full load to catch trailing garbage.
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n);
+  /// Length prefix for a sequence about to be materialized; bounds the
+  /// claimed count by the bytes actually left so a corrupted length cannot
+  /// drive a multi-gigabyte allocation before the underrun is noticed.
+  std::size_t read_length(std::size_t elem_size);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace baat::snapshot

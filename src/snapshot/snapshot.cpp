@@ -1,0 +1,124 @@
+#include "snapshot/snapshot.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace baat::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'A', 'A', 'T', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderSize = 32;
+
+std::vector<std::uint8_t> read_all_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("cannot open snapshot file '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) {
+    throw SnapshotError("I/O error reading snapshot file '" + path + "'");
+  }
+  return bytes;
+}
+
+/// Validates everything in the container and returns (header, full bytes).
+std::pair<SnapshotHeader, std::vector<std::uint8_t>> read_and_check(const std::string& path) {
+  std::vector<std::uint8_t> bytes = read_all_bytes(path);
+  if (bytes.size() < kHeaderSize) {
+    throw SnapshotError("snapshot file '" + path + "' is truncated: " +
+                        std::to_string(bytes.size()) + " bytes, header needs " +
+                        std::to_string(kHeaderSize));
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (bytes[i] != static_cast<std::uint8_t>(kMagic[i])) {
+      throw SnapshotError("'" + path + "' is not a BAAT snapshot (bad magic)");
+    }
+  }
+  SnapshotReader header_reader(std::span<const std::uint8_t>(bytes).subspan(8, kHeaderSize - 8));
+  SnapshotHeader h;
+  h.version = header_reader.read_u32();
+  h.config_hash = header_reader.read_u64();
+  h.payload_size = header_reader.read_u64();
+  h.payload_crc = header_reader.read_u32();
+  if (h.version != kFormatVersion) {
+    throw SnapshotError("snapshot file '" + path + "' has format version " +
+                        std::to_string(h.version) + " but this build reads version " +
+                        std::to_string(kFormatVersion) +
+                        "; re-run from scratch or use a matching build");
+  }
+  if (bytes.size() - kHeaderSize != h.payload_size) {
+    throw SnapshotError("snapshot file '" + path + "' is truncated or padded: header declares " +
+                        std::to_string(h.payload_size) + " payload bytes but the file holds " +
+                        std::to_string(bytes.size() - kHeaderSize));
+  }
+  const auto payload = std::span<const std::uint8_t>(bytes).subspan(kHeaderSize);
+  const std::uint32_t crc = crc32(payload);
+  if (crc != h.payload_crc) {
+    throw SnapshotError("snapshot file '" + path + "' is corrupted: payload CRC mismatch");
+  }
+  return {h, std::move(bytes)};
+}
+
+}  // namespace
+
+void write_snapshot_file(const std::string& path, std::uint64_t config_hash,
+                         std::span<const std::uint8_t> payload) {
+  SnapshotWriter header;
+  for (char c : kMagic) header.write_u8(static_cast<std::uint8_t>(c));
+  header.write_u32(kFormatVersion);
+  header.write_u64(config_hash);
+  header.write_u64(payload.size());
+  header.write_u32(crc32(payload));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ignore;
+      std::filesystem::remove(tmp, ignore);
+      throw SnapshotError("I/O error writing snapshot to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    throw SnapshotError("cannot rename '" + tmp + "' to '" + path + "': " + ec.message());
+  }
+}
+
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path,
+                                             std::uint64_t expected_config_hash) {
+  auto [header, bytes] = read_and_check(path);
+  if (expected_config_hash != 0 && header.config_hash != expected_config_hash) {
+    char got[32];
+    char want[32];
+    std::snprintf(got, sizeof got, "%016llx",
+                  static_cast<unsigned long long>(header.config_hash));
+    std::snprintf(want, sizeof want, "%016llx",
+                  static_cast<unsigned long long>(expected_config_hash));
+    throw SnapshotError("snapshot file '" + path + "' was produced under config hash " + got +
+                        " but the current scenario hashes to " + want +
+                        "; resuming a different scenario is refused (same seed, nodes, days, "
+                        "policy, faults and math mode are required)");
+  }
+  return {bytes.begin() + 32, bytes.end()};
+}
+
+SnapshotHeader read_snapshot_header(const std::string& path) {
+  return read_and_check(path).first;
+}
+
+}  // namespace baat::snapshot

@@ -73,4 +73,34 @@ AmpereHours PowerTable::ah_in_range(std::size_t range) const {
   return ah_by_range_[range];
 }
 
+void PowerTable::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_f64(ah_discharged_.value());
+  w.write_f64(ah_charged_.value());
+  for (const AmpereHours& ah : ah_by_range_) w.write_f64(ah.value());
+  w.write_f64(time_total_.value());
+  w.write_f64(time_below_40_.value());
+  w.write_f64(dr_ewma_);
+  w.write_f64(soc_estimate_);
+  w.write_u64(history_.size());
+  // Qualified: the member function would otherwise hide the free helper.
+  for (const SensorReading& s : history_) telemetry::save_state(w, s);
+}
+
+void PowerTable::load_state(snapshot::SnapshotReader& r) {
+  ah_discharged_ = AmpereHours{r.read_f64()};
+  ah_charged_ = AmpereHours{r.read_f64()};
+  for (AmpereHours& ah : ah_by_range_) ah = AmpereHours{r.read_f64()};
+  time_total_ = Seconds{r.read_f64()};
+  time_below_40_ = Seconds{r.read_f64()};
+  dr_ewma_ = r.read_f64();
+  soc_estimate_ = r.read_f64();
+  const auto n = r.read_u64();
+  history_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SensorReading s;
+    telemetry::load_state(r, s);
+    history_.push_back(s);
+  }
+}
+
 }  // namespace baat::telemetry

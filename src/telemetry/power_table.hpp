@@ -59,6 +59,11 @@ class PowerTable {
   [[nodiscard]] const std::deque<SensorReading>& history() const { return history_; }
   [[nodiscard]] const PowerTableParams& params() const { return params_; }
 
+  /// Checkpoint support: accumulators, the EWMA/SoC estimate and the raw
+  /// sample ring. Params are configuration and are rebuilt by the scenario.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
+
  private:
   PowerTableParams params_;
   AmpereHours ah_discharged_{0.0};

@@ -7,6 +7,7 @@
 // path never quietly depends on ground truth it would not have in hardware.
 
 #include "battery/battery.hpp"
+#include "snapshot/serialize.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -25,6 +26,22 @@ struct SensorReading {
   Celsius temperature{0.0};
 };
 
+/// Checkpoint helpers shared by everything that retains readings (the power
+/// table's history ring, the fault injector's stuck/last slots).
+inline void save_state(snapshot::SnapshotWriter& w, const SensorReading& s) {
+  w.write_f64(s.time.value());
+  w.write_f64(s.voltage.value());
+  w.write_f64(s.current.value());
+  w.write_f64(s.temperature.value());
+}
+
+inline void load_state(snapshot::SnapshotReader& r, SensorReading& s) {
+  s.time = Seconds{r.read_f64()};
+  s.voltage = Volts{r.read_f64()};
+  s.current = Amperes{r.read_f64()};
+  s.temperature = Celsius{r.read_f64()};
+}
+
 struct SensorNoise {
   double voltage_sigma = 0.01;   ///< volts
   double current_sigma = 0.05;   ///< amperes
@@ -37,6 +54,10 @@ class BatterySensor {
 
   /// Sample the battery as it carries `actual_current` at time `now`.
   SensorReading read(const battery::Battery& bat, Amperes actual_current, Seconds now);
+
+  /// Checkpoint support: only the noise RNG advances at runtime.
+  void save_state(snapshot::SnapshotWriter& w) const { rng_.save_state(w); }
+  void load_state(snapshot::SnapshotReader& r) { rng_.load_state(r); }
 
  private:
   SensorNoise noise_;

@@ -72,4 +72,26 @@ bool SohEstimator::measured_eol() const {
   });
 }
 
+void SohEstimator::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_f64(eol_capacity_);
+  w.write_u64(samples_.size());
+  for (const SohSample& s : samples_) {
+    w.write_f64(s.day);
+    w.write_f64(s.capacity);
+  }
+}
+
+void SohEstimator::load_state(snapshot::SnapshotReader& r) {
+  eol_capacity_ = r.read_f64();
+  const auto n = r.read_u64();
+  samples_.clear();
+  samples_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SohSample s;
+    s.day = r.read_f64();
+    s.capacity = r.read_f64();
+    samples_.push_back(s);
+  }
+}
+
 }  // namespace baat::telemetry

@@ -9,6 +9,8 @@
 #include <optional>
 #include <vector>
 
+#include "snapshot/serialize.hpp"
+
 namespace baat::telemetry {
 
 struct SohSample {
@@ -36,6 +38,9 @@ class SohEstimator {
   [[nodiscard]] bool measured_eol() const;
 
   [[nodiscard]] const std::vector<SohSample>& samples() const { return samples_; }
+
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   void fit(double& slope, double& intercept) const;

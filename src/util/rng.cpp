@@ -106,4 +106,16 @@ bool Rng::bernoulli(double p) {
   return uniform() < clamp01(p);
 }
 
+void Rng::save_state(snapshot::SnapshotWriter& w) const {
+  for (std::uint64_t word : s_) w.write_u64(word);
+  w.write_f64(cached_normal_);
+  w.write_bool(has_cached_normal_);
+}
+
+void Rng::load_state(snapshot::SnapshotReader& r) {
+  for (auto& word : s_) word = r.read_u64();
+  cached_normal_ = r.read_f64();
+  has_cached_normal_ = r.read_bool();
+}
+
 }  // namespace baat::util

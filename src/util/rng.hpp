@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "snapshot/serialize.hpp"
+
 namespace baat::util {
 
 /// xoshiro256** — fast, high-quality, tiny-state PRNG.
@@ -41,6 +43,12 @@ class Rng {
 
   /// Independent child stream (e.g. per battery node).
   Rng fork(std::string_view name);
+
+  /// Checkpoint support: serializes the full generator state (xoshiro words
+  /// plus the Box–Muller cache) so a restored stream continues the exact
+  /// sequence the saved one would have produced.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   std::uint64_t s_[4];

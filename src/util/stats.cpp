@@ -139,6 +139,43 @@ std::string Histogram::bin_label(std::size_t i) const {
   return os.str();
 }
 
+void RunningStats::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u64(n_);
+  w.write_f64(mean_);
+  w.write_f64(m2_);
+  w.write_f64(min_);
+  w.write_f64(max_);
+}
+
+void RunningStats::load_state(snapshot::SnapshotReader& r) {
+  n_ = static_cast<std::size_t>(r.read_u64());
+  mean_ = r.read_f64();
+  m2_ = r.read_f64();
+  min_ = r.read_f64();
+  max_ = r.read_f64();
+}
+
+void Histogram::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_f64_vec(edges_);
+  w.write_f64_vec(counts_);
+  w.write_f64(underflow_);
+  w.write_f64(overflow_);
+  w.write_f64(nan_);
+}
+
+void Histogram::load_state(snapshot::SnapshotReader& r) {
+  edges_ = r.read_f64_vec();
+  counts_ = r.read_f64_vec();
+  if (edges_.size() < 2 || counts_.size() + 1 != edges_.size()) {
+    throw snapshot::SnapshotError("histogram state is inconsistent: " +
+                                  std::to_string(edges_.size()) + " edges for " +
+                                  std::to_string(counts_.size()) + " bins");
+  }
+  underflow_ = r.read_f64();
+  overflow_ = r.read_f64();
+  nan_ = r.read_f64();
+}
+
 double quantile(std::span<const double> xs, double q) {
   BAAT_REQUIRE(!xs.empty(), "quantile of empty sample");
   BAAT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");

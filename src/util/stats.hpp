@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/serialize.hpp"
+
 namespace baat::util {
 
 /// Welford running mean/variance with min/max tracking.
@@ -26,6 +28,9 @@ class RunningStats {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   std::size_t n_ = 0;
@@ -65,6 +70,11 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
   [[nodiscard]] std::string bin_label(std::size_t i) const;
+
+  /// Checkpoint support. load_state replaces edges and all counters, so a
+  /// restored histogram merges bit-identically with one that never paused.
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
 
  private:
   std::vector<double> edges_;

@@ -127,5 +127,37 @@ TEST(Rainflow, RejectsOutOfRangeSoc) {
   EXPECT_THROW(rainflow_count({-0.1}), util::PreconditionError);
 }
 
+// Regression for the faulted-telemetry abort: coulomb-counting drift under
+// injected sensor noise legitimately leaves SoC estimates a few ULP outside
+// [0, 1], and rainflow_count used to BAAT_REQUIRE the whole series away.
+// Epsilon excursions are clamped; genuinely out-of-range values still throw.
+TEST(Rainflow, ClampsEpsilonExcursionsFromDegradedTelemetry) {
+  // Reproduce the drift the way a coulomb counter does: accumulate charge
+  // fractions whose exact sum is 1 but whose float sum overshoots by 1 ULP.
+  double soc = 0.0;
+  for (double charge : {0.2, 0.4, 0.3, 0.1}) soc += charge;
+  ASSERT_GT(soc, 1.0);  // 1.0000000000000002
+  ASSERT_LE(soc, 1.0 + 1e-9);
+
+  const std::vector<double> drifted = {0.2, soc, 0.2, soc, 0.2};
+  const std::vector<double> clamped = {0.2, 1.0, 0.2, 1.0, 0.2};
+  const auto from_drifted = rainflow_count(drifted);
+  const auto from_clamped = rainflow_count(clamped);
+  ASSERT_EQ(from_drifted.size(), from_clamped.size());
+  for (std::size_t i = 0; i < from_drifted.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_drifted[i].depth, from_clamped[i].depth);
+    EXPECT_DOUBLE_EQ(from_drifted[i].count, from_clamped[i].count);
+    EXPECT_DOUBLE_EQ(from_drifted[i].mean, from_clamped[i].mean);
+  }
+
+  // Same at the bottom rail, and for a bare epsilon series.
+  EXPECT_NO_THROW(rainflow_count({0.8, -1e-12, 0.8}));
+  EXPECT_NO_THROW(rainflow_count({1.0 + 1e-10, 0.5, -1e-10}));
+
+  // Just past the tolerance is an estimator bug, not drift: still refused.
+  EXPECT_THROW(rainflow_count({0.5, 1.0 + 1e-8}), util::PreconditionError);
+  EXPECT_THROW(rainflow_count({-1e-8, 0.5}), util::PreconditionError);
+}
+
 }  // namespace
 }  // namespace baat::battery

@@ -22,6 +22,33 @@ TEST(Lifetime, NoFadeMeansHorizonCap) {
   EXPECT_DOUBLE_EQ(e.days, 20.0 * 365.0);
 }
 
+// Regression for the horizon sentinel leaking into reports as a prediction:
+// a clamped estimate must say so, because `days` is then a bound on the
+// observation, not a forecast.
+TEST(Lifetime, FlagsEstimatesClampedToTheHorizon) {
+  // A real projection inside the horizon is not flagged.
+  EXPECT_FALSE(extrapolate_lifetime(1.0, 0.95, 90.0).beyond_horizon);
+  // No fade at all: the sentinel is the horizon itself.
+  EXPECT_TRUE(extrapolate_lifetime(1.0, 1.0, 90.0).beyond_horizon);
+  // Minuscule fade whose projection lands past the horizon: also flagged,
+  // and still clamped.
+  const LifetimeEstimate slow = extrapolate_lifetime(1.0, 1.0 - 1e-6, 365.0);
+  EXPECT_TRUE(slow.beyond_horizon);
+  EXPECT_DOUBLE_EQ(slow.days, 20.0 * 365.0);
+  // A projection exactly inside a custom horizon is a prediction again.
+  EXPECT_FALSE(extrapolate_lifetime(1.0, 0.95, 90.0, 0.8, 361.0).beyond_horizon);
+  EXPECT_TRUE(extrapolate_lifetime(1.0, 0.95, 90.0, 0.8, 359.0).beyond_horizon);
+
+  // Same contract for the throughput estimator.
+  const auto curve = battery::curve_for(battery::Manufacturer::Trojan);
+  EXPECT_TRUE(lifetime_from_throughput(curve, ampere_hours(35.0), 0.5,
+                                       ampere_hours(0.0))
+                  .beyond_horizon);
+  EXPECT_FALSE(lifetime_from_throughput(curve, ampere_hours(35.0), 0.5,
+                                        ampere_hours(17.5))
+                   .beyond_horizon);
+}
+
 TEST(Lifetime, RespectsCustomEol) {
   const LifetimeEstimate e = extrapolate_lifetime(1.0, 0.9, 100.0, 0.7);
   EXPECT_NEAR(e.days, 300.0, 1e-9);

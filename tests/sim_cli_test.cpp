@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "sim/cli.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace baat::sim {
 namespace {
@@ -150,6 +152,55 @@ TEST(Cli, RejectsBadSweepValues) {
   EXPECT_THROW(parse_cli({"--sweep-sunshine", "0.2,x"}), util::PreconditionError);
   EXPECT_THROW(parse_cli({"--jobs", "0"}), util::PreconditionError);
   EXPECT_THROW(parse_cli({"--jobs", "many"}), util::PreconditionError);
+}
+
+// Regression for the comma-list parser: empty items (leading, trailing or
+// doubled commas) used to slip through the substr/find loop as phantom sweep
+// points. They must be rejected with an error that names both the flag and
+// the mistake.
+TEST(Cli, CommaListRejectsEmptyItemsByName) {
+  for (const char* bad : {"0.2,", ",0.2", "0.2,,0.5", ",", ",,", "0.1,0.2,"}) {
+    try {
+      parse_cli({"--sweep-sunshine", bad});
+      FAIL() << "'" << bad << "' must be rejected";
+    } catch (const util::PreconditionError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("--sweep-sunshine"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("comma"), std::string::npos) << msg;
+    }
+  }
+}
+
+// Fuzz companion to the fault-plan grammar fuzz: random comma/digit soup
+// must either parse into only in-range fractions or throw PreconditionError
+// — never crash, never fabricate a phantom entry.
+TEST(Cli, CommaListFuzzNeverCrashesOrFabricatesEntries) {
+  const std::string alphabet = "0123456789.,-+eE ";
+  util::Rng rng{0xC0FFEEu};
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string input;
+    const int len = 1 + static_cast<int>(rng.uniform(0.0, 12.0));
+    for (int i = 0; i < len; ++i) {
+      input.push_back(
+          alphabet[static_cast<std::size_t>(rng.uniform(0.0, 1.0) *
+                                            static_cast<double>(alphabet.size() - 1))]);
+    }
+    try {
+      const CliOptions o = parse_cli({"--sweep-sunshine", input});
+      // Parsed: every entry is a real in-range fraction, and the entry count
+      // matches the comma structure (no empty item became a point).
+      ASSERT_FALSE(o.sweep_sunshine.empty()) << "'" << input << "'";
+      for (double f : o.sweep_sunshine) {
+        EXPECT_GE(f, 0.0) << "'" << input << "'";
+        EXPECT_LE(f, 1.0) << "'" << input << "'";
+      }
+      const std::size_t commas =
+          static_cast<std::size_t>(std::count(input.begin(), input.end(), ','));
+      EXPECT_EQ(o.sweep_sunshine.size(), commas + 1) << "'" << input << "'";
+    } catch (const util::PreconditionError&) {
+      // Readable rejection is the other acceptable outcome.
+    }
+  }
 }
 
 TEST(Cli, ScenarioReflectsOptions) {

@@ -79,5 +79,36 @@ TEST(Report, RejectsMissingInputs) {
   EXPECT_THROW(write_report(out, ReportInputs{}), util::PreconditionError);
 }
 
+// Regression: a fleet that never crosses the EOL threshold used to render
+// the horizon sentinel as a day number ("projected end-of-life: day 7300").
+// The clamped estimate must be called out as beyond the horizon instead.
+TEST(Report, EolBeyondHorizonIsRenderedExplicitly) {
+  ScenarioConfig cfg = prototype_scenario();
+  MultiDayResult barely_aged;
+  barely_aged.days.resize(3);  // days_simulated() == 3
+  for (auto& d : barely_aged.days) d.nodes.resize(1);  // per-day table needs a node
+  barely_aged.mean_health_end = 0.9999999;
+  barely_aged.min_health_end = 0.9999999;  // projection lands far past 7300 d
+
+  ReportInputs in;
+  in.config = &cfg;
+  in.result = &barely_aged;
+  std::ostringstream out;
+  write_report(out, in);
+  const std::string md = out.str();
+  EXPECT_NE(md.find("beyond the 7300-day horizon"), std::string::npos) << md;
+  EXPECT_EQ(md.find("end-of-life: day"), std::string::npos) << md;
+
+  // A genuinely aging fleet still gets a concrete day.
+  MultiDayResult aging = barely_aged;
+  aging.min_health_end = 0.90;  // 10% fade in 3 days → EoL around day 6
+  std::ostringstream out2;
+  in.result = &aging;
+  write_report(out2, in);
+  const std::string md2 = out2.str();
+  EXPECT_NE(md2.find("end-of-life: day"), std::string::npos) << md2;
+  EXPECT_EQ(md2.find("beyond the"), std::string::npos) << md2;
+}
+
 }  // namespace
 }  // namespace baat::sim

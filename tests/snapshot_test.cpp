@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "snapshot/serialize.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace baat::snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / ("baat_snapshot_test_" + name)).string();
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void put_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Serialize, ScalarRoundTrip) {
+  SnapshotWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEFu);
+  w.write_u64(0xFFFFFFFFFFFFFFFFull);
+  w.write_i64(-42);
+  w.write_f64(3.141592653589793);
+  w.write_bool(true);
+  w.write_bool(false);
+  w.write_string("hello\0world");  // embedded NUL truncates the literal; still round-trips
+  w.write_string("");
+
+  SnapshotReader r{w.bytes()};
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.141592653589793);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, DoublesTransportRawBits) {
+  // Bit identity is the whole point: NaN payloads, signed zero, denormals
+  // and the extremes must survive a round trip exactly.
+  const double nan_payload =
+      std::bit_cast<double>(std::uint64_t{0x7FF8DEADBEEF0001ull});
+  const std::vector<double> values = {
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::infinity(),
+      nan_payload,
+  };
+  SnapshotWriter w;
+  for (double v : values) w.write_f64(v);
+  SnapshotReader r{w.bytes()};
+  for (double v : values) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.read_f64()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  SnapshotWriter w;
+  w.write_f64_vec({1.5, -2.5, 0.0});
+  w.write_u64_vec({7, 0, 0xFFFFFFFFFFFFFFFFull});
+  w.write_u8_vec({1, 2, 3});
+  w.write_bool_vec({true, false, true, true});
+  w.write_f64_vec({});
+
+  SnapshotReader r{w.bytes()};
+  EXPECT_EQ(r.read_f64_vec(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(r.read_u64_vec(), (std::vector<std::uint64_t>{7, 0, 0xFFFFFFFFFFFFFFFFull}));
+  EXPECT_EQ(r.read_u8_vec(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.read_bool_vec(), (std::vector<bool>{true, false, true, true}));
+  EXPECT_TRUE(r.read_f64_vec().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, ReaderUnderrunThrowsNotUB) {
+  SnapshotWriter w;
+  w.write_u32(1);
+  SnapshotReader r{w.bytes()};
+  EXPECT_EQ(r.read_u32(), 1u);
+  EXPECT_THROW(r.read_u8(), SnapshotError);
+  SnapshotReader r2{w.bytes()};
+  EXPECT_THROW(r2.read_u64(), SnapshotError);  // partial bytes available
+}
+
+TEST(Serialize, CorruptedLengthPrefixCannotDriveHugeAllocation) {
+  // A length prefix claiming more elements than there are bytes left must
+  // fail before materializing the vector, not after a multi-GB reserve.
+  SnapshotWriter w;
+  w.write_u64(0x7FFFFFFFFFFFFFFFull);  // absurd element count, no payload
+  SnapshotReader r{w.bytes()};
+  EXPECT_THROW(r.read_f64_vec(), SnapshotError);
+}
+
+TEST(Serialize, Crc32KnownAnswer) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const std::string s = "123456789";
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::vector<std::uint8_t>{}), 0u);
+}
+
+TEST(SnapshotFile, RoundTripAndHeader) {
+  const std::string path = temp_path("roundtrip.snap");
+  SnapshotWriter w;
+  w.write_u64(1234);
+  w.write_f64(0.25);
+  write_snapshot_file(path, 0xABCDEF1234567890ull, w.bytes());
+
+  // The atomic-commit tmp file must not linger after a successful write.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  const SnapshotHeader h = read_snapshot_header(path);
+  EXPECT_EQ(h.version, kFormatVersion);
+  EXPECT_EQ(h.config_hash, 0xABCDEF1234567890ull);
+  EXPECT_EQ(h.payload_size, w.size());
+
+  const std::vector<std::uint8_t> payload =
+      read_snapshot_file(path, 0xABCDEF1234567890ull);
+  EXPECT_EQ(payload, w.bytes());
+  SnapshotReader r{payload};
+  EXPECT_EQ(r.read_u64(), 1234u);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 0.25);
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, ZeroExpectedHashSkipsTheCheck) {
+  const std::string path = temp_path("anyhash.snap");
+  SnapshotWriter w;
+  w.write_u8(9);
+  write_snapshot_file(path, 777, w.bytes());
+  EXPECT_EQ(read_snapshot_file(path, 0), w.bytes());
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, ConfigHashMismatchRefused) {
+  const std::string path = temp_path("hashmismatch.snap");
+  SnapshotWriter w;
+  w.write_u8(9);
+  write_snapshot_file(path, 111, w.bytes());
+  try {
+    read_snapshot_file(path, 222);
+    FAIL() << "mismatched config hash must be refused";
+  } catch (const SnapshotError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("config hash"), std::string::npos) << msg;
+  }
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, MissingFileIsReadableError) {
+  try {
+    read_snapshot_file(temp_path("does_not_exist.snap"), 0);
+    FAIL() << "missing file must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(SnapshotFile, BadMagicRefused) {
+  const std::string path = temp_path("notasnapshot.snap");
+  put_bytes(path, std::vector<std::uint8_t>(64, 0x55));
+  try {
+    read_snapshot_file(path, 0);
+    FAIL() << "non-snapshot bytes must be refused";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, TruncationAtEveryPrefixIsAReadableError) {
+  // Chop a valid snapshot at every length from 0 to full-minus-one byte;
+  // each prefix must fail with SnapshotError, never read out of bounds
+  // (this test earns its keep under ASan).
+  const std::string path = temp_path("trunc_src.snap");
+  SnapshotWriter w;
+  w.write_u64(42);
+  w.write_string("payload");
+  write_snapshot_file(path, 5, w.bytes());
+  const std::vector<std::uint8_t> full = file_bytes(path);
+  ASSERT_GT(full.size(), 32u);
+
+  const std::string cut = temp_path("trunc_cut.snap");
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    put_bytes(cut, std::vector<std::uint8_t>(full.begin(), full.begin() + n));
+    EXPECT_THROW(read_snapshot_file(cut, 5), SnapshotError) << "prefix length " << n;
+  }
+  fs::remove(path);
+  fs::remove(cut);
+}
+
+TEST(SnapshotFile, TrailingPaddingRefused) {
+  const std::string path = temp_path("padded.snap");
+  SnapshotWriter w;
+  w.write_u64(42);
+  write_snapshot_file(path, 0, w.bytes());
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes.push_back(0x00);
+  put_bytes(path, bytes);
+  EXPECT_THROW(read_snapshot_file(path, 0), SnapshotError);
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, PayloadCorruptionCaughtByCrc) {
+  const std::string path = temp_path("corrupt.snap");
+  SnapshotWriter w;
+  for (int i = 0; i < 16; ++i) w.write_f64(i * 1.25);
+  write_snapshot_file(path, 0, w.bytes());
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[40] ^= 0x01;  // single bit flip inside the payload
+  put_bytes(path, bytes);
+  try {
+    read_snapshot_file(path, 0);
+    FAIL() << "flipped payload bit must be caught";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, FutureFormatVersionRefused) {
+  const std::string path = temp_path("version.snap");
+  SnapshotWriter w;
+  w.write_u8(1);
+  write_snapshot_file(path, 0, w.bytes());
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[8] = static_cast<std::uint8_t>(kFormatVersion + 1);  // version is not CRC'd
+  put_bytes(path, bytes);
+  try {
+    read_snapshot_file(path, 0);
+    FAIL() << "future format version must be refused";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("format version"), std::string::npos);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, OverwriteIsAtomicReplace) {
+  // Writing over an existing snapshot replaces it wholesale: afterwards the
+  // file holds exactly the new payload and no tmp residue.
+  const std::string path = temp_path("overwrite.snap");
+  SnapshotWriter w1;
+  w1.write_u64(1);
+  write_snapshot_file(path, 10, w1.bytes());
+  SnapshotWriter w2;
+  w2.write_u64(2);
+  w2.write_u64(3);
+  write_snapshot_file(path, 20, w2.bytes());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(read_snapshot_header(path).config_hash, 20u);
+  EXPECT_EQ(read_snapshot_file(path, 20), w2.bytes());
+  fs::remove(path);
+}
+
+TEST(SnapshotFile, UnwritableDestinationIsReadableError) {
+  const std::string path =
+      temp_path("no_such_dir_for_snapshots") + "/nested/deep/file.snap";
+  SnapshotWriter w;
+  w.write_u8(1);
+  EXPECT_THROW(write_snapshot_file(path, 0, w.bytes()), SnapshotError);
+}
+
+}  // namespace
+}  // namespace baat::snapshot

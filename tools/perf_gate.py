@@ -16,10 +16,15 @@ Refreshing the baseline mirrors the golden-file convention
 --update, or run the `bench-kernel` cmake target which writes straight to
 bench_results/BENCH_kernel.json.
 
+Every malformed-input path exits with a readable one-line diagnosis (exit
+code 2), never a traceback: a gate that crashes looks like CI
+infrastructure flakiness and gets retried instead of read.
+
 Usage:
   perf_gate.py --baseline bench_results/BENCH_kernel.json \
                --current build/bench/BENCH_kernel.json [--threshold 0.15]
   perf_gate.py --baseline ... --current ... --update
+  perf_gate.py --self-test
 """
 
 import argparse
@@ -28,40 +33,58 @@ import shutil
 import sys
 
 
+def fail(msg):
+    """Readable gate failure: diagnosis on stderr, exit 2 (1 = perf regression)."""
+    sys.exit(f"perf_gate: {msg}")
+
+
+def numeric(doc_path, key, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(f"{doc_path}: '{key}' must be a number, got {value!r}")
+    return float(value)
+
+
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    if "calibration_ns" not in doc or "benches" not in doc:
-        sys.exit(f"perf_gate: {path} is not a kernel_bench result file")
-    if doc["calibration_ns"] <= 0:
-        sys.exit(f"perf_gate: {path} has a non-positive calibration scalar")
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or "calibration_ns" not in doc or "benches" not in doc:
+        fail(f"{path} is not a kernel_bench result file "
+             "(needs 'calibration_ns' and 'benches')")
+    if numeric(path, "calibration_ns", doc["calibration_ns"]) <= 0:
+        fail(f"{path} has a non-positive calibration scalar "
+             f"({doc['calibration_ns']!r}); rerun kernel_bench on a quiet machine")
+    if not isinstance(doc["benches"], list):
+        fail(f"{path}: 'benches' must be a list")
+    for i, b in enumerate(doc["benches"]):
+        if not isinstance(b, dict) or "name" not in b:
+            fail(f"{path}: bench entry #{i} has no 'name'")
+        for key in ("ns_per_cell_tick", "allocs_per_tick"):
+            if key not in b:
+                fail(f"{path}: bench '{b['name']}' is missing '{key}' — "
+                     "baseline and bench binary are out of sync; refresh the "
+                     "baseline with --update")
+            numeric(path, f"{b['name']}.{key}", b[key])
+        if b["ns_per_cell_tick"] <= 0:
+            fail(f"{path}: bench '{b['name']}' has non-positive ns_per_cell_tick "
+                 f"({b['ns_per_cell_tick']!r})")
     return doc
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True, help="committed BENCH_kernel.json")
-    ap.add_argument("--current", required=True, help="freshly measured BENCH_kernel.json")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="max allowed normalized slowdown (default 0.15 = 15%%)")
-    ap.add_argument("--update", action="store_true",
-                    help="copy --current over --baseline instead of gating")
-    args = ap.parse_args()
-
-    if args.update:
-        shutil.copyfile(args.current, args.baseline)
-        print(f"perf_gate: baseline {args.baseline} refreshed from {args.current}")
-        return
-
-    base = load(args.baseline)
-    cur = load(args.current)
+def gate(base, cur, threshold):
+    """Compare two loaded docs; returns (report_lines, failure_lines)."""
     base_by_name = {b["name"]: b for b in base["benches"]}
     cur_by_name = {b["name"]: b for b in cur["benches"]}
 
     shared = [n for n in base_by_name if n in cur_by_name]
     if not shared:
-        sys.exit("perf_gate: no benches shared between baseline and current run")
+        fail("no benches shared between baseline and current run")
 
+    lines = []
     failures = []
     for name in shared:
         b, c = base_by_name[name], cur_by_name[name]
@@ -69,23 +92,145 @@ def main():
         c_norm = c["ns_per_cell_tick"] / cur["calibration_ns"]
         ratio = c_norm / b_norm
         flag = ""
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             flag = "  REGRESSED"
             failures.append(f"{name}: normalized ns/cell-tick {ratio:.2f}x baseline "
-                            f"(limit {1.0 + args.threshold:.2f}x)")
+                            f"(limit {1.0 + threshold:.2f}x)")
         # An allocation-free loop that starts allocating is a regression at
         # any speed — per-tick heap traffic is what the kernel removed.
         if b["allocs_per_tick"] < 0.005 and c["allocs_per_tick"] >= 0.005:
             flag += "  ALLOCATES"
             failures.append(f"{name}: allocs/tick {c['allocs_per_tick']:.4f} "
                             f"(baseline {b['allocs_per_tick']:.4f})")
-        print(f"{name:16s} baseline {b['ns_per_cell_tick']:8.2f} ns  "
-              f"current {c['ns_per_cell_tick']:8.2f} ns  "
-              f"normalized ratio {ratio:5.2f}x{flag}")
+        lines.append(f"{name:16s} baseline {b['ns_per_cell_tick']:8.2f} ns  "
+                     f"current {c['ns_per_cell_tick']:8.2f} ns  "
+                     f"normalized ratio {ratio:5.2f}x{flag}")
 
-    missing = [n for n in base_by_name if n not in cur_by_name]
-    for name in missing:
-        failures.append(f"{name}: present in baseline but missing from current run")
+    for name in base_by_name:
+        if name not in cur_by_name:
+            failures.append(f"{name}: present in baseline but missing from current run")
+    return shared, lines, failures
+
+
+def self_test():
+    """Exercise the malformed-input paths in-process; exits non-zero on bugs."""
+    import copy
+    import os
+    import tempfile
+
+    good = {"calibration_ns": 2.0,
+            "benches": [{"name": "tick", "ns_per_cell_tick": 10.0,
+                         "allocs_per_tick": 0.0}]}
+
+    def expect_exit(label, fn):
+        try:
+            fn()
+        except SystemExit as e:
+            # Any traceback-free refusal is a pass; argparse-style int codes ok.
+            msg = str(e.code)
+            assert "Traceback" not in msg, label
+            return msg
+        raise AssertionError(f"{label}: expected a readable gate failure, got none")
+
+    def check_load(label, doc, needle):
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        try:
+            msg = expect_exit(label, lambda: load(path))
+            assert needle in msg, f"{label}: diagnosis {msg!r} lacks {needle!r}"
+        finally:
+            os.unlink(path)
+
+    # 1. zero / negative / absent / non-numeric calibration
+    zero_cal = copy.deepcopy(good)
+    zero_cal["calibration_ns"] = 0
+    check_load("zero calibration", zero_cal, "calibration")
+    neg_cal = copy.deepcopy(good)
+    neg_cal["calibration_ns"] = -1.0
+    check_load("negative calibration", neg_cal, "calibration")
+    no_cal = copy.deepcopy(good)
+    del no_cal["calibration_ns"]
+    check_load("absent calibration", no_cal, "calibration_ns")
+    str_cal = copy.deepcopy(good)
+    str_cal["calibration_ns"] = "fast"
+    check_load("string calibration", str_cal, "number")
+
+    # 2. bench entry missing a key (baseline older than the bench binary)
+    no_key = copy.deepcopy(good)
+    del no_key["benches"][0]["allocs_per_tick"]
+    check_load("missing bench key", no_key, "allocs_per_tick")
+    zero_ns = copy.deepcopy(good)
+    zero_ns["benches"][0]["ns_per_cell_tick"] = 0.0
+    check_load("zero ns baseline", zero_ns, "non-positive")
+
+    # 3. unreadable / malformed files
+    msg = expect_exit("missing file", lambda: load("/nonexistent/BENCH.json"))
+    assert "cannot read" in msg, msg
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        f.write("{not json")
+        path = f.name
+    try:
+        msg = expect_exit("malformed json", lambda: load(path))
+        assert "not valid JSON" in msg, msg
+    finally:
+        os.unlink(path)
+
+    # 4. disjoint bench sets refuse rather than vacuously pass
+    other = {"calibration_ns": 2.0,
+             "benches": [{"name": "other", "ns_per_cell_tick": 5.0,
+                          "allocs_per_tick": 0.0}]}
+    expect_exit("no shared benches", lambda: gate(good, other, 0.15))
+
+    # 5. the happy path still gates
+    slow = copy.deepcopy(good)
+    slow["benches"][0]["ns_per_cell_tick"] = 100.0
+    _, _, failures = gate(good, slow, 0.15)
+    assert any("baseline" in f for f in failures), failures
+    _, _, clean = gate(good, copy.deepcopy(good), 0.15)
+    assert not clean, clean
+    missing_cur = copy.deepcopy(good)
+    missing_cur["benches"] = [{"name": "extra", "ns_per_cell_tick": 5.0,
+                               "allocs_per_tick": 0.0},
+                              dict(good["benches"][0])]
+    _, _, failures = gate(missing_cur, {"calibration_ns": 2.0,
+                                        "benches": [dict(good["benches"][0])]}, 0.15)
+    assert any("missing from current" in f for f in failures), failures
+
+    print("perf_gate: self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="committed BENCH_kernel.json")
+    ap.add_argument("--current", help="freshly measured BENCH_kernel.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed normalized slowdown (default 0.15 = 15%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy --current over --baseline instead of gating")
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise the malformed-input guards and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required unless --self-test")
+
+    if args.update:
+        try:
+            shutil.copyfile(args.current, args.baseline)
+        except OSError as e:
+            fail(f"cannot refresh baseline: {e.strerror or e}")
+        print(f"perf_gate: baseline {args.baseline} refreshed from {args.current}")
+        return
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    shared, lines, failures = gate(base, cur, args.threshold)
+    for line in lines:
+        print(line)
 
     if failures:
         print("\nperf_gate: FAIL", file=sys.stderr)
