@@ -88,6 +88,10 @@ class Battery {
   /// terminals, zero usable capacity, health 0. Irreversible.
   void fail_open() { fleet_->fail_open_cell(cell_); }
   [[nodiscard]] bool open_failed() const { return fleet_->cell_open_failed(cell_); }
+  /// Fault/test hook: overwrite the stored SoC with no validation — the
+  /// nan_poison fault smuggles a NaN past the kernel's input guards so the
+  /// run-health watchdog (not an assertion) is what catches it.
+  void debug_set_soc(double soc) { fleet_->debug_set_soc(cell_, soc); }
   [[nodiscard]] const AgingState& aging_state() const {
     return fleet_->cell_aging_state(cell_);
   }

@@ -57,7 +57,43 @@ std::size_t FleetState::add_cell(double capacity_scale, double resistance_scale,
   pk_val_.push_back(1.0);
   decay_key_.push_back(kNaN);
   decay_val_.push_back(1.0);
+  rainflow_.emplace_back(ledger_curve_);
+  rainflow_.back().push(initial_soc);  // history opens at the birth SoC
+  ledger_base_aging_.emplace_back();
+  ledger_base_damage_.push_back(0.0);
+  ledger_base_efc_.push_back(0.0);
+  ledger_base_dwell_.push_back(0.0);
   return c;
+}
+
+// --- aging-attribution ledger ------------------------------------------------
+
+CellLedgerEntry FleetState::ledger_total(std::size_t c) const {
+  BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
+  CellLedgerEntry e;
+  e.fade = fade_components(aging_params_, aging_[c]);
+  e.cycle_damage = rainflow_[c].damage();
+  e.efc = counters_[c].ah_discharged.value() / nameplate_[c];
+  e.low_soc_dwell_s = counters_[c].time_below_40.value();
+  return e;
+}
+
+CellLedgerEntry FleetState::ledger_delta(std::size_t c) const {
+  CellLedgerEntry e = ledger_total(c);
+  e.fade -= fade_components(aging_params_, ledger_base_aging_[c]);
+  e.cycle_damage -= ledger_base_damage_[c];
+  e.efc -= ledger_base_efc_[c];
+  e.low_soc_dwell_s -= ledger_base_dwell_[c];
+  return e;
+}
+
+void FleetState::ledger_advance() {
+  for (std::size_t c = 0; c < soc_.size(); ++c) {
+    ledger_base_aging_[c] = aging_[c];
+    ledger_base_damage_[c] = rainflow_[c].damage();
+    ledger_base_efc_[c] = counters_[c].ah_discharged.value() / nameplate_[c];
+    ledger_base_dwell_[c] = counters_[c].time_below_40.value();
+  }
 }
 
 // --- transcendental memos ----------------------------------------------------
@@ -313,6 +349,7 @@ StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
   if (soc < 0.40) ctr.time_below_40 += dt;
 
   soc_[c] = soc;
+  if (ledger_enabled_) rainflow_[c].push(soc);
   BAAT_INVARIANT(soc >= 0.0 && soc <= 1.0, "soc escaped [0, 1]");
   return result;
 }
@@ -382,6 +419,7 @@ StepResult FleetState::float_charge_cell(std::size_t c, Amperes trickle, Seconds
   ctr.time_total += dt;
   if (soc < 0.40) ctr.time_below_40 += dt;
   soc_[c] = soc;
+  if (ledger_enabled_) rainflow_[c].push(soc);
   return result;
 }
 
@@ -418,6 +456,13 @@ FleetState FleetState::clone_cell(std::size_t c) const {
   out.pk_val_.push_back(pk_val_[c]);
   out.decay_key_.push_back(decay_key_[c]);
   out.decay_val_.push_back(decay_val_[c]);
+  out.ledger_enabled_ = ledger_enabled_;
+  out.ledger_curve_ = ledger_curve_;
+  out.rainflow_.push_back(rainflow_[c]);
+  out.ledger_base_aging_.push_back(ledger_base_aging_[c]);
+  out.ledger_base_damage_.push_back(ledger_base_damage_[c]);
+  out.ledger_base_efc_.push_back(ledger_base_efc_[c]);
+  out.ledger_base_dwell_.push_back(ledger_base_dwell_[c]);
   return out;
 }
 
@@ -447,6 +492,11 @@ void FleetState::copy_cell_from(std::size_t dst, const FleetState& src,
   pk_val_[dst] = src.pk_val_[src_cell];
   decay_key_[dst] = src.decay_key_[src_cell];
   decay_val_[dst] = src.decay_val_[src_cell];
+  rainflow_[dst] = src.rainflow_[src_cell];
+  ledger_base_aging_[dst] = src.ledger_base_aging_[src_cell];
+  ledger_base_damage_[dst] = src.ledger_base_damage_[src_cell];
+  ledger_base_efc_[dst] = src.ledger_base_efc_[src_cell];
+  ledger_base_dwell_[dst] = src.ledger_base_dwell_[src_cell];
 }
 
 namespace {
@@ -562,6 +612,14 @@ void FleetState::save_state(snapshot::SnapshotWriter& w) const {
   w.write_f64_vec(pk_val_);
   w.write_f64_vec(decay_key_);
   w.write_f64_vec(decay_val_);
+  // Ledger state (format v2): baselines and the open rainflow stacks —
+  // cycles that span a checkpoint must resume at full depth.
+  w.write_bool(ledger_enabled_);
+  for (const OnlineRainflow& rf : rainflow_) rf.save_state(w);
+  for (const AgingState& s : ledger_base_aging_) save_aging_state(w, s);
+  w.write_f64_vec(ledger_base_damage_);
+  w.write_f64_vec(ledger_base_efc_);
+  w.write_f64_vec(ledger_base_dwell_);
 }
 
 void FleetState::load_state(snapshot::SnapshotReader& r) {
@@ -599,6 +657,16 @@ void FleetState::load_state(snapshot::SnapshotReader& r) {
   if (arr_key_.size() != n || arr_val_.size() != n || pk_key_.size() != n ||
       pk_val_.size() != n || decay_key_.size() != n || decay_val_.size() != n) {
     throw snapshot::SnapshotError("fleet snapshot memo arrays disagree on cell count");
+  }
+  ledger_enabled_ = r.read_bool();
+  for (OnlineRainflow& rf : rainflow_) rf.load_state(r);
+  for (AgingState& s : ledger_base_aging_) load_aging_state(r, s);
+  ledger_base_damage_ = r.read_f64_vec();
+  ledger_base_efc_ = r.read_f64_vec();
+  ledger_base_dwell_ = r.read_f64_vec();
+  if (ledger_base_damage_.size() != n || ledger_base_efc_.size() != n ||
+      ledger_base_dwell_.size() != n) {
+    throw snapshot::SnapshotError("fleet snapshot ledger arrays disagree on cell count");
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include "battery/aging.hpp"
 #include "battery/chemistry.hpp"
+#include "battery/ledger.hpp"
 #include "battery/thermal.hpp"
 #include "snapshot/serialize.hpp"
 #include "util/units.hpp"
@@ -126,6 +127,33 @@ class FleetState {
     return counters_[c].ah_discharged.value() / nameplate_[c];
   }
 
+  // --- aging-attribution ledger (DESIGN.md §5g) ------------------------------
+  /// The ledger itself is free — fade components are read out of the aging
+  /// state on demand — but the online rainflow counter costs a few compares
+  /// per tick; benches turn it off to measure the obs tax.
+  void set_ledger_enabled(bool on) { ledger_enabled_ = on; }
+  [[nodiscard]] bool ledger_enabled() const { return ledger_enabled_; }
+  /// Cycle-life curve captured by subsequently added cells (set it before
+  /// building the bank; defaults to the Trojan-like reference curve).
+  void set_cycle_life_curve(const CycleLifeCurve& curve) { ledger_curve_ = curve; }
+
+  /// Lifetime ledger entry of cell `c` (since birth).
+  [[nodiscard]] CellLedgerEntry ledger_total(std::size_t c) const;
+  /// Ledger entry since the last ledger_advance() (non-advancing peek, so
+  /// the blackbox can read mid-window without disturbing the rollup).
+  [[nodiscard]] CellLedgerEntry ledger_delta(std::size_t c) const;
+  /// Move every cell's ledger baseline up to its current state; call at a
+  /// rollup boundary after the deltas have been read.
+  void ledger_advance();
+  [[nodiscard]] double cell_cycle_damage(std::size_t c) const {
+    return rainflow_[c].damage();
+  }
+
+  /// Test/fault hook: overwrite a cell's SoC with no validation — the
+  /// nan_poison fault uses this to model a corrupted state word that the
+  /// run-health watchdog must catch.
+  void debug_set_soc(std::size_t c, double v) { soc_[c] = v; }
+
   // --- view support ----------------------------------------------------------
   /// A one-cell fleet carrying a deep copy of cell `c` (Battery's copy ctor).
   [[nodiscard]] FleetState clone_cell(std::size_t c) const;
@@ -177,6 +205,17 @@ class FleetState {
   std::vector<double> arr_key_, arr_val_;
   std::vector<double> pk_key_, pk_val_;
   std::vector<double> decay_key_, decay_val_;
+
+  // Aging-attribution ledger state. Baselines hold each cell's state at the
+  // last rollup boundary so a delta is two reads and a subtract; the online
+  // rainflow counters are allocation-free after add_cell.
+  bool ledger_enabled_ = true;
+  CycleLifeCurve ledger_curve_;
+  std::vector<OnlineRainflow> rainflow_;
+  std::vector<AgingState> ledger_base_aging_;
+  std::vector<double> ledger_base_damage_;
+  std::vector<double> ledger_base_efc_;
+  std::vector<double> ledger_base_dwell_;
 };
 
 /// Batched tick entry point: one call advances the whole fleet.

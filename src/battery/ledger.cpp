@@ -1,0 +1,159 @@
+#include "battery/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace baat::battery {
+
+MechanismFade fade_components(const AgingParams& p, const AgingState& s) {
+  // Mirror detail::aging_capacity_fraction term by term: the attribution is
+  // exact because these ARE the kernel's fade terms, not a re-derivation.
+  MechanismFade f;
+  f.corrosion = p.capacity_w_corrosion * s.corrosion;
+  f.shedding = s.shedding;
+  f.sulphation = s.sulphation;
+  f.stratification = s.stratification;
+  f.water_loss = p.capacity_w_water * s.water_loss;
+  return f;
+}
+
+double OnlineRainflow::cycle_damage(double depth, double count) const {
+  if (depth <= kFlatEps) return 0.0;
+  return count / curve_.cycles(std::min(1.0, depth));
+}
+
+double OnlineRainflow::reduce() {
+  double released = 0.0;
+  // Three-point ASTM E1049 reduction, identical to the offline stack walk:
+  // range Y = |s[-3]..s[-2]| closes once the newer range X reaches it. When
+  // Y touches the history start (stack depth 3) it is a half cycle and the
+  // start is discarded; interior ranges are full cycles.
+  while (depth_ >= 3) {
+    const double x = std::abs(stack_[depth_ - 1] - stack_[depth_ - 2]);
+    const double y = std::abs(stack_[depth_ - 2] - stack_[depth_ - 3]);
+    if (x < y) break;
+    if (depth_ == 3) {
+      released += cycle_damage(y, 0.5);
+      stack_[0] = stack_[1];
+      stack_[1] = stack_[2];
+      depth_ = 2;
+    } else {
+      released += cycle_damage(y, 1.0);
+      stack_[depth_ - 3] = stack_[depth_ - 1];
+      depth_ -= 2;
+    }
+  }
+  damage_ += released;
+  return released;
+}
+
+double OnlineRainflow::push_slow(double soc, int s) {
+  // Everything the inline fast path rejected: the opening sample, the
+  // direction-fixing second sample, and genuine reversals. A same-direction
+  // extension can never land here — the fast path's d * dir_sign_ test
+  // accepts exactly the samples with |d| > kFlatEps and matching sign.
+  if (last_ < 0.0) return push_first(soc);
+  if (dir_ == 0) {
+    // Direction now known: the start stays a committed turning point and
+    // this sample opens the first excursion as its own stack slot.
+    dir_ = s;
+    dir_sign_ = static_cast<double>(s);
+    stack_[depth_++] = soc;
+    last_ = soc;
+    return 0.0;
+  }
+  return push_reversal(soc, s);
+}
+
+double OnlineRainflow::push_first(double soc) {
+  // First sample opens the history; it is the provisional first turning
+  // point until the direction is known.
+  stack_[depth_++] = soc;
+  last_ = soc;
+  return 0.0;
+}
+
+double OnlineRainflow::push_reversal(double soc, int dir) {
+  // Reversal: the old endpoint becomes a committed turning point and the
+  // new sample opens the next excursion. Extensions track the endpoint in
+  // last_ only, so materialize it into the stack first, then run the
+  // three-point reduction at the commit — the offline walk's per-point
+  // order. X is the full excursion range here, closing any cycles the
+  // excursion deepened past (the fast path defers all closure work to
+  // this commit; the damage amount is identical, only recognized at the
+  // turning point as the offline counter does).
+  stack_[depth_ - 1] = last_;
+  dir_ = dir;
+  dir_sign_ = static_cast<double>(dir);
+  double released = reduce();
+  if (depth_ == kStackDepth) {
+    // Safety valve: spill the oldest excursion as a half cycle so
+    // pathological nesting degrades the count instead of growing memory.
+    const double spilled = cycle_damage(std::abs(stack_[1] - stack_[0]), 0.5);
+    released += spilled;
+    damage_ += spilled;
+    for (std::size_t i = 1; i < depth_; ++i) stack_[i - 1] = stack_[i];
+    --depth_;
+  }
+  stack_[depth_++] = soc;
+  last_ = soc;
+  // The fresh reversal itself can already dominate the range below it
+  // (a large single-sample jump), so the reduction runs again.
+  return released + reduce();
+}
+
+double OnlineRainflow::flush_residuals() {
+  // End of series: commit the open endpoint and run the reduction first —
+  // a still-open excursion may dominate ranges below it, and those are
+  // full cycles, not residue. What survives is the true residue, charged
+  // as half cycles exactly like the offline counter's tail handling. The
+  // stack resets but accumulated damage is kept.
+  double released = 0.0;
+  if (depth_ > 0) {
+    stack_[depth_ - 1] = last_;
+    released += reduce();  // reduce() accumulates into damage_ itself
+  }
+  double halves = 0.0;
+  for (std::size_t i = 1; i < depth_; ++i) {
+    halves += cycle_damage(std::abs(stack_[i] - stack_[i - 1]), 0.5);
+  }
+  depth_ = 0;
+  dir_ = 0;
+  dir_sign_ = 0.0;
+  last_ = -1.0;
+  damage_ += halves;
+  return released + halves;
+}
+
+void OnlineRainflow::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_f64(curve_.cycles_at_full);
+  w.write_f64(curve_.exponent);
+  w.write_f64(curve_.dod_min);
+  w.write_u64(static_cast<std::uint64_t>(depth_));
+  // The open endpoint lives in last_ between commits; write the logical
+  // stack so the snapshot format is unchanged by the lazy-sync optimization.
+  for (std::size_t i = 0; i < depth_; ++i) {
+    w.write_f64(i + 1 == depth_ ? last_ : stack_[i]);
+  }
+  w.write_f64(last_);
+  w.write_i64(dir_);
+  w.write_f64(damage_);
+}
+
+void OnlineRainflow::load_state(snapshot::SnapshotReader& r) {
+  curve_.cycles_at_full = r.read_f64();
+  curve_.exponent = r.read_f64();
+  curve_.dod_min = r.read_f64();
+  const std::uint64_t n = r.read_u64();
+  if (n > kStackDepth) {
+    throw snapshot::SnapshotError("rainflow stack depth exceeds kStackDepth");
+  }
+  depth_ = static_cast<std::size_t>(n);
+  for (std::size_t i = 0; i < depth_; ++i) stack_[i] = r.read_f64();
+  last_ = r.read_f64();
+  dir_ = static_cast<int>(r.read_i64());
+  damage_ = r.read_f64();
+  dir_sign_ = static_cast<double>(dir_);  // derived, not serialized
+}
+
+}  // namespace baat::battery

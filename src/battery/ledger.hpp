@@ -1,0 +1,193 @@
+#pragma once
+
+// Aging-attribution ledger (DESIGN.md §5g): per-cell, per-mechanism
+// accounting of capacity fade and cycle-life consumption, accumulated
+// allocation-free inside the fleet kernel and rolled up per bank/cluster at
+// day boundaries.
+//
+// The attribution is exact by construction: fade components are the very
+// weighted terms detail::aging_capacity_fraction sums, taken in the same
+// order, so for any cell (or any delta between two rollups) the mechanism
+// parts reproduce the total fade to within a few ulps — the 1e-9 invariant
+// the property suite asserts is generous.
+//
+// Cycle-life consumption runs on a *second* axis: an online rainflow
+// counter (ASTM E1049, the same decomposition rainflow.hpp applies offline)
+// tracks SoC turning points per cell in a bounded stack and converts every
+// closed cycle into Miner's-rule damage under a CycleLifeCurve. It answers
+// "how much rated cycle life did this usage consume", where the mechanism
+// fade answers "how much capacity is physically gone"; the two deliberately
+// do not sum.
+
+#include <cstdint>
+#include <vector>
+
+#include "battery/aging.hpp"
+#include "battery/cycle_life.hpp"
+#include "snapshot/serialize.hpp"
+
+namespace baat::battery {
+
+/// Capacity fade split by mechanism, in fade units (fraction of nameplate
+/// capacity destroyed). Each field is the exact weighted term that
+/// detail::aging_capacity_fraction charges for the mechanism.
+struct MechanismFade {
+  double corrosion = 0.0;       ///< capacity_w_corrosion * state.corrosion
+  double shedding = 0.0;
+  double sulphation = 0.0;
+  double stratification = 0.0;
+  double water_loss = 0.0;      ///< capacity_w_water * state.water_loss
+
+  /// Total fade, summed in aging_capacity_fraction's evaluation order so
+  /// the attribution reproduces the kernel's number bit-for-bit (before the
+  /// 0.05 capacity floor).
+  [[nodiscard]] double total() const {
+    return corrosion + shedding + sulphation + stratification + water_loss;
+  }
+
+  MechanismFade& operator+=(const MechanismFade& o) {
+    corrosion += o.corrosion;
+    shedding += o.shedding;
+    sulphation += o.sulphation;
+    stratification += o.stratification;
+    water_loss += o.water_loss;
+    return *this;
+  }
+  MechanismFade& operator-=(const MechanismFade& o) {
+    corrosion -= o.corrosion;
+    shedding -= o.shedding;
+    sulphation -= o.sulphation;
+    stratification -= o.stratification;
+    water_loss -= o.water_loss;
+    return *this;
+  }
+};
+
+/// The fade attribution of an aging state: exactly the weighted terms of
+/// detail::aging_capacity_fraction, one per mechanism.
+[[nodiscard]] MechanismFade fade_components(const AgingParams& p, const AgingState& s);
+
+/// One cell's ledger entry over a rollup window (or since birth). Fade
+/// deltas can be negative: a full (equalizing) charge partially heals
+/// stratification.
+struct CellLedgerEntry {
+  MechanismFade fade;            ///< per-mechanism capacity fade
+  double cycle_damage = 0.0;     ///< Miner's-rule cycle-life fraction consumed
+  double efc = 0.0;              ///< equivalent full cycles discharged
+  double low_soc_dwell_s = 0.0;  ///< seconds spent below the 40% knee
+};
+
+/// Bank/cluster aggregate of cell entries.
+struct LedgerRollup {
+  MechanismFade fade;
+  double cycle_damage = 0.0;
+  double efc = 0.0;
+  double low_soc_dwell_s = 0.0;
+  std::size_t cells = 0;
+
+  void add(const CellLedgerEntry& e) {
+    fade += e.fade;
+    cycle_damage += e.cycle_damage;
+    efc += e.efc;
+    low_soc_dwell_s += e.low_soc_dwell_s;
+    ++cells;
+  }
+  LedgerRollup& operator+=(const LedgerRollup& o) {
+    fade += o.fade;
+    cycle_damage += o.cycle_damage;
+    efc += o.efc;
+    low_soc_dwell_s += o.low_soc_dwell_s;
+    cells += o.cells;
+    return *this;
+  }
+};
+
+/// Online rainflow cycle counter over one cell's SoC trajectory.
+///
+/// Allocation-free after construction: turning points live in a fixed-size
+/// stack. Each SoC sample either extends the current monotone excursion
+/// (the overwhelmingly common case — two compares and a store) or commits a
+/// turning point and runs the three-point ASTM E1049 reduction, converting
+/// every closed cycle into damage under the curve. A full stack spills its
+/// oldest point as a half cycle, so pathological nesting degrades the count
+/// gracefully instead of growing memory. Residual (still-open) excursions
+/// are *not* charged until flush_residuals(), mirroring the offline
+/// counter's half-cycle treatment.
+class OnlineRainflow {
+ public:
+  /// Fixed turning-point stack depth. 32 nests far deeper than any daily
+  /// charge/discharge pattern reaches; the spill path is a safety valve.
+  static constexpr std::size_t kStackDepth = 32;
+
+  explicit OnlineRainflow(CycleLifeCurve curve = CycleLifeCurve{}) : curve_(curve) {}
+
+  /// Feed the next SoC sample. Returns the damage charged by cycles closed
+  /// (or spilled) by this sample; also accumulated into damage().
+  ///
+  /// Runs once per cell-tick on the kernel hot path, so the overwhelmingly
+  /// common outcomes — a flat sample or a same-direction extension — are
+  /// decided inline in a handful of compares; only genuine turning points
+  /// take the out-of-line reduction path.
+  double push(double soc) {
+    // Clamp like the offline path: callers feed raw SoC which can sit a few
+    // ulps outside [0,1] in fast-math mode. Ternaries keep it branchless.
+    soc = soc < 0.0 ? 0.0 : (soc > 1.0 ? 1.0 : soc);
+    const double d = soc - last_;
+    if (d * dir_sign_ > kFlatEps) {
+      // Same-direction extension beyond the noise floor — the hot case,
+      // decided by one multiply (dir_sign_ is ±1, or 0 while the direction
+      // is unknown, which routes every cold case to push_slow). Only last_
+      // records the moving endpoint — stack_[depth_ - 1] is synced at the
+      // commit points (push_reversal, flush_residuals, save_state), so
+      // this path touches a single cache line and does no closure work:
+      // like the offline walk, the E1049 reduction runs when the turning
+      // point commits, with X as the full excursion range. Deferral moves
+      // *when* a closed cycle's damage is recognized (to the reversal, as
+      // offline does) but never its amount.
+      last_ = soc;
+      return 0.0;
+    }
+    if (d < kFlatEps && d > -kFlatEps) return 0.0;  // flat: numeric noise
+    return push_slow(soc, d > 0.0 ? 1 : -1);
+  }
+
+  /// Charge the still-open excursions as half cycles and reset the stack
+  /// (the accumulated damage is kept). Mirrors the offline counter's
+  /// residual treatment; call at end of life, not per rollup — cycles that
+  /// span rollup windows must stay open to be counted at full depth.
+  double flush_residuals();
+
+  [[nodiscard]] double damage() const { return damage_; }
+  [[nodiscard]] std::size_t open_points() const { return depth_; }
+  [[nodiscard]] const CycleLifeCurve& curve() const { return curve_; }
+
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
+
+ private:
+  /// Same flat threshold the offline counter uses when compressing turning
+  /// points (rainflow.cpp); excursions below it are numeric noise.
+  static constexpr double kFlatEps = 1e-12;
+
+  [[nodiscard]] double cycle_damage(double depth, double count) const;
+  double push_slow(double soc, int s);         ///< every non-extension case
+  double push_first(double soc);               ///< opens the history
+  double push_reversal(double soc, int dir);   ///< commits a turning point
+  double reduce();  ///< three-point reduction; returns damage released
+
+  // Hot fast-path scalars first so a same-direction extension (the
+  // overwhelmingly common sample) reads and writes one cache line; the
+  // turning-point stack is only touched when a point commits. Invariant:
+  // whenever depth_ >= 1 the *logical* open endpoint is last_, and
+  // stack_[depth_ - 1] is synced to it lazily at the commit points.
+  double last_ = -1.0;              ///< previous sample (-1 = none yet)
+  // Derived from dir_ whenever it changes; not serialized.
+  double dir_sign_ = 0.0;           ///< dir_ as ±1.0 (0.0 = unknown)
+  int dir_ = 0;                     ///< current excursion direction, 0 = unknown
+  std::size_t depth_ = 0;
+  double damage_ = 0.0;             ///< Miner fraction from closed cycles
+  CycleLifeCurve curve_;
+  double stack_[kStackDepth] = {};  ///< turning-point SoC values
+};
+
+}  // namespace baat::battery

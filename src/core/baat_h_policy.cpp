@@ -59,7 +59,7 @@ Actions BaatHPolicy::on_control_tick(const PolicyContext& ctx) {
   if (feasible.empty()) return actions;
 
   const std::size_t to = feasible[rng_.uniform_index(feasible.size())];
-  actions.migrations.push_back(MigrationAction{victim->id, worst, to});
+  actions.migrations.push_back(MigrationAction{victim->id, worst, to, "low_soc_hiding"});
   last_migration_[worst] = ctx.now;
   return actions;
 }

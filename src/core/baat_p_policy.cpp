@@ -40,7 +40,7 @@ Actions BaatPredictivePolicy::on_control_tick(const PolicyContext& ctx) {
     const bool already = std::any_of(actions.dvfs.begin(), actions.dvfs.end(),
                                      [&n](const DvfsAction& a) { return a.node == n.index; });
     if (already) continue;
-    actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1});
+    actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1, "predictive_cap"});
   }
   return actions;
 }

@@ -72,7 +72,8 @@ Actions BaatPolicy::on_control_tick(const PolicyContext& ctx) {
               }
             }
             if (best) {
-              actions.migrations.push_back(MigrationAction{victim->id, n.index, *best});
+              actions.migrations.push_back(
+                  MigrationAction{victim->id, n.index, *best, "low_soc_hiding"});
               cores_free[*best] -= victim->cores;
               mem_free[*best] -= victim->mem_gb;
               last_migration_[n.index] = ctx.now;
@@ -81,13 +82,13 @@ Actions BaatPolicy::on_control_tick(const PolicyContext& ctx) {
           }
         }
         if (!migrated && n.dvfs_level > 0) {
-          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1});
+          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1, "low_soc_slowdown"});
         }
         break;
       }
       case SlowdownDecision::Restore:
         if (n.dvfs_level < n.dvfs_top) {
-          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level + 1});
+          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level + 1, "soc_recovered"});
         }
         break;
       case SlowdownDecision::None:

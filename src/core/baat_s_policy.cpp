@@ -12,12 +12,12 @@ Actions BaatSPolicy::on_control_tick(const PolicyContext& ctx) {
         // reduce power demand and promote the chances of battery charging",
         // §IV-C.2).
         if (n.dvfs_level > 0) {
-          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1});
+          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level - 1, "low_soc_slowdown"});
         }
         break;
       case SlowdownDecision::Restore:
         if (n.dvfs_level < n.dvfs_top) {
-          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level + 1});
+          actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_level + 1, "soc_recovered"});
         }
         break;
       case SlowdownDecision::None:

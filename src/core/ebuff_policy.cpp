@@ -8,7 +8,7 @@ Actions EBuffPolicy::on_control_tick(const PolicyContext& ctx) {
   Actions actions;
   for (const NodeView& n : ctx.nodes) {
     if (n.dvfs_level != n.dvfs_top) {
-      actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_top});
+      actions.dvfs.push_back(DvfsAction{n.index, n.dvfs_top, "nominal_frequency"});
     }
   }
   return actions;

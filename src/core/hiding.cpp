@@ -85,7 +85,7 @@ std::optional<MigrationAction> propose_rebalance(const PolicyContext& ctx,
   if (!best) return std::nullopt;
   if (worst_score - best_score < threshold) return std::nullopt;
 
-  return MigrationAction{victim->id, *worst, *best};
+  return MigrationAction{victim->id, *worst, *best, "aging_rebalance"};
 }
 
 }  // namespace baat::core

@@ -72,11 +72,17 @@ struct MigrationAction {
   VmId vm = -1;
   std::size_t from = 0;
   std::size_t to = 0;
+  /// Why the policy acted (static string: "low_soc_hiding",
+  /// "aging_rebalance", ...). Carried into the actuation's trace event so
+  /// the aging ledger's story can be joined with the decisions behind it.
+  const char* cause = "";
 };
 
 struct DvfsAction {
   std::size_t node = 0;
   int level = 0;
+  /// Why the policy acted (see MigrationAction::cause).
+  const char* cause = "";
 };
 
 /// Everything a policy may request this control period. Empty vectors mean

@@ -124,6 +124,7 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::CellWeak: return "cell_weak";
     case FaultKind::CellOpen: return "cell_open";
     case FaultKind::MeterGlitch: return "meter_glitch";
+    case FaultKind::NanPoison: return "nan_poison";
   }
   return "unknown";
 }
@@ -221,6 +222,16 @@ FaultSpec parse_fault_spec(const std::string& spec) {
     f.bank = static_cast<std::size_t>(bank);
     f.day = 0;
     if (const std::string* day = kv.find("day")) f.day = parse_day(spec, *day);
+  } else if (kind == "nan_poison") {
+    f.kind = FaultKind::NanPoison;
+    const Fields kv = key_values(spec, parts, 1);
+    kv.reject_unknown({"bank", "day"});
+    const double bank = parse_number(spec, "bank", kv.require("bank"));
+    BAAT_REQUIRE(bank >= 0.0 && bank == std::floor(bank) && bank < 4096.0,
+                 "fault spec '" + spec + "': bank must be a small non-negative integer");
+    f.bank = static_cast<std::size_t>(bank);
+    f.day = 0;
+    if (const std::string* day = kv.find("day")) f.day = parse_day(spec, *day);
   } else if (kind == "meter_glitch") {
     f.kind = FaultKind::MeterGlitch;
     const Fields kv = key_values(spec, parts, 1);
@@ -235,7 +246,7 @@ FaultSpec parse_fault_spec(const std::string& spec) {
     throw util::PreconditionError(
         "unknown fault kind '" + kind +
         "' (sensor_noise|sensor_bias|sensor_stuck|probe_stale|pv_dropout|pv_derate|"
-        "cell_weak|cell_open|meter_glitch)");
+        "cell_weak|cell_open|meter_glitch|nan_poison)");
   }
   return f;
 }
@@ -264,7 +275,10 @@ void validate_plan(const FaultPlan& plan) {
   // One battery cannot both be weak and fail open ambiguously twice.
   for (std::size_t a = 0; a < plan.faults.size(); ++a) {
     const FaultSpec& fa = plan.faults[a];
-    if (fa.kind != FaultKind::CellOpen && fa.kind != FaultKind::CellWeak) continue;
+    if (fa.kind != FaultKind::CellOpen && fa.kind != FaultKind::CellWeak &&
+        fa.kind != FaultKind::NanPoison) {
+      continue;
+    }
     for (std::size_t b = a + 1; b < plan.faults.size(); ++b) {
       const FaultSpec& fb = plan.faults[b];
       if (fb.kind == fa.kind && fb.bank == fa.bank) {
@@ -340,6 +354,9 @@ std::string FaultSpec::to_string() const {
     case FaultKind::MeterGlitch:
       os << ":p=" << trimmed_number(probability)
          << ":scale=" << trimmed_number(glitch_scale);
+      break;
+    case FaultKind::NanPoison:
+      os << ":bank=" << bank << ":day=" << day;
       break;
   }
   return os.str();

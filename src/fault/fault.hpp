@@ -21,6 +21,10 @@
 //   cell_weak:bank=<i>:capacity=<f>[:resistance=<f>]  manufacturing outlier
 //   cell_open:bank=<i>[:day=<d>]        open-cell failure from day d on
 //   meter_glitch:p=<prob>[:scale=<s>]   controller power readings corrupted
+//   nan_poison:bank=<i>[:day=<d>]       battery state poisoned with NaN at
+//                                       the start of day d — a watchdog /
+//                                       flight-recorder drill, not a field
+//                                       fault
 //
 // Channels: voltage | current | temp | soc (soc = current-channel noise in
 // fractions of C20 capacity, which corrupts coulomb-counted SoC estimates).
@@ -45,6 +49,7 @@ enum class FaultKind {
   CellWeak,
   CellOpen,
   MeterGlitch,
+  NanPoison,
 };
 
 /// Stable snake_case name (matches the spec keyword and the

@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "obs/obs.hpp"
@@ -28,7 +29,8 @@ std::uint64_t time_key(util::Seconds t) {
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes)
     : plan_(std::move(plan)), seed_(seed) {
   for (const FaultSpec& f : plan_.faults) {
-    if (f.kind == FaultKind::CellWeak || f.kind == FaultKind::CellOpen) {
+    if (f.kind == FaultKind::CellWeak || f.kind == FaultKind::CellOpen ||
+        f.kind == FaultKind::NanPoison) {
       BAAT_REQUIRE(f.bank < nodes,
                    "fault '" + f.to_string() + "': bank index out of range (" +
                        std::to_string(nodes) + " nodes)");
@@ -40,6 +42,7 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nod
     nodes_.emplace_back(root.fork("node-" + std::to_string(i)));
   }
   open_fired_.assign(nodes, false);
+  poison_fired_.assign(nodes, false);
   if (!plan_.empty()) {
     obs::Registry& reg = obs::global_registry();
     for (const FaultSpec& f : plan_.faults) {
@@ -79,14 +82,27 @@ void FaultInjector::apply_bank_faults(std::vector<battery::Battery>& bank,
 
 void FaultInjector::begin_day(long day, std::vector<battery::Battery>& bank) {
   for (const FaultSpec& f : plan_.faults) {
-    if (f.kind != FaultKind::CellOpen) continue;
-    if (open_fired_[f.bank] || day < f.day) continue;
-    BAAT_REQUIRE(f.bank < bank.size(), "cell_open bank index out of range");
-    bank[f.bank].fail_open();
-    open_fired_[f.bank] = true;
-    count(FaultKind::CellOpen);
-    obs::emit(obs::EventKind::FaultInjected, static_cast<int>(f.bank),
-              static_cast<double>(day), f.to_string());
+    if (f.kind == FaultKind::CellOpen) {
+      if (open_fired_[f.bank] || day < f.day) continue;
+      BAAT_REQUIRE(f.bank < bank.size(), "cell_open bank index out of range");
+      bank[f.bank].fail_open();
+      open_fired_[f.bank] = true;
+      count(FaultKind::CellOpen);
+      obs::emit(obs::EventKind::FaultInjected, static_cast<int>(f.bank),
+                static_cast<double>(day), f.to_string());
+    } else if (f.kind == FaultKind::NanPoison) {
+      // Watchdog drill: corrupt the stored SoC with a NaN. The day-start
+      // health sentinel runs right after this hook, so the poison is caught
+      // there — producing a readable abort and a flight-recorder bundle —
+      // rather than tripping a kernel assertion ticks later.
+      if (poison_fired_[f.bank] || day < f.day) continue;
+      BAAT_REQUIRE(f.bank < bank.size(), "nan_poison bank index out of range");
+      bank[f.bank].debug_set_soc(std::numeric_limits<double>::quiet_NaN());
+      poison_fired_[f.bank] = true;
+      count(FaultKind::NanPoison);
+      obs::emit(obs::EventKind::FaultInjected, static_cast<int>(f.bank),
+                static_cast<double>(day), f.to_string());
+    }
   }
 }
 
@@ -216,6 +232,7 @@ void FaultInjector::save_state(snapshot::SnapshotWriter& w) const {
     telemetry::save_state(w, n.stuck);
   }
   w.write_bool_vec(open_fired_);
+  w.write_bool_vec(poison_fired_);
   w.write_bool(dropout_active_);
 }
 
@@ -239,6 +256,12 @@ void FaultInjector::load_state(snapshot::SnapshotReader& r) {
                                   "with the plan's bank size");
   }
   open_fired_ = fired;
+  const std::vector<bool> poisoned = r.read_bool_vec();
+  if (poisoned.size() != poison_fired_.size()) {
+    throw snapshot::SnapshotError("fault-injector snapshot nan_poison latches disagree "
+                                  "with the plan's bank size");
+  }
+  poison_fired_ = poisoned;
   dropout_active_ = r.read_bool();
 }
 

@@ -91,11 +91,12 @@ class FaultInjector {
   std::uint64_t seed_ = 0;
   std::vector<NodeState> nodes_;
   std::vector<bool> open_fired_;       ///< per-bank cell_open already applied
+  std::vector<bool> poison_fired_;     ///< per-bank nan_poison already applied
   bool dropout_active_ = false;        ///< inside a pv_dropout window (latch)
   /// Injection counters, one per fault kind present in the plan. Registered
   /// only when the plan is non-empty — a clean run must not grow the metrics
   /// export by a single row.
-  obs::Counter* counters_[9] = {};
+  obs::Counter* counters_[10] = {};
 };
 
 }  // namespace baat::fault

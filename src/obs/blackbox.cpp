@@ -1,0 +1,108 @@
+#include "obs/blackbox.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace baat::obs {
+
+namespace fs = std::filesystem;
+
+std::string write_blackbox_bundle(const std::string& parent_dir, long day,
+                                  const std::vector<BlackboxFile>& files) {
+  const fs::path parent = parent_dir.empty() ? fs::path{"."} : fs::path{parent_dir};
+  const fs::path final_dir = parent / ("blackbox-" + std::to_string(day));
+  // Unique per call so two dumps racing (signal during dump) cannot collide.
+  static std::atomic<unsigned> g_seq{0};
+  const fs::path tmp_dir =
+      parent / ("blackbox-" + std::to_string(day) + ".tmp-" +
+                std::to_string(g_seq.fetch_add(1, std::memory_order_relaxed)));
+
+  std::error_code ec;
+  fs::remove_all(tmp_dir, ec);
+  fs::create_directories(tmp_dir, ec);
+  if (ec) {
+    throw std::runtime_error("blackbox: cannot create " + tmp_dir.string() + ": " +
+                             ec.message());
+  }
+  for (const BlackboxFile& f : files) {
+    std::ofstream out(tmp_dir / f.name, std::ios::binary | std::ios::trunc);
+    out.write(f.content.data(), static_cast<std::streamsize>(f.content.size()));
+    if (!out) {
+      throw std::runtime_error("blackbox: cannot write " + (tmp_dir / f.name).string());
+    }
+  }
+  // Publish: drop any stale bundle, then one rename makes the new one
+  // visible complete-or-not-at-all.
+  fs::remove_all(final_dir, ec);
+  fs::rename(tmp_dir, final_dir, ec);
+  if (ec) {
+    throw std::runtime_error("blackbox: cannot publish " + final_dir.string() + ": " +
+                             ec.message());
+  }
+  return final_dir.string();
+}
+
+namespace {
+
+std::function<void(const char*)>& dump_hook() {
+  static std::function<void(const char*)> g_hook;
+  return g_hook;
+}
+
+std::atomic<bool> g_dumping{false};
+
+void run_dump_hook(const char* reason) noexcept {
+  // One dump per process: a crash inside the dump must not recurse.
+  if (g_dumping.exchange(true)) return;
+  try {
+    if (dump_hook()) dump_hook()(reason);
+  } catch (...) {
+    // The process is dying; swallow so the original crash surfaces.
+  }
+}
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void terminate_with_dump() {
+  run_dump_hook("uncaught exception (std::terminate)");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+void signal_with_dump(int sig) {
+  run_dump_hook("fatal signal");
+  // Restore default disposition and re-raise so the exit status (and any
+  // core dump) is what the crash would have produced anyway.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void set_crash_dump_hook(std::function<void(const char* reason)> hook) {
+  dump_hook() = std::move(hook);
+  g_dumping.store(false);
+}
+
+void clear_crash_dump_hook() { dump_hook() = nullptr; }
+
+void install_crash_handlers() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  g_prev_terminate = std::set_terminate(terminate_with_dump);
+  std::signal(SIGSEGV, signal_with_dump);
+  std::signal(SIGFPE, signal_with_dump);
+  std::signal(SIGABRT, signal_with_dump);
+#ifdef SIGBUS
+  std::signal(SIGBUS, signal_with_dump);
+#endif
+}
+
+}  // namespace baat::obs

@@ -1,0 +1,105 @@
+#include "obs/health.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace baat::obs {
+
+std::string_view health_severity_name(HealthSeverity s) {
+  switch (s) {
+    case HealthSeverity::Warn: return "warn";
+    case HealthSeverity::Error: return "error";
+    case HealthSeverity::Fatal: return "fatal";
+  }
+  return "?";
+}
+
+double health_severity_score(HealthSeverity s) {
+  switch (s) {
+    case HealthSeverity::Warn: return 1.0;
+    case HealthSeverity::Error: return 10.0;
+    case HealthSeverity::Fatal: return 1000.0;
+  }
+  return 0.0;
+}
+
+void HealthLog::record(HealthIncident incident) {
+  ++total_;
+  score_ += health_severity_score(incident.severity);
+  if (incident.severity == HealthSeverity::Fatal) fatal_seen_ = true;
+
+  // Counters are created on first incident only: a healthy run must leave
+  // the registry — and every byte exported from it — untouched.
+  global_registry()
+      .counter("health." + std::string(health_severity_name(incident.severity)))
+      .inc();
+  emit(EventKind::Health, incident.node, incident.value,
+       std::string(health_severity_name(incident.severity)) + ":" + incident.check +
+           (incident.detail.empty() ? "" : " " + incident.detail));
+
+  if (incidents_.size() < kDefaultCapacity) {
+    incidents_.push_back(std::move(incident));
+  } else {
+    ++dropped_;
+  }
+}
+
+std::string HealthLog::report(std::string_view headline) const {
+  std::ostringstream os;
+  os << headline << "\n";
+  os << "health score " << format_number(score_) << " from " << total_
+     << " incident(s)";
+  if (dropped_ > 0) os << " (" << dropped_ << " beyond the log cap not listed)";
+  os << "\n";
+  for (const HealthIncident& i : incidents_) {
+    os << "  [" << health_severity_name(i.severity) << "] day " << i.day << " t="
+       << format_number(i.ts) << "s ";
+    if (i.node >= 0) os << "node " << i.node << " ";
+    os << i.check << " value=" << format_number(i.value);
+    if (!i.detail.empty()) os << " (" << i.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void HealthLog::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_u64(incidents_.size());
+  for (const HealthIncident& i : incidents_) {
+    w.write_string(i.check);
+    w.write_u8(static_cast<std::uint8_t>(i.severity));
+    w.write_i64(i.node);
+    w.write_f64(i.value);
+    w.write_string(i.detail);
+    w.write_f64(i.ts);
+    w.write_i64(i.day);
+  }
+  w.write_u64(total_);
+  w.write_u64(dropped_);
+  w.write_f64(score_);
+  w.write_bool(fatal_seen_);
+}
+
+void HealthLog::load_state(snapshot::SnapshotReader& r) {
+  const std::uint64_t n = r.read_u64();
+  incidents_.clear();
+  incidents_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t k = 0; k < n; ++k) {
+    HealthIncident i;
+    i.check = r.read_string();
+    i.severity = static_cast<HealthSeverity>(r.read_u8());
+    i.node = static_cast<int>(r.read_i64());
+    i.value = r.read_f64();
+    i.detail = r.read_string();
+    i.ts = r.read_f64();
+    i.day = static_cast<long>(r.read_i64());
+    incidents_.push_back(std::move(i));
+  }
+  total_ = static_cast<std::size_t>(r.read_u64());
+  dropped_ = static_cast<std::size_t>(r.read_u64());
+  score_ = r.read_f64();
+  fatal_seen_ = r.read_bool();
+}
+
+}  // namespace baat::obs

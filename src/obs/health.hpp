@@ -1,0 +1,80 @@
+#pragma once
+
+// Run-health primitives (DESIGN.md §5g): a bounded incident log with a
+// summable severity score, fed by the sim-layer watchdog's declarative
+// invariant checks. Incidents mirror into the structured trace
+// (EventKind::Health) and into lazily created `health.<severity>` counters
+// — lazily so a healthy run's metrics registry (and therefore every
+// exported byte) is identical to a build without the watchdog.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/serialize.hpp"
+
+namespace baat::obs {
+
+enum class HealthSeverity {
+  Warn,   ///< suspicious but survivable (stall, drift near tolerance)
+  Error,  ///< an invariant failed; the run continues but is tainted
+  Fatal,  ///< state is corrupt; the watchdog aborts the run
+};
+
+std::string_view health_severity_name(HealthSeverity s);
+
+/// Score contribution of one incident; the log sums these so "how sick is
+/// this run" is one number (Warn 1, Error 10, Fatal 1000).
+double health_severity_score(HealthSeverity s);
+
+/// One invariant violation, stamped with simulated time.
+struct HealthIncident {
+  std::string check;  ///< invariant name: "soc_range", "energy_balance", ...
+  HealthSeverity severity = HealthSeverity::Warn;
+  int node = -1;      ///< -1 = cluster-wide
+  double value = 0.0; ///< check-specific magnitude (the bad SoC, the watt gap)
+  std::string detail;
+  double ts = 0.0;    ///< simulated seconds
+  long day = 0;
+};
+
+/// Raised by the watchdog when a Fatal incident (or a fatal cumulative
+/// score) is hit. what() is the full readable abort report.
+class WatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bounded incident log. Recording also emits an EventKind::Health trace
+/// event and bumps the lazy `health.<severity>` counter, so incidents reach
+/// all three observability surfaces from one call.
+class HealthLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  void record(HealthIncident incident);
+
+  [[nodiscard]] double score() const { return score_; }
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] bool any_fatal() const { return fatal_seen_; }
+  [[nodiscard]] const std::vector<HealthIncident>& incidents() const { return incidents_; }
+
+  /// Readable multi-line report (the abort message and the blackbox
+  /// health.txt both use this).
+  [[nodiscard]] std::string report(std::string_view headline) const;
+
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
+
+ private:
+  std::vector<HealthIncident> incidents_;  ///< first kDefaultCapacity kept
+  std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
+  double score_ = 0.0;
+  bool fatal_seen_ = false;
+};
+
+}  // namespace baat::obs

@@ -53,7 +53,12 @@ std::string json_quote(const std::string& s) {
 }
 
 std::string format_number(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+  // Non-finite values bypass printf: "%g" output for them is
+  // platform-dependent ("nan" vs "nan(ind)" vs "-1.#IND"), and exports must
+  // be byte-identical everywhere. Matches glibc's spelling.
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0.0 ? "inf" : "-inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     return buf;
@@ -61,6 +66,23 @@ std::string format_number(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+std::string csv_quote(const std::string& s) {
+  // RFC 4180: wrap in quotes, double any embedded quote. Embedded newlines
+  // and carriage returns are legal inside a quoted field but wreck
+  // line-oriented consumers, so they are escaped C-style instead.
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\"\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
@@ -301,17 +323,17 @@ void Registry::write_json(std::ostream& out) const {
 void Registry::write_csv(std::ostream& out) const {
   out << "type,name,field,value\n";
   for (const auto& [name, c] : counters_) {
-    out << "counter,\"" << name << "\",value," << format_number(c.value()) << "\n";
+    out << "counter," << csv_quote(name) << ",value," << format_number(c.value()) << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    out << "gauge,\"" << name << "\",value," << format_number(g.value()) << "\n";
+    out << "gauge," << csv_quote(name) << ",value," << format_number(g.value()) << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    out << "histogram,\"" << name << "\",count," << h.count() << "\n";
-    out << "histogram,\"" << name << "\",sum," << format_number(h.sum()) << "\n";
+    out << "histogram," << csv_quote(name) << ",count," << h.count() << "\n";
+    out << "histogram," << csv_quote(name) << ",sum," << format_number(h.sum()) << "\n";
     for (std::size_t b = 0; b < h.bucket_count(); ++b) {
       const double upper = h.bucket_upper(b);
-      out << "histogram,\"" << name << "\",le_"
+      out << "histogram," << csv_quote(name) << ",le_"
           << (std::isinf(upper) ? std::string("inf") : format_number(upper)) << ","
           << h.bucket_value(b) << "\n";
     }

@@ -206,11 +206,17 @@ Registry* set_thread_registry(Registry* registry);
 const std::vector<double>& duration_bounds_ns();
 
 /// Format a double the way the exporters do (integers without a decimal
-/// point, otherwise shortest round-trip form). Exposed for tests.
+/// point, otherwise shortest round-trip form; non-finite values as the
+/// literal platform-independent spellings "nan" / "inf" / "-inf").
+/// Exposed for tests.
 std::string format_number(double v);
 
 /// Quote and escape `s` as a JSON string literal (shared by the metric and
 /// trace exporters).
 std::string json_quote(const std::string& s);
+
+/// Quote and escape `s` as an RFC 4180 CSV field (embedded quotes doubled,
+/// newlines escaped C-style so rows stay line-oriented).
+std::string csv_quote(const std::string& s);
 
 }  // namespace baat::obs

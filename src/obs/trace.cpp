@@ -34,6 +34,7 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::BatteryEol: return "battery_eol";
     case EventKind::FaultInjected: return "fault_injected";
     case EventKind::PolicyFallback: return "policy_fallback";
+    case EventKind::Health: return "health";
   }
   return "?";
 }

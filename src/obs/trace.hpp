@@ -40,6 +40,7 @@ enum class EventKind {
   BatteryEol,
   FaultInjected,    ///< a fault-plan entry fired (src/fault)
   PolicyFallback,   ///< controller rejected telemetry, used degraded estimate
+  Health,           ///< run-health watchdog incident (obs/health.hpp)
 };
 
 /// Stable snake_case name used in both export formats.

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/lifetime.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -152,6 +153,15 @@ std::string cli_usage() {
          "  --trace-out <p>   write the event trace (Chrome trace_event JSON — open\n"
          "                    in chrome://tracing or Perfetto; .jsonl suffix for JSONL)\n"
          "  --trace-events <n> trace ring capacity in events (default 65536)\n"
+         "  --series-out <p>  stream a per-day aging-attribution/health time-series\n"
+         "                    to <p> (columnar CSV; .jsonl suffix for JSONL). Rows\n"
+         "                    are flushed per day — O(1) memory at any horizon. In\n"
+         "                    sweep mode each point writes <stem>-point-<i>.<ext>\n"
+         "  --series-every <n> emit every nth day of the series (default 1)\n"
+         "  --no-health       disable the run-health watchdog (on by default)\n"
+         "  --no-blackbox     disable the crash flight recorder (on by default)\n"
+         "  --blackbox-dir <d> parent directory for blackbox-<day>/ bundles\n"
+         "                    (default: current directory)\n"
          "  --log-level <l>   debug | info | warn | error | off (default warn)\n"
          "  --help            this text\n";
 }
@@ -232,6 +242,21 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       const long v = parse_long(a, next("--trace-events"));
       BAAT_REQUIRE(v > 0, "--trace-events must be positive");
       options.trace_events = static_cast<std::size_t>(v);
+    } else if (a == "--series-out") {
+      options.series_path = next("--series-out");
+      BAAT_REQUIRE(!options.series_path.empty(), "--series-out needs a non-empty path");
+    } else if (a == "--series-every") {
+      const long v = parse_long(a, next("--series-every"));
+      BAAT_REQUIRE(v > 0, "--series-every must be positive");
+      options.series_every = v;
+    } else if (a == "--no-health") {
+      options.health = false;
+    } else if (a == "--no-blackbox") {
+      options.blackbox = false;
+    } else if (a == "--blackbox-dir") {
+      options.blackbox_dir = next("--blackbox-dir");
+      BAAT_REQUIRE(!options.blackbox_dir.empty(),
+                   "--blackbox-dir needs a non-empty path");
     } else if (a == "--log-level") {
       const std::string& name = next("--log-level");
       const auto level = util::parse_log_level(name);
@@ -277,6 +302,7 @@ ScenarioConfig scenario_from_cli(const CliOptions& options) {
   if (options.watts_per_ah > 0.0) {
     cfg = with_server_battery_ratio(cfg, options.watts_per_ah);
   }
+  cfg.watchdog.enabled = options.health;
   cfg.faults = options.faults;
   if (!cfg.faults.empty()) {
     // Degraded-mode posture rides with the fault plan: telemetry guarding
@@ -296,6 +322,18 @@ namespace {
 std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   return h == 0 ? 1 : h;
+}
+
+/// Per-point series file name: "series.csv" → "series-point-3.csv". A sweep
+/// writing every point into one file would interleave; give each its own.
+std::string point_series_path(const std::string& path, std::size_t i) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  const std::string suffix = "-point-" + std::to_string(i);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
 /// Scenario fingerprint for one CLI-described run, stamped into snapshot
@@ -344,6 +382,12 @@ void run_sunshine_sweep(const CliOptions& options, const ScenarioConfig& cfg) {
       opts.sunshine_fraction = fractions[i];
       opts.probe_every_days = 0;
       opts.keep_days = false;
+      if (!options.series_path.empty()) {
+        opts.series.path = point_series_path(options.series_path, i);
+        opts.series.every = options.series_every;
+      }
+      opts.blackbox = options.blackbox;
+      opts.blackbox_dir = options.blackbox_dir;
       const MultiDayResult run = run_multi_day(cluster, opts);
       LifetimeSummary s;
       s.sim_days = static_cast<double>(options.days);
@@ -489,7 +533,24 @@ int run_cli(const CliOptions& options) {
   opts.checkpoint.dir = options.checkpoint_dir;
   opts.checkpoint.resume_path = options.resume_path;
   opts.checkpoint.config_hash = cli_config_hash(options, cfg, opts);
-  const MultiDayResult run = run_multi_day(cluster, opts);
+  opts.series.path = options.series_path;
+  opts.series.every = options.series_every;
+  opts.blackbox = options.blackbox;
+  opts.blackbox_dir = options.blackbox_dir;
+
+  MultiDayResult run;
+  try {
+    run = run_multi_day(cluster, opts);
+  } catch (const obs::WatchdogError& e) {
+    // The watchdog's what() is the full abort report: score, incident list,
+    // day and node of every trip. The flight-recorder bundle (unless
+    // --no-blackbox) was already written by run_multi_day.
+    std::fprintf(stderr, "%s\n", e.what());
+    obs::set_trace_enabled(false);
+    obs::set_profiling_enabled(false);
+    util::set_sim_time(-1.0);
+    return 3;
+  }
 
   if (!options.csv_path.empty()) {
     util::CsvWriter csv{options.csv_path,
@@ -547,6 +608,9 @@ int run_cli(const CliOptions& options) {
   }
   if (!options.csv_path.empty()) {
     std::printf("per-day CSV   : %s\n", options.csv_path.c_str());
+  }
+  if (!options.series_path.empty()) {
+    std::printf("series        : %s\n", options.series_path.c_str());
   }
 
   if (!options.metrics_path.empty()) {

@@ -69,6 +69,20 @@ struct CliOptions {
   std::size_t trace_events = obs::TraceBuffer::kDefaultCapacity;
   /// Logger threshold for the run, when given on the command line.
   std::optional<util::LogLevel> log_level;
+
+  // --- run health / flight recorder ---------------------------------------
+  /// Streamed per-day ledger/health time-series (off when empty; `.jsonl`
+  /// suffix switches from columnar CSV to JSONL). In sweep mode each point
+  /// writes its own `<stem>-point-<i>.<ext>` file.
+  std::string series_path;
+  /// Emit every Nth day of the series (downsampling for long horizons).
+  long series_every = 1;
+  /// Run-health watchdog; on by default, --no-health disables.
+  bool health = true;
+  /// Crash flight recorder; on by default, --no-blackbox disables.
+  bool blackbox = true;
+  /// Parent directory for `blackbox-<day>/` bundles (default '.').
+  std::string blackbox_dir;
 };
 
 /// Parse argv. Throws util::PreconditionError with a readable message on a

@@ -39,6 +39,7 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
     injector_->apply_bank_faults(batteries_, cfg_.bank);
   }
   guard_ = core::TelemetryGuard{cfg_.guard, cfg_.nodes};
+  watchdog_ = Watchdog{cfg_.watchdog, cfg_.nodes};
 
   telemetry::PowerTableParams table_params;
   table_params.chemistry = cfg_.bank.chemistry;
@@ -113,6 +114,7 @@ void Cluster::save_state(snapshot::SnapshotWriter& w) const {
   w.write_i64(day_counter_);
   w.write_bool_vec(node_low_soc_);
   w.write_bool_vec(node_eol_seen_);
+  watchdog_.save_state(w);
 }
 
 void Cluster::load_state(snapshot::SnapshotReader& r) {
@@ -160,7 +162,28 @@ void Cluster::load_state(snapshot::SnapshotReader& r) {
     throw snapshot::SnapshotError("cluster snapshot per-node latches disagree with the "
                                   "scenario's node count");
   }
+  watchdog_.load_state(r);
 }
+
+battery::CellLedgerEntry Cluster::node_ledger_delta(std::size_t node) const {
+  BAAT_REQUIRE(node < cfg_.nodes, "node index out of range");
+  return fleet_->ledger_delta(node);
+}
+
+battery::CellLedgerEntry Cluster::node_ledger_total(std::size_t node) const {
+  BAAT_REQUIRE(node < cfg_.nodes, "node index out of range");
+  return fleet_->ledger_total(node);
+}
+
+battery::LedgerRollup Cluster::ledger_rollup(bool lifetime_totals) const {
+  battery::LedgerRollup roll;
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    roll.add(lifetime_totals ? fleet_->ledger_total(i) : fleet_->ledger_delta(i));
+  }
+  return roll;
+}
+
+void Cluster::ledger_advance() { fleet_->ledger_advance(); }
 
 telemetry::AgingMetrics Cluster::life_metrics(std::size_t node) const {
   BAAT_REQUIRE(node < life_tables_.size(), "node index out of range");
@@ -272,7 +295,7 @@ void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
       ++result.dvfs_transitions;
       obs_.dvfs_transitions->inc();
       obs::emit(obs::EventKind::Dvfs, static_cast<int>(a.node),
-                static_cast<double>(a.level));
+                static_cast<double>(a.level), a.cause);
     }
   }
 
@@ -288,9 +311,10 @@ void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
     rec->vm.start_migration(cfg_.migration_pause);
     ++result.migrations;
     obs_.migrations->inc();
+    std::string detail = "to node " + std::to_string(m.to);
+    if (m.cause[0] != '\0') detail += std::string(" (") + m.cause + ")";
     obs::emit(obs::EventKind::Migration, static_cast<int>(m.from),
-              static_cast<double>(m.vm),
-              "to node " + std::to_string(m.to));
+              static_cast<double>(m.vm), detail);
   }
 
   if (actions.charge_priority.size() == cfg_.nodes) {
@@ -345,6 +369,9 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
             std::string(solar::day_type_name(day.type())));
 
   if (injector_ != nullptr) injector_->begin_day(day_counter_, batteries_);
+  // Day-start sentinels run before the first kernel step: a poisoned state
+  // word must become a readable watchdog abort, not a precondition crash.
+  watchdog_.check_day_start(day_counter_, batteries_);
 
   DayResult result;
   result.day_type = day.type();
@@ -454,6 +481,7 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
                                    : power::ChargeAllocation::Proportional;
     power::route_power_into(solar_now, demands_, batteries_, charge_priority_, router,
                             cfg_.dt, discharge_floor_, last_route, router_scratch_);
+    watchdog_.check_tick(day_counter_, last_route, batteries_);
 
     // --- brownout / restart ----------------------------------------------------
     for (std::size_t i = 0; i < cfg_.nodes; ++i) {
@@ -567,6 +595,8 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
                        << n.health << ")";
     }
   }
+
+  watchdog_.check_day_end(day_counter_, result, batteries_);
 
   obs_.days_run->inc();
   obs::emit(obs::EventKind::DayEnd, -1, result.throughput_work);

@@ -68,6 +68,19 @@ class Cluster {
   [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
   /// The degraded-mode guard (disabled unless the scenario enables it).
   [[nodiscard]] const core::TelemetryGuard& guard() const { return guard_; }
+  /// The run-health watchdog (on by default; see WatchdogParams).
+  [[nodiscard]] const Watchdog& watchdog() const { return watchdog_; }
+
+  // --- aging-attribution ledger ----------------------------------------------
+  /// One node's ledger entry since the last ledger_advance() (non-advancing).
+  [[nodiscard]] battery::CellLedgerEntry node_ledger_delta(std::size_t node) const;
+  /// One node's lifetime ledger entry (since birth).
+  [[nodiscard]] battery::CellLedgerEntry node_ledger_total(std::size_t node) const;
+  /// Cluster-wide rollup of per-node entries (deltas or lifetime totals).
+  [[nodiscard]] battery::LedgerRollup ledger_rollup(bool lifetime_totals) const;
+  /// Move every node's ledger baseline to its current state (call after the
+  /// deltas of a rollup window have been exported).
+  void ledger_advance();
   /// Life-long metrics of one node, as the controller sees them.
   [[nodiscard]] telemetry::AgingMetrics life_metrics(std::size_t node) const;
 
@@ -117,6 +130,7 @@ class Cluster {
   std::vector<telemetry::BatterySensor> sensors_;
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = clean run
   core::TelemetryGuard guard_;
+  Watchdog watchdog_;
   std::unique_ptr<core::AgingPolicy> policy_;
   std::vector<VmRecord> vms_;
   std::vector<JobSpec> pending_jobs_;  ///< arrived but not yet placeable

@@ -4,8 +4,10 @@
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "fault/injector.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
 #include "snapshot/snapshot.hpp"
 #include "telemetry/soh.hpp"
@@ -28,6 +30,80 @@ void load_probe(snapshot::SnapshotReader& r, battery::ProbeResult& p) {
   p.capacity_fraction = r.read_f64();
   p.energy_per_cycle = util::WattHours{r.read_f64()};
   p.round_trip_efficiency = r.read_f64();
+}
+
+std::string ledger_csv(const Cluster& cluster) {
+  using obs::format_number;
+  std::string csv =
+      "scope,node,fade_corrosion,fade_shedding,fade_sulphation,"
+      "fade_stratification,fade_water_loss,fade_total,cycle_damage,efc,"
+      "low_soc_dwell_s\n";
+  const auto row = [&](const char* scope, const std::string& node,
+                       const battery::MechanismFade& f, double damage, double efc,
+                       double dwell) {
+    csv += std::string(scope) + "," + node + "," + format_number(f.corrosion) + "," +
+           format_number(f.shedding) + "," + format_number(f.sulphation) + "," +
+           format_number(f.stratification) + "," + format_number(f.water_loss) + "," +
+           format_number(f.total()) + "," + format_number(damage) + "," +
+           format_number(efc) + "," + format_number(dwell) + "\n";
+  };
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const battery::CellLedgerEntry t = cluster.node_ledger_total(i);
+    row("total", std::to_string(i), t.fade, t.cycle_damage, t.efc, t.low_soc_dwell_s);
+    const battery::CellLedgerEntry d = cluster.node_ledger_delta(i);
+    row("window", std::to_string(i), d.fade, d.cycle_damage, d.efc, d.low_soc_dwell_s);
+  }
+  const battery::LedgerRollup roll = cluster.ledger_rollup(true);
+  row("total", "cluster", roll.fade, roll.cycle_damage, roll.efc, roll.low_soc_dwell_s);
+  return csv;
+}
+
+/// Assemble and atomically publish a flight-recorder bundle. Best-effort by
+/// design: this runs while the run is dying, so failures are reported to
+/// stderr, never thrown over the original error.
+void dump_blackbox(Cluster& cluster, long day, const char* reason,
+                   const std::string& parent_dir, std::uint64_t config_hash) {
+  try {
+    std::vector<obs::BlackboxFile> files;
+
+    std::ostringstream manifest;
+    manifest << "{\"format\": 1, \"day\": " << day << ", \"reason\": "
+             << obs::json_quote(reason)
+             << ", \"sim_time\": " << obs::format_number(util::sim_time())
+             << ", \"health_score\": "
+             << obs::format_number(cluster.watchdog().log().score())
+             << ", \"incidents\": " << cluster.watchdog().log().count() << "}\n";
+    files.push_back({"MANIFEST.json", manifest.str()});
+
+    files.push_back({"health.txt", cluster.watchdog().log().report(
+                                       std::string("blackbox: ") + reason)});
+
+    std::ostringstream trace;
+    obs::global_trace().write_jsonl(trace);
+    files.push_back({"trace.jsonl", trace.str()});
+    files.push_back({"metrics.json", obs::global_registry().json()});
+    files.push_back({"ledger.csv", ledger_csv(cluster)});
+
+    // A snapshot is only well-defined at a day boundary (no live workload
+    // microstate); mid-day deaths ship the bundle without one.
+    try {
+      snapshot::SnapshotWriter w;
+      cluster.save_state(w);
+      const std::vector<std::uint8_t> container =
+          snapshot::snapshot_container_bytes(config_hash, w.bytes());
+      files.push_back({"cluster.snap",
+                       std::string(reinterpret_cast<const char*>(container.data()),
+                                   container.size())});
+    } catch (const snapshot::SnapshotError&) {
+      // mid-day: skip the snapshot, keep the rest of the bundle
+    }
+
+    const std::string path = obs::write_blackbox_bundle(parent_dir, day, files);
+    std::cerr << "[blackbox] wrote flight-recorder bundle '" << path << "' (" << reason
+              << ")\n";
+  } catch (const std::exception& e) {
+    std::cerr << "[blackbox] bundle write failed: " << e.what() << "\n";
+  }
 }
 
 }  // namespace
@@ -65,6 +141,9 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
   telemetry::SohEstimator soh;
   std::optional<battery::ProbeResult> last_probe;
 
+  SeriesWriter series;
+  series.configure(options.series);
+
   std::size_t start_day = 0;
   const CheckpointOptions& ckpt = options.checkpoint;
   if (!ckpt.resume_path.empty()) {
@@ -99,6 +178,7 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
     obs::global_registry().load_state(r);
     obs::global_trace().load_state(r);
     util::set_sim_time(r.read_f64());
+    series.load_state(r);
     if (!r.exhausted()) {
       throw snapshot::SnapshotError("snapshot '" + ckpt.resume_path + "' carries " +
                                     std::to_string(r.remaining()) +
@@ -108,9 +188,36 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
               << start_day << " of " << options.days << "\n";
   }
 
+  // Fatal signals and uncaught exceptions land here via the crash handlers
+  // (when installed): dump a flight-recorder bundle for the day being run.
+  long blackbox_day = static_cast<long>(start_day);
+  struct HookGuard {
+    bool active;
+    ~HookGuard() {
+      if (active) obs::clear_crash_dump_hook();
+    }
+  } hook_guard{options.blackbox};
+  if (options.blackbox) {
+    obs::set_crash_dump_hook([&cluster, &blackbox_day, &options, &ckpt](const char* reason) {
+      dump_blackbox(cluster, blackbox_day, reason, options.blackbox_dir, ckpt.config_hash);
+    });
+  }
+
   for (std::size_t d = start_day; d < options.days; ++d) {
+    blackbox_day = static_cast<long>(d);
     const solar::SolarDay day{cluster.config().plant, weather[d], solar_rng.fork("day")};
-    DayResult day_result = cluster.run_day(day);
+    DayResult day_result;
+    try {
+      day_result = cluster.run_day(day);
+    } catch (const std::exception& e) {
+      // The watchdog tripped or the day loop died some other way: ship the
+      // flight-recorder bundle, then let the error propagate untouched.
+      if (options.blackbox) {
+        dump_blackbox(cluster, static_cast<long>(d), e.what(), options.blackbox_dir,
+                      ckpt.config_hash);
+      }
+      throw;
+    }
     result.total_throughput += day_result.throughput_work;
     // Same-edge merge, not re-binning: re-adding bin weights at bin_lo()
     // silently dropped each day's underflow/overflow weight — exactly the
@@ -149,6 +256,13 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
       result.monthly.push_back(mp);
     }
 
+    if (series.should_write(static_cast<long>(d))) {
+      series.write_day(static_cast<long>(d), cluster, day_result);
+      // Advance the attribution window so the next row reports per-window
+      // deltas, not lifetime totals repeated.
+      cluster.ledger_advance();
+    }
+
     if (options.keep_days) {
       result.days.push_back(std::move(day_result));
     }
@@ -173,6 +287,7 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
       obs::global_registry().save_state(w);
       obs::global_trace().save_state(w);
       w.write_f64(util::sim_time());
+      series.save_state(w);
 
       const std::string dir = ckpt.dir.empty() ? std::string(".") : ckpt.dir;
       std::error_code ec;

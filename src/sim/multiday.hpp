@@ -9,6 +9,7 @@
 
 #include "battery/probe.hpp"
 #include "sim/cluster.hpp"
+#include "sim/series.hpp"
 #include "solar/location.hpp"
 
 namespace baat::sim {
@@ -42,6 +43,13 @@ struct MultiDayOptions {
   /// Keep per-day results (memory grows with days); aggregates are always kept.
   bool keep_days = true;
   CheckpointOptions checkpoint{};
+  /// Streamed per-day ledger/health time-series export (off when path empty).
+  SeriesOptions series{};
+  /// Crash flight recorder: dump a `blackbox-<day>/` bundle when the day
+  /// loop dies (watchdog trip or any uncaught exception).
+  bool blackbox = true;
+  /// Parent directory for blackbox bundles; empty = current directory.
+  std::string blackbox_dir{};
 };
 
 MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options);

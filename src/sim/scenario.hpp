@@ -13,6 +13,7 @@
 #include "fault/fault.hpp"
 #include "power/router.hpp"
 #include "server/server.hpp"
+#include "sim/watchdog.hpp"
 #include "solar/solar_day.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/power_table.hpp"
@@ -46,6 +47,9 @@ struct ScenarioConfig {
   fault::FaultPlan faults{};
   /// Degraded-mode telemetry guard; enabled alongside the fault plan.
   core::GuardParams guard{};
+  /// Run-health watchdog (DESIGN.md §5g); on by default, cheap enough to
+  /// stay on (the obs-tax perf gate enforces that).
+  WatchdogParams watchdog{};
 
   Seconds dt{60.0};                            ///< simulation step
   Seconds control_period{util::minutes(5.0)};  ///< BAAT controller cadence

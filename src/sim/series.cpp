@@ -1,0 +1,127 @@
+#include "sim/series.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace baat::sim {
+
+namespace {
+
+const char* kCsvHeader =
+    "day,node,soc_end,soc_min,health,fade_corrosion,fade_shedding,"
+    "fade_sulphation,fade_stratification,fade_water_loss,fade_total,"
+    "cycle_damage,efc,low_soc_dwell_s,health_score,throughput_work\n";
+
+std::string csv_row(long day, const std::string& node, const NodeDayStats* n,
+                    const battery::MechanismFade& fade, double cycle_damage, double efc,
+                    double dwell, double health_score, double throughput) {
+  using obs::format_number;
+  std::string row = std::to_string(day) + "," + node + ",";
+  row += (n != nullptr ? format_number(n->soc_end) : "") + ",";
+  row += (n != nullptr ? format_number(n->soc_min) : "") + ",";
+  row += (n != nullptr ? format_number(n->health) : "") + ",";
+  row += format_number(fade.corrosion) + "," + format_number(fade.shedding) + "," +
+         format_number(fade.sulphation) + "," + format_number(fade.stratification) +
+         "," + format_number(fade.water_loss) + "," + format_number(fade.total()) + ",";
+  row += format_number(cycle_damage) + "," + format_number(efc) + "," +
+         format_number(dwell) + "," + format_number(health_score) + "," +
+         format_number(throughput) + "\n";
+  return row;
+}
+
+std::string jsonl_row(long day, const std::string& node, const NodeDayStats* n,
+                      const battery::MechanismFade& fade, double cycle_damage,
+                      double efc, double dwell, double health_score,
+                      double throughput) {
+  using obs::format_number;
+  std::string row = "{\"day\": " + std::to_string(day) + ", \"node\": " +
+                    obs::json_quote(node);
+  if (n != nullptr) {
+    row += ", \"soc_end\": " + format_number(n->soc_end) +
+           ", \"soc_min\": " + format_number(n->soc_min) +
+           ", \"health\": " + format_number(n->health);
+  }
+  row += ", \"fade\": {\"corrosion\": " + format_number(fade.corrosion) +
+         ", \"shedding\": " + format_number(fade.shedding) +
+         ", \"sulphation\": " + format_number(fade.sulphation) +
+         ", \"stratification\": " + format_number(fade.stratification) +
+         ", \"water_loss\": " + format_number(fade.water_loss) +
+         ", \"total\": " + format_number(fade.total()) + "}";
+  row += ", \"cycle_damage\": " + format_number(cycle_damage) +
+         ", \"efc\": " + format_number(efc) +
+         ", \"low_soc_dwell_s\": " + format_number(dwell) +
+         ", \"health_score\": " + format_number(health_score) +
+         ", \"throughput_work\": " + format_number(throughput) + "}\n";
+  return row;
+}
+
+}  // namespace
+
+void SeriesWriter::configure(const SeriesOptions& options) {
+  options_ = options;
+  if (options_.every <= 0) options_.every = 1;
+  const std::string& p = options_.path;
+  jsonl_ = p.size() >= 6 && p.compare(p.size() - 6, 6, ".jsonl") == 0;
+}
+
+void SeriesWriter::ensure_open() {
+  if (out_.is_open()) return;
+  out_.open(options_.path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot open series output file: " + options_.path);
+  }
+  out_ << emitted_;  // resume case: replay the checkpointed prefix
+  out_.flush();
+}
+
+void SeriesWriter::append(const std::string& text) {
+  emitted_ += text;
+  out_ << text;
+}
+
+void SeriesWriter::write_day(long day, const Cluster& cluster, const DayResult& result) {
+  if (!active()) return;
+  ensure_open();
+  if (!jsonl_ && !header_written_) {
+    append(kCsvHeader);
+    header_written_ = true;
+  }
+
+  const double score = cluster.watchdog().log().score();
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const battery::CellLedgerEntry e = cluster.node_ledger_delta(i);
+    const NodeDayStats& n = result.nodes[i];
+    const std::string label = std::to_string(i);
+    append(jsonl_ ? jsonl_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+                              e.low_soc_dwell_s, score, result.throughput_work)
+                  : csv_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+                            e.low_soc_dwell_s, score, result.throughput_work));
+  }
+  const battery::LedgerRollup roll = cluster.ledger_rollup(false);
+  append(jsonl_ ? jsonl_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+                            roll.efc, roll.low_soc_dwell_s, score,
+                            result.throughput_work)
+                : csv_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+                          roll.efc, roll.low_soc_dwell_s, score,
+                          result.throughput_work));
+  out_.flush();
+}
+
+void SeriesWriter::save_state(snapshot::SnapshotWriter& w) const {
+  w.write_bool(header_written_);
+  w.write_string(emitted_);
+}
+
+void SeriesWriter::load_state(snapshot::SnapshotReader& r) {
+  header_written_ = r.read_bool();
+  emitted_ = r.read_string();
+  if (active()) {
+    // Truncate-and-replay: rows the interrupted run wrote past the
+    // checkpoint day vanish, restoring exactly the checkpointed prefix.
+    if (out_.is_open()) out_.close();
+    ensure_open();
+  }
+}
+
+}  // namespace baat::sim

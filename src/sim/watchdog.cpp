@@ -1,0 +1,129 @@
+#include "sim/watchdog.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/logging.hpp"
+#include "util/sim_clock.hpp"
+
+namespace baat::sim {
+
+void Watchdog::incident(const char* check, obs::HealthSeverity severity, long day,
+                        int node, double value, std::string detail) {
+  obs::HealthIncident i;
+  i.check = check;
+  i.severity = severity;
+  i.node = node;
+  i.value = value;
+  i.detail = std::move(detail);
+  i.ts = std::max(0.0, util::sim_time());
+  i.day = day;
+  log_.record(std::move(i));
+
+  if (severity == obs::HealthSeverity::Fatal || log_.score() >= params_.fatal_score) {
+    tripped_ = true;
+    throw obs::WatchdogError(
+        log_.report("run-health watchdog aborted the simulation"));
+  }
+}
+
+void Watchdog::check_day_start(long day, const std::vector<battery::Battery>& batteries) {
+  if (!params_.enabled) return;
+  for (std::size_t i = 0; i < batteries.size(); ++i) {
+    const double soc = batteries[i].soc();
+    const double temp = batteries[i].temperature().value();
+    if (!std::isfinite(soc)) {
+      incident("finite_state", obs::HealthSeverity::Fatal, day, static_cast<int>(i),
+               soc, "battery SoC is not finite at day start");
+    }
+    if (!std::isfinite(temp)) {
+      incident("finite_state", obs::HealthSeverity::Fatal, day, static_cast<int>(i),
+               temp, "battery temperature is not finite at day start");
+    }
+    if (soc < -params_.soc_tolerance || soc > 1.0 + params_.soc_tolerance) {
+      incident("soc_range", obs::HealthSeverity::Fatal, day, static_cast<int>(i), soc,
+               "battery SoC escaped [0, 1] at day start");
+    }
+  }
+}
+
+void Watchdog::check_tick(long day, const power::RouteResult& route,
+                          const std::vector<battery::Battery>& batteries) {
+  if (!params_.enabled) return;
+  for (std::size_t i = 0; i < batteries.size(); ++i) {
+    const double soc = batteries[i].soc();
+    if (!std::isfinite(soc)) {
+      incident("finite_state", obs::HealthSeverity::Fatal, day, static_cast<int>(i),
+               soc, "battery SoC became non-finite mid-day");
+    }
+    if (soc < -params_.soc_tolerance || soc > 1.0 + params_.soc_tolerance) {
+      incident("soc_range", obs::HealthSeverity::Fatal, day, static_cast<int>(i), soc,
+               "battery SoC escaped [0, 1]");
+    }
+
+    const power::NodeRoute& n = route.nodes[i];
+    const double covered = n.solar_used.value() + n.utility_used.value() +
+                           n.battery_delivered.value() + n.unmet.value();
+    const double gap = n.demand.value() - covered;
+    const double slack =
+        params_.energy_tolerance_w + 1e-9 * std::fabs(n.demand.value());
+    if (!std::isfinite(gap)) {
+      incident("finite_state", obs::HealthSeverity::Fatal, day, static_cast<int>(i),
+               gap, "router power components are not finite");
+    }
+    if (std::fabs(gap) > slack) {
+      incident("energy_balance", obs::HealthSeverity::Error, day, static_cast<int>(i),
+               gap, "node demand not covered by solar+utility+battery+unmet");
+    }
+  }
+}
+
+void Watchdog::check_day_end(long day, const DayResult& result,
+                             const std::vector<battery::Battery>& batteries) {
+  if (!params_.enabled) return;
+  if (prev_health_.empty()) prev_health_.assign(batteries.size(), 1.0);
+  for (std::size_t i = 0; i < batteries.size(); ++i) {
+    const double h = batteries[i].health();
+    if (!std::isfinite(h)) {
+      incident("finite_state", obs::HealthSeverity::Fatal, day, static_cast<int>(i),
+               h, "battery SoH is not finite");
+    }
+    // SoH is monotone non-increasing except for the stratification heal on
+    // a full equalizing charge, which the allowance covers.
+    if (h > prev_health_[i] + params_.soh_heal_allowance) {
+      incident("soh_monotone", obs::HealthSeverity::Error, day, static_cast<int>(i),
+               h - prev_health_[i], "battery SoH rose beyond the heal allowance");
+    }
+    prev_health_[i] = h;
+  }
+
+  if (result.throughput_work <= 0.0) {
+    ++stall_run_;
+    if (stall_run_ == params_.stall_days) {
+      incident("stall", obs::HealthSeverity::Warn, day, -1,
+               static_cast<double>(stall_run_),
+               "no work delivered for " + std::to_string(stall_run_) +
+                   " consecutive days");
+      util::log_warn() << "watchdog: cluster stalled for " << stall_run_
+                       << " consecutive days";
+    }
+  } else {
+    stall_run_ = 0;
+  }
+}
+
+void Watchdog::save_state(snapshot::SnapshotWriter& w) const {
+  log_.save_state(w);
+  w.write_f64_vec(prev_health_);
+  w.write_i64(stall_run_);
+  w.write_bool(tripped_);
+}
+
+void Watchdog::load_state(snapshot::SnapshotReader& r) {
+  log_.load_state(r);
+  prev_health_ = r.read_f64_vec();
+  stall_run_ = static_cast<long>(r.read_i64());
+  tripped_ = r.read_bool();
+}
+
+}  // namespace baat::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+// Run-health watchdog (DESIGN.md §5g): declarative invariants evaluated at
+// tick and day boundaries of the cluster loop. Violations are recorded into
+// an obs::HealthLog (trace event + lazy health.* counter + bounded incident
+// list); a Fatal incident — or a fatal cumulative score — aborts the run
+// with a readable report via obs::WatchdogError, which the multi-day driver
+// turns into a crash flight-recorder bundle.
+//
+// The checks are read-only with respect to simulation state and run by
+// default; their cost is a handful of compares per node per tick, gated by
+// the perf harness's obs-tax bench.
+
+#include <cstddef>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "obs/health.hpp"
+#include "power/router.hpp"
+#include "sim/results.hpp"
+#include "snapshot/serialize.hpp"
+
+namespace baat::sim {
+
+struct WatchdogParams {
+  bool enabled = true;
+  /// Slack on the SoC ∈ [0, 1] invariant (fast-math can sit a few ulps out).
+  double soc_tolerance = 1e-9;
+  /// Absolute per-node power-balance slack: demand must equal
+  /// solar + utility + battery + unmet within this many watts.
+  double energy_tolerance_w = 1e-6;
+  /// SoH may *rise* by up to this much day-over-day: a full equalizing
+  /// charge heals stratification (stratification_cap is 0.08 by default).
+  double soh_heal_allowance = 0.09;
+  /// Consecutive days of zero throughput before a stall Warn is raised.
+  long stall_days = 7;
+  /// Cumulative health score that aborts the run even without a single
+  /// Fatal incident (Error incidents score 10 each).
+  double fatal_score = 1000.0;
+};
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  Watchdog(const WatchdogParams& params, std::size_t nodes)
+      : params_(params), nodes_(nodes) {}
+
+  [[nodiscard]] bool enabled() const { return params_.enabled; }
+  [[nodiscard]] const obs::HealthLog& log() const { return log_; }
+  [[nodiscard]] bool tripped() const { return tripped_; }
+
+  /// NaN/Inf and range sentinels on the raw battery state, before the day's
+  /// first kernel step — a poisoned state word must become a readable abort
+  /// here, not a precondition crash deep in the tick kernel.
+  void check_day_start(long day, const std::vector<battery::Battery>& batteries);
+
+  /// Per-tick invariants: SoC range/finiteness and per-node power balance
+  /// across the router (demand = solar + utility + battery + unmet).
+  void check_tick(long day, const power::RouteResult& route,
+                  const std::vector<battery::Battery>& batteries);
+
+  /// Day-boundary invariants: monotone SoH (modulo the stratification heal
+  /// allowance) and stall detection over consecutive zero-throughput days.
+  void check_day_end(long day, const DayResult& result,
+                     const std::vector<battery::Battery>& batteries);
+
+  void save_state(snapshot::SnapshotWriter& w) const;
+  void load_state(snapshot::SnapshotReader& r);
+
+ private:
+  /// Record one violation; throws obs::WatchdogError once the incident is
+  /// Fatal or the cumulative score crosses params_.fatal_score.
+  void incident(const char* check, obs::HealthSeverity severity, long day, int node,
+                double value, std::string detail);
+
+  WatchdogParams params_;
+  std::size_t nodes_ = 0;
+  obs::HealthLog log_;
+  std::vector<double> prev_health_;  ///< empty until the first day completes
+  long stall_run_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace baat::sim

@@ -64,14 +64,22 @@ std::pair<SnapshotHeader, std::vector<std::uint8_t>> read_and_check(const std::s
 
 }  // namespace
 
+std::vector<std::uint8_t> snapshot_container_bytes(std::uint64_t config_hash,
+                                                   std::span<const std::uint8_t> payload) {
+  SnapshotWriter container;
+  for (char c : kMagic) container.write_u8(static_cast<std::uint8_t>(c));
+  container.write_u32(kFormatVersion);
+  container.write_u64(config_hash);
+  container.write_u64(payload.size());
+  container.write_u32(crc32(payload));
+  std::vector<std::uint8_t> bytes = container.bytes();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
 void write_snapshot_file(const std::string& path, std::uint64_t config_hash,
                          std::span<const std::uint8_t> payload) {
-  SnapshotWriter header;
-  for (char c : kMagic) header.write_u8(static_cast<std::uint8_t>(c));
-  header.write_u32(kFormatVersion);
-  header.write_u64(config_hash);
-  header.write_u64(payload.size());
-  header.write_u32(crc32(payload));
+  const std::vector<std::uint8_t> bytes = snapshot_container_bytes(config_hash, payload);
 
   const std::string tmp = path + ".tmp";
   {
@@ -79,10 +87,8 @@ void write_snapshot_file(const std::string& path, std::uint64_t config_hash,
     if (!out) {
       throw SnapshotError("cannot open '" + tmp + "' for writing");
     }
-    out.write(reinterpret_cast<const char*>(header.bytes().data()),
-              static_cast<std::streamsize>(header.size()));
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) {
       std::error_code ignore;

@@ -30,7 +30,7 @@ namespace baat::snapshot {
 
 /// Bump whenever the payload layout changes; old files are refused with a
 /// readable error rather than misinterpreted.
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;  // v2: fleet aging-attribution ledger state
 
 /// The parsed container header (everything before the payload).
 struct SnapshotHeader {
@@ -39,6 +39,13 @@ struct SnapshotHeader {
   std::uint64_t payload_size = 0;
   std::uint32_t payload_crc = 0;
 };
+
+/// The full container (header + payload) as a byte vector — what
+/// write_snapshot_file puts on disk. Exposed so in-memory consumers (the
+/// crash flight recorder bundles a snapshot among other files) share the
+/// exact on-disk format.
+std::vector<std::uint8_t> snapshot_container_bytes(std::uint64_t config_hash,
+                                                   std::span<const std::uint8_t> payload);
 
 /// Atomically writes `payload` to `path` (tmp file + rename). Throws
 /// SnapshotError on any filesystem failure.

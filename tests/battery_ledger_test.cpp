@@ -1,0 +1,340 @@
+// Aging-attribution ledger tests (DESIGN.md §5g): the per-mechanism fade
+// attribution must reproduce the kernel's capacity fraction exactly, the
+// online rainflow counter must match the offline ASTM E1049 decomposition
+// on any series that fits its stack, and all ledger state must round-trip
+// through snapshots bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "battery/fleet.hpp"
+#include "battery/ledger.hpp"
+#include "battery/rainflow.hpp"
+#include "battery/step_math.hpp"
+#include "snapshot/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::Amperes;
+using util::Seconds;
+
+TEST(FadeComponents, ReproduceKernelCapacityFraction) {
+  // fade_components must be the kernel's own weighted terms, so for any
+  // aging state above the 0.05 capacity floor the parts reproduce
+  // 1 - aging_capacity_fraction to a few ulps. Bit-identity is out of reach
+  // only because of the 1 - (1 - fade) round trip (and FMA contraction in
+  // the kernel's sum); 1e-12 is six decades inside the 1e-9 invariant.
+  const AgingParams p{};
+  util::Rng rng{20260808u};
+  for (int i = 0; i < 200; ++i) {
+    AgingState s;
+    s.corrosion = rng.uniform(0.0, 0.05);
+    s.shedding = rng.uniform(0.0, 0.05);
+    s.sulphation = rng.uniform(0.0, 0.05);
+    s.stratification = rng.uniform(0.0, 0.05);
+    s.water_loss = rng.uniform(0.0, 0.05);
+    const MechanismFade f = fade_components(p, s);
+    const double frac = detail::aging_capacity_fraction(p, s);
+    ASSERT_GT(frac, 0.05);  // above the floor, the identity holds
+    EXPECT_NEAR(f.total(), 1.0 - frac, 1e-12) << "iteration " << i;
+  }
+}
+
+TEST(FadeComponents, DeltaArithmeticIsClosed) {
+  const AgingParams p{};
+  AgingState before;
+  before.corrosion = 0.01;
+  before.stratification = 0.02;
+  AgingState after = before;
+  after.corrosion = 0.015;
+  after.stratification = 0.005;  // a full charge healed stratification
+
+  MechanismFade delta = fade_components(p, after);
+  delta -= fade_components(p, before);
+  EXPECT_GT(delta.corrosion, 0.0);
+  EXPECT_LT(delta.stratification, 0.0);
+  EXPECT_NEAR(delta.total(),
+              fade_components(p, after).total() - fade_components(p, before).total(),
+              1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// Online vs offline rainflow equivalence.
+// ---------------------------------------------------------------------------
+
+double offline_damage(const std::vector<double>& soc, const CycleLifeCurve& curve) {
+  return rainflow_damage(rainflow_count(soc), curve);
+}
+
+double online_damage(const std::vector<double>& soc, const CycleLifeCurve& curve) {
+  OnlineRainflow rf{curve};
+  for (double s : soc) rf.push(s);
+  rf.flush_residuals();
+  return rf.damage();
+}
+
+TEST(OnlineRainflow, MatchesOfflineOnTextbookSeries) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::Trojan);
+  const std::vector<std::vector<double>> cases = {
+      {},                               // empty
+      {0.5},                            // single sample
+      {0.5, 0.5, 0.5},                  // constant
+      {1.0, 0.4},                       // one half cycle
+      {0.2, 0.3, 0.4, 0.7, 0.9},        // monotone ramp
+      {1.0, 0.3, 0.5, 0.35, 0.9},       // nested ripple (the classic case)
+      {1.0, 0.5, 0.8, 0.2, 0.6, 0.1, 1.0},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_NEAR(online_damage(cases[i], curve), offline_damage(cases[i], curve), 1e-12)
+        << "case " << i;
+  }
+}
+
+TEST(OnlineRainflow, MatchesOfflineOnRepeatedCycling) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::Trojan);
+  std::vector<double> soc;
+  for (int i = 0; i < 50; ++i) {
+    soc.push_back(1.0);
+    soc.push_back(0.5);
+  }
+  soc.push_back(1.0);
+  EXPECT_NEAR(online_damage(soc, curve), offline_damage(soc, curve), 1e-12);
+}
+
+TEST(OnlineRainflow, MatchesOfflineOnRandomWalks) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::UPG);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL, 7ULL, 8ULL}) {
+    util::Rng rng{seed};
+    std::vector<double> soc{0.5};
+    for (int i = 0; i < 2000; ++i) {
+      soc.push_back(util::clamp01(soc.back() + rng.uniform(-0.08, 0.08)));
+    }
+    const double off = offline_damage(soc, curve);
+    const double on = online_damage(soc, curve);
+    EXPECT_NEAR(on, off, 1e-12 * std::max(1.0, off)) << "seed " << seed;
+  }
+}
+
+TEST(OnlineRainflow, DamageIsMonotoneAndFlushIsIdempotent) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::Trojan);
+  OnlineRainflow rf{curve};
+  util::Rng rng{99u};
+  double soc = 0.5;
+  double prev = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    soc = util::clamp01(soc + rng.uniform(-0.1, 0.1));
+    rf.push(soc);
+    ASSERT_GE(rf.damage(), prev);  // closing cycles only ever adds damage
+    prev = rf.damage();
+  }
+  rf.flush_residuals();
+  const double flushed = rf.damage();
+  EXPECT_GE(flushed, prev);
+  EXPECT_DOUBLE_EQ(rf.flush_residuals(), 0.0);  // nothing left to release
+  EXPECT_DOUBLE_EQ(rf.damage(), flushed);
+}
+
+TEST(OnlineRainflow, DeepNestingSpillsInsteadOfGrowing) {
+  // Amplitudes converging inward create one open excursion per sample —
+  // the pathological pattern that would grow an unbounded stack. The
+  // counter must cap at kStackDepth, keep damage finite and monotone, and
+  // never lose the running total.
+  const CycleLifeCurve curve = curve_for(Manufacturer::Trojan);
+  OnlineRainflow rf{curve};
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    rf.push(hi);
+    rf.push(lo);
+    lo += 0.002;
+    hi -= 0.002;
+    ASSERT_LE(rf.open_points(), OnlineRainflow::kStackDepth);
+    ASSERT_TRUE(std::isfinite(rf.damage()));
+  }
+  rf.flush_residuals();
+  EXPECT_GT(rf.damage(), 0.0);
+}
+
+TEST(OnlineRainflow, SnapshotRoundTripContinuesBitIdentically) {
+  const CycleLifeCurve curve = curve_for(Manufacturer::UPG);
+  util::Rng rng{7u};
+  std::vector<double> head;
+  std::vector<double> tail;
+  double s = 0.6;
+  for (int i = 0; i < 700; ++i) {
+    s = util::clamp01(s + rng.uniform(-0.09, 0.09));
+    (i < 400 ? head : tail).push_back(s);
+  }
+
+  OnlineRainflow straight{curve};
+  for (double v : head) straight.push(v);
+
+  snapshot::SnapshotWriter w;
+  straight.save_state(w);
+  snapshot::SnapshotReader r{w.bytes()};
+  OnlineRainflow restored{};  // default curve must be overwritten by load
+  restored.load_state(r);
+
+  EXPECT_EQ(restored.damage(), straight.damage());
+  EXPECT_EQ(restored.open_points(), straight.open_points());
+  for (double v : tail) {
+    const double a = straight.push(v);
+    const double b = restored.push(v);
+    ASSERT_EQ(a, b);
+  }
+  straight.flush_residuals();
+  restored.flush_residuals();
+  EXPECT_EQ(restored.damage(), straight.damage());
+}
+
+TEST(OnlineRainflow, OversizedSnapshotStackRefused) {
+  OnlineRainflow rf{};
+  snapshot::SnapshotWriter w;
+  w.write_f64(1000.0);  // curve fields
+  w.write_f64(1.5);
+  w.write_f64(0.01);
+  w.write_u64(OnlineRainflow::kStackDepth + 1);  // corrupt depth
+  snapshot::SnapshotReader r{w.bytes()};
+  EXPECT_THROW(rf.load_state(r), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level ledger accounting.
+// ---------------------------------------------------------------------------
+
+/// Day-shaped duty: discharge, deep midday charge, evening discharge.
+double duty_amps(long tick, std::size_t cell) {
+  const long phase = tick % 1440;
+  const double detune = 0.3 * static_cast<double>(cell);
+  if (phase < 480) return 5.0 + detune;
+  if (phase < 1080) return -(12.0 + detune);
+  return 3.0 + detune;
+}
+
+TEST(FleetLedger, AttributionMatchesHealthAndDeltasSumToTotals) {
+  FleetState fleet{LeadAcidParams{}, AgingParams{}, ThermalParams{}};
+  constexpr std::size_t kCells = 4;
+  for (std::size_t i = 0; i < kCells; ++i) fleet.add_cell(1.0, 1.0, 0.8);
+
+  std::vector<CellLedgerEntry> accumulated(kCells);
+  const Seconds dt{60.0};
+  for (long day = 0; day < 14; ++day) {
+    for (long t = 0; t < 1440; ++t) {
+      for (std::size_t c = 0; c < kCells; ++c) {
+        fleet.step_cell(c, Amperes{duty_amps(day * 1440 + t, c)}, dt);
+      }
+    }
+    // Daily rollup: read the window deltas, then advance the baseline.
+    for (std::size_t c = 0; c < kCells; ++c) {
+      const CellLedgerEntry d = fleet.ledger_delta(c);
+      accumulated[c].fade += d.fade;
+      accumulated[c].cycle_damage += d.cycle_damage;
+      accumulated[c].efc += d.efc;
+      accumulated[c].low_soc_dwell_s += d.low_soc_dwell_s;
+    }
+    fleet.ledger_advance();
+  }
+
+  for (std::size_t c = 0; c < kCells; ++c) {
+    const CellLedgerEntry total = fleet.ledger_total(c);
+    // The attribution invariant: mechanism parts reproduce the kernel's
+    // capacity fraction within 1e-9 (they are exact to a few ulps).
+    EXPECT_NEAR(total.fade.total(), 1.0 - fleet.cell_health(c), 1e-9) << "cell " << c;
+    // Summed window deltas reproduce the lifetime totals.
+    EXPECT_NEAR(accumulated[c].fade.total(), total.fade.total(), 1e-12);
+    EXPECT_NEAR(accumulated[c].cycle_damage, total.cycle_damage, 1e-12);
+    EXPECT_NEAR(accumulated[c].efc, total.efc, 1e-12);
+    EXPECT_NEAR(accumulated[c].low_soc_dwell_s, total.low_soc_dwell_s, 1e-6);
+    // Two weeks of deep cycling consumed real cycle life and EFC.
+    EXPECT_GT(total.cycle_damage, 0.0);
+    EXPECT_GT(total.efc, 1.0);
+    // After an advance with no steps, the window delta is empty.
+  }
+  fleet.ledger_advance();
+  for (std::size_t c = 0; c < kCells; ++c) {
+    const CellLedgerEntry d = fleet.ledger_delta(c);
+    EXPECT_EQ(d.fade.total(), 0.0);
+    EXPECT_EQ(d.cycle_damage, 0.0);
+    EXPECT_EQ(d.efc, 0.0);
+    EXPECT_EQ(d.low_soc_dwell_s, 0.0);
+  }
+}
+
+TEST(FleetLedger, DisablingTheLedgerNeverChangesPhysics) {
+  // The obs-off bench configuration must be physics-identical: only the
+  // rainflow damage bookkeeping stops.
+  auto run = [](bool ledger_on) {
+    FleetState fleet{LeadAcidParams{}, AgingParams{}, ThermalParams{}};
+    fleet.set_ledger_enabled(ledger_on);
+    for (std::size_t i = 0; i < 3; ++i) fleet.add_cell(1.0, 1.0, 0.75);
+    const Seconds dt{60.0};
+    for (long t = 0; t < 3 * 1440; ++t) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        fleet.step_cell(c, Amperes{duty_amps(t, c)}, dt);
+      }
+    }
+    return fleet;
+  };
+  const FleetState on = run(true);
+  const FleetState off = run(false);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(on.cell_soc(c), off.cell_soc(c));
+    EXPECT_EQ(on.cell_health(c), off.cell_health(c));
+    EXPECT_EQ(on.cell_temperature(c).value(), off.cell_temperature(c).value());
+    EXPECT_GT(on.cell_cycle_damage(c), 0.0);
+    EXPECT_EQ(off.cell_cycle_damage(c), 0.0);  // bookkeeping, not physics
+  }
+}
+
+TEST(FleetLedger, LedgerStateRidesThroughFleetSnapshots) {
+  FleetState fleet{LeadAcidParams{}, AgingParams{}, ThermalParams{}};
+  for (std::size_t i = 0; i < 2; ++i) fleet.add_cell(1.0, 1.0, 0.8);
+  const Seconds dt{60.0};
+  for (long t = 0; t < 2000; ++t) {
+    fleet.step_cell(0, Amperes{duty_amps(t, 0)}, dt);
+    fleet.step_cell(1, Amperes{duty_amps(t, 1)}, dt);
+  }
+  fleet.ledger_advance();
+  for (long t = 2000; t < 2600; ++t) {
+    fleet.step_cell(0, Amperes{duty_amps(t, 0)}, dt);
+    fleet.step_cell(1, Amperes{duty_amps(t, 1)}, dt);
+  }
+
+  snapshot::SnapshotWriter w;
+  fleet.save_state(w);
+  FleetState restored{LeadAcidParams{}, AgingParams{}, ThermalParams{}};
+  for (std::size_t i = 0; i < 2; ++i) restored.add_cell(1.0, 1.0, 0.8);
+  snapshot::SnapshotReader r{w.bytes()};
+  restored.load_state(r);
+
+  for (std::size_t c = 0; c < 2; ++c) {
+    const CellLedgerEntry a = fleet.ledger_delta(c);
+    const CellLedgerEntry b = restored.ledger_delta(c);
+    EXPECT_EQ(a.fade.total(), b.fade.total());
+    EXPECT_EQ(a.cycle_damage, b.cycle_damage);
+    EXPECT_EQ(a.efc, b.efc);
+    EXPECT_EQ(a.low_soc_dwell_s, b.low_soc_dwell_s);
+    EXPECT_EQ(fleet.cell_cycle_damage(c), restored.cell_cycle_damage(c));
+  }
+
+  // Stepping both fleets onwards stays bit-identical, including the ledger.
+  for (long t = 2600; t < 4000; ++t) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      fleet.step_cell(c, Amperes{duty_amps(t, c)}, dt);
+      restored.step_cell(c, Amperes{duty_amps(t, c)}, dt);
+    }
+  }
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(fleet.cell_soc(c), restored.cell_soc(c));
+    EXPECT_EQ(fleet.cell_cycle_damage(c), restored.cell_cycle_damage(c));
+    EXPECT_EQ(fleet.ledger_total(c).efc, restored.ledger_total(c).efc);
+  }
+}
+
+}  // namespace
+}  // namespace baat::battery

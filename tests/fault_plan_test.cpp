@@ -104,6 +104,17 @@ TEST(FaultPlanParse, CellOpenDefaultsToDayZero) {
   EXPECT_EQ(t.day, 5);
 }
 
+TEST(FaultPlanParse, NanPoisonDefaultsToDayZero) {
+  const FaultSpec s = parse_fault_spec("nan_poison:bank=1");
+  EXPECT_EQ(s.kind, FaultKind::NanPoison);
+  EXPECT_EQ(s.bank, 1u);
+  EXPECT_EQ(s.day, 0);
+  const FaultSpec t = parse_fault_spec("nan_poison:bank=0:day=2");
+  EXPECT_EQ(t.day, 2);
+  EXPECT_THROW((void)parse_fault_spec("nan_poison"), util::PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("nan_poison:day=2"), util::PreconditionError);
+}
+
 TEST(FaultPlanParse, MeterGlitch) {
   const FaultSpec s = parse_fault_spec("meter_glitch:p=0.02");
   EXPECT_EQ(s.kind, FaultKind::MeterGlitch);
@@ -132,6 +143,7 @@ TEST(FaultPlanParse, ToStringRoundTrips) {
       "pv_derate:factor=0.7",
       "cell_weak:bank=1:capacity=0.8:resistance=1.5",
       "cell_open:bank=0:day=3",
+      "nan_poison:bank=1:day=2",
       "meter_glitch:p=0.05:scale=0.5",
   };
   for (const char* spec : specs) {

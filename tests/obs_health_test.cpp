@@ -1,0 +1,337 @@
+// Run-health primitives and watchdog tests (DESIGN.md §5g): severity
+// scoring, the bounded incident log and its three observability surfaces
+// (report, trace event, lazy counter), snapshot round-trips, and the
+// watchdog's declarative invariants — including the readable-abort path a
+// poisoned state word must take.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "sim/results.hpp"
+#include "sim/watchdog.hpp"
+#include "snapshot/serialize.hpp"
+
+namespace baat {
+namespace {
+
+obs::HealthIncident incident(const char* check, obs::HealthSeverity sev, int node,
+                             double value, const char* detail = "") {
+  obs::HealthIncident i;
+  i.check = check;
+  i.severity = sev;
+  i.node = node;
+  i.value = value;
+  i.detail = detail;
+  i.ts = 120.0;
+  i.day = 2;
+  return i;
+}
+
+TEST(HealthSeverity, NamesAndScores) {
+  EXPECT_EQ(obs::health_severity_name(obs::HealthSeverity::Warn), "warn");
+  EXPECT_EQ(obs::health_severity_name(obs::HealthSeverity::Error), "error");
+  EXPECT_EQ(obs::health_severity_name(obs::HealthSeverity::Fatal), "fatal");
+  EXPECT_DOUBLE_EQ(obs::health_severity_score(obs::HealthSeverity::Warn), 1.0);
+  EXPECT_DOUBLE_EQ(obs::health_severity_score(obs::HealthSeverity::Error), 10.0);
+  EXPECT_DOUBLE_EQ(obs::health_severity_score(obs::HealthSeverity::Fatal), 1000.0);
+}
+
+TEST(HealthLog, ScoreSumsAndFatalLatches) {
+  obs::global_registry().reset();
+  obs::HealthLog log;
+  EXPECT_DOUBLE_EQ(log.score(), 0.0);
+  EXPECT_FALSE(log.any_fatal());
+
+  log.record(incident("stall", obs::HealthSeverity::Warn, -1, 7.0));
+  log.record(incident("energy_balance", obs::HealthSeverity::Error, 1, 0.5));
+  EXPECT_DOUBLE_EQ(log.score(), 11.0);
+  EXPECT_EQ(log.count(), 2u);
+  EXPECT_FALSE(log.any_fatal());
+
+  log.record(incident("finite_state", obs::HealthSeverity::Fatal, 0,
+                      std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_DOUBLE_EQ(log.score(), 1011.0);
+  EXPECT_TRUE(log.any_fatal());
+  obs::global_registry().reset();
+}
+
+TEST(HealthLog, RecordReachesCounterAndTraceSurfaces) {
+  obs::global_registry().reset();
+  obs::global_trace().clear();
+  obs::set_trace_enabled(true);
+
+  // A healthy run's registry export must not mention health at all — the
+  // counters are created lazily on the first incident.
+  EXPECT_EQ(obs::global_registry().json().find("health."), std::string::npos);
+
+  obs::HealthLog log;
+  log.record(incident("soc_range", obs::HealthSeverity::Error, 3, 1.02,
+                      "battery SoC escaped [0, 1]"));
+  const std::string json = obs::global_registry().json();
+  EXPECT_NE(json.find("\"health.error\""), std::string::npos);
+
+  std::ostringstream trace;
+  obs::global_trace().write_jsonl(trace);
+  EXPECT_NE(trace.str().find("\"health\""), std::string::npos);
+  EXPECT_NE(trace.str().find("error:soc_range"), std::string::npos);
+
+  obs::set_trace_enabled(false);
+  obs::global_trace().clear();
+  obs::global_registry().reset();
+}
+
+TEST(HealthLog, ReportIsReadableAndListsIncidents) {
+  obs::global_registry().reset();
+  obs::HealthLog log;
+  log.record(incident("energy_balance", obs::HealthSeverity::Error, 1, 2.5,
+                      "node demand not covered"));
+  log.record(incident("stall", obs::HealthSeverity::Warn, -1, 7.0));
+  const std::string report = log.report("watchdog aborted the simulation");
+  EXPECT_NE(report.find("watchdog aborted the simulation"), std::string::npos);
+  EXPECT_NE(report.find("health score 11 from 2 incident(s)"), std::string::npos);
+  EXPECT_NE(report.find("[error] day 2 t=120s node 1 energy_balance value=2.5"),
+            std::string::npos);
+  EXPECT_NE(report.find("(node demand not covered)"), std::string::npos);
+  // Cluster-wide incidents (node -1) omit the node column.
+  EXPECT_NE(report.find("[warn] day 2 t=120s stall value=7"), std::string::npos);
+  obs::global_registry().reset();
+}
+
+TEST(HealthLog, CapsStoredIncidentsButKeepsCounting) {
+  obs::global_registry().reset();
+  obs::HealthLog log;
+  for (int i = 0; i < 300; ++i) {
+    log.record(incident("energy_balance", obs::HealthSeverity::Warn, i % 4, 0.1));
+  }
+  EXPECT_EQ(log.incidents().size(), obs::HealthLog::kDefaultCapacity);
+  EXPECT_EQ(log.count(), 300u);
+  EXPECT_EQ(log.dropped(), 300u - obs::HealthLog::kDefaultCapacity);
+  EXPECT_DOUBLE_EQ(log.score(), 300.0);
+  EXPECT_NE(log.report("h").find("beyond the log cap"), std::string::npos);
+  obs::global_registry().reset();
+}
+
+TEST(HealthLog, SnapshotRoundTripPreservesEverything) {
+  obs::global_registry().reset();
+  obs::HealthLog log;
+  log.record(incident("soc_range", obs::HealthSeverity::Error, 2, -0.01, "low"));
+  log.record(incident("stall", obs::HealthSeverity::Warn, -1, 7.0));
+
+  snapshot::SnapshotWriter w;
+  log.save_state(w);
+  snapshot::SnapshotReader r{w.bytes()};
+  // Loading must not re-emit: counters/trace reflect live record() calls only.
+  obs::global_registry().reset();
+  obs::HealthLog restored;
+  restored.load_state(r);
+
+  EXPECT_EQ(restored.count(), log.count());
+  EXPECT_EQ(restored.dropped(), log.dropped());
+  EXPECT_EQ(restored.score(), log.score());
+  EXPECT_EQ(restored.any_fatal(), log.any_fatal());
+  EXPECT_EQ(restored.report("x"), log.report("x"));
+  // The registry keeps zeroed handles across reset(); what matters is that
+  // load_state never bumped them back up.
+  EXPECT_EQ(obs::global_registry().counter("health.error").value(), 0.0);
+  EXPECT_EQ(obs::global_registry().counter("health.warn").value(), 0.0);
+  obs::global_registry().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog invariants against real batteries and synthetic router results.
+// ---------------------------------------------------------------------------
+
+std::vector<battery::Battery> two_batteries(double soc = 0.8) {
+  std::vector<battery::Battery> b;
+  b.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                 battery::ThermalParams{}, 1.0, 1.0, soc);
+  b.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                 battery::ThermalParams{}, 1.0, 1.0, soc);
+  return b;
+}
+
+power::RouteResult balanced_route(std::size_t nodes) {
+  power::RouteResult r;
+  r.nodes.resize(nodes);
+  for (auto& n : r.nodes) {
+    n.demand = util::watts(100.0);
+    n.solar_used = util::watts(60.0);
+    n.utility_used = util::watts(40.0);
+  }
+  return r;
+}
+
+TEST(Watchdog, CleanStateRaisesNothing) {
+  obs::global_registry().reset();
+  sim::Watchdog dog{sim::WatchdogParams{}, 2};
+  auto batteries = two_batteries();
+  dog.check_day_start(0, batteries);
+  dog.check_tick(0, balanced_route(2), batteries);
+  sim::DayResult day;
+  day.throughput_work = 5.0;
+  dog.check_day_end(0, day, batteries);
+  EXPECT_DOUBLE_EQ(dog.log().score(), 0.0);
+  EXPECT_FALSE(dog.tripped());
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, NanSocAtDayStartAbortsWithReadableReport) {
+  obs::global_registry().reset();
+  sim::Watchdog dog{sim::WatchdogParams{}, 2};
+  auto batteries = two_batteries();
+  batteries[1].debug_set_soc(std::numeric_limits<double>::quiet_NaN());
+  try {
+    dog.check_day_start(3, batteries);
+    FAIL() << "a NaN SoC must abort";
+  } catch (const obs::WatchdogError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("run-health watchdog aborted"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("finite_state"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("node 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("value=nan"), std::string::npos) << msg;
+  }
+  EXPECT_TRUE(dog.tripped());
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, SocEscapeIsFatalButUlpSlackIsNot) {
+  obs::global_registry().reset();
+  {
+    sim::Watchdog dog{sim::WatchdogParams{}, 2};
+    auto batteries = two_batteries();
+    batteries[0].debug_set_soc(1.0 + 1e-12);  // fast-math ulp slop: allowed
+    EXPECT_NO_THROW(dog.check_day_start(0, batteries));
+  }
+  {
+    sim::Watchdog dog{sim::WatchdogParams{}, 2};
+    auto batteries = two_batteries();
+    batteries[0].debug_set_soc(1.05);  // genuine escape: fatal
+    EXPECT_THROW(dog.check_day_start(0, batteries), obs::WatchdogError);
+  }
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, EnergyImbalanceScoresAnErrorPerTick) {
+  obs::global_registry().reset();
+  sim::Watchdog dog{sim::WatchdogParams{}, 2};
+  auto batteries = two_batteries();
+  power::RouteResult bad = balanced_route(2);
+  bad.nodes[0].utility_used = util::watts(10.0);  // 30 W of demand vanishes
+  dog.check_tick(0, bad, batteries);
+  EXPECT_DOUBLE_EQ(dog.log().score(), 10.0);
+  ASSERT_EQ(dog.log().incidents().size(), 1u);
+  EXPECT_EQ(dog.log().incidents()[0].check, "energy_balance");
+  EXPECT_NEAR(dog.log().incidents()[0].value, 30.0, 1e-9);
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, RepeatedErrorsEscalateToFatalScoreAbort) {
+  obs::global_registry().reset();
+  sim::WatchdogParams params;
+  params.fatal_score = 50.0;  // 5 errors
+  sim::Watchdog dog{params, 2};
+  auto batteries = two_batteries();
+  power::RouteResult bad = balanced_route(2);
+  bad.nodes[1].unmet = util::watts(-25.0);
+  for (int tick = 0; tick < 4; ++tick) dog.check_tick(0, bad, batteries);
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_THROW(dog.check_tick(0, bad, batteries), obs::WatchdogError);
+  EXPECT_TRUE(dog.tripped());
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, SohHealBeyondAllowanceIsAnError) {
+  obs::global_registry().reset();
+  sim::Watchdog dog{sim::WatchdogParams{}, 1};
+  std::vector<battery::Battery> b;
+  b.emplace_back(battery::LeadAcidParams{}, battery::AgingParams{},
+                 battery::ThermalParams{}, 1.0, 1.0, 0.8);
+  // Day 0 pins prev_health at the pre-aged value; an impossible healing jump
+  // the next day must be flagged.
+  battery::AgingState aged;
+  aged.sulphation = 0.15;
+  b[0].set_aging_state(aged);
+  sim::DayResult day;
+  day.throughput_work = 1.0;
+  dog.check_day_end(0, day, b);
+  EXPECT_DOUBLE_EQ(dog.log().score(), 0.0);
+
+  b[0].set_aging_state(battery::AgingState{});  // capacity magically returns
+  dog.check_day_end(1, day, b);
+  ASSERT_EQ(dog.log().incidents().size(), 1u);
+  EXPECT_EQ(dog.log().incidents()[0].check, "soh_monotone");
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, StallWarnsOnceAfterConsecutiveZeroDays) {
+  obs::global_registry().reset();
+  sim::WatchdogParams params;
+  params.stall_days = 3;
+  sim::Watchdog dog{params, 2};
+  auto batteries = two_batteries();
+  sim::DayResult idle;
+  idle.throughput_work = 0.0;
+  sim::DayResult busy;
+  busy.throughput_work = 4.0;
+
+  dog.check_day_end(0, idle, batteries);
+  dog.check_day_end(1, idle, batteries);
+  EXPECT_EQ(dog.log().count(), 0u);
+  dog.check_day_end(2, idle, batteries);  // third consecutive: one warn
+  EXPECT_EQ(dog.log().count(), 1u);
+  EXPECT_EQ(dog.log().incidents()[0].check, "stall");
+  dog.check_day_end(3, idle, batteries);  // run continues, no re-warn
+  EXPECT_EQ(dog.log().count(), 1u);
+  dog.check_day_end(4, busy, batteries);  // recovery resets the streak
+  dog.check_day_end(5, idle, batteries);
+  dog.check_day_end(6, idle, batteries);
+  EXPECT_EQ(dog.log().count(), 1u);
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, DisabledWatchdogIsInert) {
+  obs::global_registry().reset();
+  sim::WatchdogParams params;
+  params.enabled = false;
+  sim::Watchdog dog{params, 2};
+  auto batteries = two_batteries();
+  batteries[0].debug_set_soc(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NO_THROW(dog.check_day_start(0, batteries));
+  EXPECT_EQ(dog.log().count(), 0u);
+  obs::global_registry().reset();
+}
+
+TEST(Watchdog, SnapshotRoundTripKeepsStreaksAndLog) {
+  obs::global_registry().reset();
+  sim::WatchdogParams params;
+  params.stall_days = 3;
+  sim::Watchdog dog{params, 2};
+  auto batteries = two_batteries();
+  sim::DayResult idle;
+  idle.throughput_work = 0.0;
+  dog.check_day_end(0, idle, batteries);
+  dog.check_day_end(1, idle, batteries);  // streak = 2, one day from warning
+
+  snapshot::SnapshotWriter w;
+  dog.save_state(w);
+  sim::Watchdog restored{params, 2};
+  snapshot::SnapshotReader r{w.bytes()};
+  restored.load_state(r);
+
+  restored.check_day_end(2, idle, batteries);  // streak continues seamlessly
+  EXPECT_EQ(restored.log().count(), 1u);
+  EXPECT_EQ(restored.log().incidents()[0].check, "stall");
+  obs::global_registry().reset();
+}
+
+}  // namespace
+}  // namespace baat

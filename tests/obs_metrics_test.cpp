@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "obs/obs.hpp"
+#include "util/rng.hpp"
 
 namespace baat::obs {
 namespace {
@@ -212,6 +215,90 @@ TEST(Timer, DisabledPathIsEffectivelyFree) {
   // over what this costs even on a loaded CI box.
   EXPECT_LT(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
             100ll * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Export hardening: hostile series names must never break the JSON/CSV
+// exports, and non-finite values must serialize as deterministic literals.
+// ---------------------------------------------------------------------------
+
+TEST(Escaping, JsonQuoteHandlesHostileNames) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("he said \"hi\""), "\"he said \\\"hi\\\"\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("line\nbreak\ttab\rret"), "\"line\\nbreak\\ttab\\rret\"");
+  EXPECT_EQ(json_quote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+  EXPECT_EQ(json_quote("\x01\x1f"), "\"\\u0001\\u001f\"");
+}
+
+TEST(Escaping, CsvQuoteIsRfc4180WithEscapedLineBreaks) {
+  EXPECT_EQ(csv_quote("plain"), "\"plain\"");
+  EXPECT_EQ(csv_quote("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(csv_quote("two\nlines\r"), "\"two\\nlines\\r\"");
+  EXPECT_EQ(csv_quote("comma,stays"), "\"comma,stays\"");
+}
+
+TEST(Escaping, FormatNumberEmitsDeterministicNonFiniteLiterals) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  // And finite round-trips stay exact through the %.17g path.
+  EXPECT_EQ(std::stod(format_number(0.1)), 0.1);
+  EXPECT_EQ(std::stod(format_number(1e-300)), 1e-300);
+}
+
+TEST(Escaping, FuzzedHostileNamesSurviveBothExports) {
+  // Random names drawn from a deliberately nasty alphabet, registered as
+  // counter names and labels, then pushed through both export formats. The
+  // JSON export must stay parseable in the ways a dumb checker can verify:
+  // balanced quoting, no raw control bytes, backslashes only opening legal
+  // escapes. The CSV export must keep one record per line.
+  const std::string alphabet = "ab\"\\\n\r\t,{}[]:\x01\x1f ";
+  util::Rng rng{20260808};
+  Registry reg;
+  for (int i = 0; i < 64; ++i) {
+    std::string name = "m" + std::to_string(i) + "_";  // unique even on collision
+    const int len = static_cast<int>(rng.uniform(1.0, 12.0));
+    for (int k = 0; k < len; ++k) {
+      name += alphabet[static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(alphabet.size()) - 0.001))];
+    }
+    reg.counter(name).inc(static_cast<double>(i));
+    reg.gauge("g", name).set(static_cast<double>(i));
+  }
+
+  const std::string json = reg.json();
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (!in_string) {
+      if (c == '"') in_string = true;
+      continue;
+    }
+    // Inside a string literal: no raw control bytes, backslashes only open
+    // legal escapes, an unescaped quote closes the literal.
+    ASSERT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte inside a JSON string at offset " << i;
+    if (c == '\\') {
+      ASSERT_LT(i + 1, json.size());
+      const char n = json[i + 1];
+      ASSERT_TRUE(n == '"' || n == '\\' || n == 'n' || n == 't' || n == 'r' ||
+                  n == 'u')
+          << "illegal escape \\" << n;
+      ++i;  // skip the escaped character
+      continue;
+    }
+    if (c == '"') in_string = false;
+  }
+  EXPECT_FALSE(in_string) << "unbalanced quotes in JSON export";
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  std::istringstream lines{csv.str()};
+  std::size_t rows = 0;
+  for (std::string line; std::getline(lines, line);) ++rows;
+  // Header + 64 counters + 64 gauges, no name allowed to add extra lines.
+  EXPECT_EQ(rows, 1u + 128u);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Streamed per-day series export tests (DESIGN.md §5g): CSV/JSONL shape,
+// downsampling, checkpoint/resume byte-identity of the exported file, and
+// sweep worker-count independence of the per-point series files.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "sim/cli.hpp"
+#include "sim/multiday.hpp"
+#include "util/sim_clock.hpp"
+
+namespace baat::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in{text};
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+  return lines;
+}
+
+/// Fresh per-test scratch directory under the system temp root.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() / ("baat_series_" + name)).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.nodes = 3;
+  cfg.seed = 20260808;
+  return cfg;
+}
+
+void reset_globals() {
+  obs::set_profiling_enabled(false);
+  obs::set_trace_enabled(false);
+  obs::global_registry().reset();
+  obs::global_trace().clear();
+  util::set_sim_time(-1.0);
+}
+
+MultiDayResult run_with_series(const ScenarioConfig& cfg, std::size_t days,
+                               const SeriesOptions& series,
+                               const CheckpointOptions& ckpt = {}) {
+  reset_globals();
+  Cluster cluster{cfg};
+  MultiDayOptions opts;
+  opts.days = days;
+  opts.sunshine_fraction = 0.5;
+  opts.probe_every_days = 0;
+  opts.series = series;
+  opts.checkpoint = ckpt;
+  return run_multi_day(cluster, opts);
+}
+
+TEST(SeriesExport, CsvHasHeaderAndOneRowPerNodePlusClusterPerDay) {
+  ScratchDir dir{"csv_shape"};
+  SeriesOptions series;
+  series.path = dir.file("series.csv");
+  const ScenarioConfig cfg = small_scenario();
+  run_with_series(cfg, 4, series);
+
+  const auto lines = lines_of(slurp(series.path));
+  ASSERT_EQ(lines.size(), 1u + 4u * (cfg.nodes + 1));
+  EXPECT_EQ(lines[0],
+            "day,node,soc_end,soc_min,health,fade_corrosion,fade_shedding,"
+            "fade_sulphation,fade_stratification,fade_water_loss,fade_total,"
+            "cycle_damage,efc,low_soc_dwell_s,health_score,throughput_work");
+  // Day 0's block: nodes 0..2 then the cluster rollup.
+  EXPECT_EQ(lines[1].substr(0, 4), "0,0,");
+  EXPECT_EQ(lines[3].substr(0, 4), "0,2,");
+  EXPECT_EQ(lines[4].substr(0, 10), "0,cluster,");
+  // Last block belongs to the final day.
+  EXPECT_EQ(lines.back().substr(0, 10), "3,cluster,");
+  // The cluster rollup rows leave the per-node-only columns empty.
+  EXPECT_NE(lines[4].find("cluster,,,,"), std::string::npos);
+}
+
+TEST(SeriesExport, JsonlRowsCarryFadeBreakdown) {
+  ScratchDir dir{"jsonl"};
+  SeriesOptions series;
+  series.path = dir.file("series.jsonl");
+  run_with_series(small_scenario(), 2, series);
+
+  const auto lines = lines_of(slurp(series.path));
+  ASSERT_EQ(lines.size(), 2u * 4u);  // no header line in JSONL
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{') << l;
+    EXPECT_EQ(l.back(), '}') << l;
+    EXPECT_NE(l.find("\"fade\": {\"corrosion\": "), std::string::npos) << l;
+    EXPECT_NE(l.find("\"cycle_damage\": "), std::string::npos) << l;
+  }
+  EXPECT_NE(lines[0].find("\"node\": \"0\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"node\": \"cluster\""), std::string::npos);
+}
+
+TEST(SeriesExport, EveryNthDayDownsamples) {
+  ScratchDir dir{"downsample"};
+  SeriesOptions series;
+  series.path = dir.file("series.csv");
+  series.every = 3;
+  run_with_series(small_scenario(), 7, series);
+
+  // Emission days are those with (day+1) % 3 == 0: days 2 and 5.
+  const auto lines = lines_of(slurp(series.path));
+  ASSERT_EQ(lines.size(), 1u + 2u * 4u);
+  EXPECT_EQ(lines[1].substr(0, 2), "2,");
+  EXPECT_EQ(lines[5].substr(0, 2), "5,");
+  // Deltas now cover three-day windows: the day-5 cluster row still carries
+  // positive EFC (column 13 of the rollup), proving ledger_advance only runs
+  // on emission days.
+  EXPECT_EQ(lines.back().substr(0, 10), "5,cluster,");
+}
+
+TEST(SeriesExport, ResumeReproducesTheFileByteForByte) {
+  ScratchDir dir{"resume"};
+  const ScenarioConfig cfg = small_scenario();
+
+  SeriesOptions series;
+  series.path = dir.file("uninterrupted.csv");
+  run_with_series(cfg, 6, series);
+  const std::string reference = slurp(series.path);
+
+  // Checkpointed run: writes rows for all 6 days AND a day-3 snapshot.
+  SeriesOptions ck_series;
+  ck_series.path = dir.file("resumed.csv");
+  CheckpointOptions ckpt;
+  ckpt.every_days = 3;
+  ckpt.dir = dir.path();
+  run_with_series(cfg, 6, ck_series, ckpt);
+  EXPECT_EQ(slurp(ck_series.path), reference);
+
+  // Resume from day 3: load_state must truncate the "interrupted" file's
+  // extra rows (simulated by scribbling on it) and replay to byte-identity.
+  {
+    std::ofstream scribble{ck_series.path, std::ios::binary | std::ios::app};
+    scribble << "999,junk,rows,from,the,interrupted,process\n";
+  }
+  CheckpointOptions resume;
+  resume.resume_path = dir.path() + "/checkpoint-day-3.snap";
+  run_with_series(cfg, 6, ck_series, resume);
+  EXPECT_EQ(slurp(ck_series.path), reference);
+}
+
+TEST(SeriesExport, JsonlResumeIsAlsoByteIdentical) {
+  ScratchDir dir{"resume_jsonl"};
+  const ScenarioConfig cfg = small_scenario();
+
+  SeriesOptions series;
+  series.path = dir.file("a.jsonl");
+  run_with_series(cfg, 4, series);
+  const std::string reference = slurp(series.path);
+
+  SeriesOptions ck_series;
+  ck_series.path = dir.file("b.jsonl");
+  CheckpointOptions ckpt;
+  ckpt.every_days = 2;
+  ckpt.dir = dir.path();
+  run_with_series(cfg, 4, ck_series, ckpt);
+
+  CheckpointOptions resume;
+  resume.resume_path = dir.path() + "/checkpoint-day-2.snap";
+  run_with_series(cfg, 4, ck_series, resume);
+  EXPECT_EQ(slurp(ck_series.path), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep worker-count independence: the per-point series files, the sweep
+// CSV and the run's outputs must be byte-identical at --jobs 1 vs --jobs 8,
+// clean and faulted.
+// ---------------------------------------------------------------------------
+
+struct SweepArtifacts {
+  std::vector<std::string> series;  ///< one per sweep point
+  std::string csv;
+  bool operator==(const SweepArtifacts&) const = default;
+};
+
+SweepArtifacts run_sweep_cli(const ScratchDir& dir, const std::string& tag,
+                             std::size_t jobs, const std::string& fault_spec) {
+  reset_globals();
+  CliOptions o;
+  o.days = 2;
+  o.nodes = 3;
+  o.sweep_sunshine = {0.3, 0.8};
+  o.jobs = jobs;
+  o.series_path = dir.file(tag + ".csv");
+  o.csv_path = dir.file(tag + "-summary.csv");
+  if (!fault_spec.empty()) o.faults = fault::parse_fault_plan(fault_spec);
+  EXPECT_EQ(run_cli(o), 0);
+
+  SweepArtifacts a;
+  for (std::size_t i = 0; i < o.sweep_sunshine.size(); ++i) {
+    a.series.push_back(slurp(dir.file(tag + "-point-" + std::to_string(i) + ".csv")));
+    EXPECT_FALSE(a.series.back().empty());
+  }
+  a.csv = slurp(o.csv_path);
+  return a;
+}
+
+TEST(SeriesExport, SweepWorkerCountNeverChangesSeriesBytes) {
+  ScratchDir dir{"sweep_clean"};
+  const SweepArtifacts serial = run_sweep_cli(dir, "serial", 1, "");
+  const SweepArtifacts parallel = run_sweep_cli(dir, "parallel", 8, "");
+  EXPECT_EQ(serial.series, parallel.series);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  // The two points saw different weather, so their ledgers must differ.
+  EXPECT_NE(serial.series[0], serial.series[1]);
+}
+
+TEST(SeriesExport, FaultedSweepWorkerCountNeverChangesSeriesBytes) {
+  ScratchDir dir{"sweep_faulted"};
+  const char* spec = "sensor_noise:soc:0.03,pv_derate:factor=0.8";
+  const SweepArtifacts serial = run_sweep_cli(dir, "serial", 1, spec);
+  const SweepArtifacts parallel = run_sweep_cli(dir, "parallel", 8, spec);
+  EXPECT_EQ(serial.series, parallel.series);
+  EXPECT_EQ(serial.csv, parallel.csv);
+}
+
+}  // namespace
+}  // namespace baat::sim

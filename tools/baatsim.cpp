@@ -7,9 +7,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/blackbox.hpp"
 #include "sim/cli.hpp"
 
 int main(int argc, char** argv) {
+  // Flight recorder: a fatal signal or uncaught exception during the run
+  // dumps a blackbox bundle before the process dies (run_cli arms the hook).
+  baat::obs::install_crash_handlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     return baat::sim::run_cli(baat::sim::parse_cli(args));

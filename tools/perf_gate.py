@@ -112,6 +112,28 @@ def gate(base, cur, threshold):
     return shared, lines, failures
 
 
+def obs_tax(doc, threshold):
+    """Instrumented-vs-off comparison inside one run: the ledger/obs tax on
+    the 48-cell config must stay under `threshold`. Both numbers come from
+    the same process on the same host, so no calibration is involved. Older
+    result files without the obs-off bench are skipped, not failed."""
+    by_name = {b["name"]: b for b in doc["benches"]}
+    on = by_name.get("fleet_48")
+    off = by_name.get("fleet_48_obs_off")
+    if on is None or off is None:
+        return [], []
+    tax = on["ns_per_cell_tick"] / off["ns_per_cell_tick"] - 1.0
+    lines = [f"obs+ledger tax   instrumented {on['ns_per_cell_tick']:8.2f} ns  "
+             f"obs-off {off['ns_per_cell_tick']:8.2f} ns  tax {tax * 100:+5.1f}%"]
+    failures = []
+    if tax > threshold:
+        failures.append(f"obs+ledger tax {tax * 100:.1f}% on fleet_48 exceeds the "
+                        f"{threshold * 100:.0f}% budget (instrumented "
+                        f"{on['ns_per_cell_tick']:.2f} ns vs obs-off "
+                        f"{off['ns_per_cell_tick']:.2f} ns per cell-tick)")
+    return lines, failures
+
+
 def self_test():
     """Exercise the malformed-input paths in-process; exits non-zero on bugs."""
     import copy
@@ -182,7 +204,20 @@ def self_test():
                           "allocs_per_tick": 0.0}]}
     expect_exit("no shared benches", lambda: gate(good, other, 0.15))
 
-    # 5. the happy path still gates
+    # 5. the obs-tax rule: over-budget fails, within-budget and absent pass
+    taxed = {"calibration_ns": 2.0,
+             "benches": [{"name": "fleet_48", "ns_per_cell_tick": 11.0,
+                          "allocs_per_tick": 0.0},
+                         {"name": "fleet_48_obs_off", "ns_per_cell_tick": 10.0,
+                          "allocs_per_tick": 0.0}]}
+    _, failures = obs_tax(taxed, 0.05)
+    assert any("tax" in f for f in failures), failures
+    _, failures = obs_tax(taxed, 0.15)
+    assert not failures, failures
+    _, failures = obs_tax(good, 0.05)  # no obs-off bench: skipped, not failed
+    assert not failures, failures
+
+    # 6. the happy path still gates
     slow = copy.deepcopy(good)
     slow["benches"][0]["ns_per_cell_tick"] = 100.0
     _, _, failures = gate(good, slow, 0.15)
@@ -206,6 +241,9 @@ def main():
     ap.add_argument("--current", help="freshly measured BENCH_kernel.json")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max allowed normalized slowdown (default 0.15 = 15%%)")
+    ap.add_argument("--obs-tax-threshold", type=float, default=0.05,
+                    help="max allowed instrumented-vs-obs-off overhead on the "
+                         "48-cell config (default 0.05 = 5%%)")
     ap.add_argument("--update", action="store_true",
                     help="copy --current over --baseline instead of gating")
     ap.add_argument("--self-test", action="store_true",
@@ -229,6 +267,9 @@ def main():
     base = load(args.baseline)
     cur = load(args.current)
     shared, lines, failures = gate(base, cur, args.threshold)
+    tax_lines, tax_failures = obs_tax(cur, args.obs_tax_threshold)
+    lines += tax_lines
+    failures += tax_failures
     for line in lines:
         print(line)
 
