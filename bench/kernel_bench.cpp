@@ -2,11 +2,22 @@
 //
 // Measures the batched SoA fleet kernel at several bank sizes, the
 // object-per-cell Battery::step loop as the reference shape, and the
-// --math=fast tier, with the exact alternating charge/discharge workload
-// the kernel was tuned on. Reports ns per cell-tick, fleet ticks/second
-// and heap allocations per tick (the steady-state loop must be
-// allocation-free), plus a machine-speed calibration scalar so the CI
-// gate (tools/perf_gate.py) can compare runs across hosts.
+// --math=fast / --math=simd tiers, under a load-following workload:
+// the per-cell demand magnitude varies every tick (10–25.5 A, well above
+// the C/20 rated current, so the Peukert and Arrhenius transcendentals are
+// live on every tick — the regime the math tiers exist for), with the sign
+// flipping at SoC 0.2/0.9 like a peak-shaving cycle.
+//
+// Methodology: only the kernel call itself is timed (the synthetic demand
+// generator and trajectory bookkeeping around it are not the system under
+// test), and each row reports the minimum over kSegments contiguous
+// segments of the timed window — min-of-segments rejects the transient
+// background noise a single long stretch averages in, which matters for
+// the within-run ratio gates (obs-tax, simd-speedup) in tools/perf_gate.py.
+// Reports ns per cell-tick, fleet ticks/second and heap allocations per
+// tick (the steady-state loop must be allocation-free), plus a
+// machine-speed calibration scalar so the CI gate can compare runs across
+// hosts.
 //
 // Usage: kernel_bench [--quick] [--out <path>]
 //   --quick   ~10x fewer ticks — the ctest smoke mode. Numbers are noisy;
@@ -15,10 +26,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <new>
 #include <string>
 #include <vector>
@@ -87,16 +100,30 @@ struct BenchResult {
   double sink = 0.0;  ///< trajectory checksum — equal across equivalent paths
 };
 
-/// The shared workload: ±5 A at 60 s ticks, sign flipping at SoC 0.2/0.9,
-/// cells detuned by capacity so their trajectories decorrelate.
-constexpr double kAmps = 5.0;
+/// The shared workload: load-following demand at 60 s ticks. The magnitude
+/// walks a deterministic 10–25.5 A pattern that changes every tick and
+/// decorrelates across cells (so per-cell memo caches see realistic miss
+/// rates instead of a constant-current free pass); the sign flips at
+/// SoC 0.2/0.9; cells are detuned by capacity so trajectories decorrelate.
 constexpr double kDt = 60.0;
+
+/// Timed segments per row — each row reports min-over-segments. Segments
+/// are deliberately short (a few ms) so at least some land between the
+/// background-noise bursts a shared host throws at the run; the minimum
+/// then tracks the kernel's true floor rather than the noise duty cycle.
+constexpr int kSegments = 20;
+
+double demand_amps(long tick, std::size_t i) {
+  return 10.0 +
+         0.5 * static_cast<double>((tick * 7 + static_cast<long>(i) * 13) % 32);
+}
 
 double cap_scale(std::size_t i) { return 1.0 + 0.001 * static_cast<double>(i % 7); }
 
-/// Batched fleet kernel: one fleet_step per tick. `ledger` toggles the
-/// aging-attribution accounting (on by default in production) so the
-/// instrumented-vs-off pair measures the observability tax directly.
+/// Batched fleet kernel: one fleet_step per tick, with only the fleet_step
+/// call inside the timed window. `ledger` toggles the aging-attribution
+/// accounting (on by default in production) so the instrumented-vs-off
+/// pair measures the observability tax directly.
 BenchResult bench_fleet(std::size_t cells, long warmup, long ticks,
                         battery::MathMode math, const char* name,
                         bool ledger = true) {
@@ -109,35 +136,60 @@ BenchResult bench_fleet(std::size_t cells, long warmup, long ticks,
   std::vector<battery::StepResult> res(cells);
   const util::Seconds dt{kDt};
   double sink = 0.0;
-  auto tick = [&] {
-    for (std::size_t i = 0; i < cells; ++i) req[i] = util::Amperes{kAmps * sign[i]};
-    battery::fleet_step(fleet, req, dt, res);
+  long tick_no = 0;
+  auto fill = [&] {
+    for (std::size_t i = 0; i < cells; ++i) {
+      req[i] = util::Amperes{demand_amps(tick_no, i) * sign[i]};
+    }
+    ++tick_no;
+  };
+  auto account = [&] {
     for (std::size_t i = 0; i < cells; ++i) {
       sink += res[i].terminal_voltage.value();
       if (fleet.cell_soc(i) < 0.2) sign[i] = -1.0;
       if (fleet.cell_soc(i) > 0.9) sign[i] = 1.0;
     }
   };
-  for (long k = 0; k < warmup; ++k) tick();
+  for (long k = 0; k < warmup; ++k) {
+    fill();
+    battery::fleet_step(fleet, req, dt, res);
+    account();
+  }
+  const long per_seg = std::max<long>(1, ticks / kSegments);
   const std::size_t allocs0 = g_allocs;
-  const auto t0 = Clock::now();
-  for (long k = 0; k < ticks; ++k) tick();
-  const auto t1 = Clock::now();
+  double best_ns = std::numeric_limits<double>::infinity();
+  long timed_ticks = 0;
+  for (int seg = 0; seg < kSegments; ++seg) {
+    double seg_ns = 0.0;
+    for (long k = 0; k < per_seg; ++k) {
+      fill();
+      const auto t0 = Clock::now();
+      battery::fleet_step(fleet, req, dt, res);
+      const auto t1 = Clock::now();
+      seg_ns += elapsed_ns(t0, t1);
+      account();
+    }
+    timed_ticks += per_seg;
+    best_ns = std::min(best_ns,
+                       seg_ns / (static_cast<double>(per_seg) *
+                                 static_cast<double>(cells)));
+  }
   const std::size_t allocs = g_allocs - allocs0;
-  const double ns = elapsed_ns(t0, t1);
   BenchResult r;
   r.name = name;
   r.cells = cells;
-  r.ticks = ticks;
-  r.ns_per_cell_tick = ns / (static_cast<double>(ticks) * static_cast<double>(cells));
-  r.ticks_per_sec = static_cast<double>(ticks) / (ns * 1e-9);
-  r.allocs_per_tick = static_cast<double>(allocs) / static_cast<double>(ticks);
+  r.ticks = timed_ticks;
+  r.ns_per_cell_tick = best_ns;
+  r.ticks_per_sec = 1e9 / (best_ns * static_cast<double>(cells));
+  r.allocs_per_tick = static_cast<double>(allocs) / static_cast<double>(timed_ticks);
   r.sink = sink;
   return r;
 }
 
 /// Reference shape: one Battery object per cell, stepped in a loop — the
-/// pre-kernel code structure, kept to show what the SoA batch buys.
+/// pre-kernel code structure, kept to show what the SoA batch buys. Same
+/// workload and timing discipline as bench_fleet (only the per-cell step
+/// loop is timed) so the row is directly comparable.
 BenchResult bench_objects(std::size_t cells, long warmup, long ticks) {
   std::vector<battery::Battery> bats;
   bats.reserve(cells);
@@ -146,30 +198,59 @@ BenchResult bench_objects(std::size_t cells, long warmup, long ticks) {
                       battery::ThermalParams{}, cap_scale(i), 1.0, 0.7);
   }
   std::vector<double> sign(cells, 1.0);
+  std::vector<util::Amperes> req(cells);
+  std::vector<battery::StepResult> res(cells);
   const util::Seconds dt{kDt};
   double sink = 0.0;
-  auto tick = [&] {
+  long tick_no = 0;
+  auto fill = [&] {
     for (std::size_t i = 0; i < cells; ++i) {
-      const auto r = bats[i].step(util::Amperes{kAmps * sign[i]}, dt);
-      sink += r.terminal_voltage.value();
+      req[i] = util::Amperes{demand_amps(tick_no, i) * sign[i]};
+    }
+    ++tick_no;
+  };
+  auto step_all = [&] {
+    for (std::size_t i = 0; i < cells; ++i) res[i] = bats[i].step(req[i], dt);
+  };
+  auto account = [&] {
+    for (std::size_t i = 0; i < cells; ++i) {
+      sink += res[i].terminal_voltage.value();
       if (bats[i].soc() < 0.2) sign[i] = -1.0;
       if (bats[i].soc() > 0.9) sign[i] = 1.0;
     }
   };
-  for (long k = 0; k < warmup; ++k) tick();
+  for (long k = 0; k < warmup; ++k) {
+    fill();
+    step_all();
+    account();
+  }
+  const long per_seg = std::max<long>(1, ticks / kSegments);
   const std::size_t allocs0 = g_allocs;
-  const auto t0 = Clock::now();
-  for (long k = 0; k < ticks; ++k) tick();
-  const auto t1 = Clock::now();
+  double best_ns = std::numeric_limits<double>::infinity();
+  long timed_ticks = 0;
+  for (int seg = 0; seg < kSegments; ++seg) {
+    double seg_ns = 0.0;
+    for (long k = 0; k < per_seg; ++k) {
+      fill();
+      const auto t0 = Clock::now();
+      step_all();
+      const auto t1 = Clock::now();
+      seg_ns += elapsed_ns(t0, t1);
+      account();
+    }
+    timed_ticks += per_seg;
+    best_ns = std::min(best_ns,
+                       seg_ns / (static_cast<double>(per_seg) *
+                                 static_cast<double>(cells)));
+  }
   const std::size_t allocs = g_allocs - allocs0;
-  const double ns = elapsed_ns(t0, t1);
   BenchResult r;
   r.name = "objects_48";
   r.cells = cells;
-  r.ticks = ticks;
-  r.ns_per_cell_tick = ns / (static_cast<double>(ticks) * static_cast<double>(cells));
-  r.ticks_per_sec = static_cast<double>(ticks) / (ns * 1e-9);
-  r.allocs_per_tick = static_cast<double>(allocs) / static_cast<double>(ticks);
+  r.ticks = timed_ticks;
+  r.ns_per_cell_tick = best_ns;
+  r.ticks_per_sec = 1e9 / (best_ns * static_cast<double>(cells));
+  r.allocs_per_tick = static_cast<double>(allocs) / static_cast<double>(timed_ticks);
   r.sink = sink;
   return r;
 }
@@ -246,6 +327,20 @@ int main(int argc, char** argv) {
                                           "fleet_48_obs_off", /*ledger=*/false));
   }
 
+  // The fast/simd pair at 384 cells backs perf_gate.py's within-run
+  // simd-speedup rule (simd must beat fast by >= 2x), so like the obs-tax
+  // pair both sides take the minimum over interleaved repeats.
+  BenchResult fast384 =
+      bench_fleet(384, warmup, ticks, battery::MathMode::Fast, "fleet_384_fast");
+  BenchResult simd384 =
+      bench_fleet(384, warmup, ticks, battery::MathMode::Simd, "fleet_384_simd");
+  for (int rep = 1; rep < tax_reps; ++rep) {
+    fast384 = min_ns(fast384, bench_fleet(384, warmup, ticks, battery::MathMode::Fast,
+                                          "fleet_384_fast"));
+    simd384 = min_ns(simd384, bench_fleet(384, warmup, ticks, battery::MathMode::Simd,
+                                          "fleet_384_simd"));
+  }
+
   std::vector<BenchResult> results;
   results.push_back(
       bench_fleet(1, warmup, ticks_for(1), battery::MathMode::Exact, "fleet_1"));
@@ -257,6 +352,10 @@ int main(int argc, char** argv) {
   results.push_back(bench_objects(48, warmup, ticks));
   results.push_back(
       bench_fleet(48, warmup, ticks, battery::MathMode::Fast, "fleet_48_fast"));
+  results.push_back(fast384);
+  results.push_back(
+      bench_fleet(48, warmup, ticks, battery::MathMode::Simd, "fleet_48_simd"));
+  results.push_back(simd384);
   results.push_back(obs_off);
 
   std::printf("calibration_ns: %.0f%s\n", calib, quick ? "  (quick mode)" : "");
@@ -295,6 +394,24 @@ int main(int argc, char** argv) {
                  "instrumented run (%.17g vs %.17g) — the ledger is leaking "
                  "into the physics\n",
                  obs_off_sink, fleet48_sink);
+    return 1;
+  }
+
+  // The simd tier is toleranced, not bit-exact — but its trajectory must
+  // stay close to the exact tier's. A loose relative bound on the voltage
+  // checksum catches gross lane breakage (a wrong mask or a garbage lane
+  // shifts the sum by orders of magnitude more than tier drift does).
+  double simd48_sink = fleet48_sink;
+  for (const BenchResult& r : results) {
+    if (r.name == "fleet_48_simd") simd48_sink = r.sink;
+  }
+  const double sink_rel =
+      std::fabs(simd48_sink - fleet48_sink) / std::fabs(fleet48_sink);
+  if (!(sink_rel < 1e-3)) {
+    std::fprintf(stderr,
+                 "kernel_bench: simd trajectory checksum drifted %.3g relative "
+                 "from exact (%.17g vs %.17g) — lane kernel is broken\n",
+                 sink_rel, simd48_sink, fleet48_sink);
     return 1;
   }
 

@@ -63,6 +63,7 @@ std::size_t FleetState::add_cell(double capacity_scale, double resistance_scale,
   ledger_base_damage_.push_back(0.0);
   ledger_base_efc_.push_back(0.0);
   ledger_base_dwell_.push_back(0.0);
+  derived_dirty_ = true;
   return c;
 }
 
@@ -102,10 +103,13 @@ void FleetState::ledger_advance() {
 // start NaN (NaN != x for every x), so the first lookup always misses.
 
 double FleetState::arrhenius(std::size_t c, double temp_c) {
+  // Fast and Simd both serve the memo from the polynomial (the simd group
+  // kernel bypasses this memo entirely, but float_charge_cell and any
+  // scalar-path stepping in those tiers still land here).
   if (temp_c != arr_key_[c]) {
     arr_key_[c] = temp_c;
-    arr_val_[c] = math_ == MathMode::Fast ? util::fast_exp2((temp_c - 20.0) / 10.0)
-                                          : detail::arrhenius_value(temp_c);
+    arr_val_[c] = math_ != MathMode::Exact ? util::fast_exp2((temp_c - 20.0) / 10.0)
+                                           : detail::arrhenius_value(temp_c);
   }
   return arr_val_[c];
 }
@@ -118,7 +122,7 @@ double FleetState::peukert_capacity_ah(std::size_t c, double i) {
   const double ratio = i20 / i;
   if (ratio != pk_key_[c]) {
     pk_key_[c] = ratio;
-    pk_val_[c] = math_ == MathMode::Fast
+    pk_val_[c] = math_ != MathMode::Exact
                      ? util::fast_pow(ratio, p.peukert_exponent - 1.0)
                      : std::pow(ratio, p.peukert_exponent - 1.0);
   }
@@ -201,6 +205,10 @@ WattHours FleetState::cell_stored_energy_above(std::size_t c, double floor_soc) 
 // --- the tick kernel ---------------------------------------------------------
 
 StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
+  // The simd tier routes even single-cell steps through the branchless
+  // lane kernel (width 1) so the router's per-cell active path and the
+  // batched step_all path stay bitwise consistent within the tier.
+  if (math_ == MathMode::Simd) return step_cell_simd(c, requested, dt);
   BAAT_OBS_TIMED("battery_step");
   BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
   BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
@@ -427,6 +435,10 @@ void FleetState::step_all(std::span<const Amperes> requested, Seconds dt,
                           std::span<StepResult> results) {
   BAAT_REQUIRE(requested.size() == size() && results.size() == size(),
                "fleet_step span sizes must match the fleet size");
+  if (math_ == MathMode::Simd) {
+    step_all_simd(requested, dt, results);
+    return;
+  }
   for (std::size_t c = 0; c < size(); ++c) results[c] = step_cell(c, requested[c], dt);
 }
 
@@ -497,6 +509,7 @@ void FleetState::copy_cell_from(std::size_t dst, const FleetState& src,
   ledger_base_damage_[dst] = src.ledger_base_damage_[src_cell];
   ledger_base_efc_[dst] = src.ledger_base_efc_[src_cell];
   ledger_base_dwell_[dst] = src.ledger_base_dwell_[src_cell];
+  derived_dirty_ = true;  // cell_weak faults rewrite chemistry mid-run
 }
 
 namespace {
@@ -593,8 +606,22 @@ void load_counters(snapshot::SnapshotReader& r, UsageCounters& c) {
 
 }  // namespace
 
+namespace {
+std::uint8_t math_mode_byte(MathMode m) {
+  switch (m) {
+    case MathMode::Exact:
+      return 0;
+    case MathMode::Fast:
+      return 1;
+    case MathMode::Simd:
+      return 2;
+  }
+  return 0;
+}
+}  // namespace
+
 void FleetState::save_state(snapshot::SnapshotWriter& w) const {
-  w.write_u8(math_ == MathMode::Fast ? 1 : 0);
+  w.write_u8(math_mode_byte(math_));
   w.write_u64(size());
   for (const LeadAcidParams& p : chem_) save_chem(w, p);
   for (const ThermalParams& p : thermal_) save_thermal(w, p);
@@ -623,8 +650,8 @@ void FleetState::save_state(snapshot::SnapshotWriter& w) const {
 }
 
 void FleetState::load_state(snapshot::SnapshotReader& r) {
-  const MathMode saved_math = r.read_u8() != 0 ? MathMode::Fast : MathMode::Exact;
-  if (saved_math != math_) {
+  const std::uint8_t saved_byte = r.read_u8();
+  if (saved_byte != math_mode_byte(math_)) {
     throw snapshot::SnapshotError(
         "fleet snapshot was taken in a different --math mode; resume with the "
         "same math tier the checkpoint was written under");
@@ -668,6 +695,7 @@ void FleetState::load_state(snapshot::SnapshotReader& r) {
       ledger_base_dwell_.size() != n) {
     throw snapshot::SnapshotError("fleet snapshot ledger arrays disagree on cell count");
   }
+  derived_dirty_ = true;  // restored chemistry invalidates the derived mirrors
 }
 
 }  // namespace baat::battery

@@ -64,10 +64,14 @@ struct StepResult {
 
 /// Transcendental tier of the tick kernel. Exact is the default and is
 /// byte-identical to the pre-kernel code; Fast trades ~1e-9 relative error
-/// in the aging stressors for avoiding libm pow on the hot path.
+/// in the aging stressors for avoiding libm pow on the hot path; Simd
+/// additionally batches cells across SIMD lanes with branchless masked
+/// selects (fleet_simd.cpp) — same 0.1% lifetime-metric tolerance as Fast,
+/// largest per-tick speedup (DESIGN.md §5e).
 enum class MathMode {
   Exact,
   Fast,
+  Simd,
 };
 
 /// Structure-of-arrays state of a bank of battery units sharing one
@@ -180,6 +184,52 @@ class FleetState {
   double arrhenius(std::size_t c, double temp_c);
   double peukert_capacity_ah(std::size_t c, double i);
   double thermal_decay(std::size_t c, double dt_s);
+
+  // --- MathMode::Simd kernel (fleet_simd.cpp, compiled with the SIMD
+  // flags — see src/battery/CMakeLists.txt) -----------------------------------
+  /// Advance cells [base, base + count) branchlessly, W lanes at a time,
+  /// staged as phase loops over a block (count must be a multiple of W and
+  /// at most kBlockCells; `requested`/`results` are block-local, index 0 ==
+  /// cell `base`). step_cell_simd is the W = 1 instantiation of the same
+  /// code, so the per-cell and batched paths agree bitwise within the tier.
+  template <int W>
+  void step_block_simd(std::size_t base, std::size_t count, const Amperes* requested,
+                       Seconds dt, StepResult* results);
+  StepResult step_cell_simd(std::size_t c, Amperes requested, Seconds dt);
+  void step_all_simd(std::span<const Amperes> requested, Seconds dt,
+                     std::span<StepResult> results);
+  /// Rebuild the derived per-cell constant mirrors below when dirty.
+  void refresh_derived();
+
+  // Per-cell constants derived from chem_/thermal_/resistance_scale_, kept
+  // as flat SoA mirrors so the lane kernel loads contiguously instead of
+  // gathering through the AoS parameter structs. Refreshed lazily (dirty_
+  // set by anything that can change a cell's parameters); only the Simd
+  // tier reads them.
+  struct DerivedSoA {
+    std::vector<double> ocv_empty_b;    ///< ocv_cell_empty * cells, V
+    std::vector<double> ocv_span_b;     ///< (full - empty) * cells, V
+    std::vector<double> cutoff_v;       ///< cutoff_cell * cells, V
+    std::vector<double> absorb_v;       ///< absorb_cell * cells, V
+    std::vector<double> cells_d;        ///< cell count, as a double
+    std::vector<double> inv_cells;      ///< 1 / cells
+    std::vector<double> r_base;         ///< r_internal * resistance_scale, ohm
+    std::vector<double> i20;            ///< rated (C/20) current, A
+    std::vector<double> cap_c20;        ///< capacity_c20 (cap-scaled), Ah
+    std::vector<double> pk_exp_m1;      ///< peukert_exponent - 1
+    std::vector<double> max_dis_a;      ///< max_discharge_c_rate * nameplate, A
+    std::vector<double> max_chg_a;      ///< max_charge_c_rate * nameplate, A
+    std::vector<double> taper_knee;     ///< taper_knee_soc
+    std::vector<double> inv_taper_rem;  ///< 1 / (1 - taper_knee_soc)
+    std::vector<double> eta_bulk;       ///< coulombic_efficiency_bulk
+    std::vector<double> eta_full;       ///< coulombic_efficiency_full
+    std::vector<double> sd_rate;        ///< self_discharge_per_month / month-s
+    std::vector<double> ambient_c;      ///< thermal ambient, degC
+    std::vector<double> r_th;           ///< thermal resistance, K/W
+    std::vector<double> inv_nameplate;  ///< 1 / nameplate, 1/Ah
+  };
+  DerivedSoA derived_;
+  bool derived_dirty_ = true;
 
   LeadAcidParams chem_base_;   ///< unscaled template for add_cell
   AgingParams aging_params_;   ///< shared by every cell

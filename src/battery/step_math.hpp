@@ -15,6 +15,7 @@
 #include "battery/aging.hpp"
 #include "battery/chemistry.hpp"
 #include "util/require.hpp"
+#include "util/simd.hpp"
 #include "util/units.hpp"
 
 namespace baat::battery::detail {
@@ -152,5 +153,154 @@ inline void aging_mechanism_step(const AgingParams& params, double capacity_ah, 
                  state.stratification + params.stratification_per_s * arr * dt_s);
   }
 }
+
+// --- lane-batched counterparts (MathMode::Simd) ------------------------------
+// The same physics, evaluated W cells at a time on util::simd packs with
+// branches turned into masked selects. These are *not* bit-identical to the
+// scalar functions above (reassociated constants, fast transcendentals,
+// multiplies by precomputed reciprocals) — the simd tier is toleranced like
+// the fast tier (lifetime metrics within 0.1%, tests/fleet_kernel_test.cpp).
+// What IS exact: a width-1 instantiation computes every lane of a width-W
+// instantiation bit-identically (all ops are per-lane, no contraction in the
+// kernel TUs), which keeps per-cell and batched simd stepping consistent.
+
+namespace lanes {
+
+template <int W>
+using Pack = util::simd::Pack<W>;
+template <int W>
+using Mask = util::simd::Mask<W>;
+
+/// SoA view of the five aging mechanisms for one lane group.
+template <int W>
+struct AgingLanes {
+  Pack<W> corrosion, shedding, sulphation, water_loss, stratification;
+};
+
+template <int W>
+inline Pack<W> ocv_shape(const Pack<W>& soc) {
+  namespace s = util::simd;
+  return s::broadcast<W>(1.0 + kOcvCurvature) * soc -
+         s::broadcast<W>(kOcvCurvature) * soc * soc;
+}
+
+/// charge_acceptance_f: 1 below the knee, linear taper to the 2% float
+/// residual above it. `knee`/`inv_rem` are per-cell (inv_rem is
+/// 1/(1 - taper_knee_soc), precomputed in the fleet's derived mirrors).
+template <int W>
+inline Pack<W> charge_acceptance(const Pack<W>& soc, const Pack<W>& knee,
+                                 const Pack<W>& inv_rem) {
+  namespace s = util::simd;
+  const Pack<W> one = s::broadcast<W>(1.0);
+  const Pack<W> frac = (one - soc) * inv_rem;
+  const Pack<W> clamped = s::min(s::max(frac, s::broadcast<W>(0.0)), one);
+  const Pack<W> taper = s::broadcast<W>(0.02) + s::broadcast<W>(0.98) * clamped;
+  return s::select(s::cmp_le(soc, knee), one, taper);
+}
+
+template <int W>
+inline Pack<W> coulombic_efficiency(const Pack<W>& soc, const Pack<W>& knee,
+                                    const Pack<W>& inv_rem, const Pack<W>& eta_bulk,
+                                    const Pack<W>& eta_full) {
+  namespace s = util::simd;
+  const Pack<W> frac = (soc - knee) * inv_rem;
+  const Pack<W> tapered = eta_bulk + (eta_full - eta_bulk) * frac;
+  return s::select(s::cmp_le(soc, knee), eta_bulk, tapered);
+}
+
+template <int W>
+inline Pack<W> aging_capacity_fraction(const AgingParams& p, const AgingLanes<W>& a) {
+  namespace s = util::simd;
+  const Pack<W> fade = s::broadcast<W>(p.capacity_w_corrosion) * a.corrosion +
+                       a.shedding + a.sulphation + a.stratification +
+                       s::broadcast<W>(p.capacity_w_water) * a.water_loss;
+  return s::max(s::broadcast<W>(0.05), s::broadcast<W>(1.0) - fade);
+}
+
+template <int W>
+inline Pack<W> aging_resistance_factor(const AgingParams& p, const AgingLanes<W>& a) {
+  namespace s = util::simd;
+  return s::broadcast<W>(1.0) + s::broadcast<W>(p.resistance_w_corrosion) * a.corrosion +
+         s::broadcast<W>(p.resistance_w_sulphation) * a.sulphation +
+         s::broadcast<W>(p.resistance_w_shedding) * a.shedding +
+         s::broadcast<W>(p.resistance_w_water) * a.water_loss;
+}
+
+template <int W>
+inline Pack<W> aging_coulombic_derating(const AgingParams& p,
+                                        const Pack<W>& capacity_fraction) {
+  namespace s = util::simd;
+  const Pack<W> derated =
+      s::broadcast<W>(1.0) -
+      s::broadcast<W>(p.coulombic_fade) * (s::broadcast<W>(1.0) - capacity_fraction);
+  return s::max(s::broadcast<W>(0.6), derated);
+}
+
+/// One masked integration step of the five mechanism rate equations —
+/// the lane form of aging_mechanism_step. `current` > 0 discharges;
+/// `inv_capacity_ah` is 1/nameplate; `arr` the Arrhenius factor at the
+/// post-step temperature; unreferenced mechanisms on a lane stay untouched
+/// because every conditional add is a masked select.
+template <int W>
+inline void aging_mechanism_step(const AgingParams& p, const Pack<W>& capacity_ah,
+                                 const Pack<W>& inv_capacity_ah,
+                                 const Pack<W>& soc, const Pack<W>& current,
+                                 const Pack<W>& v_cell, const Pack<W>& tsfc_s,
+                                 const Pack<W>& dtemp_per_h, double dt_s,
+                                 const Pack<W>& arr, AgingLanes<W>& st) {
+  namespace s = util::simd;
+  const Pack<W> zero = s::broadcast<W>(0.0);
+  const Pack<W> one = s::broadcast<W>(1.0);
+  const Pack<W> abs_i = s::abs(current);
+  const double dq_scale = dt_s / 3600.0;
+
+  // Active-mass shedding (§II-B.2).
+  const Pack<W> efc_moved = abs_i * s::broadcast<W>(dq_scale) * inv_capacity_ah;
+  const Pack<W> low_soc = one + s::broadcast<W>(p.shedding_low_soc_gain) * (one - soc);
+  const Pack<W> dtemp_f = one + s::broadcast<W>(p.shedding_dtemp_gain) * dtemp_per_h;
+  const Pack<W> direction =
+      s::select(s::cmp_gt(current, zero), one, s::broadcast<W>(0.35));
+  const Pack<W> dshed = s::broadcast<W>(p.shedding_per_efc) * efc_moved * low_soc *
+                        dtemp_f * arr * direction;
+  st.shedding = st.shedding + s::select(s::cmp_gt(efc_moved, zero), dshed, zero);
+
+  // Sulphation below the knee (§II-B.3).
+  const Pack<W> knee = s::broadcast<W>(p.sulphation_knee_soc);
+  const Pack<W> depth = (knee - soc) / knee;
+  const Pack<W> staleness =
+      one + tsfc_s * s::broadcast<W>(1.0 / p.sulphation_memory.value());
+  const Pack<W> dsulph =
+      s::broadcast<W>(p.sulphation_per_s * dt_s) * depth * staleness * arr;
+  st.sulphation = st.sulphation + s::select(s::cmp_lt(soc, knee), dsulph, zero);
+
+  // Grid corrosion (§II-B.1) — unconditional calendar term, voltage gain
+  // only while charging above the float knee.
+  const Pack<W> knee_v = s::broadcast<W>(p.corrosion_voltage_knee_cell.value());
+  const Pack<W> over_v = s::max(zero, v_cell - knee_v);
+  const Pack<W> v_gain = one + s::broadcast<W>(p.corrosion_voltage_gain) * over_v;
+  const Mask<W> charging = s::cmp_lt(current, zero);
+  const Pack<W> gain = s::select(charging, v_gain, one);
+  st.corrosion = st.corrosion + s::broadcast<W>(p.corrosion_per_s * dt_s) * arr * gain;
+
+  // Water loss from gassing (§II-B.4).
+  const Pack<W> gassing_frac =
+      s::min(one, s::max(zero, (v_cell - knee_v) * s::broadcast<W>(1.0 / 0.15)));
+  const Pack<W> gas_efc =
+      abs_i * s::broadcast<W>(dq_scale) * gassing_frac * inv_capacity_ah;
+  const Pack<W> dwater = s::broadcast<W>(p.water_per_gassing_efc) * gas_efc * arr;
+  const Mask<W> gassing = s::mask_and(charging, s::cmp_gt(v_cell, knee_v));
+  st.water_loss = st.water_loss + s::select(gassing, dwater, zero);
+
+  // Stratification (§II-B.5) — saturating, healed on full charge elsewhere.
+  const Pack<W> low_i = s::broadcast<W>(p.stratification_low_current_c) * capacity_ah;
+  const Mask<W> stratifying = s::mask_and(s::cmp_lt(soc, s::broadcast<W>(0.5)),
+                                          s::cmp_lt(abs_i, low_i));
+  const Pack<W> grown =
+      s::min(s::broadcast<W>(p.stratification_cap),
+             st.stratification + s::broadcast<W>(p.stratification_per_s * dt_s) * arr);
+  st.stratification = s::select(stratifying, grown, st.stratification);
+}
+
+}  // namespace lanes
 
 }  // namespace baat::battery::detail

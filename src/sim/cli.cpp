@@ -133,10 +133,12 @@ std::string cli_usage() {
          "                    executed on the parallel sweep engine\n"
          "  --jobs <n>        sweep worker threads (default: BAAT_JOBS env or all\n"
          "                    cores); never changes results, only wall-clock time\n"
-         "  --math <tier>     exact | fast (default exact). fast swaps the aging\n"
-         "                    stressor transcendentals for bounded-error polynomial\n"
-         "                    approximations (~2e-9 relative error; lifetime metrics\n"
-         "                    within 0.1%); exact is bit-identical to the reference\n"
+         "  --math <tier>     exact | fast | simd (default exact). fast swaps the\n"
+         "                    aging stressor transcendentals for bounded-error\n"
+         "                    polynomials (~2e-9 relative error; lifetime metrics\n"
+         "                    within 0.1%); simd additionally batches cells across\n"
+         "                    SIMD lanes (same tolerance, fastest); exact is\n"
+         "                    bit-identical to the reference\n"
          "  --old-fleet       start from a six-month-aged fleet\n"
          "  --checkpoint-every <n>\n"
          "                    write a crash-safe resume snapshot every n days\n"
@@ -213,9 +215,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         options.math = battery::MathMode::Exact;
       } else if (tier == "fast") {
         options.math = battery::MathMode::Fast;
+      } else if (tier == "simd") {
+        options.math = battery::MathMode::Simd;
       } else {
         throw util::PreconditionError("bad value for --math: '" + tier +
-                                      "' (exact|fast)");
+                                      "' (exact|fast|simd)");
       }
     } else if (a == "--old-fleet") {
       options.old_fleet = true;

@@ -331,7 +331,11 @@ std::uint64_t scenario_fingerprint(const ScenarioConfig& cfg, const MultiDayOpti
   w.write_f64(cfg.brownout_restart_soc);
   w.write_i64(cfg.replicas);
   w.write_u64(cfg.daily_jobs.size());
-  w.write_u8(cfg.bank.math == battery::MathMode::Fast ? 1 : 0);
+  // Math tier bytes: 0 exact, 1 fast, 2 simd (exact/fast values unchanged so
+  // pre-simd checkpoints keep their config hashes).
+  w.write_u8(cfg.bank.math == battery::MathMode::Simd
+                 ? 2
+                 : (cfg.bank.math == battery::MathMode::Fast ? 1 : 0));
   w.write_f64(cfg.bank.chemistry.capacity_c20.value());
   w.write_i64(cfg.bank.chemistry.cells);
   w.write_f64(cfg.bank.capacity_sigma);

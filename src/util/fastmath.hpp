@@ -3,9 +3,10 @@
 // Bounded-error polynomial replacements for the transcendentals on the
 // battery tick hot path (std::pow in the Arrhenius and Peukert laws). The
 // default math tier never touches these — they back the opt-in
-// `--math=fast` tier (battery::MathMode::Fast), where a relative error of
-// ~1e-9 in an aging *rate* is far below the 0.1% lifetime-metric tolerance
-// the tier guarantees (see tests/fleet_kernel_test.cpp).
+// `--math=fast` tier (battery::MathMode::Fast) and, lane-batched through
+// util/simd.hpp, the `--math=simd` tier, where a relative error of ~1e-9
+// in an aging *rate* is far below the 0.1% lifetime-metric tolerance the
+// tiers guarantee (see tests/fleet_kernel_test.cpp).
 //
 // Construction:
 //   fast_exp2: split x = n + f with f in [0, 1); 2^f by a degree-10 Taylor
@@ -14,6 +15,24 @@
 //   fast_log2: reduce the mantissa to [sqrt(1/2), sqrt(2)); ln m by the
 //     atanh series in z = (m-1)/(m+1) (|z| <= 0.172, truncation < 1e-11).
 //   fast_pow:  a^b = 2^(b * log2 a), for a > 0.
+//
+// Edge-case contract (regression-tested in tests/util_simd_test.cpp):
+//   - NaN propagates: fast_exp2(NaN) is NaN, never silently 0 — the
+//     run-health watchdog's finite_state invariant must be able to see a
+//     NaN-poisoned state through the fast tiers.
+//   - fast_exp2(-1022.0) == 0x1p-1022 exactly (DBL_MIN is a normal double;
+//     the old `!(x > -1022.0)` guard flushed the boundary itself to zero).
+//   - x in [-1074, -1022) underflows gradually through the subnormal range
+//     (the 2^n scale is assembled as a subnormal and the p*scale product
+//     rounds at subnormal granularity); only x < -1074 flushes to 0.
+//   - x >= 1024 overflows to +inf; [1023, 1024) still computes (the scale
+//     2^1023 is the largest normal exponent).
+//   - fast_pow returns exactly 1.0 for a == 1.0 or b == 0.0, matching
+//     std::pow (including pow(1, NaN) == pow(NaN, 0) == 1).
+//
+// The lane-batched counterparts in util/simd.hpp evaluate the identical
+// operation sequence branchlessly and are bit-identical per lane; keep the
+// two in sync (tests pin scalar-vs-lane agreement across these edges).
 
 #include <bit>
 #include <cmath>
@@ -22,26 +41,43 @@
 
 namespace baat::util {
 
+/// Degree-10 Taylor coefficients of 2^f (highest degree first). The scalar
+/// and lane-batched Horner loops both walk this array in the same order, so
+/// the two evaluations are the same per-lane operation sequence and stay
+/// bitwise identical (the lane form vectorizes across lanes, never across
+/// the — inherently serial — coefficient recurrence).
+inline constexpr double kExp2PolyCoeff[11] = {
+    7.054911620801123e-9,  1.0178086009239699e-7, 1.3215486790144307e-6,
+    1.5252733804059841e-5, 1.5403530393381609e-4, 1.3333558146428443e-3,
+    9.618129107628477e-3,  5.550410866482158e-2,  2.402265069591007e-1,
+    6.931471805599453e-1,  1.0};
+
+/// Degree-10 Taylor core of 2^f for f in [0, 1): shared verbatim by the
+/// lane-batched form so scalar and simd tiers agree bitwise.
+inline double fast_exp2_poly(double f) {
+  double p = kExp2PolyCoeff[0];
+  for (int k = 1; k < 11; ++k) p = p * f + kExp2PolyCoeff[k];
+  return p;
+}
+
+/// 2^n as a double for integer n in [-1074, 1023]: normal exponents are
+/// assembled directly in the exponent field, the subnormal range as a
+/// mantissa bit. Shared by the scalar and lane-batched paths.
+inline double exp2_scale(int n) {
+  const std::uint64_t bits = n >= -1022
+                                 ? static_cast<std::uint64_t>(n + 1023) << 52
+                                 : std::uint64_t{1} << (n + 1074);
+  return std::bit_cast<double>(bits);
+}
+
 inline double fast_exp2(double x) {
-  if (!(x > -1022.0)) return 0.0;  // underflow (and NaN) to zero
-  if (x > 1023.0) return std::numeric_limits<double>::infinity();
+  if (std::isnan(x)) return x;       // propagate, never mask poisoned state
+  if (x < -1074.0) return 0.0;       // below the smallest subnormal
+  if (x >= 1024.0) return std::numeric_limits<double>::infinity();
   const double xf = std::floor(x);
-  const int n = static_cast<int>(xf);
-  const double f = x - xf;  // [0, 1)
-  // 2^f = sum_k (f ln2)^k / k!, truncated at k = 10.
-  double p = 7.054911620801123e-9;
-  p = p * f + 1.0178086009239699e-7;
-  p = p * f + 1.3215486790144307e-6;
-  p = p * f + 1.5252733804059841e-5;
-  p = p * f + 1.5403530393381609e-4;
-  p = p * f + 1.3333558146428443e-3;
-  p = p * f + 9.618129107628477e-3;
-  p = p * f + 5.550410866482158e-2;
-  p = p * f + 2.402265069591007e-1;
-  p = p * f + 6.931471805599453e-1;
-  p = p * f + 1.0;
-  const auto scale_bits = static_cast<std::uint64_t>(n + 1023) << 52;
-  return p * std::bit_cast<double>(scale_bits);
+  const int n = static_cast<int>(xf);  // in [-1074, 1023]
+  const double f = x - xf;             // [0, 1)
+  return fast_exp2_poly(f) * exp2_scale(n);
 }
 
 inline double fast_log2(double x) {
@@ -73,7 +109,11 @@ inline double fast_log2(double x) {
 /// a^b for a > 0. Relative error bounded by the exp2/log2 errors scaled by
 /// |b * log2 a| — well under 1e-8 for the exponent ranges the aging
 /// stressors use (Peukert k-1 = 0.15, Arrhenius (T-20)/10 within ±10).
+/// The a == 1 and b == 0 hot corners return exactly 1.0 (std::pow does,
+/// even for a NaN partner operand; sub-ulp drift here would shift fast-tier
+/// lifetime metrics for nothing).
 inline double fast_pow(double a, double b) {
+  if (a == 1.0 || b == 0.0) return 1.0;
   return fast_exp2(b * fast_log2(a));
 }
 

@@ -1,0 +1,617 @@
+#pragma once
+
+// Small portable SIMD layer for the lane-batched tick kernel
+// (battery::MathMode::Simd). A Pack<W> is W doubles advanced in lockstep;
+// Mask<W> is the all-bits lane predicate the branchless kernel selects
+// with. Everything is written as fixed-trip-count lane loops over plain
+// arrays, and on x86 TUs compiled with AVX2 flags (see
+// src/battery/CMakeLists.txt) the Pack<4>/Mask<4> operations are overridden
+// by intrinsic forms below — the autovectorizer handles the straight-line
+// lane arithmetic well, but the mask plumbing, selects, and the
+// integer-domain 2^n assembly in fast_exp2 each cost it a pile of
+// lane-extraction shuffles that the intrinsics collapse to one instruction.
+// aarch64 builds get 2-lane NEON from the stock autovectorizer, and any
+// other target falls back to correct scalar code — the same generic source
+// is the fallback, so the portable path cannot rot separately from the
+// fast one.
+//
+// Bit-exactness contract: every op is a per-lane IEEE-754 double op (no
+// FMA contraction — the kernel TUs compile with -ffp-contract=off, and the
+// intrinsic forms use no FMA), so a Pack<1> program is bit-identical to
+// each lane of the same Pack<W> program, the intrinsic forms are
+// bit-identical to the generic loops (vminpd/vmaxpd/vroundpd/vblendvpd
+// reproduce the ternary/floor/bitwise-select semantics exactly), and the
+// lane-batched fast_exp2/fast_log2/fast_pow below are bit-identical to
+// their scalar forms in util/fastmath.hpp (they share the polynomial-core
+// coefficients; the branchless select()s pick exactly the value the scalar
+// early-returns produce). tests/util_simd_test.cpp pins this lane-vs-scalar
+// agreement across the domain edges.
+//
+// The inline ABI namespace keeps the two implementations ODR-clean: a TU
+// compiled with AVX2 flags and one compiled without instantiate Pack<4>
+// code against different primitives, so the symbols must not merge across
+// TUs. Each TU is internally consistent; the bitwise contract above is
+// what keeps the *values* identical across the boundary.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "util/fastmath.hpp"
+
+namespace baat::util::simd {
+
+/// Lane count of the batched kernel tier. Fixed at 8 on every target: two
+/// AVX2 registers, four NEON registers, or eight scalar iterations — keeping
+/// the width target-independent keeps trajectories byte-identical across
+/// machines (the same property the sweep engine guarantees across --jobs).
+/// Two AVX2 registers rather than one: the kernel's dependency chains are
+/// long (poly → scale → select), and the wider group gives the scheduler a
+/// second independent chain to interleave at no extra register pressure.
+inline constexpr int kLanes = 8;
+
+/// Compile-time description of what the enclosing TU's flags turned the
+/// lane loops into; surfaced by benches so a mis-flagged build is visible.
+constexpr const char* backend_name() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+#if defined(__AVX2__)
+inline namespace abi_avx2 {
+#else
+inline namespace abi_portable {
+#endif
+
+template <int W>
+struct alignas(W >= 4 ? 32 : 8) Pack {
+  double v[W];
+};
+
+template <int W>
+struct alignas(W >= 4 ? 32 : 8) Mask {
+  std::uint64_t v[W];  ///< all-ones (true) or all-zeros per lane
+};
+
+template <int W>
+inline Pack<W> broadcast(double x) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = x;
+  return r;
+}
+
+template <int W>
+inline Pack<W> load(const double* p) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = p[i];
+  return r;
+}
+
+template <int W>
+inline void store(double* p, const Pack<W>& a) {
+  for (int i = 0; i < W; ++i) p[i] = a.v[i];
+}
+
+// Mask spill/reload for staged kernels that carry a mask across phase
+// boundaries through a scratch buffer. Plain 64-bit copies — the compiler
+// vectorizes these fixed-trip loops on its own, so no intrinsic forms.
+template <int W>
+inline void store_mask(std::uint64_t* p, const Mask<W>& m) {
+  for (int i = 0; i < W; ++i) p[i] = m.v[i];
+}
+
+template <int W>
+inline Mask<W> load_mask(const std::uint64_t* p) {
+  Mask<W> m;
+  for (int i = 0; i < W; ++i) m.v[i] = p[i];
+  return m;
+}
+
+#define BAAT_SIMD_BINOP(op)                                     \
+  template <int W>                                              \
+  inline Pack<W> operator op(const Pack<W>& a, const Pack<W>& b) { \
+    Pack<W> r;                                                  \
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] op b.v[i];      \
+    return r;                                                   \
+  }
+BAAT_SIMD_BINOP(+)
+BAAT_SIMD_BINOP(-)
+BAAT_SIMD_BINOP(*)
+BAAT_SIMD_BINOP(/)
+#undef BAAT_SIMD_BINOP
+
+template <int W>
+inline Pack<W> operator-(const Pack<W>& a) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = -a.v[i];
+  return r;
+}
+
+template <int W>
+inline Pack<W> min(const Pack<W>& a, const Pack<W>& b) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+template <int W>
+inline Pack<W> max(const Pack<W>& a, const Pack<W>& b) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+template <int W>
+inline Pack<W> abs(const Pack<W>& a) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = std::fabs(a.v[i]);
+  return r;
+}
+
+template <int W>
+inline Pack<W> floor(const Pack<W>& a) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = std::floor(a.v[i]);
+  return r;
+}
+
+#define BAAT_SIMD_CMP(name, op)                                  \
+  template <int W>                                               \
+  inline Mask<W> name(const Pack<W>& a, const Pack<W>& b) {      \
+    Mask<W> m;                                                   \
+    for (int i = 0; i < W; ++i)                                  \
+      m.v[i] = a.v[i] op b.v[i] ? ~std::uint64_t{0} : 0;         \
+    return m;                                                    \
+  }
+BAAT_SIMD_CMP(cmp_lt, <)
+BAAT_SIMD_CMP(cmp_le, <=)
+BAAT_SIMD_CMP(cmp_gt, >)
+BAAT_SIMD_CMP(cmp_ge, >=)
+BAAT_SIMD_CMP(cmp_eq, ==)
+#undef BAAT_SIMD_CMP
+
+template <int W>
+inline Mask<W> is_nan(const Pack<W>& a) {
+  Mask<W> m;
+  for (int i = 0; i < W; ++i) m.v[i] = a.v[i] != a.v[i] ? ~std::uint64_t{0} : 0;
+  return m;
+}
+
+template <int W>
+inline Mask<W> mask_and(const Mask<W>& a, const Mask<W>& b) {
+  Mask<W> m;
+  for (int i = 0; i < W; ++i) m.v[i] = a.v[i] & b.v[i];
+  return m;
+}
+
+template <int W>
+inline Mask<W> mask_or(const Mask<W>& a, const Mask<W>& b) {
+  Mask<W> m;
+  for (int i = 0; i < W; ++i) m.v[i] = a.v[i] | b.v[i];
+  return m;
+}
+
+template <int W>
+inline Mask<W> mask_not(const Mask<W>& a) {
+  Mask<W> m;
+  for (int i = 0; i < W; ++i) m.v[i] = ~a.v[i];
+  return m;
+}
+
+template <int W>
+inline bool lane(const Mask<W>& m, int i) {
+  return m.v[i] != 0;
+}
+
+template <int W>
+inline bool any(const Mask<W>& m) {
+  std::uint64_t acc = 0;
+  for (int i = 0; i < W; ++i) acc |= m.v[i];
+  return acc != 0;
+}
+
+/// Bitwise per-lane select: lane = m ? a : b. Bitwise (not arithmetic) so
+/// NaN/inf garbage in the unselected operand never leaks into the result —
+/// the branchless kernel computes both sides of every branch and relies on
+/// this to discard the untaken one exactly.
+template <int W>
+inline Pack<W> select(const Mask<W>& m, const Pack<W>& a, const Pack<W>& b) {
+  Pack<W> r;
+  for (int i = 0; i < W; ++i) {
+    const std::uint64_t ab = std::bit_cast<std::uint64_t>(a.v[i]);
+    const std::uint64_t bb = std::bit_cast<std::uint64_t>(b.v[i]);
+    r.v[i] = std::bit_cast<double>((ab & m.v[i]) | (bb & ~m.v[i]));
+  }
+  return r;
+}
+
+/// Masked accumulate into a scalar slot: adds a.v[i] only on true lanes.
+/// (Adding a literal 0.0 instead would still be exact for the kernel's
+/// non-negative counters, but skipping keeps -0.0 slots untouched too.)
+template <int W>
+inline void accumulate_lane(double& slot, const Mask<W>& m, const Pack<W>& a, int i) {
+  if (m.v[i] != 0) slot += a.v[i];
+}
+
+/// 2^n per lane for the integer n = (int)xf.v[i] in [-1074, 1023]; the lane
+/// form of exp2_scale, overridden with integer SIMD under AVX2.
+template <int W>
+inline Pack<W> exp2_scale_lanes(const Pack<W>& xf) {
+  Pack<W> scale;
+  for (int i = 0; i < W; ++i) scale.v[i] = exp2_scale(static_cast<int>(xf.v[i]));
+  return scale;
+}
+
+/// Exponent/mantissa split for fast_log2: per lane, x = mv * 2^ev with
+/// mv in [sqrt(1/2), sqrt(2)) and ev an integer-valued double. Mirrors the
+/// scalar fast_log2 extraction exactly (including the 2^54 subnormal lift);
+/// overridden with integer SIMD under AVX2 — this runs on every Peukert
+/// memo miss, which a load-following duty cycle makes the common case.
+template <int W>
+inline void log2_extract_lanes(const Pack<W>& x, Pack<W>& mv, Pack<W>& ev) {
+  for (int i = 0; i < W; ++i) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(x.v[i]);
+    int e = static_cast<int>((bits >> 52) & 0x7ffU) - 1023;
+    if (e == -1023) {  // subnormal: renormalize through a 2^54 lift
+      bits = std::bit_cast<std::uint64_t>(x.v[i] * 0x1p54);
+      e = static_cast<int>((bits >> 52) & 0x7ffU) - 1023 - 54;
+    }
+    double m =
+        std::bit_cast<double>((bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL);
+    if (m > 1.4142135623730951) {
+      m *= 0.5;
+      ++e;
+    }
+    mv.v[i] = m;
+    ev.v[i] = static_cast<double>(e);
+  }
+}
+
+#if defined(__AVX2__)
+
+// --- AVX2 forms of the Pack<4>/Mask<4> primitives ----------------------------
+// Plain overloads: for W = 4 calls with deduced arguments these win over the
+// templates above, including inside the fastmath templates below (resolved
+// at instantiation via ADL). Each is bit-identical to its generic loop:
+// vminpd/vmaxpd implement exactly the `a op b ? a : b` ternary (second
+// operand on false/NaN), vroundpd(0x9) is std::floor, vblendvpd keys on the
+// mask sign bit (set exactly on all-ones lanes), and the cmp intrinsics use
+// the quiet ordered/unordered predicates matching the scalar comparisons.
+
+namespace avx {
+inline __m256d pd(const Pack<4>& a) { return _mm256_load_pd(a.v); }
+inline Pack<4> from_pd(__m256d x) {
+  Pack<4> r;
+  _mm256_store_pd(r.v, x);
+  return r;
+}
+inline __m256d mask_pd(const Mask<4>& m) {
+  return _mm256_load_pd(reinterpret_cast<const double*>(m.v));
+}
+inline Mask<4> from_mask_pd(__m256d x) {
+  Mask<4> r;
+  _mm256_store_pd(reinterpret_cast<double*>(r.v), x);
+  return r;
+}
+}  // namespace avx
+
+inline Pack<4> operator+(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_add_pd(avx::pd(a), avx::pd(b)));
+}
+inline Pack<4> operator-(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_sub_pd(avx::pd(a), avx::pd(b)));
+}
+inline Pack<4> operator*(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_mul_pd(avx::pd(a), avx::pd(b)));
+}
+inline Pack<4> operator/(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_div_pd(avx::pd(a), avx::pd(b)));
+}
+inline Pack<4> operator-(const Pack<4>& a) {
+  return avx::from_pd(_mm256_xor_pd(avx::pd(a), _mm256_set1_pd(-0.0)));
+}
+inline Pack<4> min(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_min_pd(avx::pd(a), avx::pd(b)));
+}
+inline Pack<4> max(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_max_pd(avx::pd(a), avx::pd(b)));
+}
+inline Pack<4> abs(const Pack<4>& a) {
+  return avx::from_pd(
+      _mm256_andnot_pd(_mm256_set1_pd(-0.0), avx::pd(a)));
+}
+inline Pack<4> floor(const Pack<4>& a) {
+  return avx::from_pd(
+      _mm256_round_pd(avx::pd(a), _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC));
+}
+inline Mask<4> cmp_lt(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_mask_pd(_mm256_cmp_pd(avx::pd(a), avx::pd(b), _CMP_LT_OQ));
+}
+inline Mask<4> cmp_le(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_mask_pd(_mm256_cmp_pd(avx::pd(a), avx::pd(b), _CMP_LE_OQ));
+}
+inline Mask<4> cmp_gt(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_mask_pd(_mm256_cmp_pd(avx::pd(a), avx::pd(b), _CMP_GT_OQ));
+}
+inline Mask<4> cmp_ge(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_mask_pd(_mm256_cmp_pd(avx::pd(a), avx::pd(b), _CMP_GE_OQ));
+}
+inline Mask<4> cmp_eq(const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_mask_pd(_mm256_cmp_pd(avx::pd(a), avx::pd(b), _CMP_EQ_OQ));
+}
+inline Mask<4> is_nan(const Pack<4>& a) {
+  return avx::from_mask_pd(_mm256_cmp_pd(avx::pd(a), avx::pd(a), _CMP_UNORD_Q));
+}
+inline Mask<4> mask_and(const Mask<4>& a, const Mask<4>& b) {
+  return avx::from_mask_pd(_mm256_and_pd(avx::mask_pd(a), avx::mask_pd(b)));
+}
+inline Mask<4> mask_or(const Mask<4>& a, const Mask<4>& b) {
+  return avx::from_mask_pd(_mm256_or_pd(avx::mask_pd(a), avx::mask_pd(b)));
+}
+inline Mask<4> mask_not(const Mask<4>& a) {
+  return avx::from_mask_pd(
+      _mm256_xor_pd(avx::mask_pd(a), _mm256_castsi256_pd(_mm256_set1_epi64x(-1))));
+}
+inline bool any(const Mask<4>& m) {
+  return _mm256_movemask_pd(avx::mask_pd(m)) != 0;
+}
+inline Pack<4> select(const Mask<4>& m, const Pack<4>& a, const Pack<4>& b) {
+  return avx::from_pd(_mm256_blendv_pd(avx::pd(b), avx::pd(a), avx::mask_pd(m)));
+}
+namespace avx {
+inline __m256d exp2_scale_256(__m256d xf) {
+  // Same two-arm bit assembly as exp2_scale, in the integer domain: normal
+  // exponents as (n + 1023) << 52, the subnormal range as 1 << (n + 1074).
+  // Each arm's garbage on the other's lanes (shift counts out of [0, 64))
+  // is discarded by the blend, and the intrinsic shifts are defined for
+  // any count.
+  const __m256i n = _mm256_cvtepi32_epi64(_mm256_cvttpd_epi32(xf));
+  const __m256i normal = _mm256_cmpgt_epi64(n, _mm256_set1_epi64x(-1023));
+  const __m256i normal_bits =
+      _mm256_slli_epi64(_mm256_add_epi64(n, _mm256_set1_epi64x(1023)), 52);
+  const __m256i sub_bits = _mm256_sllv_epi64(
+      _mm256_set1_epi64x(1), _mm256_add_epi64(n, _mm256_set1_epi64x(1074)));
+  return _mm256_castsi256_pd(_mm256_blendv_epi8(sub_bits, normal_bits, normal));
+}
+}  // namespace avx
+
+inline Pack<4> exp2_scale_lanes(const Pack<4>& xf) {
+  return avx::from_pd(avx::exp2_scale_256(avx::pd(xf)));
+}
+
+namespace avx {
+inline void log2_extract_256(__m256d x, __m256d* m, __m256d* e) {
+  // Integer-domain form of the fast_log2 extraction, bit-identical to the
+  // scalar branch structure: both the subnormal lift and the sqrt(2) fold
+  // are computed unconditionally and blended in. All arithmetic is on
+  // exactly-representable integers, so no rounding can diverge.
+  const __m256i mant_mask = _mm256_set1_epi64x(0x000fffffffffffffLL);
+  const __m256i one_bits = _mm256_set1_epi64x(0x3ff0000000000000LL);
+  const __m256i exp_mask = _mm256_set1_epi64x(0x7ffLL);
+  __m256i bits = _mm256_castpd_si256(x);
+  __m256i e_raw = _mm256_and_si256(_mm256_srli_epi64(bits, 52), exp_mask);
+  // Subnormal lanes (raw exponent 0): extract from x * 2^54 and rebias by 54.
+  const __m256i is_sub = _mm256_cmpeq_epi64(e_raw, _mm256_setzero_si256());
+  const __m256i bits_l =
+      _mm256_castpd_si256(_mm256_mul_pd(x, _mm256_set1_pd(0x1p54)));
+  const __m256i e_raw_l = _mm256_sub_epi64(
+      _mm256_and_si256(_mm256_srli_epi64(bits_l, 52), exp_mask),
+      _mm256_set1_epi64x(54));
+  bits = _mm256_blendv_epi8(bits, bits_l, is_sub);
+  e_raw = _mm256_blendv_epi8(e_raw, e_raw_l, is_sub);
+  __m256d mm = _mm256_castsi256_pd(
+      _mm256_or_si256(_mm256_and_si256(bits, mant_mask), one_bits));
+  // e_raw is in [-54, 2047]; shift by +1077 so the int64 -> double trick
+  // (OR into a 2^52 payload, subtract the bias as a double) sees a
+  // non-negative value.
+  const __m256i e_biased = _mm256_add_epi64(e_raw, _mm256_set1_epi64x(1077));
+  __m256d ee = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(e_biased,
+                                          _mm256_set1_epi64x(0x4330000000000000LL))),
+      _mm256_set1_pd(0x1p52 + 1077.0 + 1023.0));
+  // Fold m in [sqrt(2), 2) down by one octave.
+  const __m256d fold =
+      _mm256_cmp_pd(mm, _mm256_set1_pd(1.4142135623730951), _CMP_GT_OQ);
+  mm = _mm256_blendv_pd(mm, _mm256_mul_pd(mm, _mm256_set1_pd(0.5)), fold);
+  ee = _mm256_blendv_pd(ee, _mm256_add_pd(ee, _mm256_set1_pd(1.0)), fold);
+  *m = mm;
+  *e = ee;
+}
+}  // namespace avx
+
+inline void log2_extract_lanes(const Pack<4>& x, Pack<4>& mv, Pack<4>& ev) {
+  __m256d m, e;
+  avx::log2_extract_256(avx::pd(x), &m, &e);
+  mv = avx::from_pd(m);
+  ev = avx::from_pd(e);
+}
+
+// --- AVX2 forms of the Pack<8>/Mask<8> primitives ----------------------------
+// kLanes is 8: a group carries two independent 256-bit streams, which gives
+// the out-of-order core a second dependency chain to overlap with the first
+// through the kernel's serial OCV -> clamp -> divide spine. Each op forwards
+// the intrinsic to both halves; per-lane results are identical to the
+// Pack<4> forms and therefore to the generic loops.
+
+namespace avx {
+inline __m256d lo_pd(const Pack<8>& a) { return _mm256_load_pd(a.v); }
+inline __m256d hi_pd(const Pack<8>& a) { return _mm256_load_pd(a.v + 4); }
+inline Pack<8> join_pd(__m256d l, __m256d h) {
+  Pack<8> r;
+  _mm256_store_pd(r.v, l);
+  _mm256_store_pd(r.v + 4, h);
+  return r;
+}
+inline __m256d lo_mask(const Mask<8>& m) {
+  return _mm256_load_pd(reinterpret_cast<const double*>(m.v));
+}
+inline __m256d hi_mask(const Mask<8>& m) {
+  return _mm256_load_pd(reinterpret_cast<const double*>(m.v) + 4);
+}
+inline Mask<8> join_mask(__m256d l, __m256d h) {
+  Mask<8> r;
+  auto* p = reinterpret_cast<double*>(r.v);
+  _mm256_store_pd(p, l);
+  _mm256_store_pd(p + 4, h);
+  return r;
+}
+}  // namespace avx
+
+#define BAAT_SIMD_AVX8_OP(fn, intrin)                             \
+  inline Pack<8> fn(const Pack<8>& a, const Pack<8>& b) {         \
+    return avx::join_pd(intrin(avx::lo_pd(a), avx::lo_pd(b)),     \
+                        intrin(avx::hi_pd(a), avx::hi_pd(b)));    \
+  }
+BAAT_SIMD_AVX8_OP(operator+, _mm256_add_pd)
+BAAT_SIMD_AVX8_OP(operator-, _mm256_sub_pd)
+BAAT_SIMD_AVX8_OP(operator*, _mm256_mul_pd)
+BAAT_SIMD_AVX8_OP(operator/, _mm256_div_pd)
+BAAT_SIMD_AVX8_OP(min, _mm256_min_pd)
+BAAT_SIMD_AVX8_OP(max, _mm256_max_pd)
+#undef BAAT_SIMD_AVX8_OP
+
+inline Pack<8> operator-(const Pack<8>& a) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  return avx::join_pd(_mm256_xor_pd(avx::lo_pd(a), sign),
+                      _mm256_xor_pd(avx::hi_pd(a), sign));
+}
+inline Pack<8> abs(const Pack<8>& a) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  return avx::join_pd(_mm256_andnot_pd(sign, avx::lo_pd(a)),
+                      _mm256_andnot_pd(sign, avx::hi_pd(a)));
+}
+inline Pack<8> floor(const Pack<8>& a) {
+  constexpr int kMode = _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC;
+  return avx::join_pd(_mm256_round_pd(avx::lo_pd(a), kMode),
+                      _mm256_round_pd(avx::hi_pd(a), kMode));
+}
+
+#define BAAT_SIMD_AVX8_CMP(fn, pred)                                    \
+  inline Mask<8> fn(const Pack<8>& a, const Pack<8>& b) {               \
+    return avx::join_mask(_mm256_cmp_pd(avx::lo_pd(a), avx::lo_pd(b), pred), \
+                          _mm256_cmp_pd(avx::hi_pd(a), avx::hi_pd(b), pred)); \
+  }
+BAAT_SIMD_AVX8_CMP(cmp_lt, _CMP_LT_OQ)
+BAAT_SIMD_AVX8_CMP(cmp_le, _CMP_LE_OQ)
+BAAT_SIMD_AVX8_CMP(cmp_gt, _CMP_GT_OQ)
+BAAT_SIMD_AVX8_CMP(cmp_ge, _CMP_GE_OQ)
+BAAT_SIMD_AVX8_CMP(cmp_eq, _CMP_EQ_OQ)
+#undef BAAT_SIMD_AVX8_CMP
+
+inline Mask<8> is_nan(const Pack<8>& a) {
+  return avx::join_mask(
+      _mm256_cmp_pd(avx::lo_pd(a), avx::lo_pd(a), _CMP_UNORD_Q),
+      _mm256_cmp_pd(avx::hi_pd(a), avx::hi_pd(a), _CMP_UNORD_Q));
+}
+inline Mask<8> mask_and(const Mask<8>& a, const Mask<8>& b) {
+  return avx::join_mask(_mm256_and_pd(avx::lo_mask(a), avx::lo_mask(b)),
+                        _mm256_and_pd(avx::hi_mask(a), avx::hi_mask(b)));
+}
+inline Mask<8> mask_or(const Mask<8>& a, const Mask<8>& b) {
+  return avx::join_mask(_mm256_or_pd(avx::lo_mask(a), avx::lo_mask(b)),
+                        _mm256_or_pd(avx::hi_mask(a), avx::hi_mask(b)));
+}
+inline Mask<8> mask_not(const Mask<8>& a) {
+  const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  return avx::join_mask(_mm256_xor_pd(avx::lo_mask(a), ones),
+                        _mm256_xor_pd(avx::hi_mask(a), ones));
+}
+inline bool any(const Mask<8>& m) {
+  return _mm256_movemask_pd(_mm256_or_pd(avx::lo_mask(m), avx::hi_mask(m))) != 0;
+}
+inline Pack<8> select(const Mask<8>& m, const Pack<8>& a, const Pack<8>& b) {
+  return avx::join_pd(
+      _mm256_blendv_pd(avx::lo_pd(b), avx::lo_pd(a), avx::lo_mask(m)),
+      _mm256_blendv_pd(avx::hi_pd(b), avx::hi_pd(a), avx::hi_mask(m)));
+}
+inline Pack<8> exp2_scale_lanes(const Pack<8>& xf) {
+  return avx::join_pd(avx::exp2_scale_256(avx::lo_pd(xf)),
+                      avx::exp2_scale_256(avx::hi_pd(xf)));
+}
+
+inline void log2_extract_lanes(const Pack<8>& x, Pack<8>& mv, Pack<8>& ev) {
+  __m256d ml, el, mh, eh;
+  avx::log2_extract_256(avx::lo_pd(x), &ml, &el);
+  avx::log2_extract_256(avx::hi_pd(x), &mh, &eh);
+  mv = avx::join_pd(ml, mh);
+  ev = avx::join_pd(el, eh);
+}
+
+#endif  // __AVX2__
+
+// --- lane-batched fastmath ---------------------------------------------------
+
+/// Branchless lane form of util::fast_exp2 — bit-identical per lane
+/// (shared polynomial core and 2^n assembly; the masks reproduce the
+/// scalar early-returns: NaN propagates, x < -1074 flushes to 0,
+/// x >= 1024 overflows to inf, [-1074, -1022) underflows gradually).
+template <int W>
+inline Pack<W> fast_exp2(const Pack<W>& x) {
+  const Mask<W> nan_m = is_nan(x);
+  const Mask<W> under = cmp_lt(x, broadcast<W>(-1074.0));
+  const Mask<W> over = cmp_ge(x, broadcast<W>(1024.0));
+  // Special lanes are overwritten below; fold them to 0 first so the
+  // floor/int/shift lane math stays defined everywhere.
+  const Mask<W> special = mask_or(mask_or(nan_m, under), over);
+  const Pack<W> xc = select(special, broadcast<W>(0.0), x);
+  const Pack<W> xf = floor(xc);
+  const Pack<W> f = xc - xf;
+  // Pack-wide Horner over the shared coefficient array: the same op
+  // sequence per lane as the scalar fast_exp2_poly, vectorized across
+  // lanes (the coefficient recurrence itself is serial either way).
+  Pack<W> p = broadcast<W>(kExp2PolyCoeff[0]);
+  for (int k = 1; k < 11; ++k) p = p * f + broadcast<W>(kExp2PolyCoeff[k]);
+  const Pack<W> scale = exp2_scale_lanes(xf);
+  Pack<W> r = p * scale;
+  r = select(under, broadcast<W>(0.0), r);
+  r = select(over, broadcast<W>(std::numeric_limits<double>::infinity()), r);
+  r = select(nan_m, x, r);
+  return r;
+}
+
+/// Lane form of util::fast_log2, bit-identical per lane. The
+/// exponent/mantissa extraction (including the subnormal renormalization)
+/// goes through log2_extract_lanes — per-lane integer code mirroring the
+/// scalar branch structure, or its integer-SIMD override under AVX2; the
+/// atanh-series core vectorizes. A load-following duty cycle misses the
+/// Peukert memo on most discharge ticks, so this whole path is hot.
+template <int W>
+inline Pack<W> fast_log2(const Pack<W>& x) {
+  Pack<W> mv;
+  Pack<W> ev;
+  log2_extract_lanes(x, mv, ev);
+  const Pack<W> one = broadcast<W>(1.0);
+  const Pack<W> z = (mv - one) / (mv + one);
+  const Pack<W> z2 = z * z;
+  Pack<W> p = broadcast<W>(1.0 / 11.0);
+  p = p * z2 + broadcast<W>(1.0 / 9.0);
+  p = p * z2 + broadcast<W>(1.0 / 7.0);
+  p = p * z2 + broadcast<W>(1.0 / 5.0);
+  p = p * z2 + broadcast<W>(1.0 / 3.0);
+  p = p * z2 + one;
+  const Pack<W> ln_m = broadcast<W>(2.0) * z * p;
+  return ev + ln_m * broadcast<W>(1.4426950408889634);
+}
+
+/// Lane form of util::fast_pow, bit-identical per lane, including the
+/// exact-1.0 hot corners (a == 1 or b == 0, NaN partner included).
+template <int W>
+inline Pack<W> fast_pow(const Pack<W>& a, const Pack<W>& b) {
+  const Mask<W> one_m =
+      mask_or(cmp_eq(a, broadcast<W>(1.0)), cmp_eq(b, broadcast<W>(0.0)));
+  const Pack<W> r = fast_exp2(b * fast_log2(a));
+  return select(one_m, broadcast<W>(1.0), r);
+}
+
+}  // namespace abi_avx2 / abi_portable
+}  // namespace baat::util::simd

@@ -305,6 +305,82 @@ TEST(FleetKernel, FastTierOnlyPerturbsWithinTolerance) {
   }
 }
 
+TEST(FleetKernel, SimdStepAllMatchesPerCellSimdBitwise) {
+  // The W = 8 block kernel and the W = 1 instantiation of the same template
+  // must produce bit-identical trajectories — 19 cells covers two full
+  // lane groups plus a 3-cell masked tail, under a load-following duty
+  // cycle that keeps the Peukert/Arrhenius paths live.
+  constexpr std::size_t kSimdCells = 19;
+  FleetState blocked{LeadAcidParams{}, AgingParams{}, ThermalParams{}, MathMode::Simd};
+  FleetState percell{LeadAcidParams{}, AgingParams{}, ThermalParams{}, MathMode::Simd};
+  for (std::size_t i = 0; i < kSimdCells; ++i) {
+    const double cap = 1.0 + 0.001 * static_cast<double>(i % 7);
+    blocked.add_cell(cap, 1.0, 0.7);
+    percell.add_cell(cap, 1.0, 0.7);
+  }
+  std::vector<Amperes> req(kSimdCells);
+  std::vector<StepResult> res_b(kSimdCells);
+  std::vector<double> sign(kSimdCells, 1.0);
+  Mismatch bad;
+  for (long k = 0; k < kTicks; ++k) {
+    for (std::size_t i = 0; i < kSimdCells; ++i) {
+      const double amps =
+          10.0 + 0.5 * static_cast<double>((k * 7 + static_cast<long>(i) * 13) % 32);
+      req[i] = Amperes{sign[i] * amps};
+    }
+    fleet_step(blocked, req, kDt, res_b);
+    for (std::size_t i = 0; i < kSimdCells; ++i) {
+      const StepResult r = percell.step_cell(i, req[i], kDt);
+      if (r.actual_current.value() != res_b[i].actual_current.value() ||
+          r.terminal_voltage.value() != res_b[i].terminal_voltage.value() ||
+          r.hit_cutoff != res_b[i].hit_cutoff ||
+          r.fully_charged != res_b[i].fully_charged ||
+          percell.cell_soc(i) != blocked.cell_soc(i) ||
+          percell.cell_temperature(i).value() != blocked.cell_temperature(i).value()) {
+        bad.note(k);
+      }
+      if (blocked.cell_soc(i) < 0.2) sign[i] = -1.0;
+      if (blocked.cell_soc(i) > 0.9) sign[i] = 1.0;
+    }
+    if (bad.count > 0) break;
+  }
+  EXPECT_EQ(bad.count, 0) << "block and per-cell simd paths diverged at tick "
+                          << bad.first_tick;
+  for (std::size_t i = 0; i < kSimdCells; ++i) {
+    EXPECT_EQ(percell.cell_health(i), blocked.cell_health(i)) << "cell " << i;
+    EXPECT_EQ(percell.cell_aging_state(i).total(), blocked.cell_aging_state(i).total());
+    EXPECT_EQ(percell.cell_counters(i).ah_discharged.value(),
+              blocked.cell_counters(i).ah_discharged.value());
+  }
+}
+
+TEST(FleetKernel, SimdTierOnlyPerturbsWithinTolerance) {
+  // Same contract as the fast tier above: the lane-batched tier tracks the
+  // exact tier at the physics level (the 0.1% lifetime-metric property
+  // lives in property_test.cpp).
+  FleetState exact{LeadAcidParams{}, AgingParams{}, ThermalParams{}, MathMode::Exact};
+  FleetState simd{LeadAcidParams{}, AgingParams{}, ThermalParams{}, MathMode::Simd};
+  for (std::size_t i = 0; i < kCells; ++i) {
+    exact.add_cell(1.0, 1.0, 0.7);
+    simd.add_cell(1.0, 1.0, 0.7);
+  }
+  std::vector<Amperes> req(kCells);
+  std::vector<StepResult> res_e(kCells), res_s(kCells);
+  for (long k = 0; k < kTicks; ++k) {
+    for (std::size_t i = 0; i < kCells; ++i) {
+      req[i] = Amperes{requested_amps(k, i, 8.0)};
+    }
+    fleet_step(exact, req, kDt, res_e);
+    fleet_step(simd, req, kDt, res_s);
+  }
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_NEAR(simd.cell_soc(i), exact.cell_soc(i), 1e-6);
+    EXPECT_NEAR(simd.cell_health(i), exact.cell_health(i), 1e-6);
+    EXPECT_NEAR(simd.cell_aging_state(i).total(), exact.cell_aging_state(i).total(),
+                1e-6 * std::max(1e-3, exact.cell_aging_state(i).total()));
+  }
+}
+
 // --- Battery value semantics over the shared-fleet representation ----------
 
 TEST(FleetKernel, CopyDetachesFromSourceFleet) {

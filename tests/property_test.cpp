@@ -457,9 +457,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultedMultiDay,
 
 // ---------------------------------------------------------------------------
 // Fast-math tier tolerance: --math=fast swaps the aging stressors'
-// transcendentals for ~1e-9-relative-error polynomials. That perturbation
-// must stay invisible at the metric level — every lifetime-relevant output
-// of a multi-day run within 0.1% of the exact tier.
+// transcendentals for ~1e-9-relative-error polynomials, and --math=simd
+// runs their lane-batched forms through the branchless batched kernel.
+// Either perturbation must stay invisible at the metric level — every
+// lifetime-relevant output of a multi-day run within 0.1% of the exact
+// tier.
 // ---------------------------------------------------------------------------
 
 class FastMathTolerance : public ::testing::TestWithParam<std::uint64_t> {};
@@ -477,25 +479,28 @@ TEST_P(FastMathTolerance, LifetimeMetricsWithinTenthOfAPercent) {
     return sim::run_multi_day(cluster, opt);
   };
   const sim::MultiDayResult exact = run_tier(battery::MathMode::Exact);
-  const sim::MultiDayResult fast = run_tier(battery::MathMode::Fast);
 
-  auto within = [](double got, double ref, const char* what) {
-    const double tol = 1e-3 * std::max(std::fabs(ref), 1e-9);
-    EXPECT_NEAR(got, ref, tol) << what;
-  };
-  within(fast.min_health_end, exact.min_health_end, "min_health_end");
-  within(fast.mean_health_end, exact.mean_health_end, "mean_health_end");
-  within(fast.total_throughput, exact.total_throughput, "total_throughput");
-  ASSERT_EQ(fast.days.size(), exact.days.size());
-  for (std::size_t d = 0; d < exact.days.size(); ++d) {
-    ASSERT_EQ(fast.days[d].nodes.size(), exact.days[d].nodes.size());
-    for (std::size_t i = 0; i < exact.days[d].nodes.size(); ++i) {
-      within(fast.days[d].nodes[i].soc_end, exact.days[d].nodes[i].soc_end,
-             "soc_end");
-      within(fast.days[d].nodes[i].health, exact.days[d].nodes[i].health,
-             "health");
+  auto check_tier = [&](const sim::MultiDayResult& got, const char* tier) {
+    auto within = [&](double g, double ref, const char* what) {
+      const double tol = 1e-3 * std::max(std::fabs(ref), 1e-9);
+      EXPECT_NEAR(g, ref, tol) << tier << " " << what;
+    };
+    within(got.min_health_end, exact.min_health_end, "min_health_end");
+    within(got.mean_health_end, exact.mean_health_end, "mean_health_end");
+    within(got.total_throughput, exact.total_throughput, "total_throughput");
+    ASSERT_EQ(got.days.size(), exact.days.size());
+    for (std::size_t d = 0; d < exact.days.size(); ++d) {
+      ASSERT_EQ(got.days[d].nodes.size(), exact.days[d].nodes.size());
+      for (std::size_t i = 0; i < exact.days[d].nodes.size(); ++i) {
+        within(got.days[d].nodes[i].soc_end, exact.days[d].nodes[i].soc_end,
+               "soc_end");
+        within(got.days[d].nodes[i].health, exact.days[d].nodes[i].health,
+               "health");
+      }
     }
-  }
+  };
+  check_tier(run_tier(battery::MathMode::Fast), "fast");
+  check_tier(run_tier(battery::MathMode::Simd), "simd");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastMathTolerance,
@@ -598,8 +603,10 @@ INSTANTIATE_TEST_SUITE_P(
     TiersAndFleets, YearLongAttribution,
     ::testing::Values(AttributionCase{battery::MathMode::Exact, false, 11u},
                       AttributionCase{battery::MathMode::Fast, false, 11u},
+                      AttributionCase{battery::MathMode::Simd, false, 11u},
                       AttributionCase{battery::MathMode::Exact, true, 23u},
-                      AttributionCase{battery::MathMode::Fast, true, 23u}));
+                      AttributionCase{battery::MathMode::Fast, true, 23u},
+                      AttributionCase{battery::MathMode::Simd, true, 23u}));
 
 // A faulted cluster run must keep the same closure at node level: the
 // cluster's ledger view reconciles with each battery's health.

@@ -47,7 +47,8 @@ class CheckpointDir {
   std::string path_;
 };
 
-ScenarioConfig small_scenario(bool faulted = false, bool fast_math = false) {
+ScenarioConfig small_scenario(bool faulted = false,
+                              battery::MathMode math = battery::MathMode::Exact) {
   ScenarioConfig cfg = prototype_scenario();
   cfg.nodes = 3;
   cfg.seed = 20260806;
@@ -56,7 +57,7 @@ ScenarioConfig small_scenario(bool faulted = false, bool fast_math = false) {
         "sensor_noise:soc:0.03,pv_dropout:day=1:hours=3,cell_weak:bank=1:capacity=0.85");
     cfg.guard.enabled = true;
   }
-  if (fast_math) cfg.bank.math = battery::MathMode::Fast;
+  cfg.bank.math = math;
   return cfg;
 }
 
@@ -151,7 +152,14 @@ TEST(CheckpointResume, FaultedRunBitIdentical) {
 }
 
 TEST(CheckpointResume, FastMathRunBitIdentical) {
-  check_resume_identity(small_scenario(false, /*fast_math=*/true), 6, 2, 4, "fast");
+  check_resume_identity(small_scenario(false, battery::MathMode::Fast), 6, 2, 4, "fast");
+}
+
+TEST(CheckpointResume, SimdMathRunBitIdentical) {
+  // The lane-batched tier shares the fast tier's snapshot story: the math
+  // byte round-trips and the block kernel is deterministic, so a resumed
+  // run must be bit-identical to the uninterrupted one.
+  check_resume_identity(small_scenario(false, battery::MathMode::Simd), 6, 2, 4, "simd");
 }
 
 TEST(CheckpointResume, EveryDayBoundaryResumesIdentically) {
@@ -202,7 +210,10 @@ TEST(ScenarioFingerprint, SensitiveToEveryTrajectoryKnob) {
   EXPECT_NE(base, scenario_fingerprint(nodes, opts));
 
   EXPECT_NE(base, scenario_fingerprint(small_scenario(true), opts));
-  EXPECT_NE(base, scenario_fingerprint(small_scenario(false, true), opts));
+  EXPECT_NE(base,
+            scenario_fingerprint(small_scenario(false, battery::MathMode::Fast), opts));
+  EXPECT_NE(base,
+            scenario_fingerprint(small_scenario(false, battery::MathMode::Simd), opts));
   EXPECT_NE(base, scenario_fingerprint(cfg, day_options(7)));
 
   MultiDayOptions sunshine = day_options(6);

@@ -52,11 +52,14 @@ TEST(Cli, ParsesMathTier) {
   EXPECT_EQ(parse_cli({}).math, battery::MathMode::Exact);
   EXPECT_EQ(parse_cli({"--math", "exact"}).math, battery::MathMode::Exact);
   EXPECT_EQ(parse_cli({"--math", "fast"}).math, battery::MathMode::Fast);
+  EXPECT_EQ(parse_cli({"--math", "simd"}).math, battery::MathMode::Simd);
   EXPECT_THROW(parse_cli({"--math", "sloppy"}), util::PreconditionError);
   EXPECT_THROW(parse_cli({"--math"}), util::PreconditionError);
   EXPECT_EQ(scenario_from_cli(parse_cli({"--math", "fast"})).bank.math,
             battery::MathMode::Fast);
   EXPECT_EQ(scenario_from_cli(parse_cli({})).bank.math, battery::MathMode::Exact);
+  EXPECT_EQ(scenario_from_cli(parse_cli({"--math", "simd"})).bank.math,
+            battery::MathMode::Simd);
   // The ratio rewrite must not reset the tier.
   EXPECT_EQ(scenario_from_cli(parse_cli({"--math", "fast", "--ratio", "2.0"})).bank.math,
             battery::MathMode::Fast);

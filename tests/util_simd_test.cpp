@@ -1,0 +1,318 @@
+// Regression tests for the fastmath edge-case contract (util/fastmath.hpp)
+// and per-lane bit agreement of the lane-batched forms (util/simd.hpp).
+//
+// This TU is compiled with the same SIMD arch flags as the kernel TU
+// (tests/CMakeLists.txt mirrors BAAT_SIMD_TU_FLAGS), so under the default
+// build the Pack<4>/Pack<8> assertions exercise the AVX2 overloads the
+// simd tier actually runs with; under BAAT_SIMD=OFF (or off x86) the same
+// assertions pin the portable lane loops. Pack<2> has no intrinsic form
+// anywhere, so it pins the generic templates in every configuration.
+//
+// The scalar edge-case contract under test is documented at the top of
+// util/fastmath.hpp; the per-lane agreement contract ("the lane-batched
+// counterparts evaluate the identical operation sequence and are
+// bit-identical per lane") is what lets MathMode::Simd reuse the fast
+// tier's tolerance analysis unchanged.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/fastmath.hpp"
+#include "util/simd.hpp"
+
+namespace baat::util {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDblMin = std::numeric_limits<double>::min();        // 0x1p-1022
+constexpr double kTrueMin = std::numeric_limits<double>::denorm_min();  // 0x1p-1074
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// --- scalar fast_exp2 edge cases -------------------------------------------
+
+TEST(FastExp2Edges, DblMinBoundaryIsExact) {
+  // The old `!(x > -1022.0)` guard flushed the boundary itself to zero;
+  // -1022 is an integer input, so the polynomial contributes exactly 1.0
+  // and the result must be DBL_MIN to the bit.
+  EXPECT_EQ(bits(fast_exp2(-1022.0)), bits(0x1p-1022));
+  EXPECT_EQ(fast_exp2(-1022.0), std::exp2(-1022.0));
+}
+
+TEST(FastExp2Edges, IntegerInputsArePowersOfTwoExactly) {
+  // Horner at f = 0 yields the trailing coefficient 1.0 exactly, so every
+  // integer input maps to the assembled 2^n scale with no rounding —
+  // across the normal range and into the subnormal range.
+  for (const int n : {-1074, -1073, -1060, -1023, -1022, -1021, -512, -1, 0,
+                      1, 512, 1023}) {
+    EXPECT_EQ(bits(fast_exp2(static_cast<double>(n))), bits(std::exp2(n)))
+        << "n = " << n;
+  }
+}
+
+TEST(FastExp2Edges, GradualUnderflowThroughSubnormals) {
+  // x in (-1074, -1022) must land in the subnormal range (0 < r < DBL_MIN),
+  // not flush to zero. The product p * 2^n rounds at subnormal granularity,
+  // so allow a few quanta on top of the polynomial's relative error.
+  for (double x = -1073.9; x < -1022.0; x += 0.7) {
+    const double r = fast_exp2(x);
+    const double ref = std::exp2(x);
+    EXPECT_GT(r, 0.0) << "x = " << x;
+    EXPECT_LT(r, kDblMin) << "x = " << x;
+    EXPECT_NEAR(r, ref, std::max(1e-8 * ref, 4.0 * kTrueMin)) << "x = " << x;
+  }
+  EXPECT_EQ(bits(fast_exp2(-1074.0)), bits(kTrueMin));
+  EXPECT_EQ(fast_exp2(-1074.5), 0.0);  // below the smallest subnormal
+  EXPECT_EQ(fast_exp2(-1.0e9), 0.0);
+  EXPECT_EQ(fast_exp2(-kInf), 0.0);
+}
+
+TEST(FastExp2Edges, NanPropagates) {
+  // A NaN-poisoned state must stay NaN through the fast tiers so the
+  // run-health watchdog's finite_state invariant can still see it.
+  EXPECT_TRUE(std::isnan(fast_exp2(kNan)));
+  EXPECT_TRUE(std::isnan(fast_exp2(-kNan)));
+}
+
+TEST(FastExp2Edges, OverflowAndLargestNormals) {
+  EXPECT_TRUE(std::isinf(fast_exp2(1024.0)));
+  EXPECT_TRUE(std::isinf(fast_exp2(kInf)));
+  // [1023, 1024) still computes: 2^1023 is the largest normal exponent.
+  EXPECT_EQ(bits(fast_exp2(1023.0)), bits(std::exp2(1023.0)));
+  const double near_top = fast_exp2(1023.5);
+  EXPECT_TRUE(std::isfinite(near_top));
+  EXPECT_NEAR(near_top, std::exp2(1023.5), 1e-8 * std::exp2(1023.5));
+}
+
+// --- scalar fast_pow / fast_log2 edge cases --------------------------------
+
+TEST(FastPowCorners, BaseOneAndExponentZeroAreExactlyOne) {
+  // std::pow returns exactly 1.0 for pow(1, y) and pow(x, 0) — including a
+  // NaN partner operand — and the fast tier must match, or sub-ulp drift
+  // shifts fast-tier lifetime metrics for nothing.
+  EXPECT_EQ(fast_pow(1.0, 17.3), 1.0);
+  EXPECT_EQ(fast_pow(1.0, -4096.0), 1.0);
+  EXPECT_EQ(fast_pow(7.7, 0.0), 1.0);
+  EXPECT_EQ(fast_pow(1e-300, 0.0), 1.0);
+  EXPECT_EQ(fast_pow(1.0, kNan), 1.0);
+  EXPECT_EQ(fast_pow(kNan, 0.0), 1.0);
+  EXPECT_EQ(std::pow(1.0, kNan), 1.0);  // the std contract being mirrored
+  EXPECT_EQ(std::pow(kNan, 0.0), 1.0);
+}
+
+TEST(FastLog2Subnormals, RenormalizedThroughThe2p54Lift) {
+  for (const double x : {kTrueMin, 3.0 * kTrueMin, 0x1p-1070, 0x1.8p-1050,
+                         0x1p-1023, kDblMin}) {
+    const double ref = std::log2(x);
+    EXPECT_NEAR(fast_log2(x), ref, 1e-8 * std::fabs(ref)) << "x = " << x;
+  }
+}
+
+// --- lane-batched forms: per-lane bit agreement with the scalars -----------
+
+/// Feeds every value through Pack<W> lanes (padding the tail with 1.0) and
+/// requires the lane result to be bit-identical to the scalar call — the
+/// NaN-safe comparison is on the bit pattern, not the value.
+template <int W>
+void expect_exp2_lanes_match(const std::vector<double>& xs) {
+  namespace s = simd;
+  for (std::size_t base = 0; base < xs.size(); base += W) {
+    s::Pack<W> x;
+    for (int i = 0; i < W; ++i) {
+      x.v[i] = base + i < xs.size() ? xs[base + i] : 1.0;
+    }
+    const s::Pack<W> got = s::fast_exp2(x);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_EQ(bits(got.v[i]), bits(fast_exp2(x.v[i])))
+          << "W = " << W << ", x = " << x.v[i];
+    }
+  }
+}
+
+template <int W>
+void expect_log2_lanes_match(const std::vector<double>& xs) {
+  namespace s = simd;
+  for (std::size_t base = 0; base < xs.size(); base += W) {
+    s::Pack<W> x;
+    for (int i = 0; i < W; ++i) {
+      x.v[i] = base + i < xs.size() ? xs[base + i] : 1.0;
+    }
+    const s::Pack<W> got = s::fast_log2(x);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_EQ(bits(got.v[i]), bits(fast_log2(x.v[i])))
+          << "W = " << W << ", x = " << x.v[i];
+    }
+  }
+}
+
+template <int W>
+void expect_pow_lanes_match(const std::vector<std::pair<double, double>>& abs) {
+  namespace s = simd;
+  for (std::size_t base = 0; base < abs.size(); base += W) {
+    s::Pack<W> a;
+    s::Pack<W> b;
+    for (int i = 0; i < W; ++i) {
+      const auto& ab =
+          base + i < abs.size() ? abs[base + i] : std::pair{2.0, 0.5};
+      a.v[i] = ab.first;
+      b.v[i] = ab.second;
+    }
+    const s::Pack<W> got = s::fast_pow(a, b);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_EQ(bits(got.v[i]), bits(fast_pow(a.v[i], b.v[i])))
+          << "W = " << W << ", a = " << a.v[i] << ", b = " << b.v[i];
+    }
+  }
+}
+
+std::vector<double> exp2_inputs() {
+  std::vector<double> xs;
+  // The Arrhenius exponent range the aging stressors use: (T - 20) / 10
+  // over any plausible block temperature, plus a dense sweep.
+  for (double t = -40.0; t <= 85.0; t += 0.13) xs.push_back((t - 20.0) / 10.0);
+  for (double x = -80.0; x <= 80.0; x += 0.377) xs.push_back(x);
+  // Every documented edge: the DBL_MIN boundary and its neighbourhood, the
+  // subnormal range, both flush directions, NaN, infinities, fractions
+  // straddling integer cuts.
+  const double edge[] = {-1022.0,
+                         std::nextafter(-1022.0, -kInf),
+                         std::nextafter(-1022.0, 0.0),
+                         -1022.5,
+                         -1050.25,
+                         -1073.9,
+                         -1074.0,
+                         -1074.5,
+                         -1100.0,
+                         1023.0,
+                         1023.5,
+                         std::nextafter(1024.0, 0.0),
+                         1024.0,
+                         1.0e9,
+                         -1.0e9,
+                         kNan,
+                         -kNan,
+                         kInf,
+                         -kInf,
+                         0.0,
+                         -0.0,
+                         0.49999999999,
+                         -0.5};
+  xs.insert(xs.end(), std::begin(edge), std::end(edge));
+  return xs;
+}
+
+std::vector<double> log2_inputs() {
+  std::vector<double> xs;
+  // Peukert current ratios the router can produce, dense over the
+  // mantissa-fold boundary at sqrt(2).
+  for (double r = 0.05; r <= 20.0; r *= 1.013) xs.push_back(r);
+  for (double m = 1.40; m <= 1.43; m += 1e-4) xs.push_back(m);
+  const double edge[] = {kTrueMin, 3.0 * kTrueMin, 0x1p-1070, 0x1.8p-1050,
+                         std::nextafter(kDblMin, 0.0), kDblMin, 1.0,
+                         1.4142135623730951, std::nextafter(1.4142135623730951, 2.0),
+                         0x1.fffffffffffffp1023};
+  xs.insert(xs.end(), std::begin(edge), std::end(edge));
+  return xs;
+}
+
+std::vector<std::pair<double, double>> pow_inputs() {
+  std::vector<std::pair<double, double>> abs;
+  // Peukert: ratio^(k-1) with k - 1 = 0.15.
+  for (double r = 0.05; r <= 20.0; r *= 1.031) abs.push_back({r, 0.15});
+  // Arrhenius as a pow: 2^((T-20)/10).
+  for (double t = -40.0; t <= 85.0; t += 0.51) abs.push_back({2.0, (t - 20.0) / 10.0});
+  // The exact-1.0 corners, NaN partners included.
+  abs.push_back({1.0, 17.3});
+  abs.push_back({1.0, kNan});
+  abs.push_back({kNan, 0.0});
+  abs.push_back({7.7, 0.0});
+  abs.push_back({kTrueMin, 0.15});  // subnormal base through the log2 lift
+  return abs;
+}
+
+TEST(LaneBitAgreement, FastExp2AllWidths) {
+  const std::vector<double> xs = exp2_inputs();
+  expect_exp2_lanes_match<2>(xs);
+  expect_exp2_lanes_match<4>(xs);
+  expect_exp2_lanes_match<8>(xs);
+}
+
+TEST(LaneBitAgreement, FastLog2AllWidths) {
+  const std::vector<double> xs = log2_inputs();
+  expect_log2_lanes_match<2>(xs);
+  expect_log2_lanes_match<4>(xs);
+  expect_log2_lanes_match<8>(xs);
+}
+
+TEST(LaneBitAgreement, FastPowAllWidths) {
+  const std::vector<std::pair<double, double>> abs = pow_inputs();
+  expect_pow_lanes_match<2>(abs);
+  expect_pow_lanes_match<4>(abs);
+  expect_pow_lanes_match<8>(abs);
+}
+
+// --- lane-batched tolerance against the true transcendentals ---------------
+
+TEST(LaneTolerance, WithinFastTierBoundsOverStressorRanges) {
+  // The lane forms are bit-identical to the scalars (above), but pin the
+  // end-to-end bound against std:: too, over the exponent ranges the aging
+  // stressors feed in — the bound the 0.1% lifetime tolerance is derived
+  // from must hold for the batched tier directly.
+  namespace s = simd;
+  constexpr int W = s::kLanes;
+  for (double t = -40.0; t <= 85.0; t += 0.29 * W) {
+    s::Pack<W> x;
+    for (int i = 0; i < W; ++i) x.v[i] = (t + 0.29 * i - 20.0) / 10.0;
+    const s::Pack<W> got = s::fast_exp2(x);
+    for (int i = 0; i < W; ++i) {
+      const double ref = std::exp2(x.v[i]);
+      EXPECT_NEAR(got.v[i], ref, 1e-8 * ref) << "x = " << x.v[i];
+    }
+  }
+  for (double r = 0.05; r <= 20.0; r *= std::pow(1.031, W)) {
+    s::Pack<W> a;
+    s::Pack<W> b;
+    for (int i = 0; i < W; ++i) {
+      a.v[i] = r * std::pow(1.031, i);
+      b.v[i] = 0.15;
+    }
+    const s::Pack<W> got = s::fast_pow(a, b);
+    for (int i = 0; i < W; ++i) {
+      const double ref = std::pow(a.v[i], 0.15);
+      EXPECT_NEAR(got.v[i], ref, 1e-8 * ref) << "ratio = " << a.v[i];
+    }
+  }
+}
+
+// --- mask spill/reload round-trip ------------------------------------------
+
+TEST(MaskRoundTrip, StoreMaskLoadMaskPreservesLanes) {
+  // The staged kernel carries the cutoff mask across phase boundaries
+  // through a uint64 scratch buffer; the round-trip must preserve every
+  // lane of every pattern.
+  namespace s = simd;
+  constexpr int W = s::kLanes;
+  for (unsigned pattern = 0; pattern < (1u << W); ++pattern) {
+    s::Pack<W> x;
+    for (int i = 0; i < W; ++i) {
+      x.v[i] = (pattern >> i) & 1u ? 1.0 : -1.0;
+    }
+    const s::Mask<W> m = s::cmp_gt(x, s::broadcast<W>(0.0));
+    alignas(32) std::uint64_t buf[W];
+    s::store_mask(buf, m);
+    const s::Mask<W> back = s::load_mask<W>(buf);
+    for (int i = 0; i < W; ++i) {
+      EXPECT_EQ(s::lane(back, i), s::lane(m, i)) << "pattern " << pattern;
+      EXPECT_EQ(s::lane(m, i), ((pattern >> i) & 1u) != 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace baat::util

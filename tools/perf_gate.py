@@ -4,7 +4,11 @@
 Compares a fresh kernel_bench run against the committed baseline
 (bench_results/BENCH_kernel.json) and fails when any shared bench's
 machine-normalized ns/cell-tick regressed by more than the threshold, or
-when a bench that was allocation-free started allocating.
+when a bench that was allocation-free started allocating. Two within-run
+ratio rules ride along: the observability/ledger tax on the 48-cell config
+must stay under its budget, and the --math=simd tier must beat the
+--math=fast tier by at least --simd-speedup-min on the 384-cell config
+(the vectorization guarantee DESIGN.md §5f advertises).
 
 Machines differ, so raw nanoseconds are not comparable across hosts: both
 files carry a `calibration_ns` scalar (a fixed dependent-FMA loop timed on
@@ -134,6 +138,31 @@ def obs_tax(doc, threshold):
     return lines, failures
 
 
+def simd_speedup(doc, minimum):
+    """Fast-vs-simd comparison inside one run: the lane-batched tier must
+    beat the scalar fast tier by at least `minimum` on the 384-cell config.
+    Both rows are min-over-segments from the same process on the same host
+    (kernel_bench interleaves their repeats), so no calibration is involved.
+    Result files without the pair — older baselines, or a build with
+    BAAT_SIMD gating — are skipped, not failed."""
+    by_name = {b["name"]: b for b in doc["benches"]}
+    fast = by_name.get("fleet_384_fast")
+    simd = by_name.get("fleet_384_simd")
+    if fast is None or simd is None:
+        return [], []
+    speedup = fast["ns_per_cell_tick"] / simd["ns_per_cell_tick"]
+    lines = [f"simd speedup     fast {fast['ns_per_cell_tick']:8.2f} ns  "
+             f"simd {simd['ns_per_cell_tick']:8.2f} ns  "
+             f"speedup {speedup:5.2f}x (min {minimum:.2f}x)"]
+    failures = []
+    if speedup < minimum:
+        failures.append(f"simd speedup {speedup:.2f}x on fleet_384 is below the "
+                        f"{minimum:.2f}x floor (fast "
+                        f"{fast['ns_per_cell_tick']:.2f} ns vs simd "
+                        f"{simd['ns_per_cell_tick']:.2f} ns per cell-tick)")
+    return lines, failures
+
+
 def self_test():
     """Exercise the malformed-input paths in-process; exits non-zero on bugs."""
     import copy
@@ -217,6 +246,20 @@ def self_test():
     _, failures = obs_tax(good, 0.05)  # no obs-off bench: skipped, not failed
     assert not failures, failures
 
+    # 5b. the simd-speedup rule: below-floor fails, at/above passes, and a
+    # run without the fast/simd pair (e.g. BAAT_SIMD gated off) is skipped
+    paired = {"calibration_ns": 2.0,
+              "benches": [{"name": "fleet_384_fast", "ns_per_cell_tick": 50.0,
+                           "allocs_per_tick": 0.0},
+                          {"name": "fleet_384_simd", "ns_per_cell_tick": 30.0,
+                           "allocs_per_tick": 0.0}]}
+    _, failures = simd_speedup(paired, 2.0)
+    assert any("speedup" in f for f in failures), failures
+    _, failures = simd_speedup(paired, 1.5)
+    assert not failures, failures
+    _, failures = simd_speedup(good, 2.0)  # no simd pair: skipped, not failed
+    assert not failures, failures
+
     # 6. the happy path still gates
     slow = copy.deepcopy(good)
     slow["benches"][0]["ns_per_cell_tick"] = 100.0
@@ -244,6 +287,9 @@ def main():
     ap.add_argument("--obs-tax-threshold", type=float, default=0.05,
                     help="max allowed instrumented-vs-obs-off overhead on the "
                          "48-cell config (default 0.05 = 5%%)")
+    ap.add_argument("--simd-speedup-min", type=float, default=2.0,
+                    help="min required fast/simd ns ratio on the 384-cell "
+                         "config (default 2.0 = simd at least 2x faster)")
     ap.add_argument("--update", action="store_true",
                     help="copy --current over --baseline instead of gating")
     ap.add_argument("--self-test", action="store_true",
@@ -270,6 +316,9 @@ def main():
     tax_lines, tax_failures = obs_tax(cur, args.obs_tax_threshold)
     lines += tax_lines
     failures += tax_failures
+    simd_lines, simd_failures = simd_speedup(cur, args.simd_speedup_min)
+    lines += simd_lines
+    failures += simd_failures
     for line in lines:
         print(line)
 
