@@ -26,7 +26,8 @@ std::uint64_t time_key(util::Seconds t) {
 
 }  // namespace
 
-FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes)
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes,
+                             std::size_t shard)
     : plan_(std::move(plan)), seed_(seed) {
   for (const FaultSpec& f : plan_.faults) {
     if (f.kind == FaultKind::CellWeak || f.kind == FaultKind::CellOpen ||
@@ -37,6 +38,15 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nod
     }
   }
   util::Rng root = util::Rng::stream(seed, "fault");
+  if (shard > 0) {
+    // Per-shard fork, keyed on the shard index (not the shard count), so
+    // adding shards never perturbs the streams of existing ones — and the
+    // stateless hash draws get their own keyspace too. Shard 0 keeps the
+    // unsharded seed and stream bit-for-bit.
+    const std::string tag = "shard-" + std::to_string(shard);
+    root = root.fork(tag);
+    seed_ = seed ^ util::fnv1a(tag);
+  }
   nodes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     nodes_.emplace_back(root.fork("node-" + std::to_string(i)));

@@ -33,7 +33,11 @@ class FaultInjector {
  public:
   /// Validates the plan against the node count (e.g. cell_weak bank index
   /// in range). `seed` is the experiment seed the clean run already uses.
-  FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes);
+  /// `shard` forks the RNG root and the stateless-draw key per shard so a
+  /// sharded datacenter gets independent fault streams on every shard;
+  /// shard 0 is bit-identical to the historical unsharded injector.
+  FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t nodes,
+                std::size_t shard = 0);
 
   [[nodiscard]] bool active() const { return !plan_.empty(); }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }

@@ -14,6 +14,16 @@ void EnergyMeter::add(const RouteResult& route, util::Seconds dt) {
   }
 }
 
+void EnergyMeter::merge(const EnergyMeter& other) {
+  solar_available_ += other.solar_available_;
+  solar_to_load_ += other.solar_to_load_;
+  solar_to_charge_ += other.solar_to_charge_;
+  solar_curtailed_ += other.solar_curtailed_;
+  battery_to_load_ += other.battery_to_load_;
+  utility_used_ += other.utility_used_;
+  unmet_ += other.unmet_;
+}
+
 double EnergyMeter::solar_utilization() const {
   const double avail = solar_available_.value();
   if (avail <= 0.0) return 0.0;

@@ -28,6 +28,11 @@ class EnergyMeter {
   /// Fraction of available solar energy that reached load or storage.
   [[nodiscard]] double solar_utilization() const;
 
+  /// Folds another meter's accumulators into this one — the shard-merge
+  /// path (DESIGN.md §5h). Plain sums; merging into a zeroed meter is
+  /// bit-exact, so a 1-shard datacenter reproduces the unsharded totals.
+  void merge(const EnergyMeter& other);
+
   void save_state(snapshot::SnapshotWriter& w) const;
   void load_state(snapshot::SnapshotReader& r);
 

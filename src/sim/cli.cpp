@@ -9,6 +9,7 @@
 #include "core/lifetime.hpp"
 #include "obs/health.hpp"
 #include "obs/obs.hpp"
+#include "sim/datacenter.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
@@ -128,6 +129,17 @@ std::string cli_usage() {
          "                    sensor_noise:soc:0.03,pv_dropout:day=2:hours=4 or\n"
          "                    cell_weak:bank=1:capacity=0.8,probe_stale:p=0.01;\n"
          "                    repeatable; enables the degraded-mode telemetry guard\n"
+         "  --shards <n>      split the datacenter into n self-contained shards of\n"
+         "                    --nodes servers each, stepped in parallel; every\n"
+         "                    output byte is independent of the worker count, and\n"
+         "                    --shards 1 reproduces the unsharded run exactly\n"
+         "  --shard-workers <n>\n"
+         "                    worker threads stepping shards (default: BAAT_JOBS\n"
+         "                    env or all cores); never changes results\n"
+         "  --demand <spec>   request-level demand model replacing the fixed daily\n"
+         "                    job plan, e.g. users=2000000,requests=150,peak=14,\n"
+         "                    amplitude=0.6,spread=3,flash:day=5:mult=4:hours=2;\n"
+         "                    implies datacenter mode (one shard unless --shards)\n"
          "  --sweep-sunshine <f1,f2,...>\n"
          "                    sweep mode: one multi-day run per sunshine fraction,\n"
          "                    executed on the parallel sweep engine\n"
@@ -203,6 +215,22 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (a == "--faults") {
       fault::append_fault_plan(options.faults,
                                fault::parse_fault_plan(next("--faults")));
+    } else if (a == "--shards") {
+      const long v = parse_long(a, next("--shards"));
+      BAAT_REQUIRE(v > 0, "--shards must be positive");
+      BAAT_REQUIRE(v <= 4096, "--shards must be at most 4096");
+      options.shards = static_cast<std::size_t>(v);
+    } else if (a == "--shard-workers") {
+      const long v = parse_long(a, next("--shard-workers"));
+      BAAT_REQUIRE(v > 0, "--shard-workers must be positive");
+      options.shard_workers = static_cast<std::size_t>(v);
+    } else if (a == "--demand") {
+      if (!options.demand.empty()) {
+        throw util::PreconditionError(
+            "--demand given twice; put flash segments into one spec "
+            "(comma-separated) instead");
+      }
+      options.demand = workload::parse_demand_spec(next("--demand"));
     } else if (a == "--sweep-sunshine") {
       options.sweep_sunshine = parse_fraction_list(a, next("--sweep-sunshine"));
     } else if (a == "--jobs") {
@@ -274,6 +302,22 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   if (options.policy == core::PolicyKind::BaatPlanned && options.cycles_plan <= 0.0) {
     throw util::PreconditionError("--policy baat-planned requires --cycles-plan");
+  }
+  if (options.shard_workers > 0 && options.shards == 0 && options.demand.empty()) {
+    throw util::PreconditionError(
+        "--shard-workers only applies to datacenter mode (add --shards)");
+  }
+  if (options.shards > 0 || !options.demand.empty()) {
+    if (!options.sweep_sunshine.empty()) {
+      throw util::PreconditionError(
+          "--shards/--demand cannot combine with --sweep-sunshine; sweep points "
+          "are single clusters");
+    }
+    if (options.shards > 1 && !options.report_path.empty()) {
+      throw util::PreconditionError(
+          "--report renders a single cluster; it is not available with "
+          "--shards > 1");
+    }
   }
   if (!options.sweep_sunshine.empty()) {
     // Sweep checkpoints are whole completed points, not day boundaries: the
@@ -474,6 +518,153 @@ void run_sunshine_sweep(const CliOptions& options, const ScenarioConfig& cfg) {
   }
 }
 
+/// Datacenter mode (--shards / --demand): the sharded analogue of the
+/// single-run path below. Output parity is deliberate — at --shards 1 with
+/// no --demand, every stdout/CSV/series byte matches the unsharded engine,
+/// which the CI smoke test pins.
+int run_datacenter_cli(const CliOptions& options, const ScenarioConfig& cfg) {
+  obs::Registry& registry = obs::global_registry();
+  obs::TraceBuffer& trace = obs::global_trace();
+
+  DatacenterConfig dcfg;
+  dcfg.scenario = cfg;
+  dcfg.shards = options.shards == 0 ? 1 : options.shards;
+  dcfg.workers = options.shard_workers;
+  dcfg.demand = options.demand;
+
+  MultiDayOptions opts;
+  opts.days = options.days;
+  opts.sunshine_fraction = options.sunshine_fraction;
+  opts.probe_every_days = 30;
+  opts.checkpoint.every_days = options.checkpoint_every;
+  opts.checkpoint.dir = options.checkpoint_dir;
+  opts.checkpoint.resume_path = options.resume_path;
+  opts.checkpoint.config_hash = mix_hash(datacenter_fingerprint(dcfg, opts),
+                                         options.old_fleet ? 1 : 0);
+  opts.series.path = options.series_path;
+  opts.series.every = options.series_every;
+  opts.blackbox = options.blackbox;
+  opts.blackbox_dir = options.blackbox_dir;
+
+  Datacenter dc{dcfg};
+  if (options.old_fleet) {
+    for (std::size_t s = 0; s < dc.shard_count(); ++s) {
+      seed_aged_fleet(dc.shard(s), six_month_aged_state());
+    }
+  }
+
+  MultiDayResult run;
+  try {
+    run = run_datacenter_multi_day(dc, opts);
+  } catch (const obs::WatchdogError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    obs::set_trace_enabled(false);
+    obs::set_profiling_enabled(false);
+    util::set_sim_time(-1.0);
+    return 3;
+  }
+
+  if (!options.csv_path.empty()) {
+    util::CsvWriter csv{options.csv_path,
+                        {"day", "weather", "work", "worst_ah", "worst_low_soc_h",
+                         "downtime_h", "migrations", "dvfs"}};
+    for (std::size_t d = 0; d < run.days.size(); ++d) {
+      const DayResult& r = run.days[d];
+      csv.write_row({util::CsvWriter::cell(static_cast<double>(d)),
+                     std::string(solar::day_type_name(r.day_type)),
+                     util::CsvWriter::cell(r.throughput_work),
+                     util::CsvWriter::cell(r.nodes[r.worst_node()].ah_discharged.value()),
+                     util::CsvWriter::cell(r.worst_low_soc_time().value() / 3600.0),
+                     util::CsvWriter::cell(r.total_downtime().value() / 3600.0),
+                     util::CsvWriter::cell(static_cast<double>(r.migrations)),
+                     util::CsvWriter::cell(static_cast<double>(r.dvfs_transitions))});
+    }
+  }
+
+  std::printf("policy        : %s\n",
+              std::string(core::policy_kind_name(cfg.policy)).c_str());
+  if (!cfg.faults.empty()) {
+    std::printf("faults        : %s\n", cfg.faults.to_string().c_str());
+  }
+  // Topology/demand lines only when they deviate from the classic engine, so
+  // --shards 1 output stays byte-identical to the unsharded run.
+  if (dc.shard_count() > 1) {
+    std::printf("shards        : %zu x %zu nodes (%zu total)\n", dc.shard_count(),
+                cfg.nodes, dc.node_count());
+  }
+  if (!dcfg.demand.empty()) {
+    std::printf("demand        : %s\n", dcfg.demand.to_string().c_str());
+  }
+  std::printf("days          : %zu (sunshine %.2f, seed %llu%s)\n", options.days,
+              options.sunshine_fraction,
+              static_cast<unsigned long long>(options.seed),
+              options.old_fleet ? ", old fleet" : "");
+  std::printf("throughput    : %.2f M core-seconds\n", run.total_throughput / 1e6);
+  std::printf("fleet health  : mean %.4f, min %.4f\n", run.mean_health_end,
+              run.min_health_end);
+  const core::LifetimeEstimate life = core::extrapolate_lifetime(
+      1.0, run.min_health_end, static_cast<double>(options.days));
+  if (life.beyond_horizon) {
+    std::printf("worst battery : no end-of-life within the %.0f-day projection horizon\n",
+                life.days);
+  } else {
+    std::printf("worst battery : projected end-of-life in %.0f days\n", life.days);
+  }
+  for (const MonthlyProbe& p : run.monthly) {
+    std::printf("probe month %d : Vfull %.2f V, capacity %.1f%%, round-trip %.1f%%\n",
+                p.month, p.full_voltage, p.capacity_fraction * 100.0,
+                p.round_trip_efficiency * 100.0);
+  }
+  if (!options.report_path.empty()) {
+    // parse_cli only lets --report through at one shard.
+    ReportInputs report;
+    report.config = &cfg;
+    report.result = &run;
+    report.cluster = &dc.shard(0);
+    report.sunshine_fraction = options.sunshine_fraction;
+    report.registry = &registry;
+    report.trace = options.trace_path.empty() ? nullptr : &trace;
+    write_report(options.report_path, report);
+    std::printf("report        : %s\n", options.report_path.c_str());
+  }
+  if (!options.csv_path.empty()) {
+    std::printf("per-day CSV   : %s\n", options.csv_path.c_str());
+  }
+  if (!options.series_path.empty()) {
+    std::printf("series        : %s\n", options.series_path.c_str());
+  }
+
+  if (!options.metrics_path.empty()) {
+    // The shards' metrics live in their private registries; fold them into
+    // the caller's registry (shard order) for the export.
+    dc.merge_metrics_into(registry);
+    std::ofstream out{options.metrics_path};
+    if (!out) throw std::runtime_error("cannot open " + options.metrics_path);
+    if (ends_with(options.metrics_path, ".csv")) {
+      registry.write_csv(out);
+    } else {
+      registry.write_json(out);
+    }
+    std::printf("metrics       : %s\n", options.metrics_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    std::ofstream out{options.trace_path};
+    if (!out) throw std::runtime_error("cannot open " + options.trace_path);
+    if (ends_with(options.trace_path, ".jsonl")) {
+      trace.write_jsonl(out);
+    } else {
+      trace.write_chrome_trace(out);
+    }
+    std::printf("trace         : %s (%zu events, %zu dropped)\n",
+                options.trace_path.c_str(), trace.size(), trace.dropped());
+  }
+
+  obs::set_trace_enabled(false);
+  obs::set_profiling_enabled(false);
+  util::set_sim_time(-1.0);
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(const CliOptions& options) {
@@ -495,6 +686,10 @@ int run_cli(const CliOptions& options) {
   obs::set_profiling_enabled(!options.metrics_path.empty());
 
   const ScenarioConfig cfg = scenario_from_cli(options);
+
+  if (options.shards > 0 || !options.demand.empty()) {
+    return run_datacenter_cli(options, cfg);
+  }
 
   if (!options.sweep_sunshine.empty()) {
     run_sunshine_sweep(options, cfg);

@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 #include "util/logging.hpp"
+#include "workload/demand.hpp"
 
 namespace baat::sim {
 
@@ -38,6 +39,21 @@ struct CliOptions {
   /// Parsed --faults plan (repeatable flag; specs accumulate). Empty = clean
   /// run with byte-identical outputs to a build without the fault layer.
   fault::FaultPlan faults;
+
+  // --- sharded datacenter -------------------------------------------------
+  /// Shard count; 0 keeps the classic single-cluster engine. `--shards 1`
+  /// runs the datacenter engine and stays byte-identical to the unsharded
+  /// run (stdout, CSV, series, trace) — only the checkpoint container
+  /// format differs (sectioned vs flat).
+  std::size_t shards = 0;
+  /// Worker threads stepping shards; 0 = default_sweep_jobs(). Never
+  /// changes any output byte, only wall-clock time.
+  std::size_t shard_workers = 0;
+  /// Request-level demand model (--demand). Non-empty switches the daily
+  /// workload from the fixed six-job plan to per-shard schedules derived
+  /// from the model; implies datacenter mode (with one shard if --shards
+  /// was not given).
+  workload::DemandModel demand;
 
   // --- sweep mode ---------------------------------------------------------
   /// Sunshine fractions to sweep; non-empty switches run_cli into sweep

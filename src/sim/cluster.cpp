@@ -23,6 +23,13 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
                "dt must be in (0, 300] seconds");
   BAAT_REQUIRE(cfg_.day_start < cfg_.day_end, "day window must be non-empty");
 
+  // Sharded datacenters re-key every stream on the shard index; shard 0
+  // keeps the historical unsharded draws bit-for-bit, so a 1-shard
+  // datacenter reproduces a plain Cluster exactly.
+  if (cfg_.shard > 0) {
+    rng_ = util::Rng::stream(cfg_.seed, "shard-" + std::to_string(cfg_.shard));
+  }
+
   cfg_.bank.units = cfg_.nodes;
   util::Rng bank_rng = rng_.fork("bank");
   // One shared FleetState for the whole bank (same RNG draws as make_bank),
@@ -35,7 +42,7 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   // clean run takes exactly the code paths (and RNG draws) it always has.
   if (!cfg_.faults.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(cfg_.faults, cfg_.seed,
-                                                       cfg_.nodes);
+                                                       cfg_.nodes, cfg_.shard);
     injector_->apply_bank_faults(batteries_, cfg_.bank);
   }
   guard_ = core::TelemetryGuard{cfg_.guard, cfg_.nodes};
@@ -70,7 +77,10 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   obs_.dvfs_transitions = &reg.counter("sim.dvfs_transitions");
   obs_.days_run = &reg.counter("sim.days_run");
   for (std::size_t i = 0; i < cfg_.nodes; ++i) {
-    const std::string label = std::to_string(i);
+    // Label by *global* node index: per-shard registries are merged into
+    // one export, and shard-local labels would alias every shard's node 0
+    // onto the same gauge (last-write-wins would silently drop data).
+    const std::string label = std::to_string(cfg_.shard * cfg_.nodes + i);
     obs_.node_soc.push_back(&reg.gauge("node.soc", label));
     obs_.node_health.push_back(&reg.gauge("node.health", label));
   }
@@ -87,6 +97,15 @@ void Cluster::set_policy(core::PolicyKind kind) {
   std::iota(charge_priority_.begin(), charge_priority_.end(), std::size_t{0});
   charge_priority_explicit_ = false;
   discharge_floor_.clear();
+}
+
+void Cluster::set_daily_jobs(std::vector<JobSpec> jobs) {
+  BAAT_REQUIRE(vms_.empty() && pending_jobs_.empty(),
+               "daily jobs can only change at a day boundary");
+  BAAT_REQUIRE(!jobs.empty(), "daily job plan must not be empty");
+  cfg_.daily_jobs = std::move(jobs);
+  std::stable_sort(cfg_.daily_jobs.begin(), cfg_.daily_jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.arrival < b.arrival; });
 }
 
 void Cluster::save_state(snapshot::SnapshotWriter& w) const {
@@ -356,8 +375,9 @@ void Cluster::apply_actions(const core::Actions& actions, DayResult& result) {
 }
 
 DayResult Cluster::run_day(solar::DayType type) {
-  util::Rng day_rng = util::Rng::stream(
-      cfg_.seed, "solar-day-" + std::string(solar::day_type_name(type)));
+  std::string stream_name = "solar-day-" + std::string(solar::day_type_name(type));
+  if (cfg_.shard > 0) stream_name += "-shard-" + std::to_string(cfg_.shard);
+  util::Rng day_rng = util::Rng::stream(cfg_.seed, stream_name);
   for (long i = 0; i <= day_counter_; ++i) day_rng.next();
   return run_day(solar::SolarDay{cfg_.plant, type, day_rng});
 }

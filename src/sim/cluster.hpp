@@ -57,6 +57,11 @@ class Cluster {
   /// Swap the management policy between days (Fig 13's matched comparisons).
   void set_policy(core::PolicyKind kind);
 
+  /// Replace the daily job plan between days — the demand-model hook: a
+  /// sharded datacenter recomputes each shard's schedule every morning.
+  /// Only legal at a day boundary (no live VMs or queued jobs).
+  void set_daily_jobs(std::vector<JobSpec> jobs);
+
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t node_count() const { return batteries_.size(); }
   [[nodiscard]] const std::vector<battery::Battery>& batteries() const { return batteries_; }

@@ -58,11 +58,10 @@ std::string ledger_csv(const Cluster& cluster) {
   return csv;
 }
 
-/// Assemble and atomically publish a flight-recorder bundle. Best-effort by
-/// design: this runs while the run is dying, so failures are reported to
-/// stderr, never thrown over the original error.
-void dump_blackbox(Cluster& cluster, long day, const char* reason,
-                   const std::string& parent_dir, std::uint64_t config_hash) {
+}  // namespace
+
+void dump_cluster_blackbox(Cluster& cluster, long day, const char* reason,
+                           const std::string& parent_dir, std::uint64_t config_hash) {
   try {
     std::vector<obs::BlackboxFile> files;
 
@@ -106,7 +105,6 @@ void dump_blackbox(Cluster& cluster, long day, const char* reason,
   }
 }
 
-}  // namespace
 
 std::vector<solar::DayType> mixed_weather(std::size_t days, std::size_t sunny,
                                           std::size_t cloudy, std::size_t rainy) {
@@ -199,7 +197,7 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
   } hook_guard{options.blackbox};
   if (options.blackbox) {
     obs::set_crash_dump_hook([&cluster, &blackbox_day, &options, &ckpt](const char* reason) {
-      dump_blackbox(cluster, blackbox_day, reason, options.blackbox_dir, ckpt.config_hash);
+      dump_cluster_blackbox(cluster, blackbox_day, reason, options.blackbox_dir, ckpt.config_hash);
     });
   }
 
@@ -213,7 +211,7 @@ MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options) {
       // The watchdog tripped or the day loop died some other way: ship the
       // flight-recorder bundle, then let the error propagate untouched.
       if (options.blackbox) {
-        dump_blackbox(cluster, static_cast<long>(d), e.what(), options.blackbox_dir,
+        dump_cluster_blackbox(cluster, static_cast<long>(d), e.what(), options.blackbox_dir,
                       ckpt.config_hash);
       }
       throw;

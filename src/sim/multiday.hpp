@@ -54,6 +54,14 @@ struct MultiDayOptions {
 
 MultiDayResult run_multi_day(Cluster& cluster, const MultiDayOptions& options);
 
+/// Assemble and atomically publish a flight-recorder bundle for one cluster
+/// (DESIGN.md §5g). Best-effort by design: this runs while a simulation is
+/// dying, so failures go to stderr and are never thrown over the original
+/// error. Shared by the single-cluster day loop and the sharded datacenter
+/// loop (which dumps the failing shard).
+void dump_cluster_blackbox(Cluster& cluster, long day, const char* reason,
+                           const std::string& parent_dir, std::uint64_t config_hash);
+
 /// Fingerprint of everything that shapes a run's trajectory (scenario knobs,
 /// fault plan, math tier, weather/probe options). Stamped into snapshot
 /// headers so resuming under a different scenario fails loudly instead of

@@ -37,6 +37,23 @@ Seconds DayResult::worst_critical_soc_time() const {
   return t;
 }
 
+DayResult merge_day_results(const std::vector<DayResult>& shards) {
+  BAAT_REQUIRE(!shards.empty(), "merge_day_results needs at least one shard");
+  DayResult out;
+  out.day_type = shards.front().day_type;
+  for (const DayResult& s : shards) {
+    out.solar_energy += s.solar_energy;
+    out.throughput_work += s.throughput_work;
+    out.jobs_finished += s.jobs_finished;
+    out.migrations += s.migrations;
+    out.dvfs_transitions += s.dvfs_transitions;
+    out.nodes.insert(out.nodes.end(), s.nodes.begin(), s.nodes.end());
+    out.meter.merge(s.meter);
+    out.soc_histogram.merge(s.soc_histogram);
+  }
+  return out;
+}
+
 namespace {
 
 void save_metrics(snapshot::SnapshotWriter& w, const telemetry::AgingMetrics& m) {

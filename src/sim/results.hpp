@@ -56,6 +56,13 @@ struct DayResult {
   [[nodiscard]] Seconds worst_critical_soc_time() const;
 };
 
+/// Fold per-shard day results into one datacenter-wide DayResult
+/// (DESIGN.md §5h): node stats concatenate in shard order (global node
+/// index = shard * nodes_per_shard + local index), scalars and meters sum,
+/// histograms merge bucket-wise. All sums start from zero, so a 1-shard
+/// merge is bit-identical to the shard's own result.
+[[nodiscard]] DayResult merge_day_results(const std::vector<DayResult>& shards);
+
 /// One monthly instrumented measurement (Figs 3–5).
 struct MonthlyProbe {
   int month = 0;               ///< months since deployment, 1-based

@@ -58,6 +58,11 @@ struct ScenarioConfig {
   Seconds migration_pause{90.0};               ///< VM stop-and-copy downtime
   double brownout_restart_soc = 0.35;          ///< restart a downed node above this
   std::uint64_t seed = 42;
+  /// Shard index inside a sharded datacenter (DESIGN.md §5h). Shard 0 draws
+  /// the historical unsharded RNG streams bit-for-bit; shard i > 0 re-keys
+  /// every stream on "shard-i" so shards evolve independently of how many
+  /// siblings exist.
+  std::size_t shard = 0;
 
   /// Jobs deployed each day; empty ⇒ the default six-workload mix.
   std::vector<JobSpec> daily_jobs;

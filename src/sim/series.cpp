@@ -1,5 +1,6 @@
 #include "sim/series.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -105,6 +106,43 @@ void SeriesWriter::write_day(long day, const Cluster& cluster, const DayResult& 
                 : csv_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
                           roll.efc, roll.low_soc_dwell_s, score,
                           result.throughput_work));
+  out_.flush();
+}
+
+void SeriesWriter::write_day(long day, const std::vector<const Cluster*>& shards,
+                             const DayResult& merged) {
+  if (!active()) return;
+  ensure_open();
+  if (!jsonl_ && !header_written_) {
+    append(kCsvHeader);
+    header_written_ = true;
+  }
+
+  std::size_t global = 0;
+  for (const Cluster* shard : shards) {
+    const double score = shard->watchdog().log().score();
+    for (std::size_t i = 0; i < shard->node_count(); ++i, ++global) {
+      const battery::CellLedgerEntry e = shard->node_ledger_delta(i);
+      const NodeDayStats& n = merged.nodes[global];
+      const std::string label = std::to_string(global);
+      append(jsonl_ ? jsonl_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+                                e.low_soc_dwell_s, score, merged.throughput_work)
+                    : csv_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+                              e.low_soc_dwell_s, score, merged.throughput_work));
+    }
+  }
+  battery::LedgerRollup roll;
+  double worst_score = shards.front()->watchdog().log().score();
+  for (const Cluster* shard : shards) {
+    roll += shard->ledger_rollup(false);
+    worst_score = std::min(worst_score, shard->watchdog().log().score());
+  }
+  append(jsonl_ ? jsonl_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+                            roll.efc, roll.low_soc_dwell_s, worst_score,
+                            merged.throughput_work)
+                : csv_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+                          roll.efc, roll.low_soc_dwell_s, worst_score,
+                          merged.throughput_work));
   out_.flush();
 }
 

@@ -45,6 +45,14 @@ class SeriesWriter {
   /// afterwards so the next emission's deltas cover the next window.
   void write_day(long day, const Cluster& cluster, const DayResult& result);
 
+  /// Sharded-datacenter variant: per-node rows walk the shards in shard
+  /// order with *global* node labels, each row scored by its owning shard's
+  /// watchdog; the rollup row sums the shard ledgers and reports the worst
+  /// (minimum) shard score. At one shard this is byte-identical to the
+  /// single-cluster overload. `merged` is the day's merged DayResult.
+  void write_day(long day, const std::vector<const Cluster*>& shards,
+                 const DayResult& merged);
+
   /// Checkpoint round-trip of the emitted text (not the path/cadence —
   /// those come from the CLI flags, which resume must repeat).
   void save_state(snapshot::SnapshotWriter& w) const;

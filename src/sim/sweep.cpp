@@ -12,34 +12,66 @@
 
 namespace baat::sim {
 
-namespace {
-
-/// RAII bracket installing a job's private obs sinks on the current thread
-/// and restoring whatever was there before (so inline execution at
-/// --jobs 1 leaves the caller's sinks exactly as found).
-class JobSinkScope {
- public:
-  JobSinkScope(obs::Registry* registry, obs::TraceBuffer* trace,
-               util::LogSink* log_sink)
-      : prev_registry_(obs::set_thread_registry(registry)),
-        prev_trace_(obs::set_thread_trace(trace)),
-        prev_log_sink_(util::set_thread_log_sink(log_sink)),
-        prev_sim_time_(util::sim_time()) {}
-  JobSinkScope(const JobSinkScope&) = delete;
-  JobSinkScope& operator=(const JobSinkScope&) = delete;
-  ~JobSinkScope() {
-    obs::set_thread_registry(prev_registry_);
-    obs::set_thread_trace(prev_trace_);
-    util::set_thread_log_sink(prev_log_sink_);
-    util::set_sim_time(prev_sim_time_);
+WorkerPool::WorkerPool(std::size_t workers) {
+  if (workers <= 1) return;
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
   }
+}
 
- private:
-  obs::Registry* prev_registry_;
-  obs::TraceBuffer* prev_trace_;
-  util::LogSink* prev_log_sink_;
-  double prev_sim_time_;
-};
+WorkerPool::~WorkerPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+    }
+    while (true) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  n_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = threads_.size();
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+namespace {
 
 void run_one(const SweepJob& job, std::size_t index, const SweepOptions& options,
              SweepResult& slot) {
@@ -81,7 +113,7 @@ void run_one(const SweepJob& job, std::size_t index, const SweepOptions& options
     slot.log_lines.emplace_back(level, line);
   };
   {
-    JobSinkScope sinks{&slot.metrics, &local_trace, &local_log};
+    ObsSinkScope sinks{&slot.metrics, &local_trace, &local_log};
     try {
       job.work();
       slot.ok = true;
@@ -141,27 +173,10 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
   std::size_t workers = options.jobs > 0 ? options.jobs : default_sweep_jobs();
   if (workers > n) workers = n;
 
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      run_one(jobs[i], i, options, results[i]);
-    }
-  } else {
-    // Fixed-size pool over an atomic work index. Each slot is written by
-    // exactly one worker and read only after join, so no further
-    // synchronisation is needed.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        run_one(jobs[i], i, options, results[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  // Each slot is written by exactly one worker and read only after run()
+  // returns, so no synchronisation beyond the pool's own barrier is needed.
+  WorkerPool pool{workers};
+  pool.run(n, [&](std::size_t i) { run_one(jobs[i], i, options, results[i]); });
 
   if (options.merge_obs) {
     // Job-index order makes the merged exports independent of completion

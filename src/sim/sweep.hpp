@@ -19,9 +19,14 @@
 //    job traces into the caller's active trace, and job log lines replayed
 //    to the caller's log sink — all in job-index order.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -31,8 +36,81 @@
 #include "snapshot/serialize.hpp"
 #include "util/logging.hpp"
 #include "util/require.hpp"
+#include "util/sim_clock.hpp"
 
 namespace baat::sim {
+
+/// RAII bracket installing a job's private obs sinks on the current thread
+/// and restoring whatever was there before (so inline execution at
+/// --jobs 1 / --shard-workers 1 leaves the caller's sinks exactly as
+/// found). Shared by the sweep engine's per-job sandboxes and the
+/// datacenter's per-shard sandboxes.
+class ObsSinkScope {
+ public:
+  ObsSinkScope(obs::Registry* registry, obs::TraceBuffer* trace,
+               util::LogSink* log_sink)
+      : prev_registry_(obs::set_thread_registry(registry)),
+        prev_trace_(obs::set_thread_trace(trace)),
+        prev_log_sink_(util::set_thread_log_sink(log_sink)),
+        prev_sim_time_(util::sim_time()) {}
+  ObsSinkScope(const ObsSinkScope&) = delete;
+  ObsSinkScope& operator=(const ObsSinkScope&) = delete;
+  ~ObsSinkScope() {
+    obs::set_thread_registry(prev_registry_);
+    obs::set_thread_trace(prev_trace_);
+    util::set_thread_log_sink(prev_log_sink_);
+    util::set_sim_time(prev_sim_time_);
+  }
+
+ private:
+  obs::Registry* prev_registry_;
+  obs::TraceBuffer* prev_trace_;
+  util::LogSink* prev_log_sink_;
+  double prev_sim_time_;
+};
+
+/// Persistent fixed-size thread pool: spawn once, dispatch many index
+/// batches. run(n, fn) hands indices 0..n-1 to the workers through an
+/// atomic cursor and blocks until all are done — the shape the datacenter
+/// needs when it steps the same shards thousands of times (a thread-per-day
+/// pool would pay spawn cost every simulated day). Constructed with
+/// `workers <= 1` it owns no threads and run() executes inline on the
+/// caller, which keeps thread-local obs sinks trivially correct in the
+/// serial case.
+///
+/// `fn` must not throw — callers catch inside the callback and surface
+/// failures through their own slots (see run_sweep / Datacenter).
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of execution lanes (1 when running inline).
+  [[nodiscard]] std::size_t workers() const {
+    return threads_.empty() ? 1 : threads_.size();
+  }
+
+  /// Runs fn(0) … fn(n-1), blocking until every call returned. The caller
+  /// thread never executes fn when the pool owns threads, so fn may freely
+  /// install thread-local state without touching the caller's.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
 
 struct SweepOptions {
   /// Worker threads; 0 means default_sweep_jobs() (BAAT_JOBS env override,

@@ -1,0 +1,292 @@
+#include "workload/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <numbers>
+#include <sstream>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace baat::workload {
+
+namespace {
+
+/// One job absorbs this many requests per day — the knob that maps a user
+/// population onto a sane per-shard job count. 25M requests/job/day keeps
+/// the paper's 6-server prototype at ~6 jobs for a million-user shard.
+constexpr double kRequestsPerJob = 2.5e7;
+
+/// Intensity is integrated on this grid (15-minute resolution) — fine
+/// enough to resolve a 1-hour flash crowd, coarse enough to stay cheap.
+constexpr int kGridSteps = 96;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos == std::string::npos ? std::string::npos
+                                                           : pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& spec, const std::string& field,
+                    const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size() || !std::isfinite(v)) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw util::PreconditionError("demand spec '" + spec + "': " + field +
+                                  " needs a finite number, got '" + value + "'");
+  }
+}
+
+/// Key=value fields of one item (same shape as the --faults parser).
+struct Fields {
+  const std::string& spec;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const std::string& require(const std::string& key) const {
+    const std::string* v = find(key);
+    if (v == nullptr) {
+      throw util::PreconditionError("demand spec '" + spec + "': missing required field '" +
+                                    key + "='");
+    }
+    return *v;
+  }
+
+  void reject_unknown(std::initializer_list<const char*> known) const {
+    for (const auto& [k, v] : kv) {
+      const bool ok = std::any_of(known.begin(), known.end(),
+                                  [&k](const char* name) { return k == name; });
+      if (!ok) {
+        throw util::PreconditionError("demand spec '" + spec + "': unknown field '" + k +
+                                      "'");
+      }
+    }
+  }
+};
+
+Fields key_values(const std::string& spec, const std::vector<std::string>& parts,
+                  std::size_t from) {
+  Fields f{spec, {}};
+  for (std::size_t i = from; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw util::PreconditionError("demand spec '" + spec + "': expected key=value, got '" +
+                                    parts[i] + "'");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    if (f.find(key) != nullptr) {
+      throw util::PreconditionError("demand spec '" + spec + "': duplicate field '" + key +
+                                    "'");
+    }
+    f.kv.emplace_back(key, parts[i].substr(eq + 1));
+  }
+  return f;
+}
+
+FlashCrowd parse_flash(const std::string& item) {
+  const std::vector<std::string> parts = split(item, ':');
+  const Fields kv = key_values(item, parts, 1);
+  kv.reject_unknown({"day", "mult", "hour", "hours"});
+  FlashCrowd f;
+  const double day = parse_number(item, "day", kv.require("day"));
+  BAAT_REQUIRE(day >= 0.0 && day == std::floor(day) && day <= 1e6,
+               "demand spec '" + item + "': day must be a non-negative integer");
+  f.day = static_cast<long>(day);
+  f.mult = parse_number(item, "mult", kv.require("mult"));
+  BAAT_REQUIRE(f.mult > 1.0 && f.mult <= 1000.0,
+               "demand spec '" + item + "': mult must be in (1, 1000]");
+  if (const std::string* hour = kv.find("hour")) {
+    f.hour = parse_number(item, "hour", *hour);
+    BAAT_REQUIRE(f.hour >= 0.0 && f.hour < 24.0,
+                 "demand spec '" + item + "': hour must be in [0, 24)");
+  }
+  if (const std::string* hours = kv.find("hours")) {
+    f.hours = parse_number(item, "hours", *hours);
+    BAAT_REQUIRE(f.hours > 0.0 && f.hours <= 24.0,
+                 "demand spec '" + item + "': hours must be in (0, 24]");
+  }
+  return f;
+}
+
+std::string trimmed_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+DemandModel parse_demand_spec(const std::string& spec) {
+  BAAT_REQUIRE(!spec.empty(), "--demand needs a demand spec");
+  DemandModel m;
+  bool seen_users = false;
+  bool seen_requests = false;
+  bool seen_peak = false;
+  bool seen_amplitude = false;
+  bool seen_spread = false;
+  bool seen_cap = false;
+  for (const std::string& item : split(spec, ',')) {
+    BAAT_REQUIRE(!item.empty(), "demand spec contains an empty item (stray comma?)");
+    if (item.rfind("flash", 0) == 0 &&
+        (item.size() == 5 || item[5] == ':')) {
+      m.flashes.push_back(parse_flash(item));
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw util::PreconditionError("demand spec '" + item + "': expected key=value or "
+                                    "flash:day=<d>:mult=<m>[:hour=<h>][:hours=<len>]");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    auto once = [&item](bool& seen, const std::string& k) {
+      if (seen) {
+        throw util::PreconditionError("demand spec '" + item + "': duplicate field '" + k +
+                                      "'");
+      }
+      seen = true;
+    };
+    if (key == "users") {
+      once(seen_users, key);
+      const double users = parse_number(item, "users", value);
+      BAAT_REQUIRE(users >= 1.0 && users == std::floor(users) && users <= 1e10,
+                   "demand spec '" + item + "': users must be an integer in [1, 1e10]");
+      m.users = static_cast<std::uint64_t>(users);
+    } else if (key == "requests") {
+      once(seen_requests, key);
+      m.requests_per_user = parse_number(item, "requests", value);
+      BAAT_REQUIRE(m.requests_per_user > 0.0 && m.requests_per_user <= 1e6,
+                   "demand spec '" + item + "': requests must be in (0, 1e6]");
+    } else if (key == "peak") {
+      once(seen_peak, key);
+      m.peak_hour = parse_number(item, "peak", value);
+      BAAT_REQUIRE(m.peak_hour >= 0.0 && m.peak_hour < 24.0,
+                   "demand spec '" + item + "': peak must be in [0, 24)");
+    } else if (key == "amplitude") {
+      once(seen_amplitude, key);
+      m.amplitude = parse_number(item, "amplitude", value);
+      BAAT_REQUIRE(m.amplitude >= 0.0 && m.amplitude <= 1.0,
+                   "demand spec '" + item + "': amplitude must be in [0, 1]");
+    } else if (key == "spread") {
+      once(seen_spread, key);
+      m.region_spread_hours = parse_number(item, "spread", value);
+      BAAT_REQUIRE(m.region_spread_hours >= 0.0 && m.region_spread_hours <= 24.0,
+                   "demand spec '" + item + "': spread must be in [0, 24]");
+    } else if (key == "cap") {
+      once(seen_cap, key);
+      const double cap = parse_number(item, "cap", value);
+      BAAT_REQUIRE(cap >= 1.0 && cap == std::floor(cap) && cap <= 4096.0,
+                   "demand spec '" + item + "': cap must be an integer in [1, 4096]");
+      m.max_jobs = static_cast<std::size_t>(cap);
+    } else {
+      throw util::PreconditionError("demand spec '" + item + "': unknown field '" + key +
+                                    "' (users|requests|peak|amplitude|spread|cap|flash:...)");
+    }
+  }
+  if (!seen_users) {
+    throw util::PreconditionError("demand spec '" + spec +
+                                  "': missing required field 'users='");
+  }
+  return m;
+}
+
+std::string DemandModel::to_string() const {
+  if (empty()) return "";
+  std::ostringstream os;
+  os << "users=" << users << ",requests=" << trimmed_number(requests_per_user)
+     << ",peak=" << trimmed_number(peak_hour)
+     << ",amplitude=" << trimmed_number(amplitude)
+     << ",spread=" << trimmed_number(region_spread_hours) << ",cap=" << max_jobs;
+  for (const FlashCrowd& f : flashes) {
+    os << ",flash:day=" << f.day << ":mult=" << trimmed_number(f.mult)
+       << ":hour=" << trimmed_number(f.hour) << ":hours=" << trimmed_number(f.hours);
+  }
+  return os.str();
+}
+
+double DemandModel::intensity(std::size_t shard, std::size_t shards, long day,
+                              double hour) const {
+  BAAT_REQUIRE(shards >= 1 && shard < shards, "demand: shard index out of range");
+  // Shard-local clock: regions are staggered evenly across the spread.
+  const double offset =
+      shards > 1 ? region_spread_hours * static_cast<double>(shard) /
+                       static_cast<double>(shards)
+                 : 0.0;
+  const double local = hour + offset;
+  // Mean-1 diurnal swing: 1 + a·cos keeps the day's total request count
+  // independent of amplitude, so `users` alone sets the job budget.
+  double v = 1.0 + amplitude * std::cos(2.0 * std::numbers::pi *
+                                        (local - peak_hour) / 24.0);
+  // Flash crowds hit at absolute datacenter time, all regions at once.
+  for (const FlashCrowd& f : flashes) {
+    if (day == f.day && hour >= f.hour && hour < f.hour + f.hours) {
+      v *= f.mult;
+    }
+  }
+  return v;
+}
+
+std::vector<DemandJob> DemandModel::shard_day_jobs(std::size_t shard, std::size_t shards,
+                                                   long day) const {
+  if (empty()) return {};
+  BAAT_REQUIRE(shards >= 1 && shard < shards, "demand: shard index out of range");
+
+  // Integrate intensity over the day on a fixed grid: the mean sizes the
+  // job count, the cumulative sum places arrivals by inverse CDF.
+  double cum[kGridSteps + 1];
+  cum[0] = 0.0;
+  for (int g = 0; g < kGridSteps; ++g) {
+    const double hour = 24.0 * (static_cast<double>(g) + 0.5) /
+                        static_cast<double>(kGridSteps);
+    cum[g + 1] = cum[g] + intensity(shard, shards, day, hour);
+  }
+  const double total = cum[kGridSteps];
+  const double mean = total / static_cast<double>(kGridSteps);
+
+  const double shard_users = static_cast<double>(users) / static_cast<double>(shards);
+  const double raw = shard_users * requests_per_user * mean / kRequestsPerJob;
+  const double capped = std::min(std::max(std::round(raw), 1.0),
+                                 static_cast<double>(max_jobs));
+  const std::size_t jobs = static_cast<std::size_t>(capped);
+
+  std::vector<DemandJob> out;
+  out.reserve(jobs);
+  int g = 0;
+  for (std::size_t k = 0; k < jobs; ++k) {
+    // Arrival of job k at the quantile (k+0.5)/J of the day's cumulative
+    // intensity — jobs bunch where demand peaks. Targets are increasing,
+    // so the grid cursor only moves forward.
+    const double target =
+        total * (static_cast<double>(k) + 0.5) / static_cast<double>(jobs);
+    while (g < kGridSteps - 1 && cum[g + 1] < target) ++g;
+    const double step = cum[g + 1] - cum[g];
+    const double within = step > 0.0 ? (target - cum[g]) / step : 0.5;
+    const double frac = (static_cast<double>(g) + within) /
+                        static_cast<double>(kGridSteps);
+    DemandJob job;
+    job.kind = kAllKinds[(static_cast<std::size_t>(day) + 2 * shard + k) %
+                         std::size(kAllKinds)];
+    job.start_frac = std::min(std::max(frac, 0.0), 0.999);
+    out.push_back(job);
+  }
+  return out;
+}
+
+}  // namespace baat::workload

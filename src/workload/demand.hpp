@@ -1,0 +1,83 @@
+#pragma once
+
+// Request-level demand model (DESIGN.md §5h): millions of simulated users
+// mapped deterministically to per-shard daily job schedules.
+//
+// The six fixed workload generators (workload.hpp) model what one job
+// looks like; this layer models *how many* jobs a shard sees and *when*
+// they arrive. A `--demand` spec names a user population and a shape —
+// diurnal swing around a peak hour, optional flash-crowd events, and a
+// regional offset that staggers shards across time zones — and
+// `shard_day_jobs` turns that into a concrete job list for one shard-day.
+//
+// Everything here is a pure function of (spec, shard, shards, day): no
+// RNG, no global state. That is what makes sharded runs deterministic
+// under any worker count and invariant when shards are re-ordered across
+// workers — two calls with the same arguments always produce the same
+// schedule, no matter which thread asks.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace baat::workload {
+
+/// One flash-crowd event: demand multiplied by `mult` inside the window
+/// [hour, hour + hours) on `day`. Hours are absolute datacenter time, not
+/// shard-local time — a flash crowd (breaking news, product launch) hits
+/// every region at the same instant.
+struct FlashCrowd {
+  long day = 0;
+  double mult = 2.0;
+  double hour = 12.0;
+  double hours = 2.0;
+};
+
+/// One scheduled job: which generator to instantiate and where in the day
+/// window it arrives (fraction of the window, so the sim layer can map it
+/// onto its own day start/end without this layer knowing about clocks).
+struct DemandJob {
+  Kind kind;
+  double start_frac = 0.0;
+};
+
+/// Parsed `--demand` spec. Default-constructed (users == 0) means "no
+/// demand model": the cluster keeps its six fixed default jobs.
+struct DemandModel {
+  std::uint64_t users = 0;          ///< total simulated users (0 = inactive)
+  double requests_per_user = 150.0; ///< requests per user per day
+  double peak_hour = 14.0;          ///< diurnal peak, shard-local hours
+  double amplitude = 0.6;           ///< diurnal swing in [0, 1]
+  double region_spread_hours = 0.0; ///< shards staggered across this many hours
+  std::size_t max_jobs = 64;        ///< per-shard-day job cap
+  std::vector<FlashCrowd> flashes;
+
+  [[nodiscard]] bool empty() const { return users == 0; }
+
+  /// Canonical spec string; parse_demand_spec(to_string()) round-trips.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Relative demand intensity for `shard` of `shards` at `hour` (absolute
+  /// datacenter hours in [0, 24)) on `day`. Mean over a day is 1.0 before
+  /// flash crowds.
+  [[nodiscard]] double intensity(std::size_t shard, std::size_t shards, long day,
+                                 double hour) const;
+
+  /// The job schedule for one shard-day: job kinds and fractional start
+  /// times in [0, 1) of the day window, arrival-sorted. Empty model yields
+  /// an empty schedule (caller keeps its defaults).
+  [[nodiscard]] std::vector<DemandJob> shard_day_jobs(std::size_t shard, std::size_t shards,
+                                                      long day) const;
+};
+
+/// Parses a `--demand` spec, e.g.
+///   "users=2000000,requests=200,peak=14,amplitude=0.7,spread=8,
+///    flash:day=3:mult=5,flash:day=10:mult=3:hour=20:hours=1"
+/// Throws util::PreconditionError on any malformed field, mirroring the
+/// `--faults` grammar (fault.hpp).
+[[nodiscard]] DemandModel parse_demand_spec(const std::string& spec);
+
+}  // namespace baat::workload

@@ -1,0 +1,375 @@
+// Sharded-datacenter determinism suite (DESIGN.md §5h). The load-bearing
+// claims pinned here:
+//  * every result/metric/trace byte is independent of --shard-workers,
+//    clean and faulted, across all math tiers;
+//  * a 1-shard datacenter reproduces the unsharded Cluster bit-for-bit;
+//  * a shard's trajectory is keyed on its index, never the shard count or
+//    the worker permutation, so growing a datacenter never perturbs
+//    existing shards;
+//  * sectioned checkpoints round-trip to bit-identical continuations.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/experiment.hpp"
+#include "util/require.hpp"
+#include "util/sim_clock.hpp"
+
+namespace baat::sim {
+namespace {
+
+ScenarioConfig small_scenario(bool faulted = false,
+                              battery::MathMode math = battery::MathMode::Exact) {
+  ScenarioConfig cfg = prototype_scenario();
+  cfg.nodes = 3;
+  cfg.seed = 97;
+  cfg.bank.math = math;
+  if (faulted) {
+    cfg.faults = fault::parse_fault_plan(
+        "sensor_noise:soc:0.03,pv_dropout:day=1:hours=3,meter_glitch:p=0.02");
+    cfg.guard.enabled = true;
+  }
+  return cfg;
+}
+
+DatacenterConfig dc_config(std::size_t shards, std::size_t workers,
+                           const ScenarioConfig& scenario,
+                           const std::string& demand = "") {
+  DatacenterConfig cfg;
+  cfg.scenario = scenario;
+  cfg.shards = shards;
+  cfg.workers = workers;
+  if (!demand.empty()) cfg.demand = workload::parse_demand_spec(demand);
+  return cfg;
+}
+
+std::string day_bytes(const DayResult& d) {
+  snapshot::SnapshotWriter w;
+  save_state(w, d);
+  return std::string(w.bytes().begin(), w.bytes().end());
+}
+
+std::string multi_day_bytes(const MultiDayResult& r) {
+  snapshot::SnapshotWriter w;
+  save_state(w, r);
+  return std::string(w.bytes().begin(), w.bytes().end());
+}
+
+std::string shard_state_bytes(const Datacenter& dc, std::size_t i) {
+  snapshot::SnapshotWriter w;
+  dc.shard(i).save_state(w);
+  return std::string(w.bytes().begin(), w.bytes().end());
+}
+
+/// Run `days` simulated days and return (per-day result bytes, merged
+/// metrics JSON) — the full externally visible output of the run.
+std::pair<std::vector<std::string>, std::string> run_days(const DatacenterConfig& cfg,
+                                                          int days) {
+  util::set_sim_time(0.0);
+  Datacenter dc{cfg};
+  std::vector<std::string> out;
+  const solar::DayType pattern[] = {solar::DayType::Sunny, solar::DayType::Cloudy,
+                                    solar::DayType::Rainy};
+  for (int d = 0; d < days; ++d) {
+    out.push_back(day_bytes(dc.run_day(pattern[d % 3])));
+  }
+  obs::Registry merged;
+  dc.merge_metrics_into(merged);
+  return {out, merged.json()};
+}
+
+TEST(Datacenter, ValidatesConfig) {
+  DatacenterConfig cfg = dc_config(0, 1, small_scenario());
+  EXPECT_THROW(Datacenter{cfg}, util::PreconditionError);
+  cfg.shards = 2;
+  cfg.scenario.shard = 1;  // the datacenter stamps shard indices itself
+  EXPECT_THROW(Datacenter{cfg}, util::PreconditionError);
+}
+
+TEST(Datacenter, NodeCountTotalsShards) {
+  Datacenter dc{dc_config(4, 1, small_scenario())};
+  EXPECT_EQ(dc.shard_count(), 4u);
+  EXPECT_EQ(dc.node_count(), 12u);
+  EXPECT_EQ(dc.shard_ptrs().size(), 4u);
+}
+
+TEST(Datacenter, WorkerCountNeverChangesResultsClean) {
+  const auto base = run_days(dc_config(4, 1, small_scenario()), 3);
+  for (std::size_t workers : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const auto got = run_days(dc_config(4, workers, small_scenario()), 3);
+    EXPECT_EQ(base.first, got.first) << workers << " workers changed day results";
+    EXPECT_EQ(base.second, got.second) << workers << " workers changed metrics";
+  }
+}
+
+TEST(Datacenter, WorkerCountNeverChangesResultsFaulted) {
+  const auto base = run_days(dc_config(3, 1, small_scenario(true)), 3);
+  for (std::size_t workers : {std::size_t{3}, std::size_t{8}}) {
+    const auto got = run_days(dc_config(3, workers, small_scenario(true)), 3);
+    EXPECT_EQ(base.first, got.first);
+    EXPECT_EQ(base.second, got.second);
+  }
+}
+
+TEST(Datacenter, WorkerCountNeverChangesResultsFastMath) {
+  const auto base = run_days(dc_config(3, 1, small_scenario(false, battery::MathMode::Fast)), 2);
+  const auto got = run_days(dc_config(3, 4, small_scenario(false, battery::MathMode::Fast)), 2);
+  EXPECT_EQ(base.first, got.first);
+  EXPECT_EQ(base.second, got.second);
+}
+
+TEST(Datacenter, WorkerCountNeverChangesResultsSimdMath) {
+  const auto base = run_days(dc_config(3, 1, small_scenario(false, battery::MathMode::Simd)), 2);
+  const auto got = run_days(dc_config(3, 4, small_scenario(false, battery::MathMode::Simd)), 2);
+  EXPECT_EQ(base.first, got.first);
+  EXPECT_EQ(base.second, got.second);
+}
+
+TEST(Datacenter, WorkerCountNeverChangesResultsWithDemand) {
+  const std::string demand =
+      "users=4000000,amplitude=0.7,spread=4,flash:day=1:mult=5:hours=2";
+  const auto base = run_days(dc_config(4, 1, small_scenario(), demand), 3);
+  for (std::size_t workers : {std::size_t{4}, std::size_t{8}}) {
+    const auto got = run_days(dc_config(4, workers, small_scenario(), demand), 3);
+    EXPECT_EQ(base.first, got.first);
+    EXPECT_EQ(base.second, got.second);
+  }
+}
+
+TEST(Datacenter, WorkerCountNeverChangesTrace) {
+  const auto traced = [](std::size_t workers) {
+    util::set_sim_time(0.0);
+    obs::Registry registry;
+    obs::TraceBuffer trace{4096};
+    util::LogSink sink = [](util::LogLevel, const std::string&) {};
+    ObsSinkScope scope{&registry, &trace, &sink};
+    obs::set_trace_enabled(true);
+    Datacenter dc{dc_config(3, workers, small_scenario(true))};
+    dc.run_day(solar::DayType::Cloudy);
+    dc.run_day(solar::DayType::Sunny);
+    obs::set_trace_enabled(false);
+    std::ostringstream out;
+    trace.write_jsonl(out);
+    return out.str();
+  };
+  const std::string base = traced(1);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, traced(4));
+  EXPECT_EQ(base, traced(8));
+}
+
+TEST(Datacenter, OneShardMatchesUnshardedClusterExactly) {
+  util::set_sim_time(0.0);
+  ScenarioConfig cfg = small_scenario(true);
+  Cluster cluster{cfg};
+  std::vector<std::string> single;
+  for (auto t : {solar::DayType::Sunny, solar::DayType::Rainy, solar::DayType::Cloudy}) {
+    single.push_back(day_bytes(cluster.run_day(t)));
+  }
+  util::set_sim_time(0.0);
+  Datacenter dc{dc_config(1, 4, cfg)};
+  std::vector<std::string> sharded;
+  for (auto t : {solar::DayType::Sunny, solar::DayType::Rainy, solar::DayType::Cloudy}) {
+    sharded.push_back(day_bytes(dc.run_day(t)));
+  }
+  EXPECT_EQ(single, sharded);
+  // Final fleet state is bit-identical too.
+  snapshot::SnapshotWriter w;
+  cluster.save_state(w);
+  EXPECT_EQ(std::string(w.bytes().begin(), w.bytes().end()), shard_state_bytes(dc, 0));
+}
+
+TEST(Datacenter, ShardTrajectoriesAreKeyedOnIndexNotShardCount) {
+  // Growing the datacenter must never perturb existing shards: shards 0 and
+  // 1 of a 2-shard and a 4-shard datacenter evolve bit-identically.
+  util::set_sim_time(0.0);
+  Datacenter two{dc_config(2, 2, small_scenario())};
+  two.run_day(solar::DayType::Sunny);
+  two.run_day(solar::DayType::Cloudy);
+  util::set_sim_time(0.0);
+  Datacenter four{dc_config(4, 3, small_scenario())};
+  four.run_day(solar::DayType::Sunny);
+  four.run_day(solar::DayType::Cloudy);
+  EXPECT_EQ(shard_state_bytes(two, 0), shard_state_bytes(four, 0));
+  EXPECT_EQ(shard_state_bytes(two, 1), shard_state_bytes(four, 1));
+}
+
+TEST(Datacenter, ShardsEvolveIndependently) {
+  // Distinct shards re-key every stream, so identical scenarios still
+  // produce distinct trajectories (no accidental stream sharing).
+  util::set_sim_time(0.0);
+  Datacenter dc{dc_config(3, 1, small_scenario())};
+  dc.run_day(solar::DayType::Cloudy);
+  EXPECT_NE(shard_state_bytes(dc, 0), shard_state_bytes(dc, 1));
+  EXPECT_NE(shard_state_bytes(dc, 1), shard_state_bytes(dc, 2));
+}
+
+TEST(Datacenter, MergedGaugesCarryGlobalNodeIndices) {
+  // Regression: node gauges used to be labelled with the shard-local index,
+  // so every shard's node 0 aliased onto one gauge at merge time.
+  util::set_sim_time(0.0);
+  Datacenter dc{dc_config(2, 1, small_scenario())};
+  dc.run_day(solar::DayType::Sunny);
+  obs::Registry merged;
+  dc.merge_metrics_into(merged);
+  const std::string json = merged.json();
+  for (const char* label : {"node.soc{0}", "node.soc{1}", "node.soc{2}",
+                            "node.soc{3}", "node.soc{4}", "node.soc{5}"}) {
+    EXPECT_NE(json.find(label), std::string::npos)
+        << "missing global node gauge " << label;
+  }
+}
+
+TEST(Datacenter, DemandInstallsPerShardSchedules) {
+  util::set_sim_time(0.0);
+  Datacenter dc{dc_config(2, 1, small_scenario(), "users=4000000,cap=8,spread=6")};
+  const DayResult r = dc.run_day(solar::DayType::Sunny);
+  EXPECT_GT(r.jobs_finished, 0);
+  util::set_sim_time(0.0);
+  Datacenter fixed{dc_config(2, 1, small_scenario())};
+  const DayResult f = fixed.run_day(solar::DayType::Sunny);
+  // The demand-driven plan deviates from the fixed six-job plan.
+  EXPECT_NE(day_bytes(r), day_bytes(f));
+}
+
+TEST(Datacenter, ShardSectionsRoundTripToBitIdenticalContinuation) {
+  const std::string path = testing::TempDir() + "dc_sections_roundtrip.snap";
+  const auto run_split = [&](int before, int after) {
+    util::set_sim_time(0.0);
+    Datacenter dc{dc_config(3, 2, small_scenario(true))};
+    for (int d = 0; d < before; ++d) dc.run_day(solar::DayType::Sunny);
+    {
+      snapshot::SectionFileWriter out(path, 1234, dc.shard_count());
+      dc.save_shard_sections(out);
+      out.commit();
+    }
+    util::set_sim_time(0.0);
+    Datacenter fresh{dc_config(3, 4, small_scenario(true))};
+    snapshot::SectionFileReader in(path, 1234);
+    fresh.load_shard_sections(in);
+    in.finish();
+    fresh.resume_at_day(before);
+    util::set_sim_time(before * 86400.0);
+    std::string last;
+    for (int d = 0; d < after; ++d) last = day_bytes(fresh.run_day(solar::DayType::Cloudy));
+    return last;
+  };
+  const std::string resumed = run_split(2, 2);
+  util::set_sim_time(0.0);
+  Datacenter straight{dc_config(3, 2, small_scenario(true))};
+  straight.run_day(solar::DayType::Sunny);
+  straight.run_day(solar::DayType::Sunny);
+  straight.run_day(solar::DayType::Cloudy);
+  const std::string direct = day_bytes(straight.run_day(solar::DayType::Cloudy));
+  EXPECT_EQ(resumed, direct);
+  std::remove(path.c_str());
+}
+
+TEST(DatacenterMultiDay, ResultIndependentOfWorkers) {
+  const auto run = [](std::size_t workers) {
+    util::set_sim_time(0.0);
+    Datacenter dc{dc_config(3, workers, small_scenario())};
+    MultiDayOptions opts;
+    opts.days = 4;
+    opts.weather = mixed_weather(4, 2, 1, 1);
+    opts.probe_every_days = 2;
+    opts.blackbox = false;
+    return multi_day_bytes(run_datacenter_multi_day(dc, opts));
+  };
+  const std::string base = run(1);
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(8));
+}
+
+TEST(DatacenterMultiDay, CheckpointResumeIsBitIdentical) {
+  const std::string dir = testing::TempDir() + "dc_ckpt";
+  const std::string demand = "users=3000000,flash:day=3:mult=3:hours=2";
+  const auto make_opts = [] {
+    MultiDayOptions opts;
+    opts.days = 6;
+    opts.weather = mixed_weather(6, 3, 2, 1);
+    opts.probe_every_days = 3;
+    opts.blackbox = false;
+    return opts;
+  };
+  util::set_sim_time(0.0);
+  Datacenter full{dc_config(3, 2, small_scenario(true), demand)};
+  const std::string uninterrupted = multi_day_bytes(run_datacenter_multi_day(full, make_opts()));
+
+  util::set_sim_time(0.0);
+  Datacenter first{dc_config(3, 2, small_scenario(true), demand)};
+  MultiDayOptions opts = make_opts();
+  opts.checkpoint.every_days = 4;
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.config_hash = 77;
+  run_datacenter_multi_day(first, opts);
+
+  util::set_sim_time(0.0);
+  // Resume under a different worker count — results must not care.
+  Datacenter second{dc_config(3, 8, small_scenario(true), demand)};
+  MultiDayOptions resume = make_opts();
+  resume.checkpoint.resume_path = dir + "/checkpoint-day-4.snap";
+  resume.checkpoint.config_hash = 77;
+  const std::string resumed = multi_day_bytes(run_datacenter_multi_day(second, resume));
+  EXPECT_EQ(uninterrupted, resumed);
+}
+
+TEST(DatacenterMultiDay, ResumeRejectsShardCountMismatch) {
+  const std::string dir = testing::TempDir() + "dc_ckpt_mismatch";
+  util::set_sim_time(0.0);
+  Datacenter dc{dc_config(2, 1, small_scenario())};
+  MultiDayOptions opts;
+  opts.days = 4;
+  opts.weather = mixed_weather(4, 2, 1, 1);
+  opts.probe_every_days = 0;
+  opts.blackbox = false;
+  opts.checkpoint.every_days = 2;
+  opts.checkpoint.dir = dir;
+  run_datacenter_multi_day(dc, opts);
+
+  util::set_sim_time(0.0);
+  Datacenter other{dc_config(3, 1, small_scenario())};
+  MultiDayOptions resume = opts;
+  resume.checkpoint.every_days = 0;
+  resume.checkpoint.resume_path = dir + "/checkpoint-day-2.snap";
+  try {
+    run_datacenter_multi_day(other, resume);
+    FAIL() << "expected SnapshotError";
+  } catch (const snapshot::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("3-shard"), std::string::npos);
+  }
+}
+
+TEST(DatacenterFingerprint, TracksTopologyAndDemandButNotWorkers) {
+  MultiDayOptions opts;
+  opts.days = 5;
+  const std::uint64_t base = datacenter_fingerprint(dc_config(2, 1, small_scenario()), opts);
+  EXPECT_EQ(base, datacenter_fingerprint(dc_config(2, 16, small_scenario()), opts));
+  EXPECT_NE(base, datacenter_fingerprint(dc_config(3, 1, small_scenario()), opts));
+  EXPECT_NE(base,
+            datacenter_fingerprint(dc_config(2, 1, small_scenario(), "users=5"), opts));
+  EXPECT_NE(base, 0u);
+}
+
+TEST(Datacenter, SolarDaysSampledPerShardAreIndependent) {
+  util::set_sim_time(0.0);
+  Datacenter dc{dc_config(3, 1, small_scenario())};
+  const std::vector<solar::SolarDay> days = dc.sample_solar_days(solar::DayType::Cloudy);
+  ASSERT_EQ(days.size(), 3u);
+  // Shards see different clouds (independent solar streams) but the same
+  // day type; run_day accepts exactly one trace per shard.
+  EXPECT_THROW(dc.run_day(std::vector<solar::SolarDay>{days[0]}),
+               util::PreconditionError);
+  const DayResult r = dc.run_day(days);
+  EXPECT_EQ(r.nodes.size(), dc.node_count());
+}
+
+}  // namespace
+}  // namespace baat::sim

@@ -441,5 +441,58 @@ TEST(FaultMultiDay, StaleProbeRepeatsPreviousMeasurement) {
   EXPECT_DOUBLE_EQ(r.monthly[1].full_voltage, r.monthly[0].full_voltage);
 }
 
+// Regression: the injector used to derive its streams from the experiment
+// seed alone, so every shard of a sharded datacenter replayed the *same*
+// fault sequence — correlated noise across supposedly independent shards.
+TEST(FaultInjector, ShardForkDecorrelatesStreams) {
+  const FaultPlan plan = parse_fault_plan("sensor_noise:soc:0.05");
+  FaultInjector shard0{plan, 42, 2, 0};
+  FaultInjector shard1{plan, 42, 2, 1};
+  bool diverged = false;
+  // sensor_noise:soc skews the current channel (coulomb-counting attack).
+  for (int t = 1; t <= 32 && !diverged; ++t) {
+    diverged = shard0.perturb_reading(0, reading_at(t * 60.0)).current.value() !=
+               shard1.perturb_reading(0, reading_at(t * 60.0)).current.value();
+  }
+  EXPECT_TRUE(diverged) << "shard 1 replayed shard 0's fault stream";
+}
+
+TEST(FaultInjector, ShardZeroKeepsTheHistoricalStream) {
+  // shard = 0 must be bit-identical to the pre-shard injector (the default
+  // argument), so unsharded runs and sweep jobs reproduce old results.
+  const FaultPlan plan = parse_fault_plan("sensor_noise:soc:0.05");
+  FaultInjector legacy{plan, 42, 2};
+  FaultInjector shard0{plan, 42, 2, 0};
+  for (int t = 1; t <= 16; ++t) {
+    EXPECT_DOUBLE_EQ(legacy.perturb_reading(1, reading_at(t * 60.0)).current.value(),
+                     shard0.perturb_reading(1, reading_at(t * 60.0)).current.value());
+  }
+}
+
+TEST(FaultInjector, SameShardSameSeedIsReproducible) {
+  const FaultPlan plan = parse_fault_plan("sensor_noise:soc:0.05,meter_glitch:p=0.5");
+  FaultInjector a{plan, 7, 2, 3};
+  FaultInjector b{plan, 7, 2, 3};
+  for (int t = 1; t <= 16; ++t) {
+    EXPECT_DOUBLE_EQ(a.perturb_reading(0, reading_at(t * 60.0)).current.value(),
+                     b.perturb_reading(0, reading_at(t * 60.0)).current.value());
+    // The stateless hash draws must re-key on the shard too.
+    EXPECT_DOUBLE_EQ(a.meter_scale(0, util::Seconds{t * 60.0}),
+                     b.meter_scale(0, util::Seconds{t * 60.0}));
+  }
+}
+
+TEST(FaultInjector, StatelessDrawsDecorrelateAcrossShards) {
+  const FaultPlan plan = parse_fault_plan("meter_glitch:p=0.5:scale=0.4");
+  FaultInjector shard0{plan, 7, 2, 0};
+  FaultInjector shard2{plan, 7, 2, 2};
+  bool diverged = false;
+  for (int t = 1; t <= 64 && !diverged; ++t) {
+    diverged = shard0.meter_scale(0, util::Seconds{t * 60.0}) !=
+               shard2.meter_scale(0, util::Seconds{t * 60.0});
+  }
+  EXPECT_TRUE(diverged) << "meter-glitch hash draws ignore the shard";
+}
+
 }  // namespace
 }  // namespace baat

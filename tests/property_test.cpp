@@ -14,8 +14,11 @@
 #include "battery/step_math.hpp"
 #include "fault/fault.hpp"
 #include "power/router.hpp"
+#include "sim/datacenter.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
+#include "util/sim_clock.hpp"
+#include "workload/demand.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -624,6 +627,154 @@ TEST(FaultedAttribution, NodeLedgerReconcilesUnderFaults) {
     EXPECT_GE(t.low_soc_dwell_s, 0.0);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Sharded datacenter invariants: for ANY seed, shard count and worker count
+// the merged day result is bit-identical and additive over shards.
+// ---------------------------------------------------------------------------
+
+class DatacenterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string day_result_bytes(const sim::DayResult& r) {
+  snapshot::SnapshotWriter w;
+  save_state(w, r);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+long draw_int(util::Rng& rng, long lo, long hi) {  // uniform in [lo, hi]
+  return lo + static_cast<long>(rng.uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+TEST_P(DatacenterFuzz, WorkerCountNeverChangesTheMergedDay) {
+  util::Rng rng{GetParam()};
+  sim::DatacenterConfig cfg;
+  cfg.scenario = faulted_scenario(
+      kFaultClasses[draw_int(rng, 0, static_cast<long>(std::size(kFaultClasses)) - 1)],
+      GetParam());
+  cfg.shards = static_cast<std::size_t>(draw_int(rng, 1, 5));
+  cfg.demand = workload::parse_demand_spec(
+      "users=" + std::to_string(draw_int(rng, 1, 8) * 500000) +
+      ",requests=150,peak=" + std::to_string(draw_int(rng, 0, 23)) +
+      ",amplitude=0.5,spread=" + std::to_string(draw_int(rng, 0, 12)));
+  auto run_once = [&](std::size_t workers) {
+    util::set_sim_time(0.0);
+    cfg.workers = workers;
+    sim::Datacenter dc{cfg};
+    std::string bytes;
+    for (int d = 0; d < 2; ++d) {
+      bytes += day_result_bytes(dc.run_day(solar::DayType::Cloudy));
+    }
+    util::set_sim_time(-1.0);
+    return bytes;
+  };
+  const std::string serial = run_once(1);
+  EXPECT_EQ(serial, run_once(4));
+  EXPECT_EQ(serial, run_once(7));
+}
+
+TEST_P(DatacenterFuzz, MergedNodesConcatenateInShardIndexOrder) {
+  // Shard i's trajectory is keyed on i alone, never the shard count, so a
+  // 2-shard and a 4-shard datacenter agree on shards 0 and 1 — and the
+  // merged result must lay node stats out in shard-index order.
+  auto run = [&](std::size_t shards) {
+    sim::DatacenterConfig cfg;
+    cfg.scenario = faulted_scenario("", GetParam());
+    cfg.shards = shards;
+    cfg.workers = 1;
+    util::set_sim_time(0.0);
+    sim::Datacenter dc{cfg};
+    const sim::DayResult r = dc.run_day(solar::DayType::Sunny);
+    util::set_sim_time(-1.0);
+    return r;
+  };
+  const sim::DayResult two = run(2);
+  const sim::DayResult four = run(4);
+  const std::size_t per_shard = two.nodes.size() / 2;
+  ASSERT_EQ(four.nodes.size(), per_shard * 4);
+  for (std::size_t n = 0; n < 2 * per_shard; ++n) {
+    EXPECT_EQ(two.nodes[n].soc_end, four.nodes[n].soc_end);
+    EXPECT_EQ(two.nodes[n].health, four.nodes[n].health);
+    EXPECT_EQ(two.nodes[n].ah_discharged.value(), four.nodes[n].ah_discharged.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatacenterFuzz, ::testing::Values(11u, 12u, 13u, 14u));
+
+// ---------------------------------------------------------------------------
+// Demand model properties over randomized specs.
+// ---------------------------------------------------------------------------
+
+class DemandFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+workload::DemandModel random_demand(util::Rng& rng) {
+  workload::DemandModel m;
+  m.users = static_cast<std::uint64_t>(draw_int(rng, 1, 2000)) * 10000u;
+  m.requests_per_user = rng.uniform(1.0, 500.0);
+  m.peak_hour = rng.uniform(0.0, 24.0 - 1e-9);
+  m.amplitude = rng.uniform(0.0, 1.0);
+  m.region_spread_hours = rng.uniform(0.0, 24.0 - 1e-9);
+  m.max_jobs = static_cast<std::size_t>(draw_int(rng, 1, 256));
+  if (rng.bernoulli(0.5)) {
+    m.flashes.push_back({draw_int(rng, 0, 10), rng.uniform(1.0, 8.0),
+                         rng.uniform(0.0, 24.0 - 1e-9), rng.uniform(0.25, 6.0)});
+  }
+  return m;
+}
+
+TEST_P(DemandFuzz, CanonicalFormIsAParseFixedPoint) {
+  util::Rng rng{GetParam()};
+  for (int i = 0; i < 20; ++i) {
+    const workload::DemandModel m = random_demand(rng);
+    const workload::DemandModel reparsed = workload::parse_demand_spec(m.to_string());
+    EXPECT_EQ(reparsed.to_string(), m.to_string());
+  }
+}
+
+TEST_P(DemandFuzz, IntensityAveragesToOneBeforeFlashes) {
+  util::Rng rng{GetParam()};
+  for (int i = 0; i < 10; ++i) {
+    workload::DemandModel m = random_demand(rng);
+    m.flashes.clear();
+    const std::size_t shards = static_cast<std::size_t>(draw_int(rng, 1, 8));
+    const std::size_t shard =
+        static_cast<std::size_t>(draw_int(rng, 0, static_cast<long>(shards) - 1));
+    double sum = 0.0;
+    const int kSamples = 2400;
+    for (int k = 0; k < kSamples; ++k) {
+      const double hour = (k + 0.5) * 24.0 / kSamples;
+      const double v = m.intensity(shard, shards, 3, hour);
+      ASSERT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum / kSamples, 1.0, 1e-6);
+  }
+}
+
+TEST_P(DemandFuzz, SchedulesAreSortedBoundedAndPure) {
+  util::Rng rng{GetParam()};
+  for (int i = 0; i < 10; ++i) {
+    const workload::DemandModel m = random_demand(rng);
+    const std::size_t shards = static_cast<std::size_t>(draw_int(rng, 1, 6));
+    for (std::size_t s = 0; s < shards; ++s) {
+      const long day = draw_int(rng, 0, 12);
+      const std::vector<workload::DemandJob> jobs = m.shard_day_jobs(s, shards, day);
+      EXPECT_LE(jobs.size(), m.max_jobs);
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        ASSERT_GE(jobs[j].start_frac, 0.0);
+        ASSERT_LT(jobs[j].start_frac, 1.0);
+        if (j > 0) ASSERT_GE(jobs[j].start_frac, jobs[j - 1].start_frac);
+      }
+      const std::vector<workload::DemandJob> again = m.shard_day_jobs(s, shards, day);
+      ASSERT_EQ(again.size(), jobs.size());
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        EXPECT_EQ(again[j].start_frac, jobs[j].start_frac);
+        EXPECT_EQ(again[j].kind, jobs[j].kind);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandFuzz, ::testing::Values(21u, 22u, 23u));
 
 }  // namespace
 }  // namespace baat

@@ -301,5 +301,84 @@ TEST(Cli, TraceOutJsonlSuffixSwitchesFormat) {
   std::remove(o.metrics_path.c_str());
 }
 
+TEST(Cli, ParsesShardAndDemandFlags) {
+  const CliOptions o = parse_cli({"--shards", "8", "--shard-workers", "4", "--demand",
+                                  "users=2000000,spread=3"});
+  EXPECT_EQ(o.shards, 8u);
+  EXPECT_EQ(o.shard_workers, 4u);
+  EXPECT_EQ(o.demand.users, 2000000u);
+  EXPECT_DOUBLE_EQ(o.demand.region_spread_hours, 3.0);
+  // Defaults keep the classic engine.
+  const CliOptions d = parse_cli({});
+  EXPECT_EQ(d.shards, 0u);
+  EXPECT_TRUE(d.demand.empty());
+}
+
+TEST(Cli, RejectsBadShardValues) {
+  EXPECT_THROW(parse_cli({"--shards", "0"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--shards", "-2"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--shards", "5000"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--shards"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--shard-workers", "0"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--demand", "users=oops"}), util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--demand", ""}), util::PreconditionError);
+}
+
+TEST(Cli, ShardWorkersRequiresDatacenterMode) {
+  try {
+    parse_cli({"--shard-workers", "4"});
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--shards"), std::string::npos);
+  }
+  // --demand alone is datacenter mode (one shard), so workers are fine.
+  EXPECT_NO_THROW(parse_cli({"--demand", "users=5", "--shard-workers", "2"}));
+}
+
+TEST(Cli, DatacenterModeConflictsAreNamed) {
+  EXPECT_THROW(parse_cli({"--shards", "2", "--sweep-sunshine", "0.4,0.6"}),
+               util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--demand", "users=5", "--sweep-sunshine", "0.5"}),
+               util::PreconditionError);
+  EXPECT_THROW(parse_cli({"--shards", "2", "--report", "r.md"}),
+               util::PreconditionError);
+  // One shard renders a single cluster; --report stays available.
+  EXPECT_NO_THROW(parse_cli({"--shards", "1", "--report", "r.md"}));
+  EXPECT_THROW(parse_cli({"--demand", "users=5", "--demand", "users=6"}),
+               util::PreconditionError);
+}
+
+TEST(Cli, UsageDocumentsDatacenterFlags) {
+  const std::string usage = cli_usage();
+  EXPECT_NE(usage.find("--shards"), std::string::npos);
+  EXPECT_NE(usage.find("--shard-workers"), std::string::npos);
+  EXPECT_NE(usage.find("--demand"), std::string::npos);
+}
+
+TEST(Cli, EndToEndShardedRunMatchesRepeatRun) {
+  // The datacenter path through run_cli is deterministic end to end.
+  CliOptions o;
+  o.days = 2;
+  o.nodes = 2;
+  o.shards = 2;
+  o.seed = 5;
+  o.blackbox = false;
+  o.demand = workload::parse_demand_spec("users=1000000");
+  o.csv_path = testing::TempDir() + "dc_cli_a.csv";
+  ASSERT_EQ(run_cli(o), 0);
+  CliOptions o2 = o;
+  o2.shard_workers = 3;
+  o2.csv_path = testing::TempDir() + "dc_cli_b.csv";
+  ASSERT_EQ(run_cli(o2), 0);
+  std::ifstream a{o.csv_path}, b{o2.csv_path};
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_NE(sa.str().find("day,weather"), std::string::npos);
+  std::remove(o.csv_path.c_str());
+  std::remove(o2.csv_path.c_str());
+}
+
 }  // namespace
 }  // namespace baat::sim

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -199,6 +201,58 @@ TEST(Sweep, SimulationExportsByteIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
   EXPECT_EQ(serial.trace_jsonl, parallel.trace_jsonl);
   EXPECT_GT(serial.trace_jsonl.size(), 0u);
+}
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t workers : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    WorkerPool pool{workers};
+    std::vector<std::atomic<int>> hits(100);
+    pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << workers << " workers";
+    }
+  }
+}
+
+TEST(WorkerPool, SingleWorkerRunsInlineWithoutThreads) {
+  WorkerPool pool{1};
+  EXPECT_EQ(pool.workers(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.run(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  // Inline execution is what keeps thread-local obs sinks trivially correct
+  // in the serial case — pin it.
+  EXPECT_EQ(seen, caller);
+  WorkerPool zero{0};
+  EXPECT_EQ(zero.workers(), 1u);
+}
+
+TEST(WorkerPool, PoolThreadsNeverRunOnTheCaller) {
+  WorkerPool pool{4};
+  EXPECT_EQ(pool.workers(), 4u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(32);
+  pool.run(seen.size(), [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_NE(id, caller);
+}
+
+TEST(WorkerPool, ReusableAcrossManyBatches) {
+  WorkerPool pool{3};
+  std::atomic<long> sum{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.run(10, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  }
+  EXPECT_EQ(sum.load(), 50 * 45);
+}
+
+TEST(WorkerPool, HandlesEmptyAndOversubscribedBatches) {
+  WorkerPool pool{4};
+  pool.run(0, [](std::size_t) { FAIL() << "no index should run"; });
+  std::atomic<int> count{0};
+  pool.run(1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+  pool.run(2, [&](std::size_t) { count.fetch_add(1); });  // fewer tasks than lanes
+  EXPECT_EQ(count.load(), 1002);
 }
 
 }  // namespace

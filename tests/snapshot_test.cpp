@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/sections.hpp"
 #include "snapshot/serialize.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -281,6 +282,167 @@ TEST(SnapshotFile, UnwritableDestinationIsReadableError) {
   SnapshotWriter w;
   w.write_u8(1);
   EXPECT_THROW(write_snapshot_file(path, 0, w.bytes()), SnapshotError);
+}
+
+// ---- sectioned "BAATSECT" container (snapshot/sections.hpp) -------------
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+void write_three_sections(const std::string& path, std::uint64_t hash) {
+  SectionFileWriter w(path, hash, 3);
+  w.append(payload_of({1, 2, 3}));
+  w.append(payload_of({}));  // empty sections are legal
+  w.append(payload_of({9, 8, 7, 6}));
+  w.commit();
+}
+
+TEST(SectionFile, RoundTripsSectionsInOrder) {
+  const std::string path = temp_path("sect_roundtrip.snap");
+  write_three_sections(path, 0xFEED);
+  SectionFileReader r(path, 0xFEED);
+  EXPECT_EQ(r.header().version, kSectionFormatVersion);
+  EXPECT_EQ(r.header().config_hash, 0xFEEDu);
+  EXPECT_EQ(r.header().section_count, 3u);
+  EXPECT_EQ(r.read_section(), payload_of({1, 2, 3}));
+  EXPECT_EQ(r.read_section(), payload_of({}));
+  EXPECT_EQ(r.read_section(), payload_of({9, 8, 7, 6}));
+  r.finish();
+  fs::remove(path);
+}
+
+TEST(SectionFile, CommitDemandsTheDeclaredSectionCount) {
+  const std::string path = temp_path("sect_short.snap");
+  {
+    SectionFileWriter w(path, 1, 2);
+    w.append(payload_of({1}));
+    EXPECT_THROW(w.commit(), SnapshotError);
+  }
+  // Uncommitted writer leaves no file behind (tmp removed, target untouched).
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(SectionFile, AbandonedWriterPreservesThePreviousFile) {
+  const std::string path = temp_path("sect_abandon.snap");
+  write_three_sections(path, 5);
+  {
+    SectionFileWriter w(path, 5, 3);
+    w.append(payload_of({42}));
+    // destroyed without commit — simulated crash mid-checkpoint
+  }
+  SectionFileReader r(path, 5);
+  EXPECT_EQ(r.read_section(), payload_of({1, 2, 3}));
+  fs::remove(path);
+}
+
+TEST(SectionFile, ConfigHashMismatchRefusedAndZeroSkips) {
+  const std::string path = temp_path("sect_hash.snap");
+  write_three_sections(path, 1234);
+  EXPECT_THROW(SectionFileReader(path, 999), SnapshotError);
+  EXPECT_NO_THROW(SectionFileReader(path, 0));
+  fs::remove(path);
+}
+
+TEST(SectionFile, PayloadCorruptionNamesTheSectionIndex) {
+  const std::string path = temp_path("sect_crc.snap");
+  write_three_sections(path, 7);
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[bytes.size() - 1] ^= 0xFF;  // last byte of section 2's payload
+  put_bytes(path, bytes);
+  SectionFileReader r(path, 7);
+  r.read_section();
+  r.read_section();
+  try {
+    r.read_section();
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("section 2"), std::string::npos);
+  }
+  fs::remove(path);
+}
+
+TEST(SectionFile, TruncationAtEveryPrefixIsAReadableError) {
+  const std::string path = temp_path("sect_trunc.snap");
+  write_three_sections(path, 7);
+  const std::vector<std::uint8_t> whole = file_bytes(path);
+  for (std::size_t len = 0; len < whole.size(); ++len) {
+    put_bytes(path, {whole.begin(), whole.begin() + static_cast<long>(len)});
+    try {
+      SectionFileReader r(path, 7);
+      while (r.sections_read() < r.header().section_count) r.read_section();
+      r.finish();
+      FAIL() << "truncation to " << len << " bytes went unnoticed";
+    } catch (const SnapshotError&) {
+      // expected: every prefix must fail loudly, never crash or hang
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(SectionFile, TrailingGarbageRefusedByFinish) {
+  const std::string path = temp_path("sect_trailing.snap");
+  write_three_sections(path, 7);
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes.push_back(0);
+  put_bytes(path, bytes);
+  SectionFileReader r(path, 7);
+  r.read_section();
+  r.read_section();
+  r.read_section();
+  EXPECT_THROW(r.finish(), SnapshotError);
+  fs::remove(path);
+}
+
+TEST(SectionFile, ReadingPastTheDeclaredCountThrows) {
+  const std::string path = temp_path("sect_overread.snap");
+  write_three_sections(path, 7);
+  SectionFileReader r(path, 7);
+  r.read_section();
+  r.read_section();
+  r.read_section();
+  EXPECT_THROW(r.read_section(), SnapshotError);
+  fs::remove(path);
+}
+
+TEST(SectionFile, FinishBeforeAllSectionsReadThrows) {
+  const std::string path = temp_path("sect_underread.snap");
+  write_three_sections(path, 7);
+  SectionFileReader r(path, 7);
+  r.read_section();
+  EXPECT_THROW(r.finish(), SnapshotError);
+  fs::remove(path);
+}
+
+TEST(SectionFile, CorruptedSizePrefixCannotDriveHugeAllocation) {
+  const std::string path = temp_path("sect_hugesize.snap");
+  write_three_sections(path, 7);
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  // Section 0's u64 size field starts right after the 28-byte header; stamp
+  // an absurd size and make sure the reader errors instead of allocating.
+  for (int i = 0; i < 8; ++i) bytes[28 + i] = 0xFF;
+  put_bytes(path, bytes);
+  SectionFileReader r(path, 7);
+  EXPECT_THROW(r.read_section(), SnapshotError);
+  fs::remove(path);
+}
+
+TEST(SectionFile, BadMagicAndVersionRefused) {
+  const std::string path = temp_path("sect_magic.snap");
+  write_three_sections(path, 7);
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[0] = 'X';
+  put_bytes(path, bytes);
+  EXPECT_THROW(SectionFileReader(path, 7), SnapshotError);
+  bytes = file_bytes(path);
+  bytes[0] = 'B';
+  bytes[8] = 0xEE;  // version low byte
+  put_bytes(path, bytes);
+  EXPECT_THROW(SectionFileReader(path, 7), SnapshotError);
+  fs::remove(path);
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// Fuzz/negative battery for the --demand spec parser plus semantic checks
+// on the request-level demand model (mirrors the --faults parser tests:
+// every rejection must throw util::PreconditionError with a message naming
+// the offending item, never crash or silently accept).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+#include "workload/demand.hpp"
+
+namespace baat::workload {
+namespace {
+
+TEST(DemandParse, FullSpecRoundTripsThroughCanonicalForm) {
+  const DemandModel m = parse_demand_spec(
+      "users=2000000,requests=150,peak=14,amplitude=0.6,spread=3,cap=32,"
+      "flash:day=5:mult=4:hour=12:hours=2");
+  EXPECT_EQ(m.users, 2000000u);
+  EXPECT_DOUBLE_EQ(m.requests_per_user, 150.0);
+  EXPECT_DOUBLE_EQ(m.peak_hour, 14.0);
+  EXPECT_DOUBLE_EQ(m.amplitude, 0.6);
+  EXPECT_DOUBLE_EQ(m.region_spread_hours, 3.0);
+  EXPECT_EQ(m.max_jobs, 32u);
+  ASSERT_EQ(m.flashes.size(), 1u);
+  EXPECT_EQ(m.flashes[0].day, 5);
+  EXPECT_DOUBLE_EQ(m.flashes[0].mult, 4.0);
+  EXPECT_DOUBLE_EQ(m.flashes[0].hour, 12.0);
+  EXPECT_DOUBLE_EQ(m.flashes[0].hours, 2.0);
+  // Canonical form re-parses to the same canonical form (fixed point).
+  const std::string canon = m.to_string();
+  EXPECT_EQ(parse_demand_spec(canon).to_string(), canon);
+}
+
+TEST(DemandParse, UsersAloneGetsDefaults) {
+  const DemandModel m = parse_demand_spec("users=1000000");
+  EXPECT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m.requests_per_user, 150.0);
+  EXPECT_DOUBLE_EQ(m.amplitude, 0.6);
+  EXPECT_TRUE(m.flashes.empty());
+}
+
+TEST(DemandParse, MissingUsersIsRejected) {
+  try {
+    parse_demand_spec("requests=100,peak=10");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("users="), std::string::npos);
+  }
+}
+
+TEST(DemandParse, RejectsEmptyAndStrayCommaSpecs) {
+  EXPECT_THROW(parse_demand_spec(""), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec(","), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec(",users=5"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,,peak=3"), util::PreconditionError);
+}
+
+TEST(DemandParse, RejectsGarbageTokens) {
+  EXPECT_THROW(parse_demand_spec("garbage"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("=5"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,=3"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,peak"), util::PreconditionError);
+}
+
+TEST(DemandParse, UnknownFieldNamesTheField) {
+  try {
+    parse_demand_spec("users=5,bogus=1");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown field"), std::string::npos);
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+  }
+}
+
+TEST(DemandParse, DuplicateFieldsAreRejected) {
+  EXPECT_THROW(parse_demand_spec("users=5,users=6"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,peak=1,peak=2"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=2:day=3"),
+               util::PreconditionError);
+}
+
+TEST(DemandParse, UsersRangeAndIntegrality) {
+  EXPECT_THROW(parse_demand_spec("users=0"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=-1"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=1.5"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=1e11"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=nan"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=inf"), util::PreconditionError);
+  EXPECT_EQ(parse_demand_spec("users=1e10").users, 10000000000u);
+}
+
+TEST(DemandParse, NonNumericValuesNameTheFieldAndValue) {
+  try {
+    parse_demand_spec("users=lots");
+    FAIL() << "expected PreconditionError";
+  } catch (const util::PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("users"), std::string::npos);
+    EXPECT_NE(msg.find("'lots'"), std::string::npos);
+  }
+  EXPECT_THROW(parse_demand_spec("users=5x"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,peak=12noon"), util::PreconditionError);
+}
+
+TEST(DemandParse, FieldRangesAreEnforced) {
+  EXPECT_THROW(parse_demand_spec("users=5,requests=0"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,requests=1e7"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,peak=24"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,peak=-0.1"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,amplitude=1.01"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,amplitude=-0.2"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,spread=25"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,cap=0"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,cap=2.5"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,cap=5000"), util::PreconditionError);
+}
+
+TEST(DemandParse, FlashValidation) {
+  // Required fields.
+  EXPECT_THROW(parse_demand_spec("users=5,flash"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:mult=2"), util::PreconditionError);
+  // Ranges.
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=-1:mult=2"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=1"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=1001"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=2:hour=24"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=2:hours=0"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=2:hours=25"),
+               util::PreconditionError);
+  // Unknown / malformed flash fields.
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult=2:oops=3"),
+               util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,flash:day=1:mult"), util::PreconditionError);
+  // A field merely *starting* with "flash" is not a flash item.
+  EXPECT_THROW(parse_demand_spec("users=5,flashy=1"), util::PreconditionError);
+}
+
+TEST(DemandParse, MultipleFlashesAccumulateInOrder) {
+  const DemandModel m = parse_demand_spec(
+      "users=5,flash:day=1:mult=2,flash:day=3:mult=5:hour=6:hours=1");
+  ASSERT_EQ(m.flashes.size(), 2u);
+  EXPECT_EQ(m.flashes[0].day, 1);
+  EXPECT_EQ(m.flashes[1].day, 3);
+  EXPECT_DOUBLE_EQ(m.flashes[1].hour, 6.0);
+}
+
+TEST(DemandParse, HostileInputsFailCleanlyNotCrash) {
+  const std::string long_key(10000, 'a');
+  EXPECT_THROW(parse_demand_spec(long_key + "=1"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,pe\tak=3"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users=5,peak=\x01\x02"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec("users==5"), util::PreconditionError);
+  EXPECT_THROW(parse_demand_spec(std::string("users=5,") + std::string(4096, ',')),
+               util::PreconditionError);
+}
+
+TEST(DemandModelTest, EmptyModelProducesNoJobs) {
+  const DemandModel m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.shard_day_jobs(0, 1, 0).empty());
+  EXPECT_EQ(m.to_string(), "");
+}
+
+TEST(DemandModelTest, IntensityHasUnitMeanOverTheDay) {
+  const DemandModel m = parse_demand_spec("users=5,amplitude=0.8,peak=9");
+  double sum = 0.0;
+  const int steps = 9600;
+  for (int g = 0; g < steps; ++g) {
+    sum += m.intensity(0, 1, 0, 24.0 * (g + 0.5) / steps);
+  }
+  EXPECT_NEAR(sum / steps, 1.0, 1e-6);
+}
+
+TEST(DemandModelTest, ZeroAmplitudeIsFlat) {
+  const DemandModel m = parse_demand_spec("users=5,amplitude=0");
+  EXPECT_DOUBLE_EQ(m.intensity(0, 1, 0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.intensity(0, 1, 0, 17.5), 1.0);
+}
+
+TEST(DemandModelTest, FlashMultipliesOnlyInsideItsWindow) {
+  const DemandModel m =
+      parse_demand_spec("users=5,amplitude=0,flash:day=2:mult=10:hour=12:hours=2");
+  EXPECT_DOUBLE_EQ(m.intensity(0, 1, 2, 13.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.intensity(0, 1, 2, 11.9), 1.0);
+  EXPECT_DOUBLE_EQ(m.intensity(0, 1, 2, 14.0), 1.0);  // half-open window
+  EXPECT_DOUBLE_EQ(m.intensity(0, 1, 3, 13.0), 1.0);  // wrong day
+}
+
+TEST(DemandModelTest, SpreadStaggersShardPeaks) {
+  const DemandModel m = parse_demand_spec("users=5,amplitude=1,peak=12,spread=12");
+  // Shard 0 peaks at 12:00; shard 2 of 4 runs 6h ahead, so its local noon
+  // is datacenter 06:00.
+  EXPECT_NEAR(m.intensity(0, 4, 0, 12.0), 2.0, 1e-12);
+  EXPECT_NEAR(m.intensity(2, 4, 0, 6.0), 2.0, 1e-12);
+  EXPECT_LT(m.intensity(2, 4, 0, 12.0), 2.0);
+}
+
+TEST(DemandModelTest, JobCountScalesWithUsersAndHonoursCap) {
+  const DemandModel small = parse_demand_spec("users=500000");
+  const DemandModel big = parse_demand_spec("users=8000000");
+  const DemandModel capped = parse_demand_spec("users=8000000,cap=3");
+  const std::size_t n_small = small.shard_day_jobs(0, 1, 0).size();
+  const std::size_t n_big = big.shard_day_jobs(0, 1, 0).size();
+  EXPECT_LT(n_small, n_big);
+  EXPECT_GE(n_small, 1u);  // never zero jobs — servers idle, not absent
+  EXPECT_EQ(capped.shard_day_jobs(0, 1, 0).size(), 3u);
+}
+
+TEST(DemandModelTest, ShardingDividesThePopulation) {
+  const DemandModel m = parse_demand_spec("users=8000000,amplitude=0");
+  const std::size_t whole = m.shard_day_jobs(0, 1, 0).size();
+  const std::size_t quarter = m.shard_day_jobs(0, 4, 0).size();
+  EXPECT_NEAR(static_cast<double>(whole) / 4.0, static_cast<double>(quarter), 1.0);
+}
+
+TEST(DemandModelTest, ArrivalsAreSortedAndInDayRange) {
+  const DemandModel m = parse_demand_spec(
+      "users=6000000,amplitude=0.9,peak=15,flash:day=0:mult=6:hour=10:hours=1");
+  const std::vector<DemandJob> jobs = m.shard_day_jobs(0, 1, 0);
+  ASSERT_FALSE(jobs.empty());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_GE(jobs[k].start_frac, 0.0);
+    EXPECT_LT(jobs[k].start_frac, 1.0);
+    if (k > 0) EXPECT_GE(jobs[k].start_frac, jobs[k - 1].start_frac);
+  }
+}
+
+TEST(DemandModelTest, ArrivalsBunchAroundTheFlashWindow) {
+  const DemandModel m =
+      parse_demand_spec("users=4000000,amplitude=0,flash:day=0:mult=50:hour=12:hours=2");
+  const std::vector<DemandJob> jobs = m.shard_day_jobs(0, 1, 0);
+  const std::size_t inside =
+      static_cast<std::size_t>(std::count_if(jobs.begin(), jobs.end(), [](const DemandJob& j) {
+        const double hour = j.start_frac * 24.0;
+        return hour >= 12.0 && hour < 14.0;
+      }));
+  // 2 of 24 hours carry 50x intensity → the bulk of arrivals land inside.
+  EXPECT_GT(inside * 2, jobs.size());
+}
+
+TEST(DemandModelTest, PureFunctionOfInputs) {
+  const DemandModel m = parse_demand_spec("users=3000000,amplitude=0.5,spread=4");
+  const std::vector<DemandJob> a = m.shard_day_jobs(2, 4, 7);
+  const std::vector<DemandJob> b = m.shard_day_jobs(2, 4, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].kind, b[k].kind);
+    EXPECT_DOUBLE_EQ(a[k].start_frac, b[k].start_frac);
+  }
+  // Different day / shard mixes the job kinds.
+  const std::vector<DemandJob> c = m.shard_day_jobs(2, 4, 8);
+  ASSERT_FALSE(c.empty());
+}
+
+TEST(DemandModelTest, ShardIndexValidated) {
+  const DemandModel m = parse_demand_spec("users=5");
+  EXPECT_THROW(m.shard_day_jobs(4, 4, 0), util::PreconditionError);
+  EXPECT_THROW(m.intensity(1, 1, 0, 12.0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace baat::workload

@@ -163,6 +163,30 @@ def simd_speedup(doc, minimum):
     return lines, failures
 
 
+def sharding_tax(doc, threshold):
+    """Within-run comparison for datacenter_bench results: the 100k-cell /
+    16-shard flagship must not pay more than `threshold` per node-tick over
+    the unsharded reference config (same per-shard node count and demand, so
+    the ratio isolates the sharding layer's merge/dispatch overhead). Files
+    without the pair — kernel_bench results, quick-mode runs — are skipped,
+    not failed."""
+    by_name = {b["name"]: b for b in doc["benches"]}
+    ref = by_name.get("dc_ref_6250")
+    sharded = by_name.get("dc_100k_16shard")
+    if ref is None or sharded is None:
+        return [], []
+    tax = sharded["ns_per_cell_tick"] / ref["ns_per_cell_tick"] - 1.0
+    lines = [f"sharding tax     16-shard {sharded['ns_per_cell_tick']:8.2f} ns  "
+             f"unsharded {ref['ns_per_cell_tick']:8.2f} ns  tax {tax * 100:+5.1f}%"]
+    failures = []
+    if tax > threshold:
+        failures.append(f"sharding tax {tax * 100:.1f}% on dc_100k_16shard exceeds "
+                        f"the {threshold * 100:.0f}% budget (sharded "
+                        f"{sharded['ns_per_cell_tick']:.2f} ns vs unsharded "
+                        f"{ref['ns_per_cell_tick']:.2f} ns per node-tick)")
+    return lines, failures
+
+
 def self_test():
     """Exercise the malformed-input paths in-process; exits non-zero on bugs."""
     import copy
@@ -260,6 +284,20 @@ def self_test():
     _, failures = simd_speedup(good, 2.0)  # no simd pair: skipped, not failed
     assert not failures, failures
 
+    # 5c. the sharding-tax rule: over-budget fails, within-budget passes,
+    # and a file without the datacenter pair (kernel results) is skipped
+    dc = {"calibration_ns": 2.0,
+          "benches": [{"name": "dc_ref_6250", "ns_per_cell_tick": 100.0,
+                       "allocs_per_tick": 0.1},
+                      {"name": "dc_100k_16shard", "ns_per_cell_tick": 140.0,
+                       "allocs_per_tick": 0.1}]}
+    _, failures = sharding_tax(dc, 0.25)
+    assert any("sharding tax" in f for f in failures), failures
+    _, failures = sharding_tax(dc, 0.50)
+    assert not failures, failures
+    _, failures = sharding_tax(good, 0.25)  # no datacenter pair: skipped
+    assert not failures, failures
+
     # 6. the happy path still gates
     slow = copy.deepcopy(good)
     slow["benches"][0]["ns_per_cell_tick"] = 100.0
@@ -290,6 +328,12 @@ def main():
     ap.add_argument("--simd-speedup-min", type=float, default=2.0,
                     help="min required fast/simd ns ratio on the 384-cell "
                          "config (default 2.0 = simd at least 2x faster)")
+    ap.add_argument("--sharding-tax-threshold", type=float, default=0.25,
+                    help="max allowed 16-shard-vs-unsharded ns/node-tick "
+                         "overhead in datacenter_bench results (default "
+                         "0.25 = 25%% — the 100k-cell row's working set is "
+                         "~16x the reference's, so cache/TLB effects put "
+                         "double-digit noise on the within-run ratio)")
     ap.add_argument("--update", action="store_true",
                     help="copy --current over --baseline instead of gating")
     ap.add_argument("--self-test", action="store_true",
@@ -319,6 +363,9 @@ def main():
     simd_lines, simd_failures = simd_speedup(cur, args.simd_speedup_min)
     lines += simd_lines
     failures += simd_failures
+    shard_lines, shard_failures = sharding_tax(cur, args.sharding_tax_threshold)
+    lines += shard_lines
+    failures += shard_failures
     for line in lines:
         print(line)
 
