@@ -1,0 +1,273 @@
+// Chemistry ablation (DESIGN.md §5i) — rerun the paper's headline policy
+// evaluations (Figs 13–17) under each battery backend the fleet kernel can
+// host: the paper's lead-acid model, the Li-ion NMC and LFP presets, and
+// the cheap energy-bucket tier. Two questions drive the harness:
+//
+//   * Do the paper's policy-ordering claims survive a chemistry swap?
+//     (BAAT < e-Buff on worst-node Ah and weighted aging — Fig 13; BAAT
+//     extends lifetime at every sunshine fraction — Fig 14; the gain grows
+//     as servers outnumber battery — Figs 15/17; cheaper depreciation —
+//     Fig 16.)
+//   * What does each chemistry's aging actually consist of? (The ledger's
+//     per-mechanism attribution of the worst node, on that chemistry's own
+//     mechanism axis.)
+//
+// Every grid runs on the parallel sweep engine; each job re-derives its
+// solar days from the same named RNG stream, so all policies see identical
+// supply and the output is identical at any BAAT_JOBS worker count.
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "battery/bank.hpp"
+#include "battery/chemistry_model.hpp"
+#include "bench_util.hpp"
+#include "core/weighted_aging.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace baat;
+
+constexpr battery::Chemistry kChems[] = {
+    battery::Chemistry::LeadAcid, battery::Chemistry::LiNmc,
+    battery::Chemistry::LiLfp, battery::Chemistry::Bucket};
+
+/// The scenario a `--chemistry <kind>` CLI run would build: the preset is
+/// applied before anything reads the bank, and the planned-aging metrics
+/// are rebased on the preset's nameplate and rated cycles (mirrors
+/// scenario_from_cli).
+sim::ScenarioConfig scenario_for(battery::Chemistry kind) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  if (kind != battery::Chemistry::LeadAcid) {
+    battery::apply_chemistry_preset(cfg.bank, kind);
+    cfg.metrics.nameplate = cfg.bank.chemistry.capacity_c20;
+    cfg.metrics.lifetime_throughput = util::ampere_hours(
+        cfg.bank.chemistry.capacity_c20.value() * cfg.bank.cycle_curve.cycles_at_full);
+    cfg.policy_params.planned.total_throughput = cfg.metrics.lifetime_throughput;
+    cfg.policy_params.planned.nameplate = cfg.metrics.nameplate;
+  }
+  return cfg;
+}
+
+struct Fig13Cell {
+  double worst_ah = 0.0;
+  double weighted = 0.0;
+  std::array<double, 5> fade{};  ///< worst node, weighted mechanism slots
+  double fade_total = 0.0;
+};
+
+/// The "old battery" condition per chemistry. Lead-acid keeps the paper's
+/// six-month aged state; the Li and bucket chemistries get the same ~12%
+/// capacity fade split evenly between their two mechanisms (calendar in the
+/// corrosion slot, cycle/throughput fade in the shedding slot), so the
+/// matched-day comparison starts from an equivalent health handicap.
+battery::AgingState aged_state_for(battery::Chemistry kind) {
+  if (kind == battery::Chemistry::LeadAcid) return sim::six_month_aged_state();
+  const battery::AgingParams p = battery::chemistry_model(kind).aging;
+  battery::AgingState s;
+  s.corrosion = 0.06 / p.capacity_w_corrosion;
+  s.shedding = 0.06;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Chemistry ablation — Figs 13-17 headline claims per battery backend",
+      "policy ordering (BAAT < e-Buff aging, BAAT lifetime gain) should "
+      "survive the chemistry swap; attribution shifts to each chemistry's "
+      "own mechanism axis");
+
+  const core::PolicyKind policies[] = {core::PolicyKind::EBuff, core::PolicyKind::BaatS,
+                                       core::PolicyKind::BaatH, core::PolicyKind::Baat};
+  const solar::DayType weathers[] = {solar::DayType::Sunny, solar::DayType::Cloudy};
+  const core::AgingWeights equal{1.0 / 3, 1.0 / 3, 1.0 / 3};
+
+  // ---- Fig 13 per chemistry: matched-day policy comparison ----------------
+  // Young fleet, 3 warmup days + 1 measured day, sunny and cloudy; the
+  // ledger attribution is read off the worst node after the measured day.
+  constexpr int kWarmupDays = 3;
+  constexpr std::size_t kPolicies = 4;
+  constexpr std::size_t kChemCount = 4;
+  const bool fleets[] = {false, true};  // young, old
+  const std::size_t n13 = kChemCount * 2 * 2 * kPolicies;
+  const std::vector<Fig13Cell> cells13 = sim::sweep_map(n13, [&](std::size_t i) {
+    const core::PolicyKind p = policies[i % kPolicies];
+    const solar::DayType type = weathers[(i / kPolicies) % 2];
+    const bool old_fleet = (i / (kPolicies * 2)) % 2 != 0;
+    const battery::Chemistry kind = kChems[i / (kPolicies * 2 * 2)];
+
+    sim::ScenarioConfig cfg = scenario_for(kind);
+    std::vector<solar::SolarDay> days;
+    util::Rng day_rng = util::Rng::stream(cfg.seed, "chem-ablation-days");
+    for (int d = 0; d <= kWarmupDays; ++d) {
+      days.emplace_back(cfg.plant, type, day_rng.fork("day"));
+    }
+
+    cfg.policy = p;
+    sim::Cluster cluster{cfg};
+    if (old_fleet) sim::seed_aged_fleet(cluster, aged_state_for(kind));
+    for (int d = 0; d < kWarmupDays; ++d) cluster.run_day(days[d]);
+    const sim::DayResult r = cluster.run_day(days.back());
+    const std::size_t worst = r.worst_node();
+    const auto& m = r.nodes[worst].metrics_day;
+
+    Fig13Cell out;
+    out.worst_ah = r.nodes[worst].ah_discharged.value();
+    out.weighted = core::weighted_aging(m, equal);
+    const battery::CellLedgerEntry total = cluster.node_ledger_total(worst);
+    out.fade = {total.fade.corrosion, total.fade.shedding, total.fade.sulphation,
+                total.fade.stratification, total.fade.water_loss};
+    out.fade_total = total.fade.total();
+    return out;
+  });
+
+  auto csv13 = bench::open_csv(
+      "chemistry_ablation_fig13",
+      {"chemistry", "fleet", "weather", "policy", "worst_ah", "weighted_aging",
+       "fade_total", "mech0", "mech0_fade", "mech1", "mech1_fade"});
+
+  std::map<std::string, double> ah;        // (chem|fleet|weather|policy) → worst Ah
+  std::map<std::string, double> weighted;  // same → Eq 6 score
+  std::size_t idx = 0;
+  for (battery::Chemistry kind : kChems) {
+    const std::string chem{battery::chemistry_name(kind)};
+    const battery::MechanismAxis axis = battery::mechanism_axis(kind);
+    for (bool old_fleet : fleets) {
+      for (solar::DayType type : weathers) {
+        std::printf("%s, %s fleet, %s day:\n", chem.c_str(),
+                    old_fleet ? "old" : "young",
+                    std::string(solar::day_type_name(type)).c_str());
+        std::printf("  %-8s %9s %10s %11s  attribution (worst node)\n", "policy",
+                    "worstAh", "weighted", "fade_total");
+        for (core::PolicyKind p : policies) {
+          const Fig13Cell& c = cells13[idx++];
+          const std::string key = chem + "|" + (old_fleet ? "old" : "young") + "|" +
+                                  std::string(solar::day_type_name(type)) + "|" +
+                                  std::string(core::policy_kind_name(p));
+          ah[key] = c.worst_ah;
+          weighted[key] = c.weighted;
+          std::string attrib;
+          for (std::size_t s = 0; s < axis.count; ++s) {
+            if (c.fade[s] <= 0.0) continue;
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%s%s %.0f%%", attrib.empty() ? "" : ", ",
+                          axis.names[s], 100.0 * c.fade[s] / c.fade_total);
+            attrib += buf;
+          }
+          std::printf("  %-8s %9.1f %10.3f %11.3e  %s\n",
+                      std::string(core::policy_kind_name(p)).c_str(), c.worst_ah,
+                      c.weighted, c.fade_total, attrib.c_str());
+          csv13.write_row({chem, old_fleet ? "old" : "young",
+                           std::string(solar::day_type_name(type)),
+                           std::string(core::policy_kind_name(p)),
+                           util::CsvWriter::cell(c.worst_ah),
+                           util::CsvWriter::cell(c.weighted),
+                           util::CsvWriter::cell(c.fade_total), axis.names[0],
+                           util::CsvWriter::cell(c.fade[0]), axis.names[1],
+                           util::CsvWriter::cell(c.fade[1])});
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  // ---- Figs 14-17 per chemistry: lifetime, ratio and depreciation ---------
+  // Lifetime at two sunshine fractions (Fig 14's axis) plus a server-heavy
+  // 8 W/Ah point (Figs 15/17's axis), e-Buff vs BAAT; Fig 16's daily
+  // depreciation is the inverse lifetime ratio for a fixed battery price.
+  const double fractions[] = {0.35, 0.65};
+  constexpr double kExpandedRatio = 8.0;  // W/Ah, vs the prototype's ~4.3
+  const core::PolicyKind life_policies[] = {core::PolicyKind::EBuff,
+                                            core::PolicyKind::Baat};
+  constexpr std::size_t kSimDays = 45;
+  // Per chemistry: 2 fractions x 2 policies + expanded point x 2 policies.
+  const std::size_t per_chem = 2 * 2 + 2;
+  const std::vector<double> lifetimes =
+      sim::sweep_map(kChemCount * per_chem, [&](std::size_t i) {
+        const battery::Chemistry kind = kChems[i / per_chem];
+        const std::size_t j = i % per_chem;
+        sim::ScenarioConfig cfg = scenario_for(kind);
+        cfg.seed = 42;
+        if (j < 4) {
+          return sim::estimate_lifetime(cfg, life_policies[j % 2], fractions[j / 2],
+                                        kSimDays)
+              .lifetime_days;
+        }
+        cfg = sim::with_server_battery_ratio(cfg, kExpandedRatio);
+        return sim::estimate_lifetime(cfg, life_policies[j % 2], 0.5, kSimDays)
+            .lifetime_days;
+      });
+
+  auto csv_life = bench::open_csv(
+      "chemistry_ablation_lifetime",
+      {"chemistry", "sunshine_fraction", "watts_per_ah", "ebuff_days",
+       "baat_days", "baat_gain_pct"});
+
+  std::printf("lifetime (days), e-Buff vs BAAT:\n");
+  std::printf("  %-10s %9s %7s %10s %10s %10s\n", "chemistry", "sunshine", "W/Ah",
+              "e-Buff", "BAAT", "BAAT gain");
+  for (std::size_t ci = 0; ci < kChemCount; ++ci) {
+    const std::string chem{battery::chemistry_name(kChems[ci])};
+    for (std::size_t j = 0; j < per_chem; j += 2) {
+      const double ebuff = lifetimes[ci * per_chem + j];
+      const double baat = lifetimes[ci * per_chem + j + 1];
+      const double sunshine = j < 4 ? fractions[j / 2] : 0.5;
+      const double ratio = j < 4 ? 0.0 : kExpandedRatio;  // 0 = prototype
+      const double gain = (baat / ebuff - 1.0) * 100.0;
+      std::printf("  %-10s %9.2f %7s %9.0fd %9.0fd %+9.0f%%\n", chem.c_str(),
+                  sunshine, j < 4 ? "proto" : "8.0", ebuff, baat, gain);
+      csv_life.write_row({chem, util::CsvWriter::cell(sunshine),
+                          util::CsvWriter::cell(ratio), util::CsvWriter::cell(ebuff),
+                          util::CsvWriter::cell(baat), util::CsvWriter::cell(gain)});
+    }
+  }
+
+  // ---- headline: does the paper's ordering survive the swap? --------------
+  // Fig 13's headline conditions: the Ah gap averages over all four
+  // {fleet, weather} cells and peaks at cloudy + old; the weighted-aging cut
+  // is quoted on the worst case (old fleet, cloudy day).
+  // The interesting question is not whether the paper's absolute 1.3x/2.1x
+  // numbers reappear (they are a property of the lead-acid backend and the
+  // current simulator calibration) but whether swapping the chemistry MOVES
+  // the policy comparison: each chemistry's e-Buff/BAAT ratios are printed
+  // next to the lead-acid backend's own on identical solar traces.
+  std::printf("\nheadline per chemistry:\n");
+  std::map<std::string, double> avg_ratio;
+  for (battery::Chemistry kind : kChems) {
+    const std::string chem{battery::chemistry_name(kind)};
+    double ah_ratio = 0.0;
+    for (const char* fleet : {"young", "old"}) {
+      for (const char* w : {"Sunny", "Cloudy"}) {
+        const std::string cond = chem + "|" + fleet + "|" + w;
+        ah_ratio += ah[cond + "|e-Buff"] / ah[cond + "|BAAT"] / 4.0;
+      }
+    }
+    avg_ratio[chem] = ah_ratio;
+    const double worst_ratio =
+        ah[chem + "|old|Cloudy|e-Buff"] / ah[chem + "|old|Cloudy|BAAT"];
+    const double aging_cut = (1.0 - weighted[chem + "|old|Cloudy|BAAT"] /
+                                        weighted[chem + "|old|Cloudy|e-Buff"]) *
+                             100.0;
+    std::printf("  %-10s e-Buff/BAAT Ah %.2fx avg, %.2fx cloudy+old; BAAT "
+                "weighted-aging cut %+.0f%% (cloudy+old)\n",
+                chem.c_str(), ah_ratio, worst_ratio, aging_cut);
+  }
+  const double lead = avg_ratio["lead_acid"];
+  bool stable = true;
+  for (battery::Chemistry kind : kChems) {
+    const std::string chem{battery::chemistry_name(kind)};
+    if (std::abs(avg_ratio[chem] - lead) > 0.15) stable = false;
+  }
+  std::printf("chemistry swap vs lead-acid backend: e-Buff/BAAT Ah ratio %s\n",
+              stable ? "stable (within 0.15x of lead-acid on matched traces)"
+                     : "SHIFTS by more than 0.15x — see table");
+  bench::print_footer();
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "battery/battery.hpp"
+#include "battery/chemistry_model.hpp"
 #include "battery/fleet.hpp"
 
 namespace {
@@ -133,9 +134,16 @@ double cap_scale(std::size_t i) { return 1.0 + 0.001 * static_cast<double>(i % 7
 /// pair measures the observability tax directly.
 BenchResult bench_fleet(std::size_t cells, long warmup, long ticks,
                         battery::MathMode math, const char* name,
-                        bool ledger = true) {
-  battery::FleetState fleet{battery::LeadAcidParams{}, battery::AgingParams{},
-                            battery::ThermalParams{}, math};
+                        bool ledger = true,
+                        battery::Chemistry kind = battery::Chemistry::LeadAcid) {
+  // Lead-acid uses the legacy ctor (the bit-identity reference); other
+  // chemistries go through the model-hosting ctor, same as bank.cpp.
+  battery::FleetState fleet =
+      kind == battery::Chemistry::LeadAcid
+          ? battery::FleetState{battery::LeadAcidParams{}, battery::AgingParams{},
+                                battery::ThermalParams{}, math}
+          : battery::FleetState{battery::chemistry_model(kind),
+                                battery::ThermalParams{}, math};
   fleet.set_ledger_enabled(ledger);
   for (std::size_t i = 0; i < cells; ++i) fleet.add_cell(cap_scale(i), 1.0, 0.7);
   std::vector<double> sign(cells, 1.0);
@@ -363,6 +371,12 @@ int main(int argc, char** argv) {
   results.push_back(
       bench_fleet(48, warmup, ticks, battery::MathMode::Simd, "fleet_48_simd"));
   results.push_back(simd384);
+  // The energy-bucket tier's headline is raw tick cost: perf_gate.py's
+  // bucket-speedup rule requires it to beat the lead-acid exact kernel at
+  // the same bank size by >= 5x (same ledger setting, same workload).
+  results.push_back(bench_fleet(384, warmup, ticks, battery::MathMode::Exact,
+                                "fleet_384_bucket", /*ledger=*/true,
+                                battery::Chemistry::Bucket));
   results.push_back(obs_off);
 
   std::printf("calibration_ns: %.0f%s\n", calib, quick ? "  (quick mode)" : "");

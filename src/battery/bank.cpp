@@ -36,10 +36,26 @@ std::vector<Battery> make_bank(const BankSpec& spec, util::Rng& rng) {
   return bank;
 }
 
+void apply_chemistry_preset(BankSpec& spec, Chemistry kind) {
+  const ChemistryModel m = chemistry_model(kind);
+  spec.kind = m.kind;
+  spec.ocv = m.ocv;
+  spec.chemistry = m.electrical;
+  spec.aging = m.aging;
+  spec.li = m.li;
+  spec.cycle_curve = m.cycle_curve;
+}
+
 std::unique_ptr<FleetState> make_fleet(const BankSpec& spec, util::Rng& rng) {
   check_spec(spec);
-  auto fleet =
-      std::make_unique<FleetState>(spec.chemistry, spec.aging, spec.thermal, spec.math);
+  ChemistryModel model;
+  model.kind = spec.kind;
+  model.ocv = spec.ocv;
+  model.electrical = spec.chemistry;
+  model.aging = spec.aging;
+  model.li = spec.li;
+  model.cycle_curve = spec.cycle_curve;
+  auto fleet = std::make_unique<FleetState>(model, spec.thermal, spec.math);
   for (std::size_t i = 0; i < spec.units; ++i) {
     // Same draw order as make_bank: capacity first, then resistance.
     const double cap_scale =

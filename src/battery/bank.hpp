@@ -18,6 +18,13 @@ struct BankSpec {
   LeadAcidParams chemistry{};
   AgingParams aging{};
   ThermalParams thermal{};
+  /// Hosted chemistry tier (--chemistry). The default lead-acid tag keeps
+  /// every field below it at the historical behaviour; use
+  /// apply_chemistry_preset() to load a non-default preset coherently.
+  Chemistry kind = Chemistry::LeadAcid;
+  OcvCurve ocv = OcvCurve::LeadAcidQuadratic;
+  LiAgingParams li{};
+  CycleLifeCurve cycle_curve{};
   /// Relative stddev of nameplate capacity across units (§IV-B.1: imperfect
   /// manufacturing). 2-3% is typical for commodity VRLA.
   double capacity_sigma = 0.025;
@@ -27,6 +34,13 @@ struct BankSpec {
   /// Transcendental tier of the tick kernel (--math=fast selects Fast).
   MathMode math = MathMode::Exact;
 };
+
+/// Overwrites the spec's chemistry-dependent blocks (electrical, aging, Li
+/// knobs, OCV curve, cycle-life curve) with the preset for `kind`, keeping
+/// the bank-shape knobs (units, sigmas, initial SoC, math tier) untouched.
+/// The lead-acid preset is the historical default, so applying it is a
+/// no-op on a fresh spec.
+void apply_chemistry_preset(BankSpec& spec, Chemistry kind);
 
 /// Builds `spec.units` standalone batteries whose capacity/resistance scales
 /// are drawn from truncated normals around 1.0 (clamped to ±3σ so no unit is

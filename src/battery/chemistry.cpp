@@ -1,6 +1,7 @@
 #include "battery/chemistry.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "battery/step_math.hpp"
 #include "util/require.hpp"
@@ -10,20 +11,65 @@ namespace baat::battery {
 // The formulas live in step_math.hpp (shared with the fleet tick kernel);
 // these wrappers keep the public unit-typed API.
 
+std::string_view chemistry_name(Chemistry c) {
+  switch (c) {
+    case Chemistry::LeadAcid: return "lead_acid";
+    case Chemistry::LiNmc: return "li_nmc";
+    case Chemistry::LiLfp: return "li_lfp";
+    case Chemistry::Bucket: return "bucket";
+  }
+  return "?";
+}
+
+bool parse_chemistry(std::string_view name, Chemistry& out) {
+  if (name == "lead_acid") {
+    out = Chemistry::LeadAcid;
+  } else if (name == "li_nmc") {
+    out = Chemistry::LiNmc;
+  } else if (name == "li_lfp") {
+    out = Chemistry::LiLfp;
+  } else if (name == "bucket") {
+    out = Chemistry::Bucket;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+OcvCurve ocv_curve_for(Chemistry c) {
+  switch (c) {
+    case Chemistry::LeadAcid: return OcvCurve::LeadAcidQuadratic;
+    case Chemistry::LiNmc: return OcvCurve::NmcCubic;
+    case Chemistry::LiLfp: return OcvCurve::LfpPlateau;
+    case Chemistry::Bucket: return OcvCurve::Linear;
+  }
+  return OcvCurve::LeadAcidQuadratic;
+}
+
 Volts open_circuit_voltage(const LeadAcidParams& p, double soc) {
   return Volts{detail::block_ocv_v(p, soc)};
 }
 
+Volts open_circuit_voltage(const LeadAcidParams& p, double soc, OcvCurve curve) {
+  return Volts{detail::block_ocv_chem_v(p, soc, curve)};
+}
+
 double soc_from_voltage(const LeadAcidParams& p, Volts ocv) {
+  return soc_from_voltage(p, ocv, OcvCurve::LeadAcidQuadratic);
+}
+
+double soc_from_voltage(const LeadAcidParams& p, Volts ocv, OcvCurve curve) {
+  // A non-finite reading must come out as NaN, not a confident 0 or 1: the
+  // clamp below would otherwise launder sensor poison into a plausible
+  // estimate and hide it from the run-health watchdog (the same contract the
+  // fastmath tiers keep for the physics transcendentals).
+  if (!std::isfinite(ocv.value())) return std::numeric_limits<double>::quiet_NaN();
   const double cell = ocv.value() / p.cells;
   const double span = (p.ocv_cell_full - p.ocv_cell_empty).value();
   const double s = (cell - p.ocv_cell_empty.value()) / span;  // = ocv_shape(soc)
   if (s <= 0.0) return 0.0;
   if (s >= 1.0) return 1.0;
-  // Invert (1+c)x - cx^2 = s  =>  cx^2 - (1+c)x + s = 0, take the root in [0,1].
-  const double c = detail::kOcvCurvature;
-  const double disc = (1.0 + c) * (1.0 + c) - 4.0 * c * s;
-  const double x = ((1.0 + c) - std::sqrt(disc)) / (2.0 * c);
+  const double x = detail::soc_from_ocv_shape(curve, s);
   return util::clamp01(x);
 }
 

@@ -8,6 +8,9 @@
 // layered on top by battery::AgingModel — this header is the *fresh-cell*
 // physics.
 
+#include <cstdint>
+#include <string_view>
+
 #include "util/units.hpp"
 
 namespace baat::battery {
@@ -16,6 +19,32 @@ using util::Amperes;
 using util::AmpereHours;
 using util::Celsius;
 using util::Volts;
+
+/// Which chemistry model a fleet runs (DESIGN.md §5i). LeadAcid is the
+/// paper-faithful default; the Li-ion presets and the energy-bucket tier are
+/// hosted by the same SoA kernel behind `--chemistry`.
+enum class Chemistry : std::uint8_t {
+  LeadAcid = 0,  ///< VRLA monoblock, Shepherd/Peukert + five-mechanism aging
+  LiNmc = 1,     ///< Li-ion NMC preset: rainflow cycle + Arrhenius calendar fade
+  LiLfp = 2,     ///< Li-ion LFP preset: flat-OCV plateau, long cycle life
+  Bucket = 3,    ///< low-fidelity energy bucket for huge sweeps
+};
+
+/// OCV-vs-SoC curve family; each chemistry picks one. The shapes map SoC in
+/// [0,1] onto a normalized [0,1] voltage fraction between the chemistry's
+/// empty and full per-cell OCV.
+enum class OcvCurve : std::uint8_t {
+  LeadAcidQuadratic = 0,  ///< mildly super-linear (steeper near empty)
+  NmcCubic = 1,           ///< gentle S-shape, strictly increasing
+  LfpPlateau = 2,         ///< flat mid-SoC plateau — stresses voltage-based SoC
+  Linear = 3,             ///< the bucket tier's trivial curve
+};
+
+[[nodiscard]] std::string_view chemistry_name(Chemistry c);
+/// Parse a `--chemistry` argument; returns false on an unknown name.
+[[nodiscard]] bool parse_chemistry(std::string_view name, Chemistry& out);
+/// The OCV curve family a chemistry preset uses.
+[[nodiscard]] OcvCurve ocv_curve_for(Chemistry c);
 
 /// Static parameters of one lead-acid monoblock (series string of cells).
 struct LeadAcidParams {
@@ -49,10 +78,23 @@ struct LeadAcidParams {
 /// Mildly super-linear in SoC (steeper near empty), strictly increasing.
 Volts open_circuit_voltage(const LeadAcidParams& p, double soc);
 
-/// Inverse of open_circuit_voltage; clamps to [0, 1]. Used by the telemetry
-/// layer to *estimate* SoC from a voltage reading, the way the prototype's
-/// control server does (Table 2: "Voltage ... used for calculating SoC").
+/// Inverse of open_circuit_voltage; finite out-of-range readings clamp to
+/// [0, 1], but a non-finite reading (NaN/Inf sensor poison) propagates as NaN
+/// so the run-health watchdog sees it instead of a silently pinned estimate
+/// (the same poison-visibility contract the fastmath tiers keep). Used by
+/// the telemetry layer to *estimate* SoC from a voltage reading, the way the
+/// prototype's control server does (Table 2: "Voltage ... used for
+/// calculating SoC").
 double soc_from_voltage(const LeadAcidParams& p, Volts ocv);
+
+/// Curve-aware inverse for the multi-chemistry estimator: same clamp/NaN
+/// contract, inverting the given OCV family instead of the lead-acid
+/// quadratic. `curve == LeadAcidQuadratic` is exactly soc_from_voltage.
+double soc_from_voltage(const LeadAcidParams& p, Volts ocv, OcvCurve curve);
+
+/// Curve-aware open-circuit voltage (the lead-acid overload above is the
+/// `LeadAcidQuadratic` case, bit-for-bit).
+Volts open_circuit_voltage(const LeadAcidParams& p, double soc, OcvCurve curve);
 
 /// Peukert-corrected capacity available at a sustained discharge current.
 /// At or below the 20 h rate this is the nameplate capacity; above it the

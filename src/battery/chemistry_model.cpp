@@ -1,0 +1,190 @@
+#include "battery/chemistry_model.hpp"
+
+#include "battery/ledger.hpp"
+
+namespace baat::battery {
+
+namespace {
+
+/// Li-ion NMC preset. Pack voltages are a 3s NMC string (9.0–12.6 V)
+/// expressed on the 6-slot per-cell grid (so nominal_voltage() stays 12 V):
+/// full 12.6 V, empty/cutoff 9.0 V, CV limit 12.6 V. Nearly
+/// rate-independent capacity (Peukert 1.02), high coulombic efficiency,
+/// CC-CV taper knee at 90% SoC. Cycle life follows tabulated datasheet
+/// points (~1500 full cycles to 80% capacity); calendar fade targets ~20%
+/// over ~15 years at 20 °C and mid SoC.
+ChemistryModel li_nmc_model() {
+  ChemistryModel m;
+  m.kind = Chemistry::LiNmc;
+  m.ocv = OcvCurve::NmcCubic;
+
+  LeadAcidParams& e = m.electrical;
+  e.cells = 6;
+  e.capacity_c20 = AmpereHours{35.0};
+  e.ocv_cell_full = Volts{2.10};    // 12.6 V pack
+  e.ocv_cell_empty = Volts{1.50};   // 9.0 V pack
+  e.r_internal_ohms = 0.012;
+  e.peukert_exponent = 1.02;
+  e.cutoff_cell = Volts{1.50};      // 9.0 V low-voltage disconnect
+  e.gassing_cell = Volts{2.10};     // no gassing chemistry: pinned at CV limit
+  e.absorb_cell = Volts{2.10};      // 12.6 V CV limit
+  e.max_discharge_c_rate = 2.0;
+  e.max_charge_c_rate = 0.5;
+  e.coulombic_efficiency_bulk = 0.995;
+  e.coulombic_efficiency_full = 0.99;
+  e.taper_knee_soc = 0.90;
+  e.self_discharge_per_month = 0.02;
+
+  // Only the fade/resistance weights of the generic five-slot aging state
+  // matter for Li (the lead-acid rate equations never run): slot 0 carries
+  // calendar fade at full weight, slot 1 carries cycle fade (weight 1 by
+  // construction), the other three slots stay zero.
+  AgingParams& a = m.aging;
+  a.capacity_w_corrosion = 1.0;
+  a.resistance_w_corrosion = 0.8;
+  a.resistance_w_shedding = 1.2;
+  a.resistance_w_sulphation = 0.0;
+  a.resistance_w_water = 0.0;
+  a.ocv_sag_v_per_fade_cell = 0.02;
+  a.coulombic_fade = 0.05;
+
+  m.li.calendar_per_s = 3.1e-10;
+  m.li.calendar_soc_stress_gain = 0.6;
+  m.li.cycle_fade_at_eol = 0.20;
+
+  m.cycle_curve.cycles_at_full = 1500.0;
+  m.cycle_curve.exponent = 1.4;
+  m.cycle_curve.dod_min = 0.02;
+  m.cycle_curve.points = {{0.1, 40000.0}, {0.2, 15000.0}, {0.4, 6000.0},
+                          {0.6, 3500.0},  {0.8, 2200.0},  {1.0, 1500.0}};
+  return m;
+}
+
+/// Li-ion LFP preset. Pack voltages are a 4s LFP string (10.0–13.8 V rest,
+/// 14.6 V CV) on the 6-slot grid. The LfpPlateau curve keeps 84% of the SoC
+/// range inside 10% of the voltage span — the flat curve that stresses any
+/// voltage-based SoC estimator. Longest cycle life of the presets (~4500
+/// full cycles to 80%), slowest calendar fade (~20% over ~20 years).
+ChemistryModel li_lfp_model() {
+  ChemistryModel m;
+  m.kind = Chemistry::LiLfp;
+  m.ocv = OcvCurve::LfpPlateau;
+
+  LeadAcidParams& e = m.electrical;
+  e.cells = 6;
+  e.capacity_c20 = AmpereHours{35.0};
+  e.ocv_cell_full = Volts{2.30};            // 13.8 V pack at rest
+  e.ocv_cell_empty = Volts{11.6 / 6.0};     // 11.6 V pack
+  e.r_internal_ohms = 0.008;
+  e.peukert_exponent = 1.01;
+  e.cutoff_cell = Volts{10.0 / 6.0};        // 10.0 V low-voltage disconnect
+  e.gassing_cell = Volts{14.6 / 6.0};
+  e.absorb_cell = Volts{14.6 / 6.0};        // 14.6 V CV limit
+  e.max_discharge_c_rate = 2.0;
+  e.max_charge_c_rate = 0.5;
+  e.coulombic_efficiency_bulk = 0.998;
+  e.coulombic_efficiency_full = 0.995;
+  e.taper_knee_soc = 0.95;
+  e.self_discharge_per_month = 0.01;
+
+  AgingParams& a = m.aging;
+  a.capacity_w_corrosion = 1.0;
+  a.resistance_w_corrosion = 0.6;
+  a.resistance_w_shedding = 1.0;
+  a.resistance_w_sulphation = 0.0;
+  a.resistance_w_water = 0.0;
+  a.ocv_sag_v_per_fade_cell = 0.01;
+  a.coulombic_fade = 0.03;
+
+  m.li.calendar_per_s = 2.4e-10;
+  m.li.calendar_soc_stress_gain = 0.4;
+  m.li.cycle_fade_at_eol = 0.20;
+
+  m.cycle_curve.cycles_at_full = 4500.0;
+  m.cycle_curve.exponent = 1.35;
+  m.cycle_curve.dod_min = 0.02;
+  m.cycle_curve.points = {{0.1, 120000.0}, {0.2, 45000.0}, {0.4, 16000.0},
+                          {0.6, 9000.0},   {0.8, 6000.0},  {1.0, 4500.0}};
+  return m;
+}
+
+/// Energy-bucket preset: a linear-OCV coulomb bucket with a flat round-trip
+/// efficiency, no Peukert effect, no thermal state and two-term aging
+/// (calendar + throughput). The low-fidelity tier for huge sweeps — the
+/// perf gate holds it to >= 5x the lead-acid exact tier's throughput.
+ChemistryModel bucket_model() {
+  ChemistryModel m;
+  m.kind = Chemistry::Bucket;
+  m.ocv = OcvCurve::Linear;
+
+  LeadAcidParams& e = m.electrical;
+  e.r_internal_ohms = 0.010;
+  e.peukert_exponent = 1.0;
+  e.max_discharge_c_rate = 1.0;
+  e.max_charge_c_rate = 0.5;
+  e.coulombic_efficiency_bulk = 0.95;
+  e.coulombic_efficiency_full = 0.95;
+  e.taper_knee_soc = 1.0;
+  e.self_discharge_per_month = 0.0;
+
+  AgingParams& a = m.aging;
+  a.capacity_w_corrosion = 1.0;
+  a.resistance_w_corrosion = 0.5;
+  a.resistance_w_shedding = 0.5;
+  a.resistance_w_sulphation = 0.0;
+  a.resistance_w_water = 0.0;
+  a.ocv_sag_v_per_fade_cell = 0.0;
+  a.coulombic_fade = 0.0;
+
+  m.li.calendar_per_s = 6.3e-10;             // ~20% over ~10 years
+  m.li.calendar_soc_stress_gain = 0.0;
+  m.li.throughput_fade_per_efc = 0.2 / 3000.0;  // 20% fade over 3000 EFC
+  return m;
+}
+
+}  // namespace
+
+ChemistryModel chemistry_model(Chemistry kind) {
+  switch (kind) {
+    case Chemistry::LeadAcid: return ChemistryModel{};
+    case Chemistry::LiNmc: return li_nmc_model();
+    case Chemistry::LiLfp: return li_lfp_model();
+    case Chemistry::Bucket: return bucket_model();
+  }
+  return ChemistryModel{};
+}
+
+MechanismAxis mechanism_axis(Chemistry c) {
+  switch (c) {
+    case Chemistry::LeadAcid:
+      return MechanismAxis{
+          5, {"corrosion", "shedding", "sulphation", "stratification", "water_loss"}};
+    case Chemistry::LiNmc:
+    case Chemistry::LiLfp:
+      return MechanismAxis{2, {"calendar", "cycle", nullptr, nullptr, nullptr}};
+    case Chemistry::Bucket:
+      return MechanismAxis{2, {"calendar", "throughput", nullptr, nullptr, nullptr}};
+  }
+  return MechanismAxis{
+      5, {"corrosion", "shedding", "sulphation", "stratification", "water_loss"}};
+}
+
+std::array<double, 5> mechanism_values(Chemistry c, const AgingParams& p,
+                                       const AgingState& s) {
+  const MechanismFade f = fade_components(p, s);
+  switch (c) {
+    case Chemistry::LeadAcid:
+      // Historical series column order.
+      return {f.corrosion, f.shedding, f.sulphation, f.stratification, f.water_loss};
+    case Chemistry::LiNmc:
+    case Chemistry::LiLfp:
+    case Chemistry::Bucket:
+      // Slot 0 = calendar (corrosion slot), slot 1 = cycle/throughput
+      // (shedding slot); the remaining slots are structurally zero but are
+      // still summed by total(), so parts == total holds by construction.
+      return {f.corrosion, f.shedding, f.sulphation, f.stratification, f.water_loss};
+  }
+  return {f.corrosion, f.shedding, f.sulphation, f.stratification, f.water_loss};
+}
+
+}  // namespace baat::battery

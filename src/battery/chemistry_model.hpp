@@ -1,0 +1,83 @@
+#pragma once
+
+// Chemistry-model concept (DESIGN.md §5i): everything the SoA fleet kernel
+// needs to host a battery chemistry — the OCV curve family, the electrical
+// block (rate-capacity effect, charge acceptance, internal resistance,
+// voltage limits), the aging-mechanism set with per-mechanism fade weights
+// feeding the attribution ledger, and the cycle-life curve driving rainflow
+// Miner damage. Deliberately *not* a virtual interface: the kernel's
+// bit-exactness and throughput contracts (DESIGN.md §5e) rule out per-cell
+// indirect calls, so a model is an enum tag plus parameter blocks and the
+// kernel dispatches on the tag once per step.
+//
+// The electrical block reuses LeadAcidParams for every chemistry: its
+// fields (capacity, per-cell OCV endpoints, Peukert exponent, C-rate caps,
+// taper knee, coulombic efficiencies) are chemistry-agnostic knobs once the
+// OCV *shape* is factored out into OcvCurve. Li presets express their pack
+// voltages on the same 6-slot per-cell grid as the lead-acid prototype so
+// nominal_voltage() stays 12 V and the router/telemetry stack needs no
+// special cases.
+
+#include <array>
+#include <cstddef>
+
+#include "battery/aging.hpp"
+#include "battery/chemistry.hpp"
+#include "battery/cycle_life.hpp"
+
+namespace baat::battery {
+
+/// Li-ion aging knobs: calendar fade (Arrhenius in temperature with a
+/// SoC-stress term) plus rainflow cycle fade scaled by the capacity loss at
+/// end-of-life. The energy-bucket tier reuses the calendar term and a flat
+/// per-EFC throughput fade.
+struct LiAgingParams {
+  /// Base calendar fade per second at 20 °C and SoC 0; the kernel applies
+  /// the Arrhenius factor and the SoC stress multiplier on top.
+  double calendar_per_s = 0.0;
+  /// Calendar stress slope in SoC: rate multiplier = 1 + gain * soc
+  /// (storage at high SoC ages Li-ion faster).
+  double calendar_soc_stress_gain = 0.0;
+  /// Capacity fade attributed to cycling when accumulated rainflow Miner
+  /// damage reaches 1.0 (e.g. 0.20 = the 80%-capacity EOL convention).
+  double cycle_fade_at_eol = 0.0;
+  /// Bucket tier only: flat capacity fade per equivalent full cycle.
+  double throughput_fade_per_efc = 0.0;
+};
+
+/// One hosted chemistry: tag + parameter blocks. Aggregate, copyable,
+/// assembled by chemistry_model() or customized field-by-field in tests.
+struct ChemistryModel {
+  Chemistry kind = Chemistry::LeadAcid;
+  OcvCurve ocv = OcvCurve::LeadAcidQuadratic;
+  LeadAcidParams electrical{};
+  AgingParams aging{};
+  LiAgingParams li{};
+  /// Cycle-life curve for rainflow damage; Li presets carry tabulated
+  /// datasheet points, lead-acid keeps the fleet's configured curve.
+  CycleLifeCurve cycle_curve{};
+};
+
+/// The built-in preset for a chemistry (the `--chemistry` table).
+[[nodiscard]] ChemistryModel chemistry_model(Chemistry kind);
+
+/// The ledger/series mechanism axis of a chemistry: how many of the five
+/// generic fade slots are active and what each is called. Lead-acid uses
+/// all five (corrosion, shedding, sulphation, stratification, water_loss —
+/// the historical series column order); Li maps slot 0 to calendar fade and
+/// slot 1 to cycle fade; the bucket maps slot 0 to calendar and slot 1 to
+/// throughput fade.
+struct MechanismAxis {
+  std::size_t count = 5;
+  std::array<const char*, 5> names{};
+};
+
+[[nodiscard]] MechanismAxis mechanism_axis(Chemistry c);
+
+/// The per-slot fade components of `f` in the axis order of `c` (weighted
+/// exactly like fade_components / aging_capacity_fraction, so the first
+/// `count` entries sum to the total fade to 1e-9).
+[[nodiscard]] std::array<double, 5> mechanism_values(Chemistry c, const AgingParams& p,
+                                                     const AgingState& s);
+
+}  // namespace baat::battery

@@ -15,9 +15,38 @@ std::string_view manufacturer_name(Manufacturer m) {
   return "?";
 }
 
+namespace {
+
+/// Log-log interpolation over the tabulated curve, extrapolating past both
+/// ends on the end segments' slopes. `d` is already saturated at dod_min and
+/// capped at 1 by the caller. The result is clamped to >= 1 cycle so Miner
+/// damage per counted cycle can never exceed the cycle's count (and can
+/// never be zero, negative, or infinite — the extrapolation bugs this guard
+/// pins down).
+double tabulated_cycles(const std::vector<std::pair<double, double>>& pts, double d) {
+  BAAT_REQUIRE(pts.front().first > 0.0 && pts.front().second > 0.0,
+               "cycle-life table entries must be positive");
+  if (pts.size() == 1) return std::max(1.0, pts.front().second);
+  // Find the segment bracketing d; before the first / past the last point we
+  // reuse the nearest segment, which extends its log-log slope outward.
+  std::size_t hi = 1;
+  while (hi + 1 < pts.size() && pts[hi].first < d) ++hi;
+  const auto& a = pts[hi - 1];
+  const auto& b = pts[hi];
+  BAAT_REQUIRE(b.first > a.first && a.second > 0.0 && b.second > 0.0,
+               "cycle-life table must be strictly increasing in DoD with positive cycles");
+  const double t = (std::log(d) - std::log(a.first)) /
+                   (std::log(b.first) - std::log(a.first));
+  const double log_n = std::log(a.second) + t * (std::log(b.second) - std::log(a.second));
+  return std::max(1.0, std::exp(log_n));
+}
+
+}  // namespace
+
 double CycleLifeCurve::cycles(double dod) const {
   BAAT_REQUIRE(dod > 0.0 && dod <= 1.0, "DoD must be in (0, 1]");
   const double d = std::max(dod, dod_min);
+  if (!points.empty()) return tabulated_cycles(points, d);
   return cycles_at_full * std::pow(d, -exponent);
 }
 

@@ -8,6 +8,8 @@
 // observation ([31, 32], §III-A) when k ≈ 1.
 
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -20,12 +22,26 @@ enum class Manufacturer { Hoppecke, Trojan, UPG };
 [[nodiscard]] std::string_view manufacturer_name(Manufacturer m);
 
 /// N(DoD) = cycles_at_full * DoD^-exponent, clamped to DoD in [dod_min, 1].
+/// When `points` is non-empty the power law is replaced by log-log linear
+/// interpolation over the tabulated (DoD, cycles) pairs — the shape
+/// manufacturer Li-ion datasheets publish. Outside the tabulated range the
+/// end segments extrapolate on the same log-log slope (still saturated at
+/// dod_min), so micro-cycles below the smallest tabulated DoD accrue small
+/// but strictly positive Miner damage instead of zero, and depths past the
+/// largest point keep shrinking N instead of flattening. An empty table is
+/// bit-identical to the historical power law.
 struct CycleLifeCurve {
   double cycles_at_full = 1000.0;  ///< rated cycles at 100% DoD
   double exponent = 1.1;           ///< >1 ⇒ deep cycling wastes total throughput
   double dod_min = 0.05;           ///< below this the curve saturates
+  /// Tabulated (DoD, cycles) pairs, strictly increasing in DoD, all in
+  /// (0, 1] x (0, inf). Configuration, not state: checkpoints serialize only
+  /// the power-law scalars and rebuild the table from the scenario (a
+  /// mismatched table is refused upstream via the scenario fingerprint).
+  std::vector<std::pair<double, double>> points;
 
   /// Rated cycle count when every cycle reaches the given depth of discharge.
+  /// Always finite and >= 1 for dod in (0, 1].
   [[nodiscard]] double cycles(double dod) const;
 
   /// Total Ah a battery of the given nameplate capacity can deliver over its

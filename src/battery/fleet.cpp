@@ -25,6 +25,14 @@ FleetState::FleetState(LeadAcidParams chem, AgingParams aging, ThermalParams the
                "thermal resistance must be positive");
 }
 
+FleetState::FleetState(const ChemistryModel& model, ThermalParams thermal, MathMode math)
+    : FleetState(model.electrical, model.aging, thermal, math) {
+  kind_ = model.kind;
+  ocv_curve_ = model.ocv;
+  li_ = model.li;
+  ledger_curve_ = model.cycle_curve;
+}
+
 std::size_t FleetState::add_cell(double capacity_scale, double resistance_scale,
                                  double initial_soc) {
   BAAT_REQUIRE(capacity_scale > 0.0, "capacity_scale must be positive");
@@ -144,7 +152,7 @@ double FleetState::thermal_decay(std::size_t c, double dt_s) {
 
 Volts FleetState::cell_open_circuit(std::size_t c) const {
   if (open_[c] != 0) return Volts{0.0};
-  const double fresh = detail::block_ocv_v(chem_[c], soc_[c]);
+  const double fresh = detail::block_ocv_chem_v(chem_[c], soc_[c], ocv_curve_);
   const double sag = detail::aging_ocv_sag_v(
       aging_params_, detail::aging_capacity_fraction(aging_params_, aging_[c]));
   return Volts{fresh - sag * chem_[c].cells};
@@ -205,10 +213,16 @@ WattHours FleetState::cell_stored_energy_above(std::size_t c, double floor_soc) 
 // --- the tick kernel ---------------------------------------------------------
 
 StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
+  // The energy-bucket tier has its own reduced tick in every math mode.
+  if (kind_ == Chemistry::Bucket) return step_cell_bucket(c, requested, dt);
   // The simd tier routes even single-cell steps through the branchless
   // lane kernel (width 1) so the router's per-cell active path and the
-  // batched step_all path stay bitwise consistent within the tier.
-  if (math_ == MathMode::Simd) return step_cell_simd(c, requested, dt);
+  // batched step_all path stay bitwise consistent within the tier. The lane
+  // kernel is lead-acid physics; Li chemistries fall through to the scalar
+  // path (their Fast and Simd trajectories coincide).
+  if (math_ == MathMode::Simd && kind_ == Chemistry::LeadAcid) {
+    return step_cell_simd(c, requested, dt);
+  }
   BAAT_OBS_TIMED("battery_step");
   BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
   BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
@@ -229,7 +243,9 @@ StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
                    detail::aging_resistance_factor(aging_params_, ag);
   // Open-circuit voltage at a given SoC; only evaluated on non-open cells
   // (the scalar code's open_ early-outs are preserved at every call site).
-  const auto ocv_at = [&](double s) { return detail::block_ocv_v(chem, s) - sag_block; };
+  const auto ocv_at = [&](double s) {
+    return detail::block_ocv_chem_v(chem, s, ocv_curve_) - sag_block;
+  };
 
   StepResult result;
   // An open cell can neither source nor sink current; it still tracks
@@ -341,7 +357,7 @@ StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
     ctr.time_since_full_charge += dt;
   }
 
-  // ---- aging ----
+  // ---- aging (per-chemistry mechanism set) ----
   OperatingPoint op;
   op.soc = soc;
   op.current = actual;
@@ -349,15 +365,19 @@ StepResult FleetState::step_cell(std::size_t c, Amperes requested, Seconds dt) {
   op.temperature = Celsius{temp_c_[c]};
   op.time_since_full_charge = ctr.time_since_full_charge;
   op.temperature_rate_k_per_h = dtemp_per_h;
-  detail::aging_mechanism_step(aging_params_, nameplate_[c], chem.cells, op, dt,
-                               arrhenius(c, temp_c_[c]), ag);
+  chemistry_aging_step(c, op, dt);
 
   // ---- time counters ----
   ctr.time_total += dt;
   if (soc < 0.40) ctr.time_below_40 += dt;
 
   soc_[c] = soc;
-  if (ledger_enabled_) rainflow_[c].push(soc);
+  // Li cycle fade is driven by the rainflow counter, so the push is
+  // unconditional for Li (the ledger toggle only controls the *observation*
+  // tax for lead-acid, where rainflow is not part of the physics).
+  const bool is_li = kind_ == Chemistry::LiNmc || kind_ == Chemistry::LiLfp;
+  if (ledger_enabled_ || is_li) rainflow_[c].push(soc);
+  if (is_li) ag.shedding = li_.cycle_fade_at_eol * rainflow_[c].damage();
   BAAT_INVARIANT(soc >= 0.0 && soc <= 1.0, "soc escaped [0, 1]");
   return result;
 }
@@ -379,7 +399,9 @@ StepResult FleetState::float_charge_cell(std::size_t c, Amperes trickle, Seconds
   const double sag_block = detail::aging_ocv_sag_v(aging_params_, cap_frac) * chem.cells;
   const double r = chem.r_internal_ohms * resistance_scale_[c] *
                    detail::aging_resistance_factor(aging_params_, ag);
-  const auto ocv_at = [&](double s) { return detail::block_ocv_v(chem, s) - sag_block; };
+  const auto ocv_at = [&](double s) {
+    return detail::block_ocv_chem_v(chem, s, ocv_curve_) - sag_block;
+  };
 
   // Whatever fits below full still converts; the rest gasses.
   if (soc < 1.0 && trickle.value() > 0.0) {
@@ -421,13 +443,162 @@ StepResult FleetState::float_charge_cell(std::size_t c, Amperes trickle, Seconds
   op.terminal_voltage = result.terminal_voltage;  // held at absorb level
   op.temperature = Celsius{temp_c_[c]};
   op.time_since_full_charge = ctr.time_since_full_charge;
-  detail::aging_mechanism_step(aging_params_, nameplate_[c], chem.cells, op, dt,
-                               arrhenius(c, temp_c_[c]), ag);
+  chemistry_aging_step(c, op, dt);
 
   ctr.time_total += dt;
   if (soc < 0.40) ctr.time_below_40 += dt;
   soc_[c] = soc;
-  if (ledger_enabled_) rainflow_[c].push(soc);
+  const bool is_li = kind_ == Chemistry::LiNmc || kind_ == Chemistry::LiLfp;
+  if (ledger_enabled_ || is_li) rainflow_[c].push(soc);
+  if (is_li) ag.shedding = li_.cycle_fade_at_eol * rainflow_[c].damage();
+  return result;
+}
+
+void FleetState::chemistry_aging_step(std::size_t c, const OperatingPoint& op, Seconds dt) {
+  AgingState& ag = aging_[c];
+  switch (kind_) {
+    case Chemistry::LeadAcid:
+      // The five lead-acid rate equations (corrosion, shedding, sulphation,
+      // water loss, stratification).
+      detail::aging_mechanism_step(aging_params_, nameplate_[c], chem_[c].cells, op, dt,
+                                   arrhenius(c, temp_c_[c]), ag);
+      break;
+    case Chemistry::LiNmc:
+    case Chemistry::LiLfp:
+      // Calendar fade (Arrhenius x SoC stress) accrues into the corrosion
+      // slot; cycle fade is mirrored from the rainflow counter into the
+      // shedding slot at the push site.
+      ag.corrosion += li_.calendar_per_s * (1.0 + li_.calendar_soc_stress_gain * op.soc) *
+                      arrhenius(c, temp_c_[c]) * dt.value();
+      break;
+    case Chemistry::Bucket:
+      // Calendar fade plus a flat per-EFC throughput fade.
+      ag.corrosion += li_.calendar_per_s * arrhenius(c, temp_c_[c]) * dt.value();
+      ag.shedding += li_.throughput_fade_per_efc *
+                     (std::fabs(op.current.value()) * dt.value() / 3600.0 / nameplate_[c]);
+      break;
+  }
+}
+
+StepResult FleetState::step_cell_bucket(std::size_t c, Amperes requested, Seconds dt) {
+  BAAT_OBS_TIMED("battery_step");
+  BAAT_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
+  // The bucket reads its per-cell constants from the same flat SoA mirrors
+  // the Simd tier gathers from — one amortized cache line per cell instead
+  // of walking the ~2-line LeadAcidParams struct.
+  if (derived_dirty_) refresh_derived();
+
+  AgingState& ag = aging_[c];
+  UsageCounters& ctr = counters_[c];
+  const bool open = open_[c] != 0;
+  double soc = soc_[c];
+  const double soc_before = soc;
+
+  // The generic five-mechanism helpers stay on this path even though the
+  // bucket tick itself only accrues corrosion + shedding: an installed aged
+  // state (seed_aged_fleet, tests) may populate any slot, and the fade used
+  // here must always equal 1 - cell_health().
+  const double cap_frac = detail::aging_capacity_fraction(aging_params_, ag);
+  const double inv_nameplate = derived_.inv_nameplate[c];
+  // One reciprocal serves every per-capacity term below; the remaining
+  // rates multiply by it instead of dividing (the tier's 5x-cheaper budget
+  // is mostly bought here — the full kernel pays ~5 divides per tick).
+  const double inv_cap = inv_nameplate / cap_frac;  // cap_frac >= 0.05
+  const double r =
+      derived_.r_base[c] * detail::aging_resistance_factor(aging_params_, ag);
+
+  StepResult result;
+  Amperes actual = open ? Amperes{0.0} : requested;
+  if (open && requested.value() > 0.0) result.hit_cutoff = true;
+
+  const double hours = dt.value() * (1.0 / 3600.0);
+  if (actual.value() > 0.0) {
+    // ---- discharge: flat C-rate cap, linear coulomb drain ----
+    const double cap_a = soc > 0.0 ? derived_.max_dis_a[c] : 0.0;
+    if (actual.value() > cap_a) {
+      actual = Amperes{cap_a};
+      result.hit_cutoff = true;
+    }
+    if (actual.value() > 0.0) {
+      double dsoc = actual.value() * hours * inv_cap;
+      if (dsoc > soc) {
+        actual *= soc / dsoc;
+        dsoc = soc;
+        result.hit_cutoff = true;
+      }
+      soc -= dsoc;
+      const AmpereHours q{actual.value() * hours};
+      ctr.ah_discharged += q;
+      ag.shedding += li_.throughput_fade_per_efc * (q.value() * inv_nameplate);
+      std::size_t range = 3;
+      if (soc_before >= 0.8) {
+        range = 0;
+      } else if (soc_before >= 0.6) {
+        range = 1;
+      } else if (soc_before >= 0.4) {
+        range = 2;
+      }
+      ctr.ah_by_range[range] += q;
+      ctr.min_soc_since_full = std::min(ctr.min_soc_since_full, soc);
+    }
+  } else if (actual.value() < 0.0) {
+    // ---- charge: flat C-rate cap, flat coulombic efficiency ----
+    const double accept = soc < 1.0 ? derived_.max_chg_a[c] : 0.0;
+    if (-actual.value() > accept) actual = Amperes{-accept};
+    if (actual.value() < 0.0) {
+      double dsoc =
+          derived_.eta_bulk[c] * (-actual.value()) * hours * inv_cap;
+      if (soc + dsoc > 1.0) {
+        actual *= (1.0 - soc) / dsoc;
+        dsoc = 1.0 - soc;
+      }
+      soc += dsoc;
+      const double q = -actual.value() * hours;
+      ctr.ah_charged += AmpereHours{q};
+      ag.shedding += li_.throughput_fade_per_efc * (q * inv_nameplate);
+    }
+  }
+
+  // ---- linear OCV; no thermal RC (temperature stays ambient) ----
+  const double ocv = derived_.ocv_empty_b[c] + derived_.ocv_span_b[c] * soc;
+  result.actual_current = actual;
+  result.terminal_voltage = open ? Volts{0.0} : Volts{ocv - actual.value() * r};
+  if (actual.value() > 0.0) {
+    ctr.energy_discharged +=
+        WattHours{result.terminal_voltage.value() * actual.value() * hours};
+  } else if (actual.value() < 0.0) {
+    ctr.energy_charged +=
+        WattHours{result.terminal_voltage.value() * -actual.value() * hours};
+  }
+
+  // ---- full-charge detection ----
+  const bool was_full = soc_before >= kFullChargeSoc;
+  if (soc >= kFullChargeSoc && !was_full) {
+    result.fully_charged = true;
+    ++ctr.full_charge_events;
+    ctr.time_since_full_charge = Seconds{0.0};
+    ctr.min_soc_since_full = soc;
+  } else {
+    ctr.time_since_full_charge += dt;
+  }
+
+  // ---- calendar aging (the per-EFC throughput fade accrues in the
+  // discharge/charge branches above, off the already-computed Ah moved) ----
+  // The bucket has no thermal RC, so the cell sits at ambient and the memo
+  // hits every tick after the first; inlining the hit test keeps the
+  // out-of-line arrhenius() call (and its register spills) off the hot path.
+  const double tc = temp_c_[c];
+  const double arr = tc == arr_key_[c] ? arr_val_[c] : arrhenius(c, tc);
+  ag.corrosion += li_.calendar_per_s * arr * dt.value();
+
+  ctr.time_total += dt;
+  if (soc < 0.40) ctr.time_below_40 += dt;
+  soc_[c] = soc;
+  // No rainflow: the bucket tier has no cycle model (its mechanism axis is
+  // calendar + throughput), so cycle_damage legitimately reads 0 and the
+  // per-tick counting cost is dropped with it.
+  BAAT_INVARIANT(soc >= 0.0 && soc <= 1.0, "soc escaped [0, 1]");
   return result;
 }
 
@@ -435,11 +606,28 @@ void FleetState::step_all(std::span<const Amperes> requested, Seconds dt,
                           std::span<StepResult> results) {
   BAAT_REQUIRE(requested.size() == size() && results.size() == size(),
                "fleet_step span sizes must match the fleet size");
-  if (math_ == MathMode::Simd) {
+  if (math_ == MathMode::Simd && kind_ == Chemistry::LeadAcid) {
     step_all_simd(requested, dt, results);
     return;
   }
+  if (kind_ == Chemistry::Bucket) {
+    step_all_bucket(requested, dt, results);
+    return;
+  }
   for (std::size_t c = 0; c < size(); ++c) results[c] = step_cell(c, requested[c], dt);
+}
+
+// Dedicated bucket loop: skips the per-cell dispatch chain in step_cell and
+// flattens step_cell_bucket into the loop body, so the per-tick invariants
+// (dt-derived constants, dirty check, aging weights) hoist out and
+// independent cells overlap in the pipeline instead of serializing on a
+// call boundary per cell.
+__attribute__((flatten)) void FleetState::step_all_bucket(
+    std::span<const Amperes> requested, Seconds dt, std::span<StepResult> results) {
+  if (derived_dirty_) refresh_derived();
+  for (std::size_t c = 0; c < size(); ++c) {
+    results[c] = step_cell_bucket(c, requested[c], dt);
+  }
 }
 
 void FleetState::step_cells(std::span<const std::size_t> cells, Amperes requested,
@@ -452,6 +640,9 @@ void FleetState::step_cells(std::span<const std::size_t> cells, Amperes requeste
 FleetState FleetState::clone_cell(std::size_t c) const {
   BAAT_REQUIRE(c < soc_.size(), "cell index out of range");
   FleetState out{chem_base_, aging_params_, thermal_base_, math_};
+  out.kind_ = kind_;
+  out.ocv_curve_ = ocv_curve_;
+  out.li_ = li_;
   out.chem_.push_back(chem_[c]);
   out.thermal_.push_back(thermal_[c]);
   out.tau_.push_back(tau_[c]);
@@ -487,6 +678,9 @@ void FleetState::copy_cell_from(std::size_t dst, const FleetState& src,
     aging_params_ = src.aging_params_;
     thermal_base_ = src.thermal_base_;
     math_ = src.math_;
+    kind_ = src.kind_;
+    ocv_curve_ = src.ocv_curve_;
+    li_ = src.li_;
   }
   chem_[dst] = src.chem_[src_cell];
   thermal_[dst] = src.thermal_[src_cell];
@@ -618,9 +812,21 @@ std::uint8_t math_mode_byte(MathMode m) {
   }
   return 0;
 }
+
+// Leading sentinel marking a non-lead-acid fleet snapshot. Lead-acid
+// snapshots keep the PR 9 layout byte-for-byte (first byte = math mode,
+// always 0/1/2, which can never collide with the sentinel); non-lead-acid
+// snapshots prepend [sentinel, chemistry byte] so a resume under a
+// different --chemistry is refused with a readable error instead of a
+// garbled-stream failure.
+constexpr std::uint8_t kChemistrySentinel = 0xC7;
 }  // namespace
 
 void FleetState::save_state(snapshot::SnapshotWriter& w) const {
+  if (kind_ != Chemistry::LeadAcid) {
+    w.write_u8(kChemistrySentinel);
+    w.write_u8(static_cast<std::uint8_t>(kind_));
+  }
   w.write_u8(math_mode_byte(math_));
   w.write_u64(size());
   for (const LeadAcidParams& p : chem_) save_chem(w, p);
@@ -650,7 +856,19 @@ void FleetState::save_state(snapshot::SnapshotWriter& w) const {
 }
 
 void FleetState::load_state(snapshot::SnapshotReader& r) {
-  const std::uint8_t saved_byte = r.read_u8();
+  std::uint8_t saved_byte = r.read_u8();
+  Chemistry saved_kind = Chemistry::LeadAcid;
+  if (saved_byte == kChemistrySentinel) {
+    saved_kind = static_cast<Chemistry>(r.read_u8());
+    saved_byte = r.read_u8();  // the math-mode byte follows the tag
+  }
+  if (saved_kind != kind_) {
+    throw snapshot::SnapshotError(
+        std::string{"fleet snapshot was taken with --chemistry "} +
+        std::string{chemistry_name(saved_kind)} + " but the scenario runs --chemistry " +
+        std::string{chemistry_name(kind_)} + "; resume with the chemistry the "
+        "checkpoint was written under");
+  }
   if (saved_byte != math_mode_byte(math_)) {
     throw snapshot::SnapshotError(
         "fleet snapshot was taken in a different --math mode; resume with the "

@@ -25,6 +25,7 @@
 
 #include "battery/aging.hpp"
 #include "battery/chemistry.hpp"
+#include "battery/chemistry_model.hpp"
 #include "battery/ledger.hpp"
 #include "battery/thermal.hpp"
 #include "snapshot/serialize.hpp"
@@ -81,6 +82,12 @@ class FleetState {
  public:
   FleetState(LeadAcidParams chem, AgingParams aging, ThermalParams thermal,
              MathMode math = MathMode::Exact);
+  /// Chemistry-hosting ctor (DESIGN.md §5i): the fleet adopts the model's
+  /// tag, OCV curve, electrical/aging blocks, Li aging knobs and cycle-life
+  /// curve. A default lead-acid model built this way is bit-identical to the
+  /// legacy ctor above.
+  FleetState(const ChemistryModel& model, ThermalParams thermal,
+             MathMode math = MathMode::Exact);
 
   /// Append one unit; returns its cell index. `capacity_scale` and
   /// `resistance_scale` model unit-to-unit manufacturing variation.
@@ -89,6 +96,10 @@ class FleetState {
   [[nodiscard]] std::size_t size() const { return soc_.size(); }
   [[nodiscard]] MathMode math() const { return math_; }
   [[nodiscard]] const AgingParams& aging_params() const { return aging_params_; }
+  /// The hosted chemistry tag (Chemistry::LeadAcid for legacy-ctor fleets).
+  [[nodiscard]] Chemistry chemistry_kind() const { return kind_; }
+  [[nodiscard]] OcvCurve ocv_curve() const { return ocv_curve_; }
+  [[nodiscard]] const LiAgingParams& li_params() const { return li_; }
 
   // --- the tick kernel -------------------------------------------------------
   /// Advance cell `c` by dt, requesting `requested` (>0 discharge,
@@ -185,6 +196,22 @@ class FleetState {
   double peukert_capacity_ah(std::size_t c, double i);
   double thermal_decay(std::size_t c, double dt_s);
 
+  /// Low-fidelity energy-bucket tick: linear OCV coulomb bucket with flat
+  /// C-rate caps and round-trip efficiency; no Peukert, no charge-acceptance
+  /// taper, no thermal RC (temperature stays ambient), two-term aging
+  /// (calendar + per-EFC throughput fade). The perf gate holds this path to
+  /// >= 5x the lead-acid exact tier's cell-tick throughput.
+  StepResult step_cell_bucket(std::size_t c, Amperes requested, Seconds dt);
+  /// Batched bucket tick: the step_all hot loop, kept out-of-line so the
+  /// bucket step can be force-inlined into it (one call per tick instead of
+  /// one per cell, letting independent cells overlap in the pipeline).
+  void step_all_bucket(std::span<const Amperes> requested, Seconds dt,
+                       std::span<StepResult> results);
+  /// Per-chemistry aging dispatch for the non-hot paths (float charge):
+  /// lead-acid runs the five-mechanism rate equations, Li accrues calendar
+  /// fade into the corrosion slot, the bucket adds calendar + throughput.
+  void chemistry_aging_step(std::size_t c, const OperatingPoint& op, Seconds dt);
+
   // --- MathMode::Simd kernel (fleet_simd.cpp, compiled with the SIMD
   // flags — see src/battery/CMakeLists.txt) -----------------------------------
   /// Advance cells [base, base + count) branchlessly, W lanes at a time,
@@ -235,6 +262,14 @@ class FleetState {
   AgingParams aging_params_;   ///< shared by every cell
   ThermalParams thermal_base_;
   MathMode math_;
+
+  // Hosted chemistry (configuration, not per-cell state: faults may swap a
+  // cell's electrical block but never its chemistry). Snapshots of
+  // non-lead-acid fleets record the tag so mismatched resumes are refused;
+  // the lead-acid snapshot layout is unchanged from PR 9.
+  Chemistry kind_ = Chemistry::LeadAcid;
+  OcvCurve ocv_curve_ = OcvCurve::LeadAcidQuadratic;
+  LiAgingParams li_{};
 
   // Per-cell parameter slots (capacity variation baked into chem_[c]).
   std::vector<LeadAcidParams> chem_;

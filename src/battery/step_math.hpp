@@ -38,8 +38,92 @@ inline double block_ocv_v(const LeadAcidParams& p, double soc) {
   return cell * p.cells;
 }
 
+// --- multi-chemistry OCV curve families (DESIGN.md §5i) ----------------------
+// Each maps SoC in [0,1] to a normalized voltage fraction in [0,1] between
+// the chemistry's empty and full per-cell OCV. LeadAcidQuadratic dispatches
+// to ocv_shape() above so the lead-acid path stays arithmetically identical.
+
+/// LFP plateau knots: a steep toe below 8% SoC, a nearly flat mid plateau
+/// (45%..55% of the span across 84% of the SoC range — the shape that makes
+/// voltage-based SoC estimation genuinely hard on LFP), a steep shoulder.
+inline constexpr double kLfpToeSoc = 0.08;
+inline constexpr double kLfpShoulderSoc = 0.92;
+inline constexpr double kLfpToeSpan = 0.45;
+inline constexpr double kLfpShoulderSpan = 0.55;
+
+inline double ocv_shape_for(OcvCurve curve, double soc) {
+  switch (curve) {
+    case OcvCurve::LeadAcidQuadratic:
+      return ocv_shape(soc);
+    case OcvCurve::NmcCubic:
+      // Gentle S-shape, strictly increasing on [0,1] (the derivative
+      // 1.4 - 1.6x + 1.2x^2 has no real roots), s(0)=0, s(1)=1.
+      return soc * (1.4 + soc * (-0.8 + soc * 0.4));
+    case OcvCurve::LfpPlateau:
+      if (soc < kLfpToeSoc) return soc * (kLfpToeSpan / kLfpToeSoc);
+      if (soc < kLfpShoulderSoc) {
+        return kLfpToeSpan + (soc - kLfpToeSoc) * ((kLfpShoulderSpan - kLfpToeSpan) /
+                                                   (kLfpShoulderSoc - kLfpToeSoc));
+      }
+      return kLfpShoulderSpan +
+             (soc - kLfpShoulderSoc) * ((1.0 - kLfpShoulderSpan) / (1.0 - kLfpShoulderSoc));
+    case OcvCurve::Linear:
+      return soc;
+  }
+  return soc;
+}
+
+/// Inverse of ocv_shape_for on [0,1]: given a normalized voltage fraction,
+/// recover SoC. Exact closed forms except NmcCubic, which runs a fixed
+/// 8-step Newton iteration (deterministic — no convergence-dependent
+/// branching; the derivative is bounded below by 0.86 so 8 steps land far
+/// under 1e-12).
+inline double soc_from_ocv_shape(OcvCurve curve, double s) {
+  switch (curve) {
+    case OcvCurve::LeadAcidQuadratic: {
+      const double c = kOcvCurvature;
+      const double disc = (1.0 + c) * (1.0 + c) - 4.0 * c * s;
+      return ((1.0 + c) - std::sqrt(disc)) / (2.0 * c);
+    }
+    case OcvCurve::NmcCubic: {
+      double x = s;
+      for (int it = 0; it < 8; ++it) {
+        const double f = x * (1.4 + x * (-0.8 + x * 0.4)) - s;
+        const double df = 1.4 + x * (-1.6 + x * 1.2);
+        x -= f / df;
+      }
+      return x;
+    }
+    case OcvCurve::LfpPlateau:
+      if (s < kLfpToeSpan) return s * (kLfpToeSoc / kLfpToeSpan);
+      if (s < kLfpShoulderSpan) {
+        return kLfpToeSoc + (s - kLfpToeSpan) * ((kLfpShoulderSoc - kLfpToeSoc) /
+                                                 (kLfpShoulderSpan - kLfpToeSpan));
+      }
+      return kLfpShoulderSoc +
+             (s - kLfpShoulderSpan) * ((1.0 - kLfpShoulderSoc) / (1.0 - kLfpShoulderSpan));
+    case OcvCurve::Linear:
+      return s;
+  }
+  return s;
+}
+
+/// Curve-aware whole-block OCV; the LeadAcidQuadratic case evaluates the
+/// exact expression of block_ocv_v above (same operations, same order).
+inline double block_ocv_chem_v(const LeadAcidParams& p, double soc, OcvCurve curve) {
+  BAAT_REQUIRE(soc >= 0.0 && soc <= 1.0, "soc must be in [0, 1]");
+  const double span = (p.ocv_cell_full - p.ocv_cell_empty).value();
+  const double cell = p.ocv_cell_empty.value() + span * ocv_shape_for(curve, soc);
+  return cell * p.cells;
+}
+
 /// Peukert-corrected capacity at a sustained discharge current, in Ah.
+/// A NaN current propagates (poison must reach the watchdog, not become a
+/// precondition crash mid-kernel); at and below the 20 h rate the nameplate
+/// is returned exactly, so I -> 0 can neither divide by zero nor inflate
+/// capacity past the C20 rating.
 inline double effective_capacity_ah(const LeadAcidParams& p, double i) {
+  if (std::isnan(i)) return i;
   BAAT_REQUIRE(i >= 0.0, "discharge current must be >= 0");
   const double i20 = p.rated_current().value();
   if (i <= i20) return p.capacity_c20.value();

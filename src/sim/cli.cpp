@@ -151,6 +151,12 @@ std::string cli_usage() {
          "                    within 0.1%); simd additionally batches cells across\n"
          "                    SIMD lanes (same tolerance, fastest); exact is\n"
          "                    bit-identical to the reference\n"
+         "  --chemistry <c>   lead_acid | li_nmc | li_lfp | bucket (default\n"
+         "                    lead_acid, byte-identical to the historical\n"
+         "                    simulator). li_nmc/li_lfp swap in Li-ion presets\n"
+         "                    (rainflow cycle + calendar aging; li_lfp's flat OCV\n"
+         "                    stresses voltage-based SoC estimation); bucket is a\n"
+         "                    low-fidelity energy bucket for huge sweeps\n"
          "  --old-fleet       start from a six-month-aged fleet\n"
          "  --checkpoint-every <n>\n"
          "                    write a crash-safe resume snapshot every n days\n"
@@ -249,6 +255,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         throw util::PreconditionError("bad value for --math: '" + tier +
                                       "' (exact|fast|simd)");
       }
+    } else if (a == "--chemistry") {
+      const std::string& name = next("--chemistry");
+      if (!battery::parse_chemistry(name, options.chemistry)) {
+        throw util::PreconditionError("bad value for --chemistry: '" + name +
+                                      "' (lead_acid|li_nmc|li_lfp|bucket)");
+      }
     } else if (a == "--old-fleet") {
       options.old_fleet = true;
     } else if (a == "--checkpoint-every") {
@@ -344,6 +356,18 @@ ScenarioConfig scenario_from_cli(const CliOptions& options) {
   cfg.seed = options.seed;
   cfg.policy = options.policy;
   cfg.bank.math = options.math;
+  if (options.chemistry != battery::Chemistry::LeadAcid) {
+    // Applied before the --ratio rescale so the server-to-battery ratio
+    // reshapes the preset's capacity, not the lead-acid default's.
+    battery::apply_chemistry_preset(cfg.bank, options.chemistry);
+    cfg.metrics.nameplate = cfg.bank.chemistry.capacity_c20;
+    // CAP_nom follows the preset's rated full cycles, as prototype_scenario
+    // derives it for lead-acid.
+    cfg.metrics.lifetime_throughput = util::ampere_hours(
+        cfg.bank.chemistry.capacity_c20.value() * cfg.bank.cycle_curve.cycles_at_full);
+    cfg.policy_params.planned.total_throughput = cfg.metrics.lifetime_throughput;
+    cfg.policy_params.planned.nameplate = cfg.metrics.nameplate;
+  }
   if (options.cycles_plan > 0.0) {
     cfg.policy_params.planned.cycles_plan = options.cycles_plan;
   }
@@ -487,6 +511,12 @@ void run_sunshine_sweep(const CliOptions& options, const ScenarioConfig& cfg) {
   if (!cfg.faults.empty()) {
     std::printf("faults        : %s\n", cfg.faults.to_string().c_str());
   }
+  // Only printed off the default so lead-acid output stays byte-identical
+  // to the pre-chemistry-backend simulator.
+  if (cfg.bank.kind != battery::Chemistry::LeadAcid) {
+    std::printf("chemistry     : %s\n",
+                std::string(battery::chemistry_name(cfg.bank.kind)).c_str());
+  }
   std::printf("sweep         : %zu sunshine points x %zu days (seed %llu%s)\n",
               fractions.size(), options.days,
               static_cast<unsigned long long>(options.seed),
@@ -585,6 +615,12 @@ int run_datacenter_cli(const CliOptions& options, const ScenarioConfig& cfg) {
               std::string(core::policy_kind_name(cfg.policy)).c_str());
   if (!cfg.faults.empty()) {
     std::printf("faults        : %s\n", cfg.faults.to_string().c_str());
+  }
+  // Only printed off the default so lead-acid output stays byte-identical
+  // to the pre-chemistry-backend simulator.
+  if (cfg.bank.kind != battery::Chemistry::LeadAcid) {
+    std::printf("chemistry     : %s\n",
+                std::string(battery::chemistry_name(cfg.bank.kind)).c_str());
   }
   // Topology/demand lines only when they deviate from the classic engine, so
   // --shards 1 output stays byte-identical to the unsharded run.
@@ -771,6 +807,12 @@ int run_cli(const CliOptions& options) {
   std::printf("policy        : %s\n", std::string(core::policy_kind_name(cfg.policy)).c_str());
   if (!cfg.faults.empty()) {
     std::printf("faults        : %s\n", cfg.faults.to_string().c_str());
+  }
+  // Only printed off the default so lead-acid output stays byte-identical
+  // to the pre-chemistry-backend simulator.
+  if (cfg.bank.kind != battery::Chemistry::LeadAcid) {
+    std::printf("chemistry     : %s\n",
+                std::string(battery::chemistry_name(cfg.bank.kind)).c_str());
   }
   std::printf("days          : %zu (sunshine %.2f, seed %llu%s)\n", options.days,
               options.sunshine_fraction,

@@ -36,6 +36,9 @@ struct CliOptions {
   /// bit-identical to the reference implementation; Fast swaps the aging
   /// Arrhenius/Peukert pow and exp for bounded-error polynomials.
   battery::MathMode math = battery::MathMode::Exact;
+  /// Battery chemistry preset (--chemistry). The lead-acid default keeps
+  /// every output byte-identical to the pre-chemistry-backend simulator.
+  battery::Chemistry chemistry = battery::Chemistry::LeadAcid;
   /// Parsed --faults plan (repeatable flag; specs accumulate). Empty = clean
   /// run with byte-identical outputs to a build without the fault layer.
   fault::FaultPlan faults;

@@ -50,6 +50,7 @@ Cluster::Cluster(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
 
   telemetry::PowerTableParams table_params;
   table_params.chemistry = cfg_.bank.chemistry;
+  table_params.ocv_curve = cfg_.bank.ocv;
   table_params.estimation = cfg_.soc_estimation;
   for (std::size_t i = 0; i < cfg_.nodes; ++i) {
     servers_.emplace_back(cfg_.server);
@@ -402,6 +403,7 @@ DayResult Cluster::run_day(const solar::SolarDay& day) {
   // information of six battery nodes" recorded per experiment day (§VI-B).
   telemetry::PowerTableParams table_params;
   table_params.chemistry = cfg_.bank.chemistry;
+  table_params.ocv_curve = cfg_.bank.ocv;
   table_params.estimation = cfg_.soc_estimation;
   day_tables_.assign(cfg_.nodes, telemetry::PowerTable{table_params});
 

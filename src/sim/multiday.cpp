@@ -1,11 +1,13 @@
 #include "sim/multiday.hpp"
 
 #include <algorithm>
+#include <array>
 #include <filesystem>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
+#include "battery/chemistry_model.hpp"
 #include "fault/injector.hpp"
 #include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
@@ -34,17 +36,21 @@ void load_probe(snapshot::SnapshotReader& r, battery::ProbeResult& p) {
 
 std::string ledger_csv(const Cluster& cluster) {
   using obs::format_number;
-  std::string csv =
-      "scope,node,fade_corrosion,fade_shedding,fade_sulphation,"
-      "fade_stratification,fade_water_loss,fade_total,cycle_damage,efc,"
-      "low_soc_dwell_s\n";
+  // Mechanism columns follow the chemistry's axis (lead-acid reproduces the
+  // historical five-column header byte-for-byte).
+  const battery::MechanismAxis axis =
+      battery::mechanism_axis(cluster.config().bank.kind);
+  std::string csv = "scope,node";
+  for (std::size_t i = 0; i < axis.count; ++i) csv += std::string(",fade_") + axis.names[i];
+  csv += ",fade_total,cycle_damage,efc,low_soc_dwell_s\n";
   const auto row = [&](const char* scope, const std::string& node,
                        const battery::MechanismFade& f, double damage, double efc,
                        double dwell) {
-    csv += std::string(scope) + "," + node + "," + format_number(f.corrosion) + "," +
-           format_number(f.shedding) + "," + format_number(f.sulphation) + "," +
-           format_number(f.stratification) + "," + format_number(f.water_loss) + "," +
-           format_number(f.total()) + "," + format_number(damage) + "," +
+    const std::array<double, 5> slots = {f.corrosion, f.shedding, f.sulphation,
+                                         f.stratification, f.water_loss};
+    csv += std::string(scope) + "," + node;
+    for (std::size_t i = 0; i < axis.count; ++i) csv += "," + format_number(slots[i]);
+    csv += "," + format_number(f.total()) + "," + format_number(damage) + "," +
            format_number(efc) + "," + format_number(dwell) + "\n";
   };
   for (std::size_t i = 0; i < cluster.node_count(); ++i) {
@@ -347,6 +353,12 @@ std::uint64_t scenario_fingerprint(const ScenarioConfig& cfg, const MultiDayOpti
   w.write_u64(options.probe_every_days);
   w.write_u64(options.weather.size());
   for (solar::DayType t : options.weather) w.write_u8(static_cast<std::uint8_t>(t));
+  // Appended only off the default so every pre-chemistry checkpoint keeps
+  // its config hash; a non-default chemistry changes the hash, refusing
+  // mismatched resumes before the fleet-level sentinel even loads.
+  if (cfg.bank.kind != battery::Chemistry::LeadAcid) {
+    w.write_u8(static_cast<std::uint8_t>(cfg.bank.kind));
+  }
   // FNV-1a over the buffer, folded with the payload CRC so both byte order
   // and content contribute; never zero (0 means "unchecked").
   std::uint64_t h = 0xCBF29CE484222325ULL;

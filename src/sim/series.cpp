@@ -1,20 +1,38 @@
 #include "sim/series.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
+#include "battery/chemistry_model.hpp"
 #include "obs/metrics.hpp"
 
 namespace baat::sim {
 
 namespace {
 
-const char* kCsvHeader =
-    "day,node,soc_end,soc_min,health,fade_corrosion,fade_shedding,"
-    "fade_sulphation,fade_stratification,fade_water_loss,fade_total,"
-    "cycle_damage,efc,low_soc_dwell_s,health_score,throughput_work\n";
+/// Per-chemistry fade slot values in the axis order (slot mapping is fixed:
+/// Li's calendar fade lives in the corrosion slot, its cycle fade in the
+/// shedding slot — see battery/chemistry_model.hpp).
+std::array<double, 5> mech_slots(const battery::MechanismFade& f) {
+  return {f.corrosion, f.shedding, f.sulphation, f.stratification, f.water_loss};
+}
+
+/// For lead-acid this reproduces the historical header byte-for-byte
+/// (corrosion, shedding, sulphation, stratification, water_loss); Li and
+/// bucket chemistries emit only their active mechanism columns
+/// (fade_calendar, fade_cycle / fade_throughput).
+std::string csv_header(const battery::MechanismAxis& axis) {
+  std::string h = "day,node,soc_end,soc_min,health";
+  for (std::size_t i = 0; i < axis.count; ++i) {
+    h += std::string(",fade_") + axis.names[i];
+  }
+  h += ",fade_total,cycle_damage,efc,low_soc_dwell_s,health_score,throughput_work\n";
+  return h;
+}
 
 std::string csv_row(long day, const std::string& node, const NodeDayStats* n,
+                    const battery::MechanismAxis& axis,
                     const battery::MechanismFade& fade, double cycle_damage, double efc,
                     double dwell, double health_score, double throughput) {
   using obs::format_number;
@@ -22,9 +40,9 @@ std::string csv_row(long day, const std::string& node, const NodeDayStats* n,
   row += (n != nullptr ? format_number(n->soc_end) : "") + ",";
   row += (n != nullptr ? format_number(n->soc_min) : "") + ",";
   row += (n != nullptr ? format_number(n->health) : "") + ",";
-  row += format_number(fade.corrosion) + "," + format_number(fade.shedding) + "," +
-         format_number(fade.sulphation) + "," + format_number(fade.stratification) +
-         "," + format_number(fade.water_loss) + "," + format_number(fade.total()) + ",";
+  const std::array<double, 5> slots = mech_slots(fade);
+  for (std::size_t i = 0; i < axis.count; ++i) row += format_number(slots[i]) + ",";
+  row += format_number(fade.total()) + ",";
   row += format_number(cycle_damage) + "," + format_number(efc) + "," +
          format_number(dwell) + "," + format_number(health_score) + "," +
          format_number(throughput) + "\n";
@@ -32,6 +50,7 @@ std::string csv_row(long day, const std::string& node, const NodeDayStats* n,
 }
 
 std::string jsonl_row(long day, const std::string& node, const NodeDayStats* n,
+                      const battery::MechanismAxis& axis,
                       const battery::MechanismFade& fade, double cycle_damage,
                       double efc, double dwell, double health_score,
                       double throughput) {
@@ -43,12 +62,12 @@ std::string jsonl_row(long day, const std::string& node, const NodeDayStats* n,
            ", \"soc_min\": " + format_number(n->soc_min) +
            ", \"health\": " + format_number(n->health);
   }
-  row += ", \"fade\": {\"corrosion\": " + format_number(fade.corrosion) +
-         ", \"shedding\": " + format_number(fade.shedding) +
-         ", \"sulphation\": " + format_number(fade.sulphation) +
-         ", \"stratification\": " + format_number(fade.stratification) +
-         ", \"water_loss\": " + format_number(fade.water_loss) +
-         ", \"total\": " + format_number(fade.total()) + "}";
+  const std::array<double, 5> slots = mech_slots(fade);
+  row += ", \"fade\": {";
+  for (std::size_t i = 0; i < axis.count; ++i) {
+    row += std::string("\"") + axis.names[i] + "\": " + format_number(slots[i]) + ", ";
+  }
+  row += "\"total\": " + format_number(fade.total()) + "}";
   row += ", \"cycle_damage\": " + format_number(cycle_damage) +
          ", \"efc\": " + format_number(efc) +
          ", \"low_soc_dwell_s\": " + format_number(dwell) +
@@ -84,8 +103,10 @@ void SeriesWriter::append(const std::string& text) {
 void SeriesWriter::write_day(long day, const Cluster& cluster, const DayResult& result) {
   if (!active()) return;
   ensure_open();
+  const battery::MechanismAxis axis =
+      battery::mechanism_axis(cluster.config().bank.kind);
   if (!jsonl_ && !header_written_) {
-    append(kCsvHeader);
+    append(csv_header(axis));
     header_written_ = true;
   }
 
@@ -94,16 +115,16 @@ void SeriesWriter::write_day(long day, const Cluster& cluster, const DayResult& 
     const battery::CellLedgerEntry e = cluster.node_ledger_delta(i);
     const NodeDayStats& n = result.nodes[i];
     const std::string label = std::to_string(i);
-    append(jsonl_ ? jsonl_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+    append(jsonl_ ? jsonl_row(day, label, &n, axis, e.fade, e.cycle_damage, e.efc,
                               e.low_soc_dwell_s, score, result.throughput_work)
-                  : csv_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+                  : csv_row(day, label, &n, axis, e.fade, e.cycle_damage, e.efc,
                             e.low_soc_dwell_s, score, result.throughput_work));
   }
   const battery::LedgerRollup roll = cluster.ledger_rollup(false);
-  append(jsonl_ ? jsonl_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+  append(jsonl_ ? jsonl_row(day, "cluster", nullptr, axis, roll.fade, roll.cycle_damage,
                             roll.efc, roll.low_soc_dwell_s, score,
                             result.throughput_work)
-                : csv_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+                : csv_row(day, "cluster", nullptr, axis, roll.fade, roll.cycle_damage,
                           roll.efc, roll.low_soc_dwell_s, score,
                           result.throughput_work));
   out_.flush();
@@ -113,8 +134,10 @@ void SeriesWriter::write_day(long day, const std::vector<const Cluster*>& shards
                              const DayResult& merged) {
   if (!active()) return;
   ensure_open();
+  const battery::MechanismAxis axis =
+      battery::mechanism_axis(shards.front()->config().bank.kind);
   if (!jsonl_ && !header_written_) {
-    append(kCsvHeader);
+    append(csv_header(axis));
     header_written_ = true;
   }
 
@@ -125,9 +148,9 @@ void SeriesWriter::write_day(long day, const std::vector<const Cluster*>& shards
       const battery::CellLedgerEntry e = shard->node_ledger_delta(i);
       const NodeDayStats& n = merged.nodes[global];
       const std::string label = std::to_string(global);
-      append(jsonl_ ? jsonl_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+      append(jsonl_ ? jsonl_row(day, label, &n, axis, e.fade, e.cycle_damage, e.efc,
                                 e.low_soc_dwell_s, score, merged.throughput_work)
-                    : csv_row(day, label, &n, e.fade, e.cycle_damage, e.efc,
+                    : csv_row(day, label, &n, axis, e.fade, e.cycle_damage, e.efc,
                               e.low_soc_dwell_s, score, merged.throughput_work));
     }
   }
@@ -137,10 +160,10 @@ void SeriesWriter::write_day(long day, const std::vector<const Cluster*>& shards
     roll += shard->ledger_rollup(false);
     worst_score = std::min(worst_score, shard->watchdog().log().score());
   }
-  append(jsonl_ ? jsonl_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+  append(jsonl_ ? jsonl_row(day, "cluster", nullptr, axis, roll.fade, roll.cycle_damage,
                             roll.efc, roll.low_soc_dwell_s, worst_score,
                             merged.throughput_work)
-                : csv_row(day, "cluster", nullptr, roll.fade, roll.cycle_damage,
+                : csv_row(day, "cluster", nullptr, axis, roll.fade, roll.cycle_damage,
                           roll.efc, roll.low_soc_dwell_s, worst_score,
                           merged.throughput_work));
   out_.flush();

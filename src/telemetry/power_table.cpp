@@ -23,8 +23,9 @@ void PowerTable::record(const SensorReading& reading, Seconds dt) {
   // controller only knows the nominal internal resistance).
   const double ocv_est = reading.voltage.value() +
                          reading.current.value() * params_.chemistry.r_internal_ohms;
-  const double soc_v =
-      battery::soc_from_voltage(params_.chemistry, util::Volts{ocv_est});
+  const double soc_v = battery::soc_from_voltage(params_.chemistry,
+                                                 util::Volts{ocv_est},
+                                                 params_.ocv_curve);
   if (params_.estimation == SocEstimation::VoltageOnly) {
     soc_estimate_ = soc_v;
   } else {

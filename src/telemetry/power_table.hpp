@@ -29,6 +29,10 @@ enum class SocEstimation {
 
 struct PowerTableParams {
   battery::LeadAcidParams chemistry{};  ///< nominal chemistry for SoC estimation
+  /// OCV curve shape used to invert voltage readings into SoC. LFP's flat
+  /// plateau makes VoltageOnly estimation nearly blind over mid-SoC — the
+  /// stress case for voltage-based estimators.
+  battery::OcvCurve ocv_curve = battery::OcvCurve::LeadAcidQuadratic;
   SocEstimation estimation = SocEstimation::RestAnchoredCoulomb;
   /// Exponential window for the discharge-rate metric (DR, §III-E).
   Seconds dr_window{util::minutes(10.0)};

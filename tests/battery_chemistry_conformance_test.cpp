@@ -1,0 +1,227 @@
+// Chemistry-model conformance suite (DESIGN.md §5i): every chemistry the
+// fleet kernel can host — lead-acid, Li-ion NMC, Li-ion LFP and the cheap
+// energy bucket — must satisfy the same cross-model contracts in every math
+// tier: SoC stays in [0,1], the OCV curve is strictly increasing, energy
+// out never exceeds energy in plus what was initially stored, the
+// aging-attribution ledger's per-mechanism parts reproduce the kernel's
+// total fade, and a save/load round trip is bit-identical under continued
+// stepping. The suite runs under the `chemistry` ctest label in both the
+// Release and sanitizer CI shards.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "battery/chemistry_model.hpp"
+#include "battery/fleet.hpp"
+#include "battery/thermal.hpp"
+#include "snapshot/serialize.hpp"
+
+namespace baat::battery {
+namespace {
+
+using util::Amperes;
+using util::Seconds;
+
+constexpr Chemistry kAllChemistries[] = {Chemistry::LeadAcid, Chemistry::LiNmc,
+                                         Chemistry::LiLfp, Chemistry::Bucket};
+constexpr MathMode kAllMath[] = {MathMode::Exact, MathMode::Fast, MathMode::Simd};
+
+constexpr std::size_t kCells = 4;
+const Seconds kDt{60.0};
+
+FleetState make_fleet(Chemistry kind, MathMode math) {
+  const ChemistryModel model = chemistry_model(kind);
+  FleetState fleet{model, ThermalParams{}, math};
+  for (std::size_t c = 0; c < kCells; ++c) {
+    fleet.add_cell(1.0 - 0.02 * static_cast<double>(c),
+                   1.0 + 0.03 * static_cast<double>(c), 1.0);
+  }
+  fleet.set_ledger_enabled(true);
+  return fleet;
+}
+
+/// Day-shaped duty cycle, detuned per cell: night discharge, midday charge,
+/// evening discharge. Amperes are modest relative to the ~35 Ah presets so
+/// every chemistry survives the pattern without pinning at the rails.
+double requested_amps(long tick, std::size_t cell) {
+  const long phase = tick % 1440;
+  const double detune = 0.2 * static_cast<double>(cell);
+  if (phase < 480) return 3.0 + detune;
+  if (phase < 1080) return -(6.0 + detune);
+  return 1.5 + detune;
+}
+
+class ChemistryConformance
+    : public ::testing::TestWithParam<std::tuple<Chemistry, MathMode>> {};
+
+TEST_P(ChemistryConformance, SocStaysInUnitRange) {
+  const auto [kind, math] = GetParam();
+  FleetState fleet = make_fleet(kind, math);
+  for (long tick = 0; tick < 3000; ++tick) {
+    for (std::size_t c = 0; c < kCells; ++c) {
+      fleet.step_cell(c, Amperes{requested_amps(tick, c)}, kDt);
+      const double soc = fleet.cell_soc(c);
+      ASSERT_GE(soc, -1e-9) << "tick " << tick << " cell " << c;
+      ASSERT_LE(soc, 1.0 + 1e-9) << "tick " << tick << " cell " << c;
+      ASSERT_FALSE(std::isnan(soc)) << "tick " << tick << " cell " << c;
+    }
+  }
+}
+
+TEST_P(ChemistryConformance, OcvStrictlyIncreasing) {
+  const auto [kind, math] = GetParam();
+  (void)math;  // the OCV curve is math-tier independent
+  const ChemistryModel model = chemistry_model(kind);
+  double prev = open_circuit_voltage(model.electrical, 0.0, model.ocv).value();
+  for (int i = 1; i <= 200; ++i) {
+    const double v =
+        open_circuit_voltage(model.electrical, i / 200.0, model.ocv).value();
+    ASSERT_GT(v, prev) << chemistry_name(kind) << " at soc " << i / 200.0;
+    prev = v;
+  }
+}
+
+TEST_P(ChemistryConformance, EnergyBalanceNeverCreatesEnergy) {
+  const auto [kind, math] = GetParam();
+  FleetState fleet = make_fleet(kind, math);
+  std::vector<double> initial(kCells);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    initial[c] = fleet.cell_stored_energy_above(c, 0.0).value();
+  }
+  for (long tick = 0; tick < 3000; ++tick) {
+    for (std::size_t c = 0; c < kCells; ++c) {
+      fleet.step_cell(c, Amperes{requested_amps(tick, c)}, kDt);
+    }
+  }
+  for (std::size_t c = 0; c < kCells; ++c) {
+    const UsageCounters& u = fleet.cell_counters(c);
+    EXPECT_LE(u.energy_discharged.value(),
+              u.energy_charged.value() + initial[c] + 1e-6)
+        << chemistry_name(kind) << " cell " << c;
+  }
+}
+
+TEST_P(ChemistryConformance, LedgerPartsReproduceTotalFade) {
+  const auto [kind, math] = GetParam();
+  FleetState fleet = make_fleet(kind, math);
+  for (long tick = 0; tick < 3000; ++tick) {
+    for (std::size_t c = 0; c < kCells; ++c) {
+      fleet.step_cell(c, Amperes{requested_amps(tick, c)}, kDt);
+    }
+  }
+  const MechanismAxis axis = mechanism_axis(kind);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    const CellLedgerEntry total = fleet.ledger_total(c);
+    // The attribution must reproduce the kernel's own fade number.
+    EXPECT_NEAR(total.fade.total(), 1.0 - fleet.cell_health(c), 1e-9)
+        << chemistry_name(kind) << " cell " << c;
+    // ...and the per-mechanism columns the axis exposes must sum to it: no
+    // fade may hide in a slot the chemistry's axis does not report.
+    const double slots[5] = {total.fade.corrosion, total.fade.shedding,
+                             total.fade.sulphation, total.fade.stratification,
+                             total.fade.water_loss};
+    double reported = 0.0;
+    for (std::size_t i = 0; i < axis.count; ++i) reported += slots[i];
+    EXPECT_NEAR(reported, total.fade.total(), 1e-15)
+        << chemistry_name(kind) << " cell " << c;
+    EXPECT_GT(total.fade.total(), 0.0) << chemistry_name(kind) << " cell " << c;
+  }
+}
+
+TEST_P(ChemistryConformance, SaveLoadBitIdenticalUnderContinuedStepping) {
+  const auto [kind, math] = GetParam();
+  FleetState live = make_fleet(kind, math);
+  for (long tick = 0; tick < 1500; ++tick) {
+    for (std::size_t c = 0; c < kCells; ++c) {
+      live.step_cell(c, Amperes{requested_amps(tick, c)}, kDt);
+    }
+  }
+  snapshot::SnapshotWriter mid;
+  live.save_state(mid);
+
+  FleetState restored = make_fleet(kind, math);
+  snapshot::SnapshotReader r{mid.bytes()};
+  restored.load_state(r);
+
+  for (long tick = 1500; tick < 3000; ++tick) {
+    for (std::size_t c = 0; c < kCells; ++c) {
+      const Amperes amps{requested_amps(tick, c)};
+      const StepResult a = live.step_cell(c, amps, kDt);
+      const StepResult b = restored.step_cell(c, amps, kDt);
+      ASSERT_EQ(a.actual_current.value(), b.actual_current.value())
+          << "tick " << tick << " cell " << c;
+      ASSERT_EQ(a.terminal_voltage.value(), b.terminal_voltage.value())
+          << "tick " << tick << " cell " << c;
+    }
+  }
+  snapshot::SnapshotWriter wa;
+  snapshot::SnapshotWriter wb;
+  live.save_state(wa);
+  restored.save_state(wb);
+  EXPECT_EQ(wa.bytes(), wb.bytes()) << chemistry_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChemistriesAllTiers, ChemistryConformance,
+    ::testing::Combine(::testing::ValuesIn(kAllChemistries),
+                       ::testing::ValuesIn(kAllMath)),
+    [](const ::testing::TestParamInfo<std::tuple<Chemistry, MathMode>>& info) {
+      const Chemistry kind = std::get<0>(info.param);
+      const MathMode math = std::get<1>(info.param);
+      std::string name{chemistry_name(kind)};
+      name += math == MathMode::Exact ? "_exact"
+              : math == MathMode::Fast ? "_fast"
+                                       : "_simd";
+      return name;
+    });
+
+// A snapshot taken under one chemistry must refuse to load into a fleet
+// hosting another — with an error naming both, not a garbled state. The
+// scenario fingerprint catches this earlier at the CLI layer; this is the
+// fleet-level defence for direct snapshot consumers.
+TEST(ChemistrySnapshot, MismatchedChemistryRefused) {
+  FleetState li = make_fleet(Chemistry::LiNmc, MathMode::Exact);
+  snapshot::SnapshotWriter w;
+  li.save_state(w);
+
+  FleetState lead = make_fleet(Chemistry::LeadAcid, MathMode::Exact);
+  snapshot::SnapshotReader r{w.bytes()};
+  EXPECT_THROW(lead.load_state(r), snapshot::SnapshotError);
+
+  snapshot::SnapshotWriter wl;
+  lead.save_state(wl);
+  FleetState li2 = make_fleet(Chemistry::LiNmc, MathMode::Exact);
+  snapshot::SnapshotReader rl{wl.bytes()};
+  EXPECT_THROW(li2.load_state(rl), snapshot::SnapshotError);
+
+  // Li -> Li of a different kind must also refuse.
+  FleetState lfp = make_fleet(Chemistry::LiLfp, MathMode::Exact);
+  snapshot::SnapshotReader r2{w.bytes()};
+  EXPECT_THROW(lfp.load_state(r2), snapshot::SnapshotError);
+}
+
+// Fast and Simd tiers route Li and bucket chemistries through the same
+// scalar kernel (the SIMD lane kernel is lead-acid-only), so their
+// trajectories must coincide exactly.
+TEST(ChemistryConformanceExtra, LiFastAndSimdTrajectoriesCoincide) {
+  for (Chemistry kind : {Chemistry::LiNmc, Chemistry::LiLfp, Chemistry::Bucket}) {
+    FleetState fast = make_fleet(kind, MathMode::Fast);
+    FleetState simd = make_fleet(kind, MathMode::Simd);
+    for (long tick = 0; tick < 1000; ++tick) {
+      for (std::size_t c = 0; c < kCells; ++c) {
+        const Amperes amps{requested_amps(tick, c)};
+        const StepResult a = fast.step_cell(c, amps, kDt);
+        const StepResult b = simd.step_cell(c, amps, kDt);
+        ASSERT_EQ(a.terminal_voltage.value(), b.terminal_voltage.value())
+            << chemistry_name(kind) << " tick " << tick;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace baat::battery

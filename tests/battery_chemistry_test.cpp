@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "battery/chemistry.hpp"
 #include "util/require.hpp"
 
@@ -8,6 +11,9 @@ namespace {
 
 using util::amperes;
 using util::PreconditionError;
+
+constexpr OcvCurve kAllCurves[] = {OcvCurve::LeadAcidQuadratic, OcvCurve::NmcCubic,
+                                   OcvCurve::LfpPlateau, OcvCurve::Linear};
 
 TEST(Chemistry, OcvEndpoints) {
   const LeadAcidParams p;
@@ -90,6 +96,106 @@ TEST(Chemistry, CoulombicEfficiencyDropsNearFull) {
   EXPECT_DOUBLE_EQ(coulombic_efficiency(p, 0.5), p.coulombic_efficiency_bulk);
   EXPECT_NEAR(coulombic_efficiency(p, 1.0), p.coulombic_efficiency_full, 1e-12);
   EXPECT_GT(coulombic_efficiency(p, 0.85), coulombic_efficiency(p, 0.95));
+}
+
+// --- chemistry edge-case sweep ---------------------------------------------
+// A non-finite sensor voltage must come out of the estimator as NaN, not a
+// confident 0 or 1 — the old clamp laundered poisoned readings into a
+// plausible SoC and hid them from the run-health watchdog.
+
+TEST(Chemistry, SocFromVoltageNonFinitePropagatesAsNan) {
+  const LeadAcidParams p;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (OcvCurve curve : kAllCurves) {
+    EXPECT_TRUE(std::isnan(soc_from_voltage(p, util::Volts{nan}, curve)));
+    EXPECT_TRUE(std::isnan(soc_from_voltage(p, util::Volts{inf}, curve)));
+    EXPECT_TRUE(std::isnan(soc_from_voltage(p, util::Volts{-inf}, curve)));
+  }
+  // The historical 2-arg overload keeps the same contract.
+  EXPECT_TRUE(std::isnan(soc_from_voltage(p, util::Volts{nan})));
+}
+
+TEST(Chemistry, SocFromVoltageFiniteFuzzStaysInUnitRange) {
+  // Deterministic LCG fuzz: every *finite* voltage — however absurd — must
+  // map into [0,1] for every OCV curve; NaN is reserved for non-finite input.
+  const LeadAcidParams p;
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 20000; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(s >> 11) / 9007199254740992.0;
+    const double v = -50.0 + 200.0 * u;  // way past any physical block voltage
+    for (OcvCurve curve : kAllCurves) {
+      const double soc = soc_from_voltage(p, util::Volts{v}, curve);
+      ASSERT_FALSE(std::isnan(soc)) << "curve " << static_cast<int>(curve) << " v=" << v;
+      ASSERT_GE(soc, 0.0);
+      ASSERT_LE(soc, 1.0);
+    }
+  }
+}
+
+// soc_from_voltage must invert open_circuit_voltage for every curve shape,
+// including the LFP plateau whose flat middle is the estimator stress case.
+class OcvRoundTripAllCurves
+    : public ::testing::TestWithParam<std::tuple<OcvCurve, double>> {};
+
+TEST_P(OcvRoundTripAllCurves, InverseOfOcv) {
+  const LeadAcidParams p;
+  const auto [curve, soc] = GetParam();
+  const auto v = open_circuit_voltage(p, soc, curve);
+  EXPECT_NEAR(soc_from_voltage(p, v, curve), soc, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CurveBySoc, OcvRoundTripAllCurves,
+    ::testing::Combine(::testing::ValuesIn(kAllCurves),
+                       ::testing::Values(0.0, 0.05, 0.2, 0.5, 0.8, 0.95, 1.0)));
+
+// --- Peukert edge cases -----------------------------------------------------
+// Regression for the I -> 0 boundary: pow(i20/i, k-1) diverges as i -> 0, so
+// the implementation must never evaluate it below the rated current — any
+// capacity above nameplate from a vanishing current is Peukert *inflation*.
+
+TEST(Chemistry, PeukertExactTwentyHourRateRegression) {
+  const LeadAcidParams p;
+  // Exactly the 20 h rate, and the neighbouring representable doubles: all
+  // must return the nameplate (below/at) or at most the nameplate (above).
+  const double i20 = p.capacity_c20.value() / 20.0;
+  EXPECT_DOUBLE_EQ(effective_capacity(p, amperes(i20)).value(), p.capacity_c20.value());
+  EXPECT_DOUBLE_EQ(effective_capacity(p, amperes(std::nextafter(i20, 0.0))).value(),
+                   p.capacity_c20.value());
+  const double above = effective_capacity(p, amperes(std::nextafter(i20, 1e9))).value();
+  EXPECT_LE(above, p.capacity_c20.value());
+  EXPECT_GT(above, 0.999 * p.capacity_c20.value());
+}
+
+TEST(Chemistry, PeukertVanishingCurrentNeverDividesOrInflates) {
+  const LeadAcidParams p;
+  for (double i : {0.0, std::numeric_limits<double>::denorm_min(), 1e-300, 1e-12, 1e-3}) {
+    const double cap = effective_capacity(p, amperes(i)).value();
+    EXPECT_TRUE(std::isfinite(cap)) << "i=" << i;
+    EXPECT_DOUBLE_EQ(cap, p.capacity_c20.value()) << "i=" << i;
+  }
+}
+
+TEST(Chemistry, PeukertNanCurrentPropagates) {
+  const LeadAcidParams p;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(effective_capacity(p, amperes(nan)).value()));
+}
+
+// --- chemistry registry -----------------------------------------------------
+
+TEST(Chemistry, NameParseRoundTrip) {
+  for (Chemistry c : {Chemistry::LeadAcid, Chemistry::LiNmc, Chemistry::LiLfp,
+                      Chemistry::Bucket}) {
+    Chemistry parsed = Chemistry::LeadAcid;
+    EXPECT_TRUE(parse_chemistry(chemistry_name(c), parsed));
+    EXPECT_EQ(parsed, c);
+  }
+  Chemistry out = Chemistry::LeadAcid;
+  EXPECT_FALSE(parse_chemistry("nicad", out));
+  EXPECT_FALSE(parse_chemistry("", out));
 }
 
 TEST(Chemistry, DerivedVoltages) {

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "battery/chemistry_model.hpp"
+#include "battery/ledger.hpp"
+#include "battery/rainflow.hpp"
 #include "battery/cycle_life.hpp"
 #include "util/require.hpp"
 
@@ -77,6 +82,83 @@ TEST(CycleLife, RejectsBadInput) {
   EXPECT_THROW(c.lifetime_throughput(0.5, ampere_hours(0.0)), util::PreconditionError);
   EXPECT_THROW(c.damage_fraction(ampere_hours(-1.0), 0.5, ampere_hours(35.0)),
                util::PreconditionError);
+}
+
+// --- tabulated curves (the Li-ion presets) ---------------------------------
+
+TEST(CycleLife, TabulatedHitsPointsAndInterpolatesMonotonically) {
+  CycleLifeCurve c{1000.0, 1.1, 0.01, {}};
+  c.points = {{0.1, 100000.0}, {0.5, 2000.0}, {1.0, 500.0}};
+  EXPECT_NEAR(c.cycles(0.1), 100000.0, 1e-6);
+  EXPECT_NEAR(c.cycles(0.5), 2000.0, 1e-6);
+  EXPECT_NEAR(c.cycles(1.0), 500.0, 1e-6);
+  EXPECT_LT(c.cycles(0.3), c.cycles(0.1));
+  EXPECT_GT(c.cycles(0.3), c.cycles(0.5));
+}
+
+TEST(CycleLife, TabulatedExtrapolatesBelowSmallestDod) {
+  // Below the first tabulated point the first segment's log-log slope is
+  // extended outward: a shallower cycle must always earn MORE cycles (so a
+  // micro-cycle's Miner damage is small but strictly positive, never zero —
+  // the extrapolation bug class this pins down).
+  CycleLifeCurve c{1000.0, 1.1, 0.01, {}};
+  c.points = {{0.1, 100000.0}, {0.5, 2000.0}, {1.0, 500.0}};
+  const double n = c.cycles(0.02);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_GT(n, c.cycles(0.1));
+  EXPECT_GT(1.0 / n, 0.0);  // the damage per counted cycle
+  // dod_min still saturates the very shallowest swings.
+  EXPECT_DOUBLE_EQ(c.cycles(0.005), c.cycles(c.dod_min));
+}
+
+TEST(CycleLife, TabulatedExtrapolatesAboveLargestDodClampedAtOneCycle) {
+  // A table that stops short of 100% DoD extrapolates on the last segment's
+  // slope; a brutally steep table would go below one cycle (infinite or
+  // even negative damage per cycle after a sign slip) — the >= 1 clamp
+  // keeps Miner damage per counted cycle bounded by its count.
+  CycleLifeCurve steep{1000.0, 1.1, 0.01, {}};
+  steep.points = {{0.05, 50.0}, {0.1, 10.0}};
+  EXPECT_DOUBLE_EQ(steep.cycles(1.0), 1.0);
+  CycleLifeCurve gentle{1000.0, 1.1, 0.01, {}};
+  gentle.points = {{0.1, 100000.0}, {0.5, 2000.0}};
+  const double n = gentle.cycles(0.9);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_GE(n, 1.0);
+  EXPECT_LT(n, gentle.cycles(0.5));
+}
+
+TEST(CycleLife, LiPresetTablesAreUsable) {
+  for (Chemistry k : {Chemistry::LiNmc, Chemistry::LiLfp}) {
+    const CycleLifeCurve c = chemistry_model(k).cycle_curve;
+    ASSERT_FALSE(c.points.empty());
+    double prev = c.cycles(c.points.front().first);
+    for (std::size_t i = 1; i < c.points.size(); ++i) {
+      const double n = c.cycles(c.points[i].first);
+      EXPECT_LT(n, prev);
+      prev = n;
+    }
+    EXPECT_GE(c.cycles(1.0), 1.0);
+  }
+}
+
+TEST(CycleLife, MicroCyclesMatchOfflineRainflowAndAccruePositiveDamage) {
+  // 200 micro-swings far below the smallest tabulated DoD of the LFP preset:
+  // the online counter must agree with the offline rainflow decomposition,
+  // and the accrued Miner damage must be small but strictly positive.
+  const CycleLifeCurve curve = chemistry_model(Chemistry::LiLfp).cycle_curve;
+  std::vector<double> series;
+  series.push_back(0.5);
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(0.52);
+    series.push_back(0.50);
+  }
+  OnlineRainflow online(curve);
+  for (double s : series) online.push(s);
+  online.flush_residuals();
+  const double offline = rainflow_damage(rainflow_count(series), curve);
+  EXPECT_GT(offline, 0.0);
+  EXPECT_LT(offline, 1e-2);
+  EXPECT_NEAR(online.damage(), offline, 1e-15 + 1e-12 * offline);
 }
 
 TEST(CycleLife, ManufacturerNames) {

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "battery/bank.hpp"
 #include "fault/fault.hpp"
 #include "sim/cluster.hpp"
 #include "sim/datacenter.hpp"
@@ -122,6 +123,28 @@ TEST(Golden, CloudyFaulted) {
       solar::DayType::Sunny};
   compare_against_golden(
       "cloudy_faulted", render_scenario(cfg, weather, "Golden: faulted cloudy run"));
+}
+
+// Canonical scenario 3: the LFP chemistry preset under mixed weather — locks
+// the Li backend's end-to-end bytes (flat-OCV SoC estimation, rainflow cycle
+// aging, calendar fade) the way sunny_clean locks lead-acid's. The metrics
+// rebase below mirrors scenario_from_cli's `--chemistry li_lfp` handling.
+TEST(Golden, LfpMixedWeek) {
+  sim::ScenarioConfig cfg = sim::prototype_scenario();
+  cfg.nodes = 3;
+  cfg.policy = core::PolicyKind::Baat;
+  cfg.seed = 7;
+  battery::apply_chemistry_preset(cfg.bank, battery::Chemistry::LiLfp);
+  cfg.metrics.nameplate = cfg.bank.chemistry.capacity_c20;
+  cfg.metrics.lifetime_throughput = util::ampere_hours(
+      cfg.bank.chemistry.capacity_c20.value() * cfg.bank.cycle_curve.cycles_at_full);
+  cfg.policy_params.planned.total_throughput = cfg.metrics.lifetime_throughput;
+  cfg.policy_params.planned.nameplate = cfg.metrics.nameplate;
+  const std::vector<solar::DayType> weather{
+      solar::DayType::Sunny, solar::DayType::Cloudy, solar::DayType::Sunny,
+      solar::DayType::Rainy};
+  compare_against_golden(
+      "lfp_mixed", render_scenario(cfg, weather, "Golden: LFP mixed week"));
 }
 
 // ---------------------------------------------------------------------------

@@ -4,11 +4,13 @@
 Compares a fresh kernel_bench run against the committed baseline
 (bench_results/BENCH_kernel.json) and fails when any shared bench's
 machine-normalized ns/cell-tick regressed by more than the threshold, or
-when a bench that was allocation-free started allocating. Two within-run
+when a bench that was allocation-free started allocating. Within-run
 ratio rules ride along: the observability/ledger tax on the 48-cell config
-must stay under its budget, and the --math=simd tier must beat the
+must stay under its budget, the --math=simd tier must beat the
 --math=fast tier by at least --simd-speedup-min on the 384-cell config
-(the vectorization guarantee DESIGN.md §5f advertises).
+(the vectorization guarantee DESIGN.md §5f advertises), and the
+--chemistry bucket tier must beat the lead-acid exact kernel by at least
+--bucket-speedup-min at the same bank size (DESIGN.md §5i).
 
 Machines differ, so raw nanoseconds are not comparable across hosts: both
 files carry a `calibration_ns` scalar (a fixed dependent-FMA loop timed on
@@ -187,6 +189,32 @@ def sharding_tax(doc, threshold):
     return lines, failures
 
 
+def bucket_speedup(doc, minimum):
+    """Within-run comparison for the energy-bucket chemistry tier: its
+    384-cell row must beat the lead-acid exact kernel at the same bank size
+    by at least `minimum` — the cheapness guarantee the --chemistry bucket
+    tier exists for (DESIGN.md §5i). Both rows are min-over-segments from
+    the same process on the same host, so no calibration is involved. Files
+    without the pair — older baselines, datacenter results — are skipped,
+    not failed."""
+    by_name = {b["name"]: b for b in doc["benches"]}
+    exact = by_name.get("fleet_384")
+    bucket = by_name.get("fleet_384_bucket")
+    if exact is None or bucket is None:
+        return [], []
+    speedup = exact["ns_per_cell_tick"] / bucket["ns_per_cell_tick"]
+    lines = [f"bucket speedup   exact {exact['ns_per_cell_tick']:7.2f} ns  "
+             f"bucket {bucket['ns_per_cell_tick']:7.2f} ns  "
+             f"speedup {speedup:5.2f}x (min {minimum:.2f}x)"]
+    failures = []
+    if speedup < minimum:
+        failures.append(f"bucket speedup {speedup:.2f}x on fleet_384 is below the "
+                        f"{minimum:.2f}x floor (exact "
+                        f"{exact['ns_per_cell_tick']:.2f} ns vs bucket "
+                        f"{bucket['ns_per_cell_tick']:.2f} ns per cell-tick)")
+    return lines, failures
+
+
 def self_test():
     """Exercise the malformed-input paths in-process; exits non-zero on bugs."""
     import copy
@@ -284,6 +312,20 @@ def self_test():
     _, failures = simd_speedup(good, 2.0)  # no simd pair: skipped, not failed
     assert not failures, failures
 
+    # 5b2. the bucket-speedup rule: below-floor fails, at/above passes, and
+    # a run without the exact/bucket pair is skipped, not failed
+    bucketed = {"calibration_ns": 2.0,
+                "benches": [{"name": "fleet_384", "ns_per_cell_tick": 200.0,
+                             "allocs_per_tick": 0.0},
+                            {"name": "fleet_384_bucket", "ns_per_cell_tick": 50.0,
+                             "allocs_per_tick": 0.0}]}
+    _, failures = bucket_speedup(bucketed, 5.0)
+    assert any("bucket speedup" in f for f in failures), failures
+    _, failures = bucket_speedup(bucketed, 4.0)
+    assert not failures, failures
+    _, failures = bucket_speedup(good, 5.0)  # no bucket pair: skipped
+    assert not failures, failures
+
     # 5c. the sharding-tax rule: over-budget fails, within-budget passes,
     # and a file without the datacenter pair (kernel results) is skipped
     dc = {"calibration_ns": 2.0,
@@ -328,6 +370,10 @@ def main():
     ap.add_argument("--simd-speedup-min", type=float, default=2.0,
                     help="min required fast/simd ns ratio on the 384-cell "
                          "config (default 2.0 = simd at least 2x faster)")
+    ap.add_argument("--bucket-speedup-min", type=float, default=5.0,
+                    help="min required lead-acid-exact/bucket ns ratio on the "
+                         "384-cell config (default 5.0 = the energy-bucket "
+                         "chemistry tier at least 5x faster)")
     ap.add_argument("--sharding-tax-threshold", type=float, default=0.25,
                     help="max allowed 16-shard-vs-unsharded ns/node-tick "
                          "overhead in datacenter_bench results (default "
@@ -363,6 +409,9 @@ def main():
     simd_lines, simd_failures = simd_speedup(cur, args.simd_speedup_min)
     lines += simd_lines
     failures += simd_failures
+    bucket_lines, bucket_failures = bucket_speedup(cur, args.bucket_speedup_min)
+    lines += bucket_lines
+    failures += bucket_failures
     shard_lines, shard_failures = sharding_tax(cur, args.sharding_tax_threshold)
     lines += shard_lines
     failures += shard_failures
